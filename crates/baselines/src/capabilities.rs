@@ -1,0 +1,134 @@
+//! The qualitative capability matrix of Sections 6–7.
+//!
+//! Each claim the paper makes when comparing TrustLite with SMART and
+//! Sancus is encoded here as data; the tests pin the claims, and the
+//! differential suite in `tests/` demonstrates the mechanical ones
+//! against the models.
+
+/// Architectural capabilities relevant to the paper's comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArchCapabilities {
+    /// Architecture name.
+    pub name: &'static str,
+    /// Trusted tasks can be interrupted without losing protection.
+    pub interruptible_trusted_tasks: bool,
+    /// Protected code/keys/policy can be updated in the field.
+    pub field_updates: bool,
+    /// A protected task may own several code/data/MMIO regions.
+    pub multi_region_modules: bool,
+    /// Platform reset requires hardware to wipe all volatile memory.
+    pub reset_requires_memory_wipe: bool,
+    /// Protection rules persist until reset, so one inspection of a peer
+    /// suffices for trusted IPC.
+    pub persistent_protection_for_ipc: bool,
+    /// Exclusive peripheral (MMIO) assignment to trusted tasks.
+    pub secure_peripherals: bool,
+    /// Number of concurrent trusted execution environments supported
+    /// (`None` = bounded only by region registers).
+    pub max_trusted_services: Option<u32>,
+    /// Trusted-task state survives across invocations.
+    pub protected_state: bool,
+}
+
+/// TrustLite (this paper).
+pub const TRUSTLITE: ArchCapabilities = ArchCapabilities {
+    name: "TrustLite",
+    interruptible_trusted_tasks: true,
+    field_updates: true,
+    multi_region_modules: true,
+    reset_requires_memory_wipe: false,
+    persistent_protection_for_ipc: true,
+    secure_peripherals: true,
+    max_trusted_services: None,
+    protected_state: true,
+};
+
+/// SMART (NDSS 2012).
+pub const SMART: ArchCapabilities = ArchCapabilities {
+    name: "SMART",
+    interruptible_trusted_tasks: false,
+    field_updates: false,
+    multi_region_modules: false,
+    reset_requires_memory_wipe: true,
+    persistent_protection_for_ipc: false,
+    secure_peripherals: false,
+    max_trusted_services: Some(1),
+    protected_state: false,
+};
+
+/// Sancus (USENIX Security 2013).
+pub const SANCUS: ArchCapabilities = ArchCapabilities {
+    name: "Sancus",
+    interruptible_trusted_tasks: false,
+    field_updates: true,
+    multi_region_modules: false,
+    reset_requires_memory_wipe: true,
+    persistent_protection_for_ipc: true,
+    secure_peripherals: false,
+    max_trusted_services: None,
+    protected_state: true,
+};
+
+/// Renders the comparison matrix as a text table.
+pub fn comparison_table() -> String {
+    let archs = [TRUSTLITE, SMART, SANCUS];
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<34}{:>10}{:>10}{:>10}\n",
+        "capability", "TrustLite", "SMART", "Sancus"
+    ));
+    type RowGetter = fn(&ArchCapabilities) -> String;
+    let rows: [(&str, RowGetter); 8] = [
+        ("interruptible trusted tasks", |a| yn(a.interruptible_trusted_tasks)),
+        ("field updates", |a| yn(a.field_updates)),
+        ("multi-region modules", |a| yn(a.multi_region_modules)),
+        ("reset requires memory wipe", |a| yn(a.reset_requires_memory_wipe)),
+        ("persistent rules for IPC", |a| yn(a.persistent_protection_for_ipc)),
+        ("secure peripherals (MMIO)", |a| yn(a.secure_peripherals)),
+        ("max trusted services", |a| {
+            a.max_trusted_services.map(|n| n.to_string()).unwrap_or_else(|| "regs".into())
+        }),
+        ("protected state across calls", |a| yn(a.protected_state)),
+    ];
+    for (label, get) in rows {
+        out.push_str(&format!(
+            "{:<34}{:>10}{:>10}{:>10}\n",
+            label,
+            get(&archs[0]),
+            get(&archs[1]),
+            get(&archs[2])
+        ));
+    }
+    out
+}
+
+fn yn(b: bool) -> String {
+    if b { "yes".into() } else { "no".into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // pins constant capability claims
+    fn trustlite_strictly_dominates_on_paper_claims() {
+        // The claims of Section 6: interruption, fast startup (no wipe),
+        // secure peripherals, field updates.
+        assert!(TRUSTLITE.interruptible_trusted_tasks && !SMART.interruptible_trusted_tasks);
+        assert!(!SANCUS.interruptible_trusted_tasks);
+        assert!(!TRUSTLITE.reset_requires_memory_wipe);
+        assert!(SMART.reset_requires_memory_wipe && SANCUS.reset_requires_memory_wipe);
+        assert!(TRUSTLITE.secure_peripherals && !SANCUS.secure_peripherals);
+        assert!(TRUSTLITE.field_updates && !SMART.field_updates);
+        assert!(TRUSTLITE.multi_region_modules && !SANCUS.multi_region_modules);
+    }
+
+    #[test]
+    fn table_renders_all_architectures() {
+        let t = comparison_table();
+        for needle in ["TrustLite", "SMART", "Sancus", "secure peripherals"] {
+            assert!(t.contains(needle), "missing {needle}:\n{t}");
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Baseline security architectures the paper compares against.
+//!
+//! * [`smart`] — SMART (El Defrawy et al., NDSS 2012): a fixed attestation
+//!   routine in ROM whose secret key is released by the memory bus only
+//!   while the instruction pointer is inside the ROM routine; no
+//!   interrupts, no updates, platform reset wipes memory.
+//! * [`sancus`] — Sancus (Noorman et al., USENIX Security 2013):
+//!   software-protected modules with one contiguous text and one
+//!   contiguous data section, created/attested via ISA extensions, with
+//!   per-module keys derived in hardware; protected modules are
+//!   non-interruptible and reset implies a full memory wipe.
+//! * [`capabilities`] — the qualitative capability matrix the paper's
+//!   Sections 6–7 argue from, encoded as data with tests pinning each
+//!   claim.
+//!
+//! The Sancus model runs on the same SP32 simulator via the extension
+//! opcodes (`0xE0..`), with its protection table mapped onto EA-MPU rules
+//! — which is precisely the paper's observation that the EA-MPU
+//! *generalizes* these schemes.
+
+pub mod capabilities;
+pub mod sancus;
+pub mod smart;
+
+pub use capabilities::{ArchCapabilities, SANCUS, SMART, TRUSTLITE};
+pub use sancus::{SancusConfig, SancusUnit};
+pub use smart::SmartDevice;

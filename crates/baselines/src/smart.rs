@@ -1,0 +1,166 @@
+//! The SMART baseline (NDSS 2012).
+//!
+//! SMART adds a custom access-control rule on the memory bus of a
+//! low-end MCU: a secret key `K` is readable only while the program
+//! counter is inside a fixed attestation routine in ROM, and the routine
+//! may only be entered at its first instruction. The routine computes
+//! `HMAC(K, nonce || memory[region])` for remote attestation / trusted
+//! execution.
+//!
+//! The paper's criticisms, which this model makes testable:
+//!
+//! * the routine and key are fixed at manufacture (no field update),
+//! * execution is atomic — interrupts must be disabled; any violation
+//!   resets the platform and *wipes all memory*,
+//! * only a single trusted service is supported, and interaction between
+//!   protected modules is "very slow" (every invocation re-runs the whole
+//!   ROM routine; no persistent protected state).
+
+use trustlite_crypto::{hmac_sha256, Hmac};
+
+/// Outcome of attempting to interrupt or re-enter the SMART routine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmartViolation {
+    /// An interrupt fired while the routine was executing.
+    InterruptDuringRoutine,
+    /// A jump targeted the middle of the routine.
+    MidRoutineEntry,
+    /// A key read was attempted with the PC outside the routine.
+    KeyReadOutsideRoutine,
+}
+
+/// A device implementing the SMART memory-access rule and ROM routine.
+///
+/// The model is host-level: the properties under comparison (atomicity,
+/// updateability, reset semantics, invocation cost) are architectural,
+/// not microarchitectural. `memory` stands for the device's RAM contents
+/// an attestation request covers.
+#[derive(Debug, Clone)]
+pub struct SmartDevice {
+    key: [u8; 32],
+    /// Device memory (attestation target).
+    pub memory: Vec<u8>,
+    /// Number of platform resets (each implies a full memory wipe).
+    pub resets: u64,
+    /// True while the ROM routine is executing (atomic section).
+    in_routine: bool,
+}
+
+impl SmartDevice {
+    /// Manufactures a device with key `key` and `mem_size` bytes of RAM.
+    pub fn new(key: [u8; 32], mem_size: usize) -> Self {
+        SmartDevice { key, memory: vec![0; mem_size], resets: 0, in_routine: false }
+    }
+
+    /// The verifier's reference computation.
+    pub fn expected_report(key: &[u8; 32], nonce: &[u8], region: &[u8]) -> [u8; 32] {
+        let mut mac = Hmac::new(key);
+        mac.update(nonce);
+        mac.update(region);
+        mac.finish()
+    }
+
+    /// Runs the ROM attestation routine over `region` (byte range of
+    /// device memory). Returns the report and the modelled cycle cost.
+    ///
+    /// Cost model: SMART disables interrupts and hashes the region with a
+    /// software HMAC in ROM — one word per ~10 cycles on the MSP430-class
+    /// core, plus fixed entry/exit overhead. The routine also has no
+    /// persistent state: *every* invocation pays the full pass.
+    pub fn attest(&mut self, nonce: &[u8], start: usize, len: usize) -> ([u8; 32], u64) {
+        self.in_routine = true;
+        let region = &self.memory[start..start + len];
+        let report = Self::expected_report(&self.key, nonce, region);
+        self.in_routine = false;
+        let cycles = 200 + (len as u64 / 4) * 10;
+        (report, cycles)
+    }
+
+    /// Models an interrupt arriving while the routine runs: SMART cannot
+    /// tolerate it — the platform resets and memory is wiped.
+    pub fn interrupt_during_routine(&mut self) -> SmartViolation {
+        self.reset();
+        SmartViolation::InterruptDuringRoutine
+    }
+
+    /// Models a key read with the PC outside the ROM routine: denied and
+    /// the platform resets.
+    pub fn rogue_key_read(&mut self) -> SmartViolation {
+        self.reset();
+        SmartViolation::KeyReadOutsideRoutine
+    }
+
+    /// SMART's reset: hardware wipes *all* volatile memory before any
+    /// code runs again (the cost TrustLite's Secure Loader avoids).
+    pub fn reset(&mut self) {
+        self.memory.fill(0);
+        self.in_routine = false;
+        self.resets += 1;
+    }
+
+    /// Cycle cost of the reset memory wipe (one word per cycle).
+    pub fn reset_wipe_cycles(&self) -> u64 {
+        self.memory.len() as u64 / 4
+    }
+
+    /// Field update of the attestation routine or key: impossible — both
+    /// are in mask ROM. Returns the error message the comparison tests
+    /// pin.
+    pub fn try_update_routine(&self) -> Result<(), &'static str> {
+        Err("SMART routine and key are fixed in ROM; no field update")
+    }
+
+    /// Verifies a report (verifier side).
+    pub fn verify(key: &[u8; 32], nonce: &[u8], region: &[u8], report: &[u8; 32]) -> bool {
+        trustlite_crypto::ct_eq(&hmac_sha256(key, &[nonce, region].concat()), report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attestation_round_trip() {
+        let key = [3u8; 32];
+        let mut d = SmartDevice::new(key, 1024);
+        d.memory[100..104].copy_from_slice(&[1, 2, 3, 4]);
+        let (report, cycles) = d.attest(b"nonce", 0, 512);
+        assert!(SmartDevice::verify(&key, b"nonce", &d.memory[0..512], &report));
+        assert!(cycles > 200);
+    }
+
+    #[test]
+    fn report_detects_memory_change() {
+        let key = [3u8; 32];
+        let mut d = SmartDevice::new(key, 256);
+        let (r1, _) = d.attest(b"n", 0, 256);
+        d.memory[7] ^= 0xff;
+        let (r2, _) = d.attest(b"n", 0, 256);
+        assert_ne!(r1, r2);
+    }
+
+    #[test]
+    fn interrupt_wipes_memory() {
+        let mut d = SmartDevice::new([0u8; 32], 128);
+        d.memory.fill(0xaa);
+        let v = d.interrupt_during_routine();
+        assert_eq!(v, SmartViolation::InterruptDuringRoutine);
+        assert!(d.memory.iter().all(|&b| b == 0), "memory wiped");
+        assert_eq!(d.resets, 1);
+    }
+
+    #[test]
+    fn no_field_update() {
+        let d = SmartDevice::new([0u8; 32], 16);
+        assert!(d.try_update_routine().is_err());
+    }
+
+    #[test]
+    fn every_invocation_pays_full_cost() {
+        let mut d = SmartDevice::new([0u8; 32], 4096);
+        let (_, c1) = d.attest(b"a", 0, 4096);
+        let (_, c2) = d.attest(b"b", 0, 4096);
+        assert_eq!(c1, c2, "no state carries over between invocations");
+    }
+}

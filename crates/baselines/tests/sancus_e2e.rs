@@ -1,0 +1,170 @@
+//! End-to-end Sancus scenario on the simulator: a supervisor protects a
+//! module, the module MACs a message with its hardware-derived key, and
+//! the host verifier reproduces the tag from the node key and the text
+//! measurement — Sancus's remote-attestation chain, executed as real
+//! simulated code through the extension ISA.
+
+use trustlite_baselines::sancus::{SancusConfig, SancusUnit};
+use trustlite_crypto::{hmac_sha256, sponge_hash};
+use trustlite_cpu::{HaltReason, Machine, RunExit, SystemBus};
+use trustlite_isa::{Asm, Reg};
+use trustlite_mem::{Bus, Ram, Rom};
+use trustlite_mpu::{EaMpu, Perms, RuleSlot, Subject};
+
+const PROM: u32 = 0;
+const SRAM: u32 = 0x1000_0000;
+const MOD_TEXT: u32 = SRAM + 0x1000;
+const MOD_TEXT_END: u32 = MOD_TEXT + 0x100;
+const MOD_DATA: u32 = SRAM + 0x2000;
+const MOD_DATA_END: u32 = MOD_DATA + 0x100;
+const SCRATCH: u32 = SRAM + 0x3000; // open world: descriptor, message, tag
+const NODE_KEY: [u8; 32] = [0x5a; 32];
+
+const MSG: &[u8; 8] = b"transfer";
+
+fn build() -> (Machine, Vec<u8>) {
+    // The module: entry point MACs the message at SCRATCH+0x40 into
+    // SCRATCH+0x80 using ITS key (only module code can), then returns.
+    let mut m = Asm::new(MOD_TEXT);
+    m.label("entry");
+    // SMAC descriptor {start, end, out} prepared at SCRATCH.
+    m.li(Reg::R1, SCRATCH);
+    m.ext(2, Reg::R0, Reg::R1, 0); // SMAC -> r0 = ok
+    m.jr(Reg::R7); // return to the supervisor
+    let mod_img = m.assemble().unwrap();
+    let text_bytes = {
+        // The measured text is the whole protected region (zero-padded).
+        let mut t = mod_img.bytes.clone();
+        t.resize((MOD_TEXT_END - MOD_TEXT) as usize, 0);
+        t
+    };
+
+    // The supervisor: writes the descriptor + message, protects the
+    // module, calls it, halts.
+    let mut a = Asm::new(PROM);
+    a.li(Reg::Sp, SRAM + 0x3f00);
+    // SMAC descriptor at SCRATCH: {msg start, msg end, tag out}.
+    a.li(Reg::R1, SCRATCH);
+    for (i, v) in [SCRATCH + 0x40, SCRATCH + 0x40 + MSG.len() as u32, SCRATCH + 0x80]
+        .iter()
+        .enumerate()
+    {
+        a.li(Reg::R2, *v);
+        a.sw(Reg::R1, (4 * i) as i16, Reg::R2);
+    }
+    // The message itself.
+    for (i, chunk) in MSG.chunks(4).enumerate() {
+        let w = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        a.li(Reg::R2, w);
+        a.li(Reg::R3, SCRATCH + 0x40 + 4 * i as u32);
+        a.sw(Reg::R3, 0, Reg::R2);
+    }
+    // SPROTECT descriptor at SCRATCH+0xc0.
+    a.li(Reg::R1, SCRATCH + 0xc0);
+    for (i, v) in [MOD_TEXT, MOD_TEXT_END, MOD_DATA, MOD_DATA_END].iter().enumerate() {
+        a.li(Reg::R2, *v);
+        a.sw(Reg::R1, (4 * i) as i16, Reg::R2);
+    }
+    a.ext(0, Reg::R4, Reg::R1, 0); // SPROTECT -> r4 = module id
+    // Call the module with the return address in r7.
+    a.la(Reg::R7, "returned");
+    a.li(Reg::R5, MOD_TEXT);
+    a.jr(Reg::R5);
+    a.label("returned");
+    a.halt();
+    let sup_img = a.assemble().unwrap();
+
+    let mut bus = Bus::new();
+    bus.map(PROM, Box::new(Rom::new(0x4000))).unwrap();
+    bus.map(SRAM, Box::new(Ram::new("sram", 0x4000))).unwrap();
+    bus.host_load(PROM, &sup_img.bytes);
+    bus.host_load(MOD_TEXT, &mod_img.bytes);
+    let mut mpu = EaMpu::new(16);
+    // Open world before modules carve out their islands.
+    mpu.set_rule(
+        0,
+        RuleSlot {
+            start: PROM,
+            end: PROM + 0x4000,
+            perms: Perms::RX,
+            subject: Subject::Any,
+            enabled: true,
+            locked: false,
+        },
+    )
+    .unwrap();
+    mpu.set_rule(
+        1,
+        RuleSlot {
+            start: SRAM,
+            end: SRAM + 0x4000,
+            perms: Perms::RWX,
+            subject: Subject::Any,
+            enabled: true,
+            locked: false,
+        },
+    )
+    .unwrap();
+    let sys = SystemBus::new(bus, mpu, None);
+    let mut machine = Machine::new(sys, PROM);
+    machine.ext = Some(Box::new(SancusUnit::new(SancusConfig {
+        node_key: NODE_KEY,
+        first_rule_slot: 4,
+        ..Default::default()
+    })));
+    (machine, text_bytes)
+}
+
+#[test]
+fn module_mac_verifies_against_host_derivation() {
+    let (mut m, text_bytes) = build();
+    let exit = m.run(10_000);
+    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
+    assert_eq!(m.regs.get(Reg::R4), 1, "module protected");
+    assert_eq!(m.regs.get(Reg::R0), 1, "SMAC succeeded");
+
+    // Read the tag the module produced.
+    let mut tag = [0u8; 32];
+    for i in 0..8 {
+        let w = m.sys.hw_read32(SCRATCH + 0x80 + 4 * i).unwrap();
+        tag[4 * i as usize..4 * i as usize + 4].copy_from_slice(&w.to_le_bytes());
+    }
+    // Verifier side: K_module = HMAC(K_node, measurement(text)).
+    let key = SancusUnit::derive_key(&NODE_KEY, &sponge_hash(&text_bytes));
+    let expected = hmac_sha256(&key, MSG);
+    assert_eq!(tag, expected, "in-simulator MAC chain matches the verifier");
+}
+
+#[test]
+fn smac_cycle_cost_matches_the_ipc_model() {
+    // The EIPC harness models the per-message Sancus MAC at 64 + len/4
+    // cycles; confirm the measured extension cost agrees.
+    let (mut m, _) = build();
+    // Run until just before the module's SMAC instruction (module entry:
+    // two li words + ext at MOD_TEXT + 12... measure around the call).
+    assert!(m.run_until(10_000, |mm| mm.regs.ip == MOD_TEXT), "module entered");
+    let c0 = m.cycles;
+    // Step li (2 instrs) then the ext itself.
+    m.step();
+    m.step();
+    let before_ext = m.cycles;
+    m.step(); // SMAC
+    let smac_cost = m.cycles - before_ext;
+    assert_eq!(smac_cost, 1 + 64 + MSG.len() as u64 / 4, "base + MAC latency + absorb");
+    let _ = c0;
+}
+
+#[test]
+fn after_protection_supervisor_cannot_touch_module_data() {
+    let (mut m, _) = build();
+    m.run(10_000);
+    // The module rules exist on top of the open-world blanket rule, so
+    // the specific slots (4..7) enforce the Sancus shape; verify the
+    // rules are as Sancus defines them.
+    let slots = m.sys.mpu.slots();
+    assert_eq!(slots[4].start, MOD_TEXT);
+    assert_eq!(slots[4].subject, Subject::Region(4), "text self-subject");
+    assert_eq!(slots[5].start, MOD_DATA);
+    assert_eq!(slots[5].subject, Subject::Region(4), "data bound to text");
+    assert_eq!(slots[6].end, MOD_TEXT + 4, "single-word entry");
+}

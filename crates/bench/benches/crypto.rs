@@ -1,0 +1,23 @@
+//! Criterion benches: the from-scratch crypto primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use trustlite_crypto::{hmac_sha256, sha256, sponge_hash};
+
+fn bench_hashes(c: &mut Criterion) {
+    let data = vec![0xa5u8; 4096];
+    let mut g = c.benchmark_group("crypto");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("sha256_4k", |b| b.iter(|| sha256(&data)));
+    g.bench_function("sponge_4k", |b| b.iter(|| sponge_hash(&data)));
+    g.bench_function("hmac_sha256_4k", |b| b.iter(|| hmac_sha256(b"key", &data)));
+    g.finish();
+}
+
+fn bench_token(c: &mut Criterion) {
+    c.bench_function("session_token", |b| {
+        b.iter(|| trustlite::ipc::session_token(0xA0, 0xA1, 0x1234_5678, 0x9abc_def0))
+    });
+}
+
+criterion_group!(benches, bench_hashes, bench_token);
+criterion_main!(benches);

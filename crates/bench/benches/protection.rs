@@ -1,0 +1,64 @@
+//! Criterion benches: EA-MPU checks, Secure Loader boot, trusted IPC.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use trustlite_mpu::{AccessKind, EaMpu, Perms, RuleSlot, Subject};
+
+fn filled_mpu(slots: usize) -> EaMpu {
+    let mut mpu = EaMpu::new(slots);
+    for i in 0..slots {
+        mpu.set_rule(
+            i,
+            RuleSlot {
+                start: (i as u32) * 0x1000,
+                end: (i as u32) * 0x1000 + 0x800,
+                perms: Perms::RW,
+                subject: Subject::Any,
+                enabled: true,
+                locked: false,
+            },
+        )
+        .expect("rule fits");
+    }
+    mpu
+}
+
+fn bench_mpu_checks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eampu_check");
+    for slots in [8usize, 16, 32] {
+        let mpu = filled_mpu(slots);
+        g.bench_with_input(BenchmarkId::new("hit_first", slots), &mpu, |b, mpu| {
+            b.iter(|| mpu.allows(0, 0x400, AccessKind::Read))
+        });
+        g.bench_with_input(BenchmarkId::new("hit_last", slots), &mpu, |b, mpu| {
+            b.iter(|| mpu.allows(0, (slots as u32 - 1) * 0x1000 + 0x400, AccessKind::Read))
+        });
+        g.bench_with_input(BenchmarkId::new("miss", slots), &mpu, |b, mpu| {
+            b.iter(|| mpu.allows(0, 0xffff_0000, AccessKind::Read))
+        });
+    }
+    g.finish();
+}
+
+fn bench_boot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("secure_loader");
+    for n in [1usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("boot_trustlets", n), &n, |b, &n| {
+            b.iter(|| trustlite_bench::boot_platform_with(n, true).report.mpu_writes)
+        });
+    }
+    g.finish();
+}
+
+fn bench_handshake(c: &mut Criterion) {
+    c.bench_function("trusted_ipc_handshake", |b| {
+        b.iter(|| {
+            let mut hp = trustlite_bench::build_handshake_platform(7).expect("builds");
+            let r = trustlite_bench::run_handshake(&mut hp).expect("runs");
+            assert!(r.success);
+            r.total_cycles
+        })
+    });
+}
+
+criterion_group!(benches, bench_mpu_checks, bench_boot, bench_handshake);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion benches: simulator core throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use trustlite_cpu::{Machine, SystemBus};
+use trustlite_isa::{Asm, Reg};
+use trustlite_mem::{Bus, Ram, Rom};
+use trustlite_mpu::{EaMpu, Perms, RuleSlot, Subject};
+
+fn make_machine(enforce: bool) -> Machine {
+    let mut a = Asm::new(0);
+    a.li(Reg::R1, 0x1000_0000);
+    a.li(Reg::R2, 0);
+    a.li(Reg::R3, 100_000);
+    a.label("loop");
+    a.bge(Reg::R2, Reg::R3, "done");
+    a.sw(Reg::R1, 0, Reg::R2);
+    a.lw(Reg::R4, Reg::R1, 0);
+    a.addi(Reg::R2, Reg::R2, 1);
+    a.jmp("loop");
+    a.label("done");
+    a.halt();
+    let img = a.assemble().expect("assembles");
+    let mut bus = Bus::new();
+    bus.map(0, Box::new(Rom::new(0x1000))).expect("maps");
+    bus.map(0x1000_0000, Box::new(Ram::new("sram", 0x1000))).expect("maps");
+    bus.host_load(0, &img.bytes);
+    let mut mpu = EaMpu::new(16);
+    mpu.set_rule(
+        0,
+        RuleSlot {
+            start: 0,
+            end: 0x1000,
+            perms: Perms::RX,
+            subject: Subject::Any,
+            enabled: true,
+            locked: false,
+        },
+    )
+    .expect("rule fits");
+    mpu.set_rule(
+        1,
+        RuleSlot {
+            start: 0x1000_0000,
+            end: 0x1000_1000,
+            perms: Perms::RW,
+            subject: Subject::Any,
+            enabled: true,
+            locked: false,
+        },
+    )
+    .expect("rule fits");
+    let mut sys = SystemBus::new(bus, mpu, None);
+    sys.enforce = enforce;
+    Machine::new(sys, 0)
+}
+
+fn bench_core(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    // ~500k retired instructions per iteration.
+    g.throughput(Throughput::Elements(500_000));
+    g.bench_function("run_500k_instr_mpu_on", |b| {
+        b.iter(|| {
+            let mut m = make_machine(true);
+            m.run(1_000_000);
+            assert!(m.halted.is_some());
+            m.instret
+        })
+    });
+    g.bench_function("run_500k_instr_mpu_off", |b| {
+        b.iter(|| {
+            let mut m = make_machine(false);
+            m.run(1_000_000);
+            m.instret
+        })
+    });
+    g.finish();
+}
+
+fn bench_exceptions(c: &mut Criterion) {
+    c.bench_function("exception_entry_measurement", |b| {
+        b.iter(trustlite_bench::measure_exception_entry)
+    });
+}
+
+criterion_group!(benches, bench_core, bench_exceptions);
+criterion_main!(benches);

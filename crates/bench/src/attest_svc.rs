@@ -1,0 +1,235 @@
+//! An in-simulator remote-attestation service trustlet.
+//!
+//! This is the paper's SMART-like instantiation (Section 3.6/5.2) built
+//! *as software* on TrustLite primitives: a trustlet with exclusive read
+//! access to the platform key (key store MMIO) and to the crypto
+//! accelerator answers challenges with
+//! `HMAC(K, nonce || measurement table)`. Unlike SMART's mask-ROM
+//! routine it is field-updatable, and unlike SMART it keeps no special
+//! bus logic — the EA-MPU rule *is* the key-access control.
+
+use trustlite::layout;
+use trustlite::platform::{Platform, PlatformBuilder};
+use trustlite::spec::{PeriphGrant, TrustletOptions, TrustletPlan};
+use trustlite::TrustliteError;
+use trustlite_crypto::Hmac;
+use trustlite_isa::Reg;
+use trustlite_mem::map;
+use trustlite_mpu::Perms;
+use trustlite_periph::crypto_accel;
+
+/// Offsets in the service's data region.
+pub mod svc_data {
+    /// 1 when a report is ready.
+    pub const DONE: u32 = 0;
+    /// Report word (digest word 0).
+    pub const REPORT: u32 = 4;
+}
+
+/// A platform hosting the attestation service plus `n_apps` application
+/// trustlets whose measurements the service reports over.
+pub struct AttestServicePlatform {
+    /// The booted platform.
+    pub platform: Platform,
+    /// The service's plan.
+    pub service: TrustletPlan,
+    /// The application trustlets' plans.
+    pub apps: Vec<TrustletPlan>,
+    /// Number of measurement rows the service covers (apps + itself).
+    pub covered_rows: u32,
+}
+
+/// Builds the platform. The service is loaded first (Trustlet Table row
+/// 0) and reports over all `1 + n_apps` measurement rows.
+pub fn build_attest_service(key: [u8; 32], n_apps: usize) -> Result<AttestServicePlatform, TrustliteError> {
+    let mut b = PlatformBuilder::new();
+    b.platform_key(key);
+    let service = b.plan_trustlet("attest-svc", 0x400, 0x100, 0x200);
+    let covered_rows = (1 + n_apps) as u32;
+
+    let mut t = service.begin_program();
+    {
+        let plan = service.clone();
+        let a = &mut t.asm;
+        a.label("main");
+        a.halt(); // purely reactive
+        // call(type = DATA, nonce) -> writes the report to the data region.
+        a.label("call_entry");
+        a.li(Reg::R6, plan.sp_slot);
+        a.lw(Reg::Sp, Reg::R6, 0);
+        // Load the platform key from the key store into the accelerator.
+        a.li(Reg::R6, map::KEYSTORE_MMIO_BASE);
+        a.li(Reg::R7, map::CRYPTO_MMIO_BASE);
+        for i in 0..8 {
+            a.lw(Reg::R2, Reg::R6, (4 * i) as i16);
+            a.sw(Reg::R7, (crypto_accel::regs::KEY0 + 4 * i) as i16, Reg::R2);
+        }
+        a.li(Reg::R2, crypto_accel::cmd::INIT_HMAC);
+        a.sw(Reg::R7, crypto_accel::regs::CTRL as i16, Reg::R2);
+        // Absorb the challenge nonce (r1).
+        a.sw(Reg::R7, crypto_accel::regs::DATA as i16, Reg::R1);
+        // Absorb the measurement table (covered_rows * 32 bytes).
+        a.li(Reg::R2, layout::measure_base());
+        a.li(Reg::R3, layout::measure_base() + covered_rows * layout::MEASURE_ROW_BYTES);
+        a.label("absorb");
+        a.bgeu(Reg::R2, Reg::R3, "absorbed");
+        a.lw(Reg::R4, Reg::R2, 0);
+        a.sw(Reg::R7, crypto_accel::regs::DATA as i16, Reg::R4);
+        a.addi(Reg::R2, Reg::R2, 4);
+        a.jmp("absorb");
+        a.label("absorbed");
+        a.li(Reg::R2, crypto_accel::cmd::FINALIZE);
+        a.sw(Reg::R7, crypto_accel::regs::CTRL as i16, Reg::R2);
+        a.label("wait");
+        a.lw(Reg::R2, Reg::R7, crypto_accel::regs::CTRL as i16);
+        a.li(Reg::R3, 0);
+        a.bne(Reg::R2, Reg::R3, "wait");
+        a.lw(Reg::R0, Reg::R7, crypto_accel::regs::DIGEST0 as i16);
+        // Publish the report.
+        a.li(Reg::R1, plan.data_base + svc_data::REPORT);
+        a.sw(Reg::R1, 0, Reg::R0);
+        a.li(Reg::R0, 1);
+        a.li(Reg::R1, plan.data_base + svc_data::DONE);
+        a.sw(Reg::R1, 0, Reg::R0);
+        a.halt();
+    }
+    b.add_trustlet(
+        &service,
+        t.finish()?,
+        TrustletOptions {
+            peripherals: vec![
+                PeriphGrant {
+                    base: map::KEYSTORE_MMIO_BASE,
+                    size: map::PERIPH_MMIO_SIZE,
+                    perms: Perms::R,
+                },
+                PeriphGrant {
+                    base: map::CRYPTO_MMIO_BASE,
+                    size: map::PERIPH_MMIO_SIZE,
+                    perms: Perms::RW,
+                },
+            ],
+            ..Default::default()
+        },
+    )?;
+
+    let mut apps = Vec::new();
+    for i in 0..n_apps {
+        let plan = b.plan_trustlet(&format!("app{i}"), 0x200, 0x80, 0x80);
+        let mut t = plan.begin_program();
+        t.asm.label("main");
+        t.asm.li(Reg::R0, 0x100 + i as u32);
+        t.asm.halt();
+        b.add_trustlet(&plan, t.finish()?, TrustletOptions::default())?;
+        apps.push(plan);
+    }
+
+    let mut os = b.begin_os();
+    let stack_top = os.stack_top;
+    os.asm.label("main");
+    os.asm.li(Reg::Sp, stack_top);
+    os.asm.halt();
+    let os_img = os.finish()?;
+    b.set_os(os_img, &[]);
+    Ok(AttestServicePlatform { platform: b.build()?, service, apps, covered_rows })
+}
+
+/// Delivers a challenge to the service (modelling the OS forwarding a
+/// network request into the `call()` entry) and returns the report word.
+pub fn challenge_device(asp: &mut AttestServicePlatform, nonce: u32) -> Result<u32, TrustliteError> {
+    let p = &mut asp.platform;
+    // Reset the done flag.
+    p.machine
+        .sys
+        .hw_write32(asp.service.data_base + svc_data::DONE, 0)
+        .map_err(|e| TrustliteError::BadFirmware(e.to_string()))?;
+    p.machine.halted = None;
+    // RPC into the call() entry with (type, nonce) in registers — what
+    // the untrusted OS does after receiving the network challenge.
+    p.machine.regs.set(Reg::R0, trustlite::ipc::msg_type::DATA);
+    p.machine.regs.set(Reg::R1, nonce);
+    p.machine.regs.ip = asp.service.call_entry();
+    p.machine.prev_ip = asp.service.call_entry();
+    p.machine.run(1_000_000);
+    let done = p
+        .machine
+        .sys
+        .hw_read32(asp.service.data_base + svc_data::DONE)
+        .map_err(|e| TrustliteError::BadFirmware(e.to_string()))?;
+    if done != 1 {
+        return Err(TrustliteError::BadFirmware("service did not complete".to_string()));
+    }
+    p.machine
+        .sys
+        .hw_read32(asp.service.data_base + svc_data::REPORT)
+        .map_err(|e| TrustliteError::BadFirmware(e.to_string()))
+}
+
+/// Verifier-side reference computation of the report word.
+pub fn expected_report(asp: &mut AttestServicePlatform, key: &[u8; 32], nonce: u32) -> u32 {
+    let mut mac = Hmac::new(key);
+    mac.update(&nonce.to_le_bytes());
+    for i in 0..asp.covered_rows * layout::MEASURE_ROW_BYTES / 4 {
+        let w = asp
+            .platform
+            .machine
+            .sys
+            .hw_read32(layout::measure_base() + 4 * i)
+            .expect("table readable");
+        mac.update(&w.to_le_bytes());
+    }
+    let tag = mac.finish();
+    u32::from_le_bytes([tag[0], tag[1], tag[2], tag[3]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustlite_mpu::AccessKind;
+
+    #[test]
+    fn service_reports_and_verifier_accepts() {
+        let key = [0x21u8; 32];
+        let mut asp = build_attest_service(key, 2).expect("builds");
+        let report = challenge_device(&mut asp, 0xfeed_beef).expect("responds");
+        let expected = expected_report(&mut asp, &key, 0xfeed_beef);
+        assert_eq!(report, expected, "in-sim HMAC matches verifier");
+    }
+
+    #[test]
+    fn nonce_binds_the_report() {
+        let key = [0x21u8; 32];
+        let mut asp = build_attest_service(key, 1).expect("builds");
+        let r1 = challenge_device(&mut asp, 1).expect("responds");
+        let r2 = challenge_device(&mut asp, 2).expect("responds");
+        assert_ne!(r1, r2, "replay detection");
+    }
+
+    #[test]
+    fn tampered_app_changes_report() {
+        let key = [0x21u8; 32];
+        let mut asp = build_attest_service(key, 1).expect("builds");
+        let before = challenge_device(&mut asp, 7).expect("responds");
+        // Physical tamper with the app's measurement row is impossible
+        // for software (write-protected); simulate a rebooted platform
+        // with a different app image by host-editing the row.
+        let row = asp.apps[0].measure_slot;
+        let w = asp.platform.machine.sys.hw_read32(row).unwrap();
+        asp.platform.machine.sys.hw_write32(row, w ^ 1).unwrap();
+        let after = challenge_device(&mut asp, 7).expect("responds");
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn only_the_service_reads_the_key() {
+        let key = [0x21u8; 32];
+        let asp = build_attest_service(key, 1).expect("builds");
+        let mpu = &asp.platform.machine.sys.mpu;
+        let svc_ip = asp.service.code_base + 0x40;
+        assert!(mpu.allows(svc_ip, map::KEYSTORE_MMIO_BASE, AccessKind::Read));
+        // Neither the OS nor the app trustlet can reach the key store.
+        assert!(!mpu.allows(asp.platform.os.entry, map::KEYSTORE_MMIO_BASE, AccessKind::Read));
+        let app_ip = asp.apps[0].code_base + 0x40;
+        assert!(!mpu.allows(app_ip, map::KEYSTORE_MMIO_BASE, AccessKind::Read));
+    }
+}

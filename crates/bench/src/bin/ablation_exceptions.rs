@@ -1,0 +1,106 @@
+//! Ablation — what breaks without the secure exception engine?
+//!
+//! DESIGN.md calls out the secure exception engine as the design choice
+//! that makes trustlets preemptible. This harness runs the identical
+//! preemptive workload (a busy counter scheduled by the untrusted OS
+//! under a timer quantum) with the engine instantiated and without it:
+//!
+//! * **with** the engine, the interrupted trustlet's state is saved to
+//!   its own stack, registers are scrubbed, and the counter finishes at
+//!   exactly its target;
+//! * **without** it, nothing saves the trustlet's registers, `continue()`
+//!   pops the stale initial frame, the task restarts from `main` on every
+//!   preemption, and its register contents leak to the OS handler.
+//!
+//! Run: `cargo run -p trustlite-bench --bin ablation_exceptions`
+
+use trustlite::platform::PlatformBuilder;
+use trustlite::spec::{PeriphGrant, TrustletOptions};
+use trustlite_mem::map;
+use trustlite_mpu::Perms;
+use trustlite_os::scheduler::{build_scheduler_os, ScheduledTask, SchedulerConfig, SCHED_IDT};
+use trustlite_os::trustlet_lib;
+
+struct Outcome {
+    counter: u32,
+    target: u32,
+    preemptions: usize,
+    trustlet_flagged: usize,
+    cycles: u64,
+}
+
+fn run(secure: bool) -> Outcome {
+    let target = 100;
+    let mut b = PlatformBuilder::new();
+    b.secure_exceptions(secure);
+    let plan = b.plan_trustlet("worker", 0x200, 0x80, 0x100);
+    let mut t = plan.begin_program();
+    trustlet_lib::emit_preemptible_counter(&mut t.asm, plan.data_base, target);
+    b.add_trustlet(&plan, t.finish().expect("assembles"), TrustletOptions::default())
+        .expect("registers");
+    b.grant_os_peripheral(PeriphGrant {
+        base: map::TIMER_MMIO_BASE,
+        size: map::PERIPH_MMIO_SIZE,
+        perms: Perms::RW,
+    });
+    let mut os = b.begin_os();
+    build_scheduler_os(
+        &mut os,
+        &SchedulerConfig {
+            timer_period: 500,
+            tasks: vec![ScheduledTask { name: "worker".into(), entry: plan.continue_entry() }],
+        },
+    );
+    let os_img = os.finish().expect("assembles");
+    b.set_os(os_img, SCHED_IDT);
+    let mut p = b.build().expect("boots");
+    p.run(400_000);
+    Outcome {
+        counter: p.machine.sys.hw_read32(plan.data_base).expect("readable"),
+        target,
+        preemptions: p.machine.exc_log.iter().filter(|r| r.vector == 8).count(),
+        trustlet_flagged: p.machine.exc_log.iter().filter(|r| r.trustlet.is_some()).count(),
+        cycles: p.machine.cycles,
+    }
+}
+
+fn main() {
+    println!("Ablation: preemptive trustlet scheduling with/without the secure");
+    println!("exception engine (100-increment busy counter, 500-cycle quantum)");
+    println!("=================================================================");
+    println!(
+        "{:<26}{:>10}{:>10}{:>14}{:>16}",
+        "configuration", "counter", "target", "preemptions", "state saved"
+    );
+    let with = run(true);
+    let without = run(false);
+    println!(
+        "{:<26}{:>10}{:>10}{:>14}{:>16}",
+        "secure exceptions ON", with.counter, with.target, with.preemptions, with.trustlet_flagged
+    );
+    println!(
+        "{:<26}{:>10}{:>10}{:>14}{:>16}",
+        "secure exceptions OFF",
+        without.counter,
+        without.target,
+        without.preemptions,
+        without.trustlet_flagged
+    );
+    println!();
+    assert_eq!(with.counter, with.target, "engine preserves state exactly");
+    assert_ne!(without.counter, without.target, "ablated run corrupts the computation");
+    println!("with the engine the task completes exactly; without it, every");
+    println!("preemption discards the live registers and continue() replays the");
+    println!(
+        "stale initial frame — the task livelocks and the counter runs away \
+         ({} after {} preemptions).",
+        without.counter, without.preemptions
+    );
+    println!();
+    println!(
+        "the engine's entire price was {} x 21 extra cycles inside a {}-cycle run \
+         (Section 5.4); the ablated configuration burned {} cycles without ever \
+         finishing",
+        with.trustlet_flagged, with.cycles, without.cycles
+    );
+}

@@ -1,0 +1,61 @@
+//! Ablation — the EA-MPU hardware design space.
+//!
+//! The paper fixes one design point (32-bit addresses, byte-exact
+//! regions folded to a 32-byte granule in our model). This harness
+//! sweeps the two structural knobs of the cost model — region
+//! granularity and datapath width — to show where the published numbers
+//! sit and what the paper's Section 5.2 scaling remarks amount to across
+//! the whole space.
+//!
+//! Run: `cargo run -p trustlite-bench --bin ablation_hwcost`
+
+use trustlite_hwcost::{CostPoint, EaMpuModel};
+
+fn per_module(width: u32, gran: u32, exceptions: bool) -> CostPoint {
+    EaMpuModel { addr_width: width, granularity_bits: gran, secure_exceptions: exceptions }
+        .per_module()
+}
+
+fn main() {
+    println!("EA-MPU design-space ablation (per-module cost, regs/LUTs)");
+    println!("==========================================================");
+    println!("region granularity sweep at 32-bit addresses:");
+    println!("{:>14}{:>12}{:>12}{:>16}", "granule", "regs", "LUTs", "with exceptions");
+    for gran in [0u32, 2, 4, 5, 6, 8] {
+        let base = per_module(32, gran, false);
+        let exc = per_module(32, gran, true);
+        let marker = if gran == 5 { "  <- published design point" } else { "" };
+        println!(
+            "{:>11} B {:>12}{:>12}{:>9}/{:<6}{}",
+            1u32 << gran,
+            base.regs,
+            base.luts,
+            exc.regs,
+            exc.luts,
+            marker
+        );
+    }
+    println!();
+    println!("datapath width sweep at 32-byte granules:");
+    println!("{:>10}{:>12}{:>12}{:>14}", "width", "regs", "LUTs", "vs 32-bit");
+    let wide = per_module(32, 5, false);
+    for width in [16u32, 20, 24, 32] {
+        let c = per_module(width, 5, false);
+        println!(
+            "{:>10}{:>12}{:>12}{:>13.0}%",
+            width,
+            c.regs,
+            c.luts,
+            c.slices() as f64 / wide.slices() as f64 * 100.0
+        );
+    }
+    println!();
+    println!("observations:");
+    println!("- coarser granules shave comparator bits: halving precision costs");
+    println!("  nothing in policy expressiveness for page-sized regions but saves");
+    println!("  ~4 regs + 6 LUTs per dropped bit per module;");
+    println!("- the 16-bit point reproduces the paper's 'roughly 50% saving' for");
+    println!("  an MSP430-class datapath;");
+    println!("- the secure-exception engine adds a constant 32 regs (the secure");
+    println!("  stack pointer) per module regardless of granularity.");
+}

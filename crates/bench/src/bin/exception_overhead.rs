@@ -1,0 +1,57 @@
+//! Experiment E54 — reproduces **Section 5.4**, runtime overhead of
+//! exception handling: the regular engine needs 21 cycles from exception
+//! recognition to the first ISR instruction; the secure engine adds
+//! 2 + 10 + 9 = 21 cycles (100%) when a trustlet is interrupted and
+//! 2 cycles otherwise. All numbers below are *measured* on the simulator
+//! by taking real exceptions, not recomputed from the constants.
+//!
+//! Run: `cargo run -p trustlite-bench --bin exception_overhead`
+
+use trustlite_bench::measure_exception_entry;
+use trustlite_cpu::costs;
+
+fn main() {
+    let m = measure_exception_entry();
+    println!("Section 5.4: exception-engine entry cost (measured in-simulator)");
+    println!("=================================================================");
+    println!("{:<44}{:>10}{:>10}", "configuration", "measured", "paper");
+    println!("{:<44}{:>10}{:>10}", "regular engine, any interrupt", m.regular_os, 21);
+    println!(
+        "{:<44}{:>10}{:>10}",
+        "secure engine, non-trustlet interrupted", m.secure_os, 23
+    );
+    println!(
+        "{:<44}{:>10}{:>10}",
+        "secure engine, trustlet interrupted", m.secure_trustlet, 42
+    );
+    println!();
+    println!("secure-engine overhead decomposition (trustlet case):");
+    println!("  {:>2} cycles  recognize trustlet (TT region match)", costs::SEC_DETECT);
+    println!(
+        "  {:>2} cycles  store all but ESP ({} words: r0..r7, flags, ip)",
+        costs::SEC_SAVED_WORDS * costs::SEC_SAVE_WORD,
+        costs::SEC_SAVED_WORDS
+    );
+    println!(
+        "  {:>2} cycles  clear {} GPRs + store ESP into the Trustlet Table",
+        costs::SEC_CLEARED_REGS * costs::SEC_CLEAR_REG + costs::SEC_TT_WRITE,
+        costs::SEC_CLEARED_REGS
+    );
+    let overhead =
+        (m.secure_trustlet - m.regular_os) as f64 / m.regular_os as f64 * 100.0;
+    println!();
+    println!(
+        "relative overhead when interrupting a trustlet: {overhead:.0}% (paper: 100%)"
+    );
+    println!(
+        "non-trustlet overhead: {} cycles (paper: 2)",
+        m.secure_os - m.regular_os
+    );
+    println!();
+    println!(
+        "context-switch comparison: a 32-bit i486 needs >= {} cycles (paper citation); \
+         the full secure trustlet switch here costs {} cycles",
+        costs::I486_CONTEXT_SWITCH,
+        m.secure_trustlet
+    );
+}

@@ -1,0 +1,53 @@
+//! Experiment F7 — reproduces **Figure 7**: hardware overhead of
+//! TrustLite and Sancus in total FPGA slices (regs + LUTs) as a function
+//! of the number of protected modules.
+//!
+//! Run: `cargo run -p trustlite-bench --bin fig7`
+
+use trustlite_hwcost::{figure7, modules_at_budget, sancus_cost, trustlite_ext_cost, MSP430_BASE};
+
+fn main() {
+    println!("Figure 7: hardware overhead vs number of protected modules");
+    println!("(cost in FPGA slices proxy = regs + LUTs, as in the paper's y-axis)");
+    println!();
+    println!(
+        "{:>8}{:>12}{:>14}{:>10}{:>10}{:>10}{:>10}",
+        "modules", "TrustLite", "TL+except.", "Sancus", "base", "200%", "400%"
+    );
+    for row in figure7(32) {
+        // Print the paper's x-axis ticks plus a few extras.
+        if ![0, 2, 4, 8, 9, 12, 16, 20, 24, 32].contains(&row.modules) {
+            continue;
+        }
+        println!(
+            "{:>8}{:>12}{:>14}{:>10}{:>10}{:>10}{:>10}",
+            row.modules,
+            row.trustlite,
+            row.trustlite_exc,
+            row.sancus,
+            row.msp430_base,
+            row.msp430_200,
+            row.msp430_400
+        );
+    }
+    println!();
+
+    let budget200 = MSP430_BASE.slices() * 2;
+    let sancus_fit = modules_at_budget(|n| sancus_cost(n).slices(), budget200);
+    let tl_fit = modules_at_budget(|n| trustlite_ext_cost(n, false).slices(), budget200);
+    println!("crossover at 200% of the openMSP430 core ({budget200} slices):");
+    println!("  Sancus fits    {sancus_fit:>3} modules   (paper: 9)");
+    println!(
+        "  TrustLite fits {tl_fit:>3} modules   (paper: 20; model puts 20 modules at {} \
+         slices, within 0.3% of the line)",
+        trustlite_ext_cost(20, false).slices()
+    );
+    let n = 12;
+    let ratio = trustlite_ext_cost(n, false).slices() as f64 / sancus_cost(n).slices() as f64;
+    println!();
+    println!(
+        "at {n} modules TrustLite costs {:.0}% of Sancus (paper: \"about half the hardware \
+         overhead\")",
+        ratio * 100.0
+    );
+}

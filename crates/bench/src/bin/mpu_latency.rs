@@ -1,0 +1,122 @@
+//! Experiment E53b — reproduces **Section 5.3**, runtime overhead of
+//! memory protection: the EA-MPU's range checks run in parallel with the
+//! access and add zero cycles to the memory path; only the
+//! fault-aggregation logic deepens logarithmically with the number of
+//! region registers (timing closure was met up to 32 regions).
+//!
+//! Run: `cargo run -p trustlite-bench --bin mpu_latency`
+
+use trustlite_cpu::{Machine, SystemBus};
+use trustlite_hwcost::{fault_tree_depth, fmax_mhz, meets_timing, timing::TARGET_CLOCK_MHZ};
+use trustlite_isa::{Asm, Reg};
+use trustlite_mem::{Bus, Ram, Rom};
+use trustlite_mpu::{EaMpu, Perms, RuleSlot, Subject};
+
+/// Runs a load/store-heavy loop and returns total cycles.
+fn run_workload(enforce: bool, regions: usize) -> u64 {
+    let mut a = Asm::new(0);
+    a.li(Reg::R1, 0x1000_0000);
+    a.li(Reg::R2, 0); // i
+    a.li(Reg::R3, 1000);
+    a.label("loop");
+    a.bge(Reg::R2, Reg::R3, "done");
+    a.sw(Reg::R1, 0, Reg::R2);
+    a.lw(Reg::R4, Reg::R1, 0);
+    a.sw(Reg::R1, 4, Reg::R4);
+    a.lw(Reg::R5, Reg::R1, 4);
+    a.addi(Reg::R2, Reg::R2, 1);
+    a.jmp("loop");
+    a.label("done");
+    a.halt();
+    let img = a.assemble().expect("assembles");
+
+    let mut bus = Bus::new();
+    bus.map(0, Box::new(Rom::new(0x1000))).expect("prom maps");
+    bus.map(0x1000_0000, Box::new(Ram::new("sram", 0x1000))).expect("sram maps");
+    bus.host_load(0, &img.bytes);
+    let mut mpu = EaMpu::new(regions);
+    // Fill every region register so all comparators are exercised; the
+    // last two rules grant what the workload needs.
+    for i in 0..regions.saturating_sub(2) {
+        mpu.set_rule(
+            i,
+            RuleSlot {
+                start: 0x9000_0000 + (i as u32) * 0x100,
+                end: 0x9000_0000 + (i as u32) * 0x100 + 0x100,
+                perms: Perms::R,
+                subject: Subject::Any,
+                enabled: true,
+                locked: false,
+            },
+        )
+        .expect("rule fits");
+    }
+    mpu.set_rule(
+        regions - 2,
+        RuleSlot {
+            start: 0,
+            end: 0x1000,
+            perms: Perms::RX,
+            subject: Subject::Any,
+            enabled: true,
+            locked: false,
+        },
+    )
+    .expect("rule fits");
+    mpu.set_rule(
+        regions - 1,
+        RuleSlot {
+            start: 0x1000_0000,
+            end: 0x1000_1000,
+            perms: Perms::RW,
+            subject: Subject::Any,
+            enabled: true,
+            locked: false,
+        },
+    )
+    .expect("rule fits");
+    let mut sys = SystemBus::new(bus, mpu, None);
+    sys.enforce = enforce;
+    let mut m = Machine::new(sys, 0);
+    m.run(100_000);
+    m.cycles
+}
+
+fn main() {
+    println!("Section 5.3: runtime overhead of memory protection (measured)");
+    println!("==============================================================");
+    println!("4000-access load/store workload, cycles:");
+    println!("{:>10}{:>16}{:>16}{:>10}", "regions", "MPU disabled", "MPU enforcing", "delta");
+    for regions in [4usize, 8, 16, 32] {
+        let off = run_workload(false, regions);
+        let on = run_workload(true, regions);
+        println!("{:>10}{:>16}{:>16}{:>10}", regions, off, on, on as i64 - off as i64);
+    }
+    println!();
+    println!("paper: \"memory region range checks can be parallelized such that");
+    println!("they do not increase memory access time\" — delta is zero by design;");
+    println!("the checks are combinational and off the critical path.");
+    println!();
+    println!("fault-aggregation logic depth (4-input LUT OR-tree levels):");
+    println!("{:>10}{:>8}", "regions", "depth");
+    for n in [1u32, 2, 4, 8, 12, 16, 24, 32, 64] {
+        println!("{:>10}{:>8}", n, fault_tree_depth(n));
+    }
+    println!();
+    println!(
+        "paper: depth grows logarithmically; no timing-closure problems up to \
+         32 regions (depth {} here)",
+        fault_tree_depth(32)
+    );
+    println!();
+    println!("timing-closure model (fault-aggregation path, {TARGET_CLOCK_MHZ:.0} MHz target):");
+    println!("{:>10}{:>12}{:>10}", "regions", "fmax (MHz)", "closes");
+    for n in [8u32, 16, 32, 64, 128, 1024] {
+        println!(
+            "{:>10}{:>12.0}{:>10}",
+            n,
+            fmax_mhz(n),
+            if meets_timing(n, TARGET_CLOCK_MHZ) { "yes" } else { "no" }
+        );
+    }
+}

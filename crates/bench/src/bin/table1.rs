@@ -1,0 +1,46 @@
+//! Experiment T1 — reproduces **Table 1**: FPGA resource utilization of
+//! execution-aware memory protection per security module, TrustLite vs
+//! Sancus.
+//!
+//! Run: `cargo run -p trustlite-bench --bin table1`
+
+use trustlite_hwcost::{table1, CostPoint};
+
+fn main() {
+    let t = table1();
+    println!("Table 1: FPGA resource utilization (model-reproduced)");
+    println!("======================================================");
+    println!("{}", t.render());
+
+    println!("paper vs model:");
+    let rows: [(&str, CostPoint, (u32, u32)); 6] = [
+        ("TrustLite base core", t.base_core.0, (5528, 14361)),
+        ("TrustLite ext base", t.ext_base.0, (278, 417)),
+        ("TrustLite per module", t.per_module.0, (116, 182)),
+        ("TrustLite exc base", t.exceptions_base, (34, 22)),
+        ("Sancus ext base", t.ext_base.1, (586, 1138)),
+        ("Sancus per module", t.per_module.1, (213, 307)),
+    ];
+    println!(
+        "{:<24}{:>12}{:>12}{:>10}",
+        "row", "model r/l", "paper r/l", "match"
+    );
+    for (label, model, paper) in rows {
+        let ok = model.regs == paper.0 && model.luts == paper.1;
+        println!(
+            "{:<24}{:>6}/{:<6}{:>6}/{:<6}{:>8}",
+            label,
+            model.regs,
+            model.luts,
+            paper.0,
+            paper.1,
+            if ok { "yes" } else { "NO" }
+        );
+    }
+    println!();
+    println!(
+        "exceptions per module (model; not printed in the paper's table): {}/{} regs/LUTs",
+        t.exceptions_per_module.regs, t.exceptions_per_module.luts
+    );
+    println!("(one 32-bit secure stack pointer register per code region, Section 5.1)");
+}

@@ -1,0 +1,362 @@
+//! Static policy audit of a booted platform.
+//!
+//! Because EA-MPU rules are purely additive grants, rule-level analysis
+//! is sound and complete: an access path exists if and only if some
+//! enabled rule grants it. The auditor checks the loaded rule set against
+//! the intended isolation policy — exactly the inspection a careful
+//! trustlet (or platform integrator) performs in Section 4.2.2, made
+//! exhaustive. Downstream users run it after boot or after any policy
+//! update; the test suite runs it on every scenario platform.
+
+use core::fmt;
+
+use trustlite_mem::map;
+use trustlite_mpu::{AccessKind, RuleSlot, Subject};
+
+use crate::layout;
+use crate::platform::Platform;
+use crate::spec::TrustletSpec;
+
+/// A policy violation discovered by the audit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Finding {
+    /// A rule grants write access to the MPU's own register window: the
+    /// protection could be reconfigured at runtime.
+    MpuWindowWritable { slot: usize },
+    /// A rule grants write access to the loader's system tables (IDT,
+    /// OS stack cell, Trustlet Table, measurements).
+    SystemTablesWritable { slot: usize },
+    /// A foreign subject can write a trustlet's code region.
+    ForeignCodeWrite { trustlet: String, slot: usize },
+    /// A foreign subject can read or write a trustlet's data/stack.
+    ForeignDataAccess { trustlet: String, slot: usize, kind: AccessKind },
+    /// A foreign subject can execute the trustlet's code *body* (beyond
+    /// the entry vector).
+    ForeignBodyExecute { trustlet: String, slot: usize },
+    /// The trustlet lacks an executable entry vector (it could never be
+    /// invoked).
+    EntryNotExecutable { trustlet: String },
+    /// The trustlet cannot execute or access its own regions (dead
+    /// configuration).
+    OwnerAccessMissing { trustlet: String, what: &'static str },
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Finding::MpuWindowWritable { slot } => {
+                write!(f, "rule {slot} leaves the MPU register window writable")
+            }
+            Finding::SystemTablesWritable { slot } => {
+                write!(f, "rule {slot} leaves the system tables writable")
+            }
+            Finding::ForeignCodeWrite { trustlet, slot } => {
+                write!(f, "rule {slot} lets foreign code write `{trustlet}`'s code")
+            }
+            Finding::ForeignDataAccess { trustlet, slot, kind } => {
+                write!(f, "rule {slot} lets foreign code {kind} `{trustlet}`'s data")
+            }
+            Finding::ForeignBodyExecute { trustlet, slot } => {
+                write!(f, "rule {slot} lets foreign code execute `{trustlet}`'s body")
+            }
+            Finding::EntryNotExecutable { trustlet } => {
+                write!(f, "`{trustlet}` has no externally executable entry vector")
+            }
+            Finding::OwnerAccessMissing { trustlet, what } => {
+                write!(f, "`{trustlet}` cannot access its own {what}")
+            }
+        }
+    }
+}
+
+/// The audit result.
+#[derive(Debug, Clone, Default)]
+pub struct PolicyAudit {
+    /// All discovered violations.
+    pub findings: Vec<Finding>,
+}
+
+impl PolicyAudit {
+    /// True when no violations were found.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+impl fmt::Display for PolicyAudit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.findings.is_empty() {
+            return write!(f, "policy audit: clean");
+        }
+        writeln!(f, "policy audit: {} finding(s)", self.findings.len())?;
+        for x in &self.findings {
+            writeln!(f, "  - {x}")?;
+        }
+        Ok(())
+    }
+}
+
+fn overlaps(rule: &RuleSlot, start: u32, end: u32) -> bool {
+    rule.enabled && rule.start < end && start < rule.end
+}
+
+/// True if the rule's subject could be code outside `allowed_slots` (i.e.
+/// a *foreign* subject for the region under analysis).
+fn foreign_subject(rule: &RuleSlot, allowed_slots: &[usize], slots: &[RuleSlot]) -> bool {
+    match rule.subject {
+        Subject::Any => true,
+        Subject::Region(r) => {
+            let r = r as usize;
+            // A subject region is foreign unless it is one of the allowed
+            // slots or covers the same range as one of them.
+            !allowed_slots.iter().any(|&a| {
+                a == r
+                    || slots
+                        .get(r)
+                        .zip(slots.get(a))
+                        .map(|(x, y)| x.start == y.start && x.end == y.end)
+                        .unwrap_or(false)
+            })
+        }
+    }
+}
+
+/// Audits the platform's loaded policy against its trustlet specs.
+pub fn audit(platform: &Platform) -> PolicyAudit {
+    let mut findings = Vec::new();
+    let slots = platform.machine.sys.mpu.slots();
+    let specs: Vec<&TrustletSpec> = platform.specs().iter().collect();
+
+    // 1. The MPU window must never be writable.
+    for (i, rule) in slots.iter().enumerate() {
+        if overlaps(rule, map::MPU_MMIO_BASE, map::MPU_MMIO_BASE + map::MPU_MMIO_SIZE)
+            && rule.perms.allows(AccessKind::Write)
+        {
+            findings.push(Finding::MpuWindowWritable { slot: i });
+        }
+    }
+    // 2. The system tables must never be writable — except each
+    //    trustlet's own 4-byte saved-SP slot (the save-state() path).
+    let tables = (map::SRAM_BASE, map::SRAM_BASE + layout::SYS_TABLES_SIZE);
+    for (i, rule) in slots.iter().enumerate() {
+        if overlaps(rule, tables.0, tables.1) && rule.perms.allows(AccessKind::Write) {
+            let is_own_sp_slot = specs.iter().any(|s| {
+                rule.start == s.plan.sp_slot
+                    && rule.end == s.plan.sp_slot + 4
+                    && !foreign_subject(
+                        rule,
+                        &[platform.report.rule_map[&s.plan.name][0]],
+                        slots,
+                    )
+            });
+            if !is_own_sp_slot {
+                findings.push(Finding::SystemTablesWritable { slot: i });
+            }
+        }
+    }
+    // 3. Per-trustlet region checks.
+    for spec in &specs {
+        let plan = &spec.plan;
+        let own = &platform.report.rule_map[&plan.name][..];
+        // Allowed writers of the code region: the trustlet itself plus a
+        // declared updater.
+        let mut code_writers: Vec<usize> = vec![own[0]];
+        if let Some(updater) = &spec.options.code_writable_by {
+            if let Some(r) = platform.report.rule_map.get(updater) {
+                code_writers.push(r[0]);
+            }
+        }
+        for (i, rule) in slots.iter().enumerate() {
+            // Code writes.
+            if overlaps(rule, plan.code_base, plan.code_end())
+                && rule.perms.allows(AccessKind::Write)
+                && foreign_subject(rule, &code_writers, slots)
+            {
+                findings.push(Finding::ForeignCodeWrite { trustlet: plan.name.clone(), slot: i });
+            }
+            // Body execution by foreign subjects (entry vector excluded).
+            if overlaps(rule, plan.code_base + plan.entry_len, plan.code_end())
+                && rule.perms.allows(AccessKind::Execute)
+                && foreign_subject(rule, &[own[0]], slots)
+            {
+                findings.push(Finding::ForeignBodyExecute {
+                    trustlet: plan.name.clone(),
+                    slot: i,
+                });
+            }
+            // Private data/stack access. Shared regions are separate
+            // allocations, so any overlap here must be owner-only.
+            for kind in [AccessKind::Read, AccessKind::Write] {
+                if overlaps(rule, plan.data_base, plan.stack_top())
+                    && rule.perms.allows(kind)
+                    && foreign_subject(rule, &[own[0]], slots)
+                {
+                    findings.push(Finding::ForeignDataAccess {
+                        trustlet: plan.name.clone(),
+                        slot: i,
+                        kind,
+                    });
+                }
+            }
+        }
+        // Liveness: entry executable by anyone; owner can run its body
+        // and reach its data.
+        let mpu = &platform.machine.sys.mpu;
+        if !mpu.allows(0xdead_0000, plan.code_base, AccessKind::Execute) {
+            findings.push(Finding::EntryNotExecutable { trustlet: plan.name.clone() });
+        }
+        let own_ip = plan.code_base + plan.entry_len + 4;
+        if !mpu.allows(own_ip, own_ip, AccessKind::Execute) {
+            findings.push(Finding::OwnerAccessMissing { trustlet: plan.name.clone(), what: "code" });
+        }
+        if !mpu.allows(own_ip, plan.data_base, AccessKind::Write) {
+            findings.push(Finding::OwnerAccessMissing { trustlet: plan.name.clone(), what: "data" });
+        }
+    }
+    PolicyAudit { findings }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::PlatformBuilder;
+    use crate::spec::TrustletOptions;
+    use trustlite_isa::Reg;
+    use trustlite_mpu::Perms;
+
+    fn boot(n: usize) -> Platform {
+        let mut b = PlatformBuilder::new();
+        for i in 0..n {
+            let plan = b.plan_trustlet(&format!("t{i}"), 0x200, 0x80, 0x80);
+            let mut t = plan.begin_program();
+            t.asm.label("main");
+            t.asm.li(Reg::R0, i as u32);
+            t.asm.halt();
+            b.add_trustlet(&plan, t.finish().unwrap(), TrustletOptions::default()).unwrap();
+        }
+        let mut os = b.begin_os();
+        os.asm.label("main");
+        os.asm.halt();
+        let os_img = os.finish().unwrap();
+        b.set_os(os_img, &[]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn default_loader_policy_is_clean() {
+        for n in [1usize, 2, 4] {
+            let p = boot(n);
+            let a = audit(&p);
+            assert!(a.is_clean(), "n={n}: {a}");
+        }
+    }
+
+    #[test]
+    fn field_update_policy_is_clean_too() {
+        let mut b = PlatformBuilder::new();
+        let target = b.plan_trustlet("svc", 0x200, 0x80, 0x80);
+        let updater = b.plan_trustlet("upd", 0x200, 0x80, 0x80);
+        for (plan, opts) in [
+            (&target, TrustletOptions { code_writable_by: Some("upd".into()), ..Default::default() }),
+            (&updater, TrustletOptions::default()),
+        ] {
+            let mut t = plan.begin_program();
+            t.asm.label("main");
+            t.asm.halt();
+            b.add_trustlet(plan, t.finish().unwrap(), opts).unwrap();
+        }
+        let mut os = b.begin_os();
+        os.asm.label("main");
+        os.asm.halt();
+        let os_img = os.finish().unwrap();
+        b.set_os(os_img, &[]);
+        let p = b.build().unwrap();
+        let a = audit(&p);
+        assert!(a.is_clean(), "{a}");
+    }
+
+    #[test]
+    fn injected_backdoor_rules_are_flagged() {
+        let mut p = boot(1);
+        let plan = p.plan("t0").unwrap().clone();
+        let spare = p.machine.sys.mpu.slot_count() - 1;
+        // Backdoor 1: world-writable trustlet data.
+        p.machine
+            .sys
+            .mpu
+            .set_rule(
+                spare,
+                RuleSlot {
+                    start: plan.data_base,
+                    end: plan.stack_top(),
+                    perms: Perms::RW,
+                    subject: Subject::Any,
+                    enabled: true,
+                    locked: false,
+                },
+            )
+            .unwrap();
+        let a = audit(&p);
+        assert!(a
+            .findings
+            .iter()
+            .any(|f| matches!(f, Finding::ForeignDataAccess { slot, .. } if *slot == spare)));
+
+        // Backdoor 2: writable MPU window.
+        p.machine
+            .sys
+            .mpu
+            .set_rule(
+                spare,
+                RuleSlot {
+                    start: map::MPU_MMIO_BASE,
+                    end: map::MPU_MMIO_BASE + 0x100,
+                    perms: Perms::W,
+                    subject: Subject::Any,
+                    enabled: true,
+                    locked: false,
+                },
+            )
+            .unwrap();
+        let a = audit(&p);
+        assert!(a.findings.iter().any(|f| matches!(f, Finding::MpuWindowWritable { .. })), "{a}");
+
+        // Backdoor 3: foreign body execution.
+        p.machine
+            .sys
+            .mpu
+            .set_rule(
+                spare,
+                RuleSlot {
+                    start: plan.code_base,
+                    end: plan.code_end(),
+                    perms: Perms::X,
+                    subject: Subject::Any,
+                    enabled: true,
+                    locked: false,
+                },
+            )
+            .unwrap();
+        let a = audit(&p);
+        assert!(a.findings.iter().any(|f| matches!(f, Finding::ForeignBodyExecute { .. })), "{a}");
+    }
+
+    #[test]
+    fn disabled_trustlet_region_flagged_as_dead() {
+        let mut p = boot(1);
+        // Disable the trustlet's own code rule.
+        let own = p.report.rule_map["t0"][0];
+        let mut rule = *p.machine.sys.mpu.slot(own).unwrap();
+        rule.enabled = false;
+        p.machine.sys.mpu.set_rule(own, rule).unwrap();
+        let a = audit(&p);
+        assert!(a.findings.iter().any(|f| matches!(f, Finding::OwnerAccessMissing { .. })), "{a}");
+    }
+
+    #[test]
+    fn audit_renders_readably() {
+        let p = boot(1);
+        let clean = audit(&p);
+        assert_eq!(clean.to_string(), "policy audit: clean");
+    }
+}

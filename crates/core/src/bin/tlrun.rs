@@ -1,0 +1,141 @@
+//! `tlrun` — assemble and run an SP32 text-assembly program.
+//!
+//! A developer utility for experimenting with the simulator without
+//! writing a host program:
+//!
+//! ```text
+//! tlrun program.s [--steps N] [--trace] [--base ADDR]
+//! ```
+//!
+//! The program is assembled at `--base` (default `0x0`, the PROM) and run
+//! on a bare platform (PROM, SRAM at 0x1000_0000, UART at its standard
+//! MMIO address, MPU not enforcing). UART output, the register file and
+//! cycle counts are printed on exit.
+//!
+//! Example program:
+//!
+//! ```text
+//!     li   r1, 0x20002000   ; UART TX
+//!     li   r2, 72           ; 'H'
+//!     sw   [r1], r2
+//!     li   r2, 105          ; 'i'
+//!     sw   [r1], r2
+//!     halt
+//! ```
+
+use std::process::ExitCode;
+
+use trustlite_cpu::{HaltReason, Machine, RunExit, SystemBus};
+use trustlite_isa::{assemble_text, disassemble, Reg};
+use trustlite_mem::{map, Bus, Ram, Rom};
+use trustlite_mpu::EaMpu;
+use trustlite_periph::Uart;
+
+struct Options {
+    path: String,
+    steps: u64,
+    trace: bool,
+    base: u32,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut path = None;
+    let mut steps = 1_000_000;
+    let mut trace = false;
+    let mut base = 0u32;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--steps" => {
+                let v = args.next().ok_or("--steps needs a value")?;
+                steps = v.parse().map_err(|_| format!("bad --steps value `{v}`"))?;
+            }
+            "--trace" => trace = true,
+            "--base" => {
+                let v = args.next().ok_or("--base needs a value")?;
+                let v = v.trim_start_matches("0x");
+                base = u32::from_str_radix(v, 16).map_err(|_| format!("bad --base `{v}`"))?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: tlrun program.s [--steps N] [--trace] [--base HEXADDR]"
+                    .to_string())
+            }
+            other if path.is_none() => path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    Ok(Options { path: path.ok_or("no input file (try --help)")?, steps, trace, base })
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let source = match std::fs::read_to_string(&opts.path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", opts.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let img = match assemble_text(opts.base, &source) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("{}: {e}", opts.path);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut bus = Bus::new();
+    bus.map(map::PROM_BASE, Box::new(Rom::new(map::PROM_SIZE))).expect("prom maps");
+    bus.map(map::SRAM_BASE, Box::new(Ram::new("sram", map::SRAM_SIZE))).expect("sram maps");
+    bus.map(map::UART_MMIO_BASE, Box::new(Uart::new())).expect("uart maps");
+    if !bus.host_load(img.base, &img.bytes) {
+        eprintln!("image at {:#010x} (+{:#x}) does not fit the memory map", img.base, img.len());
+        return ExitCode::FAILURE;
+    }
+    let mut sys = SystemBus::new(bus, EaMpu::new(8), None);
+    sys.enforce = false;
+    let mut m = Machine::new(sys, img.base);
+    m.trace_enabled = opts.trace;
+
+    let exit = m.run(opts.steps);
+    if opts.trace {
+        for (cycle, ip, instr) in &m.trace {
+            eprintln!("{cycle:>8}  {ip:#010x}  {instr}");
+        }
+    }
+
+    let uart: &mut Uart = m.sys.bus.device_mut("uart").expect("uart present");
+    let out = uart.take_output();
+    if !out.is_empty() {
+        print!("{}", String::from_utf8_lossy(&out));
+        if out.last() != Some(&b'\n') {
+            println!();
+        }
+    }
+
+    eprintln!("--");
+    match exit {
+        RunExit::Halted(HaltReason::Halt { ip }) => eprintln!("halted at {ip:#010x}"),
+        RunExit::Halted(HaltReason::DoubleFault(f)) => {
+            eprintln!("double fault: {f}");
+            let word = m.sys.hw_read32(f.ip()).unwrap_or(0);
+            eprintln!("  at: {}", disassemble(word));
+        }
+        RunExit::StepLimit => eprintln!("step limit ({}) reached", opts.steps),
+    }
+    eprintln!("cycles: {}  instructions: {}", m.cycles, m.instret);
+    for r in Reg::GPRS {
+        eprint!("{r}={:#010x} ", m.regs.get(r));
+    }
+    eprintln!("sp={:#010x} ip={:#010x}", m.regs.sp, m.regs.ip);
+    match exit {
+        RunExit::Halted(HaltReason::Halt { .. }) => ExitCode::SUCCESS,
+        _ => ExitCode::FAILURE,
+    }
+}

@@ -1,0 +1,147 @@
+//! The instantiation spectrum of Section 3.6.
+//!
+//! "The presented hardware architecture allows for several different
+//! instantiations, depending on the desired functionality, security level
+//! and performance": hardwired regions ("hardware trustlets"),
+//! loader-initialized "firmware trustlets", interruptible "usermode
+//! trustlets", optional Secure Boot, optional root of trust for
+//! measurement. This module captures those design points as presets over
+//! the [`PlatformBuilder`] plus option templates for the trustlets they
+//! host.
+
+use crate::platform::PlatformBuilder;
+use crate::spec::TrustletOptions;
+
+/// A named instantiation of the TrustLite hardware/firmware stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instantiation {
+    /// SMART-like minimal instantiation: a single protected attestation
+    /// service merged with the Secure Loader's trust domain; no secure
+    /// exception engine; rules locked (cooperative execution only). The
+    /// Section 5.2 cost point: extension base + one module.
+    SmartLike,
+    /// Firmware trustlets: loader-initialized protected services that run
+    /// to completion (no secure exception engine); software-updatable,
+    /// measured for attestation.
+    Firmware,
+    /// The full architecture: usermode trustlets preemptively scheduled
+    /// by an untrusted OS under the secure exception engine.
+    Usermode,
+}
+
+impl Instantiation {
+    /// All instantiations, cheapest first.
+    pub const ALL: [Instantiation; 3] =
+        [Instantiation::SmartLike, Instantiation::Firmware, Instantiation::Usermode];
+
+    /// Applies the instantiation's platform-level configuration.
+    pub fn configure(self, b: &mut PlatformBuilder) {
+        match self {
+            Instantiation::SmartLike => {
+                b.secure_exceptions(false);
+                b.mpu_slots(12);
+            }
+            Instantiation::Firmware => {
+                b.secure_exceptions(false);
+            }
+            Instantiation::Usermode => {
+                b.secure_exceptions(true);
+            }
+        }
+    }
+
+    /// The trustlet-option template this instantiation implies.
+    pub fn trustlet_options(self) -> TrustletOptions {
+        match self {
+            Instantiation::SmartLike => TrustletOptions {
+                interruptible: false,
+                lock_rules: true,
+                ..Default::default()
+            },
+            Instantiation::Firmware => {
+                TrustletOptions { interruptible: false, ..Default::default() }
+            }
+            Instantiation::Usermode => TrustletOptions::default(),
+        }
+    }
+
+    /// Whether trustlets may be preempted and resumed under this
+    /// instantiation.
+    pub fn supports_preemption(self) -> bool {
+        matches!(self, Instantiation::Usermode)
+    }
+
+    /// Whether the protection policy can change without a reboot.
+    pub fn supports_live_policy_update(self) -> bool {
+        !matches!(self, Instantiation::SmartLike)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustlite_isa::Reg;
+
+    fn boot(inst: Instantiation) -> crate::Platform {
+        let mut b = PlatformBuilder::new();
+        inst.configure(&mut b);
+        let plan = b.plan_trustlet("svc", 0x200, 0x80, 0x80);
+        let mut t = plan.begin_program();
+        t.asm.label("main");
+        t.asm.li(Reg::R0, 7);
+        t.asm.halt();
+        b.add_trustlet(&plan, t.finish().unwrap(), inst.trustlet_options()).unwrap();
+        let mut os = b.begin_os();
+        os.asm.label("main");
+        os.asm.halt();
+        let os_img = os.finish().unwrap();
+        b.set_os(os_img, &[]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn smart_like_locks_rules_and_disables_exceptions() {
+        let p = boot(Instantiation::SmartLike);
+        assert!(!p.machine.hw.secure_exceptions);
+        let locked: Vec<usize> = p
+            .machine
+            .sys
+            .mpu
+            .slots()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.locked)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(&locked, &p.report.rule_map["svc"], "exactly the service's slots locked");
+    }
+
+    #[test]
+    fn firmware_updatable_but_not_preemptible() {
+        let p = boot(Instantiation::Firmware);
+        assert!(!p.machine.hw.secure_exceptions);
+        assert!(p.machine.sys.mpu.slots().iter().all(|s| !s.locked));
+        assert!(!Instantiation::Firmware.supports_preemption());
+        assert!(Instantiation::Firmware.supports_live_policy_update());
+    }
+
+    #[test]
+    fn usermode_enables_the_secure_engine() {
+        let p = boot(Instantiation::Usermode);
+        assert!(p.machine.hw.secure_exceptions);
+        assert!(Instantiation::Usermode.supports_preemption());
+    }
+
+    #[test]
+    fn locked_rules_survive_reprogramming_attempts_until_reset() {
+        let mut p = boot(Instantiation::SmartLike);
+        let slot = p.report.rule_map["svc"][0];
+        let before = *p.machine.sys.mpu.slot(slot).unwrap();
+        // Even a hypothetical privileged writer cannot change the slot...
+        assert!(p.machine.sys.mpu.set_rule(slot, trustlite_mpu::RuleSlot::EMPTY).is_err());
+        assert_eq!(*p.machine.sys.mpu.slot(slot).unwrap(), before);
+        // ...until a platform reset re-runs the loader.
+        p.reset().unwrap();
+        assert_eq!(*p.machine.sys.mpu.slot(slot).unwrap(), before, "re-established");
+    }
+}

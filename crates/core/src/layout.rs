@@ -1,0 +1,129 @@
+//! The standard SRAM layout and the region allocator.
+//!
+//! The Secure Loader owns the first page of SRAM for the system tables it
+//! creates and write-protects (Figure 5): the interrupt descriptor table,
+//! the OS stack-pointer cell, the Trustlet Table and the measurement
+//! table. Everything after [`SYS_TABLES_SIZE`] is allocated bottom-up to
+//! OS, app and trustlet regions.
+
+use trustlite_cpu::TT_ROW_BYTES;
+use trustlite_mem::map;
+
+use crate::error::TrustliteError;
+
+/// Maximum number of trustlets a platform instance supports (bounded by
+/// the loader-reserved table space, not the architecture).
+pub const MAX_TRUSTLETS: u32 = 16;
+
+/// Offset of the IDT within SRAM.
+pub const IDT_OFF: u32 = 0x000;
+/// Offset of the OS stack-pointer cell within SRAM.
+pub const OS_SP_CELL_OFF: u32 = 0x080;
+/// Offset of the Trustlet Table within SRAM.
+pub const TT_OFF: u32 = 0x100;
+/// Offset of the measurement table within SRAM (32 bytes per trustlet).
+pub const MEASURE_OFF: u32 = 0x300;
+/// Bytes per measurement-table row.
+pub const MEASURE_ROW_BYTES: u32 = 32;
+/// Total size of the loader-owned system-table region.
+pub const SYS_TABLES_SIZE: u32 = 0x800;
+
+/// Absolute address of the IDT.
+pub fn idt_base() -> u32 {
+    map::SRAM_BASE + IDT_OFF
+}
+
+/// Absolute address of the OS stack-pointer cell.
+pub fn os_sp_cell() -> u32 {
+    map::SRAM_BASE + OS_SP_CELL_OFF
+}
+
+/// Absolute address of the Trustlet Table.
+pub fn tt_base() -> u32 {
+    map::SRAM_BASE + TT_OFF
+}
+
+/// Absolute address of the measurement table.
+pub fn measure_base() -> u32 {
+    map::SRAM_BASE + MEASURE_OFF
+}
+
+/// Absolute address of trustlet `index`'s measurement row.
+pub fn measure_row(index: u32) -> u32 {
+    measure_base() + index * MEASURE_ROW_BYTES
+}
+
+/// Absolute address of the `saved_sp` field of Trustlet Table row `index`.
+pub fn tt_sp_slot(index: u32) -> u32 {
+    tt_base() + index * TT_ROW_BYTES + 12
+}
+
+/// A bump allocator over SRAM (above the system tables).
+#[derive(Debug, Clone)]
+pub struct Layout {
+    cursor: u32,
+    end: u32,
+}
+
+impl Layout {
+    /// Creates the allocator for an SRAM of `sram_size` bytes.
+    pub fn new(sram_size: u32) -> Self {
+        Layout { cursor: map::SRAM_BASE + SYS_TABLES_SIZE, end: map::SRAM_BASE + sram_size }
+    }
+
+    /// Allocates `size` bytes aligned to `align` (a power of two).
+    pub fn alloc(&mut self, size: u32, align: u32) -> Result<u32, TrustliteError> {
+        debug_assert!(align.is_power_of_two());
+        let base = (self.cursor + align - 1) & !(align - 1);
+        let new_cursor =
+            base.checked_add(size).ok_or(TrustliteError::OutOfSram { requested: size })?;
+        if new_cursor > self.end {
+            return Err(TrustliteError::OutOfSram { requested: size });
+        }
+        self.cursor = new_cursor;
+        Ok(base)
+    }
+
+    /// Bytes still available.
+    pub fn remaining(&self) -> u32 {
+        self.end - self.cursor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // compile-time layout checks
+    fn system_tables_fit_reserved_region() {
+        assert!(IDT_OFF + trustlite_cpu::vectors::IDT_BYTES <= OS_SP_CELL_OFF);
+        assert!(TT_OFF + MAX_TRUSTLETS * TT_ROW_BYTES <= MEASURE_OFF);
+        assert!(MEASURE_OFF + MAX_TRUSTLETS * MEASURE_ROW_BYTES <= SYS_TABLES_SIZE);
+    }
+
+    #[test]
+    fn alloc_respects_alignment_and_bounds() {
+        let mut l = Layout::new(SYS_TABLES_SIZE + 0x100);
+        let a = l.alloc(5, 4).unwrap();
+        assert_eq!(a % 4, 0);
+        let b = l.alloc(8, 16).unwrap();
+        assert_eq!(b % 16, 0);
+        assert!(b > a);
+        assert!(l.alloc(0x1000, 4).is_err(), "over capacity");
+    }
+
+    #[test]
+    fn tt_slots_match_cpu_layout() {
+        assert_eq!(tt_sp_slot(0), tt_base() + 12);
+        assert_eq!(tt_sp_slot(2), tt_base() + 2 * TT_ROW_BYTES + 12);
+    }
+
+    #[test]
+    fn remaining_shrinks() {
+        let mut l = Layout::new(SYS_TABLES_SIZE + 0x40);
+        let before = l.remaining();
+        l.alloc(0x10, 4).unwrap();
+        assert_eq!(l.remaining(), before - 0x10);
+    }
+}

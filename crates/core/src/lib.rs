@@ -1,0 +1,70 @@
+//! TrustLite: a security architecture for tiny embedded devices.
+//!
+//! This crate is the reproduction of the EuroSys 2014 paper's primary
+//! contribution, assembled from the substrate crates:
+//!
+//! * **Platform** ([`platform`]) — builds the simulated SoC of Figure 1:
+//!   SP32 core, PROM, SRAM, external DRAM, EA-MPU, timer, UART, crypto
+//!   accelerator and key store on one bus.
+//! * **Secure Loader** ([`loader`]) — the Figure 5 boot flow: clear the
+//!   MPU, parse trustlet meta-data from PROM, copy images into SRAM,
+//!   measure (or authenticate) them, populate the Trustlet Table, program
+//!   three MPU register writes per protection region, lock the MPU and
+//!   launch the untrusted OS.
+//! * **Trustlet model** ([`spec`], [`runtime`]) — code regions with entry
+//!   vectors, `continue()`/`call()` entries, private data and stack
+//!   regions, shared-memory windows and exclusive peripheral grants.
+//! * **Trusted IPC** ([`ipc`]) — the Section 4.2.2 one-round handshake:
+//!   local attestation of the peer, `syn`/`ack` with nonces and the
+//!   session token `hash(A, B, N_A, N_B)`.
+//! * **Attestation** ([`attest`]) — load-time measurement, local platform
+//!   inspection and a remote challenge-response built on the key store.
+//!
+//! # Examples
+//!
+//! ```
+//! use trustlite::platform::PlatformBuilder;
+//! use trustlite_isa::Reg;
+//!
+//! // A minimal platform: one trustlet that increments a counter in its
+//! // private data region, and an OS that just halts.
+//! let mut b = PlatformBuilder::new();
+//! let plan = b.plan_trustlet("counter", 0x100, 0x100, 0x100);
+//! let mut t = plan.begin_program();
+//! t.asm.label("main");
+//! t.asm.li(Reg::R1, plan.data_base);
+//! t.asm.lw(Reg::R0, Reg::R1, 0);
+//! t.asm.addi(Reg::R0, Reg::R0, 1);
+//! t.asm.sw(Reg::R1, 0, Reg::R0);
+//! t.asm.halt();
+//! let img = t.finish().unwrap();
+//! b.add_trustlet(&plan, img, Default::default());
+//!
+//! let mut os = b.begin_os();
+//! os.asm.label("main");
+//! os.asm.halt();
+//! let os_img = os.finish().unwrap();
+//! b.set_os(os_img, &[]);
+//!
+//! let mut platform = b.build().unwrap();
+//! platform.start_trustlet("counter").unwrap();
+//! platform.machine.run(1000);
+//! ```
+
+pub mod attest;
+pub mod audit;
+pub mod error;
+pub mod instantiation;
+pub mod ipc;
+pub mod layout;
+pub mod loader;
+pub mod platform;
+pub mod prom;
+pub mod runtime;
+pub mod spec;
+
+pub use audit::{audit, PolicyAudit};
+pub use error::TrustliteError;
+pub use instantiation::Instantiation;
+pub use platform::{Platform, PlatformBuilder};
+pub use spec::{OsSpec, PeriphGrant, SharedSpec, TrustletOptions, TrustletPlan, TrustletSpec};

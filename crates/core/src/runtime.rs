@@ -1,0 +1,255 @@
+//! Trustlet program scaffolding: entry vectors and the `continue()` /
+//! `call()` runtime conventions of Section 4.1.
+//!
+//! A trustlet's code region starts with its **entry vector** — the only
+//! words other tasks are allowed to execute. Slot 0 is the `continue()`
+//! entry (resume after preemption), slot 1 the `call()` IPC entry:
+//!
+//! ```text
+//! code_base + 0   jmp __tl_continue
+//! code_base + 4   jmp call_entry
+//! ```
+//!
+//! `__tl_continue` restores the stack pointer from the trustlet's
+//! Trustlet Table slot as its very first action (the paper notes the
+//! window before the restore is closed by the MPU: a nested exception
+//! would try to save state through a wrong stack pointer and fault,
+//! terminating the trustlet rather than leaking), then pops the state the
+//! secure exception engine pushed: `r7..r0`, flags, and finally the
+//! return address.
+//!
+//! IPC is continuation-passing (Figure 6): the *caller* saves its own
+//! state in the same frame format and publishes its stack pointer in its
+//! table slot, so that the callee — or the OS — can later resume it via
+//! its `continue()` entry.
+
+use trustlite_isa::{Asm, Image, Reg};
+use trustlite_mem::map;
+use trustlite_periph::{crypto_accel, uart};
+
+use crate::error::TrustliteError;
+use crate::spec::TrustletPlan;
+
+/// A trustlet program under construction.
+///
+/// Created from a [`TrustletPlan`]; the entry vector and `continue()`
+/// implementation are emitted automatically. User code must define the
+/// label `main` (first activation) and may define `call_entry` (IPC
+/// entry); an undefined `call_entry` is stubbed with `halt`.
+pub struct TrustletProgram {
+    /// The underlying assembler, positioned after the runtime prologue.
+    pub asm: Asm,
+    reserved_size: u32,
+    name: String,
+}
+
+impl TrustletProgram {
+    /// Starts a program for `plan`, emitting the runtime prologue.
+    pub fn new(plan: &TrustletPlan) -> Self {
+        let mut asm = Asm::new(plan.code_base);
+        // Entry vector (the only externally executable words).
+        asm.jmp("__tl_continue"); // +0: continue()
+        asm.jmp("call_entry"); // +4: call()
+        debug_assert_eq!(plan.entry_len, 8);
+        // continue(): restore SP from the Trustlet Table slot, then unwind
+        // the engine-format frame.
+        asm.label("__tl_continue");
+        asm.li(Reg::R0, plan.sp_slot);
+        asm.lw(Reg::Sp, Reg::R0, 0);
+        for r in [Reg::R7, Reg::R6, Reg::R5, Reg::R4, Reg::R3, Reg::R2, Reg::R1, Reg::R0] {
+            asm.pop(r);
+        }
+        asm.popf();
+        asm.ret();
+        TrustletProgram { asm, reserved_size: plan.code_size, name: plan.name.clone() }
+    }
+
+    /// Emits a "save state and transfer" sequence (Figure 6's
+    /// `save-state()` + jump): builds a `continue()`-compatible frame on
+    /// the own stack, publishes the stack pointer in the Trustlet Table
+    /// slot, and jumps to `target_abs`.
+    ///
+    /// Execution resumes at `continuation` (with `r0..r5` restored to
+    /// their values at the save; `r6`/`r7` are clobbered by this helper)
+    /// when someone invokes this trustlet's `continue()` entry.
+    pub fn emit_save_and_invoke(&mut self, plan: &TrustletPlan, continuation: &str, target_abs: u32) {
+        let a = &mut self.asm;
+        a.la(Reg::R6, continuation);
+        a.push(Reg::R6); // return ip
+        a.pushf(); // flags
+        for r in [Reg::R0, Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7] {
+            a.push(r); // r7 ends on top, matching the engine frame
+        }
+        a.li(Reg::R6, plan.sp_slot);
+        a.sw(Reg::R6, 0, Reg::Sp);
+        a.li(Reg::R6, target_abs);
+        a.jr(Reg::R6);
+    }
+
+    /// Finalizes the program. Fails if `main` is missing; stubs
+    /// `call_entry` with `halt` if the trustlet exposes no IPC entry.
+    pub fn finish(mut self) -> Result<Image, TrustliteError> {
+        if !self.asm.label_defined("call_entry") {
+            self.asm.label("call_entry");
+            self.asm.halt();
+        }
+        if !self.asm.label_defined("main") {
+            return Err(TrustliteError::Asm(trustlite_isa::builder::AsmError::UndefinedLabel(
+                "main".to_string(),
+            )));
+        }
+        let img = self.asm.assemble()?;
+        if img.len() > self.reserved_size {
+            return Err(TrustliteError::ImageTooLarge {
+                name: self.name,
+                reserved: self.reserved_size,
+                actual: img.len(),
+            });
+        }
+        Ok(img)
+    }
+}
+
+/// Emits code printing the literal string `s` over the UART.
+///
+/// Clobbers `r6` and `r7`.
+pub fn emit_uart_print(asm: &mut Asm, s: &str) {
+    asm.li(Reg::R6, map::UART_MMIO_BASE + uart::regs::TX);
+    for b in s.bytes() {
+        asm.li(Reg::R7, b as u32);
+        asm.sw(Reg::R6, 0, Reg::R7);
+    }
+}
+
+/// Emits code printing the low byte of `reg` as two hex digits over the
+/// UART. Clobbers `r5`, `r6`, `r7`; preserves `reg` unless it is one of
+/// those.
+pub fn emit_uart_print_hex_byte(asm: &mut Asm, reg: Reg) {
+    let nibble = |asm: &mut Asm, shift: u8| {
+        asm.shri(Reg::R5, reg, shift);
+        asm.andi(Reg::R5, Reg::R5, 0xf);
+        // r5 < 10 ? '0' + r5 : 'a' + r5 - 10, branch-free:
+        // add '0'; if > '9' add ('a'-'9'-1).
+        asm.addi(Reg::R5, Reg::R5, b'0' as i16);
+        asm.li(Reg::R7, b'9' as u32 + 1);
+        let skip = format!("__hex_skip_{}", asm.here());
+        asm.blt(Reg::R5, Reg::R7, &skip);
+        asm.addi(Reg::R5, Reg::R5, (b'a' as i16) - (b'9' as i16) - 1);
+        asm.label(&skip);
+        asm.li(Reg::R6, map::UART_MMIO_BASE + uart::regs::TX);
+        asm.sw(Reg::R6, 0, Reg::R5);
+    };
+    nibble(asm, 4);
+    nibble(asm, 0);
+}
+
+/// Emits code that hashes a memory region through the crypto accelerator:
+/// initializes a sponge computation, absorbs `[r1, r1 + r2)` word-wise
+/// (r2 = byte length, word multiple), finalizes, and leaves the first
+/// digest word in `r0`. Clobbers `r0..r3`, `r6`, `r7`.
+///
+/// This is the in-simulator measurement primitive trustlets use for local
+/// attestation of a peer's code region (Section 4.2.2).
+pub fn emit_hash_region(asm: &mut Asm) {
+    let unique = asm.here();
+    let loop_l = format!("__hash_loop_{unique}");
+    let done_l = format!("__hash_done_{unique}");
+    let wait_l = format!("__hash_wait_{unique}");
+    asm.li(Reg::R6, map::CRYPTO_MMIO_BASE);
+    // CTRL = INIT_SPONGE.
+    asm.li(Reg::R7, crypto_accel::cmd::INIT_SPONGE);
+    asm.sw(Reg::R6, crypto_accel::regs::CTRL as i16, Reg::R7);
+    // r3 = end = r1 + r2.
+    asm.add(Reg::R3, Reg::R1, Reg::R2);
+    asm.label(&loop_l);
+    asm.bgeu(Reg::R1, Reg::R3, &done_l);
+    asm.lw(Reg::R7, Reg::R1, 0);
+    asm.sw(Reg::R6, crypto_accel::regs::DATA as i16, Reg::R7);
+    asm.addi(Reg::R1, Reg::R1, 4);
+    asm.jmp(&loop_l);
+    asm.label(&done_l);
+    asm.li(Reg::R7, crypto_accel::cmd::FINALIZE);
+    asm.sw(Reg::R6, crypto_accel::regs::CTRL as i16, Reg::R7);
+    // Poll CTRL until idle.
+    asm.label(&wait_l);
+    asm.lw(Reg::R7, Reg::R6, crypto_accel::regs::CTRL as i16);
+    asm.li(Reg::R0, 0);
+    asm.bne(Reg::R7, Reg::R0, &wait_l);
+    asm.lw(Reg::R0, Reg::R6, crypto_accel::regs::DIGEST0 as i16);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustlite_isa::{decode, Instr};
+
+    fn plan() -> TrustletPlan {
+        TrustletPlan {
+            name: "t".into(),
+            id: 7,
+            tt_index: 0,
+            code_base: 0x1000_1000,
+            code_size: 0x400,
+            data_base: 0x1000_2000,
+            data_size: 0x100,
+            stack_base: 0x1000_2100,
+            stack_size: 0x100,
+            entry_len: 8,
+            sp_slot: 0x1000_010c,
+            measure_slot: 0x1000_0300,
+        }
+    }
+
+    #[test]
+    fn prologue_layout() {
+        let p = plan();
+        let mut t = TrustletProgram::new(&p);
+        t.asm.label("main");
+        t.asm.halt();
+        let img = t.finish().unwrap();
+        // Entry vector: two jumps.
+        let w0 = decode(img.word_at(p.code_base).unwrap()).unwrap();
+        let w1 = decode(img.word_at(p.code_base + 4).unwrap()).unwrap();
+        assert!(matches!(w0, Instr::Jmp { .. }));
+        assert!(matches!(w1, Instr::Jmp { .. }));
+        // continue() starts right after and loads the SP slot.
+        assert_eq!(img.expect_symbol("__tl_continue"), p.code_base + 8);
+        assert!(img.symbol("call_entry").is_some(), "stubbed");
+    }
+
+    #[test]
+    fn missing_main_rejected() {
+        let t = TrustletProgram::new(&plan());
+        assert!(matches!(t.finish(), Err(TrustliteError::Asm(_))));
+    }
+
+    #[test]
+    fn oversize_image_rejected() {
+        let mut p = plan();
+        p.code_size = 0x40; // smaller than the prologue + body
+        let mut t = TrustletProgram::new(&p);
+        t.asm.label("main");
+        for _ in 0..32 {
+            t.asm.nop();
+        }
+        assert!(matches!(t.finish(), Err(TrustliteError::ImageTooLarge { .. })));
+    }
+
+    #[test]
+    fn save_and_invoke_emits_frame_builder() {
+        let p = plan();
+        let mut t = TrustletProgram::new(&p);
+        t.asm.label("main");
+        t.emit_save_and_invoke(&p.clone(), "after", 0xdead_0000);
+        t.asm.label("after");
+        t.asm.halt();
+        let img = t.finish().unwrap();
+        // 10 pushes present in the emitted body.
+        let pushes = img
+            .words()
+            .filter_map(|w| decode(w).ok())
+            .filter(|i| matches!(i, Instr::Push { .. } | Instr::Pushf))
+            .count();
+        assert_eq!(pushes, 10);
+    }
+}

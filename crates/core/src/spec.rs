@@ -1,0 +1,207 @@
+//! Trustlet, OS and shared-region specifications.
+
+use trustlite_isa::Image;
+use trustlite_mpu::Perms;
+
+/// A peripheral MMIO window granted to a trustlet.
+///
+/// Per Section 3.3, peripheral access is just another EA-MPU data region:
+/// the Secure Loader defines the peripheral's MMIO address space as an
+/// additional read/write data region of the trustlet, usually exclusive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeriphGrant {
+    /// MMIO window base.
+    pub base: u32,
+    /// MMIO window size.
+    pub size: u32,
+    /// Permissions (typically `RW`).
+    pub perms: Perms,
+}
+
+/// A shared-memory region declared at the platform level.
+///
+/// Section 4.2.1: a trustlet's meta-data indicates the size and
+/// participating tasks of desired shared regions, and the Secure Loader
+/// configures the appropriate MPU rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedSpec {
+    /// Region name, referenced from [`TrustletOptions::shared`].
+    pub name: String,
+    /// Assigned base address.
+    pub base: u32,
+    /// Region size in bytes.
+    pub size: u32,
+}
+
+/// Per-trustlet policy options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrustletOptions {
+    /// Measure the code region at load time into the measurement table.
+    pub measured: bool,
+    /// Make the code region readable by everyone (enables peer code
+    /// inspection for local attestation, Section 4.2.2).
+    pub public_code: bool,
+    /// Declares whether the trustlet is designed to be preempted and
+    /// resumed ("usermode trustlet") or to run to completion ("firmware
+    /// trustlet", Section 3.6). The flag drives instantiation presets and
+    /// OS integration; the secure exception engine protects *every*
+    /// loaded trustlet defensively either way.
+    pub interruptible: bool,
+    /// Exclusive peripheral grants.
+    pub peripherals: Vec<PeriphGrant>,
+    /// Shared regions: `(region name, permissions)`.
+    pub shared: Vec<(String, Perms)>,
+    /// Secure boot: expected HMAC tag over the code bytes, keyed with the
+    /// platform key (key-store slot 0). Loading fails on mismatch.
+    pub auth_tag: Option<[u8; 32]>,
+    /// Name of another trustlet allowed to *write* this trustlet's code
+    /// region (the Section 5.3 field-update service pattern).
+    pub code_writable_by: Option<String>,
+    /// Lock this trustlet's MPU rule slots until reset — the "hardware
+    /// trustlet" instantiation of Section 3.6 (hardwired regions provide
+    /// additional assurance; updates then require a reboot).
+    pub lock_rules: bool,
+}
+
+impl Default for TrustletOptions {
+    fn default() -> Self {
+        TrustletOptions {
+            measured: true,
+            public_code: true,
+            interruptible: true,
+            peripherals: Vec::new(),
+            shared: Vec::new(),
+            auth_tag: None,
+            code_writable_by: None,
+            lock_rules: false,
+        }
+    }
+}
+
+/// The reserved memory plan of a trustlet, fixed before its program is
+/// assembled (so the program can embed absolute addresses: its own data
+/// region, its Trustlet Table stack slot, peer entry points).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrustletPlan {
+    /// Trustlet name (host-side handle).
+    pub name: String,
+    /// Numeric identifier stored in the Trustlet Table.
+    pub id: u32,
+    /// Trustlet Table row index.
+    pub tt_index: u32,
+    /// Code region base (= entry vector address).
+    pub code_base: u32,
+    /// Reserved code region size.
+    pub code_size: u32,
+    /// Private data region base.
+    pub data_base: u32,
+    /// Private data region size.
+    pub data_size: u32,
+    /// Stack region base.
+    pub stack_base: u32,
+    /// Stack region size.
+    pub stack_size: u32,
+    /// Size of the entry vector in bytes (two jump slots).
+    pub entry_len: u32,
+    /// Absolute address of this trustlet's `saved_sp` slot in the
+    /// Trustlet Table.
+    pub sp_slot: u32,
+    /// Absolute address of this trustlet's measurement-table row.
+    pub measure_slot: u32,
+}
+
+impl TrustletPlan {
+    /// Initial stack top (stacks grow down from here).
+    pub fn stack_top(&self) -> u32 {
+        self.stack_base + self.stack_size
+    }
+
+    /// Address of the `continue()` entry (entry vector slot 0).
+    pub fn continue_entry(&self) -> u32 {
+        self.code_base
+    }
+
+    /// Address of the `call()` IPC entry (entry vector slot 1).
+    pub fn call_entry(&self) -> u32 {
+        self.code_base + 4
+    }
+
+    /// One past the end of the code region.
+    pub fn code_end(&self) -> u32 {
+        self.code_base + self.code_size
+    }
+}
+
+/// A complete trustlet ready for the Secure Loader.
+#[derive(Debug, Clone)]
+pub struct TrustletSpec {
+    /// The reserved plan.
+    pub plan: TrustletPlan,
+    /// The assembled program (based at `plan.code_base`).
+    pub image: Image,
+    /// Address of the initial entry point (`main`); the loader fabricates
+    /// the initial resume frame so that the first `continue()` lands here.
+    pub main: u32,
+    /// Policy options.
+    pub options: TrustletOptions,
+}
+
+/// The (untrusted) OS.
+#[derive(Debug, Clone)]
+pub struct OsSpec {
+    /// The assembled OS image.
+    pub image: Image,
+    /// OS data region base.
+    pub data_base: u32,
+    /// OS data region size.
+    pub data_size: u32,
+    /// OS stack top.
+    pub stack_top: u32,
+    /// Entry point.
+    pub entry: u32,
+    /// IDT entries `(vector, handler address)`.
+    pub idt: Vec<(u8, u32)>,
+    /// Peripheral MMIO windows the OS may drive ("untrusted platform
+    /// peripherals", Section 3.5 step 4).
+    pub peripherals: Vec<PeriphGrant>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> TrustletPlan {
+        TrustletPlan {
+            name: "t".into(),
+            id: 1,
+            tt_index: 0,
+            code_base: 0x1000_1000,
+            code_size: 0x200,
+            data_base: 0x1000_2000,
+            data_size: 0x100,
+            stack_base: 0x1000_3000,
+            stack_size: 0x100,
+            entry_len: 8,
+            sp_slot: 0x1000_010c,
+            measure_slot: 0x1000_0300,
+        }
+    }
+
+    #[test]
+    fn derived_addresses() {
+        let p = plan();
+        assert_eq!(p.stack_top(), 0x1000_3100);
+        assert_eq!(p.continue_entry(), 0x1000_1000);
+        assert_eq!(p.call_entry(), 0x1000_1004);
+        assert_eq!(p.code_end(), 0x1000_1200);
+    }
+
+    #[test]
+    fn default_options_are_full_featured() {
+        let o = TrustletOptions::default();
+        assert!(o.measured && o.public_code && o.interruptible);
+        assert!(o.peripherals.is_empty() && o.shared.is_empty());
+        assert!(o.auth_tag.is_none() && o.code_writable_by.is_none());
+        assert!(!o.lock_rules);
+    }
+}

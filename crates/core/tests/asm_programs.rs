@@ -1,0 +1,84 @@
+//! Runs the `examples/asm/*.s` sample programs end to end: the text
+//! assembler, the ISA semantics and the peripherals, exercised by real
+//! programs rather than synthetic snippets.
+
+use trustlite_cpu::{HaltReason, Machine, RunExit, SystemBus};
+use trustlite_isa::assemble_text;
+use trustlite_mem::{map, Bus, Ram, Rom};
+use trustlite_mpu::EaMpu;
+use trustlite_periph::Uart;
+
+fn run_program(source: &str, input: &[u8]) -> Machine {
+    let img = assemble_text(0, source).expect("assembles");
+    let mut bus = Bus::new();
+    bus.map(map::PROM_BASE, Box::new(Rom::new(0x4000))).unwrap();
+    bus.map(map::SRAM_BASE, Box::new(Ram::new("sram", 0x4000))).unwrap();
+    let mut uart = Uart::new();
+    uart.inject_input(input);
+    bus.map(map::UART_MMIO_BASE, Box::new(uart)).unwrap();
+    assert!(bus.host_load(0, &img.bytes));
+    let mut sys = SystemBus::new(bus, EaMpu::new(4), None);
+    sys.enforce = false;
+    let mut m = Machine::new(sys, 0);
+    let exit = m.run(1_000_000);
+    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
+    m
+}
+
+fn uart_out(m: &mut Machine) -> Vec<u8> {
+    m.sys.bus.device_mut::<Uart>("uart").expect("uart").take_output()
+}
+
+#[test]
+fn hello_prints_greeting() {
+    let mut m = run_program(include_str!("../../../examples/asm/hello.s"), b"");
+    assert_eq!(uart_out(&mut m), b"Hello, SP32!\n");
+}
+
+#[test]
+fn fibonacci_computes_fib_24() {
+    let mut m = run_program(include_str!("../../../examples/asm/fibonacci.s"), b"");
+    // fib(0)=0, fib(1)=1 ... fib(24) = 46368.
+    assert_eq!(m.regs.gprs[0], 46_368);
+    assert_eq!(m.sys.hw_read32(map::SRAM_BASE).unwrap(), 46_368);
+}
+
+#[test]
+fn echo_copies_input_to_output() {
+    let mut m = run_program(include_str!("../../../examples/asm/echo.s"), b"ping pong");
+    assert_eq!(uart_out(&mut m), b"ping pong");
+}
+
+#[test]
+fn echo_with_no_input_is_silent() {
+    let mut m = run_program(include_str!("../../../examples/asm/echo.s"), b"");
+    assert!(uart_out(&mut m).is_empty());
+}
+
+#[test]
+fn sieve_counts_primes_below_100() {
+    let mut m = run_program(include_str!("../../../examples/asm/sieve.s"), b"");
+    assert_eq!(m.regs.gprs[0], 25, "there are 25 primes below 100");
+    assert_eq!(m.sys.hw_read32(map::SRAM_BASE + 0x100).unwrap(), 25);
+}
+
+#[test]
+fn strrev_reverses_via_the_stack() {
+    let mut m = run_program(include_str!("../../../examples/asm/strrev.s"), b"");
+    assert_eq!(uart_out(&mut m), b"desserts");
+}
+
+#[test]
+fn gcd_computes_via_division() {
+    let mut m = run_program(include_str!("../../../examples/asm/gcd.s"), b"");
+    assert_eq!(m.regs.gprs[0], 21, "gcd(1071, 462) = 21");
+    assert_eq!(m.sys.hw_read32(map::SRAM_BASE).unwrap(), 21);
+}
+
+#[test]
+fn crc32_matches_reference_vector() {
+    // The canonical CRC-32 check value: crc32("123456789") = 0xcbf43926.
+    let mut m = run_program(include_str!("../../../examples/asm/crc32.s"), b"");
+    assert_eq!(m.regs.gprs[0], 0xcbf4_3926);
+    assert_eq!(m.sys.hw_read32(map::SRAM_BASE).unwrap(), 0xcbf4_3926);
+}

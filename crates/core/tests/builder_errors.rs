@@ -1,0 +1,176 @@
+//! Error-path coverage for the platform builder and the Secure Loader:
+//! every misconfiguration is rejected with a specific, actionable error.
+
+use trustlite::platform::PlatformBuilder;
+use trustlite::spec::TrustletOptions;
+use trustlite::TrustliteError;
+use trustlite_isa::{Asm, Reg};
+use trustlite_mpu::Perms;
+
+fn trivial_image(plan: &trustlite::TrustletPlan) -> trustlite_isa::Image {
+    let mut t = plan.begin_program();
+    t.asm.label("main");
+    t.asm.halt();
+    t.finish().unwrap()
+}
+
+fn trivial_os(b: &mut PlatformBuilder) {
+    let mut os = b.begin_os();
+    os.asm.label("main");
+    os.asm.halt();
+    let img = os.finish().unwrap();
+    b.set_os(img, &[]);
+}
+
+#[test]
+fn missing_os_rejected() {
+    let mut b = PlatformBuilder::new();
+    assert!(matches!(b.build(), Err(TrustliteError::MissingOs)));
+}
+
+#[test]
+fn duplicate_trustlet_rejected() {
+    let mut b = PlatformBuilder::new();
+    let plan = b.plan_trustlet("dup", 0x100, 0x80, 0x80);
+    b.add_trustlet(&plan, trivial_image(&plan), TrustletOptions::default()).unwrap();
+    let err = b.add_trustlet(&plan, trivial_image(&plan), TrustletOptions::default());
+    assert!(matches!(err, Err(TrustliteError::DuplicateTrustlet(n)) if n == "dup"));
+}
+
+#[test]
+fn plan_mismatch_rejected() {
+    let mut b = PlatformBuilder::new();
+    let plan = b.plan_trustlet("t", 0x100, 0x80, 0x80);
+    // An image assembled at the wrong base.
+    let mut a = Asm::new(plan.code_base + 0x10);
+    a.label("main");
+    a.halt();
+    let img = a.assemble().unwrap();
+    let err = b.add_trustlet(&plan, img, TrustletOptions::default());
+    assert!(matches!(err, Err(TrustliteError::PlanMismatch { .. })), "{err:?}");
+}
+
+#[test]
+fn oversize_image_rejected_at_registration() {
+    let mut b = PlatformBuilder::new();
+    let plan = b.plan_trustlet("t", 0x40, 0x80, 0x80);
+    let mut a = Asm::new(plan.code_base);
+    a.label("main");
+    for _ in 0..64 {
+        a.nop();
+    }
+    let img = a.assemble().unwrap();
+    let err = b.add_trustlet(&plan, img, TrustletOptions::default());
+    assert!(matches!(err, Err(TrustliteError::ImageTooLarge { .. })), "{err:?}");
+}
+
+#[test]
+fn missing_main_symbol_rejected() {
+    let mut b = PlatformBuilder::new();
+    let plan = b.plan_trustlet("t", 0x100, 0x80, 0x80);
+    let mut a = Asm::new(plan.code_base);
+    a.halt();
+    let img = a.assemble().unwrap();
+    let err = b.add_trustlet(&plan, img, TrustletOptions::default());
+    assert!(matches!(err, Err(TrustliteError::Asm(_))), "{err:?}");
+}
+
+#[test]
+fn out_of_mpu_slots_rejected_with_counts() {
+    let mut b = PlatformBuilder::new();
+    b.mpu_slots(8); // far too few for two trustlets
+    for name in ["a", "b"] {
+        let plan = b.plan_trustlet(name, 0x100, 0x80, 0x80);
+        let img = trivial_image(&plan);
+        b.add_trustlet(&plan, img, TrustletOptions::default()).unwrap();
+    }
+    trivial_os(&mut b);
+    match b.build() {
+        Err(TrustliteError::OutOfMpuSlots { needed, available }) => {
+            assert_eq!(available, 8);
+            assert!(needed > 8);
+        }
+        other => panic!("expected OutOfMpuSlots, got {:?}", other.map(|_| ())),
+    }
+}
+
+#[test]
+fn unknown_shared_region_rejected() {
+    let mut b = PlatformBuilder::new();
+    let plan = b.plan_trustlet("t", 0x100, 0x80, 0x80);
+    let img = trivial_image(&plan);
+    b.add_trustlet(
+        &plan,
+        img,
+        TrustletOptions { shared: vec![("nope".into(), Perms::R)], ..Default::default() },
+    )
+    .unwrap();
+    trivial_os(&mut b);
+    assert!(matches!(b.build(), Err(TrustliteError::UnknownTrustlet(n)) if n == "nope"));
+}
+
+#[test]
+fn unknown_updater_rejected() {
+    let mut b = PlatformBuilder::new();
+    let plan = b.plan_trustlet("t", 0x100, 0x80, 0x80);
+    let img = trivial_image(&plan);
+    b.add_trustlet(
+        &plan,
+        img,
+        TrustletOptions { code_writable_by: Some("ghost".into()), ..Default::default() },
+    )
+    .unwrap();
+    trivial_os(&mut b);
+    assert!(matches!(b.build(), Err(TrustliteError::UnknownTrustlet(n)) if n == "ghost"));
+}
+
+#[test]
+fn auth_without_platform_key_rejected() {
+    let mut b = PlatformBuilder::new();
+    // No platform_key() call: the key store is empty.
+    let plan = b.plan_trustlet("signed", 0x100, 0x80, 0x80);
+    let img = trivial_image(&plan);
+    b.add_trustlet(
+        &plan,
+        img,
+        TrustletOptions { auth_tag: Some([0u8; 32]), ..Default::default() },
+    )
+    .unwrap();
+    trivial_os(&mut b);
+    // A zero key exists in slot 0 by default (all-zero), so the tag is
+    // simply wrong rather than the key missing; either way: AuthFailed.
+    assert!(matches!(b.build(), Err(TrustliteError::AuthFailed(n)) if n == "signed"));
+}
+
+#[test]
+fn error_messages_are_actionable() {
+    let errors: Vec<TrustliteError> = vec![
+        TrustliteError::MissingOs,
+        TrustliteError::DuplicateTrustlet("x".into()),
+        TrustliteError::UnknownTrustlet("y".into()),
+        TrustliteError::OutOfMpuSlots { needed: 12, available: 8 },
+        TrustliteError::OutOfSram { requested: 0x1000 },
+        TrustliteError::AuthFailed("z".into()),
+        TrustliteError::BadFirmware("bad magic".into()),
+        TrustliteError::PlanMismatch { name: "p".into(), expected: 0x100, actual: 0x200 },
+        TrustliteError::ImageTooLarge { name: "q".into(), reserved: 0x40, actual: 0x80 },
+    ];
+    for e in errors {
+        let msg = e.to_string();
+        assert!(!msg.is_empty());
+        // Each message names the offending entity or quantity.
+        assert!(msg.chars().any(|c| c.is_ascii_alphanumeric()), "{msg}");
+    }
+}
+
+#[test]
+fn oversize_runtime_program_rejected_by_finish() {
+    let mut b = PlatformBuilder::new();
+    let plan = b.plan_trustlet("tiny", 0x40, 0x80, 0x80);
+    let mut t = plan.begin_program();
+    t.asm.label("main");
+    for _ in 0..32 {
+        t.asm.li(Reg::R0, 0x12345678);
+    }
+    assert!(matches!(t.finish(), Err(TrustliteError::ImageTooLarge { .. })));
+}

@@ -1,0 +1,110 @@
+//! The paper's footnote 1 (Section 3.4.2): "the trustlet must take care
+//! to restore its stack pointer as the very first instruction, since that
+//! instruction may already be followed by another exception leading the
+//! exception engine to store the CPU state to the wrong stack. Since the
+//! MPU will typically not be configured to allow such accesses, this
+//! misbehavior leads to a memory protection fault, effectively
+//! terminating the trustlet."
+//!
+//! We drive the machine step by step and inject a timer interrupt at
+//! *every* point inside the continue() restore sequence, verifying that
+//! each outcome is safe: either the engine saves to the (already
+//! restored) trustlet stack and the trustlet later resumes correctly, or
+//! — if the stack pointer still holds the OS handler's value — the
+//! engine's save faults against the trustlet's permissions and the
+//! platform terminates it, leaking nothing.
+
+use trustlite::platform::PlatformBuilder;
+use trustlite::spec::TrustletOptions;
+use trustlite_cpu::{vectors, HaltReason, StepOutcome};
+use trustlite_isa::Reg;
+use trustlite_mem::IrqRequest;
+
+const SECRET: u32 = 0x5ec3_e75a;
+
+fn build() -> (trustlite::Platform, trustlite::TrustletPlan) {
+    let mut b = PlatformBuilder::new();
+    let plan = b.plan_trustlet("victim", 0x300, 0x80, 0x100);
+    let mut t = plan.begin_program();
+    t.asm.label("main");
+    t.asm.li(Reg::R0, SECRET);
+    t.asm.swi(1); // get preempted with the secret live
+    t.asm.li(Reg::R1, plan.data_base);
+    t.asm.sw(Reg::R1, 0, Reg::R0); // prove the secret survived
+    t.asm.halt();
+    b.add_trustlet(&plan, t.finish().unwrap(), TrustletOptions::default()).unwrap();
+
+    let mut os = b.begin_os();
+    let stack_top = os.stack_top;
+    {
+        let a = &mut os.asm;
+        a.label("main");
+        a.li(Reg::Sp, stack_top);
+        a.halt();
+        a.label("resume");
+        // Resume the trustlet via its entry vector.
+        a.li(Reg::R1, plan.continue_entry());
+        a.jr(Reg::R1);
+        a.label("irq_handler");
+        // The interrupt injected into the restore window lands here; try
+        // to resume again.
+        a.jmp("resume");
+    }
+    let os_img = os.finish().unwrap();
+    b.set_os(
+        os_img,
+        &[(vectors::swi_vector(1), "resume"), (vectors::irq_vector(3), "irq_handler")],
+    );
+    (b.build().unwrap(), plan)
+}
+
+#[test]
+fn interrupts_in_the_restore_window_never_leak_or_corrupt() {
+    // The continue() sequence is: li(2) + lw sp + 8 pops + popf + ret =
+    // 13 instructions. Inject an interrupt after each of the first N
+    // steps following re-entry.
+    for inject_after in 0..16u32 {
+        let (mut p, plan) = build();
+        p.start_trustlet("victim").unwrap();
+        // Run until the OS "resume" jump lands back on the entry vector.
+        let entry = plan.continue_entry();
+        assert!(
+            p.machine.run_until(10_000, |m| m.regs.ip == entry && m.instret > 4),
+            "reached re-entry (inject_after={inject_after})"
+        );
+        // Step `inject_after` instructions into the restore, then inject.
+        for _ in 0..inject_after {
+            p.machine.step();
+        }
+        p.machine.raise_irq(IrqRequest { line: 3, handler: None });
+        // Run to completion (bounded).
+        for _ in 0..50_000 {
+            if let StepOutcome::Halted = p.machine.step() {
+                break;
+            }
+        }
+        match p.machine.halted {
+            Some(HaltReason::Halt { .. }) => {
+                // The trustlet eventually completed: the secret must have
+                // survived the double preemption intact.
+                let v = p.machine.sys.hw_read32(plan.data_base).unwrap();
+                assert_eq!(v, SECRET, "state corrupted (inject_after={inject_after})");
+            }
+            Some(HaltReason::DoubleFault(f)) => {
+                // The footnote-1 outcome: the engine's save hit memory the
+                // trustlet may not touch, and the platform terminated it.
+                // The secret must not have landed anywhere the OS can
+                // read: verify no OS-readable copy exists in the OS
+                // data/stack region.
+                let os_data = p.os.data_base;
+                let os_span = p.os.stack_top - os_data;
+                let bytes = p.machine.sys.bus.read_bytes(os_data, os_span).unwrap();
+                let leak = bytes
+                    .windows(4)
+                    .any(|w| u32::from_le_bytes([w[0], w[1], w[2], w[3]]) == SECRET);
+                assert!(!leak, "secret leaked into OS memory (inject_after={inject_after}, {f})");
+            }
+            None => panic!("run did not converge (inject_after={inject_after})"),
+        }
+    }
+}

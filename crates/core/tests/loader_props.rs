@@ -1,0 +1,121 @@
+//! Property tests on the PROM firmware format and the exception engine's
+//! save/restore path.
+
+use proptest::prelude::*;
+use trustlite::prom::{parse, stage, PromEntry};
+use trustlite::spec::TrustletOptions;
+use trustlite_cpu::{HaltReason, RunExit};
+use trustlite_isa::Reg;
+
+fn any_entry() -> impl Strategy<Value = PromEntry> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        proptest::collection::vec(any::<u8>(), 0..64),
+        any::<bool>(),
+        proptest::option::of(any::<[u8; 32]>()),
+        any::<u32>(),
+    )
+        .prop_map(|(id, dst_base, code, measured, auth_tag, main)| PromEntry {
+            id,
+            dst_base,
+            code,
+            entry_len: 8,
+            measured,
+            auth_tag,
+            main,
+        })
+}
+
+proptest! {
+    /// The firmware table round-trips arbitrary entry lists.
+    #[test]
+    fn prom_stage_parse_roundtrip(entries in proptest::collection::vec(any_entry(), 0..6)) {
+        let blob = stage(&entries);
+        prop_assert_eq!(parse(&blob).expect("parses"), entries);
+    }
+
+    /// Any truncation of a non-empty table is rejected, never panics.
+    #[test]
+    fn prom_truncation_never_panics(
+        entries in proptest::collection::vec(any_entry(), 1..4),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let blob = stage(&entries);
+        let cut = ((blob.len() as f64) * cut_frac) as usize;
+        if cut < blob.len() {
+            let _ = parse(&blob[..cut]);
+        }
+    }
+
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The secure exception engine's save + the continue() restore is
+    /// lossless for arbitrary register contents: a trustlet loads eight
+    /// arbitrary values, is interrupted via swi, resumed via its entry
+    /// vector, and must observe exactly the same values. (Each case boots
+    /// a full platform; the case count is reduced accordingly.)
+    #[test]
+    fn exception_save_restore_is_lossless(values in any::<[u32; 8]>()) {
+        use trustlite::platform::PlatformBuilder;
+        use trustlite_cpu::vectors;
+
+        let mut b = PlatformBuilder::new();
+        let plan = b.plan_trustlet("probe", 0x400, 0x200, 0x100);
+        let mut t = plan.begin_program();
+        {
+            let a = &mut t.asm;
+            a.label("main");
+            for (i, r) in Reg::GPRS.iter().enumerate() {
+                a.li(*r, values[i]);
+            }
+            a.swi(3); // interrupted with the values live
+            // After resumption, store every register to the data region.
+            a.push(Reg::R6);
+            a.li(Reg::R6, plan.data_base);
+            for (i, r) in Reg::GPRS.iter().enumerate() {
+                if *r == Reg::R6 {
+                    continue;
+                }
+                a.sw(Reg::R6, (4 * i) as i16, *r);
+            }
+            // r6 itself was saved on the stack.
+            a.pop(Reg::R7);
+            a.sw(Reg::R6, 4 * 6, Reg::R7);
+            a.halt();
+        }
+        b.add_trustlet(&plan, t.finish().expect("assembles"), TrustletOptions::default())
+            .expect("registers");
+        let mut os = b.begin_os();
+        let stack_top = os.stack_top;
+        os.asm.label("main");
+        os.asm.li(Reg::Sp, stack_top);
+        os.asm.halt();
+        os.asm.label("resume");
+        // The OS resumes the trustlet through its entry vector.
+        os.asm.li(Reg::R1, plan.continue_entry());
+        os.asm.jr(Reg::R1);
+        let os_img = os.finish().expect("assembles");
+        b.set_os(os_img, &[(vectors::swi_vector(3), "resume")]);
+        let mut p = b.build().expect("boots");
+
+        p.start_trustlet("probe").expect("starts");
+        let exit = p.run(100_000);
+        prop_assert!(
+            matches!(exit, RunExit::Halted(HaltReason::Halt { .. })),
+            "{exit:?}"
+        );
+        for (i, expected) in values.iter().enumerate() {
+            // r7 is clobbered by the final bookkeeping; every other GPR
+            // must round-trip exactly.
+            if i == 7 {
+                continue;
+            }
+            let got = p.machine.sys.hw_read32(plan.data_base + 4 * i as u32).expect("read");
+            prop_assert_eq!(got, *expected, "r{} corrupted across preemption", i);
+        }
+    }
+}

@@ -1,0 +1,456 @@
+//! End-to-end security tests: the Section 6 requirements exercised with
+//! adversarial in-simulator programs.
+
+use trustlite::attest::{self, Challenge};
+use trustlite::platform::PlatformBuilder;
+use trustlite::spec::{PeriphGrant, TrustletOptions};
+use trustlite::TrustliteError;
+use trustlite_cpu::{vectors, HaltReason, RunExit};
+use trustlite_crypto::hmac_sha256;
+use trustlite_isa::Reg;
+use trustlite_mem::map;
+use trustlite_mpu::{AccessKind, Perms};
+
+const SECRET: u32 = 0x5ec2_e700;
+
+/// Builds a platform with trustlet A (writes a secret into its data
+/// region, then halts) and an OS whose `main` is provided by the caller.
+/// The OS gets a fault handler that stores the MPU fault address in `r7`
+/// and halts.
+fn build_two_party(
+    os_body: impl FnOnce(&mut trustlite_isa::Asm, &trustlite::TrustletPlan),
+) -> trustlite::Platform {
+    let mut b = PlatformBuilder::new();
+    let plan_a = b.plan_trustlet("alpha", 0x200, 0x100, 0x100);
+    let mut t = plan_a.begin_program();
+    t.asm.label("main");
+    t.asm.li(Reg::R1, plan_a.data_base);
+    t.asm.li(Reg::R0, SECRET);
+    t.asm.sw(Reg::R1, 0, Reg::R0);
+    t.asm.halt();
+    let img = t.finish().unwrap();
+    b.add_trustlet(&plan_a, img, TrustletOptions::default()).unwrap();
+
+    let mut os = b.begin_os();
+    os.asm.label("main");
+    os.asm.li(Reg::Sp, os.stack_top);
+    os_body(&mut os.asm, &plan_a);
+    os.asm.label("fault_handler");
+    // Frame: [sp+0] = fault address.
+    os.asm.lw(Reg::R7, Reg::Sp, 0);
+    os.asm.halt();
+    let os_img = os.finish().unwrap();
+    b.set_os(os_img, &[(vectors::VEC_MPU_FAULT, "fault_handler")]);
+    b.build().unwrap()
+}
+
+#[test]
+fn trustlet_writes_its_private_data() {
+    let mut p = build_two_party(|asm, _| {
+        asm.halt();
+    });
+    p.start_trustlet("alpha").unwrap();
+    let exit = p.run(1000);
+    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
+    let data_base = p.plan("alpha").unwrap().data_base;
+    assert_eq!(p.machine.sys.hw_read32(data_base).unwrap(), SECRET);
+}
+
+#[test]
+fn os_cannot_read_trustlet_data() {
+    let mut p = build_two_party(|asm, plan| {
+        asm.li(Reg::R1, plan.data_base);
+        asm.lw(Reg::R0, Reg::R1, 0); // must fault
+        asm.halt(); // not reached
+    });
+    let exit = p.run(1000);
+    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
+    let rec = p.machine.exc_log.last().expect("fault recorded");
+    assert_eq!(rec.vector, vectors::VEC_MPU_FAULT);
+    let data_base = p.plan("alpha").unwrap().data_base;
+    assert_eq!(p.machine.regs.get(Reg::R7), data_base, "handler saw the fault address");
+    assert_eq!(p.machine.regs.get(Reg::R0), 0, "no data leaked into r0");
+}
+
+#[test]
+fn os_cannot_write_trustlet_code() {
+    let mut p = build_two_party(|asm, plan| {
+        asm.li(Reg::R1, plan.code_base + 16);
+        asm.li(Reg::R0, 0x0bad_c0de);
+        asm.sw(Reg::R1, 0, Reg::R0);
+        asm.halt();
+    });
+    let code_addr = p.plan("alpha").unwrap().code_base + 16;
+    let before = p.machine.sys.hw_read32(code_addr).unwrap();
+    p.run(1000);
+    assert_eq!(p.machine.regs.get(Reg::R7), code_addr);
+    assert_eq!(p.machine.sys.hw_read32(code_addr).unwrap(), before, "code intact");
+}
+
+#[test]
+fn os_cannot_jump_into_trustlet_body() {
+    // Jumping to `main` directly (past the entry vector) must fault.
+    let mut p = build_two_party(|asm, plan| {
+        asm.li(Reg::R1, plan.code_base + plan.entry_len + 24);
+        asm.jr(Reg::R1);
+    });
+    p.run(1000);
+    let rec = p.machine.exc_log.last().expect("fault recorded");
+    assert_eq!(rec.vector, vectors::VEC_MPU_FAULT);
+    // The trustlet never ran: its data region holds no secret.
+    let data_base = p.plan("alpha").unwrap().data_base;
+    assert_eq!(p.machine.sys.hw_read32(data_base).unwrap(), 0);
+}
+
+#[test]
+fn os_can_enter_via_entry_vector() {
+    let mut p = build_two_party(|asm, plan| {
+        asm.li(Reg::R1, plan.continue_entry());
+        asm.jr(Reg::R1);
+    });
+    let exit = p.run(2000);
+    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
+    let data_base = p.plan("alpha").unwrap().data_base;
+    assert_eq!(p.machine.sys.hw_read32(data_base).unwrap(), SECRET, "trustlet ran");
+}
+
+#[test]
+fn os_cannot_reprogram_the_mpu() {
+    let mut p = build_two_party(|asm, _| {
+        asm.li(Reg::R1, map::MPU_MMIO_BASE);
+        asm.li(Reg::R0, 0);
+        asm.sw(Reg::R1, 0, Reg::R0); // attempt to clear slot 0 START
+        asm.halt();
+    });
+    let writes_before = p.machine.sys.mpu.write_count();
+    let slots_before: Vec<_> = p.machine.sys.mpu.slots().to_vec();
+    p.run(1000);
+    assert_eq!(p.machine.regs.get(Reg::R7), map::MPU_MMIO_BASE, "write faulted");
+    assert_eq!(p.machine.sys.mpu.write_count(), writes_before);
+    assert_eq!(p.machine.sys.mpu.slots(), slots_before.as_slice(), "policy unchanged");
+}
+
+#[test]
+fn os_can_read_mpu_policy() {
+    // Reading the MPU registers is allowed (local attestation needs it).
+    let mut p = build_two_party(|asm, _| {
+        asm.li(Reg::R1, map::MPU_MMIO_BASE);
+        asm.lw(Reg::R2, Reg::R1, 0); // slot 0 START
+        asm.halt();
+    });
+    let exit = p.run(1000);
+    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })));
+    let os_base = p.os.image.base;
+    assert_eq!(p.machine.regs.get(Reg::R2), os_base, "slot 0 is the OS code rule");
+}
+
+#[test]
+fn trustlet_table_read_only_for_software() {
+    let tt = trustlite::layout::tt_base();
+    let mut p = build_two_party(move |asm, _| {
+        asm.li(Reg::R1, tt);
+        asm.lw(Reg::R2, Reg::R1, 0); // read OK
+        asm.li(Reg::R0, 0xffff_ffff);
+        asm.sw(Reg::R1, 0, Reg::R0); // write must fault
+        asm.halt();
+    });
+    p.run(1000);
+    let rec = p.machine.exc_log.last().expect("fault recorded");
+    assert_eq!(rec.vector, vectors::VEC_MPU_FAULT);
+    assert_eq!(p.machine.regs.get(Reg::R7), tt);
+    assert_eq!(p.machine.regs.get(Reg::R2), 0xA0, "read of trustlet id succeeded");
+}
+
+#[test]
+fn loader_report_counts_three_writes_per_region() {
+    let p = build_two_party(|asm, _| {
+        asm.halt();
+    });
+    let r = &p.report;
+    assert_eq!(r.mpu_writes, 3 * r.regions_programmed as u64);
+    assert!(r.regions_programmed >= 8, "OS + tables + trustlet rules");
+    assert_eq!(r.trustlets, vec!["alpha".to_string()]);
+    assert!(r.words_copied > 0);
+}
+
+#[test]
+fn measurement_matches_host_hash() {
+    let mut p = build_two_party(|asm, _| {
+        asm.halt();
+    });
+    let img = p.image("alpha").unwrap().clone();
+    let code_size = p.plan("alpha").unwrap().code_size;
+    let expected = attest::measure_region(&img.bytes, code_size);
+    assert_eq!(p.measurement("alpha").unwrap(), expected);
+}
+
+#[test]
+fn local_attestation_passes_then_detects_tamper() {
+    let mut p = build_two_party(|asm, _| {
+        asm.halt();
+    });
+    let a = attest::local_attest(&mut p, "alpha").unwrap();
+    assert!(a.trusted(), "{a}");
+
+    // A physical-level tamper (outside the adversary model, injected via
+    // the host load path) must be caught by the measurement check.
+    let code_base = p.plan("alpha").unwrap().code_base;
+    assert!(p.machine.sys.bus.host_load(code_base + 20, &[0xff, 0xff, 0xff, 0xff]));
+    let a = attest::local_attest(&mut p, "alpha").unwrap();
+    assert!(!a.measurement_ok);
+    assert!(!a.trusted());
+}
+
+#[test]
+fn no_foreign_write_paths_into_trustlet_regions() {
+    let p = build_two_party(|asm, _| {
+        asm.halt();
+    });
+    let plan = p.plan("alpha").unwrap().clone();
+    let my_slots = p.report.rule_map["alpha"].clone();
+    assert!(
+        attest::foreign_write_paths(&p, plan.code_base, plan.code_end(), &my_slots).is_empty()
+    );
+    assert!(
+        attest::foreign_write_paths(&p, plan.data_base, plan.stack_top(), &my_slots).is_empty()
+    );
+}
+
+#[test]
+fn secure_boot_accepts_valid_tag_and_rejects_tampered() {
+    let key = [0x11u8; 32];
+
+    let build = |tamper: bool| -> Result<trustlite::Platform, TrustliteError> {
+        let mut b = PlatformBuilder::new();
+        b.platform_key(key);
+        let plan = b.plan_trustlet("signed", 0x200, 0x100, 0x100);
+        let mut t = plan.begin_program();
+        t.asm.label("main");
+        t.asm.halt();
+        let img = t.finish().unwrap();
+        let mut tag = hmac_sha256(&key, &img.bytes);
+        if tamper {
+            tag[0] ^= 1;
+        }
+        b.add_trustlet(
+            &plan,
+            img,
+            TrustletOptions { auth_tag: Some(tag), ..Default::default() },
+        )?;
+        let mut os = b.begin_os();
+        os.asm.label("main");
+        os.asm.halt();
+        let os_img = os.finish().unwrap();
+        b.set_os(os_img, &[]);
+        b.build()
+    };
+
+    assert!(build(false).is_ok());
+    match build(true) {
+        Err(TrustliteError::AuthFailed(name)) => assert_eq!(name, "signed"),
+        other => panic!("expected AuthFailed, got {:?}", other.map(|_| ())),
+    }
+}
+
+#[test]
+fn exclusive_peripheral_blocks_the_os() {
+    // The trustlet owns the UART; the OS's attempt to print must fault.
+    let mut b = PlatformBuilder::new();
+    let plan = b.plan_trustlet("console", 0x300, 0x100, 0x100);
+    let mut t = plan.begin_program();
+    t.asm.label("main");
+    trustlite::runtime::emit_uart_print(&mut t.asm, "tl");
+    t.asm.halt();
+    let img = t.finish().unwrap();
+    b.add_trustlet(
+        &plan,
+        img,
+        TrustletOptions {
+            peripherals: vec![PeriphGrant {
+                base: map::UART_MMIO_BASE,
+                size: map::PERIPH_MMIO_SIZE,
+                perms: Perms::RW,
+            }],
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut os = b.begin_os();
+    let stack_top = os.stack_top;
+    os.asm.label("main");
+    os.asm.li(Reg::Sp, stack_top);
+    os.asm.li(Reg::R1, map::UART_MMIO_BASE);
+    os.asm.li(Reg::R0, b'X' as u32);
+    os.asm.sw(Reg::R1, 0, Reg::R0); // must fault
+    os.asm.halt();
+    os.asm.label("fault_handler");
+    os.asm.halt();
+    let os_img = os.finish().unwrap();
+    b.set_os(os_img, &[(vectors::VEC_MPU_FAULT, "fault_handler")]);
+    let mut p = b.build().unwrap();
+
+    // OS runs first and faults on the UART.
+    p.run(1000);
+    assert_eq!(p.machine.exc_log.last().unwrap().vector, vectors::VEC_MPU_FAULT);
+    assert!(p.uart_output().is_empty(), "nothing leaked to the UART");
+
+    // The trustlet prints fine.
+    p.machine.halted = None;
+    p.start_trustlet("console").unwrap();
+    p.run(2000);
+    assert_eq!(p.uart_output(), b"tl");
+}
+
+#[test]
+fn shared_region_visible_to_both_parties_only() {
+    let mut b = PlatformBuilder::new();
+    let shared = b.plan_shared("mailbox", 0x100);
+    let plan_a = b.plan_trustlet("writer", 0x200, 0x80, 0x80);
+    let plan_b = b.plan_trustlet("reader", 0x200, 0x80, 0x80);
+
+    let mut a = plan_a.begin_program();
+    a.asm.label("main");
+    a.asm.li(Reg::R1, shared.base);
+    a.asm.li(Reg::R0, 0x1234);
+    a.asm.sw(Reg::R1, 0, Reg::R0);
+    a.asm.halt();
+    b.add_trustlet(
+        &plan_a,
+        a.finish().unwrap(),
+        TrustletOptions { shared: vec![("mailbox".into(), Perms::RW)], ..Default::default() },
+    )
+    .unwrap();
+
+    let mut t = plan_b.begin_program();
+    t.asm.label("main");
+    t.asm.li(Reg::R1, shared.base);
+    t.asm.lw(Reg::R2, Reg::R1, 0);
+    t.asm.halt();
+    b.add_trustlet(
+        &plan_b,
+        t.finish().unwrap(),
+        TrustletOptions { shared: vec![("mailbox".into(), Perms::R)], ..Default::default() },
+    )
+    .unwrap();
+
+    let mut os = b.begin_os();
+    let stack_top = os.stack_top;
+    os.asm.label("main");
+    os.asm.li(Reg::Sp, stack_top);
+    os.asm.li(Reg::R1, shared.base);
+    os.asm.lw(Reg::R2, Reg::R1, 0); // OS is not a participant: fault
+    os.asm.halt();
+    os.asm.label("fault_handler");
+    os.asm.halt();
+    let os_img = os.finish().unwrap();
+    b.set_os(os_img, &[(vectors::VEC_MPU_FAULT, "fault_handler")]);
+    let mut p = b.build().unwrap();
+
+    p.start_trustlet("writer").unwrap();
+    p.run(1000);
+    assert_eq!(p.machine.sys.hw_read32(shared.base).unwrap(), 0x1234);
+
+    p.machine.halted = None;
+    p.start_trustlet("reader").unwrap();
+    p.run(1000);
+    assert_eq!(p.machine.regs.get(Reg::R2), 0x1234, "reader sees the mailbox");
+
+    // Reader may not write.
+    assert!(!p.machine.sys.mpu.allows(
+        p.plan("reader").unwrap().code_base + 32,
+        shared.base,
+        AccessKind::Write
+    ));
+
+    // OS access faults.
+    p.machine.halted = None;
+    p.machine.regs.ip = p.os.entry;
+    p.machine.prev_ip = p.os.entry;
+    p.run(1000);
+    assert_eq!(p.machine.exc_log.last().unwrap().vector, vectors::VEC_MPU_FAULT);
+}
+
+#[test]
+fn field_update_allows_designated_updater_only() {
+    let mut b = PlatformBuilder::new();
+    let plan_target = b.plan_trustlet("target", 0x200, 0x80, 0x80);
+    let plan_updater = b.plan_trustlet("updater", 0x200, 0x80, 0x80);
+
+    let mut t = plan_target.begin_program();
+    t.asm.label("main");
+    t.asm.halt();
+    b.add_trustlet(
+        &plan_target,
+        t.finish().unwrap(),
+        TrustletOptions { code_writable_by: Some("updater".into()), ..Default::default() },
+    )
+    .unwrap();
+
+    // The updater patches a word near the end of the target's region.
+    let patch_addr = plan_target.code_end() - 4;
+    let mut u = plan_updater.begin_program();
+    u.asm.label("main");
+    u.asm.li(Reg::R1, patch_addr);
+    u.asm.li(Reg::R0, 0x0000_0000); // write a nop
+    u.asm.sw(Reg::R1, 0, Reg::R0);
+    u.asm.halt();
+    b.add_trustlet(&plan_updater, u.finish().unwrap(), TrustletOptions::default()).unwrap();
+
+    let mut os = b.begin_os();
+    os.asm.label("main");
+    os.asm.halt();
+    let os_img = os.finish().unwrap();
+    b.set_os(os_img, &[]);
+    let mut p = b.build().unwrap();
+
+    p.start_trustlet("updater").unwrap();
+    let exit = p.run(1000);
+    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
+
+    // The OS still cannot write the target's code.
+    assert!(!p.machine.sys.mpu.allows(p.os.entry, patch_addr, AccessKind::Write));
+    // And the updater could (policy check).
+    let updater_ip = p.plan("updater").unwrap().code_base + 32;
+    assert!(p.machine.sys.mpu.allows(updater_ip, patch_addr, AccessKind::Write));
+}
+
+#[test]
+fn remote_attestation_round_trip() {
+    let key = [0x42u8; 32];
+    let mut b = PlatformBuilder::new();
+    b.platform_key(key);
+    let plan = b.plan_trustlet("app", 0x200, 0x80, 0x80);
+    let mut t = plan.begin_program();
+    t.asm.label("main");
+    t.asm.halt();
+    let img = t.finish().unwrap();
+    let expected = attest::measure_region(&img.bytes, plan.code_size);
+    b.add_trustlet(&plan, img, TrustletOptions::default()).unwrap();
+    let mut os = b.begin_os();
+    os.asm.label("main");
+    os.asm.halt();
+    let os_img = os.finish().unwrap();
+    b.set_os(os_img, &[]);
+    let mut p = b.build().unwrap();
+
+    let challenge = Challenge { nonce: [9u8; 16] };
+    let response = attest::respond(&mut p, &challenge).unwrap();
+    assert!(attest::verify(&key, &challenge, &response, &[expected]));
+    assert!(!attest::verify(&key, &Challenge { nonce: [8u8; 16] }, &response, &[expected]));
+}
+
+#[test]
+fn stale_memory_cleared_by_protection_not_wiping() {
+    // The paper's fast-startup argument: the loader re-establishes rules
+    // instead of wiping memory. Simulate stale secrets in SRAM before
+    // boot, then show the OS cannot read the trustlet region where they
+    // now live.
+    let mut p = build_two_party(|asm, plan| {
+        asm.li(Reg::R1, plan.data_base);
+        asm.lw(Reg::R0, Reg::R1, 0); // fault: stale region is protected
+        asm.halt();
+    });
+    // (Platform is already booted here; the point is the access check.)
+    p.run(1000);
+    assert_eq!(p.machine.exc_log.last().unwrap().vector, vectors::VEC_MPU_FAULT);
+}

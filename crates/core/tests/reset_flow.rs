@@ -1,0 +1,116 @@
+//! Warm-reset behaviour (Section 3.5 / "Fast Startup" in Section 6):
+//! reset re-runs the Secure Loader, which re-establishes the protection
+//! rules instead of wiping memory. Stale secrets survive physically but
+//! are unreachable before any untrusted code executes.
+
+use trustlite::platform::PlatformBuilder;
+use trustlite::spec::TrustletOptions;
+use trustlite_cpu::{vectors, HaltReason, RunExit};
+use trustlite_isa::Reg;
+use trustlite_mpu::AccessKind;
+
+const SECRET: u32 = 0x0dd5_ecee;
+
+fn build() -> (trustlite::Platform, trustlite::TrustletPlan) {
+    let mut b = PlatformBuilder::new();
+    let plan = b.plan_trustlet("keeper", 0x200, 0x80, 0x80);
+    let mut t = plan.begin_program();
+    t.asm.label("main");
+    t.asm.li(Reg::R1, plan.data_base);
+    t.asm.li(Reg::R0, SECRET);
+    t.asm.sw(Reg::R1, 0, Reg::R0);
+    t.asm.halt();
+    b.add_trustlet(&plan, t.finish().unwrap(), TrustletOptions::default()).unwrap();
+    let mut os = b.begin_os();
+    let stack_top = os.stack_top;
+    os.asm.label("main");
+    os.asm.li(Reg::Sp, stack_top);
+    os.asm.li(Reg::R1, plan.data_base);
+    os.asm.lw(Reg::R2, Reg::R1, 0); // OS probe of the trustlet's data
+    os.asm.halt();
+    os.asm.label("fault_handler");
+    os.asm.halt();
+    let os_img = os.finish().unwrap();
+    b.set_os(os_img, &[(vectors::VEC_MPU_FAULT, "fault_handler")]);
+    (b.build().unwrap(), plan)
+}
+
+#[test]
+fn stale_secret_survives_reset_but_stays_protected() {
+    let (mut p, plan) = build();
+    // Run the trustlet so a secret lands in SRAM.
+    p.start_trustlet("keeper").unwrap();
+    p.run(10_000);
+    assert_eq!(p.machine.sys.hw_read32(plan.data_base).unwrap(), SECRET);
+
+    // Warm reset: loader runs again; memory is NOT wiped.
+    p.reset().unwrap();
+    assert_eq!(
+        p.machine.sys.hw_read32(plan.data_base).unwrap(),
+        SECRET,
+        "no memory wipe happened"
+    );
+    // But the rules are back before the OS runs: the probe faults.
+    let exit = p.run(10_000);
+    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
+    let rec = p.machine.exc_log.last().expect("fault recorded");
+    assert_eq!(rec.vector, vectors::VEC_MPU_FAULT);
+    assert_eq!(p.machine.regs.get(Reg::R2), 0, "stale secret not readable");
+}
+
+#[test]
+fn reset_reprograms_the_same_policy() {
+    let (mut p, plan) = build();
+    let before: Vec<_> = p.machine.sys.mpu.slots().to_vec();
+    let writes_first_boot = p.report.mpu_writes;
+    p.reset().unwrap();
+    assert_eq!(p.machine.sys.mpu.slots(), before.as_slice(), "identical rules");
+    assert_eq!(p.report.mpu_writes, writes_first_boot, "same loader work each boot");
+    // The trustlet is fully operational again after reset.
+    p.machine.sys.hw_write32(plan.data_base, 0).unwrap();
+    p.start_trustlet("keeper").unwrap();
+    p.run(10_000);
+    assert_eq!(p.machine.sys.hw_read32(plan.data_base).unwrap(), SECRET);
+}
+
+#[test]
+fn reset_restores_clobbered_trustlet_state_tables() {
+    let (mut p, plan) = build();
+    // Host-level corruption of the Trustlet Table row and the trustlet's
+    // image in SRAM (models arbitrary pre-reset machine state).
+    p.machine.sys.hw_write32(plan.sp_slot, 0xdead_0000).unwrap();
+    assert!(p.machine.sys.bus.host_load(plan.code_base + 12, &[0xff; 4]));
+    p.reset().unwrap();
+    // The loader re-copied the image and rebuilt the table.
+    let row = trustlite_cpu::ttable::read_row(&mut p.machine.sys, p.machine.hw.tt_base, 0)
+        .unwrap();
+    assert_eq!(row.code_start, plan.code_base);
+    assert_ne!(row.saved_sp, 0xdead_0000);
+    let a = trustlite::attest::local_attest(&mut p, "keeper").unwrap();
+    assert!(a.trusted(), "{a}");
+}
+
+#[test]
+fn exception_state_cleared_by_reset() {
+    let (mut p, _) = build();
+    p.run(10_000); // the OS probe faults once
+    assert!(!p.machine.exc_log.is_empty());
+    p.reset().unwrap();
+    assert!(p.machine.exc_log.is_empty());
+    assert_eq!(p.machine.cycles, 0);
+    assert_eq!(p.machine.regs.ip, p.os.entry);
+    // MPU write counter restarted (performance counters are per boot).
+    assert_eq!(p.machine.sys.mpu.write_count(), p.report.mpu_writes);
+}
+
+#[test]
+fn policy_checks_hold_after_many_resets() {
+    let (mut p, plan) = build();
+    for cycle in 0..5 {
+        p.reset().unwrap();
+        assert!(
+            !p.machine.sys.mpu.allows(p.os.entry + 8, plan.data_base, AccessKind::Read),
+            "isolation lost after reset {cycle}"
+        );
+    }
+}

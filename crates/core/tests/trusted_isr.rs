@@ -1,0 +1,146 @@
+//! Trusted interrupt service routines (paper Sections 3.3 and 6, "Fault
+//! Tolerance"): a trustlet owns the alarm timer exclusively and points
+//! the peripheral's `handler(ISR)` register at its *own* code. The
+//! hardware vectors the interrupt directly into the trustlet — the OS
+//! can neither suppress the alarm (no write access to the timer) nor
+//! observe the ISR's work. The ISR then `iret`s back into whatever was
+//! running. This is the paper's "trustlets ... may also implement ISRs
+//! and hardware drivers on their own, thus preventing trivial
+//! denial-of-service attacks".
+
+use trustlite::platform::PlatformBuilder;
+use trustlite::spec::{PeriphGrant, TrustletOptions};
+use trustlite_cpu::{HaltReason, RunExit};
+use trustlite_isa::Reg;
+use trustlite_mem::map;
+use trustlite_mpu::{AccessKind, Perms};
+use trustlite_periph::timer;
+
+/// Builds: a watchdog trustlet owning the timer with a private tick
+/// counter, an OS that busy-works. The watchdog's ISR lives inside its
+/// protected code region (not the entry vector); it is reached only via
+/// hardware vectoring.
+fn build() -> (trustlite::Platform, trustlite::TrustletPlan, u32) {
+    let mut b = PlatformBuilder::new();
+
+    // The OS is created first so its exception-frame stack region is
+    // known; the watchdog needs read access to the frame for `iret`.
+    let mut os = b.begin_os();
+    let os_data = os.data_base;
+    let os_stack_top = os.stack_top;
+    let stack_top = os.stack_top;
+    {
+        let a = &mut os.asm;
+        a.label("main");
+        a.li(Reg::Sp, stack_top);
+        a.ei();
+        // Busy-work: increment r2 until it reaches a bound, then halt.
+        a.li(Reg::R2, 0);
+        a.li(Reg::R3, 2000);
+        a.label("work");
+        a.bge(Reg::R2, Reg::R3, "works_done");
+        a.addi(Reg::R2, Reg::R2, 1);
+        a.jmp("work");
+        a.label("works_done");
+        a.halt();
+    }
+    let os_img = os.finish().unwrap();
+
+    let plan = b.plan_trustlet("watchdog", 0x200, 0x80, 0x80);
+    let mut t = plan.begin_program();
+    {
+        let a = &mut t.asm;
+        a.label("main");
+        // Configure the timer: auto-reload, ISR = our own handler.
+        a.li(Reg::R1, map::TIMER_MMIO_BASE);
+        a.la(Reg::R2, "isr");
+        a.sw(Reg::R1, timer::regs::HANDLER as i16, Reg::R2);
+        a.li(Reg::R2, 150);
+        a.sw(Reg::R1, timer::regs::PERIOD as i16, Reg::R2);
+        a.li(Reg::R2, timer::CTRL_ENABLE | timer::CTRL_AUTO_RELOAD);
+        a.sw(Reg::R1, timer::regs::CTRL as i16, Reg::R2);
+        // Hand control to the OS entry (the loader launched us first via
+        // start_trustlet in this test).
+        a.li(Reg::R1, 0); // patched by the test via register
+        a.halt();
+        // The trusted ISR: runs on the OS exception frame; bumps the
+        // private tick counter, then returns to the interrupted code.
+        a.label("isr");
+        a.li(Reg::R6, plan.data_base);
+        a.lw(Reg::R7, Reg::R6, 0);
+        a.addi(Reg::R7, Reg::R7, 1);
+        a.sw(Reg::R6, 0, Reg::R7);
+        a.iret();
+    }
+    let img = t.finish().unwrap();
+    let isr = img.expect_symbol("isr");
+    b.add_trustlet(
+        &plan,
+        img,
+        TrustletOptions {
+            peripherals: vec![
+                PeriphGrant {
+                    base: map::TIMER_MMIO_BASE,
+                    size: map::PERIPH_MMIO_SIZE,
+                    perms: Perms::RW,
+                },
+                // Read access to the OS data/stack region so `iret` can
+                // pop the exception frame (an explicit policy choice for
+                // ISR-implementing trustlets).
+                PeriphGrant { base: os_data, size: os_stack_top - os_data, perms: Perms::R },
+            ],
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    b.set_os(os_img, &[]);
+    (b.build().unwrap(), plan, isr)
+}
+
+#[test]
+fn trustlet_isr_ticks_while_the_os_runs() {
+    let (mut p, plan, _) = build();
+    // Let the watchdog configure its timer first.
+    p.start_trustlet("watchdog").unwrap();
+    p.run(10_000);
+    assert!(matches!(p.machine.halted, Some(HaltReason::Halt { .. })));
+
+    // Now run the OS; the timer fires into the trustlet ISR repeatedly.
+    p.machine.halted = None;
+    p.machine.regs.ip = p.os.entry;
+    p.machine.prev_ip = p.os.entry;
+    let exit = p.run(100_000);
+    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
+
+    let ticks = p.machine.sys.hw_read32(plan.data_base).unwrap();
+    assert!(ticks >= 5, "watchdog ticked {ticks} times during OS execution");
+    // The OS finished its work despite the interruptions.
+    assert_eq!(p.machine.regs.get(Reg::R2), 2000);
+}
+
+#[test]
+fn os_cannot_suppress_or_retarget_the_watchdog() {
+    let (p, _, isr) = build();
+    let mpu = &p.machine.sys.mpu;
+    let os_ip = p.os.entry + 8;
+    // The OS can neither disable the timer nor redirect its handler.
+    assert!(!mpu.allows(os_ip, map::TIMER_MMIO_BASE + timer::regs::CTRL, AccessKind::Write));
+    assert!(!mpu.allows(os_ip, map::TIMER_MMIO_BASE + timer::regs::HANDLER, AccessKind::Write));
+    // Nor execute or tamper with the ISR itself.
+    assert!(!mpu.allows(os_ip, isr, AccessKind::Execute));
+    assert!(!mpu.allows(os_ip, isr, AccessKind::Write));
+}
+
+#[test]
+fn isr_work_is_invisible_to_the_os() {
+    let (mut p, plan, _) = build();
+    p.start_trustlet("watchdog").unwrap();
+    p.run(10_000);
+    p.machine.halted = None;
+    p.machine.regs.ip = p.os.entry;
+    p.machine.prev_ip = p.os.entry;
+    p.run(100_000);
+    // The tick counter lives in the watchdog's private data region.
+    assert!(!p.machine.sys.mpu.allows(p.os.entry + 8, plan.data_base, AccessKind::Read));
+}

@@ -1,0 +1,92 @@
+//! The cycle-cost model of the simulated core.
+//!
+//! The values are chosen so the exception-entry totals match the
+//! Siskiyou-Peak measurements reported in the paper (Section 5.4): the
+//! unmodified engine needs **21 cycles** from recognizing an exception to
+//! the first ISR instruction, and the secure flow adds **2** (trustlet
+//! region match), **10** (store all state but the stack pointer) and **9**
+//! (clear eight GPRs + store the stack pointer into the Trustlet Table)
+//! cycles when a trustlet is interrupted, and 2 cycles otherwise.
+//!
+//! Instruction costs are deliberately simple (single-issue in-order core,
+//! on-chip single-cycle memories): they matter for *relative* comparisons
+//! between code paths, not absolute wall-clock claims.
+
+/// Base cost of any retired instruction.
+pub const BASE: u64 = 1;
+/// Extra cycles for a data-memory access (load/store/push/pop).
+pub const MEM_EXTRA: u64 = 1;
+/// Extra cycles for a multiply.
+pub const MUL_EXTRA: u64 = 2;
+/// Extra cycles for a divide/remainder (iterative divider).
+pub const DIV_EXTRA: u64 = 16;
+/// Extra cycles when a control transfer is taken (pipeline refill).
+pub const TAKEN_CF: u64 = 1;
+
+// --- Regular exception engine (totals 21) ---
+
+/// Recognize the exception and flush the 5-stage pipeline.
+pub const EXC_FLUSH: u64 = 4;
+/// Read the OS stack pointer from its well-known location (TSS analogue).
+pub const EXC_LOAD_OS_SP: u64 = 3;
+/// Store interrupted SP, IP and FLAGS onto the OS stack (3 words).
+pub const EXC_SAVE_MIN_CTX: u64 = 6;
+/// Store the error code and faulting address (2 words).
+pub const EXC_ERROR_PARAMS: u64 = 4;
+/// Look up the handler (IDT or peripheral vector) and redirect fetch.
+pub const EXC_VECTOR: u64 = 4;
+
+/// Total cycles of the regular exception entry flow.
+pub const EXC_REGULAR_TOTAL: u64 =
+    EXC_FLUSH + EXC_LOAD_OS_SP + EXC_SAVE_MIN_CTX + EXC_ERROR_PARAMS + EXC_VECTOR;
+
+// --- Secure exception engine additions (Section 3.4 / 5.4) ---
+
+/// Match the interrupted IP against the Trustlet Table code regions.
+pub const SEC_DETECT: u64 = 2;
+/// Store one word of trustlet state onto the trustlet stack.
+pub const SEC_SAVE_WORD: u64 = 1;
+/// Number of words saved: r0..r7, FLAGS, return IP — "all but the ESP".
+pub const SEC_SAVED_WORDS: u64 = 10;
+/// Clear one general-purpose register.
+pub const SEC_CLEAR_REG: u64 = 1;
+/// Number of cleared GPRs.
+pub const SEC_CLEARED_REGS: u64 = 8;
+/// Store the trustlet's SP into its Trustlet Table row.
+pub const SEC_TT_WRITE: u64 = 1;
+
+/// Extra cycles the secure engine spends when a trustlet was interrupted.
+pub const SEC_TRUSTLET_EXTRA: u64 = SEC_DETECT
+    + SEC_SAVED_WORDS * SEC_SAVE_WORD
+    + SEC_CLEARED_REGS * SEC_CLEAR_REG
+    + SEC_TT_WRITE;
+
+/// Extra cycles when the secure engine finds no trustlet match.
+pub const SEC_MISS_EXTRA: u64 = SEC_DETECT;
+
+/// Cycles to return from an interrupt (`iret`: pop 5 words + redirect).
+pub const IRET_TOTAL: u64 = 8;
+
+/// Context-switch cost of a 32-bit i486 the paper cites for comparison
+/// ("at least 107 cycles", Section 5.4).
+pub const I486_CONTEXT_SWITCH: u64 = 107;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_total_matches_paper() {
+        assert_eq!(EXC_REGULAR_TOTAL, 21);
+    }
+
+    #[test]
+    fn secure_extra_matches_paper_decomposition() {
+        // 2 (detect) + 10 (save all but ESP) + 9 (clear GPRs + TT write).
+        assert_eq!(SEC_DETECT, 2);
+        assert_eq!(SEC_SAVED_WORDS * SEC_SAVE_WORD, 10);
+        assert_eq!(SEC_CLEARED_REGS * SEC_CLEAR_REG + SEC_TT_WRITE, 9);
+        assert_eq!(SEC_TRUSTLET_EXTRA, 21, "100% overhead over the regular flow");
+        assert_eq!(SEC_MISS_EXTRA, 2);
+    }
+}

@@ -1,0 +1,69 @@
+//! Synchronous fault types raised during execution.
+
+use core::fmt;
+
+use trustlite_isa::DecodeError;
+use trustlite_mem::BusError;
+use trustlite_mpu::MpuFault;
+
+/// A synchronous fault raised by instruction execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The MPU denied the access (paper Section 3.2.2).
+    Mpu(MpuFault),
+    /// The bus rejected the access (unmapped, misaligned, read-only).
+    Bus { ip: u32, err: BusError },
+    /// The fetched word is not a valid instruction.
+    Illegal { ip: u32, word: u32, err: DecodeError },
+}
+
+impl Fault {
+    /// The instruction pointer at which the fault occurred.
+    pub fn ip(&self) -> u32 {
+        match *self {
+            Fault::Mpu(f) => f.ip,
+            Fault::Bus { ip, .. } => ip,
+            Fault::Illegal { ip, .. } => ip,
+        }
+    }
+
+    /// The faulting data address, where applicable (the second exception
+    /// argument pushed by the engine; zero for illegal instructions).
+    pub fn fault_addr(&self) -> u32 {
+        match *self {
+            Fault::Mpu(f) => f.addr,
+            Fault::Bus { err, .. } => err.addr(),
+            Fault::Illegal { .. } => 0,
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::Mpu(e) => write!(f, "{e}"),
+            Fault::Bus { ip, err } => write!(f, "bus fault at ip {ip:#010x}: {err}"),
+            Fault::Illegal { ip, word, err } => {
+                write!(f, "illegal instruction {word:#010x} at {ip:#010x}: {err}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustlite_mpu::AccessKind;
+
+    #[test]
+    fn accessors() {
+        let f = Fault::Mpu(MpuFault { ip: 1, addr: 2, kind: AccessKind::Read });
+        assert_eq!(f.ip(), 1);
+        assert_eq!(f.fault_addr(), 2);
+        let b = Fault::Bus { ip: 3, err: BusError::Unmapped { addr: 4 } };
+        assert_eq!(b.ip(), 3);
+        assert_eq!(b.fault_addr(), 4);
+    }
+}

@@ -1,0 +1,661 @@
+//! The simulated machine: core state, execution loop and exception engine.
+
+use std::collections::VecDeque;
+
+use trustlite_isa::{decode, Instr, Reg};
+use trustlite_mem::BusError;
+
+use crate::costs;
+use crate::fault::Fault;
+use crate::regs::{Flags, RegFile};
+use crate::sysbus::SystemBus;
+use crate::ttable::{self, TrustletRow};
+use crate::vectors;
+
+/// Hardware configuration pins and loader-programmed CSRs.
+///
+/// On real hardware these are MMIO/CSR values the Secure Loader programs
+/// during boot and then locks; the host-side loader model writes them
+/// directly. `os_region` is the code range treated as "already executing
+/// from the OS region" for the stack-switch decision in Figure 4 step (3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HwConfig {
+    /// Whether the TrustLite secure exception engine is instantiated.
+    pub secure_exceptions: bool,
+    /// Base address of the 32-entry interrupt descriptor table.
+    pub idt_base: u32,
+    /// Address of the memory cell holding the OS stack top (TSS analogue).
+    pub os_sp_cell: u32,
+    /// The OS code region `(start, end)`; interrupts from inside do not
+    /// switch stacks.
+    pub os_region: (u32, u32),
+    /// Base address of the Trustlet Table.
+    pub tt_base: u32,
+    /// Number of valid Trustlet Table rows.
+    pub tt_count: u32,
+}
+
+/// Why the machine stopped executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HaltReason {
+    /// A `halt` instruction retired.
+    Halt { ip: u32 },
+    /// An unrecoverable fault inside the exception engine itself (e.g.
+    /// the trustlet stack save faulted — the paper's footnote-1 situation
+    /// — or the IDT entry is unconfigured).
+    DoubleFault(Fault),
+}
+
+/// The result of one [`Machine::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// An instruction retired normally.
+    Retired,
+    /// An exception or interrupt was taken.
+    ExceptionTaken {
+        /// The resolved vector.
+        vector: u8,
+        /// Trustlet Table row index if a trustlet was interrupted.
+        trustlet: Option<u32>,
+    },
+    /// The machine is halted.
+    Halted,
+}
+
+/// The result of a bounded [`Machine::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunExit {
+    /// The machine halted.
+    Halted(HaltReason),
+    /// The step budget was exhausted first.
+    StepLimit,
+}
+
+/// One entry of the exception log (the Section 5.4 measurement record).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExcRecord {
+    /// Resolved vector number.
+    pub vector: u8,
+    /// Instruction pointer that was interrupted.
+    pub interrupted_ip: u32,
+    /// Trustlet Table row index, if a trustlet was interrupted.
+    pub trustlet: Option<u32>,
+    /// Cycles spent by the engine from recognition to the first ISR
+    /// instruction.
+    pub entry_cycles: u64,
+    /// Cycle counter value when the exception was recognized.
+    pub at_cycle: u64,
+}
+
+/// A platform extension unit giving meaning to the `0xE0..=0xEF` opcodes
+/// (used by the Sancus baseline model). The `Any` supertrait lets hosts
+/// downcast the installed unit for inspection.
+pub trait ExtUnit: std::any::Any {
+    /// Executes extension instruction `op` with operands `rd`, `rs1`,
+    /// `imm`; returns the cycle cost.
+    #[allow(clippy::too_many_arguments)] // mirrors the hardware interface
+    fn exec(
+        &mut self,
+        regs: &mut RegFile,
+        sys: &mut SystemBus,
+        ip: u32,
+        op: u8,
+        rd: Reg,
+        rs1: Reg,
+        imm: u16,
+    ) -> Result<u64, Fault>;
+}
+
+enum Exec {
+    Done(u64),
+    Halt,
+    Swi(u8),
+}
+
+/// The simulated machine.
+pub struct Machine {
+    /// Architectural registers.
+    pub regs: RegFile,
+    /// The memory system (EA-MPU + bus).
+    pub sys: SystemBus,
+    /// Loader-programmed hardware configuration.
+    pub hw: HwConfig,
+    /// Cycle counter.
+    pub cycles: u64,
+    /// Retired-instruction counter.
+    pub instret: u64,
+    /// Halt state, if halted.
+    pub halted: Option<HaltReason>,
+    /// Exception log for measurements.
+    pub exc_log: Vec<ExcRecord>,
+    /// Optional extension unit (Sancus baseline).
+    pub ext: Option<Box<dyn ExtUnit>>,
+    /// Address of the most recently executed instruction; the EA-MPU
+    /// subject of the next instruction fetch (see [`SystemBus::fetch`]).
+    pub prev_ip: u32,
+    /// When true, records `(cycle, ip, instr)` for every retired
+    /// instruction (bounded; debugging aid).
+    pub trace_enabled: bool,
+    /// The trace ring (most recent entries, capped).
+    pub trace: VecDeque<(u64, u32, Instr)>,
+    pending_irqs: VecDeque<trustlite_mem::IrqRequest>,
+}
+
+const TRACE_CAP: usize = 65_536;
+
+impl Machine {
+    /// Creates a machine around `sys` with the reset IP at `reset_vector`.
+    pub fn new(sys: SystemBus, reset_vector: u32) -> Self {
+        let regs = RegFile { ip: reset_vector, ..RegFile::default() };
+        Machine {
+            regs,
+            sys,
+            hw: HwConfig::default(),
+            cycles: 0,
+            instret: 0,
+            halted: None,
+            exc_log: Vec::new(),
+            ext: None,
+            prev_ip: reset_vector,
+            trace_enabled: false,
+            trace: VecDeque::new(),
+            pending_irqs: VecDeque::new(),
+        }
+    }
+
+    /// Queues an external interrupt request (test/diagnostic injection;
+    /// peripherals raise theirs through the bus tick).
+    pub fn raise_irq(&mut self, irq: trustlite_mem::IrqRequest) {
+        if !self.pending_irqs.iter().any(|p| p.line == irq.line) {
+            self.pending_irqs.push_back(irq);
+        }
+    }
+
+    /// Returns true if any interrupt is pending delivery.
+    pub fn irq_pending(&self) -> bool {
+        !self.pending_irqs.is_empty()
+    }
+
+    /// Executes one instruction (or delivers one exception/interrupt).
+    pub fn step(&mut self) -> StepOutcome {
+        if self.halted.is_some() {
+            return StepOutcome::Halted;
+        }
+        // Deliver a pending maskable interrupt first.
+        if self.regs.flags.ie {
+            if let Some(irq) = self.pending_irqs.pop_front() {
+                let vector = vectors::irq_vector(irq.line);
+                let ip = self.regs.ip;
+                return self.take_exception(vector, irq.handler, ip, irq.line as u32, 0);
+            }
+        }
+        let ip = self.regs.ip;
+        let word = match self.sys.fetch(self.prev_ip, ip) {
+            Ok(w) => w,
+            Err(f) => return self.take_fault(f),
+        };
+        let instr = match decode(word) {
+            Ok(i) => i,
+            Err(err) => return self.take_fault(Fault::Illegal { ip, word, err }),
+        };
+        if self.trace_enabled {
+            if self.trace.len() == TRACE_CAP {
+                self.trace.pop_front();
+            }
+            self.trace.push_back((self.cycles, ip, instr));
+        }
+        match self.exec(ip, instr) {
+            Ok(Exec::Done(cost)) => {
+                self.prev_ip = ip;
+                self.retire(cost);
+                StepOutcome::Retired
+            }
+            Ok(Exec::Halt) => {
+                self.prev_ip = ip;
+                self.retire(costs::BASE);
+                self.halted = Some(HaltReason::Halt { ip });
+                StepOutcome::Halted
+            }
+            Ok(Exec::Swi(arg)) => {
+                self.prev_ip = ip;
+                // The swi itself retires (and costs a cycle) before the
+                // exception engine takes over.
+                self.cycles += costs::BASE;
+                self.instret += 1;
+                let vector = vectors::swi_vector(arg);
+                self.take_exception(vector, None, ip + 4, arg as u32, 0)
+            }
+            Err(f) => self.take_fault(f),
+        }
+    }
+
+    fn retire(&mut self, cost: u64) {
+        self.cycles += cost;
+        self.instret += 1;
+        let irqs = self.sys.tick(cost);
+        for irq in irqs {
+            self.raise_irq(irq);
+        }
+    }
+
+    /// Runs until `pred` holds, the machine halts, or `max_steps` step
+    /// events elapse. Returns true if `pred` became true.
+    pub fn run_until(&mut self, max_steps: u64, pred: impl Fn(&Machine) -> bool) -> bool {
+        for _ in 0..max_steps {
+            if pred(self) {
+                return true;
+            }
+            if let StepOutcome::Halted = self.step() {
+                return pred(self);
+            }
+        }
+        pred(self)
+    }
+
+    /// Runs until halt or `max_steps` step events.
+    pub fn run(&mut self, max_steps: u64) -> RunExit {
+        for _ in 0..max_steps {
+            if let StepOutcome::Halted = self.step() {
+                return RunExit::Halted(self.halted.expect("halted outcome implies reason"));
+            }
+        }
+        match self.halted {
+            Some(r) => RunExit::Halted(r),
+            None => RunExit::StepLimit,
+        }
+    }
+
+    fn take_fault(&mut self, f: Fault) -> StepOutcome {
+        let vector = vectors::fault_vector(&f);
+        let err_code = match f {
+            Fault::Mpu(m) => m.kind.code(),
+            Fault::Bus { .. } => 0x100,
+            Fault::Illegal { word, .. } => word,
+        };
+        self.take_exception(vector, None, f.ip(), err_code, f.fault_addr())
+    }
+
+    /// The exception engine (Figure 4). `handler_override` is the
+    /// peripheral-programmed ISR address, if any.
+    fn take_exception(
+        &mut self,
+        vector: u8,
+        handler_override: Option<u32>,
+        interrupted_ip: u32,
+        err_code: u32,
+        fault_addr: u32,
+    ) -> StepOutcome {
+        let at_cycle = self.cycles;
+        let mut entry_cycles = costs::EXC_FLUSH;
+        let mut trustlet: Option<u32> = None;
+        let mut pushed_ip = interrupted_ip;
+        let mut pushed_sp = self.regs.sp;
+
+        if self.hw.secure_exceptions && self.hw.tt_count > 0 {
+            entry_cycles += costs::SEC_DETECT;
+            let hit = match ttable::find_by_ip(
+                &mut self.sys,
+                self.hw.tt_base,
+                self.hw.tt_count,
+                interrupted_ip,
+            ) {
+                Ok(h) => h,
+                Err(err) => {
+                    return self.double_fault(Fault::Bus { ip: interrupted_ip, err });
+                }
+            };
+            if let Some((idx, row)) = hit {
+                trustlet = Some(idx);
+                // (1) Store the CPU state to the current (trustlet) stack:
+                // return IP, FLAGS, r0..r7 — all but the stack pointer.
+                // These stores are validated with the *trustlet* as the
+                // subject; if its stack is broken, this faults and the
+                // platform double-faults (paper footnote 1).
+                let mut words = [0u32; 10];
+                words[0] = interrupted_ip;
+                words[1] = self.regs.flags.to_word();
+                words[2..].copy_from_slice(&self.regs.gprs);
+                for w in words {
+                    let new_sp = self.regs.sp.wrapping_sub(4);
+                    if let Err(f) = self.sys.store32(interrupted_ip, new_sp, w) {
+                        return self.double_fault(f);
+                    }
+                    self.regs.sp = new_sp;
+                    entry_cycles += costs::SEC_SAVE_WORD;
+                }
+                // (2) Store SP into the Trustlet Table row and clear GPRs.
+                let sp_addr = TrustletRow::saved_sp_addr(self.hw.tt_base, idx);
+                if let Err(err) = self.sys.hw_write32(sp_addr, self.regs.sp) {
+                    return self.double_fault(Fault::Bus { ip: interrupted_ip, err });
+                }
+                entry_cycles += costs::SEC_TT_WRITE;
+                self.regs.clear_gprs();
+                entry_cycles += costs::SEC_CLEARED_REGS * costs::SEC_CLEAR_REG;
+                // Sanitize what the untrusted handler will see: the
+                // reported IP is the trustlet's entry vector and the saved
+                // SP slot is zeroed (the real one lives in the table).
+                pushed_ip = row.code_start;
+                pushed_sp = 0;
+            }
+        }
+
+        // (3) Switch to the OS stack unless already executing from the OS
+        // region.
+        entry_cycles += costs::EXC_LOAD_OS_SP;
+        let (os_start, os_end) = self.hw.os_region;
+        let in_os = interrupted_ip >= os_start && interrupted_ip < os_end;
+        if !in_os {
+            match self.sys.hw_read32(self.hw.os_sp_cell) {
+                Ok(sp) => self.regs.sp = sp,
+                Err(err) => return self.double_fault(Fault::Bus { ip: interrupted_ip, err }),
+            }
+        }
+
+        // Push the exception frame: SP, IP, FLAGS, error code, fault
+        // address (top of stack = fault address).
+        let frame = [pushed_sp, pushed_ip, self.regs.flags.to_word(), err_code, fault_addr];
+        for w in frame {
+            self.regs.sp = self.regs.sp.wrapping_sub(4);
+            if let Err(err) = self.sys.hw_write32(self.regs.sp, w) {
+                return self.double_fault(Fault::Bus { ip: interrupted_ip, err });
+            }
+        }
+        entry_cycles += costs::EXC_SAVE_MIN_CTX + costs::EXC_ERROR_PARAMS;
+
+        // (4) Resolve and enter the handler with interrupts masked.
+        self.regs.flags.ie = false;
+        entry_cycles += costs::EXC_VECTOR;
+        let handler = match handler_override {
+            Some(h) => h,
+            None => {
+                let slot = self.hw.idt_base + 4 * (vector as u32 % vectors::IDT_ENTRIES);
+                match self.sys.hw_read32(slot) {
+                    Ok(h) => h,
+                    Err(err) => {
+                        return self.double_fault(Fault::Bus { ip: interrupted_ip, err })
+                    }
+                }
+            }
+        };
+        if handler == 0 {
+            // Unconfigured vector: architectural dead end.
+            return self.double_fault(Fault::Bus {
+                ip: interrupted_ip,
+                err: BusError::Unmapped { addr: self.hw.idt_base + 4 * vector as u32 },
+            });
+        }
+        // Hardware vectoring is a legitimate control transfer by
+        // construction (the IDT and peripheral handler registers are
+        // loader-governed): the handler becomes its own fetch subject.
+        self.regs.ip = handler;
+        self.prev_ip = handler;
+        self.cycles += entry_cycles;
+        self.exc_log.push(ExcRecord {
+            vector,
+            interrupted_ip,
+            trustlet,
+            entry_cycles,
+            at_cycle,
+        });
+        StepOutcome::ExceptionTaken { vector, trustlet }
+    }
+
+    fn double_fault(&mut self, f: Fault) -> StepOutcome {
+        self.halted = Some(HaltReason::DoubleFault(f));
+        StepOutcome::Halted
+    }
+
+    fn exec(&mut self, ip: u32, i: Instr) -> Result<Exec, Fault> {
+        let next = ip.wrapping_add(4);
+        let r = &mut self.regs;
+        match i {
+            Instr::Nop => {
+                r.ip = next;
+                Ok(Exec::Done(costs::BASE))
+            }
+            Instr::Halt => Ok(Exec::Halt),
+            Instr::Swi(v) => Ok(Exec::Swi(v)),
+            Instr::Di => {
+                r.flags.ie = false;
+                r.ip = next;
+                Ok(Exec::Done(costs::BASE))
+            }
+            Instr::Ei => {
+                r.flags.ie = true;
+                r.ip = next;
+                Ok(Exec::Done(costs::BASE))
+            }
+            Instr::Iret => {
+                // Pop: fault addr, error code, FLAGS, IP, SP (reverse of
+                // the push order). Read all words before committing.
+                let sp = r.sp;
+                let mut vals = [0u32; 5];
+                for (k, v) in vals.iter_mut().enumerate() {
+                    *v = self.sys.load32(ip, sp.wrapping_add(4 * k as u32))?;
+                }
+                let [_fault_addr, _err_code, flags, new_ip, new_sp] = vals;
+                self.regs.flags = Flags::from_word(flags);
+                self.regs.ip = new_ip;
+                self.regs.sp = new_sp;
+                Ok(Exec::Done(costs::IRET_TOTAL))
+            }
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                use trustlite_isa::instr::AluOp;
+                let v = op.apply(r.get(rs1), r.get(rs2));
+                r.set(rd, v);
+                r.ip = next;
+                let extra = match op {
+                    AluOp::Mul => costs::MUL_EXTRA,
+                    AluOp::Divu | AluOp::Remu => costs::DIV_EXTRA,
+                    _ => 0,
+                };
+                Ok(Exec::Done(costs::BASE + extra))
+            }
+            Instr::Mov { rd, rs1 } => {
+                let v = r.get(rs1);
+                r.set(rd, v);
+                r.ip = next;
+                Ok(Exec::Done(costs::BASE))
+            }
+            Instr::Not { rd, rs1 } => {
+                let v = !r.get(rs1);
+                r.set(rd, v);
+                r.ip = next;
+                Ok(Exec::Done(costs::BASE))
+            }
+            Instr::Addi { rd, rs1, imm } => {
+                let v = r.get(rs1).wrapping_add(imm as i32 as u32);
+                r.set(rd, v);
+                r.ip = next;
+                Ok(Exec::Done(costs::BASE))
+            }
+            Instr::Andi { rd, rs1, imm } => {
+                let v = r.get(rs1) & imm as u32;
+                r.set(rd, v);
+                r.ip = next;
+                Ok(Exec::Done(costs::BASE))
+            }
+            Instr::Ori { rd, rs1, imm } => {
+                let v = r.get(rs1) | imm as u32;
+                r.set(rd, v);
+                r.ip = next;
+                Ok(Exec::Done(costs::BASE))
+            }
+            Instr::Xori { rd, rs1, imm } => {
+                let v = r.get(rs1) ^ imm as u32;
+                r.set(rd, v);
+                r.ip = next;
+                Ok(Exec::Done(costs::BASE))
+            }
+            Instr::Shli { rd, rs1, imm } => {
+                let v = r.get(rs1).wrapping_shl(imm as u32);
+                r.set(rd, v);
+                r.ip = next;
+                Ok(Exec::Done(costs::BASE))
+            }
+            Instr::Shri { rd, rs1, imm } => {
+                let v = r.get(rs1).wrapping_shr(imm as u32);
+                r.set(rd, v);
+                r.ip = next;
+                Ok(Exec::Done(costs::BASE))
+            }
+            Instr::Srai { rd, rs1, imm } => {
+                let v = ((r.get(rs1) as i32) >> imm) as u32;
+                r.set(rd, v);
+                r.ip = next;
+                Ok(Exec::Done(costs::BASE))
+            }
+            Instr::Movi { rd, imm } => {
+                r.set(rd, imm as i32 as u32);
+                r.ip = next;
+                Ok(Exec::Done(costs::BASE))
+            }
+            Instr::Lui { rd, imm } => {
+                r.set(rd, (imm as u32) << 16);
+                r.ip = next;
+                Ok(Exec::Done(costs::BASE))
+            }
+            Instr::Lw { rd, rs1, disp } => {
+                let addr = r.get(rs1).wrapping_add(disp as i32 as u32);
+                let v = self.sys.load32(ip, addr)?;
+                self.regs.set(rd, v);
+                self.regs.ip = next;
+                Ok(Exec::Done(costs::BASE + costs::MEM_EXTRA))
+            }
+            Instr::Sw { rs1, rs2, disp } => {
+                let addr = r.get(rs1).wrapping_add(disp as i32 as u32);
+                let v = r.get(rs2);
+                self.sys.store32(ip, addr, v)?;
+                self.regs.ip = next;
+                Ok(Exec::Done(costs::BASE + costs::MEM_EXTRA))
+            }
+            Instr::Lb { rd, rs1, disp } => {
+                let addr = r.get(rs1).wrapping_add(disp as i32 as u32);
+                let v = self.sys.load8(ip, addr)?;
+                self.regs.set(rd, v as u32);
+                self.regs.ip = next;
+                Ok(Exec::Done(costs::BASE + costs::MEM_EXTRA))
+            }
+            Instr::Lbs { rd, rs1, disp } => {
+                let addr = r.get(rs1).wrapping_add(disp as i32 as u32);
+                let v = self.sys.load8(ip, addr)?;
+                self.regs.set(rd, v as i8 as i32 as u32);
+                self.regs.ip = next;
+                Ok(Exec::Done(costs::BASE + costs::MEM_EXTRA))
+            }
+            Instr::Lh { rd, rs1, disp } => {
+                let addr = r.get(rs1).wrapping_add(disp as i32 as u32);
+                let v = self.sys.load16(ip, addr)?;
+                self.regs.set(rd, v as u32);
+                self.regs.ip = next;
+                Ok(Exec::Done(costs::BASE + costs::MEM_EXTRA))
+            }
+            Instr::Lhs { rd, rs1, disp } => {
+                let addr = r.get(rs1).wrapping_add(disp as i32 as u32);
+                let v = self.sys.load16(ip, addr)?;
+                self.regs.set(rd, v as i16 as i32 as u32);
+                self.regs.ip = next;
+                Ok(Exec::Done(costs::BASE + costs::MEM_EXTRA))
+            }
+            Instr::Sh { rs1, rs2, disp } => {
+                let addr = r.get(rs1).wrapping_add(disp as i32 as u32);
+                let v = r.get(rs2) as u16;
+                self.sys.store16(ip, addr, v)?;
+                self.regs.ip = next;
+                Ok(Exec::Done(costs::BASE + costs::MEM_EXTRA))
+            }
+            Instr::Sb { rs1, rs2, disp } => {
+                let addr = r.get(rs1).wrapping_add(disp as i32 as u32);
+                let v = r.get(rs2) as u8;
+                self.sys.store8(ip, addr, v)?;
+                self.regs.ip = next;
+                Ok(Exec::Done(costs::BASE + costs::MEM_EXTRA))
+            }
+            Instr::Push { rs } => {
+                let v = r.get(rs);
+                let new_sp = r.sp.wrapping_sub(4);
+                self.sys.store32(ip, new_sp, v)?;
+                self.regs.sp = new_sp;
+                self.regs.ip = next;
+                Ok(Exec::Done(costs::BASE + costs::MEM_EXTRA))
+            }
+            Instr::Pop { rd } => {
+                let v = self.sys.load32(ip, r.sp)?;
+                self.regs.sp = self.regs.sp.wrapping_add(4);
+                self.regs.set(rd, v);
+                self.regs.ip = next;
+                Ok(Exec::Done(costs::BASE + costs::MEM_EXTRA))
+            }
+            Instr::Pushf => {
+                let v = r.flags.to_word();
+                let new_sp = r.sp.wrapping_sub(4);
+                self.sys.store32(ip, new_sp, v)?;
+                self.regs.sp = new_sp;
+                self.regs.ip = next;
+                Ok(Exec::Done(costs::BASE + costs::MEM_EXTRA))
+            }
+            Instr::Popf => {
+                let v = self.sys.load32(ip, r.sp)?;
+                self.regs.sp = self.regs.sp.wrapping_add(4);
+                self.regs.flags = Flags::from_word(v);
+                self.regs.ip = next;
+                Ok(Exec::Done(costs::BASE + costs::MEM_EXTRA))
+            }
+            Instr::Jmp { off } => {
+                r.ip = next.wrapping_add(off as i32 as u32);
+                Ok(Exec::Done(costs::BASE + costs::TAKEN_CF))
+            }
+            Instr::Jr { rs1 } => {
+                r.ip = r.get(rs1);
+                Ok(Exec::Done(costs::BASE + costs::TAKEN_CF))
+            }
+            Instr::Call { off } => {
+                let new_sp = r.sp.wrapping_sub(4);
+                self.sys.store32(ip, new_sp, next)?;
+                self.regs.sp = new_sp;
+                self.regs.ip = next.wrapping_add(off as i32 as u32);
+                Ok(Exec::Done(costs::BASE + costs::MEM_EXTRA + costs::TAKEN_CF))
+            }
+            Instr::Callr { rs1 } => {
+                let target = r.get(rs1);
+                let new_sp = r.sp.wrapping_sub(4);
+                self.sys.store32(ip, new_sp, next)?;
+                self.regs.sp = new_sp;
+                self.regs.ip = target;
+                Ok(Exec::Done(costs::BASE + costs::MEM_EXTRA + costs::TAKEN_CF))
+            }
+            Instr::Ret => {
+                let target = self.sys.load32(ip, r.sp)?;
+                self.regs.sp = self.regs.sp.wrapping_add(4);
+                self.regs.ip = target;
+                Ok(Exec::Done(costs::BASE + costs::MEM_EXTRA + costs::TAKEN_CF))
+            }
+            Instr::Branch { cond, rs1, rs2, off } => {
+                if cond.eval(r.get(rs1), r.get(rs2)) {
+                    r.ip = next.wrapping_add(off as i32 as u32);
+                    Ok(Exec::Done(costs::BASE + costs::TAKEN_CF))
+                } else {
+                    r.ip = next;
+                    Ok(Exec::Done(costs::BASE))
+                }
+            }
+            Instr::Ext { op, rd, rs1, imm } => {
+                let mut ext = match self.ext.take() {
+                    Some(e) => e,
+                    None => {
+                        return Err(Fault::Illegal {
+                            ip,
+                            word: trustlite_isa::encode(i),
+                            err: trustlite_isa::DecodeError::UnknownOpcode(0xe0 | op),
+                        })
+                    }
+                };
+                let result = ext.exec(&mut self.regs, &mut self.sys, ip, op, rd, rs1, imm);
+                self.ext = Some(ext);
+                let cost = result?;
+                self.regs.ip = next;
+                Ok(Exec::Done(costs::BASE + cost))
+            }
+        }
+    }
+}

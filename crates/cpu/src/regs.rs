@@ -1,0 +1,92 @@
+//! The architectural register file.
+
+use trustlite_isa::Reg;
+
+/// The flags word. Only the interrupt-enable bit is architecturally
+/// visible; the remaining bits read as zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Flags {
+    /// Interrupt enable (maskable interrupts delivered when set).
+    pub ie: bool,
+}
+
+impl Flags {
+    /// Packs into the in-memory/stack representation.
+    pub fn to_word(self) -> u32 {
+        self.ie as u32
+    }
+
+    /// Unpacks from the in-memory representation.
+    pub fn from_word(w: u32) -> Flags {
+        Flags { ie: w & 1 != 0 }
+    }
+}
+
+/// The SP32 register file: eight GPRs, a dedicated stack pointer, the
+/// instruction pointer and the flags word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegFile {
+    /// General-purpose registers `r0..r7`.
+    pub gprs: [u32; 8],
+    /// Stack pointer.
+    pub sp: u32,
+    /// Instruction pointer (address of the next instruction to fetch).
+    pub ip: u32,
+    /// Flags.
+    pub flags: Flags,
+}
+
+impl RegFile {
+    /// Reads an operand register.
+    pub fn get(&self, r: Reg) -> u32 {
+        match r {
+            Reg::Sp => self.sp,
+            gpr => self.gprs[gpr.code() as usize],
+        }
+    }
+
+    /// Writes an operand register.
+    pub fn set(&mut self, r: Reg, v: u32) {
+        match r {
+            Reg::Sp => self.sp = v,
+            gpr => self.gprs[gpr.code() as usize] = v,
+        }
+    }
+
+    /// Clears all general-purpose registers (the secure exception engine's
+    /// anti-leak scrub; `sp` is handled separately, Section 3.4.1).
+    pub fn clear_gprs(&mut self) {
+        self.gprs = [0; 8];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_roundtrip_all_registers() {
+        let mut rf = RegFile::default();
+        for (i, r) in Reg::ALL.iter().enumerate() {
+            rf.set(*r, 0x100 + i as u32);
+        }
+        for (i, r) in Reg::ALL.iter().enumerate() {
+            assert_eq!(rf.get(*r), 0x100 + i as u32);
+        }
+    }
+
+    #[test]
+    fn sp_is_separate_from_gprs() {
+        let mut rf = RegFile::default();
+        rf.set(Reg::Sp, 0xdead);
+        assert_eq!(rf.gprs, [0; 8]);
+        rf.clear_gprs();
+        assert_eq!(rf.sp, 0xdead, "clear_gprs leaves sp intact");
+    }
+
+    #[test]
+    fn flags_word_roundtrip() {
+        assert_eq!(Flags::from_word(Flags { ie: true }.to_word()), Flags { ie: true });
+        assert_eq!(Flags::from_word(0xffff_fffe), Flags { ie: false }, "reserved bits ignored");
+    }
+}

@@ -1,0 +1,133 @@
+//! The Trustlet Table as seen by hardware.
+//!
+//! Per Figure 4, the Trustlet Table is a write-protected table in on-chip
+//! memory holding, for each trustlet, an identifier, its code region and
+//! its saved stack pointer. The Secure Loader populates it; the secure
+//! exception engine matches the interrupted instruction pointer against
+//! the code regions and updates the saved stack pointer (the one table
+//! write in the "9 cycles" of Section 5.4). It is the analogue of the x86
+//! Task State Segment the paper draws on.
+//!
+//! In-memory row layout (16 bytes, little-endian words):
+//!
+//! ```text
+//! +0   id          (application-chosen identifier)
+//! +4   code_start  (entry vector = first word of the code region)
+//! +8   code_end    (one past the region)
+//! +12  saved_sp    (updated by the exception engine)
+//! ```
+
+use trustlite_mem::BusError;
+
+use crate::sysbus::SystemBus;
+
+/// Size of one Trustlet Table row in bytes.
+pub const TT_ROW_BYTES: u32 = 16;
+
+/// A decoded Trustlet Table row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrustletRow {
+    /// Application-chosen identifier.
+    pub id: u32,
+    /// Start of the code region (also the entry vector address).
+    pub code_start: u32,
+    /// One past the end of the code region.
+    pub code_end: u32,
+    /// Stack pointer saved on last interruption (or initial stack).
+    pub saved_sp: u32,
+}
+
+impl TrustletRow {
+    /// Returns true if `ip` executes inside this trustlet's code.
+    pub fn contains_ip(&self, ip: u32) -> bool {
+        ip >= self.code_start && ip < self.code_end
+    }
+
+    /// Absolute address of the `saved_sp` field of row `index`.
+    pub fn saved_sp_addr(tt_base: u32, index: u32) -> u32 {
+        tt_base + index * TT_ROW_BYTES + 12
+    }
+}
+
+/// Reads row `index` of the table at `tt_base` (hardware path).
+pub fn read_row(sys: &mut SystemBus, tt_base: u32, index: u32) -> Result<TrustletRow, BusError> {
+    let base = tt_base + index * TT_ROW_BYTES;
+    Ok(TrustletRow {
+        id: sys.hw_read32(base)?,
+        code_start: sys.hw_read32(base + 4)?,
+        code_end: sys.hw_read32(base + 8)?,
+        saved_sp: sys.hw_read32(base + 12)?,
+    })
+}
+
+/// Writes row `index` of the table (loader/hardware path).
+pub fn write_row(
+    sys: &mut SystemBus,
+    tt_base: u32,
+    index: u32,
+    row: &TrustletRow,
+) -> Result<(), BusError> {
+    let base = tt_base + index * TT_ROW_BYTES;
+    sys.hw_write32(base, row.id)?;
+    sys.hw_write32(base + 4, row.code_start)?;
+    sys.hw_write32(base + 8, row.code_end)?;
+    sys.hw_write32(base + 12, row.saved_sp)
+}
+
+/// Finds the row whose code region contains `ip`, scanning `count` rows.
+pub fn find_by_ip(
+    sys: &mut SystemBus,
+    tt_base: u32,
+    count: u32,
+    ip: u32,
+) -> Result<Option<(u32, TrustletRow)>, BusError> {
+    for i in 0..count {
+        let row = read_row(sys, tt_base, i)?;
+        if row.contains_ip(ip) {
+            return Ok(Some((i, row)));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustlite_mem::{Bus, Ram};
+    use trustlite_mpu::EaMpu;
+
+    fn sys() -> SystemBus {
+        let mut bus = Bus::new();
+        bus.map(0x1000_0000, Box::new(Ram::new("sram", 0x1000))).unwrap();
+        SystemBus::new(bus, EaMpu::new(4), None)
+    }
+
+    #[test]
+    fn row_roundtrip() {
+        let mut s = sys();
+        let row =
+            TrustletRow { id: 0x41, code_start: 0x100, code_end: 0x200, saved_sp: 0x1f00 };
+        write_row(&mut s, 0x1000_0000, 2, &row).unwrap();
+        assert_eq!(read_row(&mut s, 0x1000_0000, 2).unwrap(), row);
+    }
+
+    #[test]
+    fn find_by_ip_matches_half_open() {
+        let mut s = sys();
+        let a = TrustletRow { id: 1, code_start: 0x100, code_end: 0x200, saved_sp: 0 };
+        let b = TrustletRow { id: 2, code_start: 0x200, code_end: 0x300, saved_sp: 0 };
+        write_row(&mut s, 0x1000_0000, 0, &a).unwrap();
+        write_row(&mut s, 0x1000_0000, 1, &b).unwrap();
+        let hit = find_by_ip(&mut s, 0x1000_0000, 2, 0x1fc).unwrap().unwrap();
+        assert_eq!(hit.0, 0);
+        let hit = find_by_ip(&mut s, 0x1000_0000, 2, 0x200).unwrap().unwrap();
+        assert_eq!(hit.1.id, 2, "boundary belongs to the next region");
+        assert!(find_by_ip(&mut s, 0x1000_0000, 2, 0x5000).unwrap().is_none());
+    }
+
+    #[test]
+    fn saved_sp_field_address() {
+        assert_eq!(TrustletRow::saved_sp_addr(0x1000, 0), 0x100c);
+        assert_eq!(TrustletRow::saved_sp_addr(0x1000, 3), 0x1000 + 48 + 12);
+    }
+}

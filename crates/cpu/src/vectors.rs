@@ -1,0 +1,71 @@
+//! Exception vector numbering and IDT conventions.
+//!
+//! The interrupt descriptor table is an array of 32 handler addresses in
+//! memory at a base address configured (and then locked) by the Secure
+//! Loader. Vectors:
+//!
+//! ```text
+//! 0..8    hardware faults (0 = MPU, 1 = illegal instruction, 2 = bus)
+//! 8..16   peripheral interrupt lines 0..8 (unless peripheral-vectored)
+//! 16..32  software interrupts (swi 0..15)
+//! ```
+
+use crate::fault::Fault;
+
+/// Number of IDT entries.
+pub const IDT_ENTRIES: u32 = 32;
+/// Size of the IDT in bytes.
+pub const IDT_BYTES: u32 = IDT_ENTRIES * 4;
+
+/// Vector of MPU protection faults.
+pub const VEC_MPU_FAULT: u8 = 0;
+/// Vector of illegal-instruction faults.
+pub const VEC_ILLEGAL: u8 = 1;
+/// Vector of bus faults.
+pub const VEC_BUS_FAULT: u8 = 2;
+/// First vector of hardware interrupt lines.
+pub const VEC_IRQ_BASE: u8 = 8;
+/// First vector of software interrupts.
+pub const VEC_SWI_BASE: u8 = 16;
+
+/// Maps a synchronous fault to its vector.
+pub fn fault_vector(f: &Fault) -> u8 {
+    match f {
+        Fault::Mpu(_) => VEC_MPU_FAULT,
+        Fault::Illegal { .. } => VEC_ILLEGAL,
+        Fault::Bus { .. } => VEC_BUS_FAULT,
+    }
+}
+
+/// Maps an interrupt line to its vector.
+pub fn irq_vector(line: u8) -> u8 {
+    VEC_IRQ_BASE + (line & 7)
+}
+
+/// Maps a software-interrupt argument to its vector.
+pub fn swi_vector(arg: u8) -> u8 {
+    VEC_SWI_BASE + (arg & 15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustlite_mem::BusError;
+    use trustlite_mpu::{AccessKind, MpuFault};
+
+    #[test]
+    fn vector_spaces_disjoint() {
+        let mpu = fault_vector(&Fault::Mpu(MpuFault { ip: 0, addr: 0, kind: AccessKind::Read }));
+        let bus = fault_vector(&Fault::Bus { ip: 0, err: BusError::Unmapped { addr: 0 } });
+        assert!(mpu < VEC_IRQ_BASE && bus < VEC_IRQ_BASE);
+        assert!(irq_vector(0) >= VEC_IRQ_BASE && irq_vector(7) < VEC_SWI_BASE);
+        assert!(swi_vector(0) >= VEC_SWI_BASE);
+        assert!((swi_vector(15) as u32) < IDT_ENTRIES);
+    }
+
+    #[test]
+    fn wrapping_masks() {
+        assert_eq!(irq_vector(8), irq_vector(0));
+        assert_eq!(swi_vector(16), swi_vector(0));
+    }
+}

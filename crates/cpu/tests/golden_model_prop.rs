@@ -1,0 +1,130 @@
+//! Differential property test: random straight-line ALU programs are
+//! executed on the simulator and compared against an independent host
+//! evaluation of the same instruction sequence. Any divergence in
+//! register-file semantics shows up as a counterexample.
+
+use proptest::prelude::*;
+use trustlite_cpu::{Machine, SystemBus};
+use trustlite_isa::instr::AluOp;
+use trustlite_isa::{encode, Instr, Reg};
+use trustlite_mem::{Bus, Rom};
+use trustlite_mpu::EaMpu;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Alu(AluOp, Reg, Reg, Reg),
+    Mov(Reg, Reg),
+    Not(Reg, Reg),
+    Addi(Reg, Reg, i16),
+    Andi(Reg, Reg, u16),
+    Ori(Reg, Reg, u16),
+    Xori(Reg, Reg, u16),
+    Shli(Reg, Reg, u8),
+    Shri(Reg, Reg, u8),
+    Srai(Reg, Reg, u8),
+    Movi(Reg, i16),
+    Lui(Reg, u16),
+}
+
+fn gpr() -> impl Strategy<Value = Reg> {
+    (0u32..8).prop_map(|c| Reg::from_code(c).expect("gpr"))
+}
+
+fn any_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        ((0usize..AluOp::ALL.len()), gpr(), gpr(), gpr())
+            .prop_map(|(a, rd, rs1, rs2)| Op::Alu(AluOp::ALL[a], rd, rs1, rs2)),
+        (gpr(), gpr()).prop_map(|(rd, rs1)| Op::Mov(rd, rs1)),
+        (gpr(), gpr()).prop_map(|(rd, rs1)| Op::Not(rd, rs1)),
+        (gpr(), gpr(), any::<i16>()).prop_map(|(rd, rs1, v)| Op::Addi(rd, rs1, v)),
+        (gpr(), gpr(), any::<u16>()).prop_map(|(rd, rs1, v)| Op::Andi(rd, rs1, v)),
+        (gpr(), gpr(), any::<u16>()).prop_map(|(rd, rs1, v)| Op::Ori(rd, rs1, v)),
+        (gpr(), gpr(), any::<u16>()).prop_map(|(rd, rs1, v)| Op::Xori(rd, rs1, v)),
+        (gpr(), gpr(), 0u8..32).prop_map(|(rd, rs1, v)| Op::Shli(rd, rs1, v)),
+        (gpr(), gpr(), 0u8..32).prop_map(|(rd, rs1, v)| Op::Shri(rd, rs1, v)),
+        (gpr(), gpr(), 0u8..32).prop_map(|(rd, rs1, v)| Op::Srai(rd, rs1, v)),
+        (gpr(), any::<i16>()).prop_map(|(rd, v)| Op::Movi(rd, v)),
+        (gpr(), any::<u16>()).prop_map(|(rd, v)| Op::Lui(rd, v)),
+    ]
+}
+
+fn to_instr(op: Op) -> Instr {
+    match op {
+        Op::Alu(a, rd, rs1, rs2) => Instr::Alu { op: a, rd, rs1, rs2 },
+        Op::Mov(rd, rs1) => Instr::Mov { rd, rs1 },
+        Op::Not(rd, rs1) => Instr::Not { rd, rs1 },
+        Op::Addi(rd, rs1, imm) => Instr::Addi { rd, rs1, imm },
+        Op::Andi(rd, rs1, imm) => Instr::Andi { rd, rs1, imm },
+        Op::Ori(rd, rs1, imm) => Instr::Ori { rd, rs1, imm },
+        Op::Xori(rd, rs1, imm) => Instr::Xori { rd, rs1, imm },
+        Op::Shli(rd, rs1, imm) => Instr::Shli { rd, rs1, imm },
+        Op::Shri(rd, rs1, imm) => Instr::Shri { rd, rs1, imm },
+        Op::Srai(rd, rs1, imm) => Instr::Srai { rd, rs1, imm },
+        Op::Movi(rd, imm) => Instr::Movi { rd, imm },
+        Op::Lui(rd, imm) => Instr::Lui { rd, imm },
+    }
+}
+
+/// Independent (host) evaluation over a register array.
+fn golden_step(regs: &mut [u32; 8], op: Op) {
+    let g = |r: Reg| regs[r.code() as usize];
+    let v = match op {
+        Op::Alu(a, _, rs1, rs2) => a.apply(g(rs1), g(rs2)),
+        Op::Mov(_, rs1) => g(rs1),
+        Op::Not(_, rs1) => !g(rs1),
+        Op::Addi(_, rs1, imm) => g(rs1).wrapping_add(imm as i32 as u32),
+        Op::Andi(_, rs1, imm) => g(rs1) & imm as u32,
+        Op::Ori(_, rs1, imm) => g(rs1) | imm as u32,
+        Op::Xori(_, rs1, imm) => g(rs1) ^ imm as u32,
+        Op::Shli(_, rs1, imm) => g(rs1).wrapping_shl(imm as u32),
+        Op::Shri(_, rs1, imm) => g(rs1).wrapping_shr(imm as u32),
+        Op::Srai(_, rs1, imm) => ((g(rs1) as i32) >> imm) as u32,
+        Op::Movi(_, imm) => imm as i32 as u32,
+        Op::Lui(_, imm) => (imm as u32) << 16,
+    };
+    let rd = match op {
+        Op::Alu(_, rd, _, _)
+        | Op::Mov(rd, _)
+        | Op::Not(rd, _)
+        | Op::Addi(rd, _, _)
+        | Op::Andi(rd, _, _)
+        | Op::Ori(rd, _, _)
+        | Op::Xori(rd, _, _)
+        | Op::Shli(rd, _, _)
+        | Op::Shri(rd, _, _)
+        | Op::Srai(rd, _, _)
+        | Op::Movi(rd, _)
+        | Op::Lui(rd, _) => rd,
+    };
+    regs[rd.code() as usize] = v;
+}
+
+proptest! {
+    #[test]
+    fn simulator_matches_golden_model(
+        init in any::<[u32; 8]>(),
+        ops in proptest::collection::vec(any_op(), 1..64),
+    ) {
+        // Host evaluation.
+        let mut golden = init;
+        for &op in &ops {
+            golden_step(&mut golden, op);
+        }
+        // Simulator evaluation.
+        let mut words: Vec<u8> = Vec::new();
+        for &op in &ops {
+            words.extend_from_slice(&encode(to_instr(op)).to_le_bytes());
+        }
+        words.extend_from_slice(&encode(Instr::Halt).to_le_bytes());
+        let mut bus = Bus::new();
+        bus.map(0, Box::new(Rom::new(0x2000))).expect("maps");
+        bus.host_load(0, &words);
+        let mut sys = SystemBus::new(bus, EaMpu::new(2), None);
+        sys.enforce = false;
+        let mut m = Machine::new(sys, 0);
+        m.regs.gprs = init;
+        m.run(ops.len() as u64 + 4);
+        prop_assert_eq!(m.regs.gprs, golden, "ops: {:?}", ops);
+        prop_assert_eq!(m.instret, ops.len() as u64 + 1);
+    }
+}

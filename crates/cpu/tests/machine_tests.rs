@@ -1,0 +1,566 @@
+//! Integration tests for the execution loop and the exception engines.
+
+use trustlite_cpu::{costs, vectors};
+use trustlite_cpu::{
+    ttable, Fault, HaltReason, HwConfig, Machine, RunExit, StepOutcome, SystemBus, TrustletRow,
+};
+use trustlite_isa::{Asm, Image, Reg};
+use trustlite_mem::{Bus, BusError, IrqRequest, Ram, Rom};
+use trustlite_mpu::EaMpu;
+
+const PROM: u32 = 0x0000_0000;
+const SRAM: u32 = 0x1000_0000;
+const IDT: u32 = SRAM;
+const OS_SP_CELL: u32 = SRAM + 0x100;
+const TT_BASE: u32 = SRAM + 0x200;
+const OS_STACK_TOP: u32 = SRAM + 0x8000;
+const TL_STACK_TOP: u32 = SRAM + 0x9000;
+const TL_CODE: u32 = 0x8000; // trustlet code region inside PROM
+
+/// Builds a machine with PROM and SRAM, MPU enforcement off (these tests
+/// target the core and the engine, not the MPU).
+fn machine(images: &[&Image]) -> Machine {
+    let mut bus = Bus::new();
+    bus.map(PROM, Box::new(Rom::new(0x1_0000))).unwrap();
+    bus.map(SRAM, Box::new(Ram::new("sram", 0x1_0000))).unwrap();
+    for img in images {
+        assert!(bus.host_load(img.base, &img.bytes), "image load at {:#x}", img.base);
+    }
+    let mut sys = SystemBus::new(bus, EaMpu::new(8), None);
+    sys.enforce = false;
+    Machine::new(sys, PROM)
+}
+
+/// Installs an IDT entry, the OS stack cell and default hw config.
+fn configure_os(m: &mut Machine, vector: u8, handler: u32) {
+    m.sys.hw_write32(IDT + 4 * vector as u32, handler).unwrap();
+    m.sys.hw_write32(OS_SP_CELL, OS_STACK_TOP).unwrap();
+    m.hw = HwConfig {
+        secure_exceptions: false,
+        idt_base: IDT,
+        os_sp_cell: OS_SP_CELL,
+        os_region: (PROM, PROM + 0x8000),
+        tt_base: TT_BASE,
+        tt_count: 0,
+    };
+}
+
+fn asm(base: u32) -> Asm {
+    Asm::new(base)
+}
+
+#[test]
+fn arithmetic_program_computes() {
+    let mut a = asm(PROM);
+    a.li(Reg::R0, 6);
+    a.li(Reg::R1, 7);
+    a.mul(Reg::R2, Reg::R0, Reg::R1);
+    a.addi(Reg::R2, Reg::R2, -2);
+    a.halt();
+    let mut m = machine(&[&a.assemble().unwrap()]);
+    assert_eq!(m.run(100), RunExit::Halted(HaltReason::Halt { ip: PROM + 16 }));
+    assert_eq!(m.regs.get(Reg::R2), 40);
+    assert_eq!(m.instret, 5);
+}
+
+#[test]
+fn loop_and_branches() {
+    let mut a = asm(PROM);
+    a.li(Reg::R0, 0); // sum
+    a.li(Reg::R1, 0); // i
+    a.li(Reg::R2, 10);
+    a.label("loop");
+    a.add(Reg::R0, Reg::R0, Reg::R1);
+    a.addi(Reg::R1, Reg::R1, 1);
+    a.blt(Reg::R1, Reg::R2, "loop");
+    a.halt();
+    let mut m = machine(&[&a.assemble().unwrap()]);
+    m.run(1000);
+    assert_eq!(m.regs.get(Reg::R0), 45);
+}
+
+#[test]
+fn memory_and_stack() {
+    let mut a = asm(PROM);
+    a.li(Reg::Sp, OS_STACK_TOP);
+    a.li(Reg::R0, 0xdead_beef);
+    a.push(Reg::R0);
+    a.li(Reg::R0, 0);
+    a.pop(Reg::R1);
+    a.li(Reg::R2, SRAM + 0x40);
+    a.sw(Reg::R2, 4, Reg::R1);
+    a.lw(Reg::R3, Reg::R2, 4);
+    a.lb(Reg::R4, Reg::R2, 7);
+    a.halt();
+    let mut m = machine(&[&a.assemble().unwrap()]);
+    m.run(100);
+    assert_eq!(m.regs.get(Reg::R1), 0xdead_beef);
+    assert_eq!(m.regs.get(Reg::R3), 0xdead_beef);
+    assert_eq!(m.regs.get(Reg::R4), 0xde, "byte load zero-extends");
+    assert_eq!(m.regs.sp, OS_STACK_TOP);
+}
+
+#[test]
+fn call_and_ret() {
+    let mut a = asm(PROM);
+    a.li(Reg::Sp, OS_STACK_TOP);
+    a.li(Reg::R0, 1);
+    a.call("double");
+    a.call("double");
+    a.halt();
+    a.label("double");
+    a.add(Reg::R0, Reg::R0, Reg::R0);
+    a.ret();
+    let mut m = machine(&[&a.assemble().unwrap()]);
+    m.run(100);
+    assert_eq!(m.regs.get(Reg::R0), 4);
+    assert_eq!(m.regs.sp, OS_STACK_TOP, "stack balanced");
+}
+
+#[test]
+fn callr_and_jr_absolute() {
+    let mut a = asm(PROM);
+    a.li(Reg::Sp, OS_STACK_TOP);
+    a.la(Reg::R5, "target");
+    a.callr(Reg::R5);
+    a.halt();
+    a.label("target");
+    a.li(Reg::R0, 99);
+    a.ret();
+    let mut m = machine(&[&a.assemble().unwrap()]);
+    m.run(100);
+    assert_eq!(m.regs.get(Reg::R0), 99);
+}
+
+#[test]
+fn unmapped_fetch_without_handler_double_faults() {
+    let mut a = asm(PROM);
+    a.li(Reg::R0, 0x9000_0000);
+    a.jr(Reg::R0);
+    let mut m = machine(&[&a.assemble().unwrap()]);
+    // No IDT configured: the bus fault cannot be delivered.
+    let exit = m.run(100);
+    assert!(matches!(exit, RunExit::Halted(HaltReason::DoubleFault(_))), "{exit:?}");
+}
+
+#[test]
+fn regular_exception_entry_costs_21_cycles() {
+    // Program triggers swi 0; the handler halts.
+    let mut a = asm(PROM);
+    a.li(Reg::Sp, OS_STACK_TOP);
+    a.nop();
+    a.swi(0);
+    a.halt(); // not reached
+    a.label("handler");
+    a.halt();
+    let img = a.assemble().unwrap();
+    let handler = img.expect_symbol("handler");
+    let mut m = machine(&[&img]);
+    configure_os(&mut m, vectors::swi_vector(0), handler);
+    m.run(100);
+    assert_eq!(m.exc_log.len(), 1);
+    let rec = m.exc_log[0];
+    assert_eq!(rec.entry_cycles, costs::EXC_REGULAR_TOTAL);
+    assert_eq!(rec.entry_cycles, 21, "paper section 5.4");
+    assert_eq!(rec.trustlet, None);
+}
+
+#[test]
+fn exception_frame_layout_and_iret() {
+    // swi from "task" code outside the OS region; handler inspects the
+    // frame then irets back.
+    let mut a = asm(PROM);
+    a.nop(); // keep the handler off address 0 (the unconfigured-IDT sentinel)
+    a.label("handler");
+    // Frame: [sp+0]=fault addr, +4=err code, +8=flags, +12=ip, +16=sp.
+    a.lw(Reg::R4, Reg::Sp, 4); // err code = swi arg
+    a.lw(Reg::R5, Reg::Sp, 12); // return ip
+    a.iret();
+    let img_os = a.assemble().unwrap();
+
+    let mut t = asm(0x9000); // outside os_region (0..0x8000)
+    t.li(Reg::Sp, TL_STACK_TOP);
+    t.li(Reg::R0, 5);
+    t.swi(7);
+    t.addi(Reg::R0, Reg::R0, 1); // resumed here
+    t.halt();
+    let img_task = t.assemble().unwrap();
+
+    let handler = img_os.expect_symbol("handler");
+    let mut m = machine(&[&img_os, &img_task]);
+    configure_os(&mut m, vectors::swi_vector(7), handler);
+    // Start in the task.
+    m.regs.ip = 0x9000;
+    m.run(200);
+    assert_eq!(m.halted, Some(HaltReason::Halt { ip: 0x9000 + 5 * 4 }));
+    assert_eq!(m.regs.get(Reg::R4), 7, "handler saw the swi argument");
+    assert_eq!(m.regs.get(Reg::R0), 6, "task resumed after swi");
+    assert_eq!(m.regs.sp, TL_STACK_TOP, "task stack restored by iret");
+}
+
+#[test]
+fn interrupts_masked_until_ei() {
+    let mut a = asm(PROM);
+    a.li(Reg::Sp, OS_STACK_TOP); // lui + ori
+    a.di();
+    a.li(Reg::R0, 1);
+    a.li(Reg::R0, 2);
+    a.ei();
+    a.nop();
+    a.halt();
+    a.label("handler");
+    a.li(Reg::R7, 0xaa);
+    a.iret();
+    let img = a.assemble().unwrap();
+    let handler = img.expect_symbol("handler");
+    let mut m = machine(&[&img]);
+    configure_os(&mut m, vectors::irq_vector(0), handler);
+    m.raise_irq(IrqRequest { line: 0, handler: None });
+    // Step li sp (2 words), di, li, li: no delivery while masked.
+    for _ in 0..5 {
+        assert_eq!(m.step(), StepOutcome::Retired);
+    }
+    assert!(m.irq_pending());
+    // Step ei, then the next step delivers.
+    assert_eq!(m.step(), StepOutcome::Retired);
+    assert!(matches!(m.step(), StepOutcome::ExceptionTaken { .. }));
+    m.run(100);
+    assert_eq!(m.regs.get(Reg::R7), 0xaa);
+}
+
+#[test]
+fn peripheral_vectored_interrupt_skips_idt() {
+    let mut a = asm(PROM);
+    a.li(Reg::Sp, OS_STACK_TOP);
+    a.ei();
+    a.label("spin");
+    a.jmp("spin");
+    a.label("isr");
+    a.halt();
+    let img = a.assemble().unwrap();
+    let isr = img.expect_symbol("isr");
+    let mut m = machine(&[&img]);
+    configure_os(&mut m, 0, 0); // IDT entry 0 left unset on purpose
+    m.raise_irq(IrqRequest { line: 3, handler: Some(isr) });
+    let exit = m.run(100);
+    assert_eq!(exit, RunExit::Halted(HaltReason::Halt { ip: isr }));
+}
+
+// --- Secure exception engine ---
+
+/// Sets up a trustlet at TL_CODE with one TT row, an OS spin loop and a
+/// handler that halts; returns the machine with secure exceptions on.
+fn secure_setup(trustlet_body: impl FnOnce(&mut Asm)) -> Machine {
+    // OS: enables interrupts, jumps into the trustlet.
+    let mut os = asm(PROM);
+    os.li(Reg::Sp, OS_STACK_TOP);
+    os.ei();
+    os.li(Reg::R6, TL_CODE);
+    os.jr(Reg::R6);
+    os.label("handler");
+    os.halt();
+    let os_img = os.assemble().unwrap();
+
+    let mut t = asm(TL_CODE);
+    trustlet_body(&mut t);
+    let t_img = t.assemble().unwrap();
+
+    let handler = os_img.expect_symbol("handler");
+    let mut m = machine(&[&os_img, &t_img]);
+    configure_os(&mut m, vectors::swi_vector(1), handler);
+    m.sys.hw_write32(IDT + 4 * vectors::irq_vector(0) as u32, handler).unwrap();
+    m.hw.secure_exceptions = true;
+    m.hw.tt_count = 1;
+    ttable::write_row(
+        &mut m.sys,
+        TT_BASE,
+        0,
+        &TrustletRow {
+            id: 0xA,
+            code_start: TL_CODE,
+            code_end: TL_CODE + 0x1000,
+            saved_sp: TL_STACK_TOP,
+        },
+    )
+    .unwrap();
+    m
+}
+
+#[test]
+fn secure_engine_charges_42_cycles_for_trustlet_interrupt() {
+    let mut m = secure_setup(|t| {
+        t.li(Reg::Sp, TL_STACK_TOP);
+        t.li(Reg::R0, 0x5ec2e7);
+        t.swi(1);
+        t.halt();
+    });
+    m.run(200);
+    let rec = m.exc_log.last().expect("exception recorded");
+    assert_eq!(rec.trustlet, Some(0));
+    assert_eq!(
+        rec.entry_cycles,
+        costs::EXC_REGULAR_TOTAL + costs::SEC_TRUSTLET_EXTRA,
+        "21 + 21 cycles"
+    );
+    assert_eq!(rec.entry_cycles, 42);
+}
+
+#[test]
+fn secure_engine_charges_2_extra_for_non_trustlet() {
+    let mut m = secure_setup(|t| {
+        t.halt();
+    });
+    // Interrupt while still in the OS (before the jump lands).
+    // Use a swi directly from the OS region instead: craft a new OS image.
+    let mut os = asm(PROM);
+    os.li(Reg::Sp, OS_STACK_TOP);
+    os.swi(1);
+    os.halt();
+    os.label("h2");
+    os.halt();
+    let os_img = os.assemble().unwrap();
+    assert!(m.sys.bus.host_load(PROM, &os_img.bytes));
+    m.sys.hw_write32(IDT + 4 * vectors::swi_vector(1) as u32, os_img.expect_symbol("h2"))
+        .unwrap();
+    m.run(100);
+    let rec = m.exc_log.last().expect("exception recorded");
+    assert_eq!(rec.trustlet, None);
+    assert_eq!(rec.entry_cycles, costs::EXC_REGULAR_TOTAL + costs::SEC_MISS_EXTRA);
+    assert_eq!(rec.entry_cycles, 23);
+}
+
+#[test]
+fn secure_engine_clears_registers_and_saves_state() {
+    let mut m = secure_setup(|t| {
+        t.li(Reg::Sp, TL_STACK_TOP);
+        t.li(Reg::R0, 0x1111);
+        t.li(Reg::R1, 0x2222);
+        t.li(Reg::R7, 0x7777);
+        t.swi(1); // interrupted here with secrets in registers
+        t.halt();
+    });
+    m.run(300);
+    assert!(matches!(m.halted, Some(HaltReason::Halt { .. })), "{:?}", m.halted);
+    // The OS handler halted; at that point the GPRs must hold no secrets
+    // (the frame pushes happen after clearing).
+    for (i, &g) in m.regs.gprs.iter().enumerate() {
+        assert_ne!(g, 0x1111, "r{i} leaked");
+        assert_ne!(g, 0x2222, "r{i} leaked");
+        assert_ne!(g, 0x7777, "r{i} leaked");
+    }
+    // The trustlet's saved SP was recorded in the Trustlet Table.
+    let row = ttable::read_row(&mut m.sys, TT_BASE, 0).unwrap();
+    assert_eq!(row.saved_sp, TL_STACK_TOP - 40, "10 words pushed");
+    // The saved state sits on the trustlet stack: r7 deepest slot is at
+    // saved_sp (pushed last), ret ip at saved_sp + 36.
+    assert_eq!(m.sys.hw_read32(row.saved_sp).unwrap(), 0x7777);
+    assert_eq!(m.sys.hw_read32(row.saved_sp + 28).unwrap(), 0x1111, "r0");
+    // li sp = lui+ori (2 instrs), three movis, then swi at +20; the saved
+    // return ip is the instruction after the swi.
+    assert_eq!(m.sys.hw_read32(row.saved_sp + 36).unwrap(), TL_CODE + 24, "return ip");
+}
+
+#[test]
+fn secure_engine_sanitizes_reported_ip_and_sp() {
+    let mut m = secure_setup(|t| {
+        t.li(Reg::Sp, TL_STACK_TOP);
+        t.nop();
+        t.nop();
+        t.swi(1);
+        t.halt();
+    });
+    m.run(300);
+    // Inspect the OS exception frame below OS_STACK_TOP:
+    // [top-4]=pushed SP (sanitized 0), [top-8]=pushed IP (entry vector).
+    let pushed_sp = m.sys.hw_read32(OS_STACK_TOP - 4).unwrap();
+    let pushed_ip = m.sys.hw_read32(OS_STACK_TOP - 8).unwrap();
+    assert_eq!(pushed_sp, 0, "trustlet SP hidden from the OS");
+    assert_eq!(pushed_ip, TL_CODE, "faulting IP sanitized to the entry vector");
+}
+
+#[test]
+fn trustlet_resume_restores_state() {
+    // The trustlet's entry contains a continue() stub: reload SP from the
+    // Trustlet Table row, pop r7..r0, popf, ret (paper Section 4.1).
+    let sp_slot = TrustletRow::saved_sp_addr(TT_BASE, 0);
+    let mut m = secure_setup(move |t| {
+        // Entry vector: continue().
+        t.jmp("continue");
+        t.label("main");
+        t.li(Reg::Sp, TL_STACK_TOP);
+        t.li(Reg::R0, 41);
+        t.swi(1); // OS will resume us via the entry vector
+        t.addi(Reg::R0, Reg::R0, 1);
+        t.halt();
+        t.label("continue");
+        t.li(Reg::R1, sp_slot);
+        t.lw(Reg::Sp, Reg::R1, 0);
+        for r in [Reg::R7, Reg::R6, Reg::R5, Reg::R4, Reg::R3, Reg::R2, Reg::R1, Reg::R0] {
+            t.pop(r);
+        }
+        t.popf();
+        t.ret(); // pops the saved return ip
+    });
+    // OS handler: instead of halting, jump back to the trustlet entry.
+    let mut os = asm(PROM);
+    os.li(Reg::Sp, OS_STACK_TOP);
+    os.ei();
+    os.li(Reg::R6, TL_CODE + 4); // jump to "main", skipping the entry jump
+    os.jr(Reg::R6);
+    os.label("handler");
+    os.li(Reg::R6, TL_CODE); // resume via entry vector = continue()
+    os.jr(Reg::R6);
+    let os_img = os.assemble().unwrap();
+    assert!(m.sys.bus.host_load(PROM, &os_img.bytes));
+    m.sys.hw_write32(IDT + 4 * vectors::swi_vector(1) as u32, os_img.expect_symbol("handler"))
+        .unwrap();
+    let exit = m.run(500);
+    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
+    assert_eq!(m.regs.get(Reg::R0), 42, "trustlet resumed with its state intact");
+}
+
+#[test]
+fn engine_save_to_bad_trustlet_stack_double_faults() {
+    let mut m = secure_setup(|t| {
+        t.li(Reg::Sp, 0x9000_0000); // unmapped stack
+        t.swi(1);
+        t.halt();
+    });
+    let exit = m.run(200);
+    match exit {
+        RunExit::Halted(HaltReason::DoubleFault(Fault::Bus { err, .. })) => {
+            assert!(matches!(err, BusError::Unmapped { .. }));
+        }
+        other => panic!("expected double fault, got {other:?}"),
+    }
+}
+
+#[test]
+fn nested_interrupt_inside_handler_uses_current_stack() {
+    // Handler (in OS region) triggers swi 2 while handling swi 1; the
+    // nested frame must land on the current (OS) stack without reloading
+    // the OS SP cell, and both irets unwind correctly.
+    let mut os = asm(PROM);
+    os.li(Reg::Sp, OS_STACK_TOP);
+    os.swi(1);
+    os.li(Reg::R0, 0xfe);
+    os.halt();
+    os.label("h1");
+    os.swi(2);
+    os.addi(Reg::R1, Reg::R1, 1);
+    os.iret();
+    os.label("h2");
+    os.addi(Reg::R2, Reg::R2, 1);
+    os.iret();
+    let img = os.assemble().unwrap();
+    let mut m = machine(&[&img]);
+    configure_os(&mut m, vectors::swi_vector(1), img.expect_symbol("h1"));
+    m.sys.hw_write32(IDT + 4 * vectors::swi_vector(2) as u32, img.expect_symbol("h2")).unwrap();
+    let exit = m.run(300);
+    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
+    assert_eq!(m.regs.get(Reg::R0), 0xfe);
+    assert_eq!(m.regs.get(Reg::R1), 1);
+    assert_eq!(m.regs.get(Reg::R2), 1);
+    assert_eq!(m.regs.sp, OS_STACK_TOP, "both frames unwound");
+    assert_eq!(m.exc_log.len(), 2);
+}
+
+#[test]
+fn trace_records_retired_instructions() {
+    let mut a = asm(PROM);
+    a.li(Reg::R0, 1);
+    a.halt();
+    let mut m = machine(&[&a.assemble().unwrap()]);
+    m.trace_enabled = true;
+    m.run(10);
+    assert_eq!(m.trace.len(), 2);
+    assert_eq!(m.trace[0].1, PROM);
+}
+
+#[test]
+fn swi_charges_a_cycle_even_when_it_double_faults() {
+    // Regression (found by fuzzing): a swi with no IDT configured used to
+    // retire with instret incremented but zero cycles charged.
+    let mut a = asm(PROM);
+    a.swi(0);
+    let mut m = machine(&[&a.assemble().unwrap()]);
+    m.run(10);
+    assert!(matches!(m.halted, Some(HaltReason::DoubleFault(_))));
+    assert_eq!(m.instret, 1);
+    assert!(m.cycles >= m.instret);
+}
+
+#[test]
+fn cycle_costs_accumulate() {
+    let mut a = asm(PROM);
+    a.nop(); // 1
+    a.li(Reg::R1, SRAM); // 1 (movi? no: lui only = 1)
+    a.lw(Reg::R0, Reg::R1, 0); // 2
+    a.mul(Reg::R0, Reg::R0, Reg::R0); // 3
+    a.jmp("end"); // 2
+    a.nop();
+    a.label("end");
+    a.halt(); // 1
+    let mut m = machine(&[&a.assemble().unwrap()]);
+    m.run(10);
+    assert_eq!(m.cycles, 1 + 1 + 2 + 3 + 2 + 1);
+    assert_eq!(m.instret, 6);
+}
+
+#[test]
+fn halfword_and_signed_loads() {
+    let mut a = asm(PROM);
+    a.li(Reg::R1, SRAM + 0x40);
+    a.li(Reg::R0, 0x8001_80ff);
+    a.sw(Reg::R1, 0, Reg::R0);
+    a.lb(Reg::R2, Reg::R1, 0); // 0xff zero-extended
+    a.lbs(Reg::R3, Reg::R1, 0); // 0xff sign-extended
+    a.lh(Reg::R4, Reg::R1, 0); // 0x80ff zero-extended
+    a.lhs(Reg::R5, Reg::R1, 2); // 0x8001 sign-extended
+    a.li(Reg::R6, 0xabcd);
+    a.sh(Reg::R1, 4, Reg::R6);
+    a.lh(Reg::R7, Reg::R1, 4);
+    a.halt();
+    let mut m = machine(&[&a.assemble().unwrap()]);
+    m.run(100);
+    assert_eq!(m.regs.get(Reg::R2), 0xff);
+    assert_eq!(m.regs.get(Reg::R3), 0xffff_ffff);
+    assert_eq!(m.regs.get(Reg::R4), 0x80ff);
+    assert_eq!(m.regs.get(Reg::R5), 0xffff_8001);
+    assert_eq!(m.regs.get(Reg::R7), 0xabcd);
+}
+
+#[test]
+fn misaligned_halfword_faults() {
+    let mut a = asm(PROM);
+    a.li(Reg::R1, SRAM + 0x41);
+    a.lh(Reg::R0, Reg::R1, 0); // odd address
+    a.halt();
+    let mut m = machine(&[&a.assemble().unwrap()]);
+    let exit = m.run(100);
+    assert!(
+        matches!(exit, RunExit::Halted(HaltReason::DoubleFault(Fault::Bus { .. }))),
+        "{exit:?}"
+    );
+}
+
+#[test]
+fn division_semantics() {
+    let mut a = asm(PROM);
+    a.li(Reg::R1, 100);
+    a.li(Reg::R2, 7);
+    a.divu(Reg::R3, Reg::R1, Reg::R2); // 14
+    a.remu(Reg::R4, Reg::R1, Reg::R2); // 2
+    a.li(Reg::R2, 0);
+    a.divu(Reg::R5, Reg::R1, Reg::R2); // div by zero -> all ones
+    a.remu(Reg::R6, Reg::R1, Reg::R2); // rem by zero -> dividend
+    a.halt();
+    let mut m = machine(&[&a.assemble().unwrap()]);
+    m.run(100);
+    assert_eq!(m.regs.get(Reg::R3), 14);
+    assert_eq!(m.regs.get(Reg::R4), 2);
+    assert_eq!(m.regs.get(Reg::R5), u32::MAX);
+    assert_eq!(m.regs.get(Reg::R6), 100);
+    // Division pays the iterative-divider cost.
+    assert!(m.cycles > m.instret + 2 * trustlite_cpu::costs::DIV_EXTRA);
+}

@@ -1,0 +1,101 @@
+//! Robustness properties: the simulator must never panic, whatever
+//! garbage executes — arbitrary PROM contents, arbitrary register states,
+//! arbitrary hardware configuration. Every outcome must be a clean halt,
+//! fault delivery, double fault or step-limit.
+
+use proptest::prelude::*;
+use trustlite_cpu::{HwConfig, Machine, SystemBus};
+use trustlite_mem::{Bus, Ram, Rom};
+use trustlite_mpu::{EaMpu, Perms, RuleSlot, Subject};
+
+fn machine_with_prom(words: &[u32], enforce: bool) -> Machine {
+    let mut bus = Bus::new();
+    bus.map(0, Box::new(Rom::new(0x1000))).expect("maps");
+    bus.map(0x1000_0000, Box::new(Ram::new("sram", 0x1000))).expect("maps");
+    let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+    bus.host_load(0, &bytes);
+    let mut mpu = EaMpu::new(4);
+    mpu.set_rule(
+        0,
+        RuleSlot {
+            start: 0,
+            end: 0x1000,
+            perms: Perms::RX,
+            subject: Subject::Any,
+            enabled: true,
+            locked: false,
+        },
+    )
+    .expect("fits");
+    mpu.set_rule(
+        1,
+        RuleSlot {
+            start: 0x1000_0000,
+            end: 0x1000_1000,
+            perms: Perms::RW,
+            subject: Subject::Any,
+            enabled: true,
+            locked: false,
+        },
+    )
+    .expect("fits");
+    let mut sys = SystemBus::new(bus, mpu, None);
+    sys.enforce = enforce;
+    Machine::new(sys, 0)
+}
+
+proptest! {
+    /// Arbitrary PROM contents execute without panicking (MPU enforcing).
+    #[test]
+    fn arbitrary_code_never_panics(words in proptest::collection::vec(any::<u32>(), 1..256)) {
+        let mut m = machine_with_prom(&words, true);
+        let _ = m.run(2_000);
+    }
+
+    /// Same without enforcement (wild loads/stores roam the whole map).
+    #[test]
+    fn arbitrary_code_never_panics_unenforced(
+        words in proptest::collection::vec(any::<u32>(), 1..256)
+    ) {
+        let mut m = machine_with_prom(&words, false);
+        let _ = m.run(2_000);
+    }
+
+    /// Arbitrary register/hardware state at arbitrary entry points.
+    #[test]
+    fn arbitrary_machine_state_never_panics(
+        words in proptest::collection::vec(any::<u32>(), 1..64),
+        gprs in any::<[u32; 8]>(),
+        sp in any::<u32>(),
+        ip in any::<u32>(),
+        secure in any::<bool>(),
+        tt_base in any::<u32>(),
+        tt_count in 0u32..8,
+        idt_base in any::<u32>(),
+    ) {
+        let mut m = machine_with_prom(&words, true);
+        m.regs.gprs = gprs;
+        m.regs.sp = sp;
+        m.regs.ip = ip;
+        m.prev_ip = ip;
+        m.hw = HwConfig {
+            secure_exceptions: secure,
+            idt_base,
+            os_sp_cell: idt_base.wrapping_add(0x80),
+            os_region: (0, 0x800),
+            tt_base,
+            tt_count,
+        };
+        let _ = m.run(2_000);
+    }
+
+    /// The machine's observable counters are consistent after any run:
+    /// cycles never decrease below instret (every instruction costs at
+    /// least one cycle).
+    #[test]
+    fn cycle_accounting_is_sane(words in proptest::collection::vec(any::<u32>(), 1..128)) {
+        let mut m = machine_with_prom(&words, true);
+        let _ = m.run(2_000);
+        prop_assert!(m.cycles >= m.instret, "cycles {} < instret {}", m.cycles, m.instret);
+    }
+}

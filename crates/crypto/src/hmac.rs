@@ -1,0 +1,138 @@
+//! HMAC-SHA-256 (RFC 2104 / FIPS 198-1).
+
+use crate::sha256::Sha256;
+
+const BLOCK: usize = 64;
+
+/// Incremental HMAC-SHA-256 context.
+///
+/// # Examples
+///
+/// ```
+/// use trustlite_crypto::{hmac_sha256, Hmac};
+///
+/// let mut mac = Hmac::new(b"key");
+/// mac.update(b"mess");
+/// mac.update(b"age");
+/// assert_eq!(mac.finish(), hmac_sha256(b"key", b"message"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hmac {
+    inner: Sha256,
+    opad_key: [u8; BLOCK],
+}
+
+impl Hmac {
+    /// Creates a MAC context keyed with `key` (any length).
+    pub fn new(key: &[u8]) -> Self {
+        let mut k = [0u8; BLOCK];
+        if key.len() > BLOCK {
+            let digest = crate::sha256::sha256(key);
+            k[..32].copy_from_slice(&digest);
+        } else {
+            k[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0u8; BLOCK];
+        let mut opad = [0u8; BLOCK];
+        for i in 0..BLOCK {
+            ipad[i] = k[i] ^ 0x36;
+            opad[i] = k[i] ^ 0x5c;
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        Hmac { inner, opad_key: opad }
+    }
+
+    /// Absorbs message data.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finalizes and returns the 32-byte tag.
+    pub fn finish(self) -> [u8; 32] {
+        let inner_digest = self.inner.finish();
+        let mut outer = Sha256::new();
+        outer.update(&self.opad_key);
+        outer.update(&inner_digest);
+        outer.finish()
+    }
+
+    /// Verifies a tag in constant time.
+    pub fn verify(self, tag: &[u8]) -> bool {
+        crate::ct_eq(&self.finish(), tag)
+    }
+}
+
+/// One-shot HMAC-SHA-256.
+pub fn hmac_sha256(key: &[u8], data: &[u8]) -> [u8; 32] {
+    let mut mac = Hmac::new(key);
+    mac.update(data);
+    mac.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::hex;
+
+    // RFC 4231 test vectors.
+
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0bu8; 20];
+        assert_eq!(
+            hex(&hmac_sha256(&key, b"Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2() {
+        assert_eq!(
+            hex(&hmac_sha256(b"Jefe", b"what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case3() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        assert_eq!(
+            hex(&hmac_sha256(&key, &data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case6_long_key() {
+        let key = [0xaau8; 131];
+        assert_eq!(
+            hex(&hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First")),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = hmac_sha256(b"k", b"m");
+        let mut mac = Hmac::new(b"k");
+        mac.update(b"m");
+        assert!(mac.verify(&tag));
+
+        let mut bad = tag;
+        bad[0] ^= 1;
+        let mut mac = Hmac::new(b"k");
+        mac.update(b"m");
+        assert!(!mac.verify(&bad));
+
+        let mac = Hmac::new(b"k");
+        assert!(!mac.verify(&tag[..31]));
+    }
+
+    #[test]
+    fn key_sensitivity() {
+        assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
+        assert_ne!(hmac_sha256(b"k", b"m1"), hmac_sha256(b"k", b"m2"));
+    }
+}

@@ -1,0 +1,56 @@
+//! Cryptographic primitives for the TrustLite reproduction.
+//!
+//! The TrustLite paper assumes "any deployed cryptographic mechanisms are
+//! secure" (Section 2.2) and optionally instantiates a hardware hash engine
+//! (it cites Spongent as an example accelerator that fits in the base-cost
+//! margin). This crate provides the software implementations backing the
+//! simulated crypto accelerator peripheral and the host-side attestation
+//! logic:
+//!
+//! * [`sha256`](mod@sha256) — FIPS 180-4 SHA-256 (one-shot and
+//!   incremental),
+//! * [`sponge`] — a Spongent-*style* lightweight sponge hash (an ARX
+//!   permutation, not the published SPONGENT; see the module docs),
+//! * [`hmac`] — HMAC-SHA-256 (RFC 2104),
+//! * [`rng`] — a deterministic, seedable xorshift generator for nonces in a
+//!   reproducible simulation,
+//! * [`ct_eq`] — constant-time comparison for MAC verification.
+//!
+//! Everything is implemented from scratch; no external crates.
+
+pub mod hmac;
+pub mod rng;
+pub mod sha256;
+pub mod sponge;
+
+pub use hmac::{hmac_sha256, Hmac};
+pub use rng::XorShift64;
+pub use sha256::{sha256, Sha256};
+pub use sponge::{sponge_hash, Sponge};
+
+/// Compares two byte slices in constant time (with respect to content).
+///
+/// Returns false for length mismatches without inspecting contents.
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ct_eq_basic() {
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"abc", b"ab"));
+        assert!(ct_eq(b"", b""));
+    }
+}

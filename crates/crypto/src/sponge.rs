@@ -1,0 +1,190 @@
+//! A lightweight sponge-construction hash.
+//!
+//! The TrustLite paper points at SPONGENT as a representative low-area
+//! hardware hash (22 Spartan-6 slices) that the base-cost margin of the
+//! EA-MPU can absorb. This module implements a Spongent-*style* sponge —
+//! the same construction (absorb/permute/squeeze over a small state with a
+//! small rate) but with a simple ARX permutation instead of SPONGENT's
+//! bit-sliced S-box/LFSR round, which keeps the implementation compact and
+//! auditable. It is used where the paper would use the hardware hash: as
+//! the measurement function of the simulated crypto accelerator.
+//!
+//! The construction: 256-bit state (eight 32-bit words), 64-bit rate,
+//! 192-bit capacity, 12-round ARX permutation per absorb/squeeze step,
+//! 10*1 padding, 256-bit output.
+
+/// Number of permutation rounds applied per absorbed/squeezed block.
+const ROUNDS: usize = 12;
+
+/// Rate in bytes (two 32-bit words are exposed to input/output).
+const RATE: usize = 8;
+
+/// Round constants derived from the SHA-256 constant table (reused as
+/// nothing-up-my-sleeve numbers).
+const RC: [u32; ROUNDS] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+];
+
+fn permute(s: &mut [u32; 8]) {
+    for (r, &rc) in RC.iter().enumerate() {
+        s[0] = s[0].wrapping_add(rc).wrapping_add(r as u32);
+        // One double-round of an ARX mix across the eight words.
+        for i in 0..8 {
+            let a = s[i];
+            let b = s[(i + 1) % 8];
+            let c = s[(i + 5) % 8];
+            s[i] = a.wrapping_add(b).rotate_left(7) ^ c;
+        }
+        for i in (0..8).rev() {
+            let a = s[i];
+            let b = s[(i + 3) % 8];
+            s[i] = a.rotate_left(13).wrapping_add(b ^ 0x9e37_79b9);
+        }
+    }
+}
+
+/// Incremental sponge-hash context.
+///
+/// # Examples
+///
+/// ```
+/// use trustlite_crypto::{sponge_hash, Sponge};
+///
+/// let mut ctx = Sponge::new();
+/// ctx.update(b"measure");
+/// ctx.update(b"ment");
+/// assert_eq!(ctx.finish(), sponge_hash(b"measurement"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sponge {
+    state: [u32; 8],
+    buf: [u8; RATE],
+    buf_len: usize,
+}
+
+impl Default for Sponge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sponge {
+    /// Creates a fresh context with a domain-separated initial state.
+    pub fn new() -> Self {
+        // "TLsponge" in ASCII, repeated with index, as the IV.
+        let mut state = [0u32; 8];
+        for (i, w) in state.iter_mut().enumerate() {
+            *w = u32::from_le_bytes(*b"TLsp") ^ ((i as u32) << 24) ^ u32::from_le_bytes(*b"onge");
+        }
+        permute(&mut state);
+        Sponge { state, buf: [0; RATE], buf_len: 0 }
+    }
+
+    fn absorb_block(&mut self) {
+        self.state[0] ^= u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
+        self.state[1] ^= u32::from_le_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]]);
+        permute(&mut self.state);
+        self.buf_len = 0;
+    }
+
+    /// Absorbs more input.
+    pub fn update(&mut self, data: &[u8]) {
+        for &b in data {
+            self.buf[self.buf_len] = b;
+            self.buf_len += 1;
+            if self.buf_len == RATE {
+                self.absorb_block();
+            }
+        }
+    }
+
+    /// Finalizes (10*1 padding) and squeezes a 32-byte digest.
+    pub fn finish(mut self) -> [u8; 32] {
+        // Pad: 0x01, zeros, 0x80 in the last rate byte.
+        self.buf[self.buf_len] = 0x01;
+        for i in self.buf_len + 1..RATE {
+            self.buf[i] = 0;
+        }
+        self.buf[RATE - 1] |= 0x80;
+        self.absorb_block();
+
+        let mut out = [0u8; 32];
+        for chunk in out.chunks_mut(RATE) {
+            chunk[..4].copy_from_slice(&self.state[0].to_le_bytes());
+            chunk[4..].copy_from_slice(&self.state[1].to_le_bytes());
+            permute(&mut self.state);
+        }
+        out
+    }
+}
+
+/// One-shot sponge hash.
+pub fn sponge_hash(data: &[u8]) -> [u8; 32] {
+    let mut ctx = Sponge::new();
+    ctx.update(data);
+    ctx.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(sponge_hash(b"abc"), sponge_hash(b"abc"));
+    }
+
+    #[test]
+    fn distinct_on_small_perturbations() {
+        let mut seen = HashSet::new();
+        // Empty, single bytes, length extensions, bit flips.
+        assert!(seen.insert(sponge_hash(b"")));
+        for b in 0u8..=255 {
+            assert!(seen.insert(sponge_hash(&[b])), "collision on single byte {b}");
+        }
+        assert!(seen.insert(sponge_hash(b"\x00\x00")));
+        assert!(seen.insert(sponge_hash(b"\x01\x00")));
+        assert!(seen.insert(sponge_hash(b"\x00\x01")));
+    }
+
+    #[test]
+    fn padding_not_ambiguous() {
+        // Messages that only differ by trailing zeros must hash differently
+        // (10*1 padding makes length part of the input).
+        assert_ne!(sponge_hash(b"x"), sponge_hash(b"x\x00"));
+        assert_ne!(sponge_hash(b""), sponge_hash(b"\x00"));
+        assert_ne!(sponge_hash(&[0u8; 7]), sponge_hash(&[0u8; 8]));
+        assert_ne!(sponge_hash(&[0u8; 8]), sponge_hash(&[0u8; 9]));
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..100u8).collect();
+        for split in [0, 1, 7, 8, 9, 50, 100] {
+            let mut ctx = Sponge::new();
+            ctx.update(&data[..split]);
+            ctx.update(&data[split..]);
+            assert_eq!(ctx.finish(), sponge_hash(&data), "split={split}");
+        }
+    }
+
+    #[test]
+    fn avalanche() {
+        // Flipping one input bit should flip roughly half the output bits.
+        let base = sponge_hash(b"trustlite measurement input!");
+        let mut flipped = b"trustlite measurement input!".to_vec();
+        flipped[3] ^= 0x10;
+        let other = sponge_hash(&flipped);
+        let differing: u32 = base
+            .iter()
+            .zip(other.iter())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert!(
+            (64..=192).contains(&differing),
+            "poor diffusion: {differing}/256 bits differ"
+        );
+    }
+}

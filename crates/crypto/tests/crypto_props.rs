@@ -1,0 +1,82 @@
+//! Property tests on the crypto primitives.
+
+use proptest::prelude::*;
+use trustlite_crypto::{ct_eq, hmac_sha256, sha256, sponge_hash, Hmac, Sha256, Sponge};
+
+proptest! {
+    /// Incremental hashing over arbitrary split points equals one-shot.
+    #[test]
+    fn sha256_incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        splits in proptest::collection::vec(any::<prop::sample::Index>(), 0..8),
+    ) {
+        let expected = sha256(&data);
+        let mut points: Vec<usize> =
+            splits.iter().map(|i| i.index(data.len() + 1)).collect();
+        points.sort_unstable();
+        let mut ctx = Sha256::new();
+        let mut prev = 0;
+        for p in points {
+            ctx.update(&data[prev..p]);
+            prev = p;
+        }
+        ctx.update(&data[prev..]);
+        prop_assert_eq!(ctx.finish(), expected);
+    }
+
+    /// Same for the sponge hash.
+    #[test]
+    fn sponge_incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+        split in any::<prop::sample::Index>(),
+    ) {
+        let expected = sponge_hash(&data);
+        let p = split.index(data.len() + 1);
+        let mut ctx = Sponge::new();
+        ctx.update(&data[..p]);
+        ctx.update(&data[p..]);
+        prop_assert_eq!(ctx.finish(), expected);
+    }
+
+    /// HMAC verifies its own tags and rejects any single-bit corruption.
+    #[test]
+    fn hmac_verify_roundtrip(
+        key in proptest::collection::vec(any::<u8>(), 0..80),
+        msg in proptest::collection::vec(any::<u8>(), 0..128),
+        flip_bit in 0usize..256,
+    ) {
+        let tag = hmac_sha256(&key, &msg);
+        let mut mac = Hmac::new(&key);
+        mac.update(&msg);
+        prop_assert!(mac.verify(&tag));
+
+        let mut bad = tag;
+        bad[flip_bit / 8] ^= 1 << (flip_bit % 8);
+        let mut mac = Hmac::new(&key);
+        mac.update(&msg);
+        prop_assert!(!mac.verify(&bad));
+    }
+
+    /// Distinct messages produce distinct digests (collision smoke test).
+    #[test]
+    fn distinct_inputs_distinct_digests(
+        a in proptest::collection::vec(any::<u8>(), 0..64),
+        b in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        if a != b {
+            prop_assert_ne!(sha256(&a), sha256(&b));
+            prop_assert_ne!(sponge_hash(&a), sponge_hash(&b));
+        }
+    }
+
+    /// ct_eq agrees with == on equal-length inputs and rejects length
+    /// mismatches.
+    #[test]
+    fn ct_eq_matches_equality(
+        a in proptest::collection::vec(any::<u8>(), 0..64),
+        b in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        prop_assert_eq!(ct_eq(&a, &b), a == b);
+        prop_assert!(ct_eq(&a, &a));
+    }
+}

@@ -1,0 +1,97 @@
+//! Timing-closure model (Section 5.3).
+//!
+//! The paper: "memory region range checks can be parallelized such that
+//! they do not increase memory access time which is in the processor
+//! critical path. However, the logic which generates the collective
+//! memory access exception logarithmically increases in depth with the
+//! number of checked memory regions. We experienced no timing closure
+//! problems with up to 32 memory protection regions."
+//!
+//! The model: the fault-aggregation path = one comparator stage (constant
+//! depth — all comparators evaluate in parallel) plus an OR-tree of
+//! [`crate::fault_tree_depth`] 4-input LUT levels. Each LUT level costs a
+//! nominal `LUT_DELAY_NS`, the comparator stage `COMPARATOR_DELAY_NS`,
+//! and routing adds a per-level overhead. The fault signal must settle
+//! within the target clock period for timing closure.
+
+use crate::model::fault_tree_depth;
+
+/// Nominal delay of one 6-input LUT level on a Virtex-6-class device.
+pub const LUT_DELAY_NS: f64 = 0.3;
+/// Routing overhead per logic level.
+pub const ROUTING_DELAY_NS: f64 = 0.4;
+/// Delay of the parallel range-comparator stage (27-bit compare as a
+/// short carry chain).
+pub const COMPARATOR_DELAY_NS: f64 = 1.6;
+/// Clock-to-out plus setup margin of the fault flop.
+pub const FLOP_MARGIN_NS: f64 = 0.8;
+
+/// Settled delay of the collective fault signal for `regions` region
+/// registers, in nanoseconds.
+pub fn fault_path_ns(regions: u32) -> f64 {
+    let levels = fault_tree_depth(regions) as f64;
+    COMPARATOR_DELAY_NS + levels * (LUT_DELAY_NS + ROUTING_DELAY_NS) + FLOP_MARGIN_NS
+}
+
+/// Maximum clock frequency (MHz) the fault path allows.
+pub fn fmax_mhz(regions: u32) -> f64 {
+    1000.0 / fault_path_ns(regions)
+}
+
+/// Returns true if `regions` region registers meet timing at `clock_mhz`.
+pub fn meets_timing(regions: u32, clock_mhz: f64) -> bool {
+    fmax_mhz(regions) >= clock_mhz
+}
+
+/// A typical clock target for this platform class (the Siskiyou Peak
+/// research core runs in the low hundreds of MHz on Virtex-6).
+pub const TARGET_CLOCK_MHZ: f64 = 200.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_design_point_closes_timing() {
+        // "no timing closure problems with up to 32 memory protection
+        // regions".
+        for regions in [4u32, 8, 12, 16, 24, 32] {
+            assert!(
+                meets_timing(regions, TARGET_CLOCK_MHZ),
+                "regions={regions}: fmax {:.0} MHz",
+                fmax_mhz(regions)
+            );
+        }
+    }
+
+    #[test]
+    fn delay_grows_logarithmically() {
+        // Doubling the region count adds at most one LUT level.
+        for regions in [4u32, 8, 16, 32, 64, 128] {
+            let d1 = fault_path_ns(regions);
+            let d2 = fault_path_ns(regions * 2);
+            assert!(d2 >= d1);
+            assert!(d2 - d1 <= LUT_DELAY_NS + ROUTING_DELAY_NS + 1e-9);
+        }
+    }
+
+    #[test]
+    fn fmax_monotonically_decreases() {
+        let mut prev = f64::INFINITY;
+        for regions in [1u32, 4, 16, 64, 256, 1024] {
+            let f = fmax_mhz(regions);
+            assert!(f <= prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn closure_eventually_fails_far_beyond_the_paper_range() {
+        // The model is falsifiable: at some (large) region count the
+        // aggregation tree no longer fits a fast clock period, which is
+        // why region counts are a hardware instantiation decision.
+        let huge = 1 << 20;
+        assert!(fmax_mhz(huge) < fmax_mhz(32));
+        assert!(!meets_timing(huge, 400.0));
+    }
+}

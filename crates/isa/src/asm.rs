@@ -1,0 +1,512 @@
+//! Text-syntax assembler front-end.
+//!
+//! A small, line-oriented syntax over the [`crate::Asm`] backend:
+//!
+//! ```text
+//! ; comment
+//! start:
+//!     li   r0, 0x1000
+//!     lw   r1, [r0+4]
+//!     sw   [r0-4], r1
+//!     beq  r0, r1, start
+//!     .word 0xdeadbeef, start
+//!     .ascii "hello"
+//!     .space 16
+//!     .align
+//! ```
+
+use core::fmt;
+
+use crate::builder::{Asm, AsmError};
+use crate::image::Image;
+use crate::instr::Cond;
+use crate::reg::Reg;
+
+/// An error with the source line number where it occurred (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextAsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for TextAsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for TextAsmError {}
+
+impl From<AsmError> for TextAsmError {
+    fn from(e: AsmError) -> Self {
+        TextAsmError { line: 0, msg: e.to_string() }
+    }
+}
+
+fn parse_int(s: &str) -> Option<i64> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else if let Some(bin) = body.strip_prefix("0b") {
+        i64::from_str_radix(bin, 2).ok()?
+    } else {
+        body.parse::<i64>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+/// A parsed `[reg+disp]` memory operand.
+struct MemOperand {
+    base: Reg,
+    disp: i16,
+}
+
+fn parse_mem(s: &str) -> Option<MemOperand> {
+    let inner = s.trim().strip_prefix('[')?.strip_suffix(']')?;
+    let (reg_str, disp) = if let Some(pos) = inner.find(['+', '-']) {
+        let (r, d) = inner.split_at(pos);
+        (r.trim(), parse_int(d)?)
+    } else {
+        (inner.trim(), 0)
+    };
+    let base = Reg::parse(reg_str)?;
+    if !(-0x8000..0x8000).contains(&disp) {
+        return None;
+    }
+    Some(MemOperand { base, disp: disp as i16 })
+}
+
+fn split_operands(s: &str) -> Vec<String> {
+    // No operand can contain a comma (strings are handled separately by the
+    // .ascii directive), so a plain split suffices.
+    if s.trim().is_empty() {
+        return Vec::new();
+    }
+    s.split(',').map(|p| p.trim().to_string()).collect()
+}
+
+struct LineCtx<'a> {
+    line: usize,
+    asm: &'a mut Asm,
+}
+
+impl LineCtx<'_> {
+    fn err(&self, msg: impl Into<String>) -> TextAsmError {
+        TextAsmError { line: self.line, msg: msg.into() }
+    }
+
+    fn reg(&self, s: &str) -> Result<Reg, TextAsmError> {
+        Reg::parse(s).ok_or_else(|| self.err(format!("invalid register `{s}`")))
+    }
+
+    fn imm_i16(&self, s: &str) -> Result<i16, TextAsmError> {
+        let v = parse_int(s).ok_or_else(|| self.err(format!("invalid immediate `{s}`")))?;
+        // Accept the full 16-bit pattern range, signed or unsigned spelling.
+        if !(-0x8000..0x10000).contains(&v) {
+            return Err(self.err(format!("immediate `{s}` out of 16-bit range")));
+        }
+        Ok(v as u16 as i16)
+    }
+
+    fn imm_u16(&self, s: &str) -> Result<u16, TextAsmError> {
+        Ok(self.imm_i16(s)? as u16)
+    }
+
+    fn imm_u32(&self, s: &str) -> Result<u32, TextAsmError> {
+        let v = parse_int(s).ok_or_else(|| self.err(format!("invalid immediate `{s}`")))?;
+        if !(-0x8000_0000..0x1_0000_0000).contains(&v) {
+            return Err(self.err(format!("immediate `{s}` out of 32-bit range")));
+        }
+        Ok(v as u32)
+    }
+
+    fn mem(&self, s: &str) -> Result<MemOperand, TextAsmError> {
+        parse_mem(s).ok_or_else(|| self.err(format!("invalid memory operand `{s}`")))
+    }
+
+    fn expect_n(&self, ops: &[String], n: usize) -> Result<(), TextAsmError> {
+        if ops.len() != n {
+            return Err(self.err(format!("expected {n} operand(s), found {}", ops.len())));
+        }
+        Ok(())
+    }
+}
+
+fn dispatch(ctx: &mut LineCtx<'_>, mnemonic: &str, ops: &[String]) -> Result<(), TextAsmError> {
+    use crate::instr::AluOp::*;
+    match mnemonic {
+        "nop" => ctx.asm.nop(),
+        "halt" => ctx.asm.halt(),
+        "iret" => ctx.asm.iret(),
+        "di" => ctx.asm.di(),
+        "ei" => ctx.asm.ei(),
+        "ret" => ctx.asm.ret(),
+        "pushf" => ctx.asm.pushf(),
+        "popf" => ctx.asm.popf(),
+        "swi" => {
+            ctx.expect_n(ops, 1)?;
+            let v = ctx.imm_u16(&ops[0])?;
+            if v > 255 {
+                return Err(ctx.err("swi vector out of range"));
+            }
+            ctx.asm.swi(v as u8);
+        }
+        "add" | "sub" | "and" | "or" | "xor" | "shl" | "shr" | "sra" | "mul" | "divu"
+        | "remu" => {
+            ctx.expect_n(ops, 3)?;
+            let op = match mnemonic {
+                "add" => Add,
+                "sub" => Sub,
+                "and" => And,
+                "or" => Or,
+                "xor" => Xor,
+                "shl" => Shl,
+                "shr" => Shr,
+                "sra" => Sra,
+                "mul" => Mul,
+                "divu" => Divu,
+                _ => Remu,
+            };
+            let (rd, rs1, rs2) = (ctx.reg(&ops[0])?, ctx.reg(&ops[1])?, ctx.reg(&ops[2])?);
+            ctx.asm.alu(op, rd, rs1, rs2);
+        }
+        "mov" => {
+            ctx.expect_n(ops, 2)?;
+            let (rd, rs1) = (ctx.reg(&ops[0])?, ctx.reg(&ops[1])?);
+            ctx.asm.mov(rd, rs1);
+        }
+        "not" => {
+            ctx.expect_n(ops, 2)?;
+            let (rd, rs1) = (ctx.reg(&ops[0])?, ctx.reg(&ops[1])?);
+            ctx.asm.not(rd, rs1);
+        }
+        "addi" | "andi" | "ori" | "xori" => {
+            ctx.expect_n(ops, 3)?;
+            let (rd, rs1) = (ctx.reg(&ops[0])?, ctx.reg(&ops[1])?);
+            match mnemonic {
+                "addi" => {
+                    let imm = ctx.imm_i16(&ops[2])?;
+                    ctx.asm.addi(rd, rs1, imm);
+                }
+                "andi" => {
+                    let imm = ctx.imm_u16(&ops[2])?;
+                    ctx.asm.andi(rd, rs1, imm);
+                }
+                "ori" => {
+                    let imm = ctx.imm_u16(&ops[2])?;
+                    ctx.asm.ori(rd, rs1, imm);
+                }
+                _ => {
+                    let imm = ctx.imm_u16(&ops[2])?;
+                    ctx.asm.xori(rd, rs1, imm);
+                }
+            }
+        }
+        "shli" | "shri" | "srai" => {
+            ctx.expect_n(ops, 3)?;
+            let (rd, rs1) = (ctx.reg(&ops[0])?, ctx.reg(&ops[1])?);
+            let imm = ctx.imm_u16(&ops[2])?;
+            if imm > 31 {
+                return Err(ctx.err("shift amount out of range"));
+            }
+            match mnemonic {
+                "shli" => ctx.asm.shli(rd, rs1, imm as u8),
+                "shri" => ctx.asm.shri(rd, rs1, imm as u8),
+                _ => ctx.asm.emit(crate::instr::Instr::Srai { rd, rs1, imm: imm as u8 }),
+            }
+        }
+        "movi" => {
+            ctx.expect_n(ops, 2)?;
+            let rd = ctx.reg(&ops[0])?;
+            let imm = ctx.imm_i16(&ops[1])?;
+            ctx.asm.movi(rd, imm);
+        }
+        "lui" => {
+            ctx.expect_n(ops, 2)?;
+            let rd = ctx.reg(&ops[0])?;
+            let imm = ctx.imm_u16(&ops[1])?;
+            ctx.asm.lui(rd, imm);
+        }
+        "li" => {
+            ctx.expect_n(ops, 2)?;
+            let rd = ctx.reg(&ops[0])?;
+            let v = ctx.imm_u32(&ops[1])?;
+            ctx.asm.li(rd, v);
+        }
+        "la" => {
+            ctx.expect_n(ops, 2)?;
+            let rd = ctx.reg(&ops[0])?;
+            ctx.asm.la(rd, &ops[1]);
+        }
+        "lw" | "lb" | "lbs" | "lh" | "lhs" => {
+            ctx.expect_n(ops, 2)?;
+            let rd = ctx.reg(&ops[0])?;
+            let m = ctx.mem(&ops[1])?;
+            match mnemonic {
+                "lw" => ctx.asm.lw(rd, m.base, m.disp),
+                "lb" => ctx.asm.lb(rd, m.base, m.disp),
+                "lbs" => ctx.asm.lbs(rd, m.base, m.disp),
+                "lh" => ctx.asm.lh(rd, m.base, m.disp),
+                _ => ctx.asm.lhs(rd, m.base, m.disp),
+            }
+        }
+        "sw" | "sb" | "sh" => {
+            ctx.expect_n(ops, 2)?;
+            let m = ctx.mem(&ops[0])?;
+            let rs = ctx.reg(&ops[1])?;
+            match mnemonic {
+                "sw" => ctx.asm.sw(m.base, m.disp, rs),
+                "sb" => ctx.asm.sb(m.base, m.disp, rs),
+                _ => ctx.asm.sh(m.base, m.disp, rs),
+            }
+        }
+        "push" => {
+            ctx.expect_n(ops, 1)?;
+            let rs = ctx.reg(&ops[0])?;
+            ctx.asm.push(rs);
+        }
+        "pop" => {
+            ctx.expect_n(ops, 1)?;
+            let rd = ctx.reg(&ops[0])?;
+            ctx.asm.pop(rd);
+        }
+        "jmp" | "call" => {
+            ctx.expect_n(ops, 1)?;
+            if mnemonic == "jmp" {
+                ctx.asm.jmp(&ops[0]);
+            } else {
+                ctx.asm.call(&ops[0]);
+            }
+        }
+        "jr" | "callr" => {
+            ctx.expect_n(ops, 1)?;
+            let rs1 = ctx.reg(&ops[0])?;
+            if mnemonic == "jr" {
+                ctx.asm.jr(rs1);
+            } else {
+                ctx.asm.callr(rs1);
+            }
+        }
+        "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" => {
+            ctx.expect_n(ops, 3)?;
+            let cond = match mnemonic {
+                "beq" => Cond::Eq,
+                "bne" => Cond::Ne,
+                "blt" => Cond::Lt,
+                "bge" => Cond::Ge,
+                "bltu" => Cond::Ltu,
+                _ => Cond::Geu,
+            };
+            let (rs1, rs2) = (ctx.reg(&ops[0])?, ctx.reg(&ops[1])?);
+            ctx.asm.branch(cond, rs1, rs2, &ops[2]);
+        }
+        other => return Err(ctx.err(format!("unknown mnemonic `{other}`"))),
+    }
+    Ok(())
+}
+
+fn directive(ctx: &mut LineCtx<'_>, name: &str, rest: &str) -> Result<(), TextAsmError> {
+    match name {
+        ".word" => {
+            for op in split_operands(rest) {
+                if let Some(v) = parse_int(&op) {
+                    if !(-0x8000_0000..0x1_0000_0000).contains(&v) {
+                        return Err(ctx.err(format!("word `{op}` out of range")));
+                    }
+                    ctx.asm.word(v as u32);
+                } else {
+                    ctx.asm.word_label(&op);
+                }
+            }
+        }
+        ".space" => {
+            let n = parse_int(rest)
+                .filter(|&n| (0..=0x100_0000).contains(&n))
+                .ok_or_else(|| ctx.err("invalid .space size"))?;
+            ctx.asm.space(n as u32);
+        }
+        ".ascii" => {
+            let s = rest.trim();
+            let inner = s
+                .strip_prefix('"')
+                .and_then(|t| t.strip_suffix('"'))
+                .ok_or_else(|| ctx.err(".ascii requires a double-quoted string"))?;
+            // Process the common escapes.
+            let mut bytes = Vec::with_capacity(inner.len());
+            let mut chars = inner.chars();
+            while let Some(c) = chars.next() {
+                if c != '\\' {
+                    let mut buf = [0u8; 4];
+                    bytes.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                    continue;
+                }
+                match chars.next() {
+                    Some('n') => bytes.push(b'\n'),
+                    Some('t') => bytes.push(b'\t'),
+                    Some('r') => bytes.push(b'\r'),
+                    Some('0') => bytes.push(0),
+                    Some('\\') => bytes.push(b'\\'),
+                    Some('"') => bytes.push(b'"'),
+                    other => {
+                        return Err(ctx.err(format!("unknown escape `\\{}`", other.unwrap_or(' '))))
+                    }
+                }
+            }
+            ctx.asm.raw_bytes(&bytes);
+        }
+        ".align" => ctx.asm.align4(),
+        other => return Err(ctx.err(format!("unknown directive `{other}`"))),
+    }
+    Ok(())
+}
+
+/// Assembles text `source` into an image based at `base`.
+pub fn assemble_text(base: u32, source: &str) -> Result<Image, TextAsmError> {
+    let mut asm = Asm::new(base);
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let mut line = raw_line;
+        // Strip comments, but not inside an .ascii string.
+        if !line.trim_start().starts_with(".ascii") {
+            if let Some(pos) = line.find([';', '#']) {
+                line = &line[..pos];
+            }
+            if let Some(pos) = line.find("//") {
+                line = &line[..pos];
+            }
+        }
+        let mut rest = line.trim();
+        // Leading labels.
+        while let Some(colon) = rest.find(':') {
+            let (lbl, tail) = rest.split_at(colon);
+            let lbl = lbl.trim();
+            if lbl.is_empty()
+                || !lbl.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+            {
+                break;
+            }
+            asm.label(lbl);
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        let mut ctx = LineCtx { line: line_no, asm: &mut asm };
+        let (head, tail) = match rest.find(char::is_whitespace) {
+            Some(pos) => (&rest[..pos], rest[pos..].trim()),
+            None => (rest, ""),
+        };
+        let head_lc = head.to_ascii_lowercase();
+        if head_lc.starts_with('.') {
+            directive(&mut ctx, &head_lc, tail)?;
+        } else {
+            let ops = split_operands(tail);
+            dispatch(&mut ctx, &head_lc, &ops)?;
+        }
+    }
+    asm.assemble().map_err(TextAsmError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+    use crate::instr::Instr;
+
+    #[test]
+    fn assembles_basic_program() {
+        let src = r#"
+            ; count to ten
+            start:
+                li   r0, 0
+                li   r1, 10
+            loop:
+                addi r0, r0, 1
+                blt  r0, r1, loop
+                halt
+        "#;
+        let img = assemble_text(0x1000, src).unwrap();
+        assert_eq!(img.symbol("start"), Some(0x1000));
+        assert!(img.symbol("loop").is_some());
+        let last = img.word_at(img.end() - 4).unwrap();
+        assert_eq!(decode(last).unwrap(), Instr::Halt);
+    }
+
+    #[test]
+    fn memory_operands() {
+        let img = assemble_text(0, "lw r1, [sp+8]\nsw [r2-4], r3\nlw r0, [r1]").unwrap();
+        let w: Vec<Instr> = img.words().map(|w| decode(w).unwrap()).collect();
+        assert_eq!(w[0], Instr::Lw { rd: Reg::R1, rs1: Reg::Sp, disp: 8 });
+        assert_eq!(w[1], Instr::Sw { rs1: Reg::R2, rs2: Reg::R3, disp: -4 });
+        assert_eq!(w[2], Instr::Lw { rd: Reg::R0, rs1: Reg::R1, disp: 0 });
+    }
+
+    #[test]
+    fn directives() {
+        let src = "
+            data: .word 0x11, 0x22, end
+            .space 4
+            .align
+            end: halt
+        ";
+        let img = assemble_text(0x100, src).unwrap();
+        assert_eq!(img.word_at(0x100), Some(0x11));
+        assert_eq!(img.word_at(0x104), Some(0x22));
+        assert_eq!(img.word_at(0x108), Some(img.expect_symbol("end")));
+    }
+
+    #[test]
+    fn ascii_directive_keeps_semicolons() {
+        let img = assemble_text(0, ".ascii \"a;b\"").unwrap();
+        assert_eq!(img.bytes, b"a;b");
+    }
+
+    #[test]
+    fn ascii_escapes_processed() {
+        let img = assemble_text(0, r#".ascii "a\n\t\0\\\"z""#).unwrap();
+        assert_eq!(img.bytes, b"a\n\t\0\\\"z");
+        let err = assemble_text(0, r#".ascii "\q""#).unwrap_err();
+        assert!(err.msg.contains("unknown escape"));
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let err = assemble_text(0, "nop\nbogus r1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.msg.contains("bogus"));
+    }
+
+    #[test]
+    fn bad_register_reported() {
+        let err = assemble_text(0, "mov r9, r0").unwrap_err();
+        assert!(err.msg.contains("invalid register"));
+    }
+
+    #[test]
+    fn undefined_label_reported() {
+        let err = assemble_text(0, "jmp nowhere").unwrap_err();
+        assert!(err.msg.contains("undefined label"));
+    }
+
+    #[test]
+    fn hex_binary_and_negative_immediates() {
+        let img = assemble_text(0, "movi r0, -1\nmovi r1, 0x7f\nmovi r2, 0b101").unwrap();
+        let w: Vec<Instr> = img.words().map(|w| decode(w).unwrap()).collect();
+        assert_eq!(w[0], Instr::Movi { rd: Reg::R0, imm: -1 });
+        assert_eq!(w[1], Instr::Movi { rd: Reg::R1, imm: 0x7f });
+        assert_eq!(w[2], Instr::Movi { rd: Reg::R2, imm: 5 });
+    }
+
+    #[test]
+    fn label_and_instruction_on_one_line() {
+        let img = assemble_text(0, "entry: halt").unwrap();
+        assert_eq!(img.symbol("entry"), Some(0));
+        assert_eq!(decode(img.word_at(0).unwrap()).unwrap(), Instr::Halt);
+    }
+}

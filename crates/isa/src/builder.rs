@@ -1,0 +1,631 @@
+//! Programmatic two-pass assembler.
+//!
+//! [`Asm`] is the backend used both by host Rust code that generates
+//! simulator programs (the embedded OS, trustlets, attack harnesses) and by
+//! the text assembler front-end in [`crate::asm`].
+
+use core::fmt;
+use std::collections::BTreeMap;
+
+use crate::encode::encode;
+use crate::image::Image;
+use crate::instr::{AluOp, Cond, Instr};
+use crate::reg::Reg;
+
+/// An error raised while assembling a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// The same label was defined twice.
+    DuplicateLabel(String),
+    /// A referenced label was never defined.
+    UndefinedLabel(String),
+    /// A relative branch/call target is out of the ±32 KiB range.
+    RelativeOutOfRange { label: String, from: u32, to: u32 },
+    /// An instruction would be emitted at a non-word-aligned position.
+    MisalignedCode { at: u32 },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::RelativeOutOfRange { label, from, to } => write!(
+                f,
+                "relative target `{label}` out of range (from {from:#010x} to {to:#010x})"
+            ),
+            AsmError::MisalignedCode { at } => {
+                write!(f, "instruction emitted at unaligned address {at:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[derive(Debug, Clone)]
+enum Fixup {
+    /// Patch the low 16 bits with `target - (site + 4)`.
+    Rel16 { site: u32, label: String },
+    /// Patch a `lui`/`ori` pair at `site` with the target's high/low half.
+    AbsHiLo { site: u32, label: String },
+    /// Patch a data word with the target's absolute address.
+    WordAbs { site: u32, label: String },
+}
+
+/// A two-pass assembler that builds an [`Image`].
+///
+/// Emission methods append instructions or data at the current position;
+/// label-taking methods record fixups resolved by [`Asm::assemble`].
+///
+/// # Examples
+///
+/// ```
+/// use trustlite_isa::{Asm, Reg};
+///
+/// let mut a = Asm::new(0x0);
+/// a.li(Reg::R0, 0);
+/// a.label("loop");
+/// a.addi(Reg::R0, Reg::R0, 1);
+/// a.li(Reg::R1, 10);
+/// a.blt(Reg::R0, Reg::R1, "loop");
+/// a.halt();
+/// let img = a.assemble().unwrap();
+/// assert!(img.len() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Asm {
+    base: u32,
+    bytes: Vec<u8>,
+    labels: BTreeMap<String, u32>,
+    fixups: Vec<Fixup>,
+    error: Option<AsmError>,
+}
+
+impl Asm {
+    /// Creates an assembler whose image will be positioned at `base`.
+    pub fn new(base: u32) -> Self {
+        Asm { base, bytes: Vec::new(), labels: BTreeMap::new(), fixups: Vec::new(), error: None }
+    }
+
+    /// The absolute address of the next emitted byte.
+    pub fn here(&self) -> u32 {
+        self.base + self.bytes.len() as u32
+    }
+
+    /// Returns true if `name` has been defined.
+    pub fn label_defined(&self, name: &str) -> bool {
+        self.labels.contains_key(name)
+    }
+
+    /// Defines `name` at the current position.
+    pub fn label(&mut self, name: &str) {
+        if self.labels.insert(name.to_string(), self.here()).is_some() {
+            self.set_error(AsmError::DuplicateLabel(name.to_string()));
+        }
+    }
+
+    fn set_error(&mut self, e: AsmError) {
+        if self.error.is_none() {
+            self.error = Some(e);
+        }
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, i: Instr) {
+        if !self.bytes.len().is_multiple_of(4) {
+            self.set_error(AsmError::MisalignedCode { at: self.here() });
+            // Realign so later fixup sites stay word-aligned.
+            self.align4();
+        }
+        self.bytes.extend_from_slice(&encode(i).to_le_bytes());
+    }
+
+    // --- System ---
+
+    /// Emits `nop`.
+    pub fn nop(&mut self) {
+        self.emit(Instr::Nop);
+    }
+
+    /// Emits `halt`.
+    pub fn halt(&mut self) {
+        self.emit(Instr::Halt);
+    }
+
+    /// Emits `swi vector`.
+    pub fn swi(&mut self, vector: u8) {
+        self.emit(Instr::Swi(vector));
+    }
+
+    /// Emits `iret`.
+    pub fn iret(&mut self) {
+        self.emit(Instr::Iret);
+    }
+
+    /// Emits `di`.
+    pub fn di(&mut self) {
+        self.emit(Instr::Di);
+    }
+
+    /// Emits `ei`.
+    pub fn ei(&mut self) {
+        self.emit(Instr::Ei);
+    }
+
+    // --- ALU ---
+
+    /// Emits a register-register ALU operation.
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Alu { op, rd, rs1, rs2 });
+    }
+
+    /// Emits `add rd, rs1, rs2`.
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Add, rd, rs1, rs2);
+    }
+
+    /// Emits `sub rd, rs1, rs2`.
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Sub, rd, rs1, rs2);
+    }
+
+    /// Emits `and rd, rs1, rs2`.
+    pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::And, rd, rs1, rs2);
+    }
+
+    /// Emits `or rd, rs1, rs2`.
+    pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Or, rd, rs1, rs2);
+    }
+
+    /// Emits `xor rd, rs1, rs2`.
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Xor, rd, rs1, rs2);
+    }
+
+    /// Emits `shl rd, rs1, rs2`.
+    pub fn shl(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Shl, rd, rs1, rs2);
+    }
+
+    /// Emits `shr rd, rs1, rs2`.
+    pub fn shr(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Shr, rd, rs1, rs2);
+    }
+
+    /// Emits `mul rd, rs1, rs2`.
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Mul, rd, rs1, rs2);
+    }
+
+    /// Emits `mov rd, rs1`.
+    pub fn mov(&mut self, rd: Reg, rs1: Reg) {
+        self.emit(Instr::Mov { rd, rs1 });
+    }
+
+    /// Emits `not rd, rs1`.
+    pub fn not(&mut self, rd: Reg, rs1: Reg) {
+        self.emit(Instr::Not { rd, rs1 });
+    }
+
+    /// Emits `addi rd, rs1, imm`.
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i16) {
+        self.emit(Instr::Addi { rd, rs1, imm });
+    }
+
+    /// Emits `andi rd, rs1, imm`.
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: u16) {
+        self.emit(Instr::Andi { rd, rs1, imm });
+    }
+
+    /// Emits `ori rd, rs1, imm`.
+    pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: u16) {
+        self.emit(Instr::Ori { rd, rs1, imm });
+    }
+
+    /// Emits `xori rd, rs1, imm`.
+    pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: u16) {
+        self.emit(Instr::Xori { rd, rs1, imm });
+    }
+
+    /// Emits `shli rd, rs1, imm`.
+    pub fn shli(&mut self, rd: Reg, rs1: Reg, imm: u8) {
+        self.emit(Instr::Shli { rd, rs1, imm });
+    }
+
+    /// Emits `shri rd, rs1, imm`.
+    pub fn shri(&mut self, rd: Reg, rs1: Reg, imm: u8) {
+        self.emit(Instr::Shri { rd, rs1, imm });
+    }
+
+    /// Emits `movi rd, imm`.
+    pub fn movi(&mut self, rd: Reg, imm: i16) {
+        self.emit(Instr::Movi { rd, imm });
+    }
+
+    /// Emits `lui rd, imm`.
+    pub fn lui(&mut self, rd: Reg, imm: u16) {
+        self.emit(Instr::Lui { rd, imm });
+    }
+
+    /// Loads an arbitrary 32-bit constant, using one instruction when the
+    /// value fits a sign-extended 16-bit immediate and `lui`(+`ori`)
+    /// otherwise.
+    pub fn li(&mut self, rd: Reg, value: u32) {
+        let sext = value as i32;
+        if (-0x8000..0x8000).contains(&sext) {
+            self.movi(rd, sext as i16);
+            return;
+        }
+        self.lui(rd, (value >> 16) as u16);
+        if value & 0xffff != 0 {
+            self.ori(rd, rd, (value & 0xffff) as u16);
+        }
+    }
+
+    /// Loads the absolute address of `label` into `rd`.
+    ///
+    /// Always occupies two instruction words (`lui` + `ori`) so that code
+    /// size is position-independent of the final symbol value.
+    pub fn la(&mut self, rd: Reg, label: &str) {
+        let site = self.here();
+        self.fixups.push(Fixup::AbsHiLo { site, label: label.to_string() });
+        self.lui(rd, 0);
+        self.ori(rd, rd, 0);
+    }
+
+    // --- Memory ---
+
+    /// Emits `lw rd, [rs1 + disp]`.
+    pub fn lw(&mut self, rd: Reg, rs1: Reg, disp: i16) {
+        self.emit(Instr::Lw { rd, rs1, disp });
+    }
+
+    /// Emits `sw [rs1 + disp], rs2`.
+    pub fn sw(&mut self, rs1: Reg, disp: i16, rs2: Reg) {
+        self.emit(Instr::Sw { rs1, rs2, disp });
+    }
+
+    /// Emits `lb rd, [rs1 + disp]`.
+    pub fn lb(&mut self, rd: Reg, rs1: Reg, disp: i16) {
+        self.emit(Instr::Lb { rd, rs1, disp });
+    }
+
+    /// Emits `lbs rd, [rs1 + disp]` (sign-extending byte load).
+    pub fn lbs(&mut self, rd: Reg, rs1: Reg, disp: i16) {
+        self.emit(Instr::Lbs { rd, rs1, disp });
+    }
+
+    /// Emits `lh rd, [rs1 + disp]`.
+    pub fn lh(&mut self, rd: Reg, rs1: Reg, disp: i16) {
+        self.emit(Instr::Lh { rd, rs1, disp });
+    }
+
+    /// Emits `lhs rd, [rs1 + disp]` (sign-extending halfword load).
+    pub fn lhs(&mut self, rd: Reg, rs1: Reg, disp: i16) {
+        self.emit(Instr::Lhs { rd, rs1, disp });
+    }
+
+    /// Emits `sh [rs1 + disp], rs2`.
+    pub fn sh(&mut self, rs1: Reg, disp: i16, rs2: Reg) {
+        self.emit(Instr::Sh { rs1, rs2, disp });
+    }
+
+    /// Emits `divu rd, rs1, rs2`.
+    pub fn divu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Divu, rd, rs1, rs2);
+    }
+
+    /// Emits `remu rd, rs1, rs2`.
+    pub fn remu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Remu, rd, rs1, rs2);
+    }
+
+    /// Emits `sb [rs1 + disp], rs2`.
+    pub fn sb(&mut self, rs1: Reg, disp: i16, rs2: Reg) {
+        self.emit(Instr::Sb { rs1, rs2, disp });
+    }
+
+    /// Emits `push rs`.
+    pub fn push(&mut self, rs: Reg) {
+        self.emit(Instr::Push { rs });
+    }
+
+    /// Emits `pop rd`.
+    pub fn pop(&mut self, rd: Reg) {
+        self.emit(Instr::Pop { rd });
+    }
+
+    /// Emits `pushf`.
+    pub fn pushf(&mut self) {
+        self.emit(Instr::Pushf);
+    }
+
+    /// Emits `popf`.
+    pub fn popf(&mut self) {
+        self.emit(Instr::Popf);
+    }
+
+    // --- Control flow ---
+
+    /// Emits a relative jump to `label`.
+    pub fn jmp(&mut self, label: &str) {
+        let site = self.here();
+        self.fixups.push(Fixup::Rel16 { site, label: label.to_string() });
+        self.emit(Instr::Jmp { off: 0 });
+    }
+
+    /// Emits `jr rs1`.
+    pub fn jr(&mut self, rs1: Reg) {
+        self.emit(Instr::Jr { rs1 });
+    }
+
+    /// Emits a relative call to `label`.
+    pub fn call(&mut self, label: &str) {
+        let site = self.here();
+        self.fixups.push(Fixup::Rel16 { site, label: label.to_string() });
+        self.emit(Instr::Call { off: 0 });
+    }
+
+    /// Emits `callr rs1`.
+    pub fn callr(&mut self, rs1: Reg) {
+        self.emit(Instr::Callr { rs1 });
+    }
+
+    /// Loads the absolute address `addr` into `scratch` and calls through
+    /// it. This is how tasks call entry points of other protection domains.
+    pub fn call_abs(&mut self, addr: u32, scratch: Reg) {
+        self.li(scratch, addr);
+        self.callr(scratch);
+    }
+
+    /// Emits `ret`.
+    pub fn ret(&mut self) {
+        self.emit(Instr::Ret);
+    }
+
+    /// Emits a compare-and-branch to `label`.
+    pub fn branch(&mut self, cond: Cond, rs1: Reg, rs2: Reg, label: &str) {
+        let site = self.here();
+        self.fixups.push(Fixup::Rel16 { site, label: label.to_string() });
+        self.emit(Instr::Branch { cond, rs1, rs2, off: 0 });
+    }
+
+    /// Emits `beq rs1, rs2, label`.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(Cond::Eq, rs1, rs2, label);
+    }
+
+    /// Emits `bne rs1, rs2, label`.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(Cond::Ne, rs1, rs2, label);
+    }
+
+    /// Emits `blt rs1, rs2, label`.
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(Cond::Lt, rs1, rs2, label);
+    }
+
+    /// Emits `bge rs1, rs2, label`.
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(Cond::Ge, rs1, rs2, label);
+    }
+
+    /// Emits `bltu rs1, rs2, label`.
+    pub fn bltu(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(Cond::Ltu, rs1, rs2, label);
+    }
+
+    /// Emits `bgeu rs1, rs2, label`.
+    pub fn bgeu(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(Cond::Geu, rs1, rs2, label);
+    }
+
+    /// Emits a platform-extension instruction.
+    pub fn ext(&mut self, op: u8, rd: Reg, rs1: Reg, imm: u16) {
+        self.emit(Instr::Ext { op, rd, rs1, imm });
+    }
+
+    // --- Data directives ---
+
+    /// Emits one literal 32-bit word.
+    pub fn word(&mut self, w: u32) {
+        self.bytes.extend_from_slice(&w.to_le_bytes());
+    }
+
+    /// Emits several literal words.
+    pub fn words(&mut self, ws: &[u32]) {
+        for &w in ws {
+            self.word(w);
+        }
+    }
+
+    /// Emits a word that will hold the absolute address of `label`.
+    pub fn word_label(&mut self, label: &str) {
+        let site = self.here();
+        self.fixups.push(Fixup::WordAbs { site, label: label.to_string() });
+        self.word(0);
+    }
+
+    /// Reserves `n` zero bytes.
+    pub fn space(&mut self, n: u32) {
+        self.bytes.extend(std::iter::repeat_n(0u8, n as usize));
+    }
+
+    /// Emits raw bytes.
+    pub fn raw_bytes(&mut self, b: &[u8]) {
+        self.bytes.extend_from_slice(b);
+    }
+
+    /// Emits a string's UTF-8 bytes (no terminator).
+    pub fn ascii(&mut self, s: &str) {
+        self.bytes.extend_from_slice(s.as_bytes());
+    }
+
+    /// Pads with zero bytes to the next 4-byte boundary.
+    pub fn align4(&mut self) {
+        while !self.bytes.len().is_multiple_of(4) {
+            self.bytes.push(0);
+        }
+    }
+
+    /// Resolves all fixups and produces the final image.
+    pub fn assemble(self) -> Result<Image, AsmError> {
+        let Asm { base, mut bytes, labels, fixups, error } = self;
+        if let Some(e) = error {
+            return Err(e);
+        }
+        let lookup = |label: &str| -> Result<u32, AsmError> {
+            labels.get(label).copied().ok_or_else(|| AsmError::UndefinedLabel(label.to_string()))
+        };
+        let patch_low16 = |bytes: &mut [u8], off: usize, v: u16| {
+            bytes[off] = v as u8;
+            bytes[off + 1] = (v >> 8) as u8;
+        };
+        for f in &fixups {
+            match f {
+                Fixup::Rel16 { site, label } => {
+                    let target = lookup(label)?;
+                    let delta = (target as i64) - ((site + 4) as i64);
+                    if !(-0x8000..0x8000).contains(&delta) || delta % 4 != 0 {
+                        return Err(AsmError::RelativeOutOfRange {
+                            label: label.clone(),
+                            from: *site,
+                            to: target,
+                        });
+                    }
+                    let off = (*site - base) as usize;
+                    patch_low16(&mut bytes, off, delta as u16);
+                }
+                Fixup::AbsHiLo { site, label } => {
+                    let target = lookup(label)?;
+                    let off = (*site - base) as usize;
+                    patch_low16(&mut bytes, off, (target >> 16) as u16);
+                    patch_low16(&mut bytes, off + 4, (target & 0xffff) as u16);
+                }
+                Fixup::WordAbs { site, label } => {
+                    let target = lookup(label)?;
+                    let off = (*site - base) as usize;
+                    bytes[off..off + 4].copy_from_slice(&target.to_le_bytes());
+                }
+            }
+        }
+        Ok(Image { base, bytes, symbols: labels })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+
+    #[test]
+    fn forward_and_backward_branches_resolve() {
+        let mut a = Asm::new(0x100);
+        a.label("top");
+        a.nop(); // 0x100
+        a.jmp("end"); // 0x104, target 0x110 -> off 8
+        a.nop(); // 0x108
+        a.jmp("top"); // 0x10c, target 0x100 -> off -16
+        a.label("end");
+        a.halt(); // 0x110
+        let img = a.assemble().unwrap();
+        assert_eq!(decode(img.word_at(0x104).unwrap()).unwrap(), Instr::Jmp { off: 8 });
+        assert_eq!(decode(img.word_at(0x10c).unwrap()).unwrap(), Instr::Jmp { off: -16 });
+    }
+
+    #[test]
+    fn la_patches_hi_lo() {
+        let mut a = Asm::new(0x2000_0000);
+        a.la(Reg::R1, "data");
+        a.halt();
+        a.label("data");
+        a.word(0xdead_beef);
+        let img = a.assemble().unwrap();
+        let lui = decode(img.word_at(0x2000_0000).unwrap()).unwrap();
+        let ori = decode(img.word_at(0x2000_0004).unwrap()).unwrap();
+        assert_eq!(lui, Instr::Lui { rd: Reg::R1, imm: 0x2000 });
+        assert_eq!(ori, Instr::Ori { rd: Reg::R1, rs1: Reg::R1, imm: 0x000c });
+    }
+
+    #[test]
+    fn li_picks_shortest_form() {
+        let mut a = Asm::new(0);
+        a.li(Reg::R0, 5); // movi
+        a.li(Reg::R1, 0xffff_fffe); // movi -2
+        a.li(Reg::R2, 0x0001_0000); // lui only
+        a.li(Reg::R3, 0x1234_5678); // lui + ori
+        let img = a.assemble().unwrap();
+        let instrs: Vec<Instr> = img.words().map(|w| decode(w).unwrap()).collect();
+        assert_eq!(instrs.len(), 5);
+        assert_eq!(instrs[0], Instr::Movi { rd: Reg::R0, imm: 5 });
+        assert_eq!(instrs[1], Instr::Movi { rd: Reg::R1, imm: -2 });
+        assert_eq!(instrs[2], Instr::Lui { rd: Reg::R2, imm: 1 });
+        assert_eq!(instrs[3], Instr::Lui { rd: Reg::R3, imm: 0x1234 });
+        assert_eq!(instrs[4], Instr::Ori { rd: Reg::R3, rs1: Reg::R3, imm: 0x5678 });
+    }
+
+    #[test]
+    fn word_label_stores_absolute_address() {
+        let mut a = Asm::new(0x400);
+        a.word_label("tgt");
+        a.label("tgt");
+        a.halt();
+        let img = a.assemble().unwrap();
+        assert_eq!(img.word_at(0x400), Some(0x404));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let mut a = Asm::new(0);
+        a.label("x");
+        a.label("x");
+        assert_eq!(a.assemble().unwrap_err(), AsmError::DuplicateLabel("x".into()));
+    }
+
+    #[test]
+    fn undefined_label_rejected() {
+        let mut a = Asm::new(0);
+        a.jmp("nowhere");
+        assert_eq!(a.assemble().unwrap_err(), AsmError::UndefinedLabel("nowhere".into()));
+    }
+
+    #[test]
+    fn relative_out_of_range_rejected() {
+        let mut a = Asm::new(0);
+        a.jmp("far");
+        a.space(0x10000);
+        a.label("far");
+        a.halt();
+        assert!(matches!(a.assemble(), Err(AsmError::RelativeOutOfRange { .. })));
+    }
+
+    #[test]
+    fn misaligned_instruction_rejected() {
+        let mut a = Asm::new(0);
+        a.ascii("ab");
+        a.nop();
+        assert_eq!(a.assemble().unwrap_err(), AsmError::MisalignedCode { at: 2 });
+    }
+
+    #[test]
+    fn align4_pads() {
+        let mut a = Asm::new(0);
+        a.ascii("abc");
+        a.align4();
+        a.nop();
+        let img = a.assemble().unwrap();
+        assert_eq!(img.len(), 8);
+    }
+
+    #[test]
+    fn symbols_are_absolute() {
+        let mut a = Asm::new(0x1000_0000);
+        a.nop();
+        a.label("after");
+        let img = a.assemble().unwrap();
+        assert_eq!(img.symbol("after"), Some(0x1000_0004));
+    }
+}

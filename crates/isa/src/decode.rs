@@ -1,0 +1,242 @@
+//! Binary decoding of SP32 instructions.
+
+use core::fmt;
+
+use crate::encode::opcodes as op;
+use crate::instr::{AluOp, Cond, Instr};
+use crate::reg::Reg;
+
+/// An error produced when decoding a 32-bit word that is not a valid SP32
+/// instruction. On the simulated core this surfaces as an
+/// illegal-instruction exception.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode byte is not assigned.
+    UnknownOpcode(u8),
+    /// A register field holds an invalid encoding (9..=15).
+    BadRegister { field: &'static str, code: u32 },
+    /// A constant shift amount exceeds 31.
+    BadShiftAmount(u16),
+    /// A relative control-flow offset is not a multiple of four.
+    MisalignedOffset(i16),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnknownOpcode(o) => write!(f, "unknown opcode {o:#04x}"),
+            DecodeError::BadRegister { field, code } => {
+                write!(f, "invalid register encoding {code} in field {field}")
+            }
+            DecodeError::BadShiftAmount(n) => write!(f, "shift amount {n} out of range"),
+            DecodeError::MisalignedOffset(o) => {
+                write!(f, "relative offset {o} is not word-aligned")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn rd(w: u32) -> Result<Reg, DecodeError> {
+    let code = (w >> 20) & 0xf;
+    Reg::from_code(code).ok_or(DecodeError::BadRegister { field: "rd", code })
+}
+
+fn rs1(w: u32) -> Result<Reg, DecodeError> {
+    let code = (w >> 16) & 0xf;
+    Reg::from_code(code).ok_or(DecodeError::BadRegister { field: "rs1", code })
+}
+
+fn rs2(w: u32) -> Result<Reg, DecodeError> {
+    let code = (w >> 12) & 0xf;
+    Reg::from_code(code).ok_or(DecodeError::BadRegister { field: "rs2", code })
+}
+
+fn imm16(w: u32) -> u16 {
+    (w & 0xffff) as u16
+}
+
+fn shift_amount(w: u32) -> Result<u8, DecodeError> {
+    let imm = imm16(w);
+    if imm > 31 {
+        return Err(DecodeError::BadShiftAmount(imm));
+    }
+    Ok(imm as u8)
+}
+
+fn rel_off(w: u32) -> Result<i16, DecodeError> {
+    let off = imm16(w) as i16;
+    if off % 4 != 0 {
+        return Err(DecodeError::MisalignedOffset(off));
+    }
+    Ok(off)
+}
+
+/// Decodes one 32-bit word into an instruction.
+pub fn decode(w: u32) -> Result<Instr, DecodeError> {
+    let opcode = (w >> 24) as u8;
+    let alu = |a: AluOp| -> Result<Instr, DecodeError> {
+        Ok(Instr::Alu { op: a, rd: rd(w)?, rs1: rs1(w)?, rs2: rs2(w)? })
+    };
+    let branch = |c: Cond| -> Result<Instr, DecodeError> {
+        Ok(Instr::Branch { cond: c, rs1: rd(w)?, rs2: rs1(w)?, off: rel_off(w)? })
+    };
+    match opcode {
+        op::NOP => Ok(Instr::Nop),
+        op::HALT => Ok(Instr::Halt),
+        op::SWI => Ok(Instr::Swi((w & 0xff) as u8)),
+        op::IRET => Ok(Instr::Iret),
+        op::DI => Ok(Instr::Di),
+        op::EI => Ok(Instr::Ei),
+
+        op::ADD => alu(AluOp::Add),
+        op::SUB => alu(AluOp::Sub),
+        op::AND => alu(AluOp::And),
+        op::OR => alu(AluOp::Or),
+        op::XOR => alu(AluOp::Xor),
+        op::SHL => alu(AluOp::Shl),
+        op::SHR => alu(AluOp::Shr),
+        op::SRA => alu(AluOp::Sra),
+        op::MUL => alu(AluOp::Mul),
+        op::DIVU => alu(AluOp::Divu),
+        op::REMU => alu(AluOp::Remu),
+        op::MOV => Ok(Instr::Mov { rd: rd(w)?, rs1: rs1(w)? }),
+        op::NOT => Ok(Instr::Not { rd: rd(w)?, rs1: rs1(w)? }),
+
+        op::ADDI => Ok(Instr::Addi { rd: rd(w)?, rs1: rs1(w)?, imm: imm16(w) as i16 }),
+        op::ANDI => Ok(Instr::Andi { rd: rd(w)?, rs1: rs1(w)?, imm: imm16(w) }),
+        op::ORI => Ok(Instr::Ori { rd: rd(w)?, rs1: rs1(w)?, imm: imm16(w) }),
+        op::XORI => Ok(Instr::Xori { rd: rd(w)?, rs1: rs1(w)?, imm: imm16(w) }),
+        op::SHLI => Ok(Instr::Shli { rd: rd(w)?, rs1: rs1(w)?, imm: shift_amount(w)? }),
+        op::SHRI => Ok(Instr::Shri { rd: rd(w)?, rs1: rs1(w)?, imm: shift_amount(w)? }),
+        op::SRAI => Ok(Instr::Srai { rd: rd(w)?, rs1: rs1(w)?, imm: shift_amount(w)? }),
+        op::MOVI => Ok(Instr::Movi { rd: rd(w)?, imm: imm16(w) as i16 }),
+        op::LUI => Ok(Instr::Lui { rd: rd(w)?, imm: imm16(w) }),
+
+        op::LW => Ok(Instr::Lw { rd: rd(w)?, rs1: rs1(w)?, disp: imm16(w) as i16 }),
+        op::SW => Ok(Instr::Sw { rs1: rs1(w)?, rs2: rd(w)?, disp: imm16(w) as i16 }),
+        op::LB => Ok(Instr::Lb { rd: rd(w)?, rs1: rs1(w)?, disp: imm16(w) as i16 }),
+        op::LBS => Ok(Instr::Lbs { rd: rd(w)?, rs1: rs1(w)?, disp: imm16(w) as i16 }),
+        op::SB => Ok(Instr::Sb { rs1: rs1(w)?, rs2: rd(w)?, disp: imm16(w) as i16 }),
+        op::LH => Ok(Instr::Lh { rd: rd(w)?, rs1: rs1(w)?, disp: imm16(w) as i16 }),
+        op::LHS => Ok(Instr::Lhs { rd: rd(w)?, rs1: rs1(w)?, disp: imm16(w) as i16 }),
+        op::SH => Ok(Instr::Sh { rs1: rs1(w)?, rs2: rd(w)?, disp: imm16(w) as i16 }),
+
+        op::PUSH => Ok(Instr::Push { rs: rd(w)? }),
+        op::POP => Ok(Instr::Pop { rd: rd(w)? }),
+        op::PUSHF => Ok(Instr::Pushf),
+        op::POPF => Ok(Instr::Popf),
+
+        op::JMP => Ok(Instr::Jmp { off: rel_off(w)? }),
+        op::JR => Ok(Instr::Jr { rs1: rs1(w)? }),
+        op::CALL => Ok(Instr::Call { off: rel_off(w)? }),
+        op::CALLR => Ok(Instr::Callr { rs1: rs1(w)? }),
+        op::RET => Ok(Instr::Ret),
+        op::BEQ => branch(Cond::Eq),
+        op::BNE => branch(Cond::Ne),
+        op::BLT => branch(Cond::Lt),
+        op::BGE => branch(Cond::Ge),
+        op::BLTU => branch(Cond::Ltu),
+        op::BGEU => branch(Cond::Geu),
+
+        op::EXT_BASE..=op::EXT_LAST => Ok(Instr::Ext {
+            op: opcode & 0x0f,
+            rd: rd(w)?,
+            rs1: rs1(w)?,
+            imm: imm16(w),
+        }),
+
+        other => Err(DecodeError::UnknownOpcode(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+
+    fn roundtrip(i: Instr) {
+        assert_eq!(decode(encode(i)), Ok(i), "instruction {i}");
+    }
+
+    #[test]
+    fn roundtrip_system() {
+        for i in [Instr::Nop, Instr::Halt, Instr::Iret, Instr::Di, Instr::Ei, Instr::Ret] {
+            roundtrip(i);
+        }
+        roundtrip(Instr::Swi(0));
+        roundtrip(Instr::Swi(255));
+    }
+
+    #[test]
+    fn roundtrip_alu_all_ops() {
+        for a in AluOp::ALL {
+            roundtrip(Instr::Alu { op: a, rd: Reg::R3, rs1: Reg::Sp, rs2: Reg::R7 });
+        }
+    }
+
+    #[test]
+    fn roundtrip_immediates() {
+        roundtrip(Instr::Addi { rd: Reg::R1, rs1: Reg::R2, imm: -32768 });
+        roundtrip(Instr::Addi { rd: Reg::R1, rs1: Reg::R2, imm: 32767 });
+        roundtrip(Instr::Andi { rd: Reg::R0, rs1: Reg::R0, imm: 0xffff });
+        roundtrip(Instr::Movi { rd: Reg::Sp, imm: -1 });
+        roundtrip(Instr::Lui { rd: Reg::R4, imm: 0x2000 });
+        roundtrip(Instr::Shli { rd: Reg::R4, rs1: Reg::R4, imm: 31 });
+    }
+
+    #[test]
+    fn roundtrip_memory() {
+        roundtrip(Instr::Lw { rd: Reg::R0, rs1: Reg::Sp, disp: -4 });
+        roundtrip(Instr::Sw { rs1: Reg::R6, rs2: Reg::R7, disp: 1024 });
+        roundtrip(Instr::Lb { rd: Reg::R2, rs1: Reg::R1, disp: 3 });
+        roundtrip(Instr::Sb { rs1: Reg::R2, rs2: Reg::R3, disp: -3 });
+        roundtrip(Instr::Push { rs: Reg::Sp });
+        roundtrip(Instr::Pop { rd: Reg::R7 });
+        roundtrip(Instr::Pushf);
+        roundtrip(Instr::Popf);
+    }
+
+    #[test]
+    fn roundtrip_control_flow() {
+        roundtrip(Instr::Jmp { off: -32768 });
+        roundtrip(Instr::Call { off: 32764 });
+        roundtrip(Instr::Jr { rs1: Reg::R5 });
+        roundtrip(Instr::Callr { rs1: Reg::R0 });
+        for c in Cond::ALL {
+            roundtrip(Instr::Branch { cond: c, rs1: Reg::R1, rs2: Reg::R2, off: -8 });
+        }
+    }
+
+    #[test]
+    fn roundtrip_ext() {
+        roundtrip(Instr::Ext { op: 0, rd: Reg::R0, rs1: Reg::R1, imm: 7 });
+        roundtrip(Instr::Ext { op: 15, rd: Reg::Sp, rs1: Reg::R7, imm: 0xffff });
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        assert_eq!(decode(0xff00_0000), Err(DecodeError::UnknownOpcode(0xff)));
+        assert_eq!(decode(0x0600_0000), Err(DecodeError::UnknownOpcode(0x06)));
+    }
+
+    #[test]
+    fn bad_register_rejected() {
+        // ADD with rd field = 9 (only 0..=8 valid).
+        let w = (op::ADD as u32) << 24 | 9 << 20;
+        assert!(matches!(decode(w), Err(DecodeError::BadRegister { field: "rd", .. })));
+    }
+
+    #[test]
+    fn bad_shift_rejected() {
+        let w = (op::SHLI as u32) << 24 | 32;
+        assert_eq!(decode(w), Err(DecodeError::BadShiftAmount(32)));
+    }
+
+    #[test]
+    fn misaligned_offset_rejected() {
+        let w = (op::JMP as u32) << 24 | 2;
+        assert_eq!(decode(w), Err(DecodeError::MisalignedOffset(2)));
+    }
+}

@@ -1,0 +1,57 @@
+//! Disassembler for tracing and debugging.
+
+use crate::decode::decode;
+use crate::image::Image;
+
+/// Disassembles one word, yielding `??? <word>` for invalid encodings.
+pub fn disassemble(word: u32) -> String {
+    match decode(word) {
+        Ok(i) => i.to_string(),
+        Err(e) => format!("??? {word:#010x} ({e})"),
+    }
+}
+
+/// Disassembles an entire image into `(address, text)` lines.
+///
+/// Data regions will decode as garbage or `???`; this is a debugging aid,
+/// not a round-trip tool.
+pub fn disassemble_image(img: &Image) -> Vec<(u32, String)> {
+    img.words()
+        .enumerate()
+        .map(|(i, w)| (img.base + 4 * i as u32, disassemble(w)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Asm;
+    use crate::encode::encode;
+    use crate::instr::Instr;
+    use crate::reg::Reg;
+
+    #[test]
+    fn valid_instruction_formats() {
+        assert_eq!(disassemble(encode(Instr::Halt)), "halt");
+        assert_eq!(
+            disassemble(encode(Instr::Lw { rd: Reg::R0, rs1: Reg::Sp, disp: -4 })),
+            "lw r0, [sp-4]"
+        );
+    }
+
+    #[test]
+    fn invalid_word_marked() {
+        assert!(disassemble(0xff00_0000).starts_with("???"));
+    }
+
+    #[test]
+    fn image_listing_addresses() {
+        let mut a = Asm::new(0x100);
+        a.nop();
+        a.halt();
+        let img = a.assemble().unwrap();
+        let lines = disassemble_image(&img);
+        assert_eq!(lines[0], (0x100, "nop".to_string()));
+        assert_eq!(lines[1], (0x104, "halt".to_string()));
+    }
+}

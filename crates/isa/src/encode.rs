@@ -1,0 +1,225 @@
+//! Binary encoding of SP32 instructions.
+//!
+//! Every instruction is one 32-bit little-endian word:
+//!
+//! ```text
+//! [31:24] opcode
+//! [23:20] rd    (or rs2 for stores, rs1 for branches, rs for push)
+//! [19:16] rs1   (or rs2 for branches)
+//! [15:12] rs2   (R-format only)
+//! [15:0]  imm16 (I-format, displacements, relative offsets)
+//! ```
+
+use crate::instr::{AluOp, Cond, Instr};
+use crate::reg::Reg;
+
+/// Opcode constants. Grouped by instruction class; gaps are reserved.
+pub mod opcodes {
+    pub const NOP: u8 = 0x00;
+    pub const HALT: u8 = 0x01;
+    pub const SWI: u8 = 0x02;
+    pub const IRET: u8 = 0x03;
+    pub const DI: u8 = 0x04;
+    pub const EI: u8 = 0x05;
+
+    pub const ADD: u8 = 0x10;
+    pub const SUB: u8 = 0x11;
+    pub const AND: u8 = 0x12;
+    pub const OR: u8 = 0x13;
+    pub const XOR: u8 = 0x14;
+    pub const SHL: u8 = 0x15;
+    pub const SHR: u8 = 0x16;
+    pub const SRA: u8 = 0x17;
+    pub const MUL: u8 = 0x18;
+    pub const MOV: u8 = 0x19;
+    pub const NOT: u8 = 0x1A;
+    pub const DIVU: u8 = 0x1B;
+    pub const REMU: u8 = 0x1C;
+
+    pub const ADDI: u8 = 0x20;
+    pub const ANDI: u8 = 0x21;
+    pub const ORI: u8 = 0x22;
+    pub const XORI: u8 = 0x23;
+    pub const SHLI: u8 = 0x24;
+    pub const SHRI: u8 = 0x25;
+    pub const SRAI: u8 = 0x26;
+    pub const MOVI: u8 = 0x27;
+    pub const LUI: u8 = 0x28;
+
+    pub const LW: u8 = 0x30;
+    pub const SW: u8 = 0x31;
+    pub const LB: u8 = 0x32;
+    pub const SB: u8 = 0x33;
+    pub const LBS: u8 = 0x34;
+    pub const LH: u8 = 0x35;
+    pub const LHS: u8 = 0x36;
+    pub const SH: u8 = 0x37;
+    pub const PUSH: u8 = 0x38;
+    pub const POP: u8 = 0x39;
+    pub const PUSHF: u8 = 0x3A;
+    pub const POPF: u8 = 0x3B;
+
+    pub const JMP: u8 = 0x40;
+    pub const JR: u8 = 0x41;
+    pub const CALL: u8 = 0x42;
+    pub const CALLR: u8 = 0x43;
+    pub const RET: u8 = 0x44;
+    pub const BEQ: u8 = 0x48;
+    pub const BNE: u8 = 0x49;
+    pub const BLT: u8 = 0x4A;
+    pub const BGE: u8 = 0x4B;
+    pub const BLTU: u8 = 0x4C;
+    pub const BGEU: u8 = 0x4D;
+
+    /// First platform-extension opcode (inclusive).
+    pub const EXT_BASE: u8 = 0xE0;
+    /// Last platform-extension opcode (inclusive).
+    pub const EXT_LAST: u8 = 0xEF;
+}
+
+use opcodes as op;
+
+fn word(opcode: u8, rd: u32, rs1: u32, low16: u32) -> u32 {
+    debug_assert!(rd < 16 && rs1 < 16 && low16 <= 0xffff);
+    (opcode as u32) << 24 | rd << 20 | rs1 << 16 | low16
+}
+
+fn r_format(opcode: u8, rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+    word(opcode, rd.code(), rs1.code(), rs2.code() << 12)
+}
+
+fn i_format(opcode: u8, rd: Reg, rs1: Reg, imm: u16) -> u32 {
+    word(opcode, rd.code(), rs1.code(), imm as u32)
+}
+
+fn alu_opcode(a: AluOp) -> u8 {
+    match a {
+        AluOp::Add => op::ADD,
+        AluOp::Sub => op::SUB,
+        AluOp::And => op::AND,
+        AluOp::Or => op::OR,
+        AluOp::Xor => op::XOR,
+        AluOp::Shl => op::SHL,
+        AluOp::Shr => op::SHR,
+        AluOp::Sra => op::SRA,
+        AluOp::Mul => op::MUL,
+        AluOp::Divu => op::DIVU,
+        AluOp::Remu => op::REMU,
+    }
+}
+
+fn cond_opcode(c: Cond) -> u8 {
+    match c {
+        Cond::Eq => op::BEQ,
+        Cond::Ne => op::BNE,
+        Cond::Lt => op::BLT,
+        Cond::Ge => op::BGE,
+        Cond::Ltu => op::BLTU,
+        Cond::Geu => op::BGEU,
+    }
+}
+
+/// Encodes an instruction into its 32-bit word.
+///
+/// Relative offsets must be multiples of four and shift amounts at most 31;
+/// the public constructors ([`crate::Asm`]) maintain these invariants, and
+/// they are `debug_assert`ed here.
+pub fn encode(i: Instr) -> u32 {
+    match i {
+        Instr::Nop => word(op::NOP, 0, 0, 0),
+        Instr::Halt => word(op::HALT, 0, 0, 0),
+        Instr::Swi(v) => word(op::SWI, 0, 0, v as u32),
+        Instr::Iret => word(op::IRET, 0, 0, 0),
+        Instr::Di => word(op::DI, 0, 0, 0),
+        Instr::Ei => word(op::EI, 0, 0, 0),
+
+        Instr::Alu { op: a, rd, rs1, rs2 } => r_format(alu_opcode(a), rd, rs1, rs2),
+        Instr::Mov { rd, rs1 } => i_format(op::MOV, rd, rs1, 0),
+        Instr::Not { rd, rs1 } => i_format(op::NOT, rd, rs1, 0),
+
+        Instr::Addi { rd, rs1, imm } => i_format(op::ADDI, rd, rs1, imm as u16),
+        Instr::Andi { rd, rs1, imm } => i_format(op::ANDI, rd, rs1, imm),
+        Instr::Ori { rd, rs1, imm } => i_format(op::ORI, rd, rs1, imm),
+        Instr::Xori { rd, rs1, imm } => i_format(op::XORI, rd, rs1, imm),
+        Instr::Shli { rd, rs1, imm } => {
+            debug_assert!(imm <= 31);
+            i_format(op::SHLI, rd, rs1, (imm & 31) as u16)
+        }
+        Instr::Shri { rd, rs1, imm } => {
+            debug_assert!(imm <= 31);
+            i_format(op::SHRI, rd, rs1, (imm & 31) as u16)
+        }
+        Instr::Srai { rd, rs1, imm } => {
+            debug_assert!(imm <= 31);
+            i_format(op::SRAI, rd, rs1, (imm & 31) as u16)
+        }
+        Instr::Movi { rd, imm } => i_format(op::MOVI, rd, Reg::R0, imm as u16),
+        Instr::Lui { rd, imm } => i_format(op::LUI, rd, Reg::R0, imm),
+
+        Instr::Lw { rd, rs1, disp } => i_format(op::LW, rd, rs1, disp as u16),
+        Instr::Sw { rs1, rs2, disp } => i_format(op::SW, rs2, rs1, disp as u16),
+        Instr::Lb { rd, rs1, disp } => i_format(op::LB, rd, rs1, disp as u16),
+        Instr::Lbs { rd, rs1, disp } => i_format(op::LBS, rd, rs1, disp as u16),
+        Instr::Sb { rs1, rs2, disp } => i_format(op::SB, rs2, rs1, disp as u16),
+        Instr::Lh { rd, rs1, disp } => i_format(op::LH, rd, rs1, disp as u16),
+        Instr::Lhs { rd, rs1, disp } => i_format(op::LHS, rd, rs1, disp as u16),
+        Instr::Sh { rs1, rs2, disp } => i_format(op::SH, rs2, rs1, disp as u16),
+
+        Instr::Push { rs } => word(op::PUSH, rs.code(), 0, 0),
+        Instr::Pop { rd } => word(op::POP, rd.code(), 0, 0),
+        Instr::Pushf => word(op::PUSHF, 0, 0, 0),
+        Instr::Popf => word(op::POPF, 0, 0, 0),
+
+        Instr::Jmp { off } => {
+            debug_assert!(off % 4 == 0);
+            word(op::JMP, 0, 0, off as u16 as u32)
+        }
+        Instr::Jr { rs1 } => word(op::JR, 0, rs1.code(), 0),
+        Instr::Call { off } => {
+            debug_assert!(off % 4 == 0);
+            word(op::CALL, 0, 0, off as u16 as u32)
+        }
+        Instr::Callr { rs1 } => word(op::CALLR, 0, rs1.code(), 0),
+        Instr::Ret => word(op::RET, 0, 0, 0),
+        Instr::Branch { cond, rs1, rs2, off } => {
+            debug_assert!(off % 4 == 0);
+            word(cond_opcode(cond), rs1.code(), rs2.code(), off as u16 as u32)
+        }
+
+        Instr::Ext { op: ext, rd, rs1, imm } => {
+            debug_assert!(ext <= 0x0f);
+            i_format(op::EXT_BASE | (ext & 0x0f), rd, rs1, imm)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_in_high_byte() {
+        assert_eq!(encode(Instr::Halt) >> 24, op::HALT as u32);
+        assert_eq!(encode(Instr::Ret) >> 24, op::RET as u32);
+    }
+
+    #[test]
+    fn store_fields_swapped_into_rd_slot() {
+        let w = encode(Instr::Sw { rs1: Reg::R1, rs2: Reg::R2, disp: 8 });
+        assert_eq!((w >> 20) & 0xf, Reg::R2.code());
+        assert_eq!((w >> 16) & 0xf, Reg::R1.code());
+        assert_eq!(w & 0xffff, 8);
+    }
+
+    #[test]
+    fn negative_displacement_wraps_into_imm16() {
+        let w = encode(Instr::Lw { rd: Reg::R0, rs1: Reg::Sp, disp: -4 });
+        assert_eq!(w & 0xffff, 0xfffc);
+    }
+
+    #[test]
+    fn ext_opcode_range() {
+        let w = encode(Instr::Ext { op: 0x5, rd: Reg::R1, rs1: Reg::R2, imm: 0xabcd });
+        assert_eq!(w >> 24, 0xe5);
+    }
+}

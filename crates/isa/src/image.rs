@@ -1,0 +1,129 @@
+//! Positioned program images with symbol tables.
+
+use std::collections::BTreeMap;
+
+/// A fully assembled program image, positioned at an absolute base address.
+///
+/// Images are what the Secure Loader copies from PROM into SRAM and what
+/// the simulator executes. The symbol table maps assembler labels to
+/// absolute addresses so host-side code (loaders, tests, benches) can refer
+/// to entry points by name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    /// Absolute load address of the first byte.
+    pub base: u32,
+    /// Raw little-endian contents.
+    pub bytes: Vec<u8>,
+    /// Label name to absolute address.
+    pub symbols: BTreeMap<String, u32>,
+}
+
+impl Image {
+    /// Creates an empty image at `base`.
+    pub fn new(base: u32) -> Self {
+        Image { base, bytes: Vec::new(), symbols: BTreeMap::new() }
+    }
+
+    /// Length of the image in bytes.
+    pub fn len(&self) -> u32 {
+        self.bytes.len() as u32
+    }
+
+    /// Returns true if the image holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// One past the last occupied address.
+    pub fn end(&self) -> u32 {
+        self.base + self.len()
+    }
+
+    /// Looks up a symbol's absolute address.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Looks up a symbol, panicking with a clear message if missing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol is not defined. Intended for tests and examples
+    /// where a missing symbol is a programming error.
+    pub fn expect_symbol(&self, name: &str) -> u32 {
+        match self.symbol(name) {
+            Some(a) => a,
+            None => panic!("symbol `{name}` not defined in image at {:#010x}", self.base),
+        }
+    }
+
+    /// Reads the 32-bit word at absolute address `addr`, if in range and
+    /// aligned.
+    pub fn word_at(&self, addr: u32) -> Option<u32> {
+        if !addr.is_multiple_of(4) || addr < self.base {
+            return None;
+        }
+        let off = (addr - self.base) as usize;
+        let slice = self.bytes.get(off..off + 4)?;
+        Some(u32::from_le_bytes([slice[0], slice[1], slice[2], slice[3]]))
+    }
+
+    /// Iterates the image as 32-bit words (the trailing partial word, if
+    /// any, is zero-padded).
+    pub fn words(&self) -> impl Iterator<Item = u32> + '_ {
+        self.bytes.chunks(4).map(|c| {
+            let mut w = [0u8; 4];
+            w[..c.len()].copy_from_slice(c);
+            u32::from_le_bytes(w)
+        })
+    }
+
+    /// Returns true if `addr` lies within the image.
+    pub fn contains(&self, addr: u32) -> bool {
+        addr >= self.base && addr < self.end()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Image {
+        let mut img = Image::new(0x1000);
+        img.bytes = vec![0x78, 0x56, 0x34, 0x12, 0xaa, 0xbb];
+        img.symbols.insert("start".into(), 0x1000);
+        img
+    }
+
+    #[test]
+    fn word_access() {
+        let img = sample();
+        assert_eq!(img.word_at(0x1000), Some(0x1234_5678));
+        assert_eq!(img.word_at(0x1002), None, "unaligned");
+        assert_eq!(img.word_at(0x1004), None, "partial word out of range");
+        assert_eq!(img.word_at(0x0ffc), None, "below base");
+    }
+
+    #[test]
+    fn words_pad_tail() {
+        let img = sample();
+        let w: Vec<u32> = img.words().collect();
+        assert_eq!(w, vec![0x1234_5678, 0x0000_bbaa]);
+    }
+
+    #[test]
+    fn ranges() {
+        let img = sample();
+        assert_eq!(img.len(), 6);
+        assert_eq!(img.end(), 0x1006);
+        assert!(img.contains(0x1005));
+        assert!(!img.contains(0x1006));
+        assert!(!img.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "symbol `missing` not defined")]
+    fn expect_symbol_panics_with_context() {
+        sample().expect_symbol("missing");
+    }
+}

@@ -1,0 +1,378 @@
+//! The SP32 instruction enumeration.
+
+use core::fmt;
+
+use crate::reg::Reg;
+
+/// Branch condition for the compare-and-branch instructions.
+///
+/// SP32 branches compare two registers directly (MIPS-style); there are no
+/// architectural condition codes beyond the interrupt-enable flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    Ltu,
+    /// Unsigned greater-or-equal.
+    Geu,
+}
+
+impl Cond {
+    /// All conditions in encoding order.
+    pub const ALL: [Cond; 6] = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Ltu, Cond::Geu];
+
+    /// Evaluates the condition on two register values.
+    pub fn eval(self, a: u32, b: u32) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => (a as i32) < (b as i32),
+            Cond::Ge => (a as i32) >= (b as i32),
+            Cond::Ltu => a < b,
+            Cond::Geu => a >= b,
+        }
+    }
+
+    /// Returns the inverse condition.
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Ge => Cond::Lt,
+            Cond::Ltu => Cond::Geu,
+            Cond::Geu => Cond::Ltu,
+        }
+    }
+
+    /// Assembler mnemonic suffix (`beq`, `bne`, ...).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Eq => "beq",
+            Cond::Ne => "bne",
+            Cond::Lt => "blt",
+            Cond::Ge => "bge",
+            Cond::Ltu => "bltu",
+            Cond::Geu => "bgeu",
+        }
+    }
+}
+
+/// Binary register-register ALU operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Sra,
+    Mul,
+    /// Unsigned division; division by zero yields `u32::MAX` (no trap),
+    /// following the RISC-V convention.
+    Divu,
+    /// Unsigned remainder; remainder by zero yields the dividend.
+    Remu,
+}
+
+impl AluOp {
+    /// All operations in encoding order.
+    pub const ALL: [AluOp; 11] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::Shr,
+        AluOp::Sra,
+        AluOp::Mul,
+        AluOp::Divu,
+        AluOp::Remu,
+    ];
+
+    /// Applies the operation. Shifts use the low five bits of `b`.
+    pub fn apply(self, a: u32, b: u32) -> u32 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl(b & 31),
+            AluOp::Shr => a.wrapping_shr(b & 31),
+            AluOp::Sra => ((a as i32).wrapping_shr(b & 31)) as u32,
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
+            AluOp::Remu => a.checked_rem(b).unwrap_or(a),
+        }
+    }
+
+    /// Assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::Sra => "sra",
+            AluOp::Mul => "mul",
+            AluOp::Divu => "divu",
+            AluOp::Remu => "remu",
+        }
+    }
+}
+
+/// A decoded SP32 instruction.
+///
+/// Relative control-flow offsets (`Jmp`, `Call`, `Branch`) are byte offsets
+/// relative to the address of the *next* instruction and must be multiples
+/// of four.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// No operation.
+    Nop,
+    /// Stop the core; the simulator run loop returns.
+    Halt,
+    /// Software interrupt with an 8-bit vector argument.
+    Swi(u8),
+    /// Return from an interrupt handled on the current stack (OS use).
+    Iret,
+    /// Disable maskable interrupts (clear FLAGS.IE).
+    Di,
+    /// Enable maskable interrupts (set FLAGS.IE).
+    Ei,
+
+    /// Register-register ALU operation: `rd = rs1 op rs2`.
+    Alu { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    /// Register move: `rd = rs1`.
+    Mov { rd: Reg, rs1: Reg },
+    /// Bitwise complement: `rd = !rs1`.
+    Not { rd: Reg, rs1: Reg },
+
+    /// Add signed 16-bit immediate: `rd = rs1 + imm`.
+    Addi { rd: Reg, rs1: Reg, imm: i16 },
+    /// AND with zero-extended immediate.
+    Andi { rd: Reg, rs1: Reg, imm: u16 },
+    /// OR with zero-extended immediate.
+    Ori { rd: Reg, rs1: Reg, imm: u16 },
+    /// XOR with zero-extended immediate.
+    Xori { rd: Reg, rs1: Reg, imm: u16 },
+    /// Shift left by a constant (0..=31).
+    Shli { rd: Reg, rs1: Reg, imm: u8 },
+    /// Logical shift right by a constant (0..=31).
+    Shri { rd: Reg, rs1: Reg, imm: u8 },
+    /// Arithmetic shift right by a constant (0..=31).
+    Srai { rd: Reg, rs1: Reg, imm: u8 },
+    /// Load sign-extended 16-bit immediate: `rd = imm`.
+    Movi { rd: Reg, imm: i16 },
+    /// Load upper immediate: `rd = imm << 16`.
+    Lui { rd: Reg, imm: u16 },
+
+    /// Load word: `rd = mem32[rs1 + disp]`.
+    Lw { rd: Reg, rs1: Reg, disp: i16 },
+    /// Store word: `mem32[rs1 + disp] = rs2`.
+    Sw { rs1: Reg, rs2: Reg, disp: i16 },
+    /// Load byte, zero-extended.
+    Lb { rd: Reg, rs1: Reg, disp: i16 },
+    /// Load byte, sign-extended.
+    Lbs { rd: Reg, rs1: Reg, disp: i16 },
+    /// Store low byte of `rs2`.
+    Sb { rs1: Reg, rs2: Reg, disp: i16 },
+    /// Load halfword, zero-extended (address must be 2-aligned).
+    Lh { rd: Reg, rs1: Reg, disp: i16 },
+    /// Load halfword, sign-extended (address must be 2-aligned).
+    Lhs { rd: Reg, rs1: Reg, disp: i16 },
+    /// Store low halfword of `rs2` (address must be 2-aligned).
+    Sh { rs1: Reg, rs2: Reg, disp: i16 },
+
+    /// Push a register onto the stack (`sp -= 4; mem32[sp] = rs`).
+    Push { rs: Reg },
+    /// Pop a register from the stack (`rd = mem32[sp]; sp += 4`).
+    Pop { rd: Reg },
+    /// Push the flags word.
+    Pushf,
+    /// Pop the flags word.
+    Popf,
+
+    /// Relative jump.
+    Jmp { off: i16 },
+    /// Indirect jump to the address in `rs1`.
+    Jr { rs1: Reg },
+    /// Relative call: pushes the return address, then jumps.
+    Call { off: i16 },
+    /// Indirect call through `rs1`.
+    Callr { rs1: Reg },
+    /// Return: pops the instruction pointer.
+    Ret,
+    /// Compare-and-branch: if `rs1 cond rs2`, jump by `off`.
+    Branch { cond: Cond, rs1: Reg, rs2: Reg, off: i16 },
+
+    /// Platform-defined extension instruction (opcodes `0xE0..=0xEF`).
+    ///
+    /// The base architecture treats these as illegal; platform models (the
+    /// Sancus baseline in particular) give them meaning. `op` is the low
+    /// nibble of the opcode.
+    Ext { op: u8, rd: Reg, rs1: Reg, imm: u16 },
+}
+
+impl Instr {
+    /// Returns true if the instruction transfers control (other than
+    /// falling through).
+    pub fn is_control_flow(&self) -> bool {
+        matches!(
+            self,
+            Instr::Jmp { .. }
+                | Instr::Jr { .. }
+                | Instr::Call { .. }
+                | Instr::Callr { .. }
+                | Instr::Ret
+                | Instr::Branch { .. }
+                | Instr::Iret
+                | Instr::Swi(_)
+        )
+    }
+
+    /// Returns true if the instruction accesses data memory.
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            Instr::Lw { .. }
+                | Instr::Sw { .. }
+                | Instr::Lb { .. }
+                | Instr::Lbs { .. }
+                | Instr::Sb { .. }
+                | Instr::Lh { .. }
+                | Instr::Lhs { .. }
+                | Instr::Sh { .. }
+                | Instr::Push { .. }
+                | Instr::Pop { .. }
+                | Instr::Pushf
+                | Instr::Popf
+                | Instr::Call { .. }
+                | Instr::Callr { .. }
+                | Instr::Ret
+        )
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Nop => write!(f, "nop"),
+            Instr::Halt => write!(f, "halt"),
+            Instr::Swi(v) => write!(f, "swi {v}"),
+            Instr::Iret => write!(f, "iret"),
+            Instr::Di => write!(f, "di"),
+            Instr::Ei => write!(f, "ei"),
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                write!(f, "{} {rd}, {rs1}, {rs2}", op.mnemonic())
+            }
+            Instr::Mov { rd, rs1 } => write!(f, "mov {rd}, {rs1}"),
+            Instr::Not { rd, rs1 } => write!(f, "not {rd}, {rs1}"),
+            Instr::Addi { rd, rs1, imm } => write!(f, "addi {rd}, {rs1}, {imm}"),
+            Instr::Andi { rd, rs1, imm } => write!(f, "andi {rd}, {rs1}, {imm:#x}"),
+            Instr::Ori { rd, rs1, imm } => write!(f, "ori {rd}, {rs1}, {imm:#x}"),
+            Instr::Xori { rd, rs1, imm } => write!(f, "xori {rd}, {rs1}, {imm:#x}"),
+            Instr::Shli { rd, rs1, imm } => write!(f, "shli {rd}, {rs1}, {imm}"),
+            Instr::Shri { rd, rs1, imm } => write!(f, "shri {rd}, {rs1}, {imm}"),
+            Instr::Srai { rd, rs1, imm } => write!(f, "srai {rd}, {rs1}, {imm}"),
+            Instr::Movi { rd, imm } => write!(f, "movi {rd}, {imm}"),
+            Instr::Lui { rd, imm } => write!(f, "lui {rd}, {imm:#x}"),
+            Instr::Lw { rd, rs1, disp } => write!(f, "lw {rd}, [{rs1}{disp:+}]"),
+            Instr::Sw { rs1, rs2, disp } => write!(f, "sw [{rs1}{disp:+}], {rs2}"),
+            Instr::Lb { rd, rs1, disp } => write!(f, "lb {rd}, [{rs1}{disp:+}]"),
+            Instr::Lbs { rd, rs1, disp } => write!(f, "lbs {rd}, [{rs1}{disp:+}]"),
+            Instr::Sb { rs1, rs2, disp } => write!(f, "sb [{rs1}{disp:+}], {rs2}"),
+            Instr::Lh { rd, rs1, disp } => write!(f, "lh {rd}, [{rs1}{disp:+}]"),
+            Instr::Lhs { rd, rs1, disp } => write!(f, "lhs {rd}, [{rs1}{disp:+}]"),
+            Instr::Sh { rs1, rs2, disp } => write!(f, "sh [{rs1}{disp:+}], {rs2}"),
+            Instr::Push { rs } => write!(f, "push {rs}"),
+            Instr::Pop { rd } => write!(f, "pop {rd}"),
+            Instr::Pushf => write!(f, "pushf"),
+            Instr::Popf => write!(f, "popf"),
+            Instr::Jmp { off } => write!(f, "jmp {off:+}"),
+            Instr::Jr { rs1 } => write!(f, "jr {rs1}"),
+            Instr::Call { off } => write!(f, "call {off:+}"),
+            Instr::Callr { rs1 } => write!(f, "callr {rs1}"),
+            Instr::Ret => write!(f, "ret"),
+            Instr::Branch { cond, rs1, rs2, off } => {
+                write!(f, "{} {rs1}, {rs2}, {off:+}", cond.mnemonic())
+            }
+            Instr::Ext { op, rd, rs1, imm } => {
+                write!(f, "ext{op:x} {rd}, {rs1}, {imm:#x}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cond_eval_signed_vs_unsigned() {
+        // -1 < 1 signed, but 0xffff_ffff > 1 unsigned.
+        assert!(Cond::Lt.eval(0xffff_ffff, 1));
+        assert!(!Cond::Ltu.eval(0xffff_ffff, 1));
+        assert!(Cond::Geu.eval(0xffff_ffff, 1));
+        assert!(!Cond::Ge.eval(0xffff_ffff, 1));
+    }
+
+    #[test]
+    fn cond_negation_is_involution() {
+        for c in Cond::ALL {
+            assert_eq!(c.negate().negate(), c);
+            // A condition and its negation partition every input pair.
+            for (a, b) in [(0u32, 0u32), (1, 2), (u32::MAX, 0), (5, 5)] {
+                assert_ne!(c.eval(a, b), c.negate().eval(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn alu_shift_masks_amount() {
+        assert_eq!(AluOp::Shl.apply(1, 33), 2);
+        assert_eq!(AluOp::Shr.apply(4, 33), 2);
+    }
+
+    #[test]
+    fn alu_wrapping() {
+        assert_eq!(AluOp::Add.apply(u32::MAX, 1), 0);
+        assert_eq!(AluOp::Sub.apply(0, 1), u32::MAX);
+        assert_eq!(AluOp::Mul.apply(0x8000_0000, 2), 0);
+    }
+
+    #[test]
+    fn sra_sign_extends() {
+        assert_eq!(AluOp::Sra.apply(0x8000_0000, 31), 0xffff_ffff);
+        assert_eq!(AluOp::Shr.apply(0x8000_0000, 31), 1);
+    }
+
+    #[test]
+    fn control_flow_classification() {
+        assert!(Instr::Ret.is_control_flow());
+        assert!(Instr::Jmp { off: 0 }.is_control_flow());
+        assert!(!Instr::Nop.is_control_flow());
+        assert!(!Instr::Push { rs: Reg::R0 }.is_control_flow());
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(Instr::Push { rs: Reg::R0 }.is_memory());
+        assert!(Instr::Ret.is_memory());
+        assert!(!Instr::Jmp { off: 0 }.is_memory());
+    }
+}

@@ -1,0 +1,53 @@
+//! SP32: the instruction set of the TrustLite reference simulator.
+//!
+//! SP32 is a from-scratch 32-bit, fixed-width RISC instruction set modelled
+//! after the class of cores the TrustLite paper targets (the Intel Siskiyou
+//! Peak research core: 32-bit, single-issue, Harvard-style). It is the
+//! machine language in which the embedded OS, the trustlets and the attack
+//! harnesses of this reproduction are written.
+//!
+//! The crate provides:
+//!
+//! * [`Instr`] — the instruction enumeration with precise operand types,
+//! * [`encode`](fn@encode)/[`decode`](fn@decode) — lossless binary
+//!   encoding into 32-bit words,
+//! * [`Asm`] — a programmatic two-pass assembler with labels and fixups,
+//! * [`asm::assemble_text`] — a text-syntax front-end over the same backend,
+//! * [`disasm`] — a disassembler used by tracing and debugging aids,
+//! * [`Image`] — a positioned program image with a symbol table.
+//!
+//! # Examples
+//!
+//! ```
+//! use trustlite_isa::{Asm, Reg};
+//!
+//! let mut a = Asm::new(0x1000);
+//! a.label("start");
+//! a.li(Reg::R0, 41);
+//! a.addi(Reg::R0, Reg::R0, 1);
+//! a.halt();
+//! let img = a.assemble().unwrap();
+//! assert_eq!(img.base, 0x1000);
+//! assert_eq!(img.symbol("start"), Some(0x1000));
+//! ```
+
+pub mod asm;
+pub mod builder;
+pub mod decode;
+pub mod disasm;
+pub mod encode;
+pub mod image;
+pub mod instr;
+pub mod reg;
+
+pub use asm::assemble_text;
+pub use builder::Asm;
+pub use decode::{decode, DecodeError};
+pub use disasm::disassemble;
+pub use encode::encode;
+pub use image::Image;
+pub use instr::{Cond, Instr};
+pub use reg::Reg;
+
+/// Size of one SP32 instruction in bytes. All instructions are fixed-width.
+pub const INSTR_BYTES: u32 = 4;

@@ -1,0 +1,151 @@
+//! Register file naming for SP32.
+
+use core::fmt;
+
+/// An architectural register of the SP32 core.
+///
+/// The core has eight general-purpose registers `r0..r7` plus the dedicated
+/// stack pointer `sp`. The instruction pointer and the flags word are not
+/// directly addressable; they are manipulated through control-flow
+/// instructions, `pushf`/`popf` and the exception engine.
+///
+/// The split between eight GPRs and a dedicated `sp` is deliberate: it makes
+/// the paper's secure-exception cycle budget (Section 5.4) structural —
+/// "10 cycles to store all but the ESP registers" saves `flags`, the return
+/// instruction pointer and `r0..r7` (ten words), and "9 cycles to clear all
+/// general purpose registers and store the ESP into the Trustlet Table"
+/// clears eight GPRs and performs one table write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Reg {
+    R0,
+    R1,
+    R2,
+    R3,
+    R4,
+    R5,
+    R6,
+    R7,
+    /// The dedicated stack pointer.
+    Sp,
+}
+
+impl Reg {
+    /// All registers in encoding order.
+    pub const ALL: [Reg; 9] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::Sp,
+    ];
+
+    /// The general-purpose registers only (everything except `sp`).
+    pub const GPRS: [Reg; 8] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+    ];
+
+    /// Returns the 4-bit encoding of this register.
+    pub fn code(self) -> u32 {
+        match self {
+            Reg::R0 => 0,
+            Reg::R1 => 1,
+            Reg::R2 => 2,
+            Reg::R3 => 3,
+            Reg::R4 => 4,
+            Reg::R5 => 5,
+            Reg::R6 => 6,
+            Reg::R7 => 7,
+            Reg::Sp => 8,
+        }
+    }
+
+    /// Decodes a 4-bit register field, if valid.
+    pub fn from_code(code: u32) -> Option<Reg> {
+        Reg::ALL.get(code as usize).copied()
+    }
+
+    /// Parses an assembler register name (`r0`..`r7`, `sp`).
+    pub fn parse(name: &str) -> Option<Reg> {
+        match name.to_ascii_lowercase().as_str() {
+            "r0" => Some(Reg::R0),
+            "r1" => Some(Reg::R1),
+            "r2" => Some(Reg::R2),
+            "r3" => Some(Reg::R3),
+            "r4" => Some(Reg::R4),
+            "r5" => Some(Reg::R5),
+            "r6" => Some(Reg::R6),
+            "r7" => Some(Reg::R7),
+            "sp" => Some(Reg::Sp),
+            _ => None,
+        }
+    }
+
+    /// Returns true for the general-purpose registers `r0..r7`.
+    pub fn is_gpr(self) -> bool {
+        self != Reg::Sp
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::Sp => write!(f, "sp"),
+            other => write!(f, "r{}", other.code()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_roundtrip() {
+        for r in Reg::ALL {
+            assert_eq!(Reg::from_code(r.code()), Some(r));
+        }
+    }
+
+    #[test]
+    fn invalid_codes_rejected() {
+        for code in 9..16 {
+            assert_eq!(Reg::from_code(code), None);
+        }
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(Reg::parse("r0"), Some(Reg::R0));
+        assert_eq!(Reg::parse("R5"), Some(Reg::R5));
+        assert_eq!(Reg::parse("sp"), Some(Reg::Sp));
+        assert_eq!(Reg::parse("SP"), Some(Reg::Sp));
+        assert_eq!(Reg::parse("r8"), None);
+        assert_eq!(Reg::parse("ip"), None);
+    }
+
+    #[test]
+    fn display_matches_parse() {
+        for r in Reg::ALL {
+            assert_eq!(Reg::parse(&r.to_string()), Some(r));
+        }
+    }
+
+    #[test]
+    fn gpr_classification() {
+        for r in Reg::GPRS {
+            assert!(r.is_gpr());
+        }
+        assert!(!Reg::Sp.is_gpr());
+    }
+}

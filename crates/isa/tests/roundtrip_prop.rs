@@ -1,0 +1,123 @@
+//! Property tests: encode/decode is a lossless round trip for every valid
+//! instruction, and the disassembler never panics on arbitrary words.
+
+use proptest::prelude::*;
+use trustlite_isa::instr::AluOp;
+use trustlite_isa::{decode, disassemble, encode, Cond, Instr, Reg};
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u32..9).prop_map(|c| Reg::from_code(c).expect("valid register code"))
+}
+
+fn any_cond() -> impl Strategy<Value = Cond> {
+    (0usize..Cond::ALL.len()).prop_map(|i| Cond::ALL[i])
+}
+
+fn any_alu() -> impl Strategy<Value = AluOp> {
+    (0usize..AluOp::ALL.len()).prop_map(|i| AluOp::ALL[i])
+}
+
+fn aligned_off() -> impl Strategy<Value = i16> {
+    (-8192i16..8192).prop_map(|w| w * 4)
+}
+
+fn any_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        Just(Instr::Nop),
+        Just(Instr::Halt),
+        Just(Instr::Iret),
+        Just(Instr::Di),
+        Just(Instr::Ei),
+        Just(Instr::Ret),
+        Just(Instr::Pushf),
+        Just(Instr::Popf),
+        any::<u8>().prop_map(Instr::Swi),
+        (any_alu(), any_reg(), any_reg(), any_reg())
+            .prop_map(|(op, rd, rs1, rs2)| Instr::Alu { op, rd, rs1, rs2 }),
+        (any_reg(), any_reg()).prop_map(|(rd, rs1)| Instr::Mov { rd, rs1 }),
+        (any_reg(), any_reg()).prop_map(|(rd, rs1)| Instr::Not { rd, rs1 }),
+        (any_reg(), any_reg(), any::<i16>())
+            .prop_map(|(rd, rs1, imm)| Instr::Addi { rd, rs1, imm }),
+        (any_reg(), any_reg(), any::<u16>())
+            .prop_map(|(rd, rs1, imm)| Instr::Andi { rd, rs1, imm }),
+        (any_reg(), any_reg(), any::<u16>()).prop_map(|(rd, rs1, imm)| Instr::Ori {
+            rd,
+            rs1,
+            imm
+        }),
+        (any_reg(), any_reg(), any::<u16>())
+            .prop_map(|(rd, rs1, imm)| Instr::Xori { rd, rs1, imm }),
+        (any_reg(), any_reg(), 0u8..32).prop_map(|(rd, rs1, imm)| Instr::Shli {
+            rd,
+            rs1,
+            imm
+        }),
+        (any_reg(), any_reg(), 0u8..32).prop_map(|(rd, rs1, imm)| Instr::Shri {
+            rd,
+            rs1,
+            imm
+        }),
+        (any_reg(), any_reg(), 0u8..32).prop_map(|(rd, rs1, imm)| Instr::Srai {
+            rd,
+            rs1,
+            imm
+        }),
+        (any_reg(), any::<i16>()).prop_map(|(rd, imm)| Instr::Movi { rd, imm }),
+        (any_reg(), any::<u16>()).prop_map(|(rd, imm)| Instr::Lui { rd, imm }),
+        (any_reg(), any_reg(), any::<i16>())
+            .prop_map(|(rd, rs1, disp)| Instr::Lw { rd, rs1, disp }),
+        (any_reg(), any_reg(), any::<i16>())
+            .prop_map(|(rs1, rs2, disp)| Instr::Sw { rs1, rs2, disp }),
+        (any_reg(), any_reg(), any::<i16>())
+            .prop_map(|(rd, rs1, disp)| Instr::Lb { rd, rs1, disp }),
+        (any_reg(), any_reg(), any::<i16>())
+            .prop_map(|(rd, rs1, disp)| Instr::Lbs { rd, rs1, disp }),
+        (any_reg(), any_reg(), any::<i16>())
+            .prop_map(|(rs1, rs2, disp)| Instr::Sb { rs1, rs2, disp }),
+        (any_reg(), any_reg(), any::<i16>())
+            .prop_map(|(rd, rs1, disp)| Instr::Lh { rd, rs1, disp }),
+        (any_reg(), any_reg(), any::<i16>())
+            .prop_map(|(rd, rs1, disp)| Instr::Lhs { rd, rs1, disp }),
+        (any_reg(), any_reg(), any::<i16>())
+            .prop_map(|(rs1, rs2, disp)| Instr::Sh { rs1, rs2, disp }),
+        any_reg().prop_map(|rs| Instr::Push { rs }),
+        any_reg().prop_map(|rd| Instr::Pop { rd }),
+        aligned_off().prop_map(|off| Instr::Jmp { off }),
+        any_reg().prop_map(|rs1| Instr::Jr { rs1 }),
+        aligned_off().prop_map(|off| Instr::Call { off }),
+        any_reg().prop_map(|rs1| Instr::Callr { rs1 }),
+        (any_cond(), any_reg(), any_reg(), aligned_off())
+            .prop_map(|(cond, rs1, rs2, off)| Instr::Branch { cond, rs1, rs2, off }),
+        (0u8..16, any_reg(), any_reg(), any::<u16>())
+            .prop_map(|(op, rd, rs1, imm)| Instr::Ext { op, rd, rs1, imm }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(i in any_instr()) {
+        let w = encode(i);
+        prop_assert_eq!(decode(w), Ok(i));
+    }
+
+    #[test]
+    fn decode_never_panics(w in any::<u32>()) {
+        let _ = decode(w);
+    }
+
+    #[test]
+    fn disassemble_never_panics(w in any::<u32>()) {
+        let text = disassemble(w);
+        prop_assert!(!text.is_empty());
+    }
+
+    #[test]
+    fn decoded_reencodes_identically(w in any::<u32>()) {
+        // Any word that decodes must re-encode to a word that decodes to the
+        // same instruction (encoding is canonical modulo reserved bits).
+        if let Ok(i) = decode(w) {
+            let w2 = encode(i);
+            prop_assert_eq!(decode(w2), Ok(i));
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Property test: the disassembler's output for data-path instructions is
+//! valid text-assembler input that round-trips to the same encoding.
+
+use proptest::prelude::*;
+use trustlite_isa::instr::AluOp;
+use trustlite_isa::{assemble_text, decode, encode, Instr, Reg};
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u32..9).prop_map(|c| Reg::from_code(c).expect("valid code"))
+}
+
+fn any_alu() -> impl Strategy<Value = AluOp> {
+    (0usize..AluOp::ALL.len()).prop_map(|i| AluOp::ALL[i])
+}
+
+/// Data-path instructions whose `Display` form is also assembler syntax.
+fn textable_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        Just(Instr::Nop),
+        Just(Instr::Halt),
+        Just(Instr::Iret),
+        Just(Instr::Di),
+        Just(Instr::Ei),
+        Just(Instr::Ret),
+        Just(Instr::Pushf),
+        Just(Instr::Popf),
+        any::<u8>().prop_map(Instr::Swi),
+        (any_alu(), any_reg(), any_reg(), any_reg())
+            .prop_map(|(op, rd, rs1, rs2)| Instr::Alu { op, rd, rs1, rs2 }),
+        (any_reg(), any_reg()).prop_map(|(rd, rs1)| Instr::Mov { rd, rs1 }),
+        (any_reg(), any_reg()).prop_map(|(rd, rs1)| Instr::Not { rd, rs1 }),
+        (any_reg(), any_reg(), any::<i16>())
+            .prop_map(|(rd, rs1, imm)| Instr::Addi { rd, rs1, imm }),
+        (any_reg(), any::<i16>()).prop_map(|(rd, imm)| Instr::Movi { rd, imm }),
+        (any_reg(), any::<u16>()).prop_map(|(rd, imm)| Instr::Lui { rd, imm }),
+        (any_reg(), any_reg(), any::<i16>())
+            .prop_map(|(rd, rs1, disp)| Instr::Lw { rd, rs1, disp }),
+        (any_reg(), any_reg(), any::<i16>())
+            .prop_map(|(rs1, rs2, disp)| Instr::Sw { rs1, rs2, disp }),
+        (any_reg(), any_reg(), any::<i16>())
+            .prop_map(|(rd, rs1, disp)| Instr::Lb { rd, rs1, disp }),
+        (any_reg(), any_reg(), any::<i16>())
+            .prop_map(|(rs1, rs2, disp)| Instr::Sb { rs1, rs2, disp }),
+        (any_reg(), any_reg(), any::<i16>())
+            .prop_map(|(rd, rs1, disp)| Instr::Lbs { rd, rs1, disp }),
+        (any_reg(), any_reg(), any::<i16>())
+            .prop_map(|(rd, rs1, disp)| Instr::Lh { rd, rs1, disp }),
+        (any_reg(), any_reg(), any::<i16>())
+            .prop_map(|(rd, rs1, disp)| Instr::Lhs { rd, rs1, disp }),
+        (any_reg(), any_reg(), any::<i16>())
+            .prop_map(|(rs1, rs2, disp)| Instr::Sh { rs1, rs2, disp }),
+        any_reg().prop_map(|rs| Instr::Push { rs }),
+        any_reg().prop_map(|rd| Instr::Pop { rd }),
+        any_reg().prop_map(|rs1| Instr::Jr { rs1 }),
+        any_reg().prop_map(|rs1| Instr::Callr { rs1 }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn display_is_valid_assembler_syntax(i in textable_instr()) {
+        let text = i.to_string();
+        let img = assemble_text(0, &text)
+            .unwrap_or_else(|e| panic!("`{text}` did not assemble: {e}"));
+        let word = img.word_at(0).expect("one instruction emitted");
+        prop_assert_eq!(decode(word), Ok(i), "source text: `{}`", text);
+        prop_assert_eq!(word, encode(i));
+    }
+
+    #[test]
+    fn programs_of_many_instructions_roundtrip(
+        instrs in proptest::collection::vec(textable_instr(), 1..40)
+    ) {
+        let source: String =
+            instrs.iter().map(|i| format!("    {i}\n")).collect();
+        let img = assemble_text(0x1000, &source).expect("assembles");
+        prop_assert_eq!(img.len() as usize, instrs.len() * 4);
+        for (k, i) in instrs.iter().enumerate() {
+            let w = img.word_at(0x1000 + 4 * k as u32).expect("in range");
+            prop_assert_eq!(decode(w), Ok(*i));
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! The system bus: routes physical accesses to mapped devices.
+
+use core::fmt;
+
+use crate::device::{BusError, Device, IrqRequest};
+
+/// An error raised when constructing the memory map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapError {
+    /// The new window overlaps an existing mapping.
+    Overlap { base: u32, size: u32 },
+    /// The window wraps past the end of the address space.
+    Wraps { base: u32, size: u32 },
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::Overlap { base, size } => {
+                write!(f, "mapping {base:#010x}+{size:#x} overlaps an existing device")
+            }
+            MapError::Wraps { base, size } => {
+                write!(f, "mapping {base:#010x}+{size:#x} wraps the address space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+struct Mapping {
+    base: u32,
+    size: u32,
+    device: Box<dyn Device>,
+}
+
+/// The physical system bus.
+///
+/// Mappings are non-overlapping windows; lookup is by binary search over
+/// the sorted window list. Alignment is checked here once so devices can
+/// assume aligned word offsets.
+#[derive(Default)]
+pub struct Bus {
+    mappings: Vec<Mapping>,
+}
+
+impl fmt::Debug for Bus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("Bus");
+        for m in &self.mappings {
+            d.field(m.device.name(), &format_args!("{:#010x}+{:#x}", m.base, m.size));
+        }
+        d.finish()
+    }
+}
+
+impl Bus {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        Bus::default()
+    }
+
+    /// Maps `device` at `base`. The window size is taken from the device.
+    pub fn map(&mut self, base: u32, device: Box<dyn Device>) -> Result<(), MapError> {
+        let size = device.size();
+        let end = base.checked_add(size).ok_or(MapError::Wraps { base, size })?;
+        for m in &self.mappings {
+            if base < m.base + m.size && m.base < end {
+                return Err(MapError::Overlap { base, size });
+            }
+        }
+        let pos = self.mappings.partition_point(|m| m.base < base);
+        self.mappings.insert(pos, Mapping { base, size, device });
+        Ok(())
+    }
+
+    fn lookup(&mut self, addr: u32) -> Result<(&mut Mapping, u32), BusError> {
+        let idx = self.mappings.partition_point(|m| m.base <= addr);
+        if idx == 0 {
+            return Err(BusError::Unmapped { addr });
+        }
+        let m = &mut self.mappings[idx - 1];
+        if addr - m.base >= m.size {
+            return Err(BusError::Unmapped { addr });
+        }
+        let off = addr - m.base;
+        Ok((m, off))
+    }
+
+    /// Reads an aligned 32-bit word at `addr`.
+    pub fn read32(&mut self, addr: u32) -> Result<u32, BusError> {
+        if !addr.is_multiple_of(4) {
+            return Err(BusError::Misaligned { addr });
+        }
+        let (m, off) = self.lookup(addr)?;
+        if off + 4 > m.size {
+            return Err(BusError::Unmapped { addr });
+        }
+        m.device.read32(off).map_err(|e| rebase(e, m.base))
+    }
+
+    /// Writes an aligned 32-bit word at `addr`.
+    pub fn write32(&mut self, addr: u32, value: u32) -> Result<(), BusError> {
+        if !addr.is_multiple_of(4) {
+            return Err(BusError::Misaligned { addr });
+        }
+        let (m, off) = self.lookup(addr)?;
+        if off + 4 > m.size {
+            return Err(BusError::Unmapped { addr });
+        }
+        m.device.write32(off, value).map_err(|e| rebase(e, m.base))
+    }
+
+    /// Reads one byte at `addr`.
+    pub fn read8(&mut self, addr: u32) -> Result<u8, BusError> {
+        let (m, off) = self.lookup(addr)?;
+        m.device.read8(off).map_err(|e| rebase(e, m.base))
+    }
+
+    /// Writes one byte at `addr`.
+    pub fn write8(&mut self, addr: u32, value: u8) -> Result<(), BusError> {
+        let (m, off) = self.lookup(addr)?;
+        m.device.write8(off, value).map_err(|e| rebase(e, m.base))
+    }
+
+    /// Advances all devices by `cycles` and collects raised interrupts.
+    pub fn tick(&mut self, cycles: u64) -> Vec<IrqRequest> {
+        self.mappings
+            .iter_mut()
+            .filter_map(|m| m.device.tick(cycles))
+            .collect()
+    }
+
+    /// Host-side image load (bypasses read-only protections; models factory
+    /// programming and loader copies observed externally).
+    pub fn host_load(&mut self, addr: u32, bytes: &[u8]) -> bool {
+        match self.lookup(addr) {
+            Ok((m, off)) => m.device.host_load(off, bytes),
+            Err(_) => false,
+        }
+    }
+
+    /// Looks up a device by name and concrete type for host inspection.
+    pub fn device_mut<T: 'static>(&mut self, name: &str) -> Option<&mut T> {
+        self.mappings
+            .iter_mut()
+            .find(|m| m.device.name() == name)
+            .and_then(|m| m.device.as_any().downcast_mut::<T>())
+    }
+
+    /// Returns the `(base, size, name)` of every mapping, sorted by base.
+    pub fn mappings(&self) -> Vec<(u32, u32, &'static str)> {
+        self.mappings.iter().map(|m| (m.base, m.size, m.device.name())).collect()
+    }
+
+    /// Convenience: reads `len` bytes starting at `addr` (diagnostics).
+    pub fn read_bytes(&mut self, addr: u32, len: u32) -> Result<Vec<u8>, BusError> {
+        (0..len).map(|i| self.read8(addr + i)).collect()
+    }
+}
+
+fn rebase(e: BusError, base: u32) -> BusError {
+    // Devices report offsets; convert to absolute addresses for callers.
+    match e {
+        BusError::Unmapped { addr } => BusError::Unmapped { addr: base + addr },
+        BusError::Misaligned { addr } => BusError::Misaligned { addr: base + addr },
+        BusError::ReadOnly { addr } => BusError::ReadOnly { addr: base + addr },
+        BusError::BadWidth { addr } => BusError::BadWidth { addr: base + addr },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ram::{Ram, Rom};
+
+    fn bus_with_ram() -> Bus {
+        let mut bus = Bus::new();
+        bus.map(0x1000, Box::new(Ram::new("sram", 0x100))).unwrap();
+        bus.map(0x0, Box::new(Rom::new(0x100))).unwrap();
+        bus
+    }
+
+    #[test]
+    fn routes_to_correct_device() {
+        let mut bus = bus_with_ram();
+        bus.write32(0x1010, 42).unwrap();
+        assert_eq!(bus.read32(0x1010), Ok(42));
+        assert_eq!(bus.write32(0x10, 1), Err(BusError::ReadOnly { addr: 0x10 }));
+    }
+
+    #[test]
+    fn unmapped_and_misaligned() {
+        let mut bus = bus_with_ram();
+        assert_eq!(bus.read32(0x5000), Err(BusError::Unmapped { addr: 0x5000 }));
+        assert_eq!(bus.read32(0x1002), Err(BusError::Misaligned { addr: 0x1002 }));
+        // Last word of the window is fine; one past is not.
+        assert!(bus.read32(0x10fc).is_ok());
+        assert_eq!(bus.read32(0x1100), Err(BusError::Unmapped { addr: 0x1100 }));
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut bus = bus_with_ram();
+        let e = bus.map(0x10f0, Box::new(Ram::new("x", 0x100))).unwrap_err();
+        assert_eq!(e, MapError::Overlap { base: 0x10f0, size: 0x100 });
+        // Adjacent is fine.
+        bus.map(0x1100, Box::new(Ram::new("y", 0x100))).unwrap();
+    }
+
+    #[test]
+    fn wrap_rejected() {
+        let mut bus = Bus::new();
+        let e = bus.map(0xffff_ff00, Box::new(Ram::new("z", 0x200))).unwrap_err();
+        assert!(matches!(e, MapError::Wraps { .. }));
+    }
+
+    #[test]
+    fn byte_access_straddles_words() {
+        let mut bus = bus_with_ram();
+        bus.write8(0x1001, 0xbe).unwrap();
+        assert_eq!(bus.read32(0x1000), Ok(0x0000_be00));
+    }
+
+    #[test]
+    fn host_load_bypasses_rom_protection() {
+        let mut bus = bus_with_ram();
+        assert!(bus.host_load(0x4, &[0xaa, 0xbb, 0xcc, 0xdd]));
+        assert_eq!(bus.read32(0x4), Ok(0xddcc_bbaa));
+    }
+
+    #[test]
+    fn device_mut_downcast() {
+        let mut bus = bus_with_ram();
+        bus.write32(0x1000, 7).unwrap();
+        let ram: &mut Ram = bus.device_mut("sram").unwrap();
+        assert_eq!(ram.bytes()[0], 7);
+        assert!(bus.device_mut::<Rom>("sram").is_none(), "wrong type must not downcast");
+        assert!(bus.device_mut::<Ram>("nope").is_none());
+    }
+
+    #[test]
+    fn mappings_sorted() {
+        let bus = bus_with_ram();
+        let maps = bus.mappings();
+        assert_eq!(maps[0].0, 0x0);
+        assert_eq!(maps[1].0, 0x1000);
+    }
+
+    #[test]
+    fn read_bytes_spans_devices_only_within_one() {
+        let mut bus = bus_with_ram();
+        bus.write32(0x1000, 0x0403_0201).unwrap();
+        assert_eq!(bus.read_bytes(0x1000, 4).unwrap(), vec![1, 2, 3, 4]);
+        assert!(bus.read_bytes(0xfe, 4).is_err(), "crosses into unmapped gap");
+    }
+}

@@ -1,0 +1,154 @@
+//! The bus-device interface.
+
+use core::fmt;
+use std::any::Any;
+
+/// An error produced by a physical memory access.
+///
+/// The CPU turns these into memory-fault exceptions (distinct from MPU
+/// protection faults, which are raised before the access reaches the bus).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusError {
+    /// No device is mapped at the address.
+    Unmapped { addr: u32 },
+    /// The access is not naturally aligned.
+    Misaligned { addr: u32 },
+    /// The target is read-only at runtime (e.g. PROM).
+    ReadOnly { addr: u32 },
+    /// The device rejects the access width (e.g. byte access to MMIO).
+    BadWidth { addr: u32 },
+}
+
+impl BusError {
+    /// The faulting physical address.
+    pub fn addr(&self) -> u32 {
+        match *self {
+            BusError::Unmapped { addr }
+            | BusError::Misaligned { addr }
+            | BusError::ReadOnly { addr }
+            | BusError::BadWidth { addr } => addr,
+        }
+    }
+}
+
+impl fmt::Display for BusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BusError::Unmapped { addr } => write!(f, "unmapped address {addr:#010x}"),
+            BusError::Misaligned { addr } => write!(f, "misaligned access at {addr:#010x}"),
+            BusError::ReadOnly { addr } => write!(f, "write to read-only memory at {addr:#010x}"),
+            BusError::BadWidth { addr } => {
+                write!(f, "unsupported access width at {addr:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BusError {}
+
+/// An interrupt request raised by a device.
+///
+/// Per the paper's Figure 3, peripherals such as the timer carry a
+/// programmable `handler(ISR)` register; when that register is set the
+/// request is *vectored by the peripheral* and the exception engine jumps
+/// to the given handler. Otherwise the request is resolved through the
+/// interrupt descriptor table by line number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IrqRequest {
+    /// Interrupt line number (IDT index when `handler` is `None`).
+    pub line: u8,
+    /// Peripheral-programmed handler address, if any.
+    pub handler: Option<u32>,
+}
+
+/// A component attached to the system bus.
+///
+/// Offsets passed to the access methods are relative to the device's
+/// mapping base and are guaranteed in-range by the bus. Word accesses are
+/// guaranteed aligned.
+pub trait Device: Any {
+    /// Short stable name (used for host-side lookup and diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// Size of the device's address window in bytes.
+    fn size(&self) -> u32;
+
+    /// Reads an aligned 32-bit word.
+    fn read32(&mut self, off: u32) -> Result<u32, BusError>;
+
+    /// Writes an aligned 32-bit word.
+    fn write32(&mut self, off: u32, value: u32) -> Result<(), BusError>;
+
+    /// Reads one byte. The default extracts from the containing word;
+    /// register-bank devices typically override this to reject byte access.
+    fn read8(&mut self, off: u32) -> Result<u8, BusError> {
+        let word = self.read32(off & !3)?;
+        Ok((word >> (8 * (off & 3))) as u8)
+    }
+
+    /// Writes one byte via read-modify-write of the containing word.
+    fn write8(&mut self, off: u32, value: u8) -> Result<(), BusError> {
+        let word = self.read32(off & !3)?;
+        let shift = 8 * (off & 3);
+        let merged = (word & !(0xff << shift)) | ((value as u32) << shift);
+        self.write32(off & !3, merged)
+    }
+
+    /// Advances device time by `cycles` CPU cycles and returns a pending
+    /// interrupt request, if the device raises one.
+    fn tick(&mut self, _cycles: u64) -> Option<IrqRequest> {
+        None
+    }
+
+    /// Host-side (out-of-band) image load used by reset logic to program
+    /// PROM and preload RAM. Returns false if the device is not loadable.
+    fn host_load(&mut self, _off: u32, _bytes: &[u8]) -> bool {
+        false
+    }
+
+    /// Upcast for host-side inspection.
+    fn as_any(&mut self) -> &mut dyn Any;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct WordDev {
+        word: u32,
+    }
+
+    impl Device for WordDev {
+        fn name(&self) -> &'static str {
+            "word"
+        }
+        fn size(&self) -> u32 {
+            4
+        }
+        fn read32(&mut self, _off: u32) -> Result<u32, BusError> {
+            Ok(self.word)
+        }
+        fn write32(&mut self, _off: u32, value: u32) -> Result<(), BusError> {
+            self.word = value;
+            Ok(())
+        }
+        fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn default_byte_access_little_endian() {
+        let mut d = WordDev { word: 0x4433_2211 };
+        assert_eq!(d.read8(0), Ok(0x11));
+        assert_eq!(d.read8(3), Ok(0x44));
+        d.write8(1, 0xaa).unwrap();
+        assert_eq!(d.word, 0x4433_aa11);
+    }
+
+    #[test]
+    fn bus_error_addr_accessor() {
+        assert_eq!(BusError::Unmapped { addr: 5 }.addr(), 5);
+        assert_eq!(BusError::ReadOnly { addr: 9 }.addr(), 9);
+    }
+}

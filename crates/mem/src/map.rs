@@ -1,0 +1,83 @@
+//! The reference memory map of the simulated TrustLite platform.
+//!
+//! Mirrors the flavour of the paper's Figure 3: PROM/Flash low, SRAM and
+//! external DRAM in the middle, peripheral MMIO high. All values are
+//! conventions shared by the loader, the OS generator and the tests; the
+//! bus itself accepts any non-overlapping layout.
+
+/// Base address of the on-chip PROM (boot memory).
+pub const PROM_BASE: u32 = 0x0000_0000;
+/// Default PROM size (256 KiB).
+pub const PROM_SIZE: u32 = 0x0004_0000;
+
+/// Base address of the on-chip SRAM.
+pub const SRAM_BASE: u32 = 0x1000_0000;
+/// Default SRAM size (256 KiB).
+pub const SRAM_SIZE: u32 = 0x0004_0000;
+
+/// Base address of the (untrusted) external DRAM.
+pub const DRAM_BASE: u32 = 0x4000_0000;
+/// Default DRAM size (1 MiB).
+pub const DRAM_SIZE: u32 = 0x0010_0000;
+
+/// Base of the memory-mapped I/O window.
+pub const MMIO_BASE: u32 = 0x2000_0000;
+
+/// MMIO address of the MPU register bank.
+pub const MPU_MMIO_BASE: u32 = 0x2000_0000;
+/// Size reserved for the MPU register bank.
+pub const MPU_MMIO_SIZE: u32 = 0x0000_1000;
+
+/// MMIO address of the platform timer.
+pub const TIMER_MMIO_BASE: u32 = 0x2000_1000;
+/// MMIO address of the UART.
+pub const UART_MMIO_BASE: u32 = 0x2000_2000;
+/// MMIO address of the crypto accelerator.
+pub const CRYPTO_MMIO_BASE: u32 = 0x2000_3000;
+/// MMIO address of the key-storage peripheral.
+pub const KEYSTORE_MMIO_BASE: u32 = 0x2000_4000;
+/// MMIO address of the random-number generator.
+pub const RNG_MMIO_BASE: u32 = 0x2000_5000;
+
+/// Conventional size for small peripheral register banks.
+pub const PERIPH_MMIO_SIZE: u32 = 0x0000_1000;
+
+/// Returns true if `addr` falls inside the MMIO window by convention.
+pub fn is_mmio(addr: u32) -> bool {
+    (MMIO_BASE..MMIO_BASE + 0x1000_0000).contains(&addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let regions = [
+            (PROM_BASE, PROM_SIZE),
+            (SRAM_BASE, SRAM_SIZE),
+            (DRAM_BASE, DRAM_SIZE),
+            (MPU_MMIO_BASE, MPU_MMIO_SIZE),
+            (TIMER_MMIO_BASE, PERIPH_MMIO_SIZE),
+            (UART_MMIO_BASE, PERIPH_MMIO_SIZE),
+            (CRYPTO_MMIO_BASE, PERIPH_MMIO_SIZE),
+            (KEYSTORE_MMIO_BASE, PERIPH_MMIO_SIZE),
+            (RNG_MMIO_BASE, PERIPH_MMIO_SIZE),
+        ];
+        for (i, &(b1, s1)) in regions.iter().enumerate() {
+            for &(b2, s2) in regions.iter().skip(i + 1) {
+                let disjoint = b1 + s1 <= b2 || b2 + s2 <= b1;
+                assert!(disjoint, "{b1:#x}+{s1:#x} overlaps {b2:#x}+{s2:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn mmio_predicate() {
+        assert!(is_mmio(MPU_MMIO_BASE));
+        assert!(is_mmio(TIMER_MMIO_BASE));
+        assert!(!is_mmio(PROM_BASE));
+        assert!(!is_mmio(SRAM_BASE));
+        assert!(!is_mmio(DRAM_BASE));
+    }
+}

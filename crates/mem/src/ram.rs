@@ -1,0 +1,187 @@
+//! Volatile and read-only memory devices.
+
+use std::any::Any;
+
+use crate::device::{BusError, Device};
+
+/// A plain RAM device (used for both on-chip SRAM and external DRAM).
+#[derive(Debug, Clone)]
+pub struct Ram {
+    name: &'static str,
+    data: Vec<u8>,
+}
+
+impl Ram {
+    /// Creates a zeroed RAM of `size` bytes.
+    pub fn new(name: &'static str, size: u32) -> Self {
+        Ram { name, data: vec![0; size as usize] }
+    }
+
+    /// Direct host access to the contents (diagnostics, assertions).
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Fills the entire memory with a byte pattern (used to model the
+    /// "memory not sanitized across reset" behaviour the Secure Loader
+    /// defends against).
+    pub fn fill(&mut self, pattern: u8) {
+        self.data.fill(pattern);
+    }
+}
+
+impl Device for Ram {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn size(&self) -> u32 {
+        self.data.len() as u32
+    }
+
+    fn read32(&mut self, off: u32) -> Result<u32, BusError> {
+        let i = off as usize;
+        let b = &self.data[i..i + 4];
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn write32(&mut self, off: u32, value: u32) -> Result<(), BusError> {
+        let i = off as usize;
+        self.data[i..i + 4].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    fn read8(&mut self, off: u32) -> Result<u8, BusError> {
+        Ok(self.data[off as usize])
+    }
+
+    fn write8(&mut self, off: u32, value: u8) -> Result<(), BusError> {
+        self.data[off as usize] = value;
+        Ok(())
+    }
+
+    fn host_load(&mut self, off: u32, bytes: &[u8]) -> bool {
+        let start = off as usize;
+        let end = start + bytes.len();
+        if end > self.data.len() {
+            return false;
+        }
+        self.data[start..end].copy_from_slice(bytes);
+        true
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A programmable ROM: readable at runtime, writable only through the
+/// host-side load path (modelling factory/field programming of PROM).
+#[derive(Debug, Clone)]
+pub struct Rom {
+    data: Vec<u8>,
+}
+
+impl Rom {
+    /// Creates a zeroed ROM of `size` bytes.
+    pub fn new(size: u32) -> Self {
+        Rom { data: vec![0; size as usize] }
+    }
+
+    /// Direct host access to the contents.
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Device for Rom {
+    fn name(&self) -> &'static str {
+        "prom"
+    }
+
+    fn size(&self) -> u32 {
+        self.data.len() as u32
+    }
+
+    fn read32(&mut self, off: u32) -> Result<u32, BusError> {
+        let i = off as usize;
+        let b = &self.data[i..i + 4];
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn write32(&mut self, off: u32, _value: u32) -> Result<(), BusError> {
+        Err(BusError::ReadOnly { addr: off })
+    }
+
+    fn read8(&mut self, off: u32) -> Result<u8, BusError> {
+        Ok(self.data[off as usize])
+    }
+
+    fn write8(&mut self, off: u32, _value: u8) -> Result<(), BusError> {
+        Err(BusError::ReadOnly { addr: off })
+    }
+
+    fn host_load(&mut self, off: u32, bytes: &[u8]) -> bool {
+        let start = off as usize;
+        let end = start + bytes.len();
+        if end > self.data.len() {
+            return false;
+        }
+        self.data[start..end].copy_from_slice(bytes);
+        true
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ram_word_roundtrip() {
+        let mut r = Ram::new("sram", 64);
+        r.write32(8, 0xdead_beef).unwrap();
+        assert_eq!(r.read32(8), Ok(0xdead_beef));
+        assert_eq!(r.read8(8), Ok(0xef));
+        assert_eq!(r.read8(11), Ok(0xde));
+    }
+
+    #[test]
+    fn ram_byte_write() {
+        let mut r = Ram::new("sram", 8);
+        r.write8(5, 0x7f).unwrap();
+        assert_eq!(r.read32(4), Ok(0x0000_7f00));
+    }
+
+    #[test]
+    fn ram_fill_models_stale_memory() {
+        let mut r = Ram::new("sram", 16);
+        r.fill(0xcc);
+        assert_eq!(r.read32(12), Ok(0xcccc_cccc));
+    }
+
+    #[test]
+    fn rom_rejects_runtime_writes() {
+        let mut r = Rom::new(16);
+        assert_eq!(r.write32(0, 1), Err(BusError::ReadOnly { addr: 0 }));
+        assert_eq!(r.write8(3, 1), Err(BusError::ReadOnly { addr: 3 }));
+    }
+
+    #[test]
+    fn rom_host_load_visible_to_reads() {
+        let mut r = Rom::new(16);
+        assert!(r.host_load(4, &[1, 2, 3, 4]));
+        assert_eq!(r.read32(4), Ok(0x0403_0201));
+    }
+
+    #[test]
+    fn host_load_bounds_checked() {
+        let mut r = Rom::new(8);
+        assert!(!r.host_load(6, &[0; 4]));
+        let mut m = Ram::new("sram", 8);
+        assert!(!m.host_load(9, &[0]));
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests on the physical bus.
+
+use proptest::prelude::*;
+use trustlite_mem::{Bus, Ram, Rom};
+
+fn small_bus() -> Bus {
+    let mut bus = Bus::new();
+    bus.map(0x0000, Box::new(Rom::new(0x400))).expect("rom maps");
+    bus.map(0x1000, Box::new(Ram::new("a", 0x400))).expect("ram a maps");
+    bus.map(0x2000, Box::new(Ram::new("b", 0x400))).expect("ram b maps");
+    bus
+}
+
+proptest! {
+    /// Any mix of accesses at arbitrary addresses returns a result and
+    /// never panics.
+    #[test]
+    fn arbitrary_accesses_never_panic(
+        ops in proptest::collection::vec((any::<u32>(), any::<u32>(), 0u8..4), 0..200)
+    ) {
+        let mut bus = small_bus();
+        for (addr, value, kind) in ops {
+            match kind {
+                0 => {
+                    let _ = bus.read32(addr);
+                }
+                1 => {
+                    let _ = bus.write32(addr, value);
+                }
+                2 => {
+                    let _ = bus.read8(addr);
+                }
+                _ => {
+                    let _ = bus.write8(addr, value as u8);
+                }
+            }
+        }
+    }
+
+    /// Read-after-write holds for every RAM word, and writes to one RAM
+    /// never alias the other.
+    #[test]
+    fn ram_read_after_write(off in (0u32..0x100).prop_map(|o| o * 4), v in any::<u32>()) {
+        let mut bus = small_bus();
+        bus.write32(0x1000 + off, v).expect("in range");
+        bus.write32(0x2000 + off, !v).expect("in range");
+        prop_assert_eq!(bus.read32(0x1000 + off), Ok(v));
+        prop_assert_eq!(bus.read32(0x2000 + off), Ok(!v));
+    }
+
+    /// Byte-wise writes compose into the little-endian word.
+    #[test]
+    fn byte_writes_compose(off in (0u32..0x100).prop_map(|o| o * 4), bytes in any::<[u8; 4]>()) {
+        let mut bus = small_bus();
+        for (i, b) in bytes.iter().enumerate() {
+            bus.write8(0x1000 + off + i as u32, *b).expect("in range");
+        }
+        prop_assert_eq!(bus.read32(0x1000 + off), Ok(u32::from_le_bytes(bytes)));
+    }
+
+    /// Overlapping mappings are rejected regardless of order and size.
+    #[test]
+    fn overlap_always_rejected(base in 0u32..0x3000, size_sel in 1u32..4) {
+        let mut bus = small_bus();
+        let size = size_sel * 0x200;
+        let result = bus.map(base, Box::new(Ram::new("x", size)));
+        let end = base as u64 + size as u64;
+        let overlaps = [(0x0000u64, 0x400u64), (0x1000, 0x400), (0x2000, 0x400)]
+            .iter()
+            .any(|&(b, s)| (base as u64) < b + s && b < end);
+        prop_assert_eq!(result.is_err(), overlaps, "base={:#x} size={:#x}", base, size);
+    }
+}

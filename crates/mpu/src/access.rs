@@ -1,0 +1,166 @@
+//! Access kinds, permissions and fault records.
+
+use core::fmt;
+
+/// The kind of memory access being validated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Data read (load).
+    Read,
+    /// Data write (store).
+    Write,
+    /// Instruction fetch.
+    Execute,
+}
+
+impl AccessKind {
+    /// All kinds, in permission-bit order.
+    pub const ALL: [AccessKind; 3] = [AccessKind::Read, AccessKind::Write, AccessKind::Execute];
+
+    /// Encoding used in the MMIO fault-status register.
+    pub fn code(self) -> u32 {
+        match self {
+            AccessKind::Read => 0,
+            AccessKind::Write => 1,
+            AccessKind::Execute => 2,
+        }
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => write!(f, "read"),
+            AccessKind::Write => write!(f, "write"),
+            AccessKind::Execute => write!(f, "execute"),
+        }
+    }
+}
+
+/// An r/w/x permission set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Perms {
+    bits: u8,
+}
+
+impl Perms {
+    /// No access.
+    pub const NONE: Perms = Perms { bits: 0 };
+    /// Read-only.
+    pub const R: Perms = Perms { bits: 1 };
+    /// Write-only (rare, but expressible).
+    pub const W: Perms = Perms { bits: 2 };
+    /// Execute-only.
+    pub const X: Perms = Perms { bits: 4 };
+    /// Read + write.
+    pub const RW: Perms = Perms { bits: 3 };
+    /// Read + execute (typical code region for its owner).
+    pub const RX: Perms = Perms { bits: 5 };
+    /// Read + write + execute.
+    pub const RWX: Perms = Perms { bits: 7 };
+
+    /// Builds from raw bits (low three bits: r, w, x).
+    pub fn from_bits(bits: u8) -> Perms {
+        Perms { bits: bits & 7 }
+    }
+
+    /// Raw bit encoding.
+    pub fn bits(self) -> u8 {
+        self.bits
+    }
+
+    /// Returns true if the permission set allows `kind`.
+    pub fn allows(self, kind: AccessKind) -> bool {
+        match kind {
+            AccessKind::Read => self.bits & 1 != 0,
+            AccessKind::Write => self.bits & 2 != 0,
+            AccessKind::Execute => self.bits & 4 != 0,
+        }
+    }
+
+    /// Union of two permission sets.
+    pub fn union(self, other: Perms) -> Perms {
+        Perms { bits: self.bits | other.bits }
+    }
+}
+
+impl fmt::Display for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.allows(AccessKind::Read) { "r" } else { "-" },
+            if self.allows(AccessKind::Write) { "w" } else { "-" },
+            if self.allows(AccessKind::Execute) { "x" } else { "-" },
+        )
+    }
+}
+
+/// A memory-protection fault raised by an MPU check.
+///
+/// Per Section 3.2.2, the fault invalidates the executing instruction and
+/// the exception engine diverts to the designated handler, providing the
+/// violating instruction address and the requested access as arguments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MpuFault {
+    /// Address of the instruction performing the access (the subject).
+    pub ip: u32,
+    /// The violating data/fetch address (the object).
+    pub addr: u32,
+    /// The kind of access that was attempted.
+    pub kind: AccessKind,
+}
+
+impl fmt::Display for MpuFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "memory protection fault: {} of {:#010x} from ip {:#010x}",
+            self.kind, self.addr, self.ip
+        )
+    }
+}
+
+impl std::error::Error for MpuFault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perms_allow_matrix() {
+        assert!(Perms::R.allows(AccessKind::Read));
+        assert!(!Perms::R.allows(AccessKind::Write));
+        assert!(!Perms::R.allows(AccessKind::Execute));
+        assert!(Perms::RX.allows(AccessKind::Execute));
+        assert!(Perms::RW.allows(AccessKind::Write));
+        for k in AccessKind::ALL {
+            assert!(!Perms::NONE.allows(k));
+            assert!(Perms::RWX.allows(k));
+        }
+    }
+
+    #[test]
+    fn perms_bits_roundtrip() {
+        for bits in 0..8 {
+            assert_eq!(Perms::from_bits(bits).bits(), bits);
+        }
+        assert_eq!(Perms::from_bits(0xff).bits(), 7, "high bits masked");
+    }
+
+    #[test]
+    fn perms_union() {
+        assert_eq!(Perms::R.union(Perms::W), Perms::RW);
+        assert_eq!(Perms::RX.union(Perms::RW), Perms::RWX);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Perms::RW.to_string(), "rw-");
+        assert_eq!(Perms::RX.to_string(), "r-x");
+        assert_eq!(Perms::NONE.to_string(), "---");
+        let f = MpuFault { ip: 0x100, addr: 0x2000, kind: AccessKind::Write };
+        assert!(f.to_string().contains("write"));
+        assert!(f.to_string().contains("0x00002000"));
+    }
+}

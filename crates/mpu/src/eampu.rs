@@ -1,0 +1,498 @@
+//! The Execution-Aware Memory Protection Unit.
+
+use crate::access::{AccessKind, MpuFault, Perms};
+
+/// The subject selector of a protection region.
+///
+/// A region's rule either applies to *any* executing instruction pointer
+/// (conventional MPU behaviour, used e.g. for public PROM code) or only
+/// when `curr_IP` lies inside another region — the *linked code region* of
+/// Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Subject {
+    /// Any instruction pointer may perform the access.
+    Any,
+    /// Only instructions executing inside region `index` may access.
+    Region(u8),
+}
+
+impl Subject {
+    /// MMIO encoding (0xff = any, otherwise the region index).
+    pub fn code(self) -> u8 {
+        match self {
+            Subject::Any => 0xff,
+            Subject::Region(i) => i,
+        }
+    }
+
+    /// Decodes the MMIO encoding.
+    pub fn from_code(code: u8) -> Subject {
+        if code == 0xff {
+            Subject::Any
+        } else {
+            Subject::Region(code)
+        }
+    }
+}
+
+/// One protection-region rule slot.
+///
+/// `start..end` is the object range (half-open, byte-granular). `perms`
+/// are granted to instruction pointers matched by `subject`. A disabled
+/// slot never matches; a locked slot rejects further reprogramming until
+/// platform reset (used for hardwired "hardware trustlet" regions,
+/// Section 3.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleSlot {
+    /// First byte of the object region.
+    pub start: u32,
+    /// One past the last byte of the object region.
+    pub end: u32,
+    /// Permissions granted.
+    pub perms: Perms,
+    /// Who may use this rule.
+    pub subject: Subject,
+    /// Whether the slot participates in checks.
+    pub enabled: bool,
+    /// Whether the slot rejects reprogramming.
+    pub locked: bool,
+}
+
+impl RuleSlot {
+    /// A disabled, unlocked, empty slot (the post-reset state).
+    pub const EMPTY: RuleSlot = RuleSlot {
+        start: 0,
+        end: 0,
+        perms: Perms::NONE,
+        subject: Subject::Any,
+        enabled: false,
+        locked: false,
+    };
+
+    /// Returns true if `addr` lies in the object range.
+    pub fn contains(&self, addr: u32) -> bool {
+        addr >= self.start && addr < self.end
+    }
+}
+
+/// An error returned when programming the EA-MPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgramError {
+    /// Slot index out of range for this instantiation.
+    BadSlot(usize),
+    /// The slot is locked until platform reset.
+    Locked(usize),
+}
+
+impl core::fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ProgramError::BadSlot(i) => write!(f, "MPU slot {i} out of range"),
+            ProgramError::Locked(i) => write!(f, "MPU slot {i} is locked"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// The Execution-Aware MPU.
+///
+/// The number of rule slots is fixed at construction, mirroring hardware
+/// instantiation choices (the paper discusses 12–32 region registers and
+/// reports timing closure up to 32). Checks are a pure function of the
+/// slot registers; the paper notes the range comparators evaluate in
+/// parallel, so a check adds **zero** cycles to the memory access path
+/// (Section 5.3) — the simulator charges no time for it.
+#[derive(Debug, Clone)]
+pub struct EaMpu {
+    slots: Vec<RuleSlot>,
+    /// Performance counter: number of accepted register writes (the §5.3
+    /// loader-overhead metric).
+    write_count: u64,
+    /// Latched record of the most recent fault, for handler inspection.
+    last_fault: Option<MpuFault>,
+}
+
+impl EaMpu {
+    /// Creates an EA-MPU with `slots` empty rule slots.
+    pub fn new(slots: usize) -> Self {
+        EaMpu { slots: vec![RuleSlot::EMPTY; slots], write_count: 0, last_fault: None }
+    }
+
+    /// Number of rule slots in this instantiation.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Read-only view of a slot.
+    pub fn slot(&self, index: usize) -> Option<&RuleSlot> {
+        self.slots.get(index)
+    }
+
+    /// Read-only view of all slots.
+    pub fn slots(&self) -> &[RuleSlot] {
+        &self.slots
+    }
+
+    /// Programs a whole slot. Counts as three register writes (start, end,
+    /// flags), matching the hardware programming interface.
+    pub fn set_rule(&mut self, index: usize, rule: RuleSlot) -> Result<(), ProgramError> {
+        let slot = self.slots.get_mut(index).ok_or(ProgramError::BadSlot(index))?;
+        if slot.locked {
+            return Err(ProgramError::Locked(index));
+        }
+        *slot = rule;
+        self.write_count += 3;
+        Ok(())
+    }
+
+    /// Internal MMIO write path: replaces a slot and counts one register
+    /// write. The MMIO layer has already handled lock semantics.
+    pub(crate) fn mmio_set_slot_raw(&mut self, index: usize, rule: RuleSlot) {
+        self.slots[index] = rule;
+        self.write_count += 1;
+    }
+
+    /// Locks a slot until reset.
+    pub fn lock_slot(&mut self, index: usize) -> Result<(), ProgramError> {
+        let slot = self.slots.get_mut(index).ok_or(ProgramError::BadSlot(index))?;
+        slot.locked = true;
+        Ok(())
+    }
+
+    /// Clears all slots and counters (platform reset; Secure Loader step 1
+    /// of Figure 5). Locked slots are released — locks hold only until
+    /// reset.
+    pub fn reset(&mut self) {
+        for s in &mut self.slots {
+            *s = RuleSlot::EMPTY;
+        }
+        self.write_count = 0;
+        self.last_fault = None;
+    }
+
+    /// The register-write performance counter.
+    pub fn write_count(&self) -> u64 {
+        self.write_count
+    }
+
+    /// The most recent latched fault, if any.
+    pub fn last_fault(&self) -> Option<MpuFault> {
+        self.last_fault
+    }
+
+    /// Clears the latched fault record.
+    pub fn clear_fault(&mut self) {
+        self.last_fault = None;
+    }
+
+    fn subject_matches(&self, subject: Subject, ip: u32) -> bool {
+        match subject {
+            Subject::Any => true,
+            Subject::Region(idx) => self
+                .slots
+                .get(idx as usize)
+                .map(|r| r.enabled && r.contains(ip))
+                .unwrap_or(false),
+        }
+    }
+
+    /// Pure query: would `(ip, addr, kind)` be allowed?
+    ///
+    /// Default deny: the access is allowed only if some enabled slot covers
+    /// `addr`, grants `kind`, and its subject matches `ip`.
+    pub fn allows(&self, ip: u32, addr: u32, kind: AccessKind) -> bool {
+        self.slots.iter().any(|s| {
+            s.enabled
+                && s.contains(addr)
+                && s.perms.allows(kind)
+                && self.subject_matches(s.subject, ip)
+        })
+    }
+
+    /// Validates an access, latching and returning a fault on denial.
+    pub fn check(&mut self, ip: u32, addr: u32, kind: AccessKind) -> Result<(), MpuFault> {
+        if self.allows(ip, addr, kind) {
+            Ok(())
+        } else {
+            let fault = MpuFault { ip, addr, kind };
+            self.last_fault = Some(fault);
+            Err(fault)
+        }
+    }
+
+    /// Returns the index of the first enabled slot whose object range
+    /// contains `addr` and which is an *executable* region (used by
+    /// diagnostics and local attestation to find a task's code region).
+    pub fn find_exec_region(&self, addr: u32) -> Option<usize> {
+        self.slots
+            .iter()
+            .position(|s| s.enabled && s.contains(addr) && s.perms.allows(AccessKind::Execute))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two tasks A and B with private data plus a shared OS-readable page,
+    /// in the spirit of Figure 3.
+    fn figure3_like() -> EaMpu {
+        let mut m = EaMpu::new(8);
+        // Slot 0: A's code, executable by anyone within its entry handled
+        // elsewhere; here: rx for A itself (subject = region 0).
+        m.set_rule(
+            0,
+            RuleSlot {
+                start: 0x0000,
+                end: 0x1000,
+                perms: Perms::RX,
+                subject: Subject::Region(0),
+                enabled: true,
+                locked: false,
+            },
+        )
+        .unwrap();
+        // Slot 1: B's code.
+        m.set_rule(
+            1,
+            RuleSlot {
+                start: 0x1000,
+                end: 0x2000,
+                perms: Perms::RX,
+                subject: Subject::Region(1),
+                enabled: true,
+                locked: false,
+            },
+        )
+        .unwrap();
+        // Slot 2: A's data, rw for code in region 0 only.
+        m.set_rule(
+            2,
+            RuleSlot {
+                start: 0x8000,
+                end: 0x9000,
+                perms: Perms::RW,
+                subject: Subject::Region(0),
+                enabled: true,
+                locked: false,
+            },
+        )
+        .unwrap();
+        // Slot 3: B's data, rw for code in region 1 only.
+        m.set_rule(
+            3,
+            RuleSlot {
+                start: 0x9000,
+                end: 0xa000,
+                perms: Perms::RW,
+                subject: Subject::Region(1),
+                enabled: true,
+                locked: false,
+            },
+        )
+        .unwrap();
+        // Slot 4: public ROM constants, readable by anyone.
+        m.set_rule(
+            4,
+            RuleSlot {
+                start: 0xf000,
+                end: 0xf100,
+                perms: Perms::R,
+                subject: Subject::Any,
+                enabled: true,
+                locked: false,
+            },
+        )
+        .unwrap();
+        m
+    }
+
+    #[test]
+    fn execution_awareness_separates_tasks() {
+        let mut m = figure3_like();
+        let ip_a = 0x0100;
+        let ip_b = 0x1100;
+        // A reads/writes its own data.
+        assert!(m.check(ip_a, 0x8004, AccessKind::Read).is_ok());
+        assert!(m.check(ip_a, 0x8004, AccessKind::Write).is_ok());
+        // A cannot touch B's data; B cannot touch A's.
+        assert!(m.check(ip_a, 0x9004, AccessKind::Read).is_err());
+        assert!(m.check(ip_b, 0x8004, AccessKind::Write).is_err());
+        // Both read the public region.
+        assert!(m.check(ip_a, 0xf000, AccessKind::Read).is_ok());
+        assert!(m.check(ip_b, 0xf0fc, AccessKind::Read).is_ok());
+        // Nobody executes from data.
+        assert!(m.check(ip_a, 0x8004, AccessKind::Execute).is_err());
+    }
+
+    #[test]
+    fn default_deny() {
+        let mut m = EaMpu::new(4);
+        for kind in AccessKind::ALL {
+            assert!(m.check(0, 0x1234, kind).is_err());
+        }
+    }
+
+    #[test]
+    fn fetch_permission_requires_exec_bit() {
+        let mut m = figure3_like();
+        // A fetches its own code.
+        assert!(m.check(0x0100, 0x0104, AccessKind::Execute).is_ok());
+        // B may not fetch from A's code region (subject mismatch).
+        assert!(m.check(0x1100, 0x0104, AccessKind::Execute).is_err());
+    }
+
+    #[test]
+    fn half_open_ranges() {
+        let m = figure3_like();
+        assert!(m.allows(0x0ffc, 0x8000, AccessKind::Read), "ip at last code word");
+        assert!(!m.allows(0x1000, 0x8000, AccessKind::Read), "ip one past code end is B");
+        assert!(m.allows(0x0100, 0x8fff, AccessKind::Read), "last data byte");
+        assert!(!m.allows(0x0100, 0x9000, AccessKind::Read), "one past data end");
+    }
+
+    #[test]
+    fn fault_latched_and_cleared() {
+        let mut m = figure3_like();
+        assert!(m.last_fault().is_none());
+        let _ = m.check(0x1100, 0x8000, AccessKind::Write);
+        let f = m.last_fault().expect("fault latched");
+        assert_eq!(f.ip, 0x1100);
+        assert_eq!(f.addr, 0x8000);
+        assert_eq!(f.kind, AccessKind::Write);
+        m.clear_fault();
+        assert!(m.last_fault().is_none());
+    }
+
+    #[test]
+    fn write_counter_tracks_three_per_rule() {
+        let m = figure3_like();
+        assert_eq!(m.write_count(), 15, "5 rules x 3 writes");
+    }
+
+    #[test]
+    fn locked_slot_rejects_reprogramming() {
+        let mut m = figure3_like();
+        m.lock_slot(2).unwrap();
+        let err = m.set_rule(2, RuleSlot::EMPTY).unwrap_err();
+        assert_eq!(err, ProgramError::Locked(2));
+        // Other slots still programmable.
+        assert!(m.set_rule(5, RuleSlot::EMPTY).is_ok());
+    }
+
+    #[test]
+    fn reset_clears_everything_including_locks() {
+        let mut m = figure3_like();
+        m.lock_slot(0).unwrap();
+        let _ = m.check(0, 0x9999, AccessKind::Read);
+        m.reset();
+        assert_eq!(m.write_count(), 0);
+        assert!(m.last_fault().is_none());
+        assert!(m.set_rule(0, RuleSlot::EMPTY).is_ok(), "lock released by reset");
+        assert!(!m.allows(0x0100, 0x8004, AccessKind::Read), "rules gone");
+    }
+
+    #[test]
+    fn bad_slot_index() {
+        let mut m = EaMpu::new(2);
+        assert_eq!(m.set_rule(2, RuleSlot::EMPTY).unwrap_err(), ProgramError::BadSlot(2));
+        assert_eq!(m.lock_slot(9).unwrap_err(), ProgramError::BadSlot(9));
+    }
+
+    #[test]
+    fn disabled_subject_region_never_matches() {
+        let mut m = EaMpu::new(4);
+        // Object rule pointing at a disabled subject region.
+        m.set_rule(
+            0,
+            RuleSlot {
+                start: 0x100,
+                end: 0x200,
+                perms: Perms::RX,
+                subject: Subject::Region(0),
+                enabled: false,
+                locked: false,
+            },
+        )
+        .unwrap();
+        m.set_rule(
+            1,
+            RuleSlot {
+                start: 0x8000,
+                end: 0x9000,
+                perms: Perms::RW,
+                subject: Subject::Region(0),
+                enabled: true,
+                locked: false,
+            },
+        )
+        .unwrap();
+        assert!(!m.allows(0x100, 0x8000, AccessKind::Read));
+    }
+
+    #[test]
+    fn dangling_subject_region_never_matches() {
+        let mut m = EaMpu::new(2);
+        m.set_rule(
+            0,
+            RuleSlot {
+                start: 0x8000,
+                end: 0x9000,
+                perms: Perms::RW,
+                subject: Subject::Region(7), // out of range
+                enabled: true,
+                locked: false,
+            },
+        )
+        .unwrap();
+        assert!(!m.allows(0x100, 0x8000, AccessKind::Read));
+    }
+
+    #[test]
+    fn overlapping_rules_union_permissions() {
+        let mut m = EaMpu::new(4);
+        m.set_rule(
+            0,
+            RuleSlot {
+                start: 0x0,
+                end: 0x100,
+                perms: Perms::R,
+                subject: Subject::Any,
+                enabled: true,
+                locked: false,
+            },
+        )
+        .unwrap();
+        m.set_rule(
+            1,
+            RuleSlot {
+                start: 0x80,
+                end: 0x180,
+                perms: Perms::W,
+                subject: Subject::Any,
+                enabled: true,
+                locked: false,
+            },
+        )
+        .unwrap();
+        assert!(m.allows(0, 0x90, AccessKind::Read));
+        assert!(m.allows(0, 0x90, AccessKind::Write));
+        assert!(!m.allows(0, 0x40, AccessKind::Write));
+        assert!(!m.allows(0, 0x140, AccessKind::Read));
+    }
+
+    #[test]
+    fn find_exec_region() {
+        let m = figure3_like();
+        assert_eq!(m.find_exec_region(0x0500), Some(0));
+        assert_eq!(m.find_exec_region(0x1500), Some(1));
+        assert_eq!(m.find_exec_region(0x8500), None, "data region is not executable");
+    }
+
+    #[test]
+    fn subject_code_roundtrip() {
+        assert_eq!(Subject::from_code(Subject::Any.code()), Subject::Any);
+        assert_eq!(Subject::from_code(Subject::Region(7).code()), Subject::Region(7));
+    }
+}

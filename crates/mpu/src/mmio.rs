@@ -1,0 +1,287 @@
+//! The EA-MPU's memory-mapped register interface.
+//!
+//! Figure 3 of the paper lists the MPU's own "flags" and "regions"
+//! registers as just another MMIO object in the access-control matrix:
+//! the Secure Loader programs the MPU through these registers and then
+//! *locks it by dropping write permission on this very window*. The
+//! system-bus wiring in `trustlite-cpu` routes the window here after the
+//! (self-referential) MPU check has passed.
+//!
+//! Register map (offsets within the MPU MMIO window):
+//!
+//! ```text
+//! slot i (i < slot_count), stride 12:
+//!   i*12 + 0   START  (rw)
+//!   i*12 + 4   END    (rw)
+//!   i*12 + 8   FLAGS  (rw)  [2:0] perms r/w/x  [3] enabled
+//!                           [4] locked (one-way)  [15:8] subject
+//! control block:
+//!   0xF00  SLOT_COUNT   (ro)
+//!   0xF04  WRITE_COUNT  (ro)
+//!   0xF08  FAULT_IP     (ro)
+//!   0xF0C  FAULT_ADDR   (ro)
+//!   0xF10  FAULT_KIND   (ro; 0xffff_ffff when no fault is latched)
+//!   0xF14  FAULT_CLEAR  (wo)
+//! ```
+//!
+//! Writes to a locked slot are silently dropped, as in hardware; bad
+//! offsets report an access error.
+
+use crate::access::{AccessKind, Perms};
+use crate::eampu::{EaMpu, RuleSlot, Subject};
+
+/// Stride of one slot's register group in bytes.
+pub const SLOT_STRIDE: u32 = 12;
+/// Offset of the control block.
+pub const CTRL_BASE: u32 = 0xF00;
+/// Control register: number of slots.
+pub const REG_SLOT_COUNT: u32 = CTRL_BASE;
+/// Control register: accepted write counter.
+pub const REG_WRITE_COUNT: u32 = CTRL_BASE + 4;
+/// Control register: latched fault instruction pointer.
+pub const REG_FAULT_IP: u32 = CTRL_BASE + 8;
+/// Control register: latched fault address.
+pub const REG_FAULT_ADDR: u32 = CTRL_BASE + 12;
+/// Control register: latched fault kind.
+pub const REG_FAULT_KIND: u32 = CTRL_BASE + 16;
+/// Control register: write-to-clear fault latch.
+pub const REG_FAULT_CLEAR: u32 = CTRL_BASE + 20;
+
+/// Value read from `REG_FAULT_KIND` when no fault is latched.
+pub const NO_FAULT: u32 = 0xffff_ffff;
+
+/// An invalid MMIO access to the MPU register bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MpuMmioError {
+    /// Offending offset within the window.
+    pub off: u32,
+}
+
+/// Returns the MMIO offset of a slot's START register.
+pub fn slot_start_off(index: usize) -> u32 {
+    index as u32 * SLOT_STRIDE
+}
+
+/// Returns the MMIO offset of a slot's END register.
+pub fn slot_end_off(index: usize) -> u32 {
+    index as u32 * SLOT_STRIDE + 4
+}
+
+/// Returns the MMIO offset of a slot's FLAGS register.
+pub fn slot_flags_off(index: usize) -> u32 {
+    index as u32 * SLOT_STRIDE + 8
+}
+
+/// Encodes a slot's FLAGS register value.
+pub fn encode_flags(rule: &RuleSlot) -> u32 {
+    (rule.perms.bits() as u32)
+        | (rule.enabled as u32) << 3
+        | (rule.locked as u32) << 4
+        | (rule.subject.code() as u32) << 8
+}
+
+/// Decodes a FLAGS register value into its fields.
+pub fn decode_flags(v: u32) -> (Perms, bool, bool, Subject) {
+    (
+        Perms::from_bits((v & 7) as u8),
+        v & (1 << 3) != 0,
+        v & (1 << 4) != 0,
+        Subject::from_code((v >> 8) as u8),
+    )
+}
+
+impl EaMpu {
+    fn slot_reg(&self, off: u32) -> Option<(usize, u32)> {
+        if off >= CTRL_BASE {
+            return None;
+        }
+        let index = (off / SLOT_STRIDE) as usize;
+        let reg = off % SLOT_STRIDE;
+        if index >= self.slot_count() {
+            return None;
+        }
+        Some((index, reg))
+    }
+
+    /// Reads an MPU register over MMIO.
+    pub fn mmio_read(&self, off: u32) -> Result<u32, MpuMmioError> {
+        if let Some((index, reg)) = self.slot_reg(off) {
+            let slot = self.slot(index).expect("index validated by slot_reg");
+            return Ok(match reg {
+                0 => slot.start,
+                4 => slot.end,
+                8 => encode_flags(slot),
+                _ => return Err(MpuMmioError { off }),
+            });
+        }
+        match off {
+            REG_SLOT_COUNT => Ok(self.slot_count() as u32),
+            REG_WRITE_COUNT => Ok(self.write_count() as u32),
+            REG_FAULT_IP => Ok(self.last_fault().map(|f| f.ip).unwrap_or(NO_FAULT)),
+            REG_FAULT_ADDR => Ok(self.last_fault().map(|f| f.addr).unwrap_or(NO_FAULT)),
+            REG_FAULT_KIND => Ok(self.last_fault().map(|f| f.kind.code()).unwrap_or(NO_FAULT)),
+            _ => Err(MpuMmioError { off }),
+        }
+    }
+
+    /// Writes an MPU register over MMIO.
+    ///
+    /// Writes to a locked slot are dropped silently (hardware behaviour);
+    /// they do not advance the write counter.
+    pub fn mmio_write(&mut self, off: u32, value: u32) -> Result<(), MpuMmioError> {
+        if let Some((index, reg)) = self.slot_reg(off) {
+            let locked = self.slot(index).expect("validated").locked;
+            if locked {
+                return Ok(());
+            }
+            let mut rule = *self.slot(index).expect("validated");
+            match reg {
+                0 => rule.start = value,
+                4 => rule.end = value,
+                8 => {
+                    let (perms, enabled, lock, subject) = decode_flags(value);
+                    rule.perms = perms;
+                    rule.enabled = enabled;
+                    rule.locked = lock;
+                    rule.subject = subject;
+                }
+                _ => return Err(MpuMmioError { off }),
+            }
+            self.mmio_set_slot_raw(index, rule);
+            return Ok(());
+        }
+        match off {
+            REG_FAULT_CLEAR => {
+                self.clear_fault();
+                Ok(())
+            }
+            REG_SLOT_COUNT | REG_WRITE_COUNT | REG_FAULT_IP | REG_FAULT_ADDR | REG_FAULT_KIND => {
+                // Read-only registers: writes dropped.
+                Ok(())
+            }
+            _ => Err(MpuMmioError { off }),
+        }
+    }
+}
+
+/// Validity helper used by tests and the loader: true if `kind` on the
+/// MPU window itself would be required for a task to reprogram the MPU.
+pub fn is_mpu_config_access(off: u32, kind: AccessKind) -> bool {
+    kind == AccessKind::Write && off < CTRL_BASE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_roundtrip() {
+        let rule = RuleSlot {
+            start: 0x100,
+            end: 0x200,
+            perms: Perms::RX,
+            subject: Subject::Region(3),
+            enabled: true,
+            locked: false,
+        };
+        let (p, e, l, s) = decode_flags(encode_flags(&rule));
+        assert_eq!(p, Perms::RX);
+        assert!(e);
+        assert!(!l);
+        assert_eq!(s, Subject::Region(3));
+    }
+
+    #[test]
+    fn program_slot_over_mmio() {
+        let mut m = EaMpu::new(4);
+        m.mmio_write(slot_start_off(1), 0x1000).unwrap();
+        m.mmio_write(slot_end_off(1), 0x2000).unwrap();
+        let flags = encode_flags(&RuleSlot {
+            start: 0,
+            end: 0,
+            perms: Perms::RW,
+            subject: Subject::Any,
+            enabled: true,
+            locked: false,
+        });
+        m.mmio_write(slot_flags_off(1), flags).unwrap();
+        assert!(m.allows(0xdead, 0x1800, AccessKind::Write));
+        assert_eq!(m.mmio_read(slot_start_off(1)), Ok(0x1000));
+        assert_eq!(m.mmio_read(slot_end_off(1)), Ok(0x2000));
+        assert_eq!(m.write_count(), 3, "three writes defined the region");
+    }
+
+    #[test]
+    fn locked_slot_drops_writes_silently() {
+        let mut m = EaMpu::new(2);
+        let flags_locked = encode_flags(&RuleSlot {
+            start: 0,
+            end: 0,
+            perms: Perms::R,
+            subject: Subject::Any,
+            enabled: true,
+            locked: true,
+        });
+        m.mmio_write(slot_start_off(0), 0x100).unwrap();
+        m.mmio_write(slot_end_off(0), 0x200).unwrap();
+        m.mmio_write(slot_flags_off(0), flags_locked).unwrap();
+        let writes = m.write_count();
+        // Attempt to widen the region: silently dropped.
+        m.mmio_write(slot_end_off(0), 0xffff_ffff).unwrap();
+        m.mmio_write(slot_flags_off(0), 0).unwrap();
+        assert_eq!(m.mmio_read(slot_end_off(0)), Ok(0x200));
+        assert!(m.allows(0, 0x180, AccessKind::Read), "rule unchanged");
+        assert_eq!(m.write_count(), writes, "dropped writes not counted");
+    }
+
+    #[test]
+    fn control_block_reads() {
+        let mut m = EaMpu::new(8);
+        assert_eq!(m.mmio_read(REG_SLOT_COUNT), Ok(8));
+        assert_eq!(m.mmio_read(REG_FAULT_KIND), Ok(NO_FAULT));
+        let _ = m.check(0x42, 0x9999, AccessKind::Write);
+        assert_eq!(m.mmio_read(REG_FAULT_IP), Ok(0x42));
+        assert_eq!(m.mmio_read(REG_FAULT_ADDR), Ok(0x9999));
+        assert_eq!(m.mmio_read(REG_FAULT_KIND), Ok(AccessKind::Write.code()));
+        m.mmio_write(REG_FAULT_CLEAR, 1).unwrap();
+        assert_eq!(m.mmio_read(REG_FAULT_KIND), Ok(NO_FAULT));
+    }
+
+    #[test]
+    fn read_only_control_regs_drop_writes() {
+        let mut m = EaMpu::new(2);
+        m.mmio_write(REG_WRITE_COUNT, 999).unwrap();
+        assert_eq!(m.mmio_read(REG_WRITE_COUNT), Ok(0));
+    }
+
+    #[test]
+    fn bad_offsets_error() {
+        let mut m = EaMpu::new(2);
+        // Beyond the last slot but before the control block.
+        assert!(m.mmio_read(slot_start_off(2)).is_err());
+        assert!(m.mmio_write(slot_start_off(3), 0).is_err());
+        // Hole after the control block.
+        assert!(m.mmio_read(CTRL_BASE + 24).is_err());
+    }
+
+    #[test]
+    fn mmio_matches_host_api() {
+        // Programming via MMIO and via set_rule must agree.
+        let mut a = EaMpu::new(2);
+        let mut b = EaMpu::new(2);
+        let rule = RuleSlot {
+            start: 0x500,
+            end: 0x700,
+            perms: Perms::RWX,
+            subject: Subject::Region(0),
+            enabled: true,
+            locked: false,
+        };
+        b.set_rule(0, rule).unwrap();
+        a.mmio_write(slot_start_off(0), rule.start).unwrap();
+        a.mmio_write(slot_end_off(0), rule.end).unwrap();
+        a.mmio_write(slot_flags_off(0), encode_flags(&rule)).unwrap();
+        assert_eq!(a.slot(0), b.slot(0));
+        assert_eq!(a.write_count(), b.write_count());
+    }
+}

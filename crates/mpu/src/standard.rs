@@ -1,0 +1,212 @@
+//! A conventional privilege-level MPU (the baseline TrustLite improves on).
+//!
+//! Stock MPUs (the paper cites the ARMv7-M PMSA, Infineon XC2000 and TI
+//! KeyStone MPUs) enforce r/w/x per region *per CPU privilege level*. To
+//! protect many tasks from each other, the OS must reprogram the
+//! user-level rules on every context switch — which makes the OS a single
+//! point of failure (Section 3.2). This model exists so that tests and
+//! benches can demonstrate precisely that distinction, and to price the
+//! OS-reprogramming overhead a conventional design pays per switch.
+
+use crate::access::{AccessKind, MpuFault, Perms};
+
+/// CPU privilege level used by the conventional MPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrivLevel {
+    /// Unprivileged task execution.
+    User,
+    /// Privileged (OS/kernel) execution.
+    Supervisor,
+}
+
+/// One region of a conventional MPU: separate permissions per level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StdRegion {
+    /// First byte of the region.
+    pub start: u32,
+    /// One past the last byte.
+    pub end: u32,
+    /// Permissions in user mode.
+    pub user: Perms,
+    /// Permissions in supervisor mode.
+    pub supervisor: Perms,
+    /// Whether the region participates in checks.
+    pub enabled: bool,
+}
+
+impl StdRegion {
+    /// A disabled empty region.
+    pub const EMPTY: StdRegion = StdRegion {
+        start: 0,
+        end: 0,
+        user: Perms::NONE,
+        supervisor: Perms::NONE,
+        enabled: false,
+    };
+
+    fn contains(&self, addr: u32) -> bool {
+        addr >= self.start && addr < self.end
+    }
+}
+
+/// A conventional privilege-level MPU.
+#[derive(Debug, Clone)]
+pub struct StandardMpu {
+    regions: Vec<StdRegion>,
+    /// Register writes performed (each region costs three, as for the
+    /// EA-MPU; the interesting metric is *when* writes happen — on every
+    /// context switch — not how many per region).
+    write_count: u64,
+}
+
+impl StandardMpu {
+    /// Creates a standard MPU with `regions` empty regions.
+    pub fn new(regions: usize) -> Self {
+        StandardMpu { regions: vec![StdRegion::EMPTY; regions], write_count: 0 }
+    }
+
+    /// Number of region registers.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Programs one region (three register writes).
+    pub fn set_region(&mut self, index: usize, region: StdRegion) -> Result<(), usize> {
+        let slot = self.regions.get_mut(index).ok_or(index)?;
+        *slot = region;
+        self.write_count += 3;
+        Ok(())
+    }
+
+    /// Register-write counter.
+    pub fn write_count(&self) -> u64 {
+        self.write_count
+    }
+
+    /// Pure query: is the access allowed at `level`?
+    pub fn allows(&self, level: PrivLevel, addr: u32, kind: AccessKind) -> bool {
+        self.regions.iter().any(|r| {
+            r.enabled
+                && r.contains(addr)
+                && match level {
+                    PrivLevel::User => r.user.allows(kind),
+                    PrivLevel::Supervisor => r.supervisor.allows(kind),
+                }
+        })
+    }
+
+    /// Validates an access.
+    pub fn check(
+        &self,
+        level: PrivLevel,
+        ip: u32,
+        addr: u32,
+        kind: AccessKind,
+    ) -> Result<(), MpuFault> {
+        if self.allows(level, addr, kind) {
+            Ok(())
+        } else {
+            Err(MpuFault { ip, addr, kind })
+        }
+    }
+
+    /// Models the OS context-switch reprogramming a conventional MPU
+    /// requires: rewrite the user-permissions of `regions` regions for the
+    /// next scheduled task. Returns the number of register writes spent.
+    pub fn reprogram_for_task(&mut self, regions: &[(usize, StdRegion)]) -> Result<u64, usize> {
+        let mut writes = 0;
+        for &(idx, region) in regions {
+            self.set_region(idx, region)?;
+            writes += 3;
+        }
+        Ok(writes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_level() -> StandardMpu {
+        let mut m = StandardMpu::new(4);
+        // Kernel memory: supervisor rwx, user none.
+        m.set_region(
+            0,
+            StdRegion {
+                start: 0x0,
+                end: 0x1000,
+                user: Perms::NONE,
+                supervisor: Perms::RWX,
+                enabled: true,
+            },
+        )
+        .unwrap();
+        // Current task's memory: both levels rw, user executes.
+        m.set_region(
+            1,
+            StdRegion {
+                start: 0x1000,
+                end: 0x2000,
+                user: Perms::RWX,
+                supervisor: Perms::RW,
+                enabled: true,
+            },
+        )
+        .unwrap();
+        m
+    }
+
+    #[test]
+    fn privilege_separation() {
+        let m = two_level();
+        assert!(m.allows(PrivLevel::Supervisor, 0x100, AccessKind::Write));
+        assert!(!m.allows(PrivLevel::User, 0x100, AccessKind::Read));
+        assert!(m.allows(PrivLevel::User, 0x1800, AccessKind::Execute));
+        assert!(!m.allows(PrivLevel::Supervisor, 0x1800, AccessKind::Execute));
+    }
+
+    #[test]
+    fn no_execution_awareness() {
+        // The defining limitation: the same user-level code can reach
+        // everything user-accessible, regardless of *which* task runs.
+        let m = two_level();
+        for ip in [0x1000u32, 0x1ffc] {
+            assert!(
+                m.check(PrivLevel::User, ip, 0x1800, AccessKind::Write).is_ok(),
+                "user access independent of ip {ip:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn default_deny() {
+        let m = StandardMpu::new(2);
+        assert!(!m.allows(PrivLevel::Supervisor, 0, AccessKind::Read));
+    }
+
+    #[test]
+    fn reprogram_counts_writes() {
+        let mut m = two_level();
+        let before = m.write_count();
+        let spent = m
+            .reprogram_for_task(&[(1, StdRegion {
+                start: 0x2000,
+                end: 0x3000,
+                user: Perms::RWX,
+                supervisor: Perms::RW,
+                enabled: true,
+            })])
+            .unwrap();
+        assert_eq!(spent, 3);
+        assert_eq!(m.write_count(), before + 3);
+        // The switch re-targeted user access: old task memory unreachable.
+        assert!(!m.allows(PrivLevel::User, 0x1800, AccessKind::Read));
+        assert!(m.allows(PrivLevel::User, 0x2800, AccessKind::Read));
+    }
+
+    #[test]
+    fn bad_index_reported() {
+        let mut m = StandardMpu::new(1);
+        assert_eq!(m.set_region(3, StdRegion::EMPTY), Err(3));
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests on the EA-MPU rule algebra.
+
+use proptest::prelude::*;
+use trustlite_mpu::mmio::{decode_flags, encode_flags};
+use trustlite_mpu::{AccessKind, EaMpu, Perms, RuleSlot, Subject};
+
+fn any_kind() -> impl Strategy<Value = AccessKind> {
+    (0usize..3).prop_map(|i| AccessKind::ALL[i])
+}
+
+fn any_rule() -> impl Strategy<Value = RuleSlot> {
+    (any::<u32>(), any::<u32>(), 0u8..8, prop_oneof![Just(0xffu8), 0u8..8], any::<bool>())
+        .prop_map(|(a, b, perms, subj, enabled)| RuleSlot {
+            start: a.min(b),
+            end: a.max(b),
+            perms: Perms::from_bits(perms),
+            subject: Subject::from_code(subj),
+            enabled,
+            locked: false,
+        })
+}
+
+proptest! {
+    /// With no rules programmed, every access is denied (default deny).
+    #[test]
+    fn default_deny(ip in any::<u32>(), addr in any::<u32>(), kind in any_kind()) {
+        let mpu = EaMpu::new(8);
+        prop_assert!(!mpu.allows(ip, addr, kind));
+    }
+
+    /// Adding a rule never revokes an access that was previously allowed
+    /// (rules are purely additive grants).
+    #[test]
+    fn rules_are_monotonic(
+        rules in proptest::collection::vec(any_rule(), 1..6),
+        extra in any_rule(),
+        ip in any::<u32>(),
+        addr in any::<u32>(),
+        kind in any_kind(),
+    ) {
+        let mut mpu = EaMpu::new(8);
+        for (i, r) in rules.iter().enumerate() {
+            mpu.set_rule(i, *r).unwrap();
+        }
+        let before = mpu.allows(ip, addr, kind);
+        mpu.set_rule(rules.len(), extra).unwrap();
+        if before {
+            prop_assert!(mpu.allows(ip, addr, kind), "grant revoked by unrelated rule");
+        }
+    }
+
+    /// An allowed access implies a witnessing enabled rule.
+    #[test]
+    fn allowed_access_has_witness(
+        rules in proptest::collection::vec(any_rule(), 0..8),
+        ip in any::<u32>(),
+        addr in any::<u32>(),
+        kind in any_kind(),
+    ) {
+        let mut mpu = EaMpu::new(8);
+        for (i, r) in rules.iter().enumerate() {
+            mpu.set_rule(i, *r).unwrap();
+        }
+        if mpu.allows(ip, addr, kind) {
+            let witness = mpu.slots().iter().any(|s| {
+                s.enabled && s.contains(addr) && s.perms.allows(kind)
+            });
+            prop_assert!(witness);
+        }
+    }
+
+    /// Execution awareness: a rule bound to a subject region is inert for
+    /// instruction pointers outside that region.
+    #[test]
+    fn subject_binding_excludes_foreign_ip(
+        code_start in 0u32..0x1000,
+        data_addr in 0x8000u32..0x9000,
+        foreign_ip in 0x4000u32..0x5000,
+        kind in any_kind(),
+    ) {
+        let mut mpu = EaMpu::new(4);
+        mpu.set_rule(0, RuleSlot {
+            start: code_start,
+            end: code_start + 0x100,
+            perms: Perms::RX,
+            subject: Subject::Region(0),
+            enabled: true,
+            locked: false,
+        }).unwrap();
+        mpu.set_rule(1, RuleSlot {
+            start: 0x8000,
+            end: 0x9000,
+            perms: Perms::RWX,
+            subject: Subject::Region(0),
+            enabled: true,
+            locked: false,
+        }).unwrap();
+        // Inside the code region: allowed.
+        prop_assert!(mpu.allows(code_start, data_addr, kind));
+        // Outside (foreign ip 0x4000..0x5000 never overlaps 0..0x1100): denied.
+        prop_assert!(!mpu.allows(foreign_ip, data_addr, kind));
+    }
+
+    /// MMIO FLAGS encoding round-trips every field combination.
+    #[test]
+    fn flags_roundtrip(perms in 0u8..8, enabled in any::<bool>(),
+                       locked in any::<bool>(), subj in any::<u8>()) {
+        let rule = RuleSlot {
+            start: 0,
+            end: 0,
+            perms: Perms::from_bits(perms),
+            subject: Subject::from_code(subj),
+            enabled,
+            locked,
+        };
+        let (p, e, l, s) = decode_flags(encode_flags(&rule));
+        prop_assert_eq!(p, rule.perms);
+        prop_assert_eq!(e, rule.enabled);
+        prop_assert_eq!(l, rule.locked);
+        prop_assert_eq!(s, rule.subject);
+    }
+
+    /// The check() fault record always matches the denied access triple.
+    #[test]
+    fn fault_record_matches_access(ip in any::<u32>(), addr in any::<u32>(), kind in any_kind()) {
+        let mut mpu = EaMpu::new(2);
+        let err = mpu.check(ip, addr, kind).unwrap_err();
+        prop_assert_eq!(err.ip, ip);
+        prop_assert_eq!(err.addr, addr);
+        prop_assert_eq!(err.kind, kind);
+        prop_assert_eq!(mpu.last_fault(), Some(err));
+    }
+}

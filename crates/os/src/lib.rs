@@ -1,0 +1,36 @@
+//! The "homegrown" embedded OS of the TrustLite evaluation.
+//!
+//! The paper deploys a small in-house OS whose bootstrapping routine acts
+//! as the Secure Loader and which schedules trustlets like ordinary tasks
+//! (Sections 3.5, 5.1). This crate generates such an OS as an SP32
+//! program that runs **inside the simulator** — crucially, the OS is
+//! *untrusted*: every security property must hold against it, and the
+//! test suite includes malicious variants.
+//!
+//! * [`scheduler`] — a preemptive round-robin scheduler driven by the
+//!   platform timer: trustlets are resumed through their `continue()`
+//!   entries; the secure exception engine does all state saving, so the
+//!   OS never sees (or needs) trustlet register state.
+//! * [`priority`] — a fixed-priority scheduler variant (the policy is the
+//!   OS's business; the protection guarantees do not change).
+//! * [`queue`] — ring-buffer message queues for unprotected IPC
+//!   (Section 4.2.1).
+//! * [`trustlet_lib`] — code-generation helpers for common trustlet
+//!   behaviours used by tests, examples and benches.
+//! * [`attacks`] — a malicious-OS penetration harness that runs a battery
+//!   of forbidden accesses and records which the EA-MPU blocked.
+
+pub mod attacks;
+pub mod priority;
+pub mod queue;
+pub mod scheduler;
+pub mod trustlet_lib;
+
+pub use attacks::{build_attack_os, read_results, ATTACKS, ATTACK_IDT};
+pub use priority::{build_priority_os, PriorityConfig, PriorityTask};
+pub use scheduler::{build_scheduler_os, SchedulerConfig, ScheduledTask, SCHED_IDT};
+
+/// Software-interrupt number a task issues to yield the CPU.
+pub const SWI_YIELD: u8 = 1;
+/// Software-interrupt number a task issues when it is finished.
+pub const SWI_EXIT: u8 = 2;

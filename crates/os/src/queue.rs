@@ -1,0 +1,174 @@
+//! Ring-buffer message queues for unprotected IPC (Section 4.2.1).
+//!
+//! The paper reuses ordinary OS facilities — message queues — for IPC
+//! with untrusted parties: anything sent to or from an untrusted task is
+//! by definition already visible to it. A queue lives in a memory region
+//! both parties can access (the receiver's data region for RPC-style
+//! delivery, or a shared region):
+//!
+//! ```text
+//! base + 0   head (next slot to read)
+//! base + 4   tail (next slot to write)
+//! base + 8   slots[capacity] (one word each)
+//! ```
+//!
+//! The queue is single-producer/single-consumer; indices wrap at
+//! `capacity`. Emitted code communicates status in `r1` (1 = ok,
+//! 0 = full/empty).
+
+use trustlite_isa::{Asm, Reg};
+
+/// Bytes occupied by a queue of `capacity` one-word slots.
+pub fn queue_bytes(capacity: u32) -> u32 {
+    8 + 4 * capacity
+}
+
+/// Emits an enqueue of `r0` into the queue at `base`.
+///
+/// On return `r1` is 1 on success, 0 if the queue was full. Clobbers
+/// `r2..r5`.
+pub fn emit_enqueue(a: &mut Asm, base: u32, capacity: u32) {
+    let u = a.here();
+    let full = format!("__q_full_{u}");
+    let nowrap = format!("__q_enq_nowrap_{u}");
+    let done = format!("__q_enq_done_{u}");
+    a.li(Reg::R2, base);
+    a.lw(Reg::R3, Reg::R2, 4); // tail
+    // next = (tail + 1) % capacity
+    a.addi(Reg::R4, Reg::R3, 1);
+    a.li(Reg::R5, capacity);
+    a.blt(Reg::R4, Reg::R5, &nowrap);
+    a.li(Reg::R4, 0);
+    a.label(&nowrap);
+    // full if next == head
+    a.lw(Reg::R5, Reg::R2, 0);
+    a.beq(Reg::R4, Reg::R5, &full);
+    // slots[tail] = r0
+    a.shli(Reg::R5, Reg::R3, 2);
+    a.add(Reg::R5, Reg::R5, Reg::R2);
+    a.sw(Reg::R5, 8, Reg::R0);
+    // tail = next
+    a.sw(Reg::R2, 4, Reg::R4);
+    a.li(Reg::R1, 1);
+    a.jmp(&done);
+    a.label(&full);
+    a.li(Reg::R1, 0);
+    a.label(&done);
+}
+
+/// Emits a dequeue from the queue at `base` into `r0`.
+///
+/// On return `r1` is 1 on success, 0 if the queue was empty. Clobbers
+/// `r2..r5`.
+pub fn emit_dequeue(a: &mut Asm, base: u32, capacity: u32) {
+    let u = a.here();
+    let empty = format!("__q_empty_{u}");
+    let nowrap = format!("__q_deq_nowrap_{u}");
+    let done = format!("__q_deq_done_{u}");
+    a.li(Reg::R2, base);
+    a.lw(Reg::R3, Reg::R2, 0); // head
+    a.lw(Reg::R4, Reg::R2, 4); // tail
+    a.beq(Reg::R3, Reg::R4, &empty);
+    // r0 = slots[head]
+    a.shli(Reg::R5, Reg::R3, 2);
+    a.add(Reg::R5, Reg::R5, Reg::R2);
+    a.lw(Reg::R0, Reg::R5, 8);
+    // head = (head + 1) % capacity
+    a.addi(Reg::R3, Reg::R3, 1);
+    a.li(Reg::R5, capacity);
+    a.blt(Reg::R3, Reg::R5, &nowrap);
+    a.li(Reg::R3, 0);
+    a.label(&nowrap);
+    a.sw(Reg::R2, 0, Reg::R3);
+    a.li(Reg::R1, 1);
+    a.jmp(&done);
+    a.label(&empty);
+    a.li(Reg::R1, 0);
+    a.label(&done);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustlite_cpu::{HaltReason, Machine, RunExit, SystemBus};
+    use trustlite_mem::{Bus, Ram, Rom};
+    use trustlite_mpu::EaMpu;
+
+    const CODE: u32 = 0;
+    const QUEUE: u32 = 0x1000_0000;
+    const CAP: u32 = 4;
+
+    fn run_program(build: impl FnOnce(&mut Asm)) -> Machine {
+        let mut a = Asm::new(CODE);
+        build(&mut a);
+        a.halt();
+        let img = a.assemble().unwrap();
+        let mut bus = Bus::new();
+        bus.map(CODE, Box::new(Rom::new(0x4000))).unwrap();
+        bus.map(QUEUE, Box::new(Ram::new("sram", 0x1000))).unwrap();
+        bus.host_load(CODE, &img.bytes);
+        let mut sys = SystemBus::new(bus, EaMpu::new(2), None);
+        sys.enforce = false;
+        let mut m = Machine::new(sys, CODE);
+        assert!(matches!(m.run(10_000), RunExit::Halted(HaltReason::Halt { .. })));
+        m
+    }
+
+    #[test]
+    fn enqueue_dequeue_roundtrip() {
+        let m = run_program(|a| {
+            a.li(Reg::R0, 0xaa);
+            emit_enqueue(a, QUEUE, CAP);
+            a.li(Reg::R0, 0xbb);
+            emit_enqueue(a, QUEUE, CAP);
+            emit_dequeue(a, QUEUE, CAP);
+            a.mov(Reg::R6, Reg::R0); // first out
+            emit_dequeue(a, QUEUE, CAP);
+            a.mov(Reg::R7, Reg::R0); // second out
+        });
+        assert_eq!(m.regs.gprs[6], 0xaa, "FIFO order");
+        assert_eq!(m.regs.gprs[7], 0xbb);
+        assert_eq!(m.regs.gprs[1], 1, "last dequeue succeeded");
+    }
+
+    #[test]
+    fn dequeue_empty_reports_failure() {
+        let m = run_program(|a| {
+            emit_dequeue(a, QUEUE, CAP);
+        });
+        assert_eq!(m.regs.gprs[1], 0);
+    }
+
+    #[test]
+    fn enqueue_full_reports_failure() {
+        let m = run_program(|a| {
+            // Capacity 4 holds 3 elements (one slot distinguishes
+            // full/empty).
+            for v in [1u32, 2, 3, 4] {
+                a.li(Reg::R0, v);
+                emit_enqueue(a, QUEUE, CAP);
+            }
+        });
+        assert_eq!(m.regs.gprs[1], 0, "fourth enqueue fails");
+    }
+
+    #[test]
+    fn wraparound_preserves_order() {
+        let m = run_program(|a| {
+            for v in [1u32, 2, 3] {
+                a.li(Reg::R0, v);
+                emit_enqueue(a, QUEUE, CAP);
+            }
+            emit_dequeue(a, QUEUE, CAP); // 1 out
+            emit_dequeue(a, QUEUE, CAP); // 2 out
+            a.li(Reg::R0, 4);
+            emit_enqueue(a, QUEUE, CAP); // wraps
+            emit_dequeue(a, QUEUE, CAP); // 3
+            a.mov(Reg::R6, Reg::R0);
+            emit_dequeue(a, QUEUE, CAP); // 4
+            a.mov(Reg::R7, Reg::R0);
+        });
+        assert_eq!(m.regs.gprs[6], 3);
+        assert_eq!(m.regs.gprs[7], 4);
+    }
+}

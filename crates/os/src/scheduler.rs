@@ -1,0 +1,167 @@
+//! The preemptive round-robin scheduler.
+//!
+//! Task-table layout in the OS data region:
+//!
+//! ```text
+//! data_base + 0   current task index (0xffff_ffff before first dispatch)
+//! data_base + 4   task count
+//! data_base + 8   task table: per task {entry address, status} (8 bytes;
+//!                 status 1 = ready, 0 = dead)
+//! ```
+//!
+//! The scheduler resumes every task by jumping to its `continue()` entry
+//! — for trustlets, the secure exception engine has already saved and
+//! scrubbed all state, so resumption needs no OS cooperation beyond the
+//! jump (Section 3.4.2). On the timer tick, a `swi YIELD`, a `swi EXIT`
+//! or a fault, the ISR picks the next ready task; when none remain the OS
+//! halts the platform.
+
+use trustlite::layout;
+use trustlite::platform::OsProgram;
+use trustlite_cpu::vectors;
+use trustlite_isa::Reg;
+use trustlite_mem::map;
+use trustlite_periph::timer;
+
+use crate::{SWI_EXIT, SWI_YIELD};
+
+/// A task known to the scheduler.
+#[derive(Debug, Clone)]
+pub struct ScheduledTask {
+    /// Display name (host-side only).
+    pub name: String,
+    /// The task's resume entry (a trustlet's `continue()` entry).
+    pub entry: u32,
+}
+
+/// Scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Timer period in cycles (preemption quantum). 0 disables the timer
+    /// (cooperative scheduling via `swi YIELD` only).
+    pub timer_period: u32,
+    /// The task list, in round-robin order.
+    pub tasks: Vec<ScheduledTask>,
+}
+
+/// The IDT wiring expected by [`build_scheduler_os`]: pass this to
+/// [`trustlite::PlatformBuilder::set_os`].
+pub const SCHED_IDT: &[(u8, &str)] = &[
+    (vectors::VEC_MPU_FAULT, "isr_fault"),
+    (vectors::VEC_ILLEGAL, "isr_fault"),
+    (vectors::VEC_BUS_FAULT, "isr_fault"),
+    (vectors::VEC_IRQ_BASE, "isr_timer"), // timer is line 0
+    (vectors::VEC_SWI_BASE + SWI_YIELD, "isr_yield"),
+    (vectors::VEC_SWI_BASE + SWI_EXIT, "isr_exit"),
+];
+
+/// Emits the scheduler OS into `os`. The caller must register the image
+/// with [`SCHED_IDT`] and grant the OS the timer MMIO window when
+/// `timer_period > 0`.
+pub fn build_scheduler_os(os: &mut OsProgram, cfg: &SchedulerConfig) {
+    let data = os.data_base;
+    let stack_top = os.stack_top;
+    let a = &mut os.asm;
+
+    a.label("main");
+    a.li(Reg::Sp, stack_top);
+    // Initialize the task table.
+    a.li(Reg::R1, data);
+    a.movi(Reg::R2, -1);
+    a.sw(Reg::R1, 0, Reg::R2); // current = -1
+    a.li(Reg::R2, cfg.tasks.len() as u32);
+    a.sw(Reg::R1, 4, Reg::R2); // count
+    for (i, task) in cfg.tasks.iter().enumerate() {
+        a.li(Reg::R2, task.entry);
+        a.sw(Reg::R1, (8 + 8 * i) as i16, Reg::R2);
+        a.li(Reg::R3, 1);
+        a.sw(Reg::R1, (12 + 8 * i) as i16, Reg::R3);
+    }
+    // Program the preemption timer (auto-reload, IDT-vectored).
+    if cfg.timer_period > 0 {
+        a.li(Reg::R4, map::TIMER_MMIO_BASE);
+        a.li(Reg::R2, cfg.timer_period);
+        a.sw(Reg::R4, timer::regs::PERIOD as i16, Reg::R2);
+        a.li(Reg::R2, timer::CTRL_ENABLE | timer::CTRL_AUTO_RELOAD);
+        a.sw(Reg::R4, timer::regs::CTRL as i16, Reg::R2);
+    }
+    // First dispatch from index 0.
+    a.li(Reg::R0, 0);
+    a.jmp("dispatch");
+
+    // Timer tick / voluntary yield: schedule the task after the current.
+    a.label("isr_timer");
+    a.label("isr_yield");
+    a.li(Reg::R1, data);
+    a.lw(Reg::R0, Reg::R1, 0);
+    a.addi(Reg::R0, Reg::R0, 1);
+    a.jmp("dispatch");
+
+    // Task exit or fault: mark the current task dead, schedule onward.
+    a.label("isr_exit");
+    a.label("isr_fault");
+    a.li(Reg::R1, data);
+    a.lw(Reg::R0, Reg::R1, 0);
+    a.movi(Reg::R2, 0);
+    a.blt(Reg::R0, Reg::R2, "fault_no_current"); // current == -1
+    a.shli(Reg::R3, Reg::R0, 3);
+    a.add(Reg::R3, Reg::R3, Reg::R1);
+    a.sw(Reg::R3, 12, Reg::R2); // status = 0
+    a.label("fault_no_current");
+    a.addi(Reg::R0, Reg::R0, 1);
+    a.jmp("dispatch");
+
+    // dispatch: r0 = candidate index (may equal count; wraps once).
+    a.label("dispatch");
+    a.li(Reg::R1, data);
+    a.lw(Reg::R2, Reg::R1, 4); // count
+    a.li(Reg::R3, 0); // tries
+    a.label("dispatch_loop");
+    a.bge(Reg::R3, Reg::R2, "dispatch_idle");
+    a.blt(Reg::R0, Reg::R2, "dispatch_no_wrap");
+    a.sub(Reg::R0, Reg::R0, Reg::R2);
+    a.label("dispatch_no_wrap");
+    a.shli(Reg::R4, Reg::R0, 3);
+    a.add(Reg::R4, Reg::R4, Reg::R1);
+    a.lw(Reg::R5, Reg::R4, 12); // status
+    a.li(Reg::R6, 1);
+    a.beq(Reg::R5, Reg::R6, "dispatch_found");
+    a.addi(Reg::R0, Reg::R0, 1);
+    a.addi(Reg::R3, Reg::R3, 1);
+    a.jmp("dispatch_loop");
+    a.label("dispatch_found");
+    a.sw(Reg::R1, 0, Reg::R0); // current = idx
+    a.lw(Reg::R5, Reg::R4, 8); // entry
+    // Unwind to a fresh OS stack before leaving the kernel.
+    a.li(Reg::R6, layout::os_sp_cell());
+    a.lw(Reg::Sp, Reg::R6, 0);
+    // The jump to the continue() entry transfers control; the trustlet's
+    // own popf re-enables interrupts.
+    a.jr(Reg::R5);
+    // No ready task remains: stop the platform.
+    a.label("dispatch_idle");
+    a.halt();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustlite::platform::PlatformBuilder;
+
+    #[test]
+    fn generated_os_assembles_with_all_isr_labels() {
+        let mut b = PlatformBuilder::new();
+        let mut os = b.begin_os();
+        build_scheduler_os(
+            &mut os,
+            &SchedulerConfig {
+                timer_period: 100,
+                tasks: vec![ScheduledTask { name: "t".into(), entry: 0x1000_0800 }],
+            },
+        );
+        let img = os.finish().unwrap();
+        for (_, sym) in SCHED_IDT {
+            assert!(img.symbol(sym).is_some(), "missing {sym}");
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Code-generation helpers for common trustlet behaviours.
+//!
+//! Tests, examples and benches need trustlets that "do work": count,
+//! yield, guard secrets, serve IPC. These helpers emit such bodies into a
+//! [`TrustletProgram`](trustlite::runtime::TrustletProgram).
+
+use trustlite::spec::TrustletPlan;
+use trustlite_isa::{Asm, Reg};
+
+use crate::{SWI_EXIT, SWI_YIELD};
+
+/// Emits a `main` that increments `counter_addr` `iterations` times,
+/// yielding after each increment, then exits via `swi EXIT`.
+///
+/// The counter lives in the trustlet's private data region; its final
+/// value proves the task ran to completion with its state preserved
+/// across preemptions.
+pub fn emit_cooperative_counter(a: &mut Asm, counter_addr: u32, iterations: u32) {
+    a.label("main");
+    a.li(Reg::R1, counter_addr);
+    a.li(Reg::R2, 0);
+    a.li(Reg::R3, iterations);
+    a.label("count_loop");
+    a.bge(Reg::R2, Reg::R3, "count_done");
+    a.lw(Reg::R4, Reg::R1, 0);
+    a.addi(Reg::R4, Reg::R4, 1);
+    a.sw(Reg::R1, 0, Reg::R4);
+    a.addi(Reg::R2, Reg::R2, 1);
+    a.swi(SWI_YIELD);
+    // After resumption, our registers (r1, r2, r3) are intact — the
+    // secure exception engine saved and restored them.
+    a.jmp("count_loop");
+    a.label("count_done");
+    a.swi(SWI_EXIT);
+}
+
+/// Emits a `main` that increments `counter_addr` `iterations` times in a
+/// busy loop *without yielding*, relying on timer preemption, then exits.
+pub fn emit_preemptible_counter(a: &mut Asm, counter_addr: u32, iterations: u32) {
+    a.label("main");
+    a.li(Reg::R1, counter_addr);
+    a.li(Reg::R2, 0);
+    a.li(Reg::R3, iterations);
+    a.label("busy_loop");
+    a.bge(Reg::R2, Reg::R3, "busy_done");
+    a.lw(Reg::R4, Reg::R1, 0);
+    a.addi(Reg::R4, Reg::R4, 1);
+    a.sw(Reg::R1, 0, Reg::R4);
+    a.addi(Reg::R2, Reg::R2, 1);
+    a.jmp("busy_loop");
+    a.label("busy_done");
+    a.swi(SWI_EXIT);
+}
+
+/// Emits a `main` that loads a secret constant into every GPR and then
+/// spins until preempted (the register-scrubbing probe: the OS must never
+/// observe `secret` in any register).
+pub fn emit_secret_spinner(a: &mut Asm, secret: u32) {
+    a.label("main");
+    for r in [Reg::R0, Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7] {
+        a.li(r, secret);
+    }
+    a.label("spin");
+    a.jmp("spin");
+}
+
+/// Emits a `main` that deliberately violates the MPU (reads
+/// `victim_addr`, which belongs to someone else) to exercise fault
+/// isolation.
+pub fn emit_fault_injector(a: &mut Asm, victim_addr: u32) {
+    a.label("main");
+    a.li(Reg::R1, victim_addr);
+    a.lw(Reg::R0, Reg::R1, 0);
+    // Unreachable if the MPU works.
+    a.swi(SWI_EXIT);
+}
+
+/// Emits a `call_entry` IPC handler that enqueues the message word in
+/// `r1` into a queue at `queue_base` inside the trustlet's data region,
+/// then jumps back to the caller's continuation passed in `r2`
+/// (Figure 6's `call(type, msg, sender)` with `r0` = type, `r1` = msg,
+/// `r2` = sender continuation).
+pub fn emit_call_queue_handler(a: &mut Asm, plan: &TrustletPlan, queue_base: u32, capacity: u32) {
+    a.label("call_entry");
+    // Switch to the own stack before touching memory.
+    a.li(Reg::R6, plan.sp_slot);
+    a.lw(Reg::Sp, Reg::R6, 0);
+    // The enqueue helper clobbers r2..r5; keep the continuation in r7.
+    a.mov(Reg::R7, Reg::R2);
+    a.mov(Reg::R0, Reg::R1);
+    crate::queue::emit_enqueue(a, queue_base, capacity);
+    // Return to the sender's continuation.
+    a.jr(Reg::R7);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustlite_isa::Asm;
+
+    #[test]
+    fn snippets_assemble() {
+        let mut a = Asm::new(0x1000);
+        emit_cooperative_counter(&mut a, 0x2000, 5);
+        a.label("main2");
+        let img_err = a.assemble();
+        assert!(img_err.is_ok());
+
+        let mut a = Asm::new(0x1000);
+        emit_secret_spinner(&mut a, 0xdead_beef);
+        assert!(a.assemble().is_ok());
+
+        let mut a = Asm::new(0x1000);
+        emit_fault_injector(&mut a, 0x9999_0000);
+        assert!(a.assemble().is_ok());
+    }
+}

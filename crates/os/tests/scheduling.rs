@@ -1,0 +1,264 @@
+//! End-to-end preemptive multitasking: an untrusted OS schedules
+//! trustlets while the secure exception engine preserves their state —
+//! the paper's Section 3.4 in motion.
+
+use trustlite::platform::{Platform, PlatformBuilder};
+use trustlite::spec::{PeriphGrant, TrustletOptions};
+use trustlite_cpu::{vectors, HaltReason, RunExit};
+use trustlite_isa::Reg;
+use trustlite_mem::map;
+use trustlite_mpu::Perms;
+use trustlite_os::scheduler::{build_scheduler_os, ScheduledTask, SchedulerConfig, SCHED_IDT};
+use trustlite_os::trustlet_lib;
+use trustlite_periph::timer;
+
+const TIMER_GRANT: PeriphGrant = PeriphGrant {
+    base: map::TIMER_MMIO_BASE,
+    size: map::PERIPH_MMIO_SIZE,
+    perms: Perms::RW,
+};
+
+/// Builds a platform with `n` counter trustlets and the scheduler OS.
+/// Returns the platform and each trustlet's counter address.
+fn build_counters(timer_period: u32, cooperative: bool, iters: u32, n: usize) -> (Platform, Vec<u32>) {
+    let mut b = PlatformBuilder::new();
+    let mut plans = Vec::new();
+    let mut counters = Vec::new();
+    for i in 0..n {
+        let plan = b.plan_trustlet(&format!("counter{i}"), 0x200, 0x80, 0x100);
+        counters.push(plan.data_base);
+        plans.push(plan);
+    }
+    for plan in &plans {
+        let mut t = plan.begin_program();
+        if cooperative {
+            trustlet_lib::emit_cooperative_counter(&mut t.asm, plan.data_base, iters);
+        } else {
+            trustlet_lib::emit_preemptible_counter(&mut t.asm, plan.data_base, iters);
+        }
+        b.add_trustlet(plan, t.finish().unwrap(), TrustletOptions::default()).unwrap();
+    }
+    b.grant_os_peripheral(TIMER_GRANT);
+    let mut os = b.begin_os();
+    build_scheduler_os(
+        &mut os,
+        &SchedulerConfig {
+            timer_period,
+            tasks: plans
+                .iter()
+                .map(|p| ScheduledTask { name: p.name.clone(), entry: p.continue_entry() })
+                .collect(),
+        },
+    );
+    let os_img = os.finish().unwrap();
+    b.set_os(os_img, SCHED_IDT);
+    (b.build().unwrap(), counters)
+}
+
+#[test]
+fn cooperative_round_robin_completes_both_tasks() {
+    let (mut p, counters) = build_counters(0, true, 5, 2);
+    let exit = p.run(100_000);
+    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
+    for (i, &c) in counters.iter().enumerate() {
+        assert_eq!(p.machine.sys.hw_read32(c).unwrap(), 5, "counter {i}");
+    }
+    // Yields from both trustlets were secured by the engine.
+    let yields: Vec<_> = p
+        .machine
+        .exc_log
+        .iter()
+        .filter(|r| r.vector == vectors::VEC_SWI_BASE + trustlite_os::SWI_YIELD)
+        .collect();
+    assert_eq!(yields.len(), 10, "5 yields per task");
+    assert!(yields.iter().all(|r| r.trustlet.is_some()));
+    // Round-robin interleaving: consecutive yields come from different
+    // trustlets.
+    for w in yields.windows(2) {
+        assert_ne!(w[0].trustlet, w[1].trustlet, "strict alternation");
+    }
+}
+
+#[test]
+fn preemptive_scheduling_interleaves_busy_trustlets() {
+    let (mut p, counters) = build_counters(500, false, 100, 2);
+    let exit = p.run(1_000_000);
+    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
+    for (i, &c) in counters.iter().enumerate() {
+        assert_eq!(p.machine.sys.hw_read32(c).unwrap(), 100, "counter {i}");
+    }
+    // The timer preempted trustlets mid-computation.
+    let preemptions: Vec<_> = p
+        .machine
+        .exc_log
+        .iter()
+        .filter(|r| r.vector == vectors::irq_vector(0) && r.trustlet.is_some())
+        .collect();
+    assert!(preemptions.len() >= 4, "only {} preemptions", preemptions.len());
+    // Both trustlets were preempted at least once.
+    assert!(preemptions.iter().any(|r| r.trustlet == Some(0)));
+    assert!(preemptions.iter().any(|r| r.trustlet == Some(1)));
+    // Every trustlet preemption paid the full secure-engine cost.
+    for r in &preemptions {
+        assert_eq!(r.entry_cycles, 42);
+    }
+}
+
+#[test]
+fn three_way_preemption_with_uneven_work() {
+    let mut sizes = Vec::new();
+    let (mut p, counters) = {
+        let mut b = PlatformBuilder::new();
+        let mut plans = Vec::new();
+        let mut addrs = Vec::new();
+        for (i, iters) in [30u32, 90, 180].iter().enumerate() {
+            let plan = b.plan_trustlet(&format!("w{i}"), 0x200, 0x80, 0x100);
+            let mut t = plan.begin_program();
+            trustlet_lib::emit_preemptible_counter(&mut t.asm, plan.data_base, *iters);
+            b.add_trustlet(&plan, t.finish().unwrap(), TrustletOptions::default()).unwrap();
+            addrs.push(plan.data_base);
+            sizes.push(*iters);
+            plans.push(plan);
+        }
+        b.grant_os_peripheral(TIMER_GRANT);
+        let mut os = b.begin_os();
+        build_scheduler_os(
+            &mut os,
+            &SchedulerConfig {
+                timer_period: 400,
+                tasks: plans
+                    .iter()
+                    .map(|p| ScheduledTask { name: p.name.clone(), entry: p.continue_entry() })
+                    .collect(),
+            },
+        );
+        let os_img = os.finish().unwrap();
+        b.set_os(os_img, SCHED_IDT);
+        (b.build().unwrap(), addrs)
+    };
+    let exit = p.run(2_000_000);
+    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
+    for (i, &c) in counters.iter().enumerate() {
+        assert_eq!(p.machine.sys.hw_read32(c).unwrap(), sizes[i], "counter {i}");
+    }
+}
+
+#[test]
+fn faulting_trustlet_terminated_while_peer_completes() {
+    let mut b = PlatformBuilder::new();
+    let plan_bad = b.plan_trustlet("bad", 0x200, 0x80, 0x100);
+    let plan_good = b.plan_trustlet("good", 0x200, 0x80, 0x100);
+
+    let mut t = plan_bad.begin_program();
+    // Tries to read the peer's private data: MPU fault.
+    trustlet_lib::emit_fault_injector(&mut t.asm, plan_good.data_base);
+    b.add_trustlet(&plan_bad, t.finish().unwrap(), TrustletOptions::default()).unwrap();
+
+    let mut t = plan_good.begin_program();
+    trustlet_lib::emit_cooperative_counter(&mut t.asm, plan_good.data_base, 3);
+    b.add_trustlet(&plan_good, t.finish().unwrap(), TrustletOptions::default()).unwrap();
+
+    b.grant_os_peripheral(TIMER_GRANT);
+    let mut os = b.begin_os();
+    build_scheduler_os(
+        &mut os,
+        &SchedulerConfig {
+            timer_period: 0,
+            tasks: vec![
+                ScheduledTask { name: "bad".into(), entry: plan_bad.continue_entry() },
+                ScheduledTask { name: "good".into(), entry: plan_good.continue_entry() },
+            ],
+        },
+    );
+    let os_img = os.finish().unwrap();
+    b.set_os(os_img, SCHED_IDT);
+    let mut p = b.build().unwrap();
+
+    let exit = p.run(200_000);
+    assert!(
+        matches!(exit, RunExit::Halted(HaltReason::Halt { .. })),
+        "fault tolerated, platform ran on: {exit:?}"
+    );
+    assert_eq!(p.machine.sys.hw_read32(plan_good.data_base).unwrap(), 3, "peer completed");
+    assert_eq!(p.machine.sys.hw_read32(plan_good.data_base).unwrap(), 3);
+    let fault = p
+        .machine
+        .exc_log
+        .iter()
+        .find(|r| r.vector == vectors::VEC_MPU_FAULT)
+        .expect("fault recorded");
+    assert_eq!(fault.trustlet, Some(0), "the bad trustlet faulted");
+}
+
+#[test]
+fn os_isr_observes_no_trustlet_registers() {
+    // A trustlet fills every GPR with a secret and spins; the timer fires
+    // and a probing OS ISR captures what it can see.
+    const SECRET: u32 = 0x5ec4_e75a;
+    let mut b = PlatformBuilder::new();
+    let plan = b.plan_trustlet("holder", 0x200, 0x80, 0x100);
+    let mut t = plan.begin_program();
+    trustlet_lib::emit_secret_spinner(&mut t.asm, SECRET);
+    b.add_trustlet(&plan, t.finish().unwrap(), TrustletOptions::default()).unwrap();
+
+    b.grant_os_peripheral(TIMER_GRANT);
+    let mut os = b.begin_os();
+    let data = os.data_base;
+    let stack_top = os.stack_top;
+    let entry = plan.continue_entry();
+    {
+        let a = &mut os.asm;
+        a.label("main");
+        a.li(Reg::Sp, stack_top);
+        a.li(Reg::R4, map::TIMER_MMIO_BASE);
+        a.li(Reg::R2, 300);
+        a.sw(Reg::R4, timer::regs::PERIOD as i16, Reg::R2);
+        a.li(Reg::R2, timer::CTRL_ENABLE);
+        a.sw(Reg::R4, timer::regs::CTRL as i16, Reg::R2);
+        a.li(Reg::R1, entry);
+        a.jr(Reg::R1);
+        a.label("isr_probe");
+        // Capture the full register file and the reported frame.
+        a.li(Reg::R6, data);
+        for (i, r) in [Reg::R0, Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5].iter().enumerate() {
+            a.sw(Reg::R6, (4 * i) as i16, *r);
+        }
+        a.lw(Reg::R7, Reg::Sp, 12); // reported interrupted IP
+        a.sw(Reg::R6, 24, Reg::R7);
+        a.lw(Reg::R7, Reg::Sp, 16); // reported interrupted SP
+        a.sw(Reg::R6, 28, Reg::R7);
+        a.halt();
+    }
+    let os_img = os.finish().unwrap();
+    b.set_os(os_img, &[(vectors::irq_vector(0), "isr_probe")]);
+    let mut p = b.build().unwrap();
+
+    let exit = p.run(100_000);
+    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
+    // Nothing the ISR captured contains the secret.
+    for i in 0..6 {
+        let v = p.machine.sys.hw_read32(data + 4 * i).unwrap();
+        assert_ne!(v, SECRET, "register leak at capture slot {i}");
+    }
+    // The reported IP was sanitized to the entry vector, the SP to zero.
+    assert_eq!(p.machine.sys.hw_read32(data + 24).unwrap(), plan.continue_entry());
+    assert_eq!(p.machine.sys.hw_read32(data + 28).unwrap(), 0);
+    // And the secrets are still on the trustlet stack, where the OS
+    // cannot reach them (MPU check).
+    let row = trustlite_cpu::ttable::read_row(&mut p.machine.sys, p.machine.hw.tt_base, 0).unwrap();
+    assert_eq!(p.machine.sys.hw_read32(row.saved_sp).unwrap(), SECRET, "r7 saved");
+    assert!(!p.machine.sys.mpu.allows(p.os.entry + 32, row.saved_sp, trustlite_mpu::AccessKind::Read));
+}
+
+#[test]
+fn preempted_state_resumes_exactly() {
+    // One busy counter with a quantum so short it is preempted many
+    // times; the final count must still be exact (lossless save/resume).
+    let (mut p, counters) = build_counters(250, false, 300, 1);
+    let exit = p.run(2_000_000);
+    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
+    assert_eq!(p.machine.sys.hw_read32(counters[0]).unwrap(), 300);
+    let preemptions =
+        p.machine.exc_log.iter().filter(|r| r.vector == vectors::irq_vector(0)).count();
+    assert!(preemptions > 10, "only {preemptions} preemptions");
+}

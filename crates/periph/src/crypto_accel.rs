@@ -1,0 +1,296 @@
+//! The cryptographic accelerator peripheral.
+//!
+//! The paper treats a hardware hash (it cites Spongent) as an optional
+//! accelerator that the EA-MPU base-cost margin can absorb, and uses code
+//! measurement for local and remote attestation. This device exposes the
+//! `trustlite-crypto` implementations behind a small FIFO register
+//! interface so that *simulated* code — the attestation trustlet, the
+//! trusted-IPC handshake — can hash and MAC without a software
+//! implementation in SP32 assembly.
+//!
+//! Register map:
+//!
+//! ```text
+//! +0x00 CTRL    (w) 1 = init SHA-256, 2 = init sponge, 3 = init HMAC
+//!                   (keyed from the KEY registers), 4 = finalize
+//!               (r) bit0 = busy
+//! +0x04 DATA    (w) absorb four message bytes (little-endian word)
+//! +0x10..+0x2f  DIGEST[0..8] (ro; valid when idle after finalize)
+//! +0x40..+0x5f  KEY[0..8]    (wo)
+//! ```
+//!
+//! Timing model: `init` costs [`INIT_CYCLES`], each absorbed word
+//! [`ABSORB_CYCLES`], `finalize` [`FINALIZE_CYCLES`]; the device simply
+//! stays busy for that long (polled via CTRL bit0). Data written while
+//! busy queues internally, as a hardware FIFO would. Only whole words are
+//! absorbed — measurement inputs (code regions, table rows, nonces) are
+//! word-aligned by construction.
+
+use std::any::Any;
+
+use trustlite_crypto::{Hmac, Sha256, Sponge};
+use trustlite_mem::{BusError, Device};
+
+/// Cycles charged for an init command.
+pub const INIT_CYCLES: u64 = 4;
+/// Cycles charged per absorbed word.
+pub const ABSORB_CYCLES: u64 = 1;
+/// Cycles charged for finalize (one permutation/compression latency).
+pub const FINALIZE_CYCLES: u64 = 64;
+
+/// Register offsets.
+pub mod regs {
+    /// Control/status register.
+    pub const CTRL: u32 = 0x00;
+    /// Data FIFO register.
+    pub const DATA: u32 = 0x04;
+    /// First digest word (8 consecutive words).
+    pub const DIGEST0: u32 = 0x10;
+    /// First key word (8 consecutive words).
+    pub const KEY0: u32 = 0x40;
+}
+
+/// CTRL commands.
+pub mod cmd {
+    /// Start a SHA-256 computation.
+    pub const INIT_SHA256: u32 = 1;
+    /// Start a sponge-hash computation.
+    pub const INIT_SPONGE: u32 = 2;
+    /// Start an HMAC-SHA-256 computation keyed from the KEY registers.
+    pub const INIT_HMAC: u32 = 3;
+    /// Finalize and latch the digest.
+    pub const FINALIZE: u32 = 4;
+}
+
+#[derive(Clone)]
+enum Engine {
+    Idle,
+    Sha(Sha256),
+    Sponge(Sponge),
+    Hmac(Hmac),
+}
+
+/// The crypto accelerator device.
+pub struct CryptoAccel {
+    engine: Engine,
+    digest: [u8; 32],
+    key: [u8; 32],
+    busy: u64,
+    /// Total cycles this device has spent busy (diagnostics/benches).
+    pub busy_total: u64,
+}
+
+impl Default for CryptoAccel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CryptoAccel {
+    /// Creates an idle accelerator.
+    pub fn new() -> Self {
+        CryptoAccel {
+            engine: Engine::Idle,
+            digest: [0; 32],
+            key: [0; 32],
+            busy: 0,
+            busy_total: 0,
+        }
+    }
+
+    fn start_busy(&mut self, cycles: u64) {
+        self.busy += cycles;
+        self.busy_total += cycles;
+    }
+
+    /// Host-side digest view (tests).
+    pub fn digest(&self) -> [u8; 32] {
+        self.digest
+    }
+}
+
+impl Device for CryptoAccel {
+    fn name(&self) -> &'static str {
+        "crypto"
+    }
+
+    fn size(&self) -> u32 {
+        0x1000
+    }
+
+    fn read32(&mut self, off: u32) -> Result<u32, BusError> {
+        match off {
+            regs::CTRL => Ok((self.busy > 0) as u32),
+            regs::DATA => Ok(0),
+            _ if (regs::DIGEST0..regs::DIGEST0 + 32).contains(&off) => {
+                let i = ((off - regs::DIGEST0) / 4) as usize;
+                let b = &self.digest[4 * i..4 * i + 4];
+                Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            }
+            _ if (regs::KEY0..regs::KEY0 + 32).contains(&off) => Ok(0), // write-only
+            _ => Err(BusError::Unmapped { addr: off }),
+        }
+    }
+
+    fn write32(&mut self, off: u32, value: u32) -> Result<(), BusError> {
+        match off {
+            regs::CTRL => {
+                match value {
+                    cmd::INIT_SHA256 => {
+                        self.engine = Engine::Sha(Sha256::new());
+                        self.start_busy(INIT_CYCLES);
+                    }
+                    cmd::INIT_SPONGE => {
+                        self.engine = Engine::Sponge(Sponge::new());
+                        self.start_busy(INIT_CYCLES);
+                    }
+                    cmd::INIT_HMAC => {
+                        self.engine = Engine::Hmac(Hmac::new(&self.key));
+                        self.start_busy(INIT_CYCLES);
+                    }
+                    cmd::FINALIZE => {
+                        let engine = std::mem::replace(&mut self.engine, Engine::Idle);
+                        self.digest = match engine {
+                            Engine::Idle => self.digest,
+                            Engine::Sha(s) => s.finish(),
+                            Engine::Sponge(s) => s.finish(),
+                            Engine::Hmac(h) => h.finish(),
+                        };
+                        self.start_busy(FINALIZE_CYCLES);
+                    }
+                    _ => {} // unknown commands ignored
+                }
+                Ok(())
+            }
+            regs::DATA => {
+                let bytes = value.to_le_bytes();
+                match &mut self.engine {
+                    Engine::Idle => {}
+                    Engine::Sha(s) => s.update(&bytes),
+                    Engine::Sponge(s) => s.update(&bytes),
+                    Engine::Hmac(h) => h.update(&bytes),
+                }
+                self.start_busy(ABSORB_CYCLES);
+                Ok(())
+            }
+            _ if (regs::KEY0..regs::KEY0 + 32).contains(&off) => {
+                let i = ((off - regs::KEY0) / 4) as usize;
+                self.key[4 * i..4 * i + 4].copy_from_slice(&value.to_le_bytes());
+                Ok(())
+            }
+            _ if (regs::DIGEST0..regs::DIGEST0 + 32).contains(&off) => Ok(()), // ro
+            _ => Err(BusError::Unmapped { addr: off }),
+        }
+    }
+
+    fn read8(&mut self, off: u32) -> Result<u8, BusError> {
+        Err(BusError::BadWidth { addr: off })
+    }
+
+    fn write8(&mut self, off: u32, _value: u8) -> Result<(), BusError> {
+        Err(BusError::BadWidth { addr: off })
+    }
+
+    fn tick(&mut self, cycles: u64) -> Option<trustlite_mem::IrqRequest> {
+        self.busy = self.busy.saturating_sub(cycles);
+        None
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustlite_crypto::{hmac_sha256, sha256, sponge_hash};
+
+    fn absorb_words(dev: &mut CryptoAccel, data: &[u8]) {
+        assert_eq!(data.len() % 4, 0);
+        for chunk in data.chunks(4) {
+            let w = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+            dev.write32(regs::DATA, w).unwrap();
+        }
+    }
+
+    fn read_digest(dev: &mut CryptoAccel) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..8 {
+            let w = dev.read32(regs::DIGEST0 + 4 * i).unwrap();
+            out[4 * i as usize..4 * i as usize + 4].copy_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    #[test]
+    fn sha256_matches_software() {
+        let mut dev = CryptoAccel::new();
+        dev.write32(regs::CTRL, cmd::INIT_SHA256).unwrap();
+        absorb_words(&mut dev, b"abcdefgh");
+        dev.write32(regs::CTRL, cmd::FINALIZE).unwrap();
+        assert_eq!(read_digest(&mut dev), sha256(b"abcdefgh"));
+    }
+
+    #[test]
+    fn sponge_matches_software() {
+        let mut dev = CryptoAccel::new();
+        dev.write32(regs::CTRL, cmd::INIT_SPONGE).unwrap();
+        absorb_words(&mut dev, b"measurement-data");
+        dev.write32(regs::CTRL, cmd::FINALIZE).unwrap();
+        assert_eq!(read_digest(&mut dev), sponge_hash(b"measurement-data"));
+    }
+
+    #[test]
+    fn hmac_uses_key_registers() {
+        let mut dev = CryptoAccel::new();
+        let key = [0x42u8; 32];
+        for i in 0..8 {
+            let w = u32::from_le_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+            dev.write32(regs::KEY0 + 4 * i as u32, w).unwrap();
+        }
+        dev.write32(regs::CTRL, cmd::INIT_HMAC).unwrap();
+        absorb_words(&mut dev, b"challenge-nonce!");
+        dev.write32(regs::CTRL, cmd::FINALIZE).unwrap();
+        assert_eq!(read_digest(&mut dev), hmac_sha256(&key, b"challenge-nonce!"));
+    }
+
+    #[test]
+    fn busy_flag_counts_down() {
+        let mut dev = CryptoAccel::new();
+        dev.write32(regs::CTRL, cmd::INIT_SHA256).unwrap();
+        assert_eq!(dev.read32(regs::CTRL).unwrap(), 1, "busy after init");
+        dev.tick(INIT_CYCLES);
+        assert_eq!(dev.read32(regs::CTRL).unwrap(), 0, "idle again");
+        dev.write32(regs::CTRL, cmd::FINALIZE).unwrap();
+        dev.tick(FINALIZE_CYCLES - 1);
+        assert_eq!(dev.read32(regs::CTRL).unwrap(), 1);
+        dev.tick(1);
+        assert_eq!(dev.read32(regs::CTRL).unwrap(), 0);
+    }
+
+    #[test]
+    fn key_registers_not_readable() {
+        let mut dev = CryptoAccel::new();
+        dev.write32(regs::KEY0, 0xdead_beef).unwrap();
+        assert_eq!(dev.read32(regs::KEY0).unwrap(), 0);
+    }
+
+    #[test]
+    fn digest_registers_read_only() {
+        let mut dev = CryptoAccel::new();
+        dev.write32(regs::CTRL, cmd::INIT_SHA256).unwrap();
+        dev.write32(regs::CTRL, cmd::FINALIZE).unwrap();
+        let before = read_digest(&mut dev);
+        dev.write32(regs::DIGEST0, 0x1234).unwrap();
+        assert_eq!(read_digest(&mut dev), before);
+    }
+
+    #[test]
+    fn unknown_command_ignored_and_bad_offset_errors() {
+        let mut dev = CryptoAccel::new();
+        dev.write32(regs::CTRL, 0xff).unwrap();
+        assert_eq!(dev.read32(regs::CTRL).unwrap(), 0, "no busy from bad cmd");
+        assert!(dev.read32(0x800).is_err());
+    }
+}

@@ -1,0 +1,126 @@
+//! The fused key store.
+//!
+//! SMART gates its attestation key by instruction-pointer checks on the
+//! memory bus; TrustLite generalizes this: the key simply lives at an MMIO
+//! address and an EA-MPU rule grants read access to exactly one code
+//! region (the attestation trustlet). This device holds a small number of
+//! 256-bit key slots programmed at "manufacture time" (host API) and
+//! readable — never writable — over MMIO.
+//!
+//! Register map: slot `i` occupies 32 bytes at offset `i * 0x20`.
+
+use std::any::Any;
+
+use trustlite_mem::{BusError, Device};
+
+/// Size of one key slot in bytes.
+pub const SLOT_BYTES: u32 = 32;
+
+/// The key-store device.
+#[derive(Debug, Clone)]
+pub struct KeyStore {
+    slots: Vec<[u8; 32]>,
+}
+
+impl KeyStore {
+    /// Creates a key store with `slots` zeroed key slots.
+    pub fn new(slots: usize) -> Self {
+        KeyStore { slots: vec![[0; 32]; slots] }
+    }
+
+    /// Manufacture-time key programming (host side only).
+    pub fn provision(&mut self, slot: usize, key: [u8; 32]) -> Result<(), usize> {
+        match self.slots.get_mut(slot) {
+            Some(s) => {
+                *s = key;
+                Ok(())
+            }
+            None => Err(slot),
+        }
+    }
+
+    /// Host-side key view (verifier side of attestation protocols).
+    pub fn key(&self, slot: usize) -> Option<[u8; 32]> {
+        self.slots.get(slot).copied()
+    }
+
+    /// Number of slots.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+impl Device for KeyStore {
+    fn name(&self) -> &'static str {
+        "keystore"
+    }
+
+    fn size(&self) -> u32 {
+        0x1000
+    }
+
+    fn read32(&mut self, off: u32) -> Result<u32, BusError> {
+        let slot = (off / SLOT_BYTES) as usize;
+        let within = (off % SLOT_BYTES) as usize;
+        match self.slots.get(slot) {
+            Some(key) => {
+                let b = &key[within..within + 4];
+                Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            }
+            None => Err(BusError::Unmapped { addr: off }),
+        }
+    }
+
+    fn write32(&mut self, off: u32, _value: u32) -> Result<(), BusError> {
+        Err(BusError::ReadOnly { addr: off })
+    }
+
+    fn read8(&mut self, off: u32) -> Result<u8, BusError> {
+        Err(BusError::BadWidth { addr: off })
+    }
+
+    fn write8(&mut self, off: u32, _value: u8) -> Result<(), BusError> {
+        Err(BusError::BadWidth { addr: off })
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provisioned_key_readable_word_wise() {
+        let mut ks = KeyStore::new(2);
+        let mut key = [0u8; 32];
+        key[..4].copy_from_slice(&[1, 2, 3, 4]);
+        key[28..].copy_from_slice(&[5, 6, 7, 8]);
+        ks.provision(1, key).unwrap();
+        assert_eq!(ks.read32(SLOT_BYTES).unwrap(), 0x0403_0201);
+        assert_eq!(ks.read32(SLOT_BYTES + 28).unwrap(), 0x0807_0605);
+        assert_eq!(ks.read32(0).unwrap(), 0, "slot 0 untouched");
+    }
+
+    #[test]
+    fn runtime_writes_rejected() {
+        let mut ks = KeyStore::new(1);
+        assert!(matches!(ks.write32(0, 1), Err(BusError::ReadOnly { .. })));
+    }
+
+    #[test]
+    fn out_of_range_slot() {
+        let mut ks = KeyStore::new(1);
+        assert!(ks.read32(SLOT_BYTES).is_err());
+        assert_eq!(ks.provision(5, [0; 32]), Err(5));
+        assert_eq!(ks.key(5), None);
+    }
+
+    #[test]
+    fn byte_access_rejected() {
+        let mut ks = KeyStore::new(1);
+        assert!(matches!(ks.read8(0), Err(BusError::BadWidth { .. })));
+    }
+}

@@ -1,0 +1,31 @@
+//! MMIO peripherals of the simulated TrustLite SoC.
+//!
+//! The paper's platform (Figure 1) integrates an alarm timer, I/O
+//! interfaces and optional cryptographic accelerators inside the SoC
+//! boundary; all are reached through memory-mapped I/O, which is exactly
+//! what lets the EA-MPU grant *exclusive peripheral access* to individual
+//! trustlets (Section 3.3). This crate provides:
+//!
+//! * [`Timer`] — a programmable alarm timer with the Figure 3 register set
+//!   (`period`, `handler(ISR)`): it can be owned by the OS for preemptive
+//!   scheduling, or assigned to a trustlet, or have its handler pointed at
+//!   a trusted ISR so that not even the OS can suppress the alarm;
+//! * [`Uart`] — a byte-oriented console used by examples and tests;
+//! * [`CryptoAccel`] — a hash/MAC engine (SHA-256, the Spongent-style
+//!   sponge, HMAC) with a small FIFO register interface, standing in for
+//!   the hardware hash the paper's base-cost margin absorbs;
+//! * [`KeyStore`] — fused key slots readable over MMIO, so that key access
+//!   is governed by EA-MPU rules exactly like any other memory (this is
+//!   how the SMART-style instantiation gates its attestation key).
+
+pub mod crypto_accel;
+pub mod keystore;
+pub mod rng;
+pub mod timer;
+pub mod uart;
+
+pub use crypto_accel::CryptoAccel;
+pub use keystore::KeyStore;
+pub use rng::Rng;
+pub use timer::Timer;
+pub use uart::Uart;

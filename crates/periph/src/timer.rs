@@ -1,0 +1,214 @@
+//! The platform alarm timer.
+//!
+//! Register map (word offsets), following the paper's Figure 3 which gives
+//! the timer a `period` and a `handler(ISR)` register:
+//!
+//! ```text
+//! +0   CTRL     bit0 enable, bit1 auto-reload
+//! +4   PERIOD   countdown length in CPU cycles
+//! +8   HANDLER  ISR address; 0 = deliver through the IDT
+//! +12  COUNT    (ro) remaining cycles
+//! +16  LINE     interrupt line number (0..7)
+//! ```
+//!
+//! By programming `HANDLER`, the owner of this peripheral decides *which
+//! code* gains control on expiry — the paper's example of setting up a
+//! device "to leverage or disable such an OS scheduler" (Section 3.3), or
+//! of a trustlet keeping a watchdog the OS cannot suppress.
+
+use std::any::Any;
+
+use trustlite_mem::{BusError, Device, IrqRequest};
+
+/// CTRL bit: timer running.
+pub const CTRL_ENABLE: u32 = 1;
+/// CTRL bit: reload `PERIOD` on expiry instead of stopping.
+pub const CTRL_AUTO_RELOAD: u32 = 2;
+
+/// Register offsets.
+pub mod regs {
+    /// Control register.
+    pub const CTRL: u32 = 0;
+    /// Period register.
+    pub const PERIOD: u32 = 4;
+    /// Handler (ISR pointer) register.
+    pub const HANDLER: u32 = 8;
+    /// Remaining-count register (read-only).
+    pub const COUNT: u32 = 12;
+    /// Interrupt line register.
+    pub const LINE: u32 = 16;
+}
+
+/// The programmable alarm timer.
+#[derive(Debug, Clone)]
+pub struct Timer {
+    ctrl: u32,
+    period: u32,
+    handler: u32,
+    count: u64,
+    line: u32,
+    /// Number of expiries since reset (host-side diagnostic).
+    pub fired: u64,
+}
+
+impl Timer {
+    /// Creates a stopped timer on interrupt line `line`.
+    pub fn new(line: u8) -> Self {
+        Timer { ctrl: 0, period: 0, handler: 0, count: 0, line: line as u32, fired: 0 }
+    }
+
+    fn enabled(&self) -> bool {
+        self.ctrl & CTRL_ENABLE != 0
+    }
+}
+
+impl Device for Timer {
+    fn name(&self) -> &'static str {
+        "timer"
+    }
+
+    fn size(&self) -> u32 {
+        0x1000
+    }
+
+    fn read32(&mut self, off: u32) -> Result<u32, BusError> {
+        match off {
+            regs::CTRL => Ok(self.ctrl),
+            regs::PERIOD => Ok(self.period),
+            regs::HANDLER => Ok(self.handler),
+            regs::COUNT => Ok(self.count as u32),
+            regs::LINE => Ok(self.line),
+            _ => Err(BusError::Unmapped { addr: off }),
+        }
+    }
+
+    fn write32(&mut self, off: u32, value: u32) -> Result<(), BusError> {
+        match off {
+            regs::CTRL => {
+                let was_enabled = self.enabled();
+                self.ctrl = value & (CTRL_ENABLE | CTRL_AUTO_RELOAD);
+                if self.enabled() && !was_enabled {
+                    self.count = self.period as u64;
+                }
+            }
+            regs::PERIOD => self.period = value,
+            regs::HANDLER => self.handler = value,
+            regs::COUNT => {} // read-only, write dropped
+            regs::LINE => self.line = value & 7,
+            _ => return Err(BusError::Unmapped { addr: off }),
+        }
+        Ok(())
+    }
+
+    fn read8(&mut self, off: u32) -> Result<u8, BusError> {
+        Err(BusError::BadWidth { addr: off })
+    }
+
+    fn write8(&mut self, off: u32, _value: u8) -> Result<(), BusError> {
+        Err(BusError::BadWidth { addr: off })
+    }
+
+    fn tick(&mut self, cycles: u64) -> Option<IrqRequest> {
+        if !self.enabled() {
+            return None;
+        }
+        if self.count > cycles {
+            self.count -= cycles;
+            return None;
+        }
+        self.fired += 1;
+        if self.ctrl & CTRL_AUTO_RELOAD != 0 {
+            // Carry the overshoot into the next period (bounded below).
+            let overshoot = cycles - self.count;
+            let period = self.period.max(1) as u64;
+            self.count = period.saturating_sub(overshoot % period).max(1);
+        } else {
+            self.ctrl &= !CTRL_ENABLE;
+            self.count = 0;
+        }
+        Some(IrqRequest {
+            line: self.line as u8,
+            handler: if self.handler != 0 { Some(self.handler) } else { None },
+        })
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(t: &mut Timer, period: u32, flags: u32) {
+        t.write32(regs::PERIOD, period).unwrap();
+        t.write32(regs::CTRL, CTRL_ENABLE | flags).unwrap();
+    }
+
+    #[test]
+    fn one_shot_fires_once() {
+        let mut t = Timer::new(0);
+        start(&mut t, 10, 0);
+        assert_eq!(t.tick(5), None);
+        let irq = t.tick(5).expect("fires at expiry");
+        assert_eq!(irq.line, 0);
+        assert_eq!(irq.handler, None);
+        assert_eq!(t.tick(100), None, "one-shot disarms");
+        assert_eq!(t.read32(regs::CTRL).unwrap() & CTRL_ENABLE, 0);
+    }
+
+    #[test]
+    fn auto_reload_fires_repeatedly() {
+        let mut t = Timer::new(2);
+        start(&mut t, 4, CTRL_AUTO_RELOAD);
+        let mut fires = 0;
+        for _ in 0..10 {
+            if t.tick(4).is_some() {
+                fires += 1;
+            }
+        }
+        assert_eq!(fires, 10);
+        assert_eq!(t.fired, 10);
+    }
+
+    #[test]
+    fn handler_register_vectors_the_irq() {
+        let mut t = Timer::new(0);
+        t.write32(regs::HANDLER, 0x1234).unwrap();
+        start(&mut t, 1, 0);
+        let irq = t.tick(1).expect("fires");
+        assert_eq!(irq.handler, Some(0x1234));
+    }
+
+    #[test]
+    fn count_visible_and_read_only() {
+        let mut t = Timer::new(0);
+        start(&mut t, 100, 0);
+        t.tick(30);
+        assert_eq!(t.read32(regs::COUNT).unwrap(), 70);
+        t.write32(regs::COUNT, 5).unwrap();
+        assert_eq!(t.read32(regs::COUNT).unwrap(), 70, "write dropped");
+    }
+
+    #[test]
+    fn byte_access_rejected() {
+        let mut t = Timer::new(0);
+        assert!(matches!(t.read8(0), Err(BusError::BadWidth { .. })));
+        assert!(matches!(t.write8(4, 1), Err(BusError::BadWidth { .. })));
+    }
+
+    #[test]
+    fn bad_register_offsets() {
+        let mut t = Timer::new(0);
+        assert!(t.read32(0x20).is_err());
+        assert!(t.write32(0x100, 0).is_err());
+    }
+
+    #[test]
+    fn disabled_timer_never_fires() {
+        let mut t = Timer::new(0);
+        t.write32(regs::PERIOD, 1).unwrap();
+        assert_eq!(t.tick(1000), None);
+    }
+}

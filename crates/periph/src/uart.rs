@@ -1,0 +1,195 @@
+//! A byte-oriented UART console.
+//!
+//! Register map:
+//!
+//! ```text
+//! +0  TX      (wo) transmit one byte (low 8 bits)
+//! +4  RX      (ro) next received byte, or 0 when empty
+//! +8  STATUS  (ro) bit0 rx available, bit1 tx ready (always set)
+//! ```
+//!
+//! The paper motivates *secure user I/O* as a key peripheral usage
+//! (Sections 2.3 and 3.3); in examples a trustlet is given exclusive MPU
+//! access to this device so that the OS can neither observe nor forge
+//! console traffic.
+
+use std::any::Any;
+use std::collections::VecDeque;
+
+use trustlite_mem::{BusError, Device, IrqRequest};
+
+/// Register offsets.
+pub mod regs {
+    /// Transmit register.
+    pub const TX: u32 = 0;
+    /// Receive register.
+    pub const RX: u32 = 4;
+    /// Status register.
+    pub const STATUS: u32 = 8;
+}
+
+/// Status bit: a received byte is available.
+pub const STATUS_RX_AVAIL: u32 = 1;
+/// Status bit: the transmitter accepts a byte (always true here).
+pub const STATUS_TX_READY: u32 = 2;
+
+/// The UART device.
+#[derive(Debug, Clone, Default)]
+pub struct Uart {
+    tx: Vec<u8>,
+    rx: VecDeque<u8>,
+    irq_line: Option<u8>,
+    irq_raised: bool,
+}
+
+impl Uart {
+    /// Creates an idle UART (polled mode; no receive interrupt).
+    pub fn new() -> Self {
+        Uart::default()
+    }
+
+    /// Creates a UART that raises an interrupt on `line` whenever
+    /// received data becomes available (level-style: re-raised after the
+    /// receive queue drains and refills).
+    pub fn with_irq(line: u8) -> Self {
+        Uart { irq_line: Some(line), ..Uart::default() }
+    }
+
+    /// Host side: drains everything transmitted so far.
+    pub fn take_output(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.tx)
+    }
+
+    /// Host side: view of the transmitted bytes without draining.
+    pub fn output(&self) -> &[u8] {
+        &self.tx
+    }
+
+    /// Host side: queues bytes for the simulated software to receive.
+    pub fn inject_input(&mut self, bytes: &[u8]) {
+        self.rx.extend(bytes);
+    }
+}
+
+impl Device for Uart {
+    fn name(&self) -> &'static str {
+        "uart"
+    }
+
+    fn size(&self) -> u32 {
+        0x1000
+    }
+
+    fn read32(&mut self, off: u32) -> Result<u32, BusError> {
+        match off {
+            regs::TX => Ok(0),
+            regs::RX => Ok(self.rx.pop_front().unwrap_or(0) as u32),
+            regs::STATUS => {
+                let mut s = STATUS_TX_READY;
+                if !self.rx.is_empty() {
+                    s |= STATUS_RX_AVAIL;
+                }
+                Ok(s)
+            }
+            _ => Err(BusError::Unmapped { addr: off }),
+        }
+    }
+
+    fn write32(&mut self, off: u32, value: u32) -> Result<(), BusError> {
+        match off {
+            regs::TX => {
+                self.tx.push(value as u8);
+                Ok(())
+            }
+            regs::RX | regs::STATUS => Ok(()),
+            _ => Err(BusError::Unmapped { addr: off }),
+        }
+    }
+
+    fn read8(&mut self, off: u32) -> Result<u8, BusError> {
+        Err(BusError::BadWidth { addr: off })
+    }
+
+    fn write8(&mut self, off: u32, _value: u8) -> Result<(), BusError> {
+        Err(BusError::BadWidth { addr: off })
+    }
+
+    fn tick(&mut self, _cycles: u64) -> Option<IrqRequest> {
+        let line = self.irq_line?;
+        if self.rx.is_empty() {
+            self.irq_raised = false;
+            return None;
+        }
+        if self.irq_raised {
+            return None;
+        }
+        self.irq_raised = true;
+        Some(IrqRequest { line, handler: None })
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_collects_bytes() {
+        let mut u = Uart::new();
+        for b in b"hi" {
+            u.write32(regs::TX, *b as u32).unwrap();
+        }
+        assert_eq!(u.take_output(), b"hi");
+        assert!(u.take_output().is_empty(), "drained");
+    }
+
+    #[test]
+    fn rx_consumes_injected_input() {
+        let mut u = Uart::new();
+        u.inject_input(b"ok");
+        assert_eq!(u.read32(regs::STATUS).unwrap() & STATUS_RX_AVAIL, 1);
+        assert_eq!(u.read32(regs::RX).unwrap(), b'o' as u32);
+        assert_eq!(u.read32(regs::RX).unwrap(), b'k' as u32);
+        assert_eq!(u.read32(regs::STATUS).unwrap() & STATUS_RX_AVAIL, 0);
+        assert_eq!(u.read32(regs::RX).unwrap(), 0, "empty reads zero");
+    }
+
+    #[test]
+    fn only_low_byte_transmitted() {
+        let mut u = Uart::new();
+        u.write32(regs::TX, 0x1234_5641).unwrap();
+        assert_eq!(u.output(), b"A");
+    }
+
+    #[test]
+    fn irq_raised_once_per_data_burst() {
+        let mut u = Uart::with_irq(1);
+        assert_eq!(u.tick(1), None, "idle");
+        u.inject_input(b"ab");
+        let irq = u.tick(1).expect("raised");
+        assert_eq!(irq.line, 1);
+        assert_eq!(u.tick(1), None, "not re-raised while pending");
+        u.read32(regs::RX).unwrap();
+        u.read32(regs::RX).unwrap();
+        assert_eq!(u.tick(1), None, "drained");
+        u.inject_input(b"c");
+        assert!(u.tick(1).is_some(), "re-raised after refill");
+    }
+
+    #[test]
+    fn polled_uart_never_interrupts() {
+        let mut u = Uart::new();
+        u.inject_input(b"x");
+        assert_eq!(u.tick(100), None);
+    }
+
+    #[test]
+    fn bad_offsets_and_widths() {
+        let mut u = Uart::new();
+        assert!(u.read32(0xc).is_err());
+        assert!(matches!(u.read8(0), Err(BusError::BadWidth { .. })));
+    }
+}

@@ -1,0 +1,32 @@
+; crc32.s — bitwise CRC-32 (IEEE, reflected) over a short message.
+    li   r0, 0xffffffff   ; crc
+    la   r1, msg
+    la   r2, msg_end
+byteloop:
+    bgeu r1, r2, finish
+    lb   r3, [r1]
+    xor  r0, r0, r3
+    li   r4, 8            ; bit counter
+bitloop:
+    li   r5, 0
+    bge  r4, r5, bit_body
+bit_body:
+    andi r6, r0, 1
+    shri r0, r0, 1
+    li   r7, 0
+    beq  r6, r7, no_poly
+    li   r6, 0xedb88320
+    xor  r0, r0, r6
+no_poly:
+    addi r4, r4, -1
+    li   r5, 0
+    bne  r4, r5, bitloop
+    addi r1, r1, 1
+    jmp  byteloop
+finish:
+    not  r0, r0
+    li   r5, 0x10000000
+    sw   [r5], r0
+    halt
+msg:     .ascii "123456789"
+msg_end:

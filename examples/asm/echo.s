@@ -1,0 +1,12 @@
+; echo.s — copy UART input to UART output until the line goes idle.
+    li   r1, 0x20002000   ; UART base (TX +0, RX +4, STATUS +8)
+loop:
+    lw   r2, [r1+8]       ; STATUS
+    andi r2, r2, 1        ; rx available?
+    li   r3, 0
+    beq  r2, r3, done
+    lw   r4, [r1+4]       ; RX
+    sw   [r1], r4         ; TX
+    jmp  loop
+done:
+    halt

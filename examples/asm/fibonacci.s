@@ -1,0 +1,16 @@
+; fibonacci.s — iterative fib(24); result left in r0 and stored to SRAM.
+    li   r0, 0            ; fib(0)
+    li   r1, 1            ; fib(1)
+    li   r2, 24           ; n
+    li   r3, 0            ; i
+loop:
+    bge  r3, r2, done
+    add  r4, r0, r1       ; next
+    mov  r0, r1
+    mov  r1, r4
+    addi r3, r3, 1
+    jmp  loop
+done:
+    li   r5, 0x10000000
+    sw   [r5], r0
+    halt

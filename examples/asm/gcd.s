@@ -1,0 +1,15 @@
+; gcd.s — Euclid's algorithm with divu/remu; gcd(1071, 462) -> r0.
+    li   r1, 1071
+    li   r2, 462
+loop:
+    li   r3, 0
+    beq  r2, r3, done
+    remu r4, r1, r2       ; r4 = r1 mod r2
+    mov  r1, r2
+    mov  r2, r4
+    jmp  loop
+done:
+    mov  r0, r1
+    li   r5, 0x10000000
+    sw   [r5], r0
+    halt

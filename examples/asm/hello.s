@@ -1,0 +1,15 @@
+; hello.s — print a string over the UART.
+; Run with: cargo run -p trustlite --bin tlrun -- examples/asm/hello.s
+    li   r1, 0x20002000   ; UART TX register
+    la   r2, msg
+    la   r3, msg_end
+loop:
+    bgeu r2, r3, done
+    lb   r6, [r2]
+    sw   [r1], r6
+    addi r2, r2, 1
+    jmp  loop
+done:
+    halt
+msg:     .ascii "Hello, SP32!\n"
+msg_end:

@@ -1,0 +1,49 @@
+; sieve.s — count the primes below 100 with a byte sieve in SRAM.
+    li   r1, 0x10000000   ; sieve base (bytes, 0 = maybe prime)
+    li   r2, 100          ; limit
+; clear the sieve
+    li   r3, 0
+    li   r4, 0
+clear:
+    bge  r3, r2, sieve
+    add  r5, r1, r3
+    sb   [r5], r4
+    addi r3, r3, 1
+    jmp  clear
+sieve:
+    li   r3, 2            ; candidate p
+outer:
+    bge  r3, r2, count
+    add  r5, r1, r3
+    lb   r6, [r5]
+    li   r7, 0
+    bne  r6, r7, next     ; already composite
+; mark multiples starting at 2p
+    add  r4, r3, r3
+mark:
+    bge  r4, r2, next
+    add  r5, r1, r4
+    li   r6, 1
+    sb   [r5], r6
+    add  r4, r4, r3
+    jmp  mark
+next:
+    addi r3, r3, 1
+    jmp  outer
+count:
+    li   r0, 0            ; prime counter
+    li   r3, 2
+tally:
+    bge  r3, r2, done
+    add  r5, r1, r3
+    lb   r6, [r5]
+    li   r7, 0
+    bne  r6, r7, skip
+    addi r0, r0, 1
+skip:
+    addi r3, r3, 1
+    jmp  tally
+done:
+    li   r5, 0x10000100
+    sw   [r5], r0
+    halt

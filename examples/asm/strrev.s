@@ -1,0 +1,26 @@
+; strrev.s — reverse a string in place using the stack, print it.
+    li   sp, 0x10001000
+    li   r1, 0x20002000   ; UART TX
+    la   r2, msg
+    la   r3, msg_end
+; push all characters
+    mov  r4, r2
+pushloop:
+    bgeu r4, r3, popsetup
+    lb   r5, [r4]
+    push r5
+    addi r4, r4, 1
+    jmp  pushloop
+popsetup:
+    sub  r6, r3, r2       ; length
+    li   r7, 0
+poploop:
+    bge  r7, r6, done
+    pop  r5
+    sw   [r1], r5
+    addi r7, r7, 1
+    jmp  poploop
+done:
+    halt
+msg:     .ascii "stressed"
+msg_end:

@@ -1,0 +1,168 @@
+//! The paper's motivating application (Figure 1 shows an "ePay" trustlet):
+//! a payment service whose balance lives in EA-MPU-protected memory and
+//! whose user-confirmation dialog runs over an *exclusively owned* UART —
+//! the trusted-path transaction confirmation of Section 2.3. The
+//! untrusted OS requests payments through the `call()` entry but can
+//! neither forge the confirmation prompt, fake the user's answer, nor
+//! touch the balance.
+//!
+//! Run: `cargo run -p trustlite-bench --example epay`
+
+use trustlite::platform::PlatformBuilder;
+use trustlite::runtime::{emit_uart_print, emit_uart_print_hex_byte};
+use trustlite::spec::{PeriphGrant, TrustletOptions};
+use trustlite_cpu::{vectors, HaltReason, RunExit};
+use trustlite_isa::Reg;
+use trustlite_mem::map;
+use trustlite_mpu::Perms;
+use trustlite_periph::{uart, Uart};
+
+const INITIAL_BALANCE: u32 = 100;
+
+fn build() -> (trustlite::Platform, trustlite::TrustletPlan) {
+    let mut b = PlatformBuilder::new();
+    let plan = b.plan_trustlet("epay", 0x600, 0x100, 0x100);
+    let balance_addr = plan.data_base;
+
+    let mut t = plan.begin_program();
+    {
+        let a = &mut t.asm;
+        a.label("main");
+        // One-time provisioning: set the opening balance.
+        a.li(Reg::R1, balance_addr);
+        a.li(Reg::R0, INITIAL_BALANCE);
+        a.sw(Reg::R1, 0, Reg::R0);
+        a.halt();
+
+        // call(type = DATA, amount, reply): the payment request.
+        a.label("call_entry");
+        a.li(Reg::R6, plan.sp_slot);
+        a.lw(Reg::Sp, Reg::R6, 0);
+        a.mov(Reg::R4, Reg::R1); // amount
+        a.push(Reg::R2); // reply continuation
+        // Trusted path: prompt the user on the exclusively owned UART.
+        emit_uart_print(a, "PAY 0x");
+        emit_uart_print_hex_byte(a, Reg::R4);
+        emit_uart_print(a, "? [y/n] ");
+        // Read the user's answer from the UART (exclusive too).
+        a.li(Reg::R6, map::UART_MMIO_BASE);
+        a.label("wait_key");
+        a.lw(Reg::R7, Reg::R6, uart::regs::STATUS as i16);
+        a.andi(Reg::R7, Reg::R7, 1);
+        a.li(Reg::R5, 0);
+        a.beq(Reg::R7, Reg::R5, "wait_key");
+        a.lw(Reg::R7, Reg::R6, uart::regs::RX as i16);
+        a.li(Reg::R5, b'y' as u32);
+        a.bne(Reg::R7, Reg::R5, "declined");
+        // Check funds and debit.
+        a.li(Reg::R1, balance_addr);
+        a.lw(Reg::R2, Reg::R1, 0);
+        a.bltu(Reg::R2, Reg::R4, "declined");
+        a.sub(Reg::R2, Reg::R2, Reg::R4);
+        a.sw(Reg::R1, 0, Reg::R2);
+        emit_uart_print(a, "APPROVED\n");
+        a.li(Reg::R1, 1); // result
+        a.jmp("reply");
+        a.label("declined");
+        emit_uart_print(a, "DECLINED\n");
+        a.li(Reg::R1, 0);
+        a.label("reply");
+        a.pop(Reg::R2);
+        a.jr(Reg::R2);
+    }
+    let img = t.finish().expect("assembles");
+    b.add_trustlet(
+        &plan,
+        img,
+        TrustletOptions {
+            peripherals: vec![PeriphGrant {
+                base: map::UART_MMIO_BASE,
+                size: map::PERIPH_MMIO_SIZE,
+                perms: Perms::RW,
+            }],
+            ..Default::default()
+        },
+    )
+    .expect("registers");
+
+    // The untrusted OS: asks for a payment, records the result, and then
+    // tries to steal the balance directly.
+    let mut os = b.begin_os();
+    let stack_top = os.stack_top;
+    let call_entry = plan.call_entry();
+    {
+        let a = &mut os.asm;
+        a.label("main");
+        a.li(Reg::Sp, stack_top);
+        a.li(Reg::R0, trustlite::ipc::msg_type::DATA);
+        a.li(Reg::R1, 0x25); // amount
+        a.la(Reg::R2, "paid");
+        a.li(Reg::R5, call_entry);
+        a.jr(Reg::R5);
+        a.label("paid");
+        a.mov(Reg::R6, Reg::R1); // keep the result
+        // Now try to set the balance back up (must fault).
+        a.li(Reg::R1, balance_addr);
+        a.li(Reg::R0, 0xffff);
+        a.sw(Reg::R1, 0, Reg::R0);
+        a.halt();
+        a.label("fault_handler");
+        a.halt();
+    }
+    let os_img = os.finish().expect("assembles");
+    b.set_os(os_img, &[(vectors::VEC_MPU_FAULT, "fault_handler")]);
+    (b.build().expect("boots"), plan)
+}
+
+fn run_payment(answer: u8) -> (trustlite::Platform, trustlite::TrustletPlan, String) {
+    let (mut p, plan) = build();
+    // Provision the balance.
+    p.start_trustlet("epay").expect("starts");
+    p.run(10_000);
+    // The user's (future) keypress on the trusted input path.
+    p.machine
+        .sys
+        .bus
+        .device_mut::<Uart>("uart")
+        .expect("uart present")
+        .inject_input(&[answer]);
+    // Run the OS payment flow.
+    p.machine.halted = None;
+    p.machine.regs.ip = p.os.entry;
+    p.machine.prev_ip = p.os.entry;
+    let exit = p.run(200_000);
+    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
+    let transcript = String::from_utf8_lossy(&p.uart_output()).to_string();
+    (p, plan, transcript)
+}
+
+fn main() {
+    // Approved payment.
+    let (mut p, plan, transcript) = run_payment(b'y');
+    println!("user answers 'y':");
+    println!("  trusted console: {transcript:?}");
+    let balance = p.machine.sys.hw_read32(plan.data_base).expect("readable by host");
+    println!("  balance: {INITIAL_BALANCE} -> {balance}");
+    assert_eq!(balance, INITIAL_BALANCE - 0x25);
+    assert!(transcript.contains("APPROVED"));
+    assert_eq!(p.machine.regs.get(Reg::R6), 1, "OS saw result 1");
+    // The OS's direct write to the balance faulted.
+    assert_eq!(
+        p.machine.exc_log.last().expect("fault recorded").vector,
+        vectors::VEC_MPU_FAULT
+    );
+    println!("  OS attempt to write the balance directly: MPU fault");
+    println!();
+
+    // Declined payment.
+    let (mut p, plan, transcript) = run_payment(b'n');
+    println!("user answers 'n':");
+    println!("  trusted console: {transcript:?}");
+    let balance = p.machine.sys.hw_read32(plan.data_base).expect("readable by host");
+    println!("  balance: {INITIAL_BALANCE} -> {balance}");
+    assert_eq!(balance, INITIAL_BALANCE, "no debit without consent");
+    assert!(transcript.contains("DECLINED"));
+    assert_eq!(p.machine.regs.get(Reg::R6), 0, "OS saw result 0");
+    println!();
+    println!("epay OK");
+}

@@ -1,0 +1,96 @@
+//! Field updates (paper Sections 2.3, 5.3, 6): TrustLite's protection is
+//! programmable, so a designated software-update trustlet may be given
+//! write access to another trustlet's code region — something SMART's
+//! mask-ROM routine fundamentally cannot offer. The OS still cannot touch
+//! the code, and the measurement table exposes the change to attestation.
+//!
+//! Run: `cargo run -p trustlite-bench --example field_update`
+
+use trustlite::attest;
+use trustlite::platform::PlatformBuilder;
+use trustlite::spec::TrustletOptions;
+use trustlite_baselines::SmartDevice;
+use trustlite_cpu::{HaltReason, RunExit};
+use trustlite_isa::Reg;
+use trustlite_mpu::AccessKind;
+
+fn main() {
+    let mut b = PlatformBuilder::new();
+    let target = b.plan_trustlet("service-v1", 0x200, 0x80, 0x80);
+    let updater = b.plan_trustlet("updater", 0x300, 0x80, 0x80);
+
+    // The service returns version 1 in its data region.
+    let mut t = target.begin_program();
+    t.asm.label("main");
+    t.asm.li(Reg::R1, target.data_base);
+    t.asm.label("version_word");
+    t.asm.li(Reg::R0, 1); // <- the word the update will patch
+    t.asm.sw(Reg::R1, 0, Reg::R0);
+    t.asm.halt();
+    let target_img = t.finish().expect("assembles");
+    let patch_addr = target_img.expect_symbol("version_word");
+    b.add_trustlet(
+        &target,
+        target_img,
+        TrustletOptions { code_writable_by: Some("updater".into()), ..Default::default() },
+    )
+    .expect("registers");
+
+    // The updater patches the `li r0, 1` to `li r0, 2`.
+    let patched_word = trustlite_isa::encode(trustlite_isa::Instr::Movi { rd: Reg::R0, imm: 2 });
+    let mut u = updater.begin_program();
+    u.asm.label("main");
+    u.asm.li(Reg::R1, patch_addr);
+    u.asm.li(Reg::R2, patched_word);
+    u.asm.sw(Reg::R1, 0, Reg::R2);
+    u.asm.halt();
+    b.add_trustlet(&updater, u.finish().expect("assembles"), TrustletOptions::default())
+        .expect("registers");
+
+    let mut os = b.begin_os();
+    os.asm.label("main");
+    os.asm.halt();
+    let os_img = os.finish().expect("assembles");
+    b.set_os(os_img, &[]);
+    let mut p = b.build().expect("boots");
+
+    // Version before the update.
+    p.start_trustlet("service-v1").expect("starts");
+    p.run(10_000);
+    let v1 = p.machine.sys.hw_read32(target.data_base).expect("readable");
+    println!("service reports version {v1}");
+
+    // The OS cannot patch the service...
+    assert!(!p.machine.sys.mpu.allows(p.os.entry + 8, patch_addr, AccessKind::Write));
+    println!("OS write access to the service's code: denied by the EA-MPU");
+
+    // ...but the updater can.
+    p.machine.halted = None;
+    p.start_trustlet("updater").expect("starts");
+    let exit = p.run(10_000);
+    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
+    println!("updater patched {patch_addr:#010x} in the field");
+
+    p.machine.halted = None;
+    p.start_trustlet("service-v1").expect("starts");
+    p.run(10_000);
+    let v2 = p.machine.sys.hw_read32(target.data_base).expect("readable");
+    println!("service now reports version {v2}");
+    assert_eq!((v1, v2), (1, 2));
+
+    // The change is visible to attestation: the live hash no longer
+    // matches the load-time measurement, until the next reboot re-measures.
+    let a = attest::local_attest(&mut p, "service-v1").expect("attests");
+    println!(
+        "local attestation after update: measurement matches load-time digest = {}",
+        a.measurement_ok
+    );
+    assert!(!a.measurement_ok, "update is attestable");
+
+    // Contrast with SMART.
+    let smart = SmartDevice::new([0; 32], 1024);
+    println!();
+    println!("SMART baseline: {}", smart.try_update_routine().unwrap_err());
+    println!();
+    println!("field_update OK");
+}

@@ -1,0 +1,49 @@
+//! Trusted IPC (paper Section 4.2.2, Figure 6): trustlet *alice* locally
+//! attests trustlet *bob* — Trustlet Table lookup, EA-MPU rule scan, live
+//! code hash on the crypto accelerator — then runs the one-round syn/ack
+//! handshake. Both sides derive `token = hash(A, B, N_A, N_B)` entirely
+//! in simulated code; the host cross-checks the token against the
+//! protocol model.
+//!
+//! Run: `cargo run -p trustlite-bench --example trusted_ipc`
+
+use trustlite_bench::{build_handshake_platform, run_handshake};
+
+fn main() {
+    let mut hp = build_handshake_platform(0xbeef).expect("platform builds");
+    println!("participants:");
+    println!(
+        "  alice: id {:#x}, code {:#010x}..{:#010x}",
+        hp.alice.id,
+        hp.alice.code_base,
+        hp.alice.code_end()
+    );
+    println!(
+        "  bob  : id {:#x}, code {:#010x}..{:#010x}",
+        hp.bob.id,
+        hp.bob.code_base,
+        hp.bob.code_end()
+    );
+    println!();
+
+    let r = run_handshake(&mut hp).expect("handshake runs");
+    assert!(r.success, "handshake failed: {r:?}");
+    println!("handshake complete in {} cycles:", r.total_cycles);
+    println!("  local attestation (table + MPU scan + code hash): {} cycles", r.attest_cycles);
+    println!(
+        "  syn/ack round trip + token derivation:            {} cycles",
+        r.total_cycles - r.attest_cycles
+    );
+    println!();
+    println!("  nonce_a = {:#010x}, nonce_b = {:#010x}", r.nonces.0, r.nonces.1);
+    println!("  alice's token = {:#010x}", r.token_a);
+    println!("  bob's token   = {:#010x}", r.token_b);
+    println!("  host protocol-model token = {:#010x}", r.expected_token);
+    assert_eq!(r.token_a, r.token_b);
+    assert_eq!(r.token_a, r.expected_token);
+    println!();
+    println!("the channel persists until platform reset: MPU rules cannot change");
+    println!("underneath it, so this single inspection amortizes over the session.");
+    println!();
+    println!("trusted_ipc OK");
+}
