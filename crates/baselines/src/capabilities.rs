@@ -79,14 +79,22 @@ pub fn comparison_table() -> String {
     ));
     type RowGetter = fn(&ArchCapabilities) -> String;
     let rows: [(&str, RowGetter); 8] = [
-        ("interruptible trusted tasks", |a| yn(a.interruptible_trusted_tasks)),
+        ("interruptible trusted tasks", |a| {
+            yn(a.interruptible_trusted_tasks)
+        }),
         ("field updates", |a| yn(a.field_updates)),
         ("multi-region modules", |a| yn(a.multi_region_modules)),
-        ("reset requires memory wipe", |a| yn(a.reset_requires_memory_wipe)),
-        ("persistent rules for IPC", |a| yn(a.persistent_protection_for_ipc)),
+        ("reset requires memory wipe", |a| {
+            yn(a.reset_requires_memory_wipe)
+        }),
+        ("persistent rules for IPC", |a| {
+            yn(a.persistent_protection_for_ipc)
+        }),
         ("secure peripherals (MMIO)", |a| yn(a.secure_peripherals)),
         ("max trusted services", |a| {
-            a.max_trusted_services.map(|n| n.to_string()).unwrap_or_else(|| "regs".into())
+            a.max_trusted_services
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "regs".into())
         }),
         ("protected state across calls", |a| yn(a.protected_state)),
     ];
@@ -103,7 +111,11 @@ pub fn comparison_table() -> String {
 }
 
 fn yn(b: bool) -> String {
-    if b { "yes".into() } else { "no".into() }
+    if b {
+        "yes".into()
+    } else {
+        "no".into()
+    }
 }
 
 #[cfg(test)]

@@ -30,8 +30,8 @@
 //! ext3 rd, rs1   SGETID    rd = id of the module covering address rs1
 //! ```
 
-use trustlite_crypto::{hmac_sha256, sponge_hash};
 use trustlite_cpu::{ExcRecord, ExtUnit, Fault, RegFile, SystemBus};
+use trustlite_crypto::{hmac_sha256, sponge_hash};
 use trustlite_isa::Reg;
 use trustlite_mem::BusError;
 use trustlite_mpu::{Perms, RuleSlot, Subject};
@@ -66,7 +66,11 @@ pub struct SancusConfig {
 
 impl Default for SancusConfig {
     fn default() -> Self {
-        SancusConfig { node_key: [0x5a; 32], max_modules: 4, first_rule_slot: 8 }
+        SancusConfig {
+            node_key: [0x5a; 32],
+            max_modules: 4,
+            first_rule_slot: 8,
+        }
     }
 }
 
@@ -80,7 +84,11 @@ pub struct SancusUnit {
 impl SancusUnit {
     /// Creates the unit.
     pub fn new(cfg: SancusConfig) -> Self {
-        SancusUnit { cfg, modules: Vec::new(), next_id: 1 }
+        SancusUnit {
+            cfg,
+            modules: Vec::new(),
+            next_id: 1,
+        }
     }
 
     /// Live modules.
@@ -90,7 +98,9 @@ impl SancusUnit {
 
     /// Returns the module whose text section contains `ip`.
     pub fn module_by_ip(&self, ip: u32) -> Option<&SancusModule> {
-        self.modules.iter().find(|m| ip >= m.text.0 && ip < m.text.1)
+        self.modules
+            .iter()
+            .find(|m| ip >= m.text.0 && ip < m.text.1)
     }
 
     /// Sancus forbids interrupting a protected module: returns true if
@@ -135,9 +145,7 @@ impl SancusUnit {
         // Measure the text section (hardware hash).
         let mut text = Vec::with_capacity((text_end - text_start) as usize);
         for addr in (text_start..text_end).step_by(4) {
-            let w = sys
-                .hw_read32(addr)
-                .map_err(|err| Fault::Bus { ip, err })?;
+            let w = sys.hw_read32(addr).map_err(|err| Fault::Bus { ip, err })?;
             text.extend_from_slice(&w.to_le_bytes());
         }
         let measurement = sponge_hash(&text);
@@ -177,9 +185,10 @@ impl SancusUnit {
             },
         ];
         for (i, r) in rules.iter().enumerate() {
-            sys.mpu
-                .set_rule(base + i, *r)
-                .map_err(|_| Fault::Bus { ip, err: BusError::Unmapped { addr: desc_ptr } })?;
+            sys.mpu.set_rule(base + i, *r).map_err(|_| Fault::Bus {
+                ip,
+                err: BusError::Unmapped { addr: desc_ptr },
+            })?;
         }
         self.modules.push(SancusModule {
             id,
@@ -351,7 +360,10 @@ mod tests {
             a.halt();
         });
         let exit = m.run(1000);
-        assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
+        assert!(
+            matches!(exit, RunExit::Halted(HaltReason::Halt { .. })),
+            "{exit:?}"
+        );
         assert_eq!(m.regs.get(Reg::R3), 1, "module id");
         // Verify via the unit's own bookkeeping (downcast through Any).
         let unit = (m.ext.as_mut().unwrap().as_mut() as &mut dyn std::any::Any)
@@ -447,14 +459,20 @@ mod tests {
             entry_cycles: 21,
             at_cycle: 0,
         };
-        let outside = ExcRecord { interrupted_ip: 0x500, ..inside };
+        let outside = ExcRecord {
+            interrupted_ip: 0x500,
+            ..inside
+        };
         assert!(unit.interrupt_policy_violated(&inside), "reset required");
         assert!(!unit.interrupt_policy_violated(&outside));
     }
 
     #[test]
     fn module_limit_enforced() {
-        let mut u = SancusUnit::new(SancusConfig { max_modules: 0, ..Default::default() });
+        let mut u = SancusUnit::new(SancusConfig {
+            max_modules: 0,
+            ..Default::default()
+        });
         let mut bus = Bus::new();
         bus.map(0, Box::new(Ram::new("sram", 0x100))).unwrap();
         let mut sys = trustlite_cpu::SystemBus::new(bus, EaMpu::new(4), None);

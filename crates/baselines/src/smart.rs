@@ -49,7 +49,12 @@ pub struct SmartDevice {
 impl SmartDevice {
     /// Manufactures a device with key `key` and `mem_size` bytes of RAM.
     pub fn new(key: [u8; 32], mem_size: usize) -> Self {
-        SmartDevice { key, memory: vec![0; mem_size], resets: 0, in_routine: false }
+        SmartDevice {
+            key,
+            memory: vec![0; mem_size],
+            resets: 0,
+            in_routine: false,
+        }
     }
 
     /// The verifier's reference computation.
@@ -126,7 +131,12 @@ mod tests {
         let mut d = SmartDevice::new(key, 1024);
         d.memory[100..104].copy_from_slice(&[1, 2, 3, 4]);
         let (report, cycles) = d.attest(b"nonce", 0, 512);
-        assert!(SmartDevice::verify(&key, b"nonce", &d.memory[0..512], &report));
+        assert!(SmartDevice::verify(
+            &key,
+            b"nonce",
+            &d.memory[0..512],
+            &report
+        ));
         assert!(cycles > 200);
     }
 

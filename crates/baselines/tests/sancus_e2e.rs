@@ -5,8 +5,8 @@
 //! simulated code through the extension ISA.
 
 use trustlite_baselines::sancus::{SancusConfig, SancusUnit};
-use trustlite_crypto::{hmac_sha256, sponge_hash};
 use trustlite_cpu::{HaltReason, Machine, RunExit, SystemBus};
+use trustlite_crypto::{hmac_sha256, sponge_hash};
 use trustlite_isa::{Asm, Reg};
 use trustlite_mem::{Bus, Ram, Rom};
 use trustlite_mpu::{EaMpu, Perms, RuleSlot, Subject};
@@ -45,9 +45,13 @@ fn build() -> (Machine, Vec<u8>) {
     a.li(Reg::Sp, SRAM + 0x3f00);
     // SMAC descriptor at SCRATCH: {msg start, msg end, tag out}.
     a.li(Reg::R1, SCRATCH);
-    for (i, v) in [SCRATCH + 0x40, SCRATCH + 0x40 + MSG.len() as u32, SCRATCH + 0x80]
-        .iter()
-        .enumerate()
+    for (i, v) in [
+        SCRATCH + 0x40,
+        SCRATCH + 0x40 + MSG.len() as u32,
+        SCRATCH + 0x80,
+    ]
+    .iter()
+    .enumerate()
     {
         a.li(Reg::R2, *v);
         a.sw(Reg::R1, (4 * i) as i16, Reg::R2);
@@ -61,12 +65,15 @@ fn build() -> (Machine, Vec<u8>) {
     }
     // SPROTECT descriptor at SCRATCH+0xc0.
     a.li(Reg::R1, SCRATCH + 0xc0);
-    for (i, v) in [MOD_TEXT, MOD_TEXT_END, MOD_DATA, MOD_DATA_END].iter().enumerate() {
+    for (i, v) in [MOD_TEXT, MOD_TEXT_END, MOD_DATA, MOD_DATA_END]
+        .iter()
+        .enumerate()
+    {
         a.li(Reg::R2, *v);
         a.sw(Reg::R1, (4 * i) as i16, Reg::R2);
     }
     a.ext(0, Reg::R4, Reg::R1, 0); // SPROTECT -> r4 = module id
-    // Call the module with the return address in r7.
+                                   // Call the module with the return address in r7.
     a.la(Reg::R7, "returned");
     a.li(Reg::R5, MOD_TEXT);
     a.jr(Reg::R5);
@@ -119,7 +126,10 @@ fn build() -> (Machine, Vec<u8>) {
 fn module_mac_verifies_against_host_derivation() {
     let (mut m, text_bytes) = build();
     let exit = m.run(10_000);
-    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
+    assert!(
+        matches!(exit, RunExit::Halted(HaltReason::Halt { .. })),
+        "{exit:?}"
+    );
     assert_eq!(m.regs.get(Reg::R4), 1, "module protected");
     assert_eq!(m.regs.get(Reg::R0), 1, "SMAC succeeded");
 
@@ -142,7 +152,10 @@ fn smac_cycle_cost_matches_the_ipc_model() {
     let (mut m, _) = build();
     // Run until just before the module's SMAC instruction (module entry:
     // two li words + ext at MOD_TEXT + 12... measure around the call).
-    assert!(m.run_until(10_000, |mm| mm.regs.ip == MOD_TEXT), "module entered");
+    assert!(
+        m.run_until(10_000, |mm| mm.regs.ip == MOD_TEXT),
+        "module entered"
+    );
     let c0 = m.cycles;
     // Step li (2 instrs) then the ext itself.
     m.step();
@@ -150,7 +163,11 @@ fn smac_cycle_cost_matches_the_ipc_model() {
     let before_ext = m.cycles;
     m.step(); // SMAC
     let smac_cost = m.cycles - before_ext;
-    assert_eq!(smac_cost, 1 + 64 + MSG.len() as u64 / 4, "base + MAC latency + absorb");
+    assert_eq!(
+        smac_cost,
+        1 + 64 + MSG.len() as u64 / 4,
+        "base + MAC latency + absorb"
+    );
     let _ = c0;
 }
 

@@ -43,7 +43,11 @@ fn bench_boot(c: &mut Criterion) {
     let mut g = c.benchmark_group("secure_loader");
     for n in [1usize, 4, 8] {
         g.bench_with_input(BenchmarkId::new("boot_trustlets", n), &n, |b, &n| {
-            b.iter(|| trustlite_bench::boot_platform_with(n, true).report.mpu_writes)
+            b.iter(|| {
+                trustlite_bench::boot_platform_with(n, true)
+                    .report
+                    .mpu_writes
+            })
         });
     }
     g.finish();

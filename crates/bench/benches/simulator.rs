@@ -22,7 +22,8 @@ fn make_machine(enforce: bool) -> Machine {
     let img = a.assemble().expect("assembles");
     let mut bus = Bus::new();
     bus.map(0, Box::new(Rom::new(0x1000))).expect("maps");
-    bus.map(0x1000_0000, Box::new(Ram::new("sram", 0x1000))).expect("maps");
+    bus.map(0x1000_0000, Box::new(Ram::new("sram", 0x1000)))
+        .expect("maps");
     bus.host_load(0, &img.bytes);
     let mut mpu = EaMpu::new(16);
     mpu.set_rule(

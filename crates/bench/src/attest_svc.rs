@@ -41,7 +41,10 @@ pub struct AttestServicePlatform {
 
 /// Builds the platform. The service is loaded first (Trustlet Table row
 /// 0) and reports over all `1 + n_apps` measurement rows.
-pub fn build_attest_service(key: [u8; 32], n_apps: usize) -> Result<AttestServicePlatform, TrustliteError> {
+pub fn build_attest_service(
+    key: [u8; 32],
+    n_apps: usize,
+) -> Result<AttestServicePlatform, TrustliteError> {
     let mut b = PlatformBuilder::new();
     b.platform_key(key);
     let service = b.plan_trustlet("attest-svc", 0x400, 0x100, 0x200);
@@ -53,7 +56,7 @@ pub fn build_attest_service(key: [u8; 32], n_apps: usize) -> Result<AttestServic
         let a = &mut t.asm;
         a.label("main");
         a.halt(); // purely reactive
-        // call(type = DATA, nonce) -> writes the report to the data region.
+                  // call(type = DATA, nonce) -> writes the report to the data region.
         a.label("call_entry");
         a.li(Reg::R6, plan.sp_slot);
         a.lw(Reg::Sp, Reg::R6, 0);
@@ -70,7 +73,10 @@ pub fn build_attest_service(key: [u8; 32], n_apps: usize) -> Result<AttestServic
         a.sw(Reg::R7, crypto_accel::regs::DATA as i16, Reg::R1);
         // Absorb the measurement table (covered_rows * 32 bytes).
         a.li(Reg::R2, layout::measure_base());
-        a.li(Reg::R3, layout::measure_base() + covered_rows * layout::MEASURE_ROW_BYTES);
+        a.li(
+            Reg::R3,
+            layout::measure_base() + covered_rows * layout::MEASURE_ROW_BYTES,
+        );
         a.label("absorb");
         a.bgeu(Reg::R2, Reg::R3, "absorbed");
         a.lw(Reg::R4, Reg::R2, 0);
@@ -131,12 +137,20 @@ pub fn build_attest_service(key: [u8; 32], n_apps: usize) -> Result<AttestServic
     os.asm.halt();
     let os_img = os.finish()?;
     b.set_os(os_img, &[]);
-    Ok(AttestServicePlatform { platform: b.build()?, service, apps, covered_rows })
+    Ok(AttestServicePlatform {
+        platform: b.build()?,
+        service,
+        apps,
+        covered_rows,
+    })
 }
 
 /// Delivers a challenge to the service (modelling the OS forwarding a
 /// network request into the `call()` entry) and returns the report word.
-pub fn challenge_device(asp: &mut AttestServicePlatform, nonce: u32) -> Result<u32, TrustliteError> {
+pub fn challenge_device(
+    asp: &mut AttestServicePlatform,
+    nonce: u32,
+) -> Result<u32, TrustliteError> {
     let p = &mut asp.platform;
     // Reset the done flag.
     p.machine
@@ -157,7 +171,9 @@ pub fn challenge_device(asp: &mut AttestServicePlatform, nonce: u32) -> Result<u
         .hw_read32(asp.service.data_base + svc_data::DONE)
         .map_err(|e| TrustliteError::BadFirmware(e.to_string()))?;
     if done != 1 {
-        return Err(TrustliteError::BadFirmware("service did not complete".to_string()));
+        return Err(TrustliteError::BadFirmware(
+            "service did not complete".to_string(),
+        ));
     }
     p.machine
         .sys
@@ -228,7 +244,11 @@ mod tests {
         let svc_ip = asp.service.code_base + 0x40;
         assert!(mpu.allows(svc_ip, map::KEYSTORE_MMIO_BASE, AccessKind::Read));
         // Neither the OS nor the app trustlet can reach the key store.
-        assert!(!mpu.allows(asp.platform.os.entry, map::KEYSTORE_MMIO_BASE, AccessKind::Read));
+        assert!(!mpu.allows(
+            asp.platform.os.entry,
+            map::KEYSTORE_MMIO_BASE,
+            AccessKind::Read
+        ));
         let app_ip = asp.apps[0].code_base + 0x40;
         assert!(!mpu.allows(app_ip, map::KEYSTORE_MMIO_BASE, AccessKind::Read));
     }

@@ -36,8 +36,12 @@ fn run(secure: bool) -> Outcome {
     let plan = b.plan_trustlet("worker", 0x200, 0x80, 0x100);
     let mut t = plan.begin_program();
     trustlet_lib::emit_preemptible_counter(&mut t.asm, plan.data_base, target);
-    b.add_trustlet(&plan, t.finish().expect("assembles"), TrustletOptions::default())
-        .expect("registers");
+    b.add_trustlet(
+        &plan,
+        t.finish().expect("assembles"),
+        TrustletOptions::default(),
+    )
+    .expect("registers");
     b.grant_os_peripheral(PeriphGrant {
         base: map::TIMER_MMIO_BASE,
         size: map::PERIPH_MMIO_SIZE,
@@ -48,7 +52,10 @@ fn run(secure: bool) -> Outcome {
         &mut os,
         &SchedulerConfig {
             timer_period: 500,
-            tasks: vec![ScheduledTask { name: "worker".into(), entry: plan.continue_entry() }],
+            tasks: vec![ScheduledTask {
+                name: "worker".into(),
+                entry: plan.continue_entry(),
+            }],
         },
     );
     let os_img = os.finish().expect("assembles");
@@ -59,7 +66,12 @@ fn run(secure: bool) -> Outcome {
         counter: p.machine.sys.hw_read32(plan.data_base).expect("readable"),
         target,
         preemptions: p.machine.exc_log.iter().filter(|r| r.vector == 8).count(),
-        trustlet_flagged: p.machine.exc_log.iter().filter(|r| r.trustlet.is_some()).count(),
+        trustlet_flagged: p
+            .machine
+            .exc_log
+            .iter()
+            .filter(|r| r.trustlet.is_some())
+            .count(),
         cycles: p.machine.cycles,
     }
 }
@@ -88,7 +100,10 @@ fn main() {
     );
     println!();
     assert_eq!(with.counter, with.target, "engine preserves state exactly");
-    assert_ne!(without.counter, without.target, "ablated run corrupts the computation");
+    assert_ne!(
+        without.counter, without.target,
+        "ablated run corrupts the computation"
+    );
     println!("with the engine the task completes exactly; without it, every");
     println!("preemption discards the live registers and continue() replays the");
     println!(

@@ -12,19 +12,30 @@
 use trustlite_hwcost::{CostPoint, EaMpuModel};
 
 fn per_module(width: u32, gran: u32, exceptions: bool) -> CostPoint {
-    EaMpuModel { addr_width: width, granularity_bits: gran, secure_exceptions: exceptions }
-        .per_module()
+    EaMpuModel {
+        addr_width: width,
+        granularity_bits: gran,
+        secure_exceptions: exceptions,
+    }
+    .per_module()
 }
 
 fn main() {
     println!("EA-MPU design-space ablation (per-module cost, regs/LUTs)");
     println!("==========================================================");
     println!("region granularity sweep at 32-bit addresses:");
-    println!("{:>14}{:>12}{:>12}{:>16}", "granule", "regs", "LUTs", "with exceptions");
+    println!(
+        "{:>14}{:>12}{:>12}{:>16}",
+        "granule", "regs", "LUTs", "with exceptions"
+    );
     for gran in [0u32, 2, 4, 5, 6, 8] {
         let base = per_module(32, gran, false);
         let exc = per_module(32, gran, true);
-        let marker = if gran == 5 { "  <- published design point" } else { "" };
+        let marker = if gran == 5 {
+            "  <- published design point"
+        } else {
+            ""
+        };
         println!(
             "{:>11} B {:>12}{:>12}{:>9}/{:<6}{}",
             1u32 << gran,
@@ -37,7 +48,10 @@ fn main() {
     }
     println!();
     println!("datapath width sweep at 32-byte granules:");
-    println!("{:>10}{:>12}{:>12}{:>14}", "width", "regs", "LUTs", "vs 32-bit");
+    println!(
+        "{:>10}{:>12}{:>12}{:>14}",
+        "width", "regs", "LUTs", "vs 32-bit"
+    );
     let wide = per_module(32, 5, false);
     for width in [16u32, 20, 24, 32] {
         let c = per_module(width, 5, false);

@@ -7,7 +7,7 @@
 //!
 //! Run: `cargo run -p trustlite-bench --bin exception_overhead`
 
-use trustlite_bench::measure_exception_entry;
+use trustlite_bench::{exception_metrics_report, measure_exception_entry};
 use trustlite_cpu::costs;
 
 fn main() {
@@ -15,7 +15,10 @@ fn main() {
     println!("Section 5.4: exception-engine entry cost (measured in-simulator)");
     println!("=================================================================");
     println!("{:<44}{:>10}{:>10}", "configuration", "measured", "paper");
-    println!("{:<44}{:>10}{:>10}", "regular engine, any interrupt", m.regular_os, 21);
+    println!(
+        "{:<44}{:>10}{:>10}",
+        "regular engine, any interrupt", m.regular_os, 21
+    );
     println!(
         "{:<44}{:>10}{:>10}",
         "secure engine, non-trustlet interrupted", m.secure_os, 23
@@ -26,7 +29,10 @@ fn main() {
     );
     println!();
     println!("secure-engine overhead decomposition (trustlet case):");
-    println!("  {:>2} cycles  recognize trustlet (TT region match)", costs::SEC_DETECT);
+    println!(
+        "  {:>2} cycles  recognize trustlet (TT region match)",
+        costs::SEC_DETECT
+    );
     println!(
         "  {:>2} cycles  store all but ESP ({} words: r0..r7, flags, ip)",
         costs::SEC_SAVED_WORDS * costs::SEC_SAVE_WORD,
@@ -37,12 +43,9 @@ fn main() {
         costs::SEC_CLEARED_REGS * costs::SEC_CLEAR_REG + costs::SEC_TT_WRITE,
         costs::SEC_CLEARED_REGS
     );
-    let overhead =
-        (m.secure_trustlet - m.regular_os) as f64 / m.regular_os as f64 * 100.0;
+    let overhead = (m.secure_trustlet - m.regular_os) as f64 / m.regular_os as f64 * 100.0;
     println!();
-    println!(
-        "relative overhead when interrupting a trustlet: {overhead:.0}% (paper: 100%)"
-    );
+    println!("relative overhead when interrupting a trustlet: {overhead:.0}% (paper: 100%)");
     println!(
         "non-trustlet overhead: {} cycles (paper: 2)",
         m.secure_os - m.regular_os
@@ -54,4 +57,7 @@ fn main() {
         costs::I486_CONTEXT_SWITCH,
         m.secure_trustlet
     );
+    println!();
+    println!("metrics (trustlet-interrupt scenario, MetricsReport JSON):");
+    println!("{}", exception_metrics_report().to_json());
 }

@@ -15,8 +15,14 @@ fn main() {
 
     let u = measure_untrusted_ipc();
     println!("untrusted IPC (OS -> trustlet call() entry, Section 4.2.1):");
-    println!("  jump to callee entry  : {:>6} cycles", u.call_entry_cycles);
-    println!("  full round trip       : {:>6} cycles (enter, enqueue msg, return)", u.roundtrip_cycles);
+    println!(
+        "  jump to callee entry  : {:>6} cycles",
+        u.call_entry_cycles
+    );
+    println!(
+        "  full round trip       : {:>6} cycles (enter, enqueue msg, return)",
+        u.roundtrip_cycles
+    );
     println!();
 
     let mut hp = build_handshake_platform(2026).expect("handshake platform builds");
@@ -25,12 +31,18 @@ fn main() {
     assert_eq!(h.token_a, h.token_b);
     assert_eq!(h.token_a, h.expected_token);
     println!("trusted IPC establishment (Section 4.2.2, one round trip):");
-    println!("  local attestation of the peer : {:>6} cycles", h.attest_cycles);
+    println!(
+        "  local attestation of the peer : {:>6} cycles",
+        h.attest_cycles
+    );
     println!(
         "  syn/ack + token derivation    : {:>6} cycles",
         h.total_cycles - h.attest_cycles
     );
-    println!("  total one-time establishment  : {:>6} cycles", h.total_cycles);
+    println!(
+        "  total one-time establishment  : {:>6} cycles",
+        h.total_cycles
+    );
     println!(
         "  (both sides derived token {:#010x}, matching the host protocol model)",
         h.token_a
@@ -58,4 +70,7 @@ fn main() {
     println!();
     println!("paper: \"interaction between multiple protected modules is very slow\"");
     println!("under SMART; TrustLite amortizes one inspection across the session.");
+    println!();
+    println!("metrics (handshake run, MetricsReport JSON):");
+    println!("{}", hp.platform.machine.metrics_report().to_json());
 }

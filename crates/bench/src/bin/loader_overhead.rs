@@ -37,10 +37,13 @@ fn main() {
 
     // Reset-cost comparison: SMART/Sancus must wipe all volatile memory
     // on reset; the Secure Loader only re-programs the rules.
-    let p = boot_platform_with(4, true);
+    let mut p = boot_platform_with(4, true);
     let loader_cycles = p.report.estimated_cycles;
     let smart = SmartDevice::new([0; 32], map::SRAM_SIZE as usize);
-    println!("reset/startup comparison (4 trustlets, {} KiB SRAM):", map::SRAM_SIZE / 1024);
+    println!(
+        "reset/startup comparison (4 trustlets, {} KiB SRAM):",
+        map::SRAM_SIZE / 1024
+    );
     println!(
         "  TrustLite Secure Loader re-protect : ~{loader_cycles} cycles \
          (copies + 3 writes/region + measurement)"
@@ -53,4 +56,7 @@ fn main() {
         "  -> the wipe alone costs {:.1}x the entire TrustLite boot flow",
         smart.reset_wipe_cycles() as f64 / loader_cycles as f64
     );
+    println!();
+    println!("metrics (4-trustlet boot, MetricsReport JSON):");
+    println!("{}", p.machine.metrics_report().to_json());
 }

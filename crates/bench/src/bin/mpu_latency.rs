@@ -32,7 +32,8 @@ fn run_workload(enforce: bool, regions: usize) -> u64 {
 
     let mut bus = Bus::new();
     bus.map(0, Box::new(Rom::new(0x1000))).expect("prom maps");
-    bus.map(0x1000_0000, Box::new(Ram::new("sram", 0x1000))).expect("sram maps");
+    bus.map(0x1000_0000, Box::new(Ram::new("sram", 0x1000)))
+        .expect("sram maps");
     bus.host_load(0, &img.bytes);
     let mut mpu = EaMpu::new(regions);
     // Fill every region register so all comparators are exercised; the
@@ -86,11 +87,20 @@ fn main() {
     println!("Section 5.3: runtime overhead of memory protection (measured)");
     println!("==============================================================");
     println!("4000-access load/store workload, cycles:");
-    println!("{:>10}{:>16}{:>16}{:>10}", "regions", "MPU disabled", "MPU enforcing", "delta");
+    println!(
+        "{:>10}{:>16}{:>16}{:>10}",
+        "regions", "MPU disabled", "MPU enforcing", "delta"
+    );
     for regions in [4usize, 8, 16, 32] {
         let off = run_workload(false, regions);
         let on = run_workload(true, regions);
-        println!("{:>10}{:>16}{:>16}{:>10}", regions, off, on, on as i64 - off as i64);
+        println!(
+            "{:>10}{:>16}{:>16}{:>10}",
+            regions,
+            off,
+            on,
+            on as i64 - off as i64
+        );
     }
     println!();
     println!("paper: \"memory region range checks can be parallelized such that");
@@ -116,7 +126,11 @@ fn main() {
             "{:>10}{:>12.0}{:>10}",
             n,
             fmax_mhz(n),
-            if meets_timing(n, TARGET_CLOCK_MHZ) { "yes" } else { "no" }
+            if meets_timing(n, TARGET_CLOCK_MHZ) {
+                "yes"
+            } else {
+                "no"
+            }
         );
     }
 }

@@ -15,13 +15,19 @@ fn main() {
 
     let s = smart_like_cost();
     println!("SMART-like instantiation (extension base + 1 module, no exceptions):");
-    println!("  model: {} regs, {} LUTs   (paper: 394 regs, 599 LUTs)", s.regs, s.luts);
+    println!(
+        "  model: {} regs, {} LUTs   (paper: 394 regs, 599 LUTs)",
+        s.regs, s.luts
+    );
     println!("  vs the original SMART: no extra 4 KiB ROM, software updatable");
     println!();
 
     let tl = EaMpuModel::trustlite();
     let sc = SancusModel::published();
-    let margin = sc.base_cost().slices().saturating_sub(tl.base_cost().slices());
+    let margin = sc
+        .base_cost()
+        .slices()
+        .saturating_sub(tl.base_cost().slices());
     println!("hash-accelerator margin:");
     println!(
         "  TrustLite base ({} slices proxy) vs Sancus base ({}): margin {}",
@@ -29,9 +35,7 @@ fn main() {
         sc.base_cost().slices(),
         margin
     );
-    println!(
-        "  a Spongent-class hash is ~{SPONGENT_SLICES} Spartan-6 slices — easily absorbed"
-    );
+    println!("  a Spongent-class hash is ~{SPONGENT_SLICES} Spartan-6 slices — easily absorbed");
     println!();
 
     let wide = tl.per_module();

@@ -44,7 +44,11 @@ fn participant_grants() -> Vec<PeriphGrant> {
             size: map::PERIPH_MMIO_SIZE,
             perms: Perms::RW,
         },
-        PeriphGrant { base: map::RNG_MMIO_BASE, size: map::PERIPH_MMIO_SIZE, perms: Perms::R },
+        PeriphGrant {
+            base: map::RNG_MMIO_BASE,
+            size: map::PERIPH_MMIO_SIZE,
+            perms: Perms::R,
+        },
     ]
 }
 
@@ -169,6 +173,7 @@ pub mod bob_data {
 pub fn build_handshake_platform(seed: u64) -> Result<HandshakePlatform, TrustliteError> {
     let mut b = PlatformBuilder::new();
     b.rng_seed(seed);
+    b.telemetry(trustlite::ObsLevel::Metrics);
     let alice = b.plan_trustlet("alice", 0x400, 0x100, 0x200);
     let bob = b.plan_trustlet("bob", 0x400, 0x100, 0x200);
     let slot_count = 32;
@@ -191,7 +196,13 @@ pub fn build_handshake_platform(seed: u64) -> Result<HandshakePlatform, Trustlit
         // ...MPU-rule validation...
         emit_verify_mpu(&mut t.asm, peer.code_base, slot_count, "fail");
         // ...and code measurement.
-        emit_attest_peer(&mut t.asm, peer.code_base, peer.code_size, peer.measure_slot, "fail");
+        emit_attest_peer(
+            &mut t.asm,
+            peer.code_base,
+            peer.code_size,
+            peer.measure_slot,
+            "fail",
+        );
         t.asm.label("attest_done");
         // Draw and store N_A.
         t.asm.li(Reg::R1, map::RNG_MMIO_BASE);
@@ -238,7 +249,10 @@ pub fn build_handshake_platform(seed: u64) -> Result<HandshakePlatform, Trustlit
     b.add_trustlet(
         &alice,
         alice_img,
-        TrustletOptions { peripherals: participant_grants(), ..Default::default() },
+        TrustletOptions {
+            peripherals: participant_grants(),
+            ..Default::default()
+        },
     )?;
 
     // --- bob ---
@@ -257,7 +271,13 @@ pub fn build_handshake_platform(seed: u64) -> Result<HandshakePlatform, Trustlit
         t.asm.push(Reg::R1);
         t.asm.push(Reg::R2);
         t.asm.push(Reg::R3);
-        emit_attest_peer(&mut t.asm, peer.code_base, peer.code_size, peer.measure_slot, "b_fail");
+        emit_attest_peer(
+            &mut t.asm,
+            peer.code_base,
+            peer.code_size,
+            peer.measure_slot,
+            "b_fail",
+        );
         t.asm.pop(Reg::R3);
         t.asm.pop(Reg::R2);
         t.asm.pop(Reg::R1);
@@ -287,7 +307,10 @@ pub fn build_handshake_platform(seed: u64) -> Result<HandshakePlatform, Trustlit
     b.add_trustlet(
         &bob,
         bob_img,
-        TrustletOptions { peripherals: participant_grants(), ..Default::default() },
+        TrustletOptions {
+            peripherals: participant_grants(),
+            ..Default::default()
+        },
     )?;
 
     let mut os = b.begin_os();
@@ -298,7 +321,11 @@ pub fn build_handshake_platform(seed: u64) -> Result<HandshakePlatform, Trustlit
     let os_img = os.finish()?;
     b.set_os(os_img, &[]);
     let platform = b.build()?;
-    Ok(HandshakePlatform { platform, alice, bob })
+    Ok(HandshakePlatform {
+        platform,
+        alice,
+        bob,
+    })
 }
 
 /// Measured outcome of one handshake run.
@@ -338,10 +365,26 @@ pub fn run_handshake(hp: &mut HandshakePlatform) -> Result<HandshakeResult, Trus
     let total_cycles = p.machine.cycles - c0;
 
     let done = p.machine.sys.hw_read32(done_addr).unwrap_or(0);
-    let token_a = p.machine.sys.hw_read32(hp.alice.data_base + alice_data::TOKEN).unwrap_or(0);
-    let token_b = p.machine.sys.hw_read32(hp.bob.data_base + bob_data::TOKEN).unwrap_or(0);
-    let nonce_a = p.machine.sys.hw_read32(hp.alice.data_base + alice_data::NONCE).unwrap_or(0);
-    let nonce_b = p.machine.sys.hw_read32(hp.bob.data_base + bob_data::NONCE).unwrap_or(0);
+    let token_a = p
+        .machine
+        .sys
+        .hw_read32(hp.alice.data_base + alice_data::TOKEN)
+        .unwrap_or(0);
+    let token_b = p
+        .machine
+        .sys
+        .hw_read32(hp.bob.data_base + bob_data::TOKEN)
+        .unwrap_or(0);
+    let nonce_a = p
+        .machine
+        .sys
+        .hw_read32(hp.alice.data_base + alice_data::NONCE)
+        .unwrap_or(0);
+    let nonce_b = p
+        .machine
+        .sys
+        .hw_read32(hp.bob.data_base + bob_data::NONCE)
+        .unwrap_or(0);
     let expected = trustlite::ipc::session_token(hp.alice.id, hp.bob.id, nonce_a, nonce_b);
     let expected_token = u32::from_le_bytes([expected[0], expected[1], expected[2], expected[3]]);
 
@@ -366,7 +409,10 @@ mod tests {
         let r = run_handshake(&mut hp).expect("runs");
         assert!(r.success, "handshake failed: {r:?}");
         assert_eq!(r.token_a, r.token_b, "both sides derive the same token");
-        assert_eq!(r.token_a, r.expected_token, "in-sim token matches the host protocol model");
+        assert_eq!(
+            r.token_a, r.expected_token,
+            "in-sim token matches the host protocol model"
+        );
         assert_ne!(r.nonces.0, r.nonces.1);
         assert!(r.attest_cycles > 0 && r.attest_cycles < r.total_cycles);
     }
@@ -387,7 +433,12 @@ mod tests {
         // Flip a word in bob's live code region (host-level tamper).
         let addr = hp.bob.code_base + 0x40;
         let word = hp.platform.machine.sys.hw_read32(addr).unwrap();
-        assert!(hp.platform.machine.sys.bus.host_load(addr, &(word ^ 0xff).to_le_bytes()));
+        assert!(hp
+            .platform
+            .machine
+            .sys
+            .bus
+            .host_load(addr, &(word ^ 0xff).to_le_bytes()));
         let r = run_handshake(&mut hp).expect("runs");
         assert!(!r.success, "attestation must fail after tamper");
         let done = hp

@@ -17,9 +17,13 @@ pub struct ExcMeasurement {
 }
 
 /// Builds a platform with `n` trivial trustlets and a halting OS.
+/// Metrics telemetry is enabled so the bench bins can emit a
+/// `MetricsReport` (including the Secure Loader's boot counters)
+/// alongside their timing output.
 pub fn boot_platform_with(n: usize, secure_exceptions: bool) -> Platform {
     let mut b = PlatformBuilder::new();
     b.secure_exceptions(secure_exceptions);
+    b.telemetry(trustlite::ObsLevel::Metrics);
     // Size the MPU instantiation to the workload (the paper scales its
     // prototypes the same way; timing closure was met up to 32 regions,
     // larger counts are a cost question handled by `trustlite-hwcost`).
@@ -30,7 +34,8 @@ pub fn boot_platform_with(n: usize, secure_exceptions: bool) -> Platform {
         let mut t = plan.begin_program();
         t.asm.label("main");
         t.asm.halt();
-        b.add_trustlet(&plan, t.finish().unwrap(), TrustletOptions::default()).unwrap();
+        b.add_trustlet(&plan, t.finish().unwrap(), TrustletOptions::default())
+            .unwrap();
         plans.push(plan);
     }
     let mut os = b.begin_os();
@@ -43,16 +48,18 @@ pub fn boot_platform_with(n: usize, secure_exceptions: bool) -> Platform {
     b.build().expect("platform builds")
 }
 
-/// Runs one swi-triggered exception and returns the engine's entry cost.
-fn one_exception(secure: bool, from_trustlet: bool) -> u64 {
+/// Runs one swi-triggered exception and returns the finished platform.
+fn exception_platform(secure: bool, from_trustlet: bool) -> Platform {
     let mut b = PlatformBuilder::new();
     b.secure_exceptions(secure);
+    b.telemetry(trustlite::ObsLevel::Metrics);
     let plan = b.plan_trustlet("probe", 0x100, 0x80, 0x80);
     let mut t = plan.begin_program();
     t.asm.label("main");
     t.asm.swi(5);
     t.asm.halt();
-    b.add_trustlet(&plan, t.finish().unwrap(), TrustletOptions::default()).unwrap();
+    b.add_trustlet(&plan, t.finish().unwrap(), TrustletOptions::default())
+        .unwrap();
     let mut os = b.begin_os();
     let stack_top = os.stack_top;
     os.asm.label("main");
@@ -70,7 +77,25 @@ fn one_exception(secure: bool, from_trustlet: bool) -> u64 {
         p.start_trustlet("probe").expect("trustlet exists");
     }
     p.run(10_000);
-    p.machine.exc_log.last().expect("exception recorded").entry_cycles
+    p
+}
+
+/// Runs one swi-triggered exception and returns the engine's entry cost.
+fn one_exception(secure: bool, from_trustlet: bool) -> u64 {
+    let p = exception_platform(secure, from_trustlet);
+    p.machine
+        .exc_log
+        .last()
+        .expect("exception recorded")
+        .entry_cycles
+}
+
+/// Runs the secure-engine, trustlet-interrupted scenario with metrics
+/// telemetry on and returns the snapshot (for the bench bins' JSON
+/// output).
+pub fn exception_metrics_report() -> trustlite::MetricsReport {
+    let mut p = exception_platform(true, true);
+    p.machine.metrics_report()
 }
 
 /// Measures the three exception-entry configurations of Section 5.4.
@@ -103,7 +128,8 @@ pub fn measure_untrusted_ipc() -> UntrustedIpcMeasurement {
     t.asm.label("main");
     t.asm.halt();
     trustlite_os::trustlet_lib::emit_call_queue_handler(&mut t.asm, &plan, queue_base, 8);
-    b.add_trustlet(&plan, t.finish().unwrap(), TrustletOptions::default()).unwrap();
+    b.add_trustlet(&plan, t.finish().unwrap(), TrustletOptions::default())
+        .unwrap();
 
     let mut os = b.begin_os();
     let stack_top = os.stack_top;
@@ -126,17 +152,29 @@ pub fn measure_untrusted_ipc() -> UntrustedIpcMeasurement {
     b.set_os(os_img, &[]);
     let mut p = b.build().expect("platform builds");
 
-    assert!(p.machine.run_until(10_000, |m| m.regs.ip == send_ip), "reached send");
+    assert!(
+        p.machine.run_until(10_000, |m| m.regs.ip == send_ip),
+        "reached send"
+    );
     let c0 = p.machine.cycles;
     let call_entry = p.plans["server"].call_entry();
-    assert!(p.machine.run_until(10_000, |m| m.regs.ip == call_entry), "entered callee");
+    assert!(
+        p.machine.run_until(10_000, |m| m.regs.ip == call_entry),
+        "entered callee"
+    );
     let c1 = p.machine.cycles;
-    assert!(p.machine.run_until(10_000, |m| m.regs.ip == cont_ip), "returned");
+    assert!(
+        p.machine.run_until(10_000, |m| m.regs.ip == cont_ip),
+        "returned"
+    );
     let c2 = p.machine.cycles;
     // The message actually arrived.
     let tail = p.machine.sys.hw_read32(queue_base + 4).expect("queue tail");
     assert_eq!(tail, 1, "one message enqueued");
-    UntrustedIpcMeasurement { call_entry_cycles: c1 - c0, roundtrip_cycles: c2 - c0 }
+    UntrustedIpcMeasurement {
+        call_entry_cycles: c1 - c0,
+        roundtrip_cycles: c2 - c0,
+    }
 }
 
 #[cfg(test)]
@@ -148,15 +186,29 @@ mod tests {
     fn exception_measurements_match_paper() {
         let m = measure_exception_entry();
         assert_eq!(m.regular_os, costs::EXC_REGULAR_TOTAL);
-        assert_eq!(m.secure_os, costs::EXC_REGULAR_TOTAL + costs::SEC_MISS_EXTRA);
-        assert_eq!(m.secure_trustlet, costs::EXC_REGULAR_TOTAL + costs::SEC_TRUSTLET_EXTRA);
+        assert_eq!(
+            m.secure_os,
+            costs::EXC_REGULAR_TOTAL + costs::SEC_MISS_EXTRA
+        );
+        assert_eq!(
+            m.secure_trustlet,
+            costs::EXC_REGULAR_TOTAL + costs::SEC_TRUSTLET_EXTRA
+        );
     }
 
     #[test]
     fn untrusted_ipc_is_cheap() {
         let m = measure_untrusted_ipc();
-        assert!(m.call_entry_cycles <= 4, "jump + entry dispatch: {}", m.call_entry_cycles);
-        assert!(m.roundtrip_cycles < 120, "round trip: {}", m.roundtrip_cycles);
+        assert!(
+            m.call_entry_cycles <= 4,
+            "jump + entry dispatch: {}",
+            m.call_entry_cycles
+        );
+        assert!(
+            m.roundtrip_cycles < 120,
+            "round trip: {}",
+            m.roundtrip_cycles
+        );
     }
 
     #[test]

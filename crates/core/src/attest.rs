@@ -70,7 +70,10 @@ impl fmt::Display for LocalAttestation {
 /// Performs a local attestation of trustlet `name` — the host-side model
 /// of the inspection sequence in Figure 6 (`findTask`, `verifyMPU`,
 /// `attest`).
-pub fn local_attest(platform: &mut Platform, name: &str) -> Result<LocalAttestation, TrustliteError> {
+pub fn local_attest(
+    platform: &mut Platform,
+    name: &str,
+) -> Result<LocalAttestation, TrustliteError> {
     let plan = platform.plan(name)?.clone();
 
     // (1) Trustlet Table lookup by identifier.
@@ -117,7 +120,11 @@ pub fn local_attest(platform: &mut Platform, name: &str) -> Result<LocalAttestat
     let recorded = platform.measurement(name)?;
     let measurement_ok = measure_code(&live_code) == recorded;
 
-    Ok(LocalAttestation { table_ok, isolation_ok, measurement_ok })
+    Ok(LocalAttestation {
+        table_ok,
+        isolation_ok,
+        measurement_ok,
+    })
 }
 
 /// Checks whether *any* EA-MPU rule grants a foreign subject write access
@@ -196,7 +203,10 @@ pub fn respond(platform: &mut Platform, challenge: &Challenge) -> Result<Respons
     for m in &measurements {
         mac.update(m);
     }
-    Ok(Response { measurements, tag: mac.finish() })
+    Ok(Response {
+        measurements,
+        tag: mac.finish(),
+    })
 }
 
 /// Verifier side: checks a response against the expected measurements.
@@ -237,7 +247,10 @@ mod tests {
         for x in &m {
             msg.extend_from_slice(x);
         }
-        let response = Response { measurements: m.to_vec(), tag: hmac_sha256(&key, &msg) };
+        let response = Response {
+            measurements: m.to_vec(),
+            tag: hmac_sha256(&key, &msg),
+        };
         assert!(verify(&key, &challenge, &response, &m));
         // Wrong expectation.
         let other = [measure_code(b"evil"), m[1]];
@@ -258,9 +271,15 @@ mod tests {
             let mut msg = Vec::new();
             msg.extend_from_slice(&nonce);
             msg.extend_from_slice(&m[0]);
-            Response { measurements: m.to_vec(), tag: hmac_sha256(&key, &msg) }
+            Response {
+                measurements: m.to_vec(),
+                tag: hmac_sha256(&key, &msg),
+            }
         };
         let r1 = make([1; 16]);
-        assert!(!verify(&key, &Challenge { nonce: [2; 16] }, &r1, &m), "replay rejected");
+        assert!(
+            !verify(&key, &Challenge { nonce: [2; 16] }, &r1, &m),
+            "replay rejected"
+        );
     }
 }

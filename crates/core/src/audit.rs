@@ -29,7 +29,11 @@ pub enum Finding {
     /// A foreign subject can write a trustlet's code region.
     ForeignCodeWrite { trustlet: String, slot: usize },
     /// A foreign subject can read or write a trustlet's data/stack.
-    ForeignDataAccess { trustlet: String, slot: usize, kind: AccessKind },
+    ForeignDataAccess {
+        trustlet: String,
+        slot: usize,
+        kind: AccessKind,
+    },
     /// A foreign subject can execute the trustlet's code *body* (beyond
     /// the entry vector).
     ForeignBodyExecute { trustlet: String, slot: usize },
@@ -38,7 +42,10 @@ pub enum Finding {
     EntryNotExecutable { trustlet: String },
     /// The trustlet cannot execute or access its own regions (dead
     /// configuration).
-    OwnerAccessMissing { trustlet: String, what: &'static str },
+    OwnerAccessMissing {
+        trustlet: String,
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for Finding {
@@ -53,11 +60,21 @@ impl fmt::Display for Finding {
             Finding::ForeignCodeWrite { trustlet, slot } => {
                 write!(f, "rule {slot} lets foreign code write `{trustlet}`'s code")
             }
-            Finding::ForeignDataAccess { trustlet, slot, kind } => {
-                write!(f, "rule {slot} lets foreign code {kind} `{trustlet}`'s data")
+            Finding::ForeignDataAccess {
+                trustlet,
+                slot,
+                kind,
+            } => {
+                write!(
+                    f,
+                    "rule {slot} lets foreign code {kind} `{trustlet}`'s data"
+                )
             }
             Finding::ForeignBodyExecute { trustlet, slot } => {
-                write!(f, "rule {slot} lets foreign code execute `{trustlet}`'s body")
+                write!(
+                    f,
+                    "rule {slot} lets foreign code execute `{trustlet}`'s body"
+                )
             }
             Finding::EntryNotExecutable { trustlet } => {
                 write!(f, "`{trustlet}` has no externally executable entry vector")
@@ -129,8 +146,11 @@ pub fn audit(platform: &Platform) -> PolicyAudit {
 
     // 1. The MPU window must never be writable.
     for (i, rule) in slots.iter().enumerate() {
-        if overlaps(rule, map::MPU_MMIO_BASE, map::MPU_MMIO_BASE + map::MPU_MMIO_SIZE)
-            && rule.perms.allows(AccessKind::Write)
+        if overlaps(
+            rule,
+            map::MPU_MMIO_BASE,
+            map::MPU_MMIO_BASE + map::MPU_MMIO_SIZE,
+        ) && rule.perms.allows(AccessKind::Write)
         {
             findings.push(Finding::MpuWindowWritable { slot: i });
         }
@@ -143,11 +163,7 @@ pub fn audit(platform: &Platform) -> PolicyAudit {
             let is_own_sp_slot = specs.iter().any(|s| {
                 rule.start == s.plan.sp_slot
                     && rule.end == s.plan.sp_slot + 4
-                    && !foreign_subject(
-                        rule,
-                        &[platform.report.rule_map[&s.plan.name][0]],
-                        slots,
-                    )
+                    && !foreign_subject(rule, &[platform.report.rule_map[&s.plan.name][0]], slots)
             });
             if !is_own_sp_slot {
                 findings.push(Finding::SystemTablesWritable { slot: i });
@@ -172,7 +188,10 @@ pub fn audit(platform: &Platform) -> PolicyAudit {
                 && rule.perms.allows(AccessKind::Write)
                 && foreign_subject(rule, &code_writers, slots)
             {
-                findings.push(Finding::ForeignCodeWrite { trustlet: plan.name.clone(), slot: i });
+                findings.push(Finding::ForeignCodeWrite {
+                    trustlet: plan.name.clone(),
+                    slot: i,
+                });
             }
             // Body execution by foreign subjects (entry vector excluded).
             if overlaps(rule, plan.code_base + plan.entry_len, plan.code_end())
@@ -203,14 +222,22 @@ pub fn audit(platform: &Platform) -> PolicyAudit {
         // and reach its data.
         let mpu = &platform.machine.sys.mpu;
         if !mpu.allows(0xdead_0000, plan.code_base, AccessKind::Execute) {
-            findings.push(Finding::EntryNotExecutable { trustlet: plan.name.clone() });
+            findings.push(Finding::EntryNotExecutable {
+                trustlet: plan.name.clone(),
+            });
         }
         let own_ip = plan.code_base + plan.entry_len + 4;
         if !mpu.allows(own_ip, own_ip, AccessKind::Execute) {
-            findings.push(Finding::OwnerAccessMissing { trustlet: plan.name.clone(), what: "code" });
+            findings.push(Finding::OwnerAccessMissing {
+                trustlet: plan.name.clone(),
+                what: "code",
+            });
         }
         if !mpu.allows(own_ip, plan.data_base, AccessKind::Write) {
-            findings.push(Finding::OwnerAccessMissing { trustlet: plan.name.clone(), what: "data" });
+            findings.push(Finding::OwnerAccessMissing {
+                trustlet: plan.name.clone(),
+                what: "data",
+            });
         }
     }
     PolicyAudit { findings }
@@ -232,7 +259,8 @@ mod tests {
             t.asm.label("main");
             t.asm.li(Reg::R0, i as u32);
             t.asm.halt();
-            b.add_trustlet(&plan, t.finish().unwrap(), TrustletOptions::default()).unwrap();
+            b.add_trustlet(&plan, t.finish().unwrap(), TrustletOptions::default())
+                .unwrap();
         }
         let mut os = b.begin_os();
         os.asm.label("main");
@@ -257,7 +285,13 @@ mod tests {
         let target = b.plan_trustlet("svc", 0x200, 0x80, 0x80);
         let updater = b.plan_trustlet("upd", 0x200, 0x80, 0x80);
         for (plan, opts) in [
-            (&target, TrustletOptions { code_writable_by: Some("upd".into()), ..Default::default() }),
+            (
+                &target,
+                TrustletOptions {
+                    code_writable_by: Some("upd".into()),
+                    ..Default::default()
+                },
+            ),
             (&updater, TrustletOptions::default()),
         ] {
             let mut t = plan.begin_program();
@@ -319,7 +353,12 @@ mod tests {
             )
             .unwrap();
         let a = audit(&p);
-        assert!(a.findings.iter().any(|f| matches!(f, Finding::MpuWindowWritable { .. })), "{a}");
+        assert!(
+            a.findings
+                .iter()
+                .any(|f| matches!(f, Finding::MpuWindowWritable { .. })),
+            "{a}"
+        );
 
         // Backdoor 3: foreign body execution.
         p.machine
@@ -338,7 +377,12 @@ mod tests {
             )
             .unwrap();
         let a = audit(&p);
-        assert!(a.findings.iter().any(|f| matches!(f, Finding::ForeignBodyExecute { .. })), "{a}");
+        assert!(
+            a.findings
+                .iter()
+                .any(|f| matches!(f, Finding::ForeignBodyExecute { .. })),
+            "{a}"
+        );
     }
 
     #[test]
@@ -350,7 +394,12 @@ mod tests {
         rule.enabled = false;
         p.machine.sys.mpu.set_rule(own, rule).unwrap();
         let a = audit(&p);
-        assert!(a.findings.iter().any(|f| matches!(f, Finding::OwnerAccessMissing { .. })), "{a}");
+        assert!(
+            a.findings
+                .iter()
+                .any(|f| matches!(f, Finding::OwnerAccessMissing { .. })),
+            "{a}"
+        );
     }
 
     #[test]

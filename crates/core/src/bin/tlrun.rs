@@ -4,13 +4,24 @@
 //! writing a host program:
 //!
 //! ```text
-//! tlrun program.s [--steps N] [--trace] [--base ADDR]
+//! tlrun program.s [--steps N] [--trace] [--trace-cap N] [--base ADDR]
+//!                 [--trace-json FILE] [--trace-jsonl FILE] [--metrics]
 //! ```
 //!
 //! The program is assembled at `--base` (default `0x0`, the PROM) and run
 //! on a bare platform (PROM, SRAM at 0x1000_0000, UART at its standard
 //! MMIO address, MPU not enforcing). UART output, the register file and
 //! cycle counts are printed on exit.
+//!
+//! Telemetry options:
+//!
+//! * `--trace` prints the retired-instruction trace to stderr.
+//! * `--trace-cap N` bounds the event ring (default 65536 events).
+//! * `--trace-json FILE` writes a Chrome `trace_event` file — open it in
+//!   `chrome://tracing` or <https://ui.perfetto.dev>.
+//! * `--trace-jsonl FILE` writes the raw event stream as JSON Lines.
+//! * `--metrics` prints a JSON metrics snapshot (counters, histograms,
+//!   per-region cycle attribution) to stdout.
 //!
 //! Example program:
 //!
@@ -25,16 +36,25 @@
 
 use std::process::ExitCode;
 
+use trustlite::{ObsLevel, Recorder};
 use trustlite_cpu::{HaltReason, Machine, RunExit, SystemBus};
 use trustlite_isa::{assemble_text, disassemble, Reg};
 use trustlite_mem::{map, Bus, Ram, Rom};
 use trustlite_mpu::EaMpu;
+use trustlite_obs::sink;
 use trustlite_periph::Uart;
+
+const USAGE: &str = "usage: tlrun program.s [--steps N] [--trace] [--trace-cap N] \
+[--base HEXADDR] [--trace-json FILE] [--trace-jsonl FILE] [--metrics]";
 
 struct Options {
     path: String,
     steps: u64,
     trace: bool,
+    trace_cap: usize,
+    trace_json: Option<String>,
+    trace_jsonl: Option<String>,
+    metrics: bool,
     base: u32,
 }
 
@@ -43,6 +63,10 @@ fn parse_args() -> Result<Options, String> {
     let mut path = None;
     let mut steps = 1_000_000;
     let mut trace = false;
+    let mut trace_cap = trustlite_obs::DEFAULT_RING_CAP;
+    let mut trace_json = None;
+    let mut trace_jsonl = None;
+    let mut metrics = false;
     let mut base = 0u32;
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -51,20 +75,42 @@ fn parse_args() -> Result<Options, String> {
                 steps = v.parse().map_err(|_| format!("bad --steps value `{v}`"))?;
             }
             "--trace" => trace = true,
+            "--trace-cap" => {
+                let v = args.next().ok_or("--trace-cap needs a value")?;
+                trace_cap = v
+                    .parse()
+                    .map_err(|_| format!("bad --trace-cap value `{v}`"))?;
+            }
+            "--trace-json" => {
+                trace_json = Some(args.next().ok_or("--trace-json needs a file path")?);
+            }
+            "--trace-jsonl" => {
+                trace_jsonl = Some(args.next().ok_or("--trace-jsonl needs a file path")?);
+            }
+            "--metrics" => metrics = true,
             "--base" => {
                 let v = args.next().ok_or("--base needs a value")?;
                 let v = v.trim_start_matches("0x");
                 base = u32::from_str_radix(v, 16).map_err(|_| format!("bad --base `{v}`"))?;
             }
             "--help" | "-h" => {
-                return Err("usage: tlrun program.s [--steps N] [--trace] [--base HEXADDR]"
-                    .to_string())
+                println!("{USAGE}");
+                std::process::exit(0);
             }
-            other if path.is_none() => path = Some(other.to_string()),
-            other => return Err(format!("unexpected argument `{other}`")),
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
         }
     }
-    Ok(Options { path: path.ok_or("no input file (try --help)")?, steps, trace, base })
+    Ok(Options {
+        path: path.ok_or("no input file (try --help)")?,
+        steps,
+        trace,
+        trace_cap,
+        trace_json,
+        trace_jsonl,
+        metrics,
+        base,
+    })
 }
 
 fn main() -> ExitCode {
@@ -91,23 +137,64 @@ fn main() -> ExitCode {
     };
 
     let mut bus = Bus::new();
-    bus.map(map::PROM_BASE, Box::new(Rom::new(map::PROM_SIZE))).expect("prom maps");
-    bus.map(map::SRAM_BASE, Box::new(Ram::new("sram", map::SRAM_SIZE))).expect("sram maps");
-    bus.map(map::UART_MMIO_BASE, Box::new(Uart::new())).expect("uart maps");
+    bus.map(map::PROM_BASE, Box::new(Rom::new(map::PROM_SIZE)))
+        .expect("prom maps");
+    bus.map(map::SRAM_BASE, Box::new(Ram::new("sram", map::SRAM_SIZE)))
+        .expect("sram maps");
+    bus.map(map::UART_MMIO_BASE, Box::new(Uart::new()))
+        .expect("uart maps");
     if !bus.host_load(img.base, &img.bytes) {
-        eprintln!("image at {:#010x} (+{:#x}) does not fit the memory map", img.base, img.len());
+        eprintln!(
+            "image at {:#010x} (+{:#x}) does not fit the memory map",
+            img.base,
+            img.len()
+        );
         return ExitCode::FAILURE;
     }
     let mut sys = SystemBus::new(bus, EaMpu::new(8), None);
     sys.enforce = false;
-    let mut m = Machine::new(sys, img.base);
-    m.trace_enabled = opts.trace;
 
+    // Telemetry level: the firehose when any trace output is requested,
+    // metrics-only for --metrics alone, off otherwise.
+    let want_events = opts.trace || opts.trace_json.is_some() || opts.trace_jsonl.is_some();
+    let level = if want_events {
+        ObsLevel::Full
+    } else if opts.metrics {
+        ObsLevel::Metrics
+    } else {
+        ObsLevel::Off
+    };
+    let mut obs = Recorder::new(level);
+    obs.ring.set_capacity(opts.trace_cap);
+    // The whole image is one attribution domain; everything else (there
+    // is nothing else on this bare platform) falls into `other`.
+    obs.attr
+        .register("program", &[(img.base, img.base + img.len())]);
+    sys.obs = obs;
+
+    let mut m = Machine::new(sys, img.base);
     let exit = m.run(opts.steps);
+
     if opts.trace {
-        for (cycle, ip, instr) in &m.trace {
+        for (cycle, ip, instr) in m.trace() {
             eprintln!("{cycle:>8}  {ip:#010x}  {instr}");
         }
+    }
+    if let Some(path) = &opts.trace_json {
+        let doc = sink::chrome(m.sys.obs.ring.iter(), m.cycles);
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("chrome trace written to {path}");
+    }
+    if let Some(path) = &opts.trace_jsonl {
+        let doc = sink::jsonl(m.sys.obs.ring.iter());
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("event stream written to {path}");
     }
 
     let uart: &mut Uart = m.sys.bus.device_mut("uart").expect("uart present");
@@ -117,6 +204,9 @@ fn main() -> ExitCode {
         if out.last() != Some(&b'\n') {
             println!();
         }
+    }
+    if opts.metrics {
+        println!("{}", m.metrics_report().to_json());
     }
 
     eprintln!("--");

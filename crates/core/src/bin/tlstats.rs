@@ -1,0 +1,144 @@
+//! `tlstats` — summarize a recorded telemetry stream.
+//!
+//! Reads a JSON Lines event trace (as written by `tlrun --trace-jsonl`
+//! or any program using `trustlite_obs::sink::jsonl`) and prints a
+//! summary: event counts by kind, the cycle span, per-domain residency
+//! derived from context switches, exception and fault activity, and IPC
+//! traffic.
+//!
+//! ```text
+//! tlstats trace.jsonl
+//! tlrun prog.s --trace-jsonl /dev/stdout 2>/dev/null | tlstats -
+//! ```
+
+use std::collections::BTreeMap;
+use std::io::Read as _;
+use std::process::ExitCode;
+
+use trustlite_obs::sink;
+use trustlite_obs::Event;
+
+const USAGE: &str = "usage: tlstats TRACE.jsonl   (use `-` for stdin)";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let path = match (args.next(), args.next()) {
+        (Some(p), None) if p != "--help" && p != "-h" => p,
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = if path == "-" {
+        let mut s = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut s) {
+            eprintln!("cannot read stdin: {e}");
+            return ExitCode::FAILURE;
+        }
+        s
+    } else {
+        match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let events = match sink::parse_jsonl(&doc) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if events.is_empty() {
+        println!("no events");
+        return ExitCode::SUCCESS;
+    }
+
+    let mut by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut first = u64::MAX;
+    let mut last = 0u64;
+    // Domain residency reconstructed from the context-switch sequence.
+    let mut residency: BTreeMap<String, u64> = BTreeMap::new();
+    let mut open: Option<(String, u64)> = None;
+    let mut instr_cycles = 0u64;
+    let mut exc_entry_cycles = 0u64;
+    let mut exc_exit_cycles = 0u64;
+    let mut mpu_grants = 0u64;
+    let mut mpu_denials = 0u64;
+    let mut ipc_by_kind: BTreeMap<String, u64> = BTreeMap::new();
+
+    for e in &events {
+        *by_kind.entry(e.kind_name()).or_insert(0) += 1;
+        first = first.min(e.cycle());
+        last = last.max(e.cycle());
+        match e {
+            Event::InstrRetired { cost, .. } => instr_cycles += cost,
+            Event::MpuCheck { verdict, .. } => match verdict {
+                trustlite_obs::Verdict::Allow => mpu_grants += 1,
+                trustlite_obs::Verdict::Deny => mpu_denials += 1,
+            },
+            Event::ExceptionEnter { cycles, .. } => exc_entry_cycles += cycles,
+            Event::ExceptionExit { cycles, .. } => exc_exit_cycles += cycles,
+            Event::ContextSwitch {
+                cycle, from, to, ..
+            } => {
+                let (name, start) = open.take().unwrap_or_else(|| (from.clone(), first));
+                *residency.entry(name).or_insert(0) += cycle.saturating_sub(start);
+                open = Some((to.clone(), *cycle));
+            }
+            Event::IpcSend { kind, .. } | Event::IpcRecv { kind, .. } => {
+                *ipc_by_kind.entry(kind.clone()).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+    if let Some((name, start)) = open {
+        *residency.entry(name).or_insert(0) += last.saturating_sub(start);
+    }
+
+    println!("{} events over cycles {first}..{last}", events.len());
+    println!();
+    println!("events by kind:");
+    for (kind, n) in &by_kind {
+        println!("  {kind:<18} {n:>10}");
+    }
+    if instr_cycles > 0 {
+        println!();
+        println!("retired-instruction cycles: {instr_cycles}");
+    }
+    if mpu_grants + mpu_denials > 0 {
+        println!();
+        println!("mpu checks: {} granted, {} denied", mpu_grants, mpu_denials);
+    }
+    if exc_entry_cycles + exc_exit_cycles > 0 {
+        println!();
+        println!(
+            "exception engine: {} cycles on entry, {} on return",
+            exc_entry_cycles, exc_exit_cycles
+        );
+    }
+    if !residency.is_empty() {
+        println!();
+        println!("domain residency (from context switches):");
+        let total: u64 = residency.values().sum();
+        for (name, cycles) in &residency {
+            let pct = if total > 0 {
+                *cycles as f64 * 100.0 / total as f64
+            } else {
+                0.0
+            };
+            println!("  {name:<18} {cycles:>10} cycles ({pct:5.1}%)");
+        }
+    }
+    if !ipc_by_kind.is_empty() {
+        println!();
+        println!("ipc messages:");
+        for (kind, n) in &ipc_by_kind {
+            println!("  {kind:<18} {n:>10}");
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -30,9 +30,17 @@ pub enum TrustliteError {
     /// The OS image was not provided before `build()`.
     MissingOs,
     /// A code image does not match its reserved plan location.
-    PlanMismatch { name: String, expected: u32, actual: u32 },
+    PlanMismatch {
+        name: String,
+        expected: u32,
+        actual: u32,
+    },
     /// The image is larger than the reserved region.
-    ImageTooLarge { name: String, reserved: u32, actual: u32 },
+    ImageTooLarge {
+        name: String,
+        reserved: u32,
+        actual: u32,
+    },
 }
 
 impl fmt::Display for TrustliteError {
@@ -42,7 +50,10 @@ impl fmt::Display for TrustliteError {
             TrustliteError::Asm(e) => write!(f, "assembly error: {e}"),
             TrustliteError::Mpu(e) => write!(f, "MPU programming error: {e}"),
             TrustliteError::OutOfMpuSlots { needed, available } => {
-                write!(f, "policy needs {needed} MPU slots, only {available} available")
+                write!(
+                    f,
+                    "policy needs {needed} MPU slots, only {available} available"
+                )
             }
             TrustliteError::OutOfSram { requested } => {
                 write!(f, "SRAM exhausted allocating {requested:#x} bytes")
@@ -54,11 +65,19 @@ impl fmt::Display for TrustliteError {
                 write!(f, "secure-boot authentication failed for `{n}`")
             }
             TrustliteError::MissingOs => write!(f, "no OS image provided"),
-            TrustliteError::PlanMismatch { name, expected, actual } => write!(
+            TrustliteError::PlanMismatch {
+                name,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "image for `{name}` assembled at {actual:#010x}, plan reserved {expected:#010x}"
             ),
-            TrustliteError::ImageTooLarge { name, reserved, actual } => write!(
+            TrustliteError::ImageTooLarge {
+                name,
+                reserved,
+                actual,
+            } => write!(
                 f,
                 "image for `{name}` is {actual:#x} bytes, exceeds reserved {reserved:#x}"
             ),

@@ -31,8 +31,11 @@ pub enum Instantiation {
 
 impl Instantiation {
     /// All instantiations, cheapest first.
-    pub const ALL: [Instantiation; 3] =
-        [Instantiation::SmartLike, Instantiation::Firmware, Instantiation::Usermode];
+    pub const ALL: [Instantiation; 3] = [
+        Instantiation::SmartLike,
+        Instantiation::Firmware,
+        Instantiation::Usermode,
+    ];
 
     /// Applies the instantiation's platform-level configuration.
     pub fn configure(self, b: &mut PlatformBuilder) {
@@ -58,9 +61,10 @@ impl Instantiation {
                 lock_rules: true,
                 ..Default::default()
             },
-            Instantiation::Firmware => {
-                TrustletOptions { interruptible: false, ..Default::default() }
-            }
+            Instantiation::Firmware => TrustletOptions {
+                interruptible: false,
+                ..Default::default()
+            },
             Instantiation::Usermode => TrustletOptions::default(),
         }
     }
@@ -90,7 +94,8 @@ mod tests {
         t.asm.label("main");
         t.asm.li(Reg::R0, 7);
         t.asm.halt();
-        b.add_trustlet(&plan, t.finish().unwrap(), inst.trustlet_options()).unwrap();
+        b.add_trustlet(&plan, t.finish().unwrap(), inst.trustlet_options())
+            .unwrap();
         let mut os = b.begin_os();
         os.asm.label("main");
         os.asm.halt();
@@ -113,7 +118,10 @@ mod tests {
             .filter(|(_, s)| s.locked)
             .map(|(i, _)| i)
             .collect();
-        assert_eq!(&locked, &p.report.rule_map["svc"], "exactly the service's slots locked");
+        assert_eq!(
+            &locked, &p.report.rule_map["svc"],
+            "exactly the service's slots locked"
+        );
     }
 
     #[test]
@@ -138,10 +146,19 @@ mod tests {
         let slot = p.report.rule_map["svc"][0];
         let before = *p.machine.sys.mpu.slot(slot).unwrap();
         // Even a hypothetical privileged writer cannot change the slot...
-        assert!(p.machine.sys.mpu.set_rule(slot, trustlite_mpu::RuleSlot::EMPTY).is_err());
+        assert!(p
+            .machine
+            .sys
+            .mpu
+            .set_rule(slot, trustlite_mpu::RuleSlot::EMPTY)
+            .is_err());
         assert_eq!(*p.machine.sys.mpu.slot(slot).unwrap(), before);
         // ...until a platform reset re-runs the loader.
         p.reset().unwrap();
-        assert_eq!(*p.machine.sys.mpu.slot(slot).unwrap(), before, "re-established");
+        assert_eq!(
+            *p.machine.sys.mpu.slot(slot).unwrap(),
+            before,
+            "re-established"
+        );
     }
 }

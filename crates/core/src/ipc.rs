@@ -130,7 +130,11 @@ impl Initiator {
     /// attestation of the responder is the caller's responsibility
     /// (see [`crate::attest::local_attest`]).
     pub fn start(initiator: u32, responder: u32, rng: &mut XorShift64) -> (Initiator, Syn) {
-        let syn = Syn { initiator, responder, nonce_a: rng.next_u32() };
+        let syn = Syn {
+            initiator,
+            responder,
+            nonce_a: rng.next_u32(),
+        };
         (Initiator { syn }, syn)
     }
 
@@ -172,6 +176,93 @@ pub fn respond(syn: Syn, rng: &mut XorShift64) -> (Channel, Ack) {
         },
         ack,
     )
+}
+
+/// Telemetry-traced wrappers around the handshake: the same protocol
+/// state machines, but every message emits an [`Event::IpcSend`] /
+/// [`Event::IpcRecv`] pair and the completed handshake records the
+/// `ipc.round_trip_cycles` histogram (cycle stamps come from the
+/// recorder, i.e. the machine time that elapsed between the steps).
+pub mod traced {
+    use super::{Ack, Channel, Initiator, IpcError, Syn};
+    use trustlite_crypto::XorShift64;
+    use trustlite_obs::{Event, Recorder};
+
+    /// An in-flight traced handshake.
+    #[derive(Debug)]
+    pub struct TracedInitiator {
+        inner: Initiator,
+        started_at: u64,
+    }
+
+    /// Starts a traced handshake; emits the `syn` send.
+    pub fn start(
+        obs: &mut Recorder,
+        initiator: u32,
+        responder: u32,
+        rng: &mut XorShift64,
+    ) -> (TracedInitiator, Syn) {
+        let (inner, syn) = Initiator::start(initiator, responder, rng);
+        let cycle = obs.now();
+        obs.metrics.inc("ipc.syn_sent");
+        obs.emit(Event::IpcSend {
+            cycle,
+            from: initiator,
+            to: responder,
+            kind: "syn".into(),
+        });
+        (
+            TracedInitiator {
+                inner,
+                started_at: cycle,
+            },
+            syn,
+        )
+    }
+
+    /// Responder side: accepts the `syn`, emits its receive and the `ack`
+    /// send, and returns the responder's channel.
+    pub fn respond(obs: &mut Recorder, syn: Syn, rng: &mut XorShift64) -> (Channel, Ack) {
+        let cycle = obs.now();
+        obs.metrics.inc("ipc.syn_received");
+        obs.emit(Event::IpcRecv {
+            cycle,
+            from: syn.initiator,
+            to: syn.responder,
+            kind: "syn".into(),
+        });
+        let (chan, ack) = super::respond(syn, rng);
+        obs.metrics.inc("ipc.ack_sent");
+        obs.emit(Event::IpcSend {
+            cycle,
+            from: syn.responder,
+            to: syn.initiator,
+            kind: "ack".into(),
+        });
+        (chan, ack)
+    }
+
+    /// Initiator side: completes with the `ack`, emitting its receive and
+    /// the round-trip latency on success.
+    pub fn complete(
+        obs: &mut Recorder,
+        init: TracedInitiator,
+        ack: Ack,
+    ) -> Result<Channel, IpcError> {
+        let cycle = obs.now();
+        obs.emit(Event::IpcRecv {
+            cycle,
+            from: ack.responder,
+            to: ack.initiator,
+            kind: "ack".into(),
+        });
+        let started_at = init.started_at;
+        let chan = init.inner.complete(ack)?;
+        obs.metrics.inc("ipc.established");
+        obs.metrics
+            .observe("ipc.round_trip_cycles", cycle.saturating_sub(started_at));
+        Ok(chan)
+    }
 }
 
 #[cfg(test)]
@@ -241,10 +332,33 @@ mod tests {
         let (a, b) = handshake(5, 6);
         let tag = a.tag(b"transfer 100");
         assert!(b.verify(b"transfer 100", &tag).is_ok());
-        assert_eq!(b.verify(b"transfer 999", &tag).unwrap_err(), IpcError::BadTag);
+        assert_eq!(
+            b.verify(b"transfer 999", &tag).unwrap_err(),
+            IpcError::BadTag
+        );
         let mut bad = tag;
         bad[5] ^= 0x80;
         assert!(b.verify(b"transfer 100", &bad).is_err());
+    }
+
+    #[test]
+    fn traced_handshake_emits_events_and_round_trip() {
+        use trustlite_obs::{ObsLevel, Recorder};
+        let mut obs = Recorder::new(ObsLevel::Events);
+        let mut rng_a = XorShift64::new(1);
+        let mut rng_b = XorShift64::new(2);
+        obs.set_now(100);
+        let (init, syn) = traced::start(&mut obs, 0xA, 0xB, &mut rng_a);
+        obs.set_now(150);
+        let (chan_b, ack) = traced::respond(&mut obs, syn, &mut rng_b);
+        obs.set_now(220);
+        let chan_a = traced::complete(&mut obs, init, ack).unwrap();
+        assert_eq!(chan_a.token(), chan_b.token());
+        // syn send, syn recv, ack send, ack recv.
+        assert_eq!(obs.ring.len(), 4);
+        assert_eq!(obs.metrics.counter("ipc.established"), 1);
+        let h = obs.metrics.histogram("ipc.round_trip_cycles").unwrap();
+        assert_eq!(h.sum(), 120, "completed at 220, started at 100");
     }
 
     #[test]

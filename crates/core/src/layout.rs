@@ -68,15 +68,19 @@ pub struct Layout {
 impl Layout {
     /// Creates the allocator for an SRAM of `sram_size` bytes.
     pub fn new(sram_size: u32) -> Self {
-        Layout { cursor: map::SRAM_BASE + SYS_TABLES_SIZE, end: map::SRAM_BASE + sram_size }
+        Layout {
+            cursor: map::SRAM_BASE + SYS_TABLES_SIZE,
+            end: map::SRAM_BASE + sram_size,
+        }
     }
 
     /// Allocates `size` bytes aligned to `align` (a power of two).
     pub fn alloc(&mut self, size: u32, align: u32) -> Result<u32, TrustliteError> {
         debug_assert!(align.is_power_of_two());
         let base = (self.cursor + align - 1) & !(align - 1);
-        let new_cursor =
-            base.checked_add(size).ok_or(TrustliteError::OutOfSram { requested: size })?;
+        let new_cursor = base
+            .checked_add(size)
+            .ok_or(TrustliteError::OutOfSram { requested: size })?;
         if new_cursor > self.end {
             return Err(TrustliteError::OutOfSram { requested: size });
         }

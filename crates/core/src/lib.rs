@@ -68,3 +68,4 @@ pub use error::TrustliteError;
 pub use instantiation::Instantiation;
 pub use platform::{Platform, PlatformBuilder};
 pub use spec::{OsSpec, PeriphGrant, SharedSpec, TrustletOptions, TrustletPlan, TrustletSpec};
+pub use trustlite_obs::{Event, MetricsReport, ObsLevel, Recorder};

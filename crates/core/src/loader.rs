@@ -17,8 +17,8 @@
 
 use std::collections::BTreeMap;
 
-use trustlite_crypto::hmac_sha256;
 use trustlite_cpu::{vectors, Machine, TrustletRow};
+use trustlite_crypto::hmac_sha256;
 use trustlite_mem::map;
 use trustlite_mpu::{Perms, RuleSlot, Subject};
 use trustlite_periph::KeyStore;
@@ -44,7 +44,11 @@ pub struct LoaderConfig {
 
 impl Default for LoaderConfig {
     fn default() -> Self {
-        LoaderConfig { secure_exceptions: true, verify_auth: true, platform_key_slot: 0 }
+        LoaderConfig {
+            secure_exceptions: true,
+            verify_auth: true,
+            platform_key_slot: 0,
+        }
     }
 }
 
@@ -85,6 +89,7 @@ pub fn run(
     cfg: LoaderConfig,
 ) -> Result<LoaderReport, TrustliteError> {
     let mut report = LoaderReport::default();
+    let mut auth_words = 0u64;
 
     // Step 1 (Figure 5): clear the MPU access-control registers.
     machine.sys.mpu.reset();
@@ -114,12 +119,13 @@ pub fn run(
         // Step 2a: authenticate (secure boot) before anything is copied.
         if cfg.verify_auth {
             if let Some(tag) = entry.auth_tag {
-                let key = platform_key
-                    .ok_or_else(|| TrustliteError::AuthFailed(plan.name.clone()))?;
+                let key =
+                    platform_key.ok_or_else(|| TrustliteError::AuthFailed(plan.name.clone()))?;
                 let expected = hmac_sha256(&key, &entry.code);
                 if !trustlite_crypto::ct_eq(&expected, &tag) {
                     return Err(TrustliteError::AuthFailed(plan.name.clone()));
                 }
+                auth_words += entry.code.len().div_ceil(4) as u64;
             }
         }
 
@@ -201,7 +207,10 @@ pub fn run(
     for &(vector, handler) in &os.idt {
         machine
             .sys
-            .hw_write32(layout::idt_base() + 4 * (vector as u32 % vectors::IDT_ENTRIES), handler)
+            .hw_write32(
+                layout::idt_base() + 4 * (vector as u32 % vectors::IDT_ENTRIES),
+                handler,
+            )
             .map_err(|e| TrustliteError::BadFirmware(e.to_string()))?;
     }
     machine
@@ -224,8 +233,43 @@ pub fn run(
 
     report.mpu_writes = machine.sys.mpu.write_count();
     report.regions_programmed = (report.mpu_writes / 3) as usize;
-    report.estimated_cycles =
-        report.words_copied + report.mpu_writes + report.measured_bytes / 4 + 2 * entries.len() as u64;
+    report.estimated_cycles = report.words_copied
+        + report.mpu_writes
+        + report.measured_bytes / 4
+        + 2 * entries.len() as u64;
+
+    // Telemetry: one event per Figure 5 phase on the estimated-cycle
+    // timeline (loader work is host-side, so operation counts stand in
+    // for cycles), plus the loader metrics.
+    let obs = &mut machine.sys.obs;
+    if obs.active() {
+        let n = entries.len() as u64;
+        let phases: [(&str, u64); 7] = [
+            ("reset", 1),
+            ("authenticate", auth_words),
+            (
+                "copy_images",
+                report.words_copied + u64::from(INITIAL_FRAME_WORDS) * n,
+            ),
+            ("measure", report.measured_bytes / 4),
+            ("program_mpu", report.mpu_writes),
+            ("config_tables", n + os.idt.len() as u64 + 1),
+            ("launch", 1),
+        ];
+        let mut t = 0u64;
+        for (phase, ops) in phases {
+            obs.emit(crate::Event::LoaderPhase {
+                start: t,
+                phase: phase.to_string(),
+                ops,
+            });
+            obs.metrics.add(&format!("loader.{phase}.ops"), ops);
+            t += ops.max(1);
+        }
+        obs.metrics.inc("loader.runs");
+        obs.metrics
+            .observe("loader.estimated_cycles", report.estimated_cycles);
+    }
     Ok(report)
 }
 
@@ -252,11 +296,24 @@ fn program_mpu(
     // untrusted; its entry discipline protects nothing). This slot also
     // *defines* the OS subject region.
     let os_slot = rules.len();
-    rules.push((None, enabled(os.image.base, os.image.base + os.image.len(), Perms::RX, Subject::Any)));
+    rules.push((
+        None,
+        enabled(
+            os.image.base,
+            os.image.base + os.image.len(),
+            Perms::RX,
+            Subject::Any,
+        ),
+    ));
     // OS data + stack: rw for OS code only.
     rules.push((
         None,
-        enabled(os.data_base, os.data_base + os.data_size, Perms::RW, Subject::Region(os_slot as u8)),
+        enabled(
+            os.data_base,
+            os.data_base + os.data_size,
+            Perms::RW,
+            Subject::Region(os_slot as u8),
+        ),
     ));
     // System tables (IDT, SP cell, Trustlet Table, measurements): readable
     // by everyone, writable by no one (hardware updates bypass the MPU).
@@ -274,18 +331,33 @@ fn program_mpu(
     // Section 3.3/3.5.
     rules.push((
         None,
-        enabled(map::MPU_MMIO_BASE, map::MPU_MMIO_BASE + map::MPU_MMIO_SIZE, Perms::R, Subject::Any),
+        enabled(
+            map::MPU_MMIO_BASE,
+            map::MPU_MMIO_BASE + map::MPU_MMIO_SIZE,
+            Perms::R,
+            Subject::Any,
+        ),
     ));
     // External DRAM: untrusted bulk memory, rwx for everyone.
     rules.push((
         None,
-        enabled(map::DRAM_BASE, map::DRAM_BASE + map::DRAM_SIZE, Perms::RWX, Subject::Any),
+        enabled(
+            map::DRAM_BASE,
+            map::DRAM_BASE + map::DRAM_SIZE,
+            Perms::RWX,
+            Subject::Any,
+        ),
     ));
     // Peripherals the OS drives.
     for g in &os.peripherals {
         rules.push((
             None,
-            enabled(g.base, g.base + g.size, g.perms, Subject::Region(os_slot as u8)),
+            enabled(
+                g.base,
+                g.base + g.size,
+                g.perms,
+                Subject::Region(os_slot as u8),
+            ),
         ));
     }
 
@@ -297,7 +369,12 @@ fn program_mpu(
         code_slot.insert(plan.name.as_str(), slot);
         rules.push((
             Some(plan.name.clone()),
-            enabled(plan.code_base, plan.code_end(), Perms::RX, Subject::Region(slot as u8)),
+            enabled(
+                plan.code_base,
+                plan.code_end(),
+                Perms::RX,
+                Subject::Region(slot as u8),
+            ),
         ));
     }
     // Second pass: object rules referencing the subject slots.
@@ -312,19 +389,33 @@ fn program_mpu(
         // Entry vector: executable by anyone.
         push(
             &mut rules,
-            enabled(plan.code_base, plan.code_base + plan.entry_len, Perms::X, Subject::Any),
+            enabled(
+                plan.code_base,
+                plan.code_base + plan.entry_len,
+                Perms::X,
+                Subject::Any,
+            ),
         );
         // Public code: readable by anyone (peer inspection).
         if spec.options.public_code {
-            push(&mut rules, enabled(plan.code_base, plan.code_end(), Perms::R, Subject::Any));
+            push(
+                &mut rules,
+                enabled(plan.code_base, plan.code_end(), Perms::R, Subject::Any),
+            );
         }
         // Private data + stack (allocated adjacently): rw for self.
-        push(&mut rules, enabled(plan.data_base, plan.stack_top(), Perms::RW, me));
+        push(
+            &mut rules,
+            enabled(plan.data_base, plan.stack_top(), Perms::RW, me),
+        );
         // The trustlet's own Trustlet Table saved-SP slot: writable by the
         // trustlet itself so it can publish its stack pointer before a
         // voluntary IPC transfer (Figure 6's save-state()); everyone else
         // only reads the table.
-        push(&mut rules, enabled(plan.sp_slot, plan.sp_slot + 4, Perms::W, me));
+        push(
+            &mut rules,
+            enabled(plan.sp_slot, plan.sp_slot + 4, Perms::W, me),
+        );
         // Peripheral grants.
         for g in &spec.options.peripherals {
             push(&mut rules, enabled(g.base, g.base + g.size, g.perms, me));
@@ -335,7 +426,10 @@ fn program_mpu(
                 .iter()
                 .find(|s| &s.name == name)
                 .ok_or_else(|| TrustliteError::UnknownTrustlet(name.clone()))?;
-            push(&mut rules, enabled(region.base, region.base + region.size, *perms, me));
+            push(
+                &mut rules,
+                enabled(region.base, region.base + region.size, *perms, me),
+            );
         }
         // Field update: another trustlet may write this code region.
         if let Some(updater) = &spec.options.code_writable_by {
@@ -344,7 +438,12 @@ fn program_mpu(
                 .ok_or_else(|| TrustliteError::UnknownTrustlet(updater.clone()))?;
             push(
                 &mut rules,
-                enabled(plan.code_base, plan.code_end(), Perms::W, Subject::Region(slot as u8)),
+                enabled(
+                    plan.code_base,
+                    plan.code_end(),
+                    Perms::W,
+                    Subject::Region(slot as u8),
+                ),
             );
         }
         report.rule_map.insert(plan.name.clone(), my_rules);

@@ -43,9 +43,9 @@ impl OsProgram {
             });
         }
         if img.symbol("main").is_none() {
-            return Err(TrustliteError::Asm(trustlite_isa::builder::AsmError::UndefinedLabel(
-                "main".to_string(),
-            )));
+            return Err(TrustliteError::Asm(
+                trustlite_isa::builder::AsmError::UndefinedLabel("main".to_string()),
+            ));
         }
         Ok(img)
     }
@@ -62,11 +62,12 @@ pub struct PlatformBuilder {
     trustlets: Vec<TrustletSpec>,
     shared: Vec<SharedSpec>,
     os: Option<OsSpec>,
-    os_reserved: Option<(u32, u32)>, // (code_base, code_size)
+    os_reserved: Option<(u32, u32)>,  // (code_base, code_size)
     os_geom: Option<(u32, u32, u32)>, // (data_base, data_size, stack_top)
     os_periphs: Vec<crate::spec::PeriphGrant>,
     uart_irq_line: Option<u8>,
     rng_seed: u64,
+    telemetry: trustlite_obs::ObsLevel,
     next_tt: u32,
 }
 
@@ -94,8 +95,17 @@ impl PlatformBuilder {
             os_periphs: Vec::new(),
             uart_irq_line: None,
             rng_seed: 0x7457_117e,
+            telemetry: trustlite_obs::ObsLevel::Off,
             next_tt: 0,
         }
+    }
+
+    /// Sets the telemetry capture level (default off). Setting it here
+    /// rather than on the built machine also captures the Secure Loader's
+    /// boot-phase events and metrics.
+    pub fn telemetry(&mut self, level: trustlite_obs::ObsLevel) -> &mut Self {
+        self.telemetry = level;
+        self
     }
 
     /// Sets the number of EA-MPU rule slots (hardware instantiation
@@ -158,7 +168,10 @@ impl PlatformBuilder {
         let code_base = self.layout.alloc(code_size, 16).expect("SRAM exhausted");
         // Data and stack are allocated adjacently so one MPU rule covers
         // both (the paper's trick for conserving region registers).
-        let data_base = self.layout.alloc(data_size + stack_size, 16).expect("SRAM exhausted");
+        let data_base = self
+            .layout
+            .alloc(data_size + stack_size, 16)
+            .expect("SRAM exhausted");
         let tt_index = self.next_tt;
         self.next_tt += 1;
         TrustletPlan {
@@ -180,7 +193,11 @@ impl PlatformBuilder {
     /// Allocates a named shared-memory region.
     pub fn plan_shared(&mut self, name: &str, size: u32) -> SharedSpec {
         let base = self.layout.alloc(size, 16).expect("SRAM exhausted");
-        let spec = SharedSpec { name: name.to_string(), base, size };
+        let spec = SharedSpec {
+            name: name.to_string(),
+            base,
+            size,
+        };
         self.shared.push(spec.clone());
         spec
     }
@@ -210,12 +227,17 @@ impl PlatformBuilder {
                 actual: image.len(),
             });
         }
-        let main = image
-            .symbol("main")
-            .ok_or_else(|| TrustliteError::Asm(
-                trustlite_isa::builder::AsmError::UndefinedLabel("main".to_string()),
-            ))?;
-        self.trustlets.push(TrustletSpec { plan: plan.clone(), image, main, options });
+        let main = image.symbol("main").ok_or_else(|| {
+            TrustliteError::Asm(trustlite_isa::builder::AsmError::UndefinedLabel(
+                "main".to_string(),
+            ))
+        })?;
+        self.trustlets.push(TrustletSpec {
+            plan: plan.clone(),
+            image,
+            main,
+            options,
+        });
         Ok(())
     }
 
@@ -223,7 +245,10 @@ impl PlatformBuilder {
     /// given data/stack sizes.
     pub fn begin_os_sized(&mut self, code_size: u32, data_size: u32, stack_size: u32) -> OsProgram {
         let code_base = self.layout.alloc(code_size, 16).expect("SRAM exhausted");
-        let data_base = self.layout.alloc(data_size + stack_size, 16).expect("SRAM exhausted");
+        let data_base = self
+            .layout
+            .alloc(data_size + stack_size, 16)
+            .expect("SRAM exhausted");
         self.os_reserved = Some((code_base, code_size));
         self.os_geom = Some((data_base, data_size, data_base + data_size + stack_size));
         OsProgram {
@@ -249,8 +274,10 @@ impl PlatformBuilder {
         if let Some((code_base, _)) = self.os_reserved {
             debug_assert_eq!(image.base, code_base);
         }
-        let handlers: Vec<(u8, u32)> =
-            idt.iter().map(|(v, sym)| (*v, image.expect_symbol(sym))).collect();
+        let handlers: Vec<(u8, u32)> = idt
+            .iter()
+            .map(|(v, sym)| (*v, image.expect_symbol(sym)))
+            .collect();
         let (data_base, data_size, stack_top) =
             self.os_geom.unwrap_or((image.base + image.len(), 0, 0));
         self.os = Some(OsSpec {
@@ -305,11 +332,14 @@ impl PlatformBuilder {
             .collect();
         let blob = prom::stage(&entries);
         if !bus.host_load(map::PROM_BASE + loader::FW_TABLE_OFF, &blob) {
-            return Err(TrustliteError::BadFirmware("firmware exceeds PROM".to_string()));
+            return Err(TrustliteError::BadFirmware(
+                "firmware exceeds PROM".to_string(),
+            ));
         }
 
         let mpu = EaMpu::new(self.mpu_slots);
-        let sys = SystemBus::new(bus, mpu, Some(map::MPU_MMIO_BASE));
+        let mut sys = SystemBus::new(bus, mpu, Some(map::MPU_MMIO_BASE));
+        sys.obs.set_level(self.telemetry);
         let mut machine = Machine::new(sys, os.entry);
 
         let report = loader::run(
@@ -324,8 +354,24 @@ impl PlatformBuilder {
             },
         )?;
 
-        let plans =
-            self.trustlets.iter().map(|t| (t.plan.name.clone(), t.plan.clone())).collect();
+        // Register cycle-attribution domains: the OS code region and each
+        // trustlet's code region. Attribution is keyed on the retiring
+        // instruction pointer, so code ranges are all that is needed.
+        let obs = &mut machine.sys.obs;
+        obs.attr
+            .register("os", &[(os.image.base, os.image.base + os.image.len())]);
+        for t in &self.trustlets {
+            obs.attr.register(
+                &t.plan.name,
+                &[(t.plan.code_base, t.plan.code_base + t.plan.code_size)],
+            );
+        }
+
+        let plans = self
+            .trustlets
+            .iter()
+            .map(|t| (t.plan.name.clone(), t.plan.clone()))
+            .collect();
         Ok(Platform {
             machine,
             plans,
@@ -377,9 +423,16 @@ impl Platform {
         self.machine.cycles = 0;
         self.machine.instret = 0;
         self.machine.regs = trustlite_cpu::RegFile::default();
-        self.machine.trace.clear();
-        self.report =
-            loader::run(&mut self.machine, &self.os, &self.specs, &self.shared, self.loader_cfg)?;
+        // Telemetry survives the reset warm: level, ring capacity and
+        // attribution domains stay; captured data is dropped.
+        self.machine.sys.obs.clear();
+        self.report = loader::run(
+            &mut self.machine,
+            &self.os,
+            &self.specs,
+            &self.shared,
+            self.loader_cfg,
+        )?;
         Ok(&self.report)
     }
 
@@ -391,7 +444,9 @@ impl Platform {
 
     /// Looks up a trustlet's plan.
     pub fn plan(&self, name: &str) -> Result<&TrustletPlan, TrustliteError> {
-        self.plans.get(name).ok_or_else(|| TrustliteError::UnknownTrustlet(name.to_string()))
+        self.plans
+            .get(name)
+            .ok_or_else(|| TrustliteError::UnknownTrustlet(name.to_string()))
     }
 
     /// Looks up a trustlet's loaded image.

@@ -71,7 +71,16 @@ pub fn stage(entries: &[PromEntry]) -> Vec<u8> {
         if e.auth_tag.is_some() {
             flags |= FLAG_AUTHENTICATED;
         }
-        for w in [e.id, e.dst_base, e.code.len() as u32, e.entry_len, flags, e.main, 0, 0] {
+        for w in [
+            e.id,
+            e.dst_base,
+            e.code.len() as u32,
+            e.entry_len,
+            flags,
+            e.main,
+            0,
+            0,
+        ] {
             out.extend_from_slice(&w.to_le_bytes());
         }
         out.extend_from_slice(&e.code);
@@ -87,7 +96,9 @@ pub fn stage(entries: &[PromEntry]) -> Vec<u8> {
 pub fn parse(bytes: &[u8]) -> Result<Vec<PromEntry>, TrustliteError> {
     let bad = |m: &str| TrustliteError::BadFirmware(m.to_string());
     let word = |off: usize| -> Result<u32, TrustliteError> {
-        let s = bytes.get(off..off + 4).ok_or_else(|| bad("truncated word"))?;
+        let s = bytes
+            .get(off..off + 4)
+            .ok_or_else(|| bad("truncated word"))?;
         Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
     };
     if word(0)? != MAGIC {
@@ -113,7 +124,9 @@ pub fn parse(bytes: &[u8]) -> Result<Vec<PromEntry>, TrustliteError> {
             .to_vec();
         off += pad4(code_len);
         let auth_tag = if flags & FLAG_AUTHENTICATED != 0 {
-            let tag = bytes.get(off..off + 32).ok_or_else(|| bad("truncated auth tag"))?;
+            let tag = bytes
+                .get(off..off + 32)
+                .ok_or_else(|| bad("truncated auth tag"))?;
             off += 32;
             let mut t = [0u8; 32];
             t.copy_from_slice(tag);

@@ -56,12 +56,25 @@ impl TrustletProgram {
         asm.label("__tl_continue");
         asm.li(Reg::R0, plan.sp_slot);
         asm.lw(Reg::Sp, Reg::R0, 0);
-        for r in [Reg::R7, Reg::R6, Reg::R5, Reg::R4, Reg::R3, Reg::R2, Reg::R1, Reg::R0] {
+        for r in [
+            Reg::R7,
+            Reg::R6,
+            Reg::R5,
+            Reg::R4,
+            Reg::R3,
+            Reg::R2,
+            Reg::R1,
+            Reg::R0,
+        ] {
             asm.pop(r);
         }
         asm.popf();
         asm.ret();
-        TrustletProgram { asm, reserved_size: plan.code_size, name: plan.name.clone() }
+        TrustletProgram {
+            asm,
+            reserved_size: plan.code_size,
+            name: plan.name.clone(),
+        }
     }
 
     /// Emits a "save state and transfer" sequence (Figure 6's
@@ -72,12 +85,26 @@ impl TrustletProgram {
     /// Execution resumes at `continuation` (with `r0..r5` restored to
     /// their values at the save; `r6`/`r7` are clobbered by this helper)
     /// when someone invokes this trustlet's `continue()` entry.
-    pub fn emit_save_and_invoke(&mut self, plan: &TrustletPlan, continuation: &str, target_abs: u32) {
+    pub fn emit_save_and_invoke(
+        &mut self,
+        plan: &TrustletPlan,
+        continuation: &str,
+        target_abs: u32,
+    ) {
         let a = &mut self.asm;
         a.la(Reg::R6, continuation);
         a.push(Reg::R6); // return ip
         a.pushf(); // flags
-        for r in [Reg::R0, Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7] {
+        for r in [
+            Reg::R0,
+            Reg::R1,
+            Reg::R2,
+            Reg::R3,
+            Reg::R4,
+            Reg::R5,
+            Reg::R6,
+            Reg::R7,
+        ] {
             a.push(r); // r7 ends on top, matching the engine frame
         }
         a.li(Reg::R6, plan.sp_slot);
@@ -94,9 +121,9 @@ impl TrustletProgram {
             self.asm.halt();
         }
         if !self.asm.label_defined("main") {
-            return Err(TrustliteError::Asm(trustlite_isa::builder::AsmError::UndefinedLabel(
-                "main".to_string(),
-            )));
+            return Err(TrustliteError::Asm(
+                trustlite_isa::builder::AsmError::UndefinedLabel("main".to_string()),
+            ));
         }
         let img = self.asm.assemble()?;
         if img.len() > self.reserved_size {
@@ -232,7 +259,10 @@ mod tests {
         for _ in 0..32 {
             t.asm.nop();
         }
-        assert!(matches!(t.finish(), Err(TrustliteError::ImageTooLarge { .. })));
+        assert!(matches!(
+            t.finish(),
+            Err(TrustliteError::ImageTooLarge { .. })
+        ));
     }
 
     #[test]

@@ -12,7 +12,8 @@ fn run_program(source: &str, input: &[u8]) -> Machine {
     let img = assemble_text(0, source).expect("assembles");
     let mut bus = Bus::new();
     bus.map(map::PROM_BASE, Box::new(Rom::new(0x4000))).unwrap();
-    bus.map(map::SRAM_BASE, Box::new(Ram::new("sram", 0x4000))).unwrap();
+    bus.map(map::SRAM_BASE, Box::new(Ram::new("sram", 0x4000)))
+        .unwrap();
     let mut uart = Uart::new();
     uart.inject_input(input);
     bus.map(map::UART_MMIO_BASE, Box::new(uart)).unwrap();
@@ -21,12 +22,19 @@ fn run_program(source: &str, input: &[u8]) -> Machine {
     sys.enforce = false;
     let mut m = Machine::new(sys, 0);
     let exit = m.run(1_000_000);
-    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
+    assert!(
+        matches!(exit, RunExit::Halted(HaltReason::Halt { .. })),
+        "{exit:?}"
+    );
     m
 }
 
 fn uart_out(m: &mut Machine) -> Vec<u8> {
-    m.sys.bus.device_mut::<Uart>("uart").expect("uart").take_output()
+    m.sys
+        .bus
+        .device_mut::<Uart>("uart")
+        .expect("uart")
+        .take_output()
 }
 
 #[test]

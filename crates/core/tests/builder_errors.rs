@@ -32,7 +32,8 @@ fn missing_os_rejected() {
 fn duplicate_trustlet_rejected() {
     let mut b = PlatformBuilder::new();
     let plan = b.plan_trustlet("dup", 0x100, 0x80, 0x80);
-    b.add_trustlet(&plan, trivial_image(&plan), TrustletOptions::default()).unwrap();
+    b.add_trustlet(&plan, trivial_image(&plan), TrustletOptions::default())
+        .unwrap();
     let err = b.add_trustlet(&plan, trivial_image(&plan), TrustletOptions::default());
     assert!(matches!(err, Err(TrustliteError::DuplicateTrustlet(n)) if n == "dup"));
 }
@@ -47,7 +48,10 @@ fn plan_mismatch_rejected() {
     a.halt();
     let img = a.assemble().unwrap();
     let err = b.add_trustlet(&plan, img, TrustletOptions::default());
-    assert!(matches!(err, Err(TrustliteError::PlanMismatch { .. })), "{err:?}");
+    assert!(
+        matches!(err, Err(TrustliteError::PlanMismatch { .. })),
+        "{err:?}"
+    );
 }
 
 #[test]
@@ -61,7 +65,10 @@ fn oversize_image_rejected_at_registration() {
     }
     let img = a.assemble().unwrap();
     let err = b.add_trustlet(&plan, img, TrustletOptions::default());
-    assert!(matches!(err, Err(TrustliteError::ImageTooLarge { .. })), "{err:?}");
+    assert!(
+        matches!(err, Err(TrustliteError::ImageTooLarge { .. })),
+        "{err:?}"
+    );
 }
 
 #[test]
@@ -82,7 +89,8 @@ fn out_of_mpu_slots_rejected_with_counts() {
     for name in ["a", "b"] {
         let plan = b.plan_trustlet(name, 0x100, 0x80, 0x80);
         let img = trivial_image(&plan);
-        b.add_trustlet(&plan, img, TrustletOptions::default()).unwrap();
+        b.add_trustlet(&plan, img, TrustletOptions::default())
+            .unwrap();
     }
     trivial_os(&mut b);
     match b.build() {
@@ -102,7 +110,10 @@ fn unknown_shared_region_rejected() {
     b.add_trustlet(
         &plan,
         img,
-        TrustletOptions { shared: vec![("nope".into(), Perms::R)], ..Default::default() },
+        TrustletOptions {
+            shared: vec![("nope".into(), Perms::R)],
+            ..Default::default()
+        },
     )
     .unwrap();
     trivial_os(&mut b);
@@ -117,7 +128,10 @@ fn unknown_updater_rejected() {
     b.add_trustlet(
         &plan,
         img,
-        TrustletOptions { code_writable_by: Some("ghost".into()), ..Default::default() },
+        TrustletOptions {
+            code_writable_by: Some("ghost".into()),
+            ..Default::default()
+        },
     )
     .unwrap();
     trivial_os(&mut b);
@@ -133,7 +147,10 @@ fn auth_without_platform_key_rejected() {
     b.add_trustlet(
         &plan,
         img,
-        TrustletOptions { auth_tag: Some([0u8; 32]), ..Default::default() },
+        TrustletOptions {
+            auth_tag: Some([0u8; 32]),
+            ..Default::default()
+        },
     )
     .unwrap();
     trivial_os(&mut b);
@@ -148,12 +165,23 @@ fn error_messages_are_actionable() {
         TrustliteError::MissingOs,
         TrustliteError::DuplicateTrustlet("x".into()),
         TrustliteError::UnknownTrustlet("y".into()),
-        TrustliteError::OutOfMpuSlots { needed: 12, available: 8 },
+        TrustliteError::OutOfMpuSlots {
+            needed: 12,
+            available: 8,
+        },
         TrustliteError::OutOfSram { requested: 0x1000 },
         TrustliteError::AuthFailed("z".into()),
         TrustliteError::BadFirmware("bad magic".into()),
-        TrustliteError::PlanMismatch { name: "p".into(), expected: 0x100, actual: 0x200 },
-        TrustliteError::ImageTooLarge { name: "q".into(), reserved: 0x40, actual: 0x80 },
+        TrustliteError::PlanMismatch {
+            name: "p".into(),
+            expected: 0x100,
+            actual: 0x200,
+        },
+        TrustliteError::ImageTooLarge {
+            name: "q".into(),
+            reserved: 0x40,
+            actual: 0x80,
+        },
     ];
     for e in errors {
         let msg = e.to_string();
@@ -172,5 +200,8 @@ fn oversize_runtime_program_rejected_by_finish() {
     for _ in 0..32 {
         t.asm.li(Reg::R0, 0x12345678);
     }
-    assert!(matches!(t.finish(), Err(TrustliteError::ImageTooLarge { .. })));
+    assert!(matches!(
+        t.finish(),
+        Err(TrustliteError::ImageTooLarge { .. })
+    ));
 }

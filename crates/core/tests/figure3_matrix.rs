@@ -24,7 +24,8 @@ fn figure3() -> Fixture {
         let mut t = plan.begin_program();
         t.asm.label("main");
         t.asm.halt();
-        b.add_trustlet(plan, t.finish().unwrap(), TrustletOptions::default()).unwrap();
+        b.add_trustlet(plan, t.finish().unwrap(), TrustletOptions::default())
+            .unwrap();
     }
     b.grant_os_peripheral(PeriphGrant {
         base: map::TIMER_MMIO_BASE,
@@ -41,7 +42,11 @@ fn figure3() -> Fixture {
     os.asm.halt();
     let os_img = os.finish().unwrap();
     b.set_os(os_img, &[]);
-    Fixture { platform: b.build().unwrap(), a: plan_a, b: plan_b }
+    Fixture {
+        platform: b.build().unwrap(),
+        a: plan_a,
+        b: plan_b,
+    }
 }
 
 /// A subject's representative instruction pointer.
@@ -81,12 +86,7 @@ fn expected_matrix(f: &Fixture) -> Vec<(&'static str, String, u32, &'static str)
         m.push((who, format!("{b} stack"), f.b.stack_base, perm_data(b)));
         // The OS is untrusted: everyone may read and execute its code.
         m.push((who, "OS code".to_string(), f.platform.os.entry + 0x4, "rx"));
-        m.push((
-            who,
-            "MPU regions".to_string(),
-            map::MPU_MMIO_BASE,
-            "r-",
-        ));
+        m.push((who, "MPU regions".to_string(), map::MPU_MMIO_BASE, "r-"));
         m.push((
             who,
             "Timer period".to_string(),
@@ -139,14 +139,20 @@ fn subjects_are_disjoint() {
     // Sanity: the three subjects' code regions do not overlap, so the
     // matrix rows are meaningful.
     let f = figure3();
-    let spans =
-        [(f.a.code_base, f.a.code_end()), (f.b.code_base, f.b.code_end()), (
+    let spans = [
+        (f.a.code_base, f.a.code_end()),
+        (f.b.code_base, f.b.code_end()),
+        (
             f.platform.os.image.base,
             f.platform.os.image.base + f.platform.os.image.len(),
-        )];
+        ),
+    ];
     for (i, &(s1, e1)) in spans.iter().enumerate() {
         for &(s2, e2) in spans.iter().skip(i + 1) {
-            assert!(e1 <= s2 || e2 <= s1, "overlap {s1:#x}..{e1:#x} vs {s2:#x}..{e2:#x}");
+            assert!(
+                e1 <= s2 || e2 <= s1,
+                "overlap {s1:#x}..{e1:#x} vs {s2:#x}..{e2:#x}"
+            );
         }
     }
 }

@@ -32,7 +32,8 @@ fn build() -> (trustlite::Platform, trustlite::TrustletPlan) {
     t.asm.li(Reg::R1, plan.data_base);
     t.asm.sw(Reg::R1, 0, Reg::R0); // prove the secret survived
     t.asm.halt();
-    b.add_trustlet(&plan, t.finish().unwrap(), TrustletOptions::default()).unwrap();
+    b.add_trustlet(&plan, t.finish().unwrap(), TrustletOptions::default())
+        .unwrap();
 
     let mut os = b.begin_os();
     let stack_top = os.stack_top;
@@ -53,7 +54,10 @@ fn build() -> (trustlite::Platform, trustlite::TrustletPlan) {
     let os_img = os.finish().unwrap();
     b.set_os(
         os_img,
-        &[(vectors::swi_vector(1), "resume"), (vectors::irq_vector(3), "irq_handler")],
+        &[
+            (vectors::swi_vector(1), "resume"),
+            (vectors::irq_vector(3), "irq_handler"),
+        ],
     );
     (b.build().unwrap(), plan)
 }
@@ -69,14 +73,18 @@ fn interrupts_in_the_restore_window_never_leak_or_corrupt() {
         // Run until the OS "resume" jump lands back on the entry vector.
         let entry = plan.continue_entry();
         assert!(
-            p.machine.run_until(10_000, |m| m.regs.ip == entry && m.instret > 4),
+            p.machine
+                .run_until(10_000, |m| m.regs.ip == entry && m.instret > 4),
             "reached re-entry (inject_after={inject_after})"
         );
         // Step `inject_after` instructions into the restore, then inject.
         for _ in 0..inject_after {
             p.machine.step();
         }
-        p.machine.raise_irq(IrqRequest { line: 3, handler: None });
+        p.machine.raise_irq(IrqRequest {
+            line: 3,
+            handler: None,
+        });
         // Run to completion (bounded).
         for _ in 0..50_000 {
             if let StepOutcome::Halted = p.machine.step() {
@@ -102,7 +110,10 @@ fn interrupts_in_the_restore_window_never_leak_or_corrupt() {
                 let leak = bytes
                     .windows(4)
                     .any(|w| u32::from_le_bytes([w[0], w[1], w[2], w[3]]) == SECRET);
-                assert!(!leak, "secret leaked into OS memory (inject_after={inject_after}, {f})");
+                assert!(
+                    !leak,
+                    "secret leaked into OS memory (inject_after={inject_after}, {f})"
+                );
             }
             None => panic!("run did not converge (inject_after={inject_after})"),
         }

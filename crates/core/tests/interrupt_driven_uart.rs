@@ -62,7 +62,10 @@ fn isr_echoes_injected_input() {
         .unwrap()
         .inject_input(b"echo me\n");
     let exit = p.run(100_000);
-    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
+    assert!(
+        matches!(exit, RunExit::Halted(HaltReason::Halt { .. })),
+        "{exit:?}"
+    );
     assert_eq!(p.uart_output(), b"echo me\n");
     // The interrupt really drove it (at least one UART-line exception).
     assert!(p
@@ -75,15 +78,30 @@ fn isr_echoes_injected_input() {
 #[test]
 fn multiple_bursts_each_raise_an_interrupt() {
     let mut p = build();
-    p.machine.sys.bus.device_mut::<Uart>("uart").unwrap().inject_input(b"ab");
+    p.machine
+        .sys
+        .bus
+        .device_mut::<Uart>("uart")
+        .unwrap()
+        .inject_input(b"ab");
     // Let the first burst drain.
     p.machine.run_until(50_000, |m| {
-        m.exc_log.iter().any(|r| r.vector == vectors::irq_vector(UART_IRQ_LINE))
+        m.exc_log
+            .iter()
+            .any(|r| r.vector == vectors::irq_vector(UART_IRQ_LINE))
     });
     p.machine.run(2_000);
-    p.machine.sys.bus.device_mut::<Uart>("uart").unwrap().inject_input(b"c\n");
+    p.machine
+        .sys
+        .bus
+        .device_mut::<Uart>("uart")
+        .unwrap()
+        .inject_input(b"c\n");
     let exit = p.run(100_000);
-    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
+    assert!(
+        matches!(exit, RunExit::Halted(HaltReason::Halt { .. })),
+        "{exit:?}"
+    );
     assert_eq!(p.uart_output(), b"abc\n");
     let irqs = p
         .machine

@@ -29,7 +29,8 @@ fn build_two_party(
     t.asm.sw(Reg::R1, 0, Reg::R0);
     t.asm.halt();
     let img = t.finish().unwrap();
-    b.add_trustlet(&plan_a, img, TrustletOptions::default()).unwrap();
+    b.add_trustlet(&plan_a, img, TrustletOptions::default())
+        .unwrap();
 
     let mut os = b.begin_os();
     os.asm.label("main");
@@ -51,7 +52,10 @@ fn trustlet_writes_its_private_data() {
     });
     p.start_trustlet("alpha").unwrap();
     let exit = p.run(1000);
-    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
+    assert!(
+        matches!(exit, RunExit::Halted(HaltReason::Halt { .. })),
+        "{exit:?}"
+    );
     let data_base = p.plan("alpha").unwrap().data_base;
     assert_eq!(p.machine.sys.hw_read32(data_base).unwrap(), SECRET);
 }
@@ -64,11 +68,18 @@ fn os_cannot_read_trustlet_data() {
         asm.halt(); // not reached
     });
     let exit = p.run(1000);
-    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
+    assert!(
+        matches!(exit, RunExit::Halted(HaltReason::Halt { .. })),
+        "{exit:?}"
+    );
     let rec = p.machine.exc_log.last().expect("fault recorded");
     assert_eq!(rec.vector, vectors::VEC_MPU_FAULT);
     let data_base = p.plan("alpha").unwrap().data_base;
-    assert_eq!(p.machine.regs.get(Reg::R7), data_base, "handler saw the fault address");
+    assert_eq!(
+        p.machine.regs.get(Reg::R7),
+        data_base,
+        "handler saw the fault address"
+    );
     assert_eq!(p.machine.regs.get(Reg::R0), 0, "no data leaked into r0");
 }
 
@@ -84,7 +95,11 @@ fn os_cannot_write_trustlet_code() {
     let before = p.machine.sys.hw_read32(code_addr).unwrap();
     p.run(1000);
     assert_eq!(p.machine.regs.get(Reg::R7), code_addr);
-    assert_eq!(p.machine.sys.hw_read32(code_addr).unwrap(), before, "code intact");
+    assert_eq!(
+        p.machine.sys.hw_read32(code_addr).unwrap(),
+        before,
+        "code intact"
+    );
 }
 
 #[test]
@@ -109,9 +124,16 @@ fn os_can_enter_via_entry_vector() {
         asm.jr(Reg::R1);
     });
     let exit = p.run(2000);
-    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
+    assert!(
+        matches!(exit, RunExit::Halted(HaltReason::Halt { .. })),
+        "{exit:?}"
+    );
     let data_base = p.plan("alpha").unwrap().data_base;
-    assert_eq!(p.machine.sys.hw_read32(data_base).unwrap(), SECRET, "trustlet ran");
+    assert_eq!(
+        p.machine.sys.hw_read32(data_base).unwrap(),
+        SECRET,
+        "trustlet ran"
+    );
 }
 
 #[test]
@@ -125,9 +147,17 @@ fn os_cannot_reprogram_the_mpu() {
     let writes_before = p.machine.sys.mpu.write_count();
     let slots_before: Vec<_> = p.machine.sys.mpu.slots().to_vec();
     p.run(1000);
-    assert_eq!(p.machine.regs.get(Reg::R7), map::MPU_MMIO_BASE, "write faulted");
+    assert_eq!(
+        p.machine.regs.get(Reg::R7),
+        map::MPU_MMIO_BASE,
+        "write faulted"
+    );
     assert_eq!(p.machine.sys.mpu.write_count(), writes_before);
-    assert_eq!(p.machine.sys.mpu.slots(), slots_before.as_slice(), "policy unchanged");
+    assert_eq!(
+        p.machine.sys.mpu.slots(),
+        slots_before.as_slice(),
+        "policy unchanged"
+    );
 }
 
 #[test]
@@ -141,7 +171,11 @@ fn os_can_read_mpu_policy() {
     let exit = p.run(1000);
     assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })));
     let os_base = p.os.image.base;
-    assert_eq!(p.machine.regs.get(Reg::R2), os_base, "slot 0 is the OS code rule");
+    assert_eq!(
+        p.machine.regs.get(Reg::R2),
+        os_base,
+        "slot 0 is the OS code rule"
+    );
 }
 
 #[test]
@@ -158,7 +192,11 @@ fn trustlet_table_read_only_for_software() {
     let rec = p.machine.exc_log.last().expect("fault recorded");
     assert_eq!(rec.vector, vectors::VEC_MPU_FAULT);
     assert_eq!(p.machine.regs.get(Reg::R7), tt);
-    assert_eq!(p.machine.regs.get(Reg::R2), 0xA0, "read of trustlet id succeeded");
+    assert_eq!(
+        p.machine.regs.get(Reg::R2),
+        0xA0,
+        "read of trustlet id succeeded"
+    );
 }
 
 #[test]
@@ -195,7 +233,11 @@ fn local_attestation_passes_then_detects_tamper() {
     // A physical-level tamper (outside the adversary model, injected via
     // the host load path) must be caught by the measurement check.
     let code_base = p.plan("alpha").unwrap().code_base;
-    assert!(p.machine.sys.bus.host_load(code_base + 20, &[0xff, 0xff, 0xff, 0xff]));
+    assert!(p
+        .machine
+        .sys
+        .bus
+        .host_load(code_base + 20, &[0xff, 0xff, 0xff, 0xff]));
     let a = attest::local_attest(&mut p, "alpha").unwrap();
     assert!(!a.measurement_ok);
     assert!(!a.trusted());
@@ -208,9 +250,7 @@ fn no_foreign_write_paths_into_trustlet_regions() {
     });
     let plan = p.plan("alpha").unwrap().clone();
     let my_slots = p.report.rule_map["alpha"].clone();
-    assert!(
-        attest::foreign_write_paths(&p, plan.code_base, plan.code_end(), &my_slots).is_empty()
-    );
+    assert!(attest::foreign_write_paths(&p, plan.code_base, plan.code_end(), &my_slots).is_empty());
     assert!(
         attest::foreign_write_paths(&p, plan.data_base, plan.stack_top(), &my_slots).is_empty()
     );
@@ -235,7 +275,10 @@ fn secure_boot_accepts_valid_tag_and_rejects_tampered() {
         b.add_trustlet(
             &plan,
             img,
-            TrustletOptions { auth_tag: Some(tag), ..Default::default() },
+            TrustletOptions {
+                auth_tag: Some(tag),
+                ..Default::default()
+            },
         )?;
         let mut os = b.begin_os();
         os.asm.label("main");
@@ -291,7 +334,10 @@ fn exclusive_peripheral_blocks_the_os() {
 
     // OS runs first and faults on the UART.
     p.run(1000);
-    assert_eq!(p.machine.exc_log.last().unwrap().vector, vectors::VEC_MPU_FAULT);
+    assert_eq!(
+        p.machine.exc_log.last().unwrap().vector,
+        vectors::VEC_MPU_FAULT
+    );
     assert!(p.uart_output().is_empty(), "nothing leaked to the UART");
 
     // The trustlet prints fine.
@@ -317,7 +363,10 @@ fn shared_region_visible_to_both_parties_only() {
     b.add_trustlet(
         &plan_a,
         a.finish().unwrap(),
-        TrustletOptions { shared: vec![("mailbox".into(), Perms::RW)], ..Default::default() },
+        TrustletOptions {
+            shared: vec![("mailbox".into(), Perms::RW)],
+            ..Default::default()
+        },
     )
     .unwrap();
 
@@ -329,7 +378,10 @@ fn shared_region_visible_to_both_parties_only() {
     b.add_trustlet(
         &plan_b,
         t.finish().unwrap(),
-        TrustletOptions { shared: vec![("mailbox".into(), Perms::R)], ..Default::default() },
+        TrustletOptions {
+            shared: vec![("mailbox".into(), Perms::R)],
+            ..Default::default()
+        },
     )
     .unwrap();
 
@@ -353,7 +405,11 @@ fn shared_region_visible_to_both_parties_only() {
     p.machine.halted = None;
     p.start_trustlet("reader").unwrap();
     p.run(1000);
-    assert_eq!(p.machine.regs.get(Reg::R2), 0x1234, "reader sees the mailbox");
+    assert_eq!(
+        p.machine.regs.get(Reg::R2),
+        0x1234,
+        "reader sees the mailbox"
+    );
 
     // Reader may not write.
     assert!(!p.machine.sys.mpu.allows(
@@ -367,7 +423,10 @@ fn shared_region_visible_to_both_parties_only() {
     p.machine.regs.ip = p.os.entry;
     p.machine.prev_ip = p.os.entry;
     p.run(1000);
-    assert_eq!(p.machine.exc_log.last().unwrap().vector, vectors::VEC_MPU_FAULT);
+    assert_eq!(
+        p.machine.exc_log.last().unwrap().vector,
+        vectors::VEC_MPU_FAULT
+    );
 }
 
 #[test]
@@ -382,7 +441,10 @@ fn field_update_allows_designated_updater_only() {
     b.add_trustlet(
         &plan_target,
         t.finish().unwrap(),
-        TrustletOptions { code_writable_by: Some("updater".into()), ..Default::default() },
+        TrustletOptions {
+            code_writable_by: Some("updater".into()),
+            ..Default::default()
+        },
     )
     .unwrap();
 
@@ -394,7 +456,12 @@ fn field_update_allows_designated_updater_only() {
     u.asm.li(Reg::R0, 0x0000_0000); // write a nop
     u.asm.sw(Reg::R1, 0, Reg::R0);
     u.asm.halt();
-    b.add_trustlet(&plan_updater, u.finish().unwrap(), TrustletOptions::default()).unwrap();
+    b.add_trustlet(
+        &plan_updater,
+        u.finish().unwrap(),
+        TrustletOptions::default(),
+    )
+    .unwrap();
 
     let mut os = b.begin_os();
     os.asm.label("main");
@@ -405,13 +472,24 @@ fn field_update_allows_designated_updater_only() {
 
     p.start_trustlet("updater").unwrap();
     let exit = p.run(1000);
-    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
+    assert!(
+        matches!(exit, RunExit::Halted(HaltReason::Halt { .. })),
+        "{exit:?}"
+    );
 
     // The OS still cannot write the target's code.
-    assert!(!p.machine.sys.mpu.allows(p.os.entry, patch_addr, AccessKind::Write));
+    assert!(!p
+        .machine
+        .sys
+        .mpu
+        .allows(p.os.entry, patch_addr, AccessKind::Write));
     // And the updater could (policy check).
     let updater_ip = p.plan("updater").unwrap().code_base + 32;
-    assert!(p.machine.sys.mpu.allows(updater_ip, patch_addr, AccessKind::Write));
+    assert!(p
+        .machine
+        .sys
+        .mpu
+        .allows(updater_ip, patch_addr, AccessKind::Write));
 }
 
 #[test]
@@ -425,7 +503,8 @@ fn remote_attestation_round_trip() {
     t.asm.halt();
     let img = t.finish().unwrap();
     let expected = attest::measure_region(&img.bytes, plan.code_size);
-    b.add_trustlet(&plan, img, TrustletOptions::default()).unwrap();
+    b.add_trustlet(&plan, img, TrustletOptions::default())
+        .unwrap();
     let mut os = b.begin_os();
     os.asm.label("main");
     os.asm.halt();
@@ -436,7 +515,12 @@ fn remote_attestation_round_trip() {
     let challenge = Challenge { nonce: [9u8; 16] };
     let response = attest::respond(&mut p, &challenge).unwrap();
     assert!(attest::verify(&key, &challenge, &response, &[expected]));
-    assert!(!attest::verify(&key, &Challenge { nonce: [8u8; 16] }, &response, &[expected]));
+    assert!(!attest::verify(
+        &key,
+        &Challenge { nonce: [8u8; 16] },
+        &response,
+        &[expected]
+    ));
 }
 
 #[test]
@@ -452,5 +536,8 @@ fn stale_memory_cleared_by_protection_not_wiping() {
     });
     // (Platform is already booted here; the point is the access check.)
     p.run(1000);
-    assert_eq!(p.machine.exc_log.last().unwrap().vector, vectors::VEC_MPU_FAULT);
+    assert_eq!(
+        p.machine.exc_log.last().unwrap().vector,
+        vectors::VEC_MPU_FAULT
+    );
 }

@@ -20,7 +20,8 @@ fn build() -> (trustlite::Platform, trustlite::TrustletPlan) {
     t.asm.li(Reg::R0, SECRET);
     t.asm.sw(Reg::R1, 0, Reg::R0);
     t.asm.halt();
-    b.add_trustlet(&plan, t.finish().unwrap(), TrustletOptions::default()).unwrap();
+    b.add_trustlet(&plan, t.finish().unwrap(), TrustletOptions::default())
+        .unwrap();
     let mut os = b.begin_os();
     let stack_top = os.stack_top;
     os.asm.label("main");
@@ -52,7 +53,10 @@ fn stale_secret_survives_reset_but_stays_protected() {
     );
     // But the rules are back before the OS runs: the probe faults.
     let exit = p.run(10_000);
-    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
+    assert!(
+        matches!(exit, RunExit::Halted(HaltReason::Halt { .. })),
+        "{exit:?}"
+    );
     let rec = p.machine.exc_log.last().expect("fault recorded");
     assert_eq!(rec.vector, vectors::VEC_MPU_FAULT);
     assert_eq!(p.machine.regs.get(Reg::R2), 0, "stale secret not readable");
@@ -64,8 +68,15 @@ fn reset_reprograms_the_same_policy() {
     let before: Vec<_> = p.machine.sys.mpu.slots().to_vec();
     let writes_first_boot = p.report.mpu_writes;
     p.reset().unwrap();
-    assert_eq!(p.machine.sys.mpu.slots(), before.as_slice(), "identical rules");
-    assert_eq!(p.report.mpu_writes, writes_first_boot, "same loader work each boot");
+    assert_eq!(
+        p.machine.sys.mpu.slots(),
+        before.as_slice(),
+        "identical rules"
+    );
+    assert_eq!(
+        p.report.mpu_writes, writes_first_boot,
+        "same loader work each boot"
+    );
     // The trustlet is fully operational again after reset.
     p.machine.sys.hw_write32(plan.data_base, 0).unwrap();
     p.start_trustlet("keeper").unwrap();
@@ -82,8 +93,7 @@ fn reset_restores_clobbered_trustlet_state_tables() {
     assert!(p.machine.sys.bus.host_load(plan.code_base + 12, &[0xff; 4]));
     p.reset().unwrap();
     // The loader re-copied the image and rebuilt the table.
-    let row = trustlite_cpu::ttable::read_row(&mut p.machine.sys, p.machine.hw.tt_base, 0)
-        .unwrap();
+    let row = trustlite_cpu::ttable::read_row(&mut p.machine.sys, p.machine.hw.tt_base, 0).unwrap();
     assert_eq!(row.code_start, plan.code_base);
     assert_ne!(row.saved_sp, 0xdead_0000);
     let a = trustlite::attest::local_attest(&mut p, "keeper").unwrap();
@@ -109,7 +119,10 @@ fn policy_checks_hold_after_many_resets() {
     for cycle in 0..5 {
         p.reset().unwrap();
         assert!(
-            !p.machine.sys.mpu.allows(p.os.entry + 8, plan.data_base, AccessKind::Read),
+            !p.machine
+                .sys
+                .mpu
+                .allows(p.os.entry + 8, plan.data_base, AccessKind::Read),
             "isolation lost after reset {cycle}"
         );
     }

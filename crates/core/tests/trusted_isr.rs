@@ -87,7 +87,11 @@ fn build() -> (trustlite::Platform, trustlite::TrustletPlan, u32) {
                 // Read access to the OS data/stack region so `iret` can
                 // pop the exception frame (an explicit policy choice for
                 // ISR-implementing trustlets).
-                PeriphGrant { base: os_data, size: os_stack_top - os_data, perms: Perms::R },
+                PeriphGrant {
+                    base: os_data,
+                    size: os_stack_top - os_data,
+                    perms: Perms::R,
+                },
             ],
             ..Default::default()
         },
@@ -111,10 +115,16 @@ fn trustlet_isr_ticks_while_the_os_runs() {
     p.machine.regs.ip = p.os.entry;
     p.machine.prev_ip = p.os.entry;
     let exit = p.run(100_000);
-    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
+    assert!(
+        matches!(exit, RunExit::Halted(HaltReason::Halt { .. })),
+        "{exit:?}"
+    );
 
     let ticks = p.machine.sys.hw_read32(plan.data_base).unwrap();
-    assert!(ticks >= 5, "watchdog ticked {ticks} times during OS execution");
+    assert!(
+        ticks >= 5,
+        "watchdog ticked {ticks} times during OS execution"
+    );
     // The OS finished its work despite the interruptions.
     assert_eq!(p.machine.regs.get(Reg::R2), 2000);
 }
@@ -125,8 +135,16 @@ fn os_cannot_suppress_or_retarget_the_watchdog() {
     let mpu = &p.machine.sys.mpu;
     let os_ip = p.os.entry + 8;
     // The OS can neither disable the timer nor redirect its handler.
-    assert!(!mpu.allows(os_ip, map::TIMER_MMIO_BASE + timer::regs::CTRL, AccessKind::Write));
-    assert!(!mpu.allows(os_ip, map::TIMER_MMIO_BASE + timer::regs::HANDLER, AccessKind::Write));
+    assert!(!mpu.allows(
+        os_ip,
+        map::TIMER_MMIO_BASE + timer::regs::CTRL,
+        AccessKind::Write
+    ));
+    assert!(!mpu.allows(
+        os_ip,
+        map::TIMER_MMIO_BASE + timer::regs::HANDLER,
+        AccessKind::Write
+    ));
     // Nor execute or tamper with the ISR itself.
     assert!(!mpu.allows(os_ip, isr, AccessKind::Execute));
     assert!(!mpu.allows(os_ip, isr, AccessKind::Write));
@@ -142,5 +160,9 @@ fn isr_work_is_invisible_to_the_os() {
     p.machine.prev_ip = p.os.entry;
     p.run(100_000);
     // The tick counter lives in the watchdog's private data region.
-    assert!(!p.machine.sys.mpu.allows(p.os.entry + 8, plan.data_base, AccessKind::Read));
+    assert!(!p
+        .machine
+        .sys
+        .mpu
+        .allows(p.os.entry + 8, plan.data_base, AccessKind::Read));
 }

@@ -56,10 +56,8 @@ pub const SEC_CLEARED_REGS: u64 = 8;
 pub const SEC_TT_WRITE: u64 = 1;
 
 /// Extra cycles the secure engine spends when a trustlet was interrupted.
-pub const SEC_TRUSTLET_EXTRA: u64 = SEC_DETECT
-    + SEC_SAVED_WORDS * SEC_SAVE_WORD
-    + SEC_CLEARED_REGS * SEC_CLEAR_REG
-    + SEC_TT_WRITE;
+pub const SEC_TRUSTLET_EXTRA: u64 =
+    SEC_DETECT + SEC_SAVED_WORDS * SEC_SAVE_WORD + SEC_CLEARED_REGS * SEC_CLEAR_REG + SEC_TT_WRITE;
 
 /// Extra cycles when the secure engine finds no trustlet match.
 pub const SEC_MISS_EXTRA: u64 = SEC_DETECT;
@@ -86,7 +84,10 @@ mod tests {
         assert_eq!(SEC_DETECT, 2);
         assert_eq!(SEC_SAVED_WORDS * SEC_SAVE_WORD, 10);
         assert_eq!(SEC_CLEARED_REGS * SEC_CLEAR_REG + SEC_TT_WRITE, 9);
-        assert_eq!(SEC_TRUSTLET_EXTRA, 21, "100% overhead over the regular flow");
+        assert_eq!(
+            SEC_TRUSTLET_EXTRA, 21,
+            "100% overhead over the regular flow"
+        );
         assert_eq!(SEC_MISS_EXTRA, 2);
     }
 }

@@ -14,7 +14,11 @@ pub enum Fault {
     /// The bus rejected the access (unmapped, misaligned, read-only).
     Bus { ip: u32, err: BusError },
     /// The fetched word is not a valid instruction.
-    Illegal { ip: u32, word: u32, err: DecodeError },
+    Illegal {
+        ip: u32,
+        word: u32,
+        err: DecodeError,
+    },
 }
 
 impl Fault {
@@ -59,10 +63,17 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let f = Fault::Mpu(MpuFault { ip: 1, addr: 2, kind: AccessKind::Read });
+        let f = Fault::Mpu(MpuFault {
+            ip: 1,
+            addr: 2,
+            kind: AccessKind::Read,
+        });
         assert_eq!(f.ip(), 1);
         assert_eq!(f.fault_addr(), 2);
-        let b = Fault::Bus { ip: 3, err: BusError::Unmapped { addr: 4 } };
+        let b = Fault::Bus {
+            ip: 3,
+            err: BusError::Unmapped { addr: 4 },
+        };
         assert_eq!(b.ip(), 3);
         assert_eq!(b.fault_addr(), 4);
     }

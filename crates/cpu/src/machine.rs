@@ -4,6 +4,7 @@ use std::collections::VecDeque;
 
 use trustlite_isa::{decode, Instr, Reg};
 use trustlite_mem::BusError;
+use trustlite_obs::{Event, MetricsReport, ObsLevel};
 
 use crate::costs;
 use crate::fault::Fault;
@@ -133,20 +134,16 @@ pub struct Machine {
     /// Address of the most recently executed instruction; the EA-MPU
     /// subject of the next instruction fetch (see [`SystemBus::fetch`]).
     pub prev_ip: u32,
-    /// When true, records `(cycle, ip, instr)` for every retired
-    /// instruction (bounded; debugging aid).
-    pub trace_enabled: bool,
-    /// The trace ring (most recent entries, capped).
-    pub trace: VecDeque<(u64, u32, Instr)>,
     pending_irqs: VecDeque<trustlite_mem::IrqRequest>,
 }
-
-const TRACE_CAP: usize = 65_536;
 
 impl Machine {
     /// Creates a machine around `sys` with the reset IP at `reset_vector`.
     pub fn new(sys: SystemBus, reset_vector: u32) -> Self {
-        let regs = RegFile { ip: reset_vector, ..RegFile::default() };
+        let regs = RegFile {
+            ip: reset_vector,
+            ..RegFile::default()
+        };
         Machine {
             regs,
             sys,
@@ -157,10 +154,60 @@ impl Machine {
             exc_log: Vec::new(),
             ext: None,
             prev_ip: reset_vector,
-            trace_enabled: false,
-            trace: VecDeque::new(),
             pending_irqs: VecDeque::new(),
         }
+    }
+
+    /// Enables or disables the per-instruction trace: a shorthand for
+    /// raising the telemetry level to [`ObsLevel::Full`] (the firehose
+    /// that replaced the legacy `(cycle, ip, instr)` ring) or dropping it
+    /// back to [`ObsLevel::Off`].
+    pub fn set_trace(&mut self, enabled: bool) {
+        self.sys.obs.set_level(if enabled {
+            ObsLevel::Full
+        } else {
+            ObsLevel::Off
+        });
+    }
+
+    /// The retired-instruction trace reconstructed from the event ring,
+    /// oldest first (requires [`ObsLevel::Full`] while running).
+    pub fn trace(&self) -> Vec<(u64, u32, Instr)> {
+        self.sys
+            .obs
+            .ring
+            .iter()
+            .filter_map(|e| match e {
+                Event::InstrRetired {
+                    cycle, ip, word, ..
+                } => decode(*word).ok().map(|i| (*cycle, *ip, i)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Snapshots the metrics registry, folding in the EA-MPU hardware
+    /// counters, the machine counters and the cycle attribution table.
+    pub fn metrics_report(&mut self) -> MetricsReport {
+        let checks = self.sys.mpu.check_count();
+        let denials = self.sys.mpu.deny_count();
+        let writes = self.sys.mpu.write_count();
+        let hits: Vec<u64> = self.sys.mpu.slot_hits().to_vec();
+        let obs = &mut self.sys.obs;
+        obs.metrics.set("cpu.cycles", self.cycles);
+        obs.metrics.set("cpu.instret", self.instret);
+        obs.metrics.set("mpu.checks", checks);
+        obs.metrics.set("mpu.denials", denials);
+        obs.metrics.set("mpu.reg_writes", writes);
+        for (i, h) in hits.iter().enumerate() {
+            if *h > 0 {
+                obs.metrics.set(&format!("mpu.slot{i}.grants"), *h);
+            }
+        }
+        obs.metrics.set("obs.events_dropped", obs.ring.dropped());
+        let mut report = obs.metrics.snapshot();
+        report.attribution = obs.attr.report();
+        report
     }
 
     /// Queues an external interrupt request (test/diagnostic injection;
@@ -181,6 +228,7 @@ impl Machine {
         if self.halted.is_some() {
             return StepOutcome::Halted;
         }
+        self.sys.obs.set_now(self.cycles);
         // Deliver a pending maskable interrupt first.
         if self.regs.flags.ie {
             if let Some(irq) = self.pending_irqs.pop_front() {
@@ -198,20 +246,16 @@ impl Machine {
             Ok(i) => i,
             Err(err) => return self.take_fault(Fault::Illegal { ip, word, err }),
         };
-        if self.trace_enabled {
-            if self.trace.len() == TRACE_CAP {
-                self.trace.pop_front();
-            }
-            self.trace.push_back((self.cycles, ip, instr));
-        }
         match self.exec(ip, instr) {
             Ok(Exec::Done(cost)) => {
                 self.prev_ip = ip;
+                self.observe_retired(ip, word, cost);
                 self.retire(cost);
                 StepOutcome::Retired
             }
             Ok(Exec::Halt) => {
                 self.prev_ip = ip;
+                self.observe_retired(ip, word, costs::BASE);
                 self.retire(costs::BASE);
                 self.halted = Some(HaltReason::Halt { ip });
                 StepOutcome::Halted
@@ -220,12 +264,29 @@ impl Machine {
                 self.prev_ip = ip;
                 // The swi itself retires (and costs a cycle) before the
                 // exception engine takes over.
+                self.observe_retired(ip, word, costs::BASE);
                 self.cycles += costs::BASE;
                 self.instret += 1;
                 let vector = vectors::swi_vector(arg);
                 self.take_exception(vector, None, ip + 4, arg as u32, 0)
             }
             Err(f) => self.take_fault(f),
+        }
+    }
+
+    /// Telemetry hook for one retired instruction: the firehose event plus
+    /// cycle attribution to the region owning `ip`.
+    #[inline]
+    fn observe_retired(&mut self, ip: u32, word: u32, cost: u64) {
+        if self.sys.obs.active() {
+            let cycle = self.cycles;
+            self.sys.obs.emit_fine(Event::InstrRetired {
+                cycle,
+                ip,
+                word,
+                cost,
+            });
+            self.sys.obs.charge(ip, cost);
         }
     }
 
@@ -266,6 +327,14 @@ impl Machine {
     }
 
     fn take_fault(&mut self, f: Fault) -> StepOutcome {
+        if self.sys.obs.active() {
+            let name = match f {
+                Fault::Mpu(_) => "fault.mpu",
+                Fault::Bus { .. } => "fault.bus",
+                Fault::Illegal { .. } => "fault.illegal",
+            };
+            self.sys.obs.metrics.inc(name);
+        }
         let vector = vectors::fault_vector(&f);
         let err_code = match f {
             Fault::Mpu(m) => m.kind.code(),
@@ -290,6 +359,7 @@ impl Machine {
         let mut trustlet: Option<u32> = None;
         let mut pushed_ip = interrupted_ip;
         let mut pushed_sp = self.regs.sp;
+        let mut saved_sp = 0u32;
 
         if self.hw.secure_exceptions && self.hw.tt_count > 0 {
             entry_cycles += costs::SEC_DETECT;
@@ -301,7 +371,10 @@ impl Machine {
             ) {
                 Ok(h) => h,
                 Err(err) => {
-                    return self.double_fault(Fault::Bus { ip: interrupted_ip, err });
+                    return self.double_fault(Fault::Bus {
+                        ip: interrupted_ip,
+                        err,
+                    });
                 }
             };
             if let Some((idx, row)) = hit {
@@ -326,11 +399,21 @@ impl Machine {
                 // (2) Store SP into the Trustlet Table row and clear GPRs.
                 let sp_addr = TrustletRow::saved_sp_addr(self.hw.tt_base, idx);
                 if let Err(err) = self.sys.hw_write32(sp_addr, self.regs.sp) {
-                    return self.double_fault(Fault::Bus { ip: interrupted_ip, err });
+                    return self.double_fault(Fault::Bus {
+                        ip: interrupted_ip,
+                        err,
+                    });
                 }
                 entry_cycles += costs::SEC_TT_WRITE;
+                saved_sp = self.regs.sp;
                 self.regs.clear_gprs();
                 entry_cycles += costs::SEC_CLEARED_REGS * costs::SEC_CLEAR_REG;
+                if self.sys.obs.active() {
+                    self.sys.obs.emit(Event::RegsCleared {
+                        cycle: at_cycle,
+                        count: costs::SEC_CLEARED_REGS as u32,
+                    });
+                }
                 // Sanitize what the untrusted handler will see: the
                 // reported IP is the trustlet's entry vector and the saved
                 // SP slot is zeroed (the real one lives in the table).
@@ -347,17 +430,31 @@ impl Machine {
         if !in_os {
             match self.sys.hw_read32(self.hw.os_sp_cell) {
                 Ok(sp) => self.regs.sp = sp,
-                Err(err) => return self.double_fault(Fault::Bus { ip: interrupted_ip, err }),
+                Err(err) => {
+                    return self.double_fault(Fault::Bus {
+                        ip: interrupted_ip,
+                        err,
+                    })
+                }
             }
         }
 
         // Push the exception frame: SP, IP, FLAGS, error code, fault
         // address (top of stack = fault address).
-        let frame = [pushed_sp, pushed_ip, self.regs.flags.to_word(), err_code, fault_addr];
+        let frame = [
+            pushed_sp,
+            pushed_ip,
+            self.regs.flags.to_word(),
+            err_code,
+            fault_addr,
+        ];
         for w in frame {
             self.regs.sp = self.regs.sp.wrapping_sub(4);
             if let Err(err) = self.sys.hw_write32(self.regs.sp, w) {
-                return self.double_fault(Fault::Bus { ip: interrupted_ip, err });
+                return self.double_fault(Fault::Bus {
+                    ip: interrupted_ip,
+                    err,
+                });
             }
         }
         entry_cycles += costs::EXC_SAVE_MIN_CTX + costs::EXC_ERROR_PARAMS;
@@ -372,7 +469,10 @@ impl Machine {
                 match self.sys.hw_read32(slot) {
                     Ok(h) => h,
                     Err(err) => {
-                        return self.double_fault(Fault::Bus { ip: interrupted_ip, err })
+                        return self.double_fault(Fault::Bus {
+                            ip: interrupted_ip,
+                            err,
+                        })
                     }
                 }
             }
@@ -381,7 +481,9 @@ impl Machine {
             // Unconfigured vector: architectural dead end.
             return self.double_fault(Fault::Bus {
                 ip: interrupted_ip,
-                err: BusError::Unmapped { addr: self.hw.idt_base + 4 * vector as u32 },
+                err: BusError::Unmapped {
+                    addr: self.hw.idt_base + 4 * vector as u32,
+                },
             });
         }
         // Hardware vectoring is a legitimate control transfer by
@@ -397,6 +499,25 @@ impl Machine {
             entry_cycles,
             at_cycle,
         });
+        if self.sys.obs.active() {
+            self.sys.obs.charge_engine(entry_cycles);
+            self.sys.obs.metrics.inc("exc.taken");
+            if trustlet.is_some() {
+                self.sys.obs.metrics.inc("exc.trustlet_interrupts");
+            }
+            self.sys
+                .obs
+                .metrics
+                .observe("exc.entry_cycles", entry_cycles);
+            self.sys.obs.emit(Event::ExceptionEnter {
+                cycle: at_cycle,
+                vector,
+                trustlet,
+                interrupted_ip,
+                saved_sp,
+                cycles: entry_cycles,
+            });
+        }
         StepOutcome::ExceptionTaken { vector, trustlet }
     }
 
@@ -437,6 +558,19 @@ impl Machine {
                 self.regs.flags = Flags::from_word(flags);
                 self.regs.ip = new_ip;
                 self.regs.sp = new_sp;
+                if self.sys.obs.active() {
+                    self.sys.obs.metrics.inc("exc.returns");
+                    self.sys
+                        .obs
+                        .metrics
+                        .observe("exc.exit_cycles", costs::IRET_TOTAL);
+                    let cycle = self.sys.obs.now();
+                    self.sys.obs.emit(Event::ExceptionExit {
+                        cycle,
+                        resumed_ip: new_ip,
+                        cycles: costs::IRET_TOTAL,
+                    });
+                }
                 Ok(Exec::Done(costs::IRET_TOTAL))
             }
             Instr::Alu { op, rd, rs1, rs2 } => {
@@ -630,7 +764,12 @@ impl Machine {
                 self.regs.ip = target;
                 Ok(Exec::Done(costs::BASE + costs::MEM_EXTRA + costs::TAKEN_CF))
             }
-            Instr::Branch { cond, rs1, rs2, off } => {
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                off,
+            } => {
                 if cond.eval(r.get(rs1), r.get(rs2)) {
                     r.ip = next.wrapping_add(off as i32 as u32);
                     Ok(Exec::Done(costs::BASE + costs::TAKEN_CF))

@@ -86,7 +86,14 @@ mod tests {
 
     #[test]
     fn flags_word_roundtrip() {
-        assert_eq!(Flags::from_word(Flags { ie: true }.to_word()), Flags { ie: true });
-        assert_eq!(Flags::from_word(0xffff_fffe), Flags { ie: false }, "reserved bits ignored");
+        assert_eq!(
+            Flags::from_word(Flags { ie: true }.to_word()),
+            Flags { ie: true }
+        );
+        assert_eq!(
+            Flags::from_word(0xffff_fffe),
+            Flags { ie: false },
+            "reserved bits ignored"
+        );
     }
 }

@@ -98,15 +98,20 @@ mod tests {
 
     fn sys() -> SystemBus {
         let mut bus = Bus::new();
-        bus.map(0x1000_0000, Box::new(Ram::new("sram", 0x1000))).unwrap();
+        bus.map(0x1000_0000, Box::new(Ram::new("sram", 0x1000)))
+            .unwrap();
         SystemBus::new(bus, EaMpu::new(4), None)
     }
 
     #[test]
     fn row_roundtrip() {
         let mut s = sys();
-        let row =
-            TrustletRow { id: 0x41, code_start: 0x100, code_end: 0x200, saved_sp: 0x1f00 };
+        let row = TrustletRow {
+            id: 0x41,
+            code_start: 0x100,
+            code_end: 0x200,
+            saved_sp: 0x1f00,
+        };
         write_row(&mut s, 0x1000_0000, 2, &row).unwrap();
         assert_eq!(read_row(&mut s, 0x1000_0000, 2).unwrap(), row);
     }
@@ -114,15 +119,27 @@ mod tests {
     #[test]
     fn find_by_ip_matches_half_open() {
         let mut s = sys();
-        let a = TrustletRow { id: 1, code_start: 0x100, code_end: 0x200, saved_sp: 0 };
-        let b = TrustletRow { id: 2, code_start: 0x200, code_end: 0x300, saved_sp: 0 };
+        let a = TrustletRow {
+            id: 1,
+            code_start: 0x100,
+            code_end: 0x200,
+            saved_sp: 0,
+        };
+        let b = TrustletRow {
+            id: 2,
+            code_start: 0x200,
+            code_end: 0x300,
+            saved_sp: 0,
+        };
         write_row(&mut s, 0x1000_0000, 0, &a).unwrap();
         write_row(&mut s, 0x1000_0000, 1, &b).unwrap();
         let hit = find_by_ip(&mut s, 0x1000_0000, 2, 0x1fc).unwrap().unwrap();
         assert_eq!(hit.0, 0);
         let hit = find_by_ip(&mut s, 0x1000_0000, 2, 0x200).unwrap().unwrap();
         assert_eq!(hit.1.id, 2, "boundary belongs to the next region");
-        assert!(find_by_ip(&mut s, 0x1000_0000, 2, 0x5000).unwrap().is_none());
+        assert!(find_by_ip(&mut s, 0x1000_0000, 2, 0x5000)
+            .unwrap()
+            .is_none());
     }
 
     #[test]

@@ -55,8 +55,15 @@ mod tests {
 
     #[test]
     fn vector_spaces_disjoint() {
-        let mpu = fault_vector(&Fault::Mpu(MpuFault { ip: 0, addr: 0, kind: AccessKind::Read }));
-        let bus = fault_vector(&Fault::Bus { ip: 0, err: BusError::Unmapped { addr: 0 } });
+        let mpu = fault_vector(&Fault::Mpu(MpuFault {
+            ip: 0,
+            addr: 0,
+            kind: AccessKind::Read,
+        }));
+        let bus = fault_vector(&Fault::Bus {
+            ip: 0,
+            err: BusError::Unmapped { addr: 0 },
+        });
         assert!(mpu < VEC_IRQ_BASE && bus < VEC_IRQ_BASE);
         assert!(irq_vector(0) >= VEC_IRQ_BASE && irq_vector(7) < VEC_SWI_BASE);
         assert!(swi_vector(0) >= VEC_SWI_BASE);

@@ -32,8 +32,12 @@ fn gpr() -> impl Strategy<Value = Reg> {
 
 fn any_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        ((0usize..AluOp::ALL.len()), gpr(), gpr(), gpr())
-            .prop_map(|(a, rd, rs1, rs2)| Op::Alu(AluOp::ALL[a], rd, rs1, rs2)),
+        ((0usize..AluOp::ALL.len()), gpr(), gpr(), gpr()).prop_map(|(a, rd, rs1, rs2)| Op::Alu(
+            AluOp::ALL[a],
+            rd,
+            rs1,
+            rs2
+        )),
         (gpr(), gpr()).prop_map(|(rd, rs1)| Op::Mov(rd, rs1)),
         (gpr(), gpr()).prop_map(|(rd, rs1)| Op::Not(rd, rs1)),
         (gpr(), gpr(), any::<i16>()).prop_map(|(rd, rs1, v)| Op::Addi(rd, rs1, v)),
@@ -50,7 +54,12 @@ fn any_op() -> impl Strategy<Value = Op> {
 
 fn to_instr(op: Op) -> Instr {
     match op {
-        Op::Alu(a, rd, rs1, rs2) => Instr::Alu { op: a, rd, rs1, rs2 },
+        Op::Alu(a, rd, rs1, rs2) => Instr::Alu {
+            op: a,
+            rd,
+            rs1,
+            rs2,
+        },
         Op::Mov(rd, rs1) => Instr::Mov { rd, rs1 },
         Op::Not(rd, rs1) => Instr::Not { rd, rs1 },
         Op::Addi(rd, rs1, imm) => Instr::Addi { rd, rs1, imm },

@@ -24,7 +24,11 @@ fn machine(images: &[&Image]) -> Machine {
     bus.map(PROM, Box::new(Rom::new(0x1_0000))).unwrap();
     bus.map(SRAM, Box::new(Ram::new("sram", 0x1_0000))).unwrap();
     for img in images {
-        assert!(bus.host_load(img.base, &img.bytes), "image load at {:#x}", img.base);
+        assert!(
+            bus.host_load(img.base, &img.bytes),
+            "image load at {:#x}",
+            img.base
+        );
     }
     let mut sys = SystemBus::new(bus, EaMpu::new(8), None);
     sys.enforce = false;
@@ -58,7 +62,10 @@ fn arithmetic_program_computes() {
     a.addi(Reg::R2, Reg::R2, -2);
     a.halt();
     let mut m = machine(&[&a.assemble().unwrap()]);
-    assert_eq!(m.run(100), RunExit::Halted(HaltReason::Halt { ip: PROM + 16 }));
+    assert_eq!(
+        m.run(100),
+        RunExit::Halted(HaltReason::Halt { ip: PROM + 16 })
+    );
     assert_eq!(m.regs.get(Reg::R2), 40);
     assert_eq!(m.instret, 5);
 }
@@ -140,7 +147,10 @@ fn unmapped_fetch_without_handler_double_faults() {
     let mut m = machine(&[&a.assemble().unwrap()]);
     // No IDT configured: the bus fault cannot be delivered.
     let exit = m.run(100);
-    assert!(matches!(exit, RunExit::Halted(HaltReason::DoubleFault(_))), "{exit:?}");
+    assert!(
+        matches!(exit, RunExit::Halted(HaltReason::DoubleFault(_))),
+        "{exit:?}"
+    );
 }
 
 #[test]
@@ -215,7 +225,10 @@ fn interrupts_masked_until_ei() {
     let handler = img.expect_symbol("handler");
     let mut m = machine(&[&img]);
     configure_os(&mut m, vectors::irq_vector(0), handler);
-    m.raise_irq(IrqRequest { line: 0, handler: None });
+    m.raise_irq(IrqRequest {
+        line: 0,
+        handler: None,
+    });
     // Step li sp (2 words), di, li, li: no delivery while masked.
     for _ in 0..5 {
         assert_eq!(m.step(), StepOutcome::Retired);
@@ -241,7 +254,10 @@ fn peripheral_vectored_interrupt_skips_idt() {
     let isr = img.expect_symbol("isr");
     let mut m = machine(&[&img]);
     configure_os(&mut m, 0, 0); // IDT entry 0 left unset on purpose
-    m.raise_irq(IrqRequest { line: 3, handler: Some(isr) });
+    m.raise_irq(IrqRequest {
+        line: 3,
+        handler: Some(isr),
+    });
     let exit = m.run(100);
     assert_eq!(exit, RunExit::Halted(HaltReason::Halt { ip: isr }));
 }
@@ -268,7 +284,9 @@ fn secure_setup(trustlet_body: impl FnOnce(&mut Asm)) -> Machine {
     let handler = os_img.expect_symbol("handler");
     let mut m = machine(&[&os_img, &t_img]);
     configure_os(&mut m, vectors::swi_vector(1), handler);
-    m.sys.hw_write32(IDT + 4 * vectors::irq_vector(0) as u32, handler).unwrap();
+    m.sys
+        .hw_write32(IDT + 4 * vectors::irq_vector(0) as u32, handler)
+        .unwrap();
     m.hw.secure_exceptions = true;
     m.hw.tt_count = 1;
     ttable::write_row(
@@ -320,12 +338,19 @@ fn secure_engine_charges_2_extra_for_non_trustlet() {
     os.halt();
     let os_img = os.assemble().unwrap();
     assert!(m.sys.bus.host_load(PROM, &os_img.bytes));
-    m.sys.hw_write32(IDT + 4 * vectors::swi_vector(1) as u32, os_img.expect_symbol("h2"))
+    m.sys
+        .hw_write32(
+            IDT + 4 * vectors::swi_vector(1) as u32,
+            os_img.expect_symbol("h2"),
+        )
         .unwrap();
     m.run(100);
     let rec = m.exc_log.last().expect("exception recorded");
     assert_eq!(rec.trustlet, None);
-    assert_eq!(rec.entry_cycles, costs::EXC_REGULAR_TOTAL + costs::SEC_MISS_EXTRA);
+    assert_eq!(
+        rec.entry_cycles,
+        costs::EXC_REGULAR_TOTAL + costs::SEC_MISS_EXTRA
+    );
     assert_eq!(rec.entry_cycles, 23);
 }
 
@@ -340,7 +365,11 @@ fn secure_engine_clears_registers_and_saves_state() {
         t.halt();
     });
     m.run(300);
-    assert!(matches!(m.halted, Some(HaltReason::Halt { .. })), "{:?}", m.halted);
+    assert!(
+        matches!(m.halted, Some(HaltReason::Halt { .. })),
+        "{:?}",
+        m.halted
+    );
     // The OS handler halted; at that point the GPRs must hold no secrets
     // (the frame pushes happen after clearing).
     for (i, &g) in m.regs.gprs.iter().enumerate() {
@@ -357,7 +386,11 @@ fn secure_engine_clears_registers_and_saves_state() {
     assert_eq!(m.sys.hw_read32(row.saved_sp + 28).unwrap(), 0x1111, "r0");
     // li sp = lui+ori (2 instrs), three movis, then swi at +20; the saved
     // return ip is the instruction after the swi.
-    assert_eq!(m.sys.hw_read32(row.saved_sp + 36).unwrap(), TL_CODE + 24, "return ip");
+    assert_eq!(
+        m.sys.hw_read32(row.saved_sp + 36).unwrap(),
+        TL_CODE + 24,
+        "return ip"
+    );
 }
 
 #[test]
@@ -375,7 +408,10 @@ fn secure_engine_sanitizes_reported_ip_and_sp() {
     let pushed_sp = m.sys.hw_read32(OS_STACK_TOP - 4).unwrap();
     let pushed_ip = m.sys.hw_read32(OS_STACK_TOP - 8).unwrap();
     assert_eq!(pushed_sp, 0, "trustlet SP hidden from the OS");
-    assert_eq!(pushed_ip, TL_CODE, "faulting IP sanitized to the entry vector");
+    assert_eq!(
+        pushed_ip, TL_CODE,
+        "faulting IP sanitized to the entry vector"
+    );
 }
 
 #[test]
@@ -395,7 +431,16 @@ fn trustlet_resume_restores_state() {
         t.label("continue");
         t.li(Reg::R1, sp_slot);
         t.lw(Reg::Sp, Reg::R1, 0);
-        for r in [Reg::R7, Reg::R6, Reg::R5, Reg::R4, Reg::R3, Reg::R2, Reg::R1, Reg::R0] {
+        for r in [
+            Reg::R7,
+            Reg::R6,
+            Reg::R5,
+            Reg::R4,
+            Reg::R3,
+            Reg::R2,
+            Reg::R1,
+            Reg::R0,
+        ] {
             t.pop(r);
         }
         t.popf();
@@ -412,11 +457,22 @@ fn trustlet_resume_restores_state() {
     os.jr(Reg::R6);
     let os_img = os.assemble().unwrap();
     assert!(m.sys.bus.host_load(PROM, &os_img.bytes));
-    m.sys.hw_write32(IDT + 4 * vectors::swi_vector(1) as u32, os_img.expect_symbol("handler"))
+    m.sys
+        .hw_write32(
+            IDT + 4 * vectors::swi_vector(1) as u32,
+            os_img.expect_symbol("handler"),
+        )
         .unwrap();
     let exit = m.run(500);
-    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
-    assert_eq!(m.regs.get(Reg::R0), 42, "trustlet resumed with its state intact");
+    assert!(
+        matches!(exit, RunExit::Halted(HaltReason::Halt { .. })),
+        "{exit:?}"
+    );
+    assert_eq!(
+        m.regs.get(Reg::R0),
+        42,
+        "trustlet resumed with its state intact"
+    );
 }
 
 #[test]
@@ -455,9 +511,17 @@ fn nested_interrupt_inside_handler_uses_current_stack() {
     let img = os.assemble().unwrap();
     let mut m = machine(&[&img]);
     configure_os(&mut m, vectors::swi_vector(1), img.expect_symbol("h1"));
-    m.sys.hw_write32(IDT + 4 * vectors::swi_vector(2) as u32, img.expect_symbol("h2")).unwrap();
+    m.sys
+        .hw_write32(
+            IDT + 4 * vectors::swi_vector(2) as u32,
+            img.expect_symbol("h2"),
+        )
+        .unwrap();
     let exit = m.run(300);
-    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
+    assert!(
+        matches!(exit, RunExit::Halted(HaltReason::Halt { .. })),
+        "{exit:?}"
+    );
     assert_eq!(m.regs.get(Reg::R0), 0xfe);
     assert_eq!(m.regs.get(Reg::R1), 1);
     assert_eq!(m.regs.get(Reg::R2), 1);
@@ -471,10 +535,11 @@ fn trace_records_retired_instructions() {
     a.li(Reg::R0, 1);
     a.halt();
     let mut m = machine(&[&a.assemble().unwrap()]);
-    m.trace_enabled = true;
+    m.set_trace(true);
     m.run(10);
-    assert_eq!(m.trace.len(), 2);
-    assert_eq!(m.trace[0].1, PROM);
+    let trace = m.trace();
+    assert_eq!(trace.len(), 2);
+    assert_eq!(trace[0].1, PROM);
 }
 
 #[test]
@@ -539,7 +604,10 @@ fn misaligned_halfword_faults() {
     let mut m = machine(&[&a.assemble().unwrap()]);
     let exit = m.run(100);
     assert!(
-        matches!(exit, RunExit::Halted(HaltReason::DoubleFault(Fault::Bus { .. }))),
+        matches!(
+            exit,
+            RunExit::Halted(HaltReason::DoubleFault(Fault::Bus { .. }))
+        ),
         "{exit:?}"
     );
 }

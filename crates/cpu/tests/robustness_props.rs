@@ -11,7 +11,8 @@ use trustlite_mpu::{EaMpu, Perms, RuleSlot, Subject};
 fn machine_with_prom(words: &[u32], enforce: bool) -> Machine {
     let mut bus = Bus::new();
     bus.map(0, Box::new(Rom::new(0x1000))).expect("maps");
-    bus.map(0x1000_0000, Box::new(Ram::new("sram", 0x1000))).expect("maps");
+    bus.map(0x1000_0000, Box::new(Ram::new("sram", 0x1000)))
+        .expect("maps");
     let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
     bus.host_load(0, &bytes);
     let mut mpu = EaMpu::new(4);

@@ -17,7 +17,13 @@ impl XorShift64 {
     /// Creates a generator from a nonzero seed (zero is mapped to a fixed
     /// odd constant, as the all-zero state is a fixed point of xorshift).
     pub fn new(seed: u64) -> Self {
-        XorShift64 { state: if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed } }
+        XorShift64 {
+            state: if seed == 0 {
+                0x9e37_79b9_7f4a_7c15
+            } else {
+                seed
+            },
+        }
     }
 
     /// Returns the next 64-bit value.

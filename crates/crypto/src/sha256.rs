@@ -46,7 +46,12 @@ impl Default for Sha256 {
 impl Sha256 {
     /// Creates a fresh context.
     pub fn new() -> Self {
-        Sha256 { state: H0, buf: [0; 64], buf_len: 0, total_len: 0 }
+        Sha256 {
+            state: H0,
+            buf: [0; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
     }
 
     fn compress(state: &mut [u32; 8], block: &[u8; 64]) {
@@ -123,7 +128,11 @@ impl Sha256 {
     pub fn finish(mut self) -> [u8; 32] {
         let bit_len = self.total_len.wrapping_mul(8);
         // Pad: 0x80, zeros to 56 mod 64, then the 64-bit big-endian length.
-        let pad_len = if self.buf_len < 56 { 56 - self.buf_len } else { 120 - self.buf_len };
+        let pad_len = if self.buf_len < 56 {
+            56 - self.buf_len
+        } else {
+            120 - self.buf_len
+        };
         let mut padding = [0u8; 72];
         padding[0] = 0x80;
         padding[pad_len..pad_len + 8].copy_from_slice(&bit_len.to_be_bytes());
@@ -172,7 +181,9 @@ mod tests {
     #[test]
     fn fips_two_block() {
         assert_eq!(
-            hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
         );
     }

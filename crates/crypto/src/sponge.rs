@@ -78,7 +78,11 @@ impl Sponge {
             *w = u32::from_le_bytes(*b"TLsp") ^ ((i as u32) << 24) ^ u32::from_le_bytes(*b"onge");
         }
         permute(&mut state);
-        Sponge { state, buf: [0; RATE], buf_len: 0 }
+        Sponge {
+            state,
+            buf: [0; RATE],
+            buf_len: 0,
+        }
     }
 
     fn absorb_block(&mut self) {
@@ -142,7 +146,10 @@ mod tests {
         // Empty, single bytes, length extensions, bit flips.
         assert!(seen.insert(sponge_hash(b"")));
         for b in 0u8..=255 {
-            assert!(seen.insert(sponge_hash(&[b])), "collision on single byte {b}");
+            assert!(
+                seen.insert(sponge_hash(&[b])),
+                "collision on single byte {b}"
+            );
         }
         assert!(seen.insert(sponge_hash(b"\x00\x00")));
         assert!(seen.insert(sponge_hash(b"\x01\x00")));

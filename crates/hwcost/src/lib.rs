@@ -29,8 +29,8 @@ pub mod tables;
 pub mod timing;
 
 pub use model::{
-    fault_tree_depth, gate_equivalents, sancus_cost, smart_like_cost, trustlite_ext_cost, CostPoint, EaMpuModel,
-    SancusModel, MSP430_BASE, SPONGENT_SLICES, TRUSTLITE_CORE,
+    fault_tree_depth, gate_equivalents, sancus_cost, smart_like_cost, trustlite_ext_cost,
+    CostPoint, EaMpuModel, SancusModel, MSP430_BASE, SPONGENT_SLICES, TRUSTLITE_CORE,
 };
 pub use tables::{figure7, modules_at_budget, table1, Fig7Row, Table1};
 pub use timing::{fault_path_ns, fmax_mhz, meets_timing};

@@ -26,14 +26,20 @@ impl CostPoint {
 
     /// Scales both components by an integer factor.
     pub fn scale(&self, k: u32) -> CostPoint {
-        CostPoint { regs: self.regs * k, luts: self.luts * k }
+        CostPoint {
+            regs: self.regs * k,
+            luts: self.luts * k,
+        }
     }
 }
 
 impl Add for CostPoint {
     type Output = CostPoint;
     fn add(self, rhs: CostPoint) -> CostPoint {
-        CostPoint { regs: self.regs + rhs.regs, luts: self.luts + rhs.luts }
+        CostPoint {
+            regs: self.regs + rhs.regs,
+            luts: self.luts + rhs.luts,
+        }
     }
 }
 
@@ -90,18 +96,30 @@ const EXC_BASE: CostPoint = CostPoint::new(34, 22);
 impl EaMpuModel {
     /// The TrustLite prototype configuration (32-bit, 32-byte granules).
     pub const fn trustlite() -> Self {
-        EaMpuModel { addr_width: 32, granularity_bits: 5, secure_exceptions: false }
+        EaMpuModel {
+            addr_width: 32,
+            granularity_bits: 5,
+            secure_exceptions: false,
+        }
     }
 
     /// Same with the secure exception engine instantiated.
     pub const fn trustlite_with_exceptions() -> Self {
-        EaMpuModel { addr_width: 32, granularity_bits: 5, secure_exceptions: true }
+        EaMpuModel {
+            addr_width: 32,
+            granularity_bits: 5,
+            secure_exceptions: true,
+        }
     }
 
     /// A 16-bit datapath variant (the Section 5.2 MSP430-class scaling
     /// argument).
     pub const fn narrow16() -> Self {
-        EaMpuModel { addr_width: 16, granularity_bits: 5, secure_exceptions: false }
+        EaMpuModel {
+            addr_width: 16,
+            granularity_bits: 5,
+            secure_exceptions: false,
+        }
     }
 
     /// Significant (stored and compared) bits per address field.
@@ -167,7 +185,10 @@ const SANCUS_MODULE_GLUE_LUTS: u32 = 211;
 impl SancusModel {
     /// The published openMSP430 configuration.
     pub const fn published() -> Self {
-        SancusModel { addr_width: 16, key_bits: 128 }
+        SancusModel {
+            addr_width: 16,
+            key_bits: 128,
+        }
     }
 
     /// Fixed cost.
@@ -242,12 +263,18 @@ mod tests {
 
     #[test]
     fn per_module_matches_table1() {
-        assert_eq!(EaMpuModel::trustlite().per_module(), CostPoint::new(116, 182));
+        assert_eq!(
+            EaMpuModel::trustlite().per_module(),
+            CostPoint::new(116, 182)
+        );
     }
 
     #[test]
     fn base_costs_match_table1() {
-        assert_eq!(EaMpuModel::trustlite().base_cost(), CostPoint::new(278, 417));
+        assert_eq!(
+            EaMpuModel::trustlite().base_cost(),
+            CostPoint::new(278, 417)
+        );
         assert_eq!(
             EaMpuModel::trustlite_with_exceptions().base_cost(),
             CostPoint::new(278 + 34, 417 + 22)
@@ -278,7 +305,10 @@ mod tests {
         let tl_mod = EaMpuModel::trustlite().per_module().slices() as f64;
         let sc_mod = SancusModel::published().per_module().slices() as f64;
         let saving = 1.0 - tl_mod / sc_mod;
-        assert!((0.35..=0.48).contains(&saving), "per-module saving {saving}");
+        assert!(
+            (0.35..=0.48).contains(&saving),
+            "per-module saving {saving}"
+        );
     }
 
     #[test]
@@ -289,8 +319,14 @@ mod tests {
         let narrow = EaMpuModel::narrow16().per_module();
         let reg_saving = 1.0 - narrow.regs as f64 / wide.regs as f64;
         let lut_saving = 1.0 - narrow.luts as f64 / wide.luts as f64;
-        assert!((0.40..=0.60).contains(&reg_saving), "reg saving {reg_saving}");
-        assert!((0.40..=0.60).contains(&lut_saving), "lut saving {lut_saving}");
+        assert!(
+            (0.40..=0.60).contains(&reg_saving),
+            "reg saving {reg_saving}"
+        );
+        assert!(
+            (0.40..=0.60).contains(&lut_saving),
+            "lut saving {lut_saving}"
+        );
     }
 
     #[test]
@@ -306,16 +342,22 @@ mod tests {
     #[test]
     fn on_the_fly_keys_save_128_regs_per_module() {
         let cached = SancusModel::published().per_module().regs;
-        let otf = SancusModel::published().with_on_the_fly_keys().per_module().regs;
+        let otf = SancusModel::published()
+            .with_on_the_fly_keys()
+            .per_module()
+            .regs;
         assert_eq!(cached - otf, 128);
     }
 
     #[test]
     fn spongent_fits_in_base_margin() {
         // "there is ample base cost margin to absorb a hardware hash".
-        let margin =
-            SancusModel::published().base_cost().slices() - EaMpuModel::trustlite().base_cost().slices();
-        assert!(SPONGENT_SLICES * 8 < margin, "22 slices ≈ 176 regs+luts < {margin}");
+        let margin = SancusModel::published().base_cost().slices()
+            - EaMpuModel::trustlite().base_cost().slices();
+        assert!(
+            SPONGENT_SLICES * 8 < margin,
+            "22 slices ≈ 176 regs+luts < {margin}"
+        );
     }
 
     #[test]
@@ -368,7 +410,9 @@ mod ge_tests {
 
     #[test]
     fn ge_scales_with_resources() {
-        assert!(gate_equivalents(CostPoint::new(100, 100)) > gate_equivalents(CostPoint::new(10, 10)));
+        assert!(
+            gate_equivalents(CostPoint::new(100, 100)) > gate_equivalents(CostPoint::new(10, 10))
+        );
         assert_eq!(gate_equivalents(CostPoint::new(0, 0)), 0);
     }
 }

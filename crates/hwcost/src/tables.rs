@@ -67,9 +67,21 @@ impl Table1 {
                 fmt(b, |c| c.luts),
             ));
         };
-        row("Base Core Size", Some(self.base_core.0), Some(self.base_core.1));
-        row("Extension Base Cost", Some(self.ext_base.0), Some(self.ext_base.1));
-        row("Cost per Module", Some(self.per_module.0), Some(self.per_module.1));
+        row(
+            "Base Core Size",
+            Some(self.base_core.0),
+            Some(self.base_core.1),
+        );
+        row(
+            "Extension Base Cost",
+            Some(self.ext_base.0),
+            Some(self.ext_base.1),
+        );
+        row(
+            "Cost per Module",
+            Some(self.per_module.0),
+            Some(self.per_module.1),
+        );
         row("Exceptions Base Cost", Some(self.exceptions_base), None);
         row("Except. per Module", Some(self.exceptions_per_module), None);
         out
@@ -143,7 +155,13 @@ mod tests {
     #[test]
     fn table_renders_all_rows() {
         let s = table1().render();
-        for needle in ["Base Core Size", "5528", "14361", "Except. per Module", "213"] {
+        for needle in [
+            "Base Core Size",
+            "5528",
+            "14361",
+            "Except. per Module",
+            "213",
+        ] {
             assert!(s.contains(needle), "missing {needle} in\n{s}");
         }
     }
@@ -170,13 +188,21 @@ mod tests {
         for row in figure7(32) {
             assert!(row.trustlite <= row.trustlite_exc, "exceptions add cost");
             if row.modules >= 1 {
-                assert!(row.trustlite_exc < row.sancus, "TrustLite cheaper at n={}", row.modules);
+                assert!(
+                    row.trustlite_exc < row.sancus,
+                    "TrustLite cheaper at n={}",
+                    row.modules
+                );
             }
             // "about half the hardware overhead of Sancus" for the
             // interesting range.
             if row.modules >= 4 {
                 let ratio = row.trustlite as f64 / row.sancus as f64;
-                assert!((0.35..=0.62).contains(&ratio), "ratio {ratio} at n={}", row.modules);
+                assert!(
+                    (0.35..=0.62).contains(&ratio),
+                    "ratio {ratio} at n={}",
+                    row.modules
+                );
             }
         }
     }

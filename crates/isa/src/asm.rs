@@ -41,7 +41,10 @@ impl std::error::Error for TextAsmError {}
 
 impl From<AsmError> for TextAsmError {
     fn from(e: AsmError) -> Self {
-        TextAsmError { line: 0, msg: e.to_string() }
+        TextAsmError {
+            line: 0,
+            msg: e.to_string(),
+        }
     }
 }
 
@@ -79,7 +82,10 @@ fn parse_mem(s: &str) -> Option<MemOperand> {
     if !(-0x8000..0x8000).contains(&disp) {
         return None;
     }
-    Some(MemOperand { base, disp: disp as i16 })
+    Some(MemOperand {
+        base,
+        disp: disp as i16,
+    })
 }
 
 fn split_operands(s: &str) -> Vec<String> {
@@ -98,7 +104,10 @@ struct LineCtx<'a> {
 
 impl LineCtx<'_> {
     fn err(&self, msg: impl Into<String>) -> TextAsmError {
-        TextAsmError { line: self.line, msg: msg.into() }
+        TextAsmError {
+            line: self.line,
+            msg: msg.into(),
+        }
     }
 
     fn reg(&self, s: &str) -> Result<Reg, TextAsmError> {
@@ -157,8 +166,7 @@ fn dispatch(ctx: &mut LineCtx<'_>, mnemonic: &str, ops: &[String]) -> Result<(),
             }
             ctx.asm.swi(v as u8);
         }
-        "add" | "sub" | "and" | "or" | "xor" | "shl" | "shr" | "sra" | "mul" | "divu"
-        | "remu" => {
+        "add" | "sub" | "and" | "or" | "xor" | "shl" | "shr" | "sra" | "mul" | "divu" | "remu" => {
             ctx.expect_n(ops, 3)?;
             let op = match mnemonic {
                 "add" => Add,
@@ -218,7 +226,11 @@ fn dispatch(ctx: &mut LineCtx<'_>, mnemonic: &str, ops: &[String]) -> Result<(),
             match mnemonic {
                 "shli" => ctx.asm.shli(rd, rs1, imm as u8),
                 "shri" => ctx.asm.shri(rd, rs1, imm as u8),
-                _ => ctx.asm.emit(crate::instr::Instr::Srai { rd, rs1, imm: imm as u8 }),
+                _ => ctx.asm.emit(crate::instr::Instr::Srai {
+                    rd,
+                    rs1,
+                    imm: imm as u8,
+                }),
             }
         }
         "movi" => {
@@ -387,7 +399,9 @@ pub fn assemble_text(base: u32, source: &str) -> Result<Image, TextAsmError> {
             let (lbl, tail) = rest.split_at(colon);
             let lbl = lbl.trim();
             if lbl.is_empty()
-                || !lbl.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+                || !lbl
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
             {
                 break;
             }
@@ -397,7 +411,10 @@ pub fn assemble_text(base: u32, source: &str) -> Result<Image, TextAsmError> {
         if rest.is_empty() {
             continue;
         }
-        let mut ctx = LineCtx { line: line_no, asm: &mut asm };
+        let mut ctx = LineCtx {
+            line: line_no,
+            asm: &mut asm,
+        };
         let (head, tail) = match rest.find(char::is_whitespace) {
             Some(pos) => (&rest[..pos], rest[pos..].trim()),
             None => (rest, ""),
@@ -442,9 +459,30 @@ mod tests {
     fn memory_operands() {
         let img = assemble_text(0, "lw r1, [sp+8]\nsw [r2-4], r3\nlw r0, [r1]").unwrap();
         let w: Vec<Instr> = img.words().map(|w| decode(w).unwrap()).collect();
-        assert_eq!(w[0], Instr::Lw { rd: Reg::R1, rs1: Reg::Sp, disp: 8 });
-        assert_eq!(w[1], Instr::Sw { rs1: Reg::R2, rs2: Reg::R3, disp: -4 });
-        assert_eq!(w[2], Instr::Lw { rd: Reg::R0, rs1: Reg::R1, disp: 0 });
+        assert_eq!(
+            w[0],
+            Instr::Lw {
+                rd: Reg::R1,
+                rs1: Reg::Sp,
+                disp: 8
+            }
+        );
+        assert_eq!(
+            w[1],
+            Instr::Sw {
+                rs1: Reg::R2,
+                rs2: Reg::R3,
+                disp: -4
+            }
+        );
+        assert_eq!(
+            w[2],
+            Instr::Lw {
+                rd: Reg::R0,
+                rs1: Reg::R1,
+                disp: 0
+            }
+        );
     }
 
     #[test]
@@ -498,9 +536,27 @@ mod tests {
     fn hex_binary_and_negative_immediates() {
         let img = assemble_text(0, "movi r0, -1\nmovi r1, 0x7f\nmovi r2, 0b101").unwrap();
         let w: Vec<Instr> = img.words().map(|w| decode(w).unwrap()).collect();
-        assert_eq!(w[0], Instr::Movi { rd: Reg::R0, imm: -1 });
-        assert_eq!(w[1], Instr::Movi { rd: Reg::R1, imm: 0x7f });
-        assert_eq!(w[2], Instr::Movi { rd: Reg::R2, imm: 5 });
+        assert_eq!(
+            w[0],
+            Instr::Movi {
+                rd: Reg::R0,
+                imm: -1
+            }
+        );
+        assert_eq!(
+            w[1],
+            Instr::Movi {
+                rd: Reg::R1,
+                imm: 0x7f
+            }
+        );
+        assert_eq!(
+            w[2],
+            Instr::Movi {
+                rd: Reg::R2,
+                imm: 5
+            }
+        );
     }
 
     #[test]

@@ -85,7 +85,13 @@ pub struct Asm {
 impl Asm {
     /// Creates an assembler whose image will be positioned at `base`.
     pub fn new(base: u32) -> Self {
-        Asm { base, bytes: Vec::new(), labels: BTreeMap::new(), fixups: Vec::new(), error: None }
+        Asm {
+            base,
+            bytes: Vec::new(),
+            labels: BTreeMap::new(),
+            fixups: Vec::new(),
+            error: None,
+        }
     }
 
     /// The absolute address of the next emitted byte.
@@ -271,7 +277,10 @@ impl Asm {
     /// size is position-independent of the final symbol value.
     pub fn la(&mut self, rd: Reg, label: &str) {
         let site = self.here();
-        self.fixups.push(Fixup::AbsHiLo { site, label: label.to_string() });
+        self.fixups.push(Fixup::AbsHiLo {
+            site,
+            label: label.to_string(),
+        });
         self.lui(rd, 0);
         self.ori(rd, rd, 0);
     }
@@ -353,7 +362,10 @@ impl Asm {
     /// Emits a relative jump to `label`.
     pub fn jmp(&mut self, label: &str) {
         let site = self.here();
-        self.fixups.push(Fixup::Rel16 { site, label: label.to_string() });
+        self.fixups.push(Fixup::Rel16 {
+            site,
+            label: label.to_string(),
+        });
         self.emit(Instr::Jmp { off: 0 });
     }
 
@@ -365,7 +377,10 @@ impl Asm {
     /// Emits a relative call to `label`.
     pub fn call(&mut self, label: &str) {
         let site = self.here();
-        self.fixups.push(Fixup::Rel16 { site, label: label.to_string() });
+        self.fixups.push(Fixup::Rel16 {
+            site,
+            label: label.to_string(),
+        });
         self.emit(Instr::Call { off: 0 });
     }
 
@@ -389,8 +404,16 @@ impl Asm {
     /// Emits a compare-and-branch to `label`.
     pub fn branch(&mut self, cond: Cond, rs1: Reg, rs2: Reg, label: &str) {
         let site = self.here();
-        self.fixups.push(Fixup::Rel16 { site, label: label.to_string() });
-        self.emit(Instr::Branch { cond, rs1, rs2, off: 0 });
+        self.fixups.push(Fixup::Rel16 {
+            site,
+            label: label.to_string(),
+        });
+        self.emit(Instr::Branch {
+            cond,
+            rs1,
+            rs2,
+            off: 0,
+        });
     }
 
     /// Emits `beq rs1, rs2, label`.
@@ -445,7 +468,10 @@ impl Asm {
     /// Emits a word that will hold the absolute address of `label`.
     pub fn word_label(&mut self, label: &str) {
         let site = self.here();
-        self.fixups.push(Fixup::WordAbs { site, label: label.to_string() });
+        self.fixups.push(Fixup::WordAbs {
+            site,
+            label: label.to_string(),
+        });
         self.word(0);
     }
 
@@ -473,12 +499,21 @@ impl Asm {
 
     /// Resolves all fixups and produces the final image.
     pub fn assemble(self) -> Result<Image, AsmError> {
-        let Asm { base, mut bytes, labels, fixups, error } = self;
+        let Asm {
+            base,
+            mut bytes,
+            labels,
+            fixups,
+            error,
+        } = self;
         if let Some(e) = error {
             return Err(e);
         }
         let lookup = |label: &str| -> Result<u32, AsmError> {
-            labels.get(label).copied().ok_or_else(|| AsmError::UndefinedLabel(label.to_string()))
+            labels
+                .get(label)
+                .copied()
+                .ok_or_else(|| AsmError::UndefinedLabel(label.to_string()))
         };
         let patch_low16 = |bytes: &mut [u8], off: usize, v: u16| {
             bytes[off] = v as u8;
@@ -512,7 +547,11 @@ impl Asm {
                 }
             }
         }
-        Ok(Image { base, bytes, symbols: labels })
+        Ok(Image {
+            base,
+            bytes,
+            symbols: labels,
+        })
     }
 }
 
@@ -532,8 +571,14 @@ mod tests {
         a.label("end");
         a.halt(); // 0x110
         let img = a.assemble().unwrap();
-        assert_eq!(decode(img.word_at(0x104).unwrap()).unwrap(), Instr::Jmp { off: 8 });
-        assert_eq!(decode(img.word_at(0x10c).unwrap()).unwrap(), Instr::Jmp { off: -16 });
+        assert_eq!(
+            decode(img.word_at(0x104).unwrap()).unwrap(),
+            Instr::Jmp { off: 8 }
+        );
+        assert_eq!(
+            decode(img.word_at(0x10c).unwrap()).unwrap(),
+            Instr::Jmp { off: -16 }
+        );
     }
 
     #[test]
@@ -546,8 +591,21 @@ mod tests {
         let img = a.assemble().unwrap();
         let lui = decode(img.word_at(0x2000_0000).unwrap()).unwrap();
         let ori = decode(img.word_at(0x2000_0004).unwrap()).unwrap();
-        assert_eq!(lui, Instr::Lui { rd: Reg::R1, imm: 0x2000 });
-        assert_eq!(ori, Instr::Ori { rd: Reg::R1, rs1: Reg::R1, imm: 0x000c });
+        assert_eq!(
+            lui,
+            Instr::Lui {
+                rd: Reg::R1,
+                imm: 0x2000
+            }
+        );
+        assert_eq!(
+            ori,
+            Instr::Ori {
+                rd: Reg::R1,
+                rs1: Reg::R1,
+                imm: 0x000c
+            }
+        );
     }
 
     #[test]
@@ -560,11 +618,42 @@ mod tests {
         let img = a.assemble().unwrap();
         let instrs: Vec<Instr> = img.words().map(|w| decode(w).unwrap()).collect();
         assert_eq!(instrs.len(), 5);
-        assert_eq!(instrs[0], Instr::Movi { rd: Reg::R0, imm: 5 });
-        assert_eq!(instrs[1], Instr::Movi { rd: Reg::R1, imm: -2 });
-        assert_eq!(instrs[2], Instr::Lui { rd: Reg::R2, imm: 1 });
-        assert_eq!(instrs[3], Instr::Lui { rd: Reg::R3, imm: 0x1234 });
-        assert_eq!(instrs[4], Instr::Ori { rd: Reg::R3, rs1: Reg::R3, imm: 0x5678 });
+        assert_eq!(
+            instrs[0],
+            Instr::Movi {
+                rd: Reg::R0,
+                imm: 5
+            }
+        );
+        assert_eq!(
+            instrs[1],
+            Instr::Movi {
+                rd: Reg::R1,
+                imm: -2
+            }
+        );
+        assert_eq!(
+            instrs[2],
+            Instr::Lui {
+                rd: Reg::R2,
+                imm: 1
+            }
+        );
+        assert_eq!(
+            instrs[3],
+            Instr::Lui {
+                rd: Reg::R3,
+                imm: 0x1234
+            }
+        );
+        assert_eq!(
+            instrs[4],
+            Instr::Ori {
+                rd: Reg::R3,
+                rs1: Reg::R3,
+                imm: 0x5678
+            }
+        );
     }
 
     #[test]
@@ -582,14 +671,20 @@ mod tests {
         let mut a = Asm::new(0);
         a.label("x");
         a.label("x");
-        assert_eq!(a.assemble().unwrap_err(), AsmError::DuplicateLabel("x".into()));
+        assert_eq!(
+            a.assemble().unwrap_err(),
+            AsmError::DuplicateLabel("x".into())
+        );
     }
 
     #[test]
     fn undefined_label_rejected() {
         let mut a = Asm::new(0);
         a.jmp("nowhere");
-        assert_eq!(a.assemble().unwrap_err(), AsmError::UndefinedLabel("nowhere".into()));
+        assert_eq!(
+            a.assemble().unwrap_err(),
+            AsmError::UndefinedLabel("nowhere".into())
+        );
     }
 
     #[test]
@@ -599,7 +694,10 @@ mod tests {
         a.space(0x10000);
         a.label("far");
         a.halt();
-        assert!(matches!(a.assemble(), Err(AsmError::RelativeOutOfRange { .. })));
+        assert!(matches!(
+            a.assemble(),
+            Err(AsmError::RelativeOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -607,7 +705,10 @@ mod tests {
         let mut a = Asm::new(0);
         a.ascii("ab");
         a.nop();
-        assert_eq!(a.assemble().unwrap_err(), AsmError::MisalignedCode { at: 2 });
+        assert_eq!(
+            a.assemble().unwrap_err(),
+            AsmError::MisalignedCode { at: 2 }
+        );
     }
 
     #[test]

@@ -77,10 +77,20 @@ fn rel_off(w: u32) -> Result<i16, DecodeError> {
 pub fn decode(w: u32) -> Result<Instr, DecodeError> {
     let opcode = (w >> 24) as u8;
     let alu = |a: AluOp| -> Result<Instr, DecodeError> {
-        Ok(Instr::Alu { op: a, rd: rd(w)?, rs1: rs1(w)?, rs2: rs2(w)? })
+        Ok(Instr::Alu {
+            op: a,
+            rd: rd(w)?,
+            rs1: rs1(w)?,
+            rs2: rs2(w)?,
+        })
     };
     let branch = |c: Cond| -> Result<Instr, DecodeError> {
-        Ok(Instr::Branch { cond: c, rs1: rd(w)?, rs2: rs1(w)?, off: rel_off(w)? })
+        Ok(Instr::Branch {
+            cond: c,
+            rs1: rd(w)?,
+            rs2: rs1(w)?,
+            off: rel_off(w)?,
+        })
     };
     match opcode {
         op::NOP => Ok(Instr::Nop),
@@ -101,27 +111,99 @@ pub fn decode(w: u32) -> Result<Instr, DecodeError> {
         op::MUL => alu(AluOp::Mul),
         op::DIVU => alu(AluOp::Divu),
         op::REMU => alu(AluOp::Remu),
-        op::MOV => Ok(Instr::Mov { rd: rd(w)?, rs1: rs1(w)? }),
-        op::NOT => Ok(Instr::Not { rd: rd(w)?, rs1: rs1(w)? }),
+        op::MOV => Ok(Instr::Mov {
+            rd: rd(w)?,
+            rs1: rs1(w)?,
+        }),
+        op::NOT => Ok(Instr::Not {
+            rd: rd(w)?,
+            rs1: rs1(w)?,
+        }),
 
-        op::ADDI => Ok(Instr::Addi { rd: rd(w)?, rs1: rs1(w)?, imm: imm16(w) as i16 }),
-        op::ANDI => Ok(Instr::Andi { rd: rd(w)?, rs1: rs1(w)?, imm: imm16(w) }),
-        op::ORI => Ok(Instr::Ori { rd: rd(w)?, rs1: rs1(w)?, imm: imm16(w) }),
-        op::XORI => Ok(Instr::Xori { rd: rd(w)?, rs1: rs1(w)?, imm: imm16(w) }),
-        op::SHLI => Ok(Instr::Shli { rd: rd(w)?, rs1: rs1(w)?, imm: shift_amount(w)? }),
-        op::SHRI => Ok(Instr::Shri { rd: rd(w)?, rs1: rs1(w)?, imm: shift_amount(w)? }),
-        op::SRAI => Ok(Instr::Srai { rd: rd(w)?, rs1: rs1(w)?, imm: shift_amount(w)? }),
-        op::MOVI => Ok(Instr::Movi { rd: rd(w)?, imm: imm16(w) as i16 }),
-        op::LUI => Ok(Instr::Lui { rd: rd(w)?, imm: imm16(w) }),
+        op::ADDI => Ok(Instr::Addi {
+            rd: rd(w)?,
+            rs1: rs1(w)?,
+            imm: imm16(w) as i16,
+        }),
+        op::ANDI => Ok(Instr::Andi {
+            rd: rd(w)?,
+            rs1: rs1(w)?,
+            imm: imm16(w),
+        }),
+        op::ORI => Ok(Instr::Ori {
+            rd: rd(w)?,
+            rs1: rs1(w)?,
+            imm: imm16(w),
+        }),
+        op::XORI => Ok(Instr::Xori {
+            rd: rd(w)?,
+            rs1: rs1(w)?,
+            imm: imm16(w),
+        }),
+        op::SHLI => Ok(Instr::Shli {
+            rd: rd(w)?,
+            rs1: rs1(w)?,
+            imm: shift_amount(w)?,
+        }),
+        op::SHRI => Ok(Instr::Shri {
+            rd: rd(w)?,
+            rs1: rs1(w)?,
+            imm: shift_amount(w)?,
+        }),
+        op::SRAI => Ok(Instr::Srai {
+            rd: rd(w)?,
+            rs1: rs1(w)?,
+            imm: shift_amount(w)?,
+        }),
+        op::MOVI => Ok(Instr::Movi {
+            rd: rd(w)?,
+            imm: imm16(w) as i16,
+        }),
+        op::LUI => Ok(Instr::Lui {
+            rd: rd(w)?,
+            imm: imm16(w),
+        }),
 
-        op::LW => Ok(Instr::Lw { rd: rd(w)?, rs1: rs1(w)?, disp: imm16(w) as i16 }),
-        op::SW => Ok(Instr::Sw { rs1: rs1(w)?, rs2: rd(w)?, disp: imm16(w) as i16 }),
-        op::LB => Ok(Instr::Lb { rd: rd(w)?, rs1: rs1(w)?, disp: imm16(w) as i16 }),
-        op::LBS => Ok(Instr::Lbs { rd: rd(w)?, rs1: rs1(w)?, disp: imm16(w) as i16 }),
-        op::SB => Ok(Instr::Sb { rs1: rs1(w)?, rs2: rd(w)?, disp: imm16(w) as i16 }),
-        op::LH => Ok(Instr::Lh { rd: rd(w)?, rs1: rs1(w)?, disp: imm16(w) as i16 }),
-        op::LHS => Ok(Instr::Lhs { rd: rd(w)?, rs1: rs1(w)?, disp: imm16(w) as i16 }),
-        op::SH => Ok(Instr::Sh { rs1: rs1(w)?, rs2: rd(w)?, disp: imm16(w) as i16 }),
+        op::LW => Ok(Instr::Lw {
+            rd: rd(w)?,
+            rs1: rs1(w)?,
+            disp: imm16(w) as i16,
+        }),
+        op::SW => Ok(Instr::Sw {
+            rs1: rs1(w)?,
+            rs2: rd(w)?,
+            disp: imm16(w) as i16,
+        }),
+        op::LB => Ok(Instr::Lb {
+            rd: rd(w)?,
+            rs1: rs1(w)?,
+            disp: imm16(w) as i16,
+        }),
+        op::LBS => Ok(Instr::Lbs {
+            rd: rd(w)?,
+            rs1: rs1(w)?,
+            disp: imm16(w) as i16,
+        }),
+        op::SB => Ok(Instr::Sb {
+            rs1: rs1(w)?,
+            rs2: rd(w)?,
+            disp: imm16(w) as i16,
+        }),
+        op::LH => Ok(Instr::Lh {
+            rd: rd(w)?,
+            rs1: rs1(w)?,
+            disp: imm16(w) as i16,
+        }),
+        op::LHS => Ok(Instr::Lhs {
+            rd: rd(w)?,
+            rs1: rs1(w)?,
+            disp: imm16(w) as i16,
+        }),
+        op::SH => Ok(Instr::Sh {
+            rs1: rs1(w)?,
+            rs2: rd(w)?,
+            disp: imm16(w) as i16,
+        }),
 
         op::PUSH => Ok(Instr::Push { rs: rd(w)? }),
         op::POP => Ok(Instr::Pop { rd: rd(w)? }),
@@ -162,7 +244,14 @@ mod tests {
 
     #[test]
     fn roundtrip_system() {
-        for i in [Instr::Nop, Instr::Halt, Instr::Iret, Instr::Di, Instr::Ei, Instr::Ret] {
+        for i in [
+            Instr::Nop,
+            Instr::Halt,
+            Instr::Iret,
+            Instr::Di,
+            Instr::Ei,
+            Instr::Ret,
+        ] {
             roundtrip(i);
         }
         roundtrip(Instr::Swi(0));
@@ -172,26 +261,69 @@ mod tests {
     #[test]
     fn roundtrip_alu_all_ops() {
         for a in AluOp::ALL {
-            roundtrip(Instr::Alu { op: a, rd: Reg::R3, rs1: Reg::Sp, rs2: Reg::R7 });
+            roundtrip(Instr::Alu {
+                op: a,
+                rd: Reg::R3,
+                rs1: Reg::Sp,
+                rs2: Reg::R7,
+            });
         }
     }
 
     #[test]
     fn roundtrip_immediates() {
-        roundtrip(Instr::Addi { rd: Reg::R1, rs1: Reg::R2, imm: -32768 });
-        roundtrip(Instr::Addi { rd: Reg::R1, rs1: Reg::R2, imm: 32767 });
-        roundtrip(Instr::Andi { rd: Reg::R0, rs1: Reg::R0, imm: 0xffff });
-        roundtrip(Instr::Movi { rd: Reg::Sp, imm: -1 });
-        roundtrip(Instr::Lui { rd: Reg::R4, imm: 0x2000 });
-        roundtrip(Instr::Shli { rd: Reg::R4, rs1: Reg::R4, imm: 31 });
+        roundtrip(Instr::Addi {
+            rd: Reg::R1,
+            rs1: Reg::R2,
+            imm: -32768,
+        });
+        roundtrip(Instr::Addi {
+            rd: Reg::R1,
+            rs1: Reg::R2,
+            imm: 32767,
+        });
+        roundtrip(Instr::Andi {
+            rd: Reg::R0,
+            rs1: Reg::R0,
+            imm: 0xffff,
+        });
+        roundtrip(Instr::Movi {
+            rd: Reg::Sp,
+            imm: -1,
+        });
+        roundtrip(Instr::Lui {
+            rd: Reg::R4,
+            imm: 0x2000,
+        });
+        roundtrip(Instr::Shli {
+            rd: Reg::R4,
+            rs1: Reg::R4,
+            imm: 31,
+        });
     }
 
     #[test]
     fn roundtrip_memory() {
-        roundtrip(Instr::Lw { rd: Reg::R0, rs1: Reg::Sp, disp: -4 });
-        roundtrip(Instr::Sw { rs1: Reg::R6, rs2: Reg::R7, disp: 1024 });
-        roundtrip(Instr::Lb { rd: Reg::R2, rs1: Reg::R1, disp: 3 });
-        roundtrip(Instr::Sb { rs1: Reg::R2, rs2: Reg::R3, disp: -3 });
+        roundtrip(Instr::Lw {
+            rd: Reg::R0,
+            rs1: Reg::Sp,
+            disp: -4,
+        });
+        roundtrip(Instr::Sw {
+            rs1: Reg::R6,
+            rs2: Reg::R7,
+            disp: 1024,
+        });
+        roundtrip(Instr::Lb {
+            rd: Reg::R2,
+            rs1: Reg::R1,
+            disp: 3,
+        });
+        roundtrip(Instr::Sb {
+            rs1: Reg::R2,
+            rs2: Reg::R3,
+            disp: -3,
+        });
         roundtrip(Instr::Push { rs: Reg::Sp });
         roundtrip(Instr::Pop { rd: Reg::R7 });
         roundtrip(Instr::Pushf);
@@ -205,14 +337,29 @@ mod tests {
         roundtrip(Instr::Jr { rs1: Reg::R5 });
         roundtrip(Instr::Callr { rs1: Reg::R0 });
         for c in Cond::ALL {
-            roundtrip(Instr::Branch { cond: c, rs1: Reg::R1, rs2: Reg::R2, off: -8 });
+            roundtrip(Instr::Branch {
+                cond: c,
+                rs1: Reg::R1,
+                rs2: Reg::R2,
+                off: -8,
+            });
         }
     }
 
     #[test]
     fn roundtrip_ext() {
-        roundtrip(Instr::Ext { op: 0, rd: Reg::R0, rs1: Reg::R1, imm: 7 });
-        roundtrip(Instr::Ext { op: 15, rd: Reg::Sp, rs1: Reg::R7, imm: 0xffff });
+        roundtrip(Instr::Ext {
+            op: 0,
+            rd: Reg::R0,
+            rs1: Reg::R1,
+            imm: 7,
+        });
+        roundtrip(Instr::Ext {
+            op: 15,
+            rd: Reg::Sp,
+            rs1: Reg::R7,
+            imm: 0xffff,
+        });
     }
 
     #[test]
@@ -225,7 +372,10 @@ mod tests {
     fn bad_register_rejected() {
         // ADD with rd field = 9 (only 0..=8 valid).
         let w = (op::ADD as u32) << 24 | 9 << 20;
-        assert!(matches!(decode(w), Err(DecodeError::BadRegister { field: "rd", .. })));
+        assert!(matches!(
+            decode(w),
+            Err(DecodeError::BadRegister { field: "rd", .. })
+        ));
     }
 
     #[test]

@@ -34,7 +34,11 @@ mod tests {
     fn valid_instruction_formats() {
         assert_eq!(disassemble(encode(Instr::Halt)), "halt");
         assert_eq!(
-            disassemble(encode(Instr::Lw { rd: Reg::R0, rs1: Reg::Sp, disp: -4 })),
+            disassemble(encode(Instr::Lw {
+                rd: Reg::R0,
+                rs1: Reg::Sp,
+                disp: -4
+            })),
             "lw r0, [sp-4]"
         );
     }

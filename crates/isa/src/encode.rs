@@ -133,7 +133,12 @@ pub fn encode(i: Instr) -> u32 {
         Instr::Di => word(op::DI, 0, 0, 0),
         Instr::Ei => word(op::EI, 0, 0, 0),
 
-        Instr::Alu { op: a, rd, rs1, rs2 } => r_format(alu_opcode(a), rd, rs1, rs2),
+        Instr::Alu {
+            op: a,
+            rd,
+            rs1,
+            rs2,
+        } => r_format(alu_opcode(a), rd, rs1, rs2),
         Instr::Mov { rd, rs1 } => i_format(op::MOV, rd, rs1, 0),
         Instr::Not { rd, rs1 } => i_format(op::NOT, rd, rs1, 0),
 
@@ -181,12 +186,22 @@ pub fn encode(i: Instr) -> u32 {
         }
         Instr::Callr { rs1 } => word(op::CALLR, 0, rs1.code(), 0),
         Instr::Ret => word(op::RET, 0, 0, 0),
-        Instr::Branch { cond, rs1, rs2, off } => {
+        Instr::Branch {
+            cond,
+            rs1,
+            rs2,
+            off,
+        } => {
             debug_assert!(off % 4 == 0);
             word(cond_opcode(cond), rs1.code(), rs2.code(), off as u16 as u32)
         }
 
-        Instr::Ext { op: ext, rd, rs1, imm } => {
+        Instr::Ext {
+            op: ext,
+            rd,
+            rs1,
+            imm,
+        } => {
             debug_assert!(ext <= 0x0f);
             i_format(op::EXT_BASE | (ext & 0x0f), rd, rs1, imm)
         }
@@ -205,7 +220,11 @@ mod tests {
 
     #[test]
     fn store_fields_swapped_into_rd_slot() {
-        let w = encode(Instr::Sw { rs1: Reg::R1, rs2: Reg::R2, disp: 8 });
+        let w = encode(Instr::Sw {
+            rs1: Reg::R1,
+            rs2: Reg::R2,
+            disp: 8,
+        });
         assert_eq!((w >> 20) & 0xf, Reg::R2.code());
         assert_eq!((w >> 16) & 0xf, Reg::R1.code());
         assert_eq!(w & 0xffff, 8);
@@ -213,13 +232,22 @@ mod tests {
 
     #[test]
     fn negative_displacement_wraps_into_imm16() {
-        let w = encode(Instr::Lw { rd: Reg::R0, rs1: Reg::Sp, disp: -4 });
+        let w = encode(Instr::Lw {
+            rd: Reg::R0,
+            rs1: Reg::Sp,
+            disp: -4,
+        });
         assert_eq!(w & 0xffff, 0xfffc);
     }
 
     #[test]
     fn ext_opcode_range() {
-        let w = encode(Instr::Ext { op: 0x5, rd: Reg::R1, rs1: Reg::R2, imm: 0xabcd });
+        let w = encode(Instr::Ext {
+            op: 0x5,
+            rd: Reg::R1,
+            rs1: Reg::R2,
+            imm: 0xabcd,
+        });
         assert_eq!(w >> 24, 0xe5);
     }
 }

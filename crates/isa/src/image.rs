@@ -21,7 +21,11 @@ pub struct Image {
 impl Image {
     /// Creates an empty image at `base`.
     pub fn new(base: u32) -> Self {
-        Image { base, bytes: Vec::new(), symbols: BTreeMap::new() }
+        Image {
+            base,
+            bytes: Vec::new(),
+            symbols: BTreeMap::new(),
+        }
     }
 
     /// Length of the image in bytes.
@@ -53,7 +57,10 @@ impl Image {
     pub fn expect_symbol(&self, name: &str) -> u32 {
         match self.symbol(name) {
             Some(a) => a,
-            None => panic!("symbol `{name}` not defined in image at {:#010x}", self.base),
+            None => panic!(
+                "symbol `{name}` not defined in image at {:#010x}",
+                self.base
+            ),
         }
     }
 

@@ -156,7 +156,12 @@ pub enum Instr {
     Ei,
 
     /// Register-register ALU operation: `rd = rs1 op rs2`.
-    Alu { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    Alu {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// Register move: `rd = rs1`.
     Mov { rd: Reg, rs1: Reg },
     /// Bitwise complement: `rd = !rs1`.
@@ -218,7 +223,12 @@ pub enum Instr {
     /// Return: pops the instruction pointer.
     Ret,
     /// Compare-and-branch: if `rs1 cond rs2`, jump by `off`.
-    Branch { cond: Cond, rs1: Reg, rs2: Reg, off: i16 },
+    Branch {
+        cond: Cond,
+        rs1: Reg,
+        rs2: Reg,
+        off: i16,
+    },
 
     /// Platform-defined extension instruction (opcodes `0xE0..=0xEF`).
     ///
@@ -308,7 +318,12 @@ impl fmt::Display for Instr {
             Instr::Call { off } => write!(f, "call {off:+}"),
             Instr::Callr { rs1 } => write!(f, "callr {rs1}"),
             Instr::Ret => write!(f, "ret"),
-            Instr::Branch { cond, rs1, rs2, off } => {
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                off,
+            } => {
                 write!(f, "{} {rs1}, {rs2}, {off:+}", cond.mnemonic())
             }
             Instr::Ext { op, rd, rs1, imm } => {

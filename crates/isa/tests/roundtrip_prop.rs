@@ -32,64 +32,95 @@ fn any_instr() -> impl Strategy<Value = Instr> {
         Just(Instr::Pushf),
         Just(Instr::Popf),
         any::<u8>().prop_map(Instr::Swi),
-        (any_alu(), any_reg(), any_reg(), any_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Instr::Alu { op, rd, rs1, rs2 }),
+        (any_alu(), any_reg(), any_reg(), any_reg()).prop_map(|(op, rd, rs1, rs2)| Instr::Alu {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
         (any_reg(), any_reg()).prop_map(|(rd, rs1)| Instr::Mov { rd, rs1 }),
         (any_reg(), any_reg()).prop_map(|(rd, rs1)| Instr::Not { rd, rs1 }),
-        (any_reg(), any_reg(), any::<i16>())
-            .prop_map(|(rd, rs1, imm)| Instr::Addi { rd, rs1, imm }),
-        (any_reg(), any_reg(), any::<u16>())
-            .prop_map(|(rd, rs1, imm)| Instr::Andi { rd, rs1, imm }),
-        (any_reg(), any_reg(), any::<u16>()).prop_map(|(rd, rs1, imm)| Instr::Ori {
+        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rd, rs1, imm)| Instr::Addi {
             rd,
             rs1,
             imm
         }),
-        (any_reg(), any_reg(), any::<u16>())
-            .prop_map(|(rd, rs1, imm)| Instr::Xori { rd, rs1, imm }),
-        (any_reg(), any_reg(), 0u8..32).prop_map(|(rd, rs1, imm)| Instr::Shli {
+        (any_reg(), any_reg(), any::<u16>()).prop_map(|(rd, rs1, imm)| Instr::Andi {
             rd,
             rs1,
             imm
         }),
-        (any_reg(), any_reg(), 0u8..32).prop_map(|(rd, rs1, imm)| Instr::Shri {
+        (any_reg(), any_reg(), any::<u16>()).prop_map(|(rd, rs1, imm)| Instr::Ori { rd, rs1, imm }),
+        (any_reg(), any_reg(), any::<u16>()).prop_map(|(rd, rs1, imm)| Instr::Xori {
             rd,
             rs1,
             imm
         }),
-        (any_reg(), any_reg(), 0u8..32).prop_map(|(rd, rs1, imm)| Instr::Srai {
-            rd,
-            rs1,
-            imm
-        }),
+        (any_reg(), any_reg(), 0u8..32).prop_map(|(rd, rs1, imm)| Instr::Shli { rd, rs1, imm }),
+        (any_reg(), any_reg(), 0u8..32).prop_map(|(rd, rs1, imm)| Instr::Shri { rd, rs1, imm }),
+        (any_reg(), any_reg(), 0u8..32).prop_map(|(rd, rs1, imm)| Instr::Srai { rd, rs1, imm }),
         (any_reg(), any::<i16>()).prop_map(|(rd, imm)| Instr::Movi { rd, imm }),
         (any_reg(), any::<u16>()).prop_map(|(rd, imm)| Instr::Lui { rd, imm }),
-        (any_reg(), any_reg(), any::<i16>())
-            .prop_map(|(rd, rs1, disp)| Instr::Lw { rd, rs1, disp }),
-        (any_reg(), any_reg(), any::<i16>())
-            .prop_map(|(rs1, rs2, disp)| Instr::Sw { rs1, rs2, disp }),
-        (any_reg(), any_reg(), any::<i16>())
-            .prop_map(|(rd, rs1, disp)| Instr::Lb { rd, rs1, disp }),
-        (any_reg(), any_reg(), any::<i16>())
-            .prop_map(|(rd, rs1, disp)| Instr::Lbs { rd, rs1, disp }),
-        (any_reg(), any_reg(), any::<i16>())
-            .prop_map(|(rs1, rs2, disp)| Instr::Sb { rs1, rs2, disp }),
-        (any_reg(), any_reg(), any::<i16>())
-            .prop_map(|(rd, rs1, disp)| Instr::Lh { rd, rs1, disp }),
-        (any_reg(), any_reg(), any::<i16>())
-            .prop_map(|(rd, rs1, disp)| Instr::Lhs { rd, rs1, disp }),
-        (any_reg(), any_reg(), any::<i16>())
-            .prop_map(|(rs1, rs2, disp)| Instr::Sh { rs1, rs2, disp }),
+        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rd, rs1, disp)| Instr::Lw {
+            rd,
+            rs1,
+            disp
+        }),
+        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rs1, rs2, disp)| Instr::Sw {
+            rs1,
+            rs2,
+            disp
+        }),
+        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rd, rs1, disp)| Instr::Lb {
+            rd,
+            rs1,
+            disp
+        }),
+        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rd, rs1, disp)| Instr::Lbs {
+            rd,
+            rs1,
+            disp
+        }),
+        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rs1, rs2, disp)| Instr::Sb {
+            rs1,
+            rs2,
+            disp
+        }),
+        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rd, rs1, disp)| Instr::Lh {
+            rd,
+            rs1,
+            disp
+        }),
+        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rd, rs1, disp)| Instr::Lhs {
+            rd,
+            rs1,
+            disp
+        }),
+        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rs1, rs2, disp)| Instr::Sh {
+            rs1,
+            rs2,
+            disp
+        }),
         any_reg().prop_map(|rs| Instr::Push { rs }),
         any_reg().prop_map(|rd| Instr::Pop { rd }),
         aligned_off().prop_map(|off| Instr::Jmp { off }),
         any_reg().prop_map(|rs1| Instr::Jr { rs1 }),
         aligned_off().prop_map(|off| Instr::Call { off }),
         any_reg().prop_map(|rs1| Instr::Callr { rs1 }),
-        (any_cond(), any_reg(), any_reg(), aligned_off())
-            .prop_map(|(cond, rs1, rs2, off)| Instr::Branch { cond, rs1, rs2, off }),
-        (0u8..16, any_reg(), any_reg(), any::<u16>())
-            .prop_map(|(op, rd, rs1, imm)| Instr::Ext { op, rd, rs1, imm }),
+        (any_cond(), any_reg(), any_reg(), aligned_off()).prop_map(|(cond, rs1, rs2, off)| {
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                off,
+            }
+        }),
+        (0u8..16, any_reg(), any_reg(), any::<u16>()).prop_map(|(op, rd, rs1, imm)| Instr::Ext {
+            op,
+            rd,
+            rs1,
+            imm
+        }),
     ]
 }
 

@@ -25,30 +25,61 @@ fn textable_instr() -> impl Strategy<Value = Instr> {
         Just(Instr::Pushf),
         Just(Instr::Popf),
         any::<u8>().prop_map(Instr::Swi),
-        (any_alu(), any_reg(), any_reg(), any_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Instr::Alu { op, rd, rs1, rs2 }),
+        (any_alu(), any_reg(), any_reg(), any_reg()).prop_map(|(op, rd, rs1, rs2)| Instr::Alu {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
         (any_reg(), any_reg()).prop_map(|(rd, rs1)| Instr::Mov { rd, rs1 }),
         (any_reg(), any_reg()).prop_map(|(rd, rs1)| Instr::Not { rd, rs1 }),
-        (any_reg(), any_reg(), any::<i16>())
-            .prop_map(|(rd, rs1, imm)| Instr::Addi { rd, rs1, imm }),
+        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rd, rs1, imm)| Instr::Addi {
+            rd,
+            rs1,
+            imm
+        }),
         (any_reg(), any::<i16>()).prop_map(|(rd, imm)| Instr::Movi { rd, imm }),
         (any_reg(), any::<u16>()).prop_map(|(rd, imm)| Instr::Lui { rd, imm }),
-        (any_reg(), any_reg(), any::<i16>())
-            .prop_map(|(rd, rs1, disp)| Instr::Lw { rd, rs1, disp }),
-        (any_reg(), any_reg(), any::<i16>())
-            .prop_map(|(rs1, rs2, disp)| Instr::Sw { rs1, rs2, disp }),
-        (any_reg(), any_reg(), any::<i16>())
-            .prop_map(|(rd, rs1, disp)| Instr::Lb { rd, rs1, disp }),
-        (any_reg(), any_reg(), any::<i16>())
-            .prop_map(|(rs1, rs2, disp)| Instr::Sb { rs1, rs2, disp }),
-        (any_reg(), any_reg(), any::<i16>())
-            .prop_map(|(rd, rs1, disp)| Instr::Lbs { rd, rs1, disp }),
-        (any_reg(), any_reg(), any::<i16>())
-            .prop_map(|(rd, rs1, disp)| Instr::Lh { rd, rs1, disp }),
-        (any_reg(), any_reg(), any::<i16>())
-            .prop_map(|(rd, rs1, disp)| Instr::Lhs { rd, rs1, disp }),
-        (any_reg(), any_reg(), any::<i16>())
-            .prop_map(|(rs1, rs2, disp)| Instr::Sh { rs1, rs2, disp }),
+        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rd, rs1, disp)| Instr::Lw {
+            rd,
+            rs1,
+            disp
+        }),
+        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rs1, rs2, disp)| Instr::Sw {
+            rs1,
+            rs2,
+            disp
+        }),
+        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rd, rs1, disp)| Instr::Lb {
+            rd,
+            rs1,
+            disp
+        }),
+        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rs1, rs2, disp)| Instr::Sb {
+            rs1,
+            rs2,
+            disp
+        }),
+        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rd, rs1, disp)| Instr::Lbs {
+            rd,
+            rs1,
+            disp
+        }),
+        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rd, rs1, disp)| Instr::Lh {
+            rd,
+            rs1,
+            disp
+        }),
+        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rd, rs1, disp)| Instr::Lhs {
+            rd,
+            rs1,
+            disp
+        }),
+        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rs1, rs2, disp)| Instr::Sh {
+            rs1,
+            rs2,
+            disp
+        }),
         any_reg().prop_map(|rs| Instr::Push { rs }),
         any_reg().prop_map(|rd| Instr::Pop { rd }),
         any_reg().prop_map(|rs1| Instr::Jr { rs1 }),

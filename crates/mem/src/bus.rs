@@ -17,7 +17,10 @@ impl fmt::Display for MapError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MapError::Overlap { base, size } => {
-                write!(f, "mapping {base:#010x}+{size:#x} overlaps an existing device")
+                write!(
+                    f,
+                    "mapping {base:#010x}+{size:#x} overlaps an existing device"
+                )
             }
             MapError::Wraps { base, size } => {
                 write!(f, "mapping {base:#010x}+{size:#x} wraps the address space")
@@ -48,7 +51,10 @@ impl fmt::Debug for Bus {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut d = f.debug_struct("Bus");
         for m in &self.mappings {
-            d.field(m.device.name(), &format_args!("{:#010x}+{:#x}", m.base, m.size));
+            d.field(
+                m.device.name(),
+                &format_args!("{:#010x}+{:#x}", m.base, m.size),
+            );
         }
         d.finish()
     }
@@ -63,7 +69,9 @@ impl Bus {
     /// Maps `device` at `base`. The window size is taken from the device.
     pub fn map(&mut self, base: u32, device: Box<dyn Device>) -> Result<(), MapError> {
         let size = device.size();
-        let end = base.checked_add(size).ok_or(MapError::Wraps { base, size })?;
+        let end = base
+            .checked_add(size)
+            .ok_or(MapError::Wraps { base, size })?;
         for m in &self.mappings {
             if base < m.base + m.size && m.base < end {
                 return Err(MapError::Overlap { base, size });
@@ -150,7 +158,10 @@ impl Bus {
 
     /// Returns the `(base, size, name)` of every mapping, sorted by base.
     pub fn mappings(&self) -> Vec<(u32, u32, &'static str)> {
-        self.mappings.iter().map(|m| (m.base, m.size, m.device.name())).collect()
+        self.mappings
+            .iter()
+            .map(|m| (m.base, m.size, m.device.name()))
+            .collect()
     }
 
     /// Convenience: reads `len` bytes starting at `addr` (diagnostics).
@@ -193,7 +204,10 @@ mod tests {
     fn unmapped_and_misaligned() {
         let mut bus = bus_with_ram();
         assert_eq!(bus.read32(0x5000), Err(BusError::Unmapped { addr: 0x5000 }));
-        assert_eq!(bus.read32(0x1002), Err(BusError::Misaligned { addr: 0x1002 }));
+        assert_eq!(
+            bus.read32(0x1002),
+            Err(BusError::Misaligned { addr: 0x1002 })
+        );
         // Last word of the window is fine; one past is not.
         assert!(bus.read32(0x10fc).is_ok());
         assert_eq!(bus.read32(0x1100), Err(BusError::Unmapped { addr: 0x1100 }));
@@ -203,7 +217,13 @@ mod tests {
     fn overlap_rejected() {
         let mut bus = bus_with_ram();
         let e = bus.map(0x10f0, Box::new(Ram::new("x", 0x100))).unwrap_err();
-        assert_eq!(e, MapError::Overlap { base: 0x10f0, size: 0x100 });
+        assert_eq!(
+            e,
+            MapError::Overlap {
+                base: 0x10f0,
+                size: 0x100
+            }
+        );
         // Adjacent is fine.
         bus.map(0x1100, Box::new(Ram::new("y", 0x100))).unwrap();
     }
@@ -211,7 +231,9 @@ mod tests {
     #[test]
     fn wrap_rejected() {
         let mut bus = Bus::new();
-        let e = bus.map(0xffff_ff00, Box::new(Ram::new("z", 0x200))).unwrap_err();
+        let e = bus
+            .map(0xffff_ff00, Box::new(Ram::new("z", 0x200)))
+            .unwrap_err();
         assert!(matches!(e, MapError::Wraps { .. }));
     }
 
@@ -235,7 +257,10 @@ mod tests {
         bus.write32(0x1000, 7).unwrap();
         let ram: &mut Ram = bus.device_mut("sram").unwrap();
         assert_eq!(ram.bytes()[0], 7);
-        assert!(bus.device_mut::<Rom>("sram").is_none(), "wrong type must not downcast");
+        assert!(
+            bus.device_mut::<Rom>("sram").is_none(),
+            "wrong type must not downcast"
+        );
         assert!(bus.device_mut::<Ram>("nope").is_none());
     }
 
@@ -252,6 +277,9 @@ mod tests {
         let mut bus = bus_with_ram();
         bus.write32(0x1000, 0x0403_0201).unwrap();
         assert_eq!(bus.read_bytes(0x1000, 4).unwrap(), vec![1, 2, 3, 4]);
-        assert!(bus.read_bytes(0xfe, 4).is_err(), "crosses into unmapped gap");
+        assert!(
+            bus.read_bytes(0xfe, 4).is_err(),
+            "crosses into unmapped gap"
+        );
     }
 }

@@ -14,7 +14,10 @@ pub struct Ram {
 impl Ram {
     /// Creates a zeroed RAM of `size` bytes.
     pub fn new(name: &'static str, size: u32) -> Self {
-        Ram { name, data: vec![0; size as usize] }
+        Ram {
+            name,
+            data: vec![0; size as usize],
+        }
     }
 
     /// Direct host access to the contents (diagnostics, assertions).
@@ -85,7 +88,9 @@ pub struct Rom {
 impl Rom {
     /// Creates a zeroed ROM of `size` bytes.
     pub fn new(size: u32) -> Self {
-        Rom { data: vec![0; size as usize] }
+        Rom {
+            data: vec![0; size as usize],
+        }
     }
 
     /// Direct host access to the contents.

@@ -5,9 +5,12 @@ use trustlite_mem::{Bus, Ram, Rom};
 
 fn small_bus() -> Bus {
     let mut bus = Bus::new();
-    bus.map(0x0000, Box::new(Rom::new(0x400))).expect("rom maps");
-    bus.map(0x1000, Box::new(Ram::new("a", 0x400))).expect("ram a maps");
-    bus.map(0x2000, Box::new(Ram::new("b", 0x400))).expect("ram b maps");
+    bus.map(0x0000, Box::new(Rom::new(0x400)))
+        .expect("rom maps");
+    bus.map(0x1000, Box::new(Ram::new("a", 0x400)))
+        .expect("ram a maps");
+    bus.map(0x2000, Box::new(Ram::new("b", 0x400)))
+        .expect("ram b maps");
     bus
 }
 

@@ -80,7 +80,9 @@ impl Perms {
 
     /// Union of two permission sets.
     pub fn union(self, other: Perms) -> Perms {
-        Perms { bits: self.bits | other.bits }
+        Perms {
+            bits: self.bits | other.bits,
+        }
     }
 }
 
@@ -89,9 +91,21 @@ impl fmt::Display for Perms {
         write!(
             f,
             "{}{}{}",
-            if self.allows(AccessKind::Read) { "r" } else { "-" },
-            if self.allows(AccessKind::Write) { "w" } else { "-" },
-            if self.allows(AccessKind::Execute) { "x" } else { "-" },
+            if self.allows(AccessKind::Read) {
+                "r"
+            } else {
+                "-"
+            },
+            if self.allows(AccessKind::Write) {
+                "w"
+            } else {
+                "-"
+            },
+            if self.allows(AccessKind::Execute) {
+                "x"
+            } else {
+                "-"
+            },
         )
     }
 }
@@ -159,7 +173,11 @@ mod tests {
         assert_eq!(Perms::RW.to_string(), "rw-");
         assert_eq!(Perms::RX.to_string(), "r-x");
         assert_eq!(Perms::NONE.to_string(), "---");
-        let f = MpuFault { ip: 0x100, addr: 0x2000, kind: AccessKind::Write };
+        let f = MpuFault {
+            ip: 0x100,
+            addr: 0x2000,
+            kind: AccessKind::Write,
+        };
         assert!(f.to_string().contains("write"));
         assert!(f.to_string().contains("0x00002000"));
     }

@@ -109,6 +109,13 @@ pub struct EaMpu {
     /// Performance counter: number of accepted register writes (the §5.3
     /// loader-overhead metric).
     write_count: u64,
+    /// Performance counter: accesses validated through [`EaMpu::check`].
+    check_count: u64,
+    /// Performance counter: accesses denied by [`EaMpu::check`].
+    deny_count: u64,
+    /// Per-slot grant counters: `slot_hits[i]` counts checks granted via
+    /// slot `i` (first-match attribution).
+    slot_hits: Vec<u64>,
     /// Latched record of the most recent fault, for handler inspection.
     last_fault: Option<MpuFault>,
 }
@@ -116,7 +123,14 @@ pub struct EaMpu {
 impl EaMpu {
     /// Creates an EA-MPU with `slots` empty rule slots.
     pub fn new(slots: usize) -> Self {
-        EaMpu { slots: vec![RuleSlot::EMPTY; slots], write_count: 0, last_fault: None }
+        EaMpu {
+            slots: vec![RuleSlot::EMPTY; slots],
+            write_count: 0,
+            check_count: 0,
+            deny_count: 0,
+            slot_hits: vec![0; slots],
+            last_fault: None,
+        }
     }
 
     /// Number of rule slots in this instantiation.
@@ -137,7 +151,10 @@ impl EaMpu {
     /// Programs a whole slot. Counts as three register writes (start, end,
     /// flags), matching the hardware programming interface.
     pub fn set_rule(&mut self, index: usize, rule: RuleSlot) -> Result<(), ProgramError> {
-        let slot = self.slots.get_mut(index).ok_or(ProgramError::BadSlot(index))?;
+        let slot = self
+            .slots
+            .get_mut(index)
+            .ok_or(ProgramError::BadSlot(index))?;
         if slot.locked {
             return Err(ProgramError::Locked(index));
         }
@@ -155,7 +172,10 @@ impl EaMpu {
 
     /// Locks a slot until reset.
     pub fn lock_slot(&mut self, index: usize) -> Result<(), ProgramError> {
-        let slot = self.slots.get_mut(index).ok_or(ProgramError::BadSlot(index))?;
+        let slot = self
+            .slots
+            .get_mut(index)
+            .ok_or(ProgramError::BadSlot(index))?;
         slot.locked = true;
         Ok(())
     }
@@ -168,12 +188,33 @@ impl EaMpu {
             *s = RuleSlot::EMPTY;
         }
         self.write_count = 0;
+        self.check_count = 0;
+        self.deny_count = 0;
+        for h in &mut self.slot_hits {
+            *h = 0;
+        }
         self.last_fault = None;
     }
 
     /// The register-write performance counter.
     pub fn write_count(&self) -> u64 {
         self.write_count
+    }
+
+    /// Number of accesses validated through [`EaMpu::check`].
+    pub fn check_count(&self) -> u64 {
+        self.check_count
+    }
+
+    /// Number of accesses denied by [`EaMpu::check`].
+    pub fn deny_count(&self) -> u64 {
+        self.deny_count
+    }
+
+    /// Per-slot grant counters (`slot_hits()[i]` = checks granted via
+    /// slot `i`, first enabled match winning).
+    pub fn slot_hits(&self) -> &[u64] {
+        &self.slot_hits
     }
 
     /// The most recent latched fault, if any.
@@ -197,12 +238,9 @@ impl EaMpu {
         }
     }
 
-    /// Pure query: would `(ip, addr, kind)` be allowed?
-    ///
-    /// Default deny: the access is allowed only if some enabled slot covers
-    /// `addr`, grants `kind`, and its subject matches `ip`.
-    pub fn allows(&self, ip: u32, addr: u32, kind: AccessKind) -> bool {
-        self.slots.iter().any(|s| {
+    /// The first enabled slot granting `(ip, addr, kind)`, if any.
+    fn matching_slot(&self, ip: u32, addr: u32, kind: AccessKind) -> Option<usize> {
+        self.slots.iter().position(|s| {
             s.enabled
                 && s.contains(addr)
                 && s.perms.allows(kind)
@@ -210,14 +248,29 @@ impl EaMpu {
         })
     }
 
+    /// Pure query: would `(ip, addr, kind)` be allowed?
+    ///
+    /// Default deny: the access is allowed only if some enabled slot covers
+    /// `addr`, grants `kind`, and its subject matches `ip`.
+    pub fn allows(&self, ip: u32, addr: u32, kind: AccessKind) -> bool {
+        self.matching_slot(ip, addr, kind).is_some()
+    }
+
     /// Validates an access, latching and returning a fault on denial.
+    /// Updates the check/denial/per-slot performance counters.
     pub fn check(&mut self, ip: u32, addr: u32, kind: AccessKind) -> Result<(), MpuFault> {
-        if self.allows(ip, addr, kind) {
-            Ok(())
-        } else {
-            let fault = MpuFault { ip, addr, kind };
-            self.last_fault = Some(fault);
-            Err(fault)
+        self.check_count += 1;
+        match self.matching_slot(ip, addr, kind) {
+            Some(slot) => {
+                self.slot_hits[slot] += 1;
+                Ok(())
+            }
+            None => {
+                self.deny_count += 1;
+                let fault = MpuFault { ip, addr, kind };
+                self.last_fault = Some(fault);
+                Err(fault)
+            }
         }
     }
 
@@ -346,10 +399,19 @@ mod tests {
     #[test]
     fn half_open_ranges() {
         let m = figure3_like();
-        assert!(m.allows(0x0ffc, 0x8000, AccessKind::Read), "ip at last code word");
-        assert!(!m.allows(0x1000, 0x8000, AccessKind::Read), "ip one past code end is B");
+        assert!(
+            m.allows(0x0ffc, 0x8000, AccessKind::Read),
+            "ip at last code word"
+        );
+        assert!(
+            !m.allows(0x1000, 0x8000, AccessKind::Read),
+            "ip one past code end is B"
+        );
         assert!(m.allows(0x0100, 0x8fff, AccessKind::Read), "last data byte");
-        assert!(!m.allows(0x0100, 0x9000, AccessKind::Read), "one past data end");
+        assert!(
+            !m.allows(0x0100, 0x9000, AccessKind::Read),
+            "one past data end"
+        );
     }
 
     #[test]
@@ -372,6 +434,32 @@ mod tests {
     }
 
     #[test]
+    fn check_counters_track_grants_and_denials() {
+        let mut m = figure3_like();
+        let ip_a = 0x0100;
+        let ip_b = 0x1100;
+        assert!(m.check(ip_a, 0x8004, AccessKind::Write).is_ok()); // slot 2
+        assert!(m.check(ip_a, 0x8008, AccessKind::Read).is_ok()); // slot 2
+        assert!(m.check(ip_b, 0x9004, AccessKind::Write).is_ok()); // slot 3
+        assert!(m.check(ip_a, 0x9004, AccessKind::Read).is_err()); // denied
+        assert!(m.check(ip_b, 0x8004, AccessKind::Write).is_err()); // denied
+        assert_eq!(m.check_count(), 5);
+        assert_eq!(m.deny_count(), 2);
+        assert_eq!(m.slot_hits()[2], 2);
+        assert_eq!(m.slot_hits()[3], 1);
+        assert_eq!(m.slot_hits()[0], 0);
+    }
+
+    #[test]
+    fn allows_is_pure_and_counts_nothing() {
+        let m = figure3_like();
+        assert!(m.allows(0x0100, 0x8004, AccessKind::Read));
+        assert!(!m.allows(0x0100, 0x9004, AccessKind::Read));
+        assert_eq!(m.check_count(), 0);
+        assert_eq!(m.deny_count(), 0);
+    }
+
+    #[test]
     fn locked_slot_rejects_reprogramming() {
         let mut m = figure3_like();
         m.lock_slot(2).unwrap();
@@ -388,15 +476,24 @@ mod tests {
         let _ = m.check(0, 0x9999, AccessKind::Read);
         m.reset();
         assert_eq!(m.write_count(), 0);
+        assert_eq!(m.check_count(), 0);
+        assert_eq!(m.deny_count(), 0);
+        assert!(m.slot_hits().iter().all(|&h| h == 0));
         assert!(m.last_fault().is_none());
-        assert!(m.set_rule(0, RuleSlot::EMPTY).is_ok(), "lock released by reset");
+        assert!(
+            m.set_rule(0, RuleSlot::EMPTY).is_ok(),
+            "lock released by reset"
+        );
         assert!(!m.allows(0x0100, 0x8004, AccessKind::Read), "rules gone");
     }
 
     #[test]
     fn bad_slot_index() {
         let mut m = EaMpu::new(2);
-        assert_eq!(m.set_rule(2, RuleSlot::EMPTY).unwrap_err(), ProgramError::BadSlot(2));
+        assert_eq!(
+            m.set_rule(2, RuleSlot::EMPTY).unwrap_err(),
+            ProgramError::BadSlot(2)
+        );
         assert_eq!(m.lock_slot(9).unwrap_err(), ProgramError::BadSlot(9));
     }
 
@@ -487,12 +584,19 @@ mod tests {
         let m = figure3_like();
         assert_eq!(m.find_exec_region(0x0500), Some(0));
         assert_eq!(m.find_exec_region(0x1500), Some(1));
-        assert_eq!(m.find_exec_region(0x8500), None, "data region is not executable");
+        assert_eq!(
+            m.find_exec_region(0x8500),
+            None,
+            "data region is not executable"
+        );
     }
 
     #[test]
     fn subject_code_roundtrip() {
         assert_eq!(Subject::from_code(Subject::Any.code()), Subject::Any);
-        assert_eq!(Subject::from_code(Subject::Region(7).code()), Subject::Region(7));
+        assert_eq!(
+            Subject::from_code(Subject::Region(7).code()),
+            Subject::Region(7)
+        );
     }
 }

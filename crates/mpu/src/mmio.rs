@@ -280,7 +280,8 @@ mod tests {
         b.set_rule(0, rule).unwrap();
         a.mmio_write(slot_start_off(0), rule.start).unwrap();
         a.mmio_write(slot_end_off(0), rule.end).unwrap();
-        a.mmio_write(slot_flags_off(0), encode_flags(&rule)).unwrap();
+        a.mmio_write(slot_flags_off(0), encode_flags(&rule))
+            .unwrap();
         assert_eq!(a.slot(0), b.slot(0));
         assert_eq!(a.write_count(), b.write_count());
     }

@@ -62,7 +62,10 @@ pub struct StandardMpu {
 impl StandardMpu {
     /// Creates a standard MPU with `regions` empty regions.
     pub fn new(regions: usize) -> Self {
-        StandardMpu { regions: vec![StdRegion::EMPTY; regions], write_count: 0 }
+        StandardMpu {
+            regions: vec![StdRegion::EMPTY; regions],
+            write_count: 0,
+        }
     }
 
     /// Number of region registers.
@@ -172,7 +175,8 @@ mod tests {
         let m = two_level();
         for ip in [0x1000u32, 0x1ffc] {
             assert!(
-                m.check(PrivLevel::User, ip, 0x1800, AccessKind::Write).is_ok(),
+                m.check(PrivLevel::User, ip, 0x1800, AccessKind::Write)
+                    .is_ok(),
                 "user access independent of ip {ip:#x}"
             );
         }
@@ -189,13 +193,16 @@ mod tests {
         let mut m = two_level();
         let before = m.write_count();
         let spent = m
-            .reprogram_for_task(&[(1, StdRegion {
-                start: 0x2000,
-                end: 0x3000,
-                user: Perms::RWX,
-                supervisor: Perms::RW,
-                enabled: true,
-            })])
+            .reprogram_for_task(&[(
+                1,
+                StdRegion {
+                    start: 0x2000,
+                    end: 0x3000,
+                    user: Perms::RWX,
+                    supervisor: Perms::RW,
+                    enabled: true,
+                },
+            )])
             .unwrap();
         assert_eq!(spent, 3);
         assert_eq!(m.write_count(), before + 3);

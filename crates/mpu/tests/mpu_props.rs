@@ -9,7 +9,13 @@ fn any_kind() -> impl Strategy<Value = AccessKind> {
 }
 
 fn any_rule() -> impl Strategy<Value = RuleSlot> {
-    (any::<u32>(), any::<u32>(), 0u8..8, prop_oneof![Just(0xffu8), 0u8..8], any::<bool>())
+    (
+        any::<u32>(),
+        any::<u32>(),
+        0u8..8,
+        prop_oneof![Just(0xffu8), 0u8..8],
+        any::<bool>(),
+    )
         .prop_map(|(a, b, perms, subj, enabled)| RuleSlot {
             start: a.min(b),
             end: a.max(b),

@@ -1,0 +1,258 @@
+//! Per-trustlet cycle attribution.
+//!
+//! The machine charges each retired instruction's cost to the *domain*
+//! owning its instruction pointer — the OS code region, a trustlet code
+//! region, or the catch-all `other`. Cycles spent inside the exception
+//! engine (which runs on behalf of no instruction) are charged to the
+//! `exception_engine` pseudo-domain, so attributed totals always sum to
+//! the machine's cycle counter.
+
+use std::collections::BTreeMap;
+
+/// A named attribution domain: one or more half-open IP ranges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Domain {
+    name: String,
+    ranges: Vec<(u32, u32)>,
+}
+
+/// Per-domain attributed cycles, as reported.
+pub type DomainReport = Vec<(String, u64)>;
+
+/// The cycle-attribution engine.
+///
+/// Lookup is cached on the last-hit domain: straight-line execution pays
+/// one range comparison per instruction, a full scan only on domain
+/// crossings.
+#[derive(Debug, Default)]
+pub struct Attribution {
+    domains: Vec<Domain>,
+    counts: Vec<u64>,
+    other: u64,
+    specials: BTreeMap<String, u64>,
+    /// Cache: domain of the previous charge (`None` = `other`).
+    last: Option<usize>,
+    /// Whether any charge has happened yet (first never "switches").
+    primed: bool,
+}
+
+/// Name of the catch-all domain for IPs outside every registered range.
+pub const OTHER_DOMAIN: &str = "other";
+
+/// Name of the pseudo-domain for exception-engine cycles.
+pub const ENGINE_DOMAIN: &str = "exception_engine";
+
+impl Attribution {
+    /// Registers a domain covering `ranges`; later registrations with the
+    /// same name extend the existing domain.
+    pub fn register(&mut self, name: &str, ranges: &[(u32, u32)]) {
+        if let Some(d) = self.domains.iter_mut().find(|d| d.name == name) {
+            d.ranges.extend_from_slice(ranges);
+        } else {
+            self.domains.push(Domain {
+                name: name.to_string(),
+                ranges: ranges.to_vec(),
+            });
+            self.counts.push(0);
+        }
+        self.last = None;
+        self.primed = false;
+    }
+
+    /// Removes all domains and counts.
+    pub fn clear(&mut self) {
+        self.domains.clear();
+        self.counts.clear();
+        self.other = 0;
+        self.specials.clear();
+        self.last = None;
+        self.primed = false;
+    }
+
+    /// Zeroes the counts but keeps the registered domains.
+    pub fn clear_counts(&mut self) {
+        for c in &mut self.counts {
+            *c = 0;
+        }
+        self.other = 0;
+        self.specials.clear();
+        self.last = None;
+        self.primed = false;
+    }
+
+    /// True if any domain is registered.
+    pub fn has_domains(&self) -> bool {
+        !self.domains.is_empty()
+    }
+
+    /// True once any charge has been recorded.
+    pub fn is_primed(&self) -> bool {
+        self.primed
+    }
+
+    /// Name of the domain the most recent charge landed in.
+    pub fn current_domain(&self) -> &str {
+        self.name_of(self.last)
+    }
+
+    fn lookup(&self, ip: u32) -> Option<usize> {
+        self.domains
+            .iter()
+            .position(|d| d.ranges.iter().any(|&(s, e)| ip >= s && ip < e))
+    }
+
+    fn name_of(&self, idx: Option<usize>) -> &str {
+        match idx {
+            Some(i) => &self.domains[i].name,
+            None => OTHER_DOMAIN,
+        }
+    }
+
+    /// Charges `cost` cycles to the domain owning `ip`. Returns
+    /// `Some((from, to))` when the owning domain differs from the
+    /// previous charge's domain (a context switch).
+    #[inline]
+    pub fn charge(&mut self, ip: u32, cost: u64) -> Option<(String, String)> {
+        // Fast path: same domain as the previous charge.
+        if self.primed {
+            if let Some(i) = self.last {
+                if self.domains[i]
+                    .ranges
+                    .iter()
+                    .any(|&(s, e)| ip >= s && ip < e)
+                {
+                    self.counts[i] += cost;
+                    return None;
+                }
+            } else if self.lookup(ip).is_none() {
+                self.other += cost;
+                return None;
+            }
+        }
+        let idx = self.lookup(ip);
+        match idx {
+            Some(i) => self.counts[i] += cost,
+            None => self.other += cost,
+        }
+        let switched = self.primed && idx != self.last;
+        let result = if switched {
+            Some((
+                self.name_of(self.last).to_string(),
+                self.name_of(idx).to_string(),
+            ))
+        } else {
+            None
+        };
+        self.last = idx;
+        self.primed = true;
+        result
+    }
+
+    /// Charges `cost` cycles to a named pseudo-domain (e.g. the
+    /// exception engine).
+    pub fn charge_special(&mut self, name: &str, cost: u64) {
+        *self.specials.entry(name.to_string()).or_insert(0) += cost;
+    }
+
+    /// Total attributed cycles across all domains.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.other + self.specials.values().sum::<u64>()
+    }
+
+    /// The per-domain breakdown: every registered domain (even at zero),
+    /// then `other` and the pseudo-domains when non-zero.
+    pub fn report(&self) -> DomainReport {
+        let mut out: DomainReport = self
+            .domains
+            .iter()
+            .zip(&self.counts)
+            .map(|(d, &c)| (d.name.clone(), c))
+            .collect();
+        if self.other > 0 {
+            out.push((OTHER_DOMAIN.to_string(), self.other));
+        }
+        for (name, &c) in &self.specials {
+            if c > 0 {
+                out.push((name.clone(), c));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> Attribution {
+        let mut a = Attribution::default();
+        a.register("os", &[(0x1000, 0x2000)]);
+        a.register("t0", &[(0x4000, 0x5000)]);
+        a
+    }
+
+    #[test]
+    fn charges_land_in_owning_domain() {
+        let mut a = setup();
+        a.charge(0x1100, 10);
+        a.charge(0x4100, 5);
+        a.charge(0x9999, 2);
+        assert_eq!(
+            a.report(),
+            vec![
+                ("os".to_string(), 10),
+                ("t0".to_string(), 5),
+                ("other".to_string(), 2)
+            ]
+        );
+        assert_eq!(a.total(), 17);
+    }
+
+    #[test]
+    fn context_switch_reported_on_domain_change() {
+        let mut a = setup();
+        assert_eq!(a.charge(0x1100, 1), None, "first charge never switches");
+        assert_eq!(a.charge(0x1104, 1), None, "same domain");
+        assert_eq!(
+            a.charge(0x4100, 1),
+            Some(("os".to_string(), "t0".to_string()))
+        );
+        assert_eq!(
+            a.charge(0x9000, 1),
+            Some(("t0".to_string(), "other".to_string()))
+        );
+        assert_eq!(a.charge(0x9004, 1), None, "other -> other");
+    }
+
+    #[test]
+    fn specials_and_totals() {
+        let mut a = setup();
+        a.charge(0x1100, 10);
+        a.charge_special(ENGINE_DOMAIN, 21);
+        assert_eq!(a.total(), 31);
+        assert!(a.report().contains(&(ENGINE_DOMAIN.to_string(), 21)));
+    }
+
+    #[test]
+    fn multi_range_domains() {
+        let mut a = Attribution::default();
+        a.register("loader", &[(0x0, 0x100)]);
+        a.register("loader", &[(0x800, 0x900)]);
+        a.charge(0x50, 1);
+        a.charge(0x850, 2);
+        assert_eq!(a.report(), vec![("loader".to_string(), 3)]);
+    }
+
+    #[test]
+    fn clear_counts_keeps_domains() {
+        let mut a = setup();
+        a.charge(0x1100, 10);
+        a.clear_counts();
+        assert!(a.has_domains());
+        assert_eq!(a.total(), 0);
+        assert_eq!(
+            a.report(),
+            vec![("os".to_string(), 0), ("t0".to_string(), 0)]
+        );
+    }
+}

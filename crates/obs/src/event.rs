@@ -1,0 +1,228 @@
+//! The structured event taxonomy.
+
+use core::fmt;
+
+/// Memory-access class carried by MPU events (mirrors the MPU's
+/// `AccessKind` without depending on the MPU crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessClass {
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+    /// Instruction fetch.
+    Execute,
+}
+
+impl AccessClass {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AccessClass::Read => "read",
+            AccessClass::Write => "write",
+            AccessClass::Execute => "execute",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_name(s: &str) -> Option<AccessClass> {
+        match s {
+            "read" => Some(AccessClass::Read),
+            "write" => Some(AccessClass::Write),
+            "execute" => Some(AccessClass::Execute),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AccessClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The outcome of an EA-MPU check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The access was granted.
+    Allow,
+    /// The access was denied (a fault follows).
+    Deny,
+}
+
+impl Verdict {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Verdict::Allow => "allow",
+            Verdict::Deny => "deny",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_name(s: &str) -> Option<Verdict> {
+        match s {
+            "allow" => Some(Verdict::Allow),
+            "deny" => Some(Verdict::Deny),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One telemetry event. Every variant carries the cycle-counter value at
+/// which it was recorded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// An instruction retired (firehose; replaces the legacy
+    /// `(cycle, ip, instr)` trace ring).
+    InstrRetired {
+        /// Cycle at which execution of the instruction began.
+        cycle: u64,
+        /// Address of the instruction.
+        ip: u32,
+        /// Raw instruction word (disassemble with `trustlite-isa`).
+        word: u32,
+        /// Cycles charged for the instruction.
+        cost: u64,
+    },
+    /// The EA-MPU validated one access (firehose).
+    MpuCheck {
+        /// Cycle stamp.
+        cycle: u64,
+        /// Subject instruction pointer.
+        subject: u32,
+        /// Object address.
+        addr: u32,
+        /// Access class.
+        kind: AccessClass,
+        /// Check outcome.
+        verdict: Verdict,
+    },
+    /// The EA-MPU denied an access and raised a protection fault.
+    MpuFault {
+        /// Cycle stamp.
+        cycle: u64,
+        /// Subject instruction pointer.
+        ip: u32,
+        /// Object address.
+        addr: u32,
+        /// Access class.
+        kind: AccessClass,
+    },
+    /// The exception engine dispatched an exception or interrupt.
+    ExceptionEnter {
+        /// Cycle at which the exception was recognized.
+        cycle: u64,
+        /// Resolved vector number.
+        vector: u8,
+        /// Trustlet Table row index if a trustlet was interrupted.
+        trustlet: Option<u32>,
+        /// Instruction pointer that was interrupted.
+        interrupted_ip: u32,
+        /// Trustlet stack pointer saved to the Trustlet Table (0 when no
+        /// trustlet was interrupted).
+        saved_sp: u32,
+        /// Engine cycles from recognition to the first ISR instruction.
+        cycles: u64,
+    },
+    /// An `iret` retired, returning from an exception.
+    ExceptionExit {
+        /// Cycle stamp (at the start of the `iret`).
+        cycle: u64,
+        /// Instruction pointer resumed to.
+        resumed_ip: u32,
+        /// Cycles consumed by the return path.
+        cycles: u64,
+    },
+    /// The secure exception engine cleared the general-purpose registers.
+    RegsCleared {
+        /// Cycle stamp.
+        cycle: u64,
+        /// Number of registers cleared.
+        count: u32,
+    },
+    /// A Secure Loader boot phase completed. Loader work is host-side, so
+    /// the timeline is in estimated cycles (one per observable operation)
+    /// starting at `start`.
+    LoaderPhase {
+        /// Phase start on the estimated-cycle timeline.
+        start: u64,
+        /// Phase name (`reset`, `authenticate`, `copy_images`, …).
+        phase: String,
+        /// Observable operations performed (copies, register writes, …).
+        ops: u64,
+    },
+    /// Execution moved between attribution domains (OS ↔ trustlet, …).
+    ContextSwitch {
+        /// Cycle stamp.
+        cycle: u64,
+        /// Name of the domain execution left.
+        from: String,
+        /// Name of the domain execution entered.
+        to: String,
+        /// First instruction pointer in the new domain.
+        ip: u32,
+    },
+    /// An IPC message left a sender (handshake `syn`/`ack` or data).
+    IpcSend {
+        /// Cycle stamp.
+        cycle: u64,
+        /// Sender identifier.
+        from: u32,
+        /// Receiver identifier.
+        to: u32,
+        /// Message kind (`syn`, `ack`, `data`).
+        kind: String,
+    },
+    /// An IPC message was accepted by a receiver.
+    IpcRecv {
+        /// Cycle stamp.
+        cycle: u64,
+        /// Sender identifier.
+        from: u32,
+        /// Receiver identifier.
+        to: u32,
+        /// Message kind (`syn`, `ack`, `data`).
+        kind: String,
+    },
+}
+
+impl Event {
+    /// The event's cycle stamp ([`Event::LoaderPhase`] reports its start).
+    pub fn cycle(&self) -> u64 {
+        match self {
+            Event::InstrRetired { cycle, .. }
+            | Event::MpuCheck { cycle, .. }
+            | Event::MpuFault { cycle, .. }
+            | Event::ExceptionEnter { cycle, .. }
+            | Event::ExceptionExit { cycle, .. }
+            | Event::RegsCleared { cycle, .. }
+            | Event::ContextSwitch { cycle, .. }
+            | Event::IpcSend { cycle, .. }
+            | Event::IpcRecv { cycle, .. } => *cycle,
+            Event::LoaderPhase { start, .. } => *start,
+        }
+    }
+
+    /// Stable wire name of the variant.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Event::InstrRetired { .. } => "instr_retired",
+            Event::MpuCheck { .. } => "mpu_check",
+            Event::MpuFault { .. } => "mpu_fault",
+            Event::ExceptionEnter { .. } => "exception_enter",
+            Event::ExceptionExit { .. } => "exception_exit",
+            Event::RegsCleared { .. } => "regs_cleared",
+            Event::LoaderPhase { .. } => "loader_phase",
+            Event::ContextSwitch { .. } => "context_switch",
+            Event::IpcSend { .. } => "ipc_send",
+            Event::IpcRecv { .. } => "ipc_recv",
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Unified telemetry for the TrustLite simulator.
+//!
+//! The paper's entire evaluation is built on counting — cycles per
+//! exception path, MPU register writes, loader overhead (Sections 5.3,
+//! 5.4) — so the simulator carries one observability substrate instead of
+//! scattered ad-hoc logs:
+//!
+//! * **Event stream** ([`Event`], [`EventRing`]) — a bounded ring of
+//!   typed, cycle-stamped events covering instruction retirement, EA-MPU
+//!   checks and faults, secure-exception entry/exit, register clearing,
+//!   Secure Loader phases, context switches and IPC. Sinks render the
+//!   ring as human-readable text ([`sink::text`]), JSONL
+//!   ([`sink::jsonl`]) or a Chrome `trace_event` timeline
+//!   ([`sink::chrome`]).
+//! * **Metrics registry** ([`MetricsRegistry`]) — named counters and
+//!   cycle histograms with a serializable [`MetricsReport`] snapshot.
+//! * **Cycle attribution** ([`Attribution`]) — every retired
+//!   instruction's cost is charged to the code region owning its IP,
+//!   yielding the paper-style per-trustlet/OS breakdown; attributed
+//!   totals always sum to the machine's cycle counter.
+//!
+//! All hot-path hooks sit behind a single [`Recorder::active`] check so a
+//! machine with telemetry off pays one branch per instrumentation site.
+
+pub mod attr;
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod ring;
+pub mod sink;
+
+pub use attr::{Attribution, DomainReport};
+pub use event::{AccessClass, Event, Verdict};
+pub use metrics::{Histogram, HistogramSummary, MetricsRegistry, MetricsReport};
+pub use ring::EventRing;
+
+/// Default event-ring capacity (the legacy `Machine` trace depth).
+pub const DEFAULT_RING_CAP: usize = 65_536;
+
+/// What the recorder captures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ObsLevel {
+    /// Nothing; instrumentation sites reduce to one predictable branch.
+    Off,
+    /// Metrics and cycle attribution only — no events in the ring.
+    Metrics,
+    /// Metrics plus coarse events (exceptions, faults, loader phases,
+    /// context switches, IPC). Per-instruction events are skipped.
+    Events,
+    /// Everything, including the per-instruction / per-MPU-check
+    /// firehose ([`Event::InstrRetired`], [`Event::MpuCheck`]).
+    Full,
+}
+
+/// The telemetry recorder shared by the CPU, MPU, loader and OS layers.
+///
+/// One `Recorder` lives inside the machine's system bus; every
+/// instrumentation site stamps events with [`Recorder::now`], the cycle
+/// counter mirrored in by `Machine::step`.
+#[derive(Debug)]
+pub struct Recorder {
+    level: ObsLevel,
+    now: u64,
+    /// The bounded event stream.
+    pub ring: EventRing,
+    /// Named counters and histograms.
+    pub metrics: MetricsRegistry,
+    /// Per-region cycle attribution.
+    pub attr: Attribution,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new(ObsLevel::Off)
+    }
+}
+
+impl Recorder {
+    /// Creates a recorder at `level` with the default ring capacity.
+    pub fn new(level: ObsLevel) -> Self {
+        Recorder {
+            level,
+            now: 0,
+            ring: EventRing::new(DEFAULT_RING_CAP),
+            metrics: MetricsRegistry::default(),
+            attr: Attribution::default(),
+        }
+    }
+
+    /// The capture level.
+    pub fn level(&self) -> ObsLevel {
+        self.level
+    }
+
+    /// Sets the capture level.
+    pub fn set_level(&mut self, level: ObsLevel) {
+        self.level = level;
+    }
+
+    /// True if any capture is on — the cheap hot-path gate.
+    #[inline(always)]
+    pub fn active(&self) -> bool {
+        self.level != ObsLevel::Off
+    }
+
+    /// True if coarse events are recorded.
+    #[inline(always)]
+    pub fn events_on(&self) -> bool {
+        self.level >= ObsLevel::Events
+    }
+
+    /// True if per-instruction/per-check events are recorded.
+    #[inline(always)]
+    pub fn firehose_on(&self) -> bool {
+        self.level >= ObsLevel::Full
+    }
+
+    /// True if metrics and attribution are updated.
+    #[inline(always)]
+    pub fn metrics_on(&self) -> bool {
+        self.level >= ObsLevel::Metrics
+    }
+
+    /// Mirrors the machine's cycle counter into the recorder; events
+    /// emitted until the next call are stamped with this value.
+    #[inline(always)]
+    pub fn set_now(&mut self, cycle: u64) {
+        self.now = cycle;
+    }
+
+    /// The current cycle stamp.
+    #[inline(always)]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Records a coarse event (no-op below [`ObsLevel::Events`]).
+    #[inline]
+    pub fn emit(&mut self, event: Event) {
+        if self.events_on() {
+            self.ring.push(event);
+        }
+    }
+
+    /// Records a firehose event (no-op below [`ObsLevel::Full`]).
+    #[inline]
+    pub fn emit_fine(&mut self, event: Event) {
+        if self.firehose_on() {
+            self.ring.push(event);
+        }
+    }
+
+    /// Charges `cost` cycles to the attribution domain owning `ip` and
+    /// emits a [`Event::ContextSwitch`] when the owning domain changes.
+    /// The very first charge emits a degenerate `from == to` switch so
+    /// timeline sinks know which domain execution began in.
+    #[inline]
+    pub fn charge(&mut self, ip: u32, cost: u64) {
+        if !self.metrics_on() {
+            return;
+        }
+        let now = self.now;
+        let opening = !self.attr.is_primed();
+        if let Some((from, to)) = self.attr.charge(ip, cost) {
+            self.metrics.inc("sched.context_switches");
+            if self.events_on() {
+                self.ring.push(Event::ContextSwitch {
+                    cycle: now,
+                    from,
+                    to,
+                    ip,
+                });
+            }
+        } else if opening && self.events_on() {
+            let d = self.attr.current_domain().to_string();
+            self.ring.push(Event::ContextSwitch {
+                cycle: now,
+                from: d.clone(),
+                to: d,
+                ip,
+            });
+        }
+    }
+
+    /// Charges `cost` cycles to the exception-engine pseudo-domain
+    /// (cycles the hardware spends on behalf of no instruction).
+    #[inline]
+    pub fn charge_engine(&mut self, cost: u64) {
+        if self.metrics_on() {
+            self.attr.charge_special(attr::ENGINE_DOMAIN, cost);
+        }
+    }
+
+    /// Clears captured data (ring, metrics, attribution) but keeps the
+    /// level, capacity and registered attribution domains.
+    pub fn clear(&mut self) {
+        self.ring.clear();
+        self.metrics.clear();
+        self.attr.clear_counts();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(ObsLevel::Off < ObsLevel::Metrics);
+        assert!(ObsLevel::Metrics < ObsLevel::Events);
+        assert!(ObsLevel::Events < ObsLevel::Full);
+    }
+
+    #[test]
+    fn off_recorder_drops_everything() {
+        let mut r = Recorder::new(ObsLevel::Off);
+        r.emit(Event::RegsCleared { cycle: 0, count: 8 });
+        r.emit_fine(Event::InstrRetired {
+            cycle: 0,
+            ip: 0,
+            word: 0,
+            cost: 1,
+        });
+        r.charge(0x100, 5);
+        assert_eq!(r.ring.len(), 0);
+        assert!(r.metrics.snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn events_level_skips_firehose() {
+        let mut r = Recorder::new(ObsLevel::Events);
+        r.emit(Event::RegsCleared { cycle: 1, count: 8 });
+        r.emit_fine(Event::InstrRetired {
+            cycle: 1,
+            ip: 0,
+            word: 0,
+            cost: 1,
+        });
+        assert_eq!(r.ring.len(), 1);
+    }
+}

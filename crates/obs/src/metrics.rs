@@ -1,0 +1,334 @@
+//! The metrics registry: named counters and cycle histograms.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::json;
+
+/// A power-of-two-bucketed histogram of cycle (or other u64) samples.
+///
+/// Bucket `i` counts samples whose value has `i` significant bits, i.e.
+/// bucket 0 holds the value 0, bucket 1 holds 1, bucket 2 holds 2–3,
+/// bucket 3 holds 4–7, and so on. Exact count/sum/min/max are kept, so
+/// means are precise even though quantiles are bucket-resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn observe(&mut self, value: u64) {
+        let bucket = (64 - value.leading_zeros()) as usize;
+        self.buckets[bucket] += 1;
+        if self.count == 0 || value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Summarizes the histogram.
+    pub fn summary(&self) -> HistogramSummary {
+        let mut nonzero = Vec::new();
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c > 0 {
+                let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                nonzero.push((lo, c));
+            }
+        }
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0 } else { self.min },
+            max: self.max,
+            mean: if self.count == 0 {
+                0.0
+            } else {
+                self.sum as f64 / self.count as f64
+            },
+            buckets: nonzero,
+        }
+    }
+}
+
+/// A snapshot view of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Smallest sample (0 if empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Exact mean (0 if empty).
+    pub mean: f64,
+    /// `(bucket_lower_bound, count)` for each non-empty bucket.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// Named counters and histograms.
+///
+/// Names are dotted paths (`mpu.checks`, `exc.entry_cycles`); the
+/// registry is a plain map so instrumentation sites never pre-register.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Adds 1 to counter `name`.
+    #[inline]
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `delta` to counter `name`.
+    #[inline]
+    pub fn add(&mut self, name: &str, delta: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += delta;
+        } else {
+            self.counters.insert(name.to_string(), delta);
+        }
+    }
+
+    /// Overwrites counter `name` with an absolute value (used when a
+    /// component keeps its own counter and the registry mirrors it).
+    pub fn set(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_string(), value);
+    }
+
+    /// Records `value` into histogram `name`.
+    #[inline]
+    pub fn observe(&mut self, name: &str, value: u64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.observe(value);
+        } else {
+            let mut h = Histogram::default();
+            h.observe(value);
+            self.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    /// Reads a counter (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Reads a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Drops all metrics.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.histograms.clear();
+    }
+
+    /// Takes a serializable snapshot.
+    pub fn snapshot(&self) -> MetricsReport {
+        MetricsReport {
+            counters: self.counters.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.summary()))
+                .collect(),
+            attribution: Vec::new(),
+        }
+    }
+}
+
+/// A point-in-time metrics snapshot, serializable to JSON.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsReport {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Per-domain cycle attribution `(domain, cycles)`, filled in by the
+    /// machine-level collector (empty when attribution was off).
+    pub attribution: Vec<(String, u64)>,
+}
+
+impl MetricsReport {
+    /// Total attributed cycles.
+    pub fn attributed_cycles(&self) -> u64 {
+        self.attribution.iter().map(|(_, c)| c).sum()
+    }
+
+    /// Renders the report as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_str(&mut out, k);
+            let _ = write!(out, ":{v}");
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_str(&mut out, k);
+            let _ = write!(
+                out,
+                ":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.3},\"buckets\":[",
+                h.count, h.sum, h.min, h.max, h.mean
+            );
+            for (j, (lo, c)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{lo},{c}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("},\"attribution\":{");
+        for (i, (name, cycles)) in self.attribution.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_str(&mut out, name);
+            let _ = write!(out, ":{cycles}");
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Renders a compact human-readable table.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        if !self.attribution.is_empty() {
+            out.push_str("cycle attribution:\n");
+            let total = self.attributed_cycles().max(1);
+            for (name, cycles) in &self.attribution {
+                let _ = writeln!(
+                    out,
+                    "  {name:<24} {cycles:>12}  ({:.1}%)",
+                    *cycles as f64 / total as f64 * 100.0
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (k, v) in &self.counters {
+                let _ = writeln!(out, "  {k:<32} {v:>12}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (k, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {k:<32} n={} min={} mean={:.1} max={}",
+                    h.count, h.min, h.mean, h.max
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = MetricsRegistry::default();
+        m.inc("a");
+        m.add("a", 4);
+        m.set("b", 7);
+        assert_eq!(m.counter("a"), 5);
+        assert_eq!(m.counter("b"), 7);
+        assert_eq!(m.counter("absent"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 100] {
+            h.observe(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 110);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 100);
+        // Buckets: 0 -> [0], 1 -> [1], 2 -> [2,3], 4 -> [4], 64 -> [100].
+        assert_eq!(s.buckets, vec![(0, 1), (1, 1), (2, 2), (4, 1), (64, 1)]);
+    }
+
+    #[test]
+    fn report_json_parses_back() {
+        let mut m = MetricsRegistry::default();
+        m.add("mpu.checks", 42);
+        m.observe("exc.entry_cycles", 21);
+        m.observe("exc.entry_cycles", 42);
+        let mut report = m.snapshot();
+        report.attribution = vec![("os".to_string(), 100), ("t0".to_string(), 50)];
+        let parsed = crate::json::parse(&report.to_json()).expect("valid JSON");
+        assert_eq!(
+            parsed
+                .get("counters")
+                .unwrap()
+                .get("mpu.checks")
+                .unwrap()
+                .as_u64(),
+            Some(42)
+        );
+        assert_eq!(
+            parsed
+                .get("attribution")
+                .unwrap()
+                .get("os")
+                .unwrap()
+                .as_u64(),
+            Some(100)
+        );
+        let h = parsed
+            .get("histograms")
+            .unwrap()
+            .get("exc.entry_cycles")
+            .unwrap();
+        assert_eq!(h.get("count").unwrap().as_u64(), Some(2));
+        assert_eq!(h.get("sum").unwrap().as_u64(), Some(63));
+    }
+}

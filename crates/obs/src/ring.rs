@@ -1,0 +1,141 @@
+//! The bounded event ring.
+
+use std::collections::VecDeque;
+
+use crate::event::Event;
+
+/// A bounded FIFO of events: once full, the oldest event is dropped for
+/// each new one, and the drop is counted so sinks can report truncation
+/// instead of silently pretending the trace is complete.
+#[derive(Debug, Default)]
+pub struct EventRing {
+    buf: VecDeque<Event>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// Creates a ring holding at most `cap` events (`cap = 0` drops all).
+    pub fn new(cap: usize) -> EventRing {
+        EventRing {
+            buf: VecDeque::new(),
+            cap,
+            dropped: 0,
+        }
+    }
+
+    /// The capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Re-sizes the ring, evicting oldest events if shrinking.
+    pub fn set_capacity(&mut self, cap: usize) {
+        self.cap = cap;
+        while self.buf.len() > cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+    }
+
+    /// Appends an event, evicting the oldest if at capacity.
+    #[inline]
+    pub fn push(&mut self, event: Event) {
+        if self.cap == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event);
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Number of events evicted or rejected since the last clear.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.buf.iter()
+    }
+
+    /// Discards all retained events and resets the drop counter.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.dropped = 0;
+    }
+}
+
+impl<'a> IntoIterator for &'a EventRing {
+    type Item = &'a Event;
+    type IntoIter = std::collections::vec_deque::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.buf.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64) -> Event {
+        Event::RegsCleared { cycle, count: 8 }
+    }
+
+    #[test]
+    fn push_within_capacity_keeps_order() {
+        let mut r = EventRing::new(4);
+        for c in 0..3 {
+            r.push(ev(c));
+        }
+        let cycles: Vec<u64> = r.iter().map(|e| e.cycle()).collect();
+        assert_eq!(cycles, [0, 1, 2]);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_evicts_oldest_and_counts() {
+        let mut r = EventRing::new(3);
+        for c in 0..10 {
+            r.push(ev(c));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 7);
+        let cycles: Vec<u64> = r.iter().map(|e| e.cycle()).collect();
+        assert_eq!(cycles, [7, 8, 9]);
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let mut r = EventRing::new(0);
+        r.push(ev(1));
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts() {
+        let mut r = EventRing::new(8);
+        for c in 0..8 {
+            r.push(ev(c));
+        }
+        r.set_capacity(2);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 6);
+        let cycles: Vec<u64> = r.iter().map(|e| e.cycle()).collect();
+        assert_eq!(cycles, [6, 7]);
+    }
+}

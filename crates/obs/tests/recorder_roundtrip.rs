@@ -1,0 +1,91 @@
+//! End-to-end recorder exercises: overflow accounting under a small ring
+//! and lossless JSONL round-trips of a mixed event stream.
+
+use trustlite_obs::{sink, Event, ObsLevel, Recorder};
+
+fn mixed_stream() -> Vec<Event> {
+    vec![
+        Event::LoaderPhase {
+            start: 0,
+            phase: "reset".into(),
+            ops: 1,
+        },
+        Event::RegsCleared {
+            cycle: 10,
+            count: 8,
+        },
+        Event::ExceptionEnter {
+            cycle: 10,
+            vector: 32,
+            trustlet: Some(1),
+            interrupted_ip: 0x1000_0420,
+            saved_sp: 0x1000_0700,
+            cycles: 42,
+        },
+        Event::ContextSwitch {
+            cycle: 52,
+            from: "t1".into(),
+            to: "os".into(),
+            ip: 0x400,
+        },
+        Event::IpcSend {
+            cycle: 60,
+            from: 0xa0,
+            to: 0xa1,
+            kind: "syn".into(),
+        },
+        Event::IpcRecv {
+            cycle: 70,
+            from: 0xa0,
+            to: 0xa1,
+            kind: "syn".into(),
+        },
+        Event::ExceptionExit {
+            cycle: 90,
+            resumed_ip: 0x1000_0424,
+            cycles: 8,
+        },
+    ]
+}
+
+#[test]
+fn overflow_is_counted_and_surfaced() {
+    let mut r = Recorder::new(ObsLevel::Events);
+    r.ring.set_capacity(4);
+    for e in mixed_stream() {
+        r.emit(e);
+    }
+    assert_eq!(r.ring.len(), 4, "ring bounded at capacity");
+    assert_eq!(r.ring.dropped(), 3, "evictions counted");
+    // The survivors are the newest events, oldest first.
+    let cycles: Vec<u64> = r.ring.iter().map(|e| e.cycle()).collect();
+    assert_eq!(cycles, [52, 60, 70, 90]);
+}
+
+#[test]
+fn jsonl_round_trip_preserves_every_event() {
+    let events = mixed_stream();
+    let doc = sink::jsonl(&events);
+    assert_eq!(doc.lines().count(), events.len());
+    let parsed = sink::parse_jsonl(&doc).expect("parses back");
+    assert_eq!(parsed, events);
+}
+
+#[test]
+fn jsonl_round_trip_through_a_recorder() {
+    let mut r = Recorder::new(ObsLevel::Full);
+    r.set_now(5);
+    r.emit_fine(Event::InstrRetired {
+        cycle: 5,
+        ip: 0x40,
+        word: 0x1234_5678,
+        cost: 1,
+    });
+    for e in mixed_stream() {
+        r.emit(e);
+    }
+    let doc = sink::jsonl(r.ring.iter());
+    let parsed = sink::parse_jsonl(&doc).expect("parses back");
+    let original: Vec<Event> = r.ring.iter().cloned().collect();
+    assert_eq!(parsed, original);
+}

@@ -178,7 +178,8 @@ mod tests {
         let mut t = victim.begin_program();
         t.asm.label("main");
         t.asm.halt();
-        b.add_trustlet(&victim, t.finish().unwrap(), TrustletOptions::default()).unwrap();
+        b.add_trustlet(&victim, t.finish().unwrap(), TrustletOptions::default())
+            .unwrap();
         let mut os = b.begin_os();
         build_attack_os(&mut os, &victim);
         let os_img = os.finish().unwrap();
@@ -186,7 +187,10 @@ mod tests {
         let mut p = b.build().unwrap();
 
         let exit = p.run(500_000);
-        assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
+        assert!(
+            matches!(exit, RunExit::Halted(HaltReason::Halt { .. })),
+            "{exit:?}"
+        );
         let results = read_results(&mut p);
         for (name, blocked) in ATTACKS.iter().zip(&results) {
             assert!(blocked, "BREACH: `{name}` succeeded");
@@ -211,7 +215,8 @@ mod tests {
         t.asm.halt();
         // Deliberately weaken the policy: public data region (the paper
         // allows policy-controlled sharing; here it makes attack 0 land).
-        b.add_trustlet(&victim, t.finish().unwrap(), TrustletOptions::default()).unwrap();
+        b.add_trustlet(&victim, t.finish().unwrap(), TrustletOptions::default())
+            .unwrap();
         let mut os = b.begin_os();
         build_attack_os(&mut os, &victim);
         let os_img = os.finish().unwrap();

@@ -19,16 +19,21 @@
 //!   behaviours used by tests, examples and benches.
 //! * [`attacks`] — a malicious-OS penetration harness that runs a battery
 //!   of forbidden accesses and records which the EA-MPU blocked.
+//! * [`metrics`] — scheduler activity summaries (preemptions, yields,
+//!   per-task attributed cycles) derived from the unified telemetry
+//!   layer in `trustlite-obs`.
 
 pub mod attacks;
+pub mod metrics;
 pub mod priority;
 pub mod queue;
 pub mod scheduler;
 pub mod trustlet_lib;
 
 pub use attacks::{build_attack_os, read_results, ATTACKS, ATTACK_IDT};
+pub use metrics::{sched_summary, SchedSummary};
 pub use priority::{build_priority_os, PriorityConfig, PriorityTask};
-pub use scheduler::{build_scheduler_os, SchedulerConfig, ScheduledTask, SCHED_IDT};
+pub use scheduler::{build_scheduler_os, ScheduledTask, SchedulerConfig, SCHED_IDT};
 
 /// Software-interrupt number a task issues to yield the CPU.
 pub const SWI_YIELD: u8 = 1;

@@ -1,0 +1,85 @@
+//! Scheduler-level telemetry, built on the unified observability layer.
+//!
+//! The scheduler itself is untrusted SP32 code running inside the
+//! simulator, so its activity is observed from the outside: preemptions,
+//! yields and exits come from the secure exception engine's log, and
+//! per-task CPU time comes from the cycle-attribution domains the
+//! platform registers for each trustlet. [`sched_summary`] folds both
+//! into the machine's metrics registry (`sched.preemptions`,
+//! `sched.yields`, `sched.exits`) and returns a per-task breakdown.
+
+use trustlite::MetricsReport;
+use trustlite_cpu::{vectors, Machine};
+
+use crate::scheduler::SchedulerConfig;
+use crate::{SWI_EXIT, SWI_YIELD};
+
+/// A scheduler activity summary derived from machine telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedSummary {
+    /// Attribution-domain transitions (OS ↔ task ↔ task).
+    pub context_switches: u64,
+    /// Timer interrupts that preempted a running trustlet.
+    pub preemptions: u64,
+    /// Voluntary `swi YIELD`s.
+    pub yields: u64,
+    /// `swi EXIT`s (task completion).
+    pub exits: u64,
+    /// Attributed cycles per scheduled task, in task-list order. Tasks
+    /// without a registered attribution domain report 0.
+    pub per_task: Vec<(String, u64)>,
+    /// Cycles attributed to the OS domain.
+    pub os_cycles: u64,
+    /// The full metrics snapshot the summary was derived from.
+    pub report: MetricsReport,
+}
+
+/// Summarizes scheduler activity on `m` for the tasks in `cfg`.
+///
+/// Also folds the exception-log-derived counters into the machine's
+/// metrics registry so they appear in later [`Machine::metrics_report`]
+/// snapshots.
+pub fn sched_summary(m: &mut Machine, cfg: &SchedulerConfig) -> SchedSummary {
+    let mut preemptions = 0u64;
+    let mut yields = 0u64;
+    let mut exits = 0u64;
+    for r in &m.exc_log {
+        if r.vector == vectors::irq_vector(0) && r.trustlet.is_some() {
+            preemptions += 1;
+        } else if r.vector == vectors::VEC_SWI_BASE + SWI_YIELD {
+            yields += 1;
+        } else if r.vector == vectors::VEC_SWI_BASE + SWI_EXIT {
+            exits += 1;
+        }
+    }
+    m.sys.obs.metrics.set("sched.preemptions", preemptions);
+    m.sys.obs.metrics.set("sched.yields", yields);
+    m.sys.obs.metrics.set("sched.exits", exits);
+
+    let report = m.metrics_report();
+    let cycles_of = |name: &str| -> u64 {
+        report
+            .attribution
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, c)| c)
+            .unwrap_or(0)
+    };
+    SchedSummary {
+        context_switches: report
+            .counters
+            .get("sched.context_switches")
+            .copied()
+            .unwrap_or(0),
+        preemptions,
+        yields,
+        exits,
+        per_task: cfg
+            .tasks
+            .iter()
+            .map(|t| (t.name.clone(), cycles_of(&t.name)))
+            .collect(),
+        os_cycles: cycles_of("os"),
+        report,
+    }
+}

@@ -87,7 +87,7 @@ pub fn build_priority_os(os: &mut OsProgram, cfg: &PriorityConfig) {
     a.lw(Reg::R0, Reg::R1, 0);
     a.movi(Reg::R2, 0);
     a.blt(Reg::R0, Reg::R2, "dispatch"); // current == -1
-    // status[current] = 0 at data + 8 + 12*current + 4.
+                                         // status[current] = 0 at data + 8 + 12*current + 4.
     a.shli(Reg::R3, Reg::R0, 3);
     a.shli(Reg::R4, Reg::R0, 2);
     a.add(Reg::R3, Reg::R3, Reg::R4);
@@ -123,7 +123,7 @@ pub fn build_priority_os(os: &mut OsProgram, cfg: &PriorityConfig) {
     a.movi(Reg::R0, -1);
     a.beq(Reg::R4, Reg::R0, "idle");
     a.sw(Reg::R1, 0, Reg::R4); // current = best
-    // entry = table[best].entry.
+                               // entry = table[best].entry.
     a.shli(Reg::R6, Reg::R4, 3);
     a.shli(Reg::R7, Reg::R4, 2);
     a.add(Reg::R6, Reg::R6, Reg::R7);
@@ -154,7 +154,8 @@ mod tests {
         for (plan, iters) in [(&lo, 50u32), (&hi, 50)] {
             let mut t = plan.begin_program();
             trustlet_lib::emit_preemptible_counter(&mut t.asm, plan.data_base, iters);
-            b.add_trustlet(plan, t.finish().unwrap(), TrustletOptions::default()).unwrap();
+            b.add_trustlet(plan, t.finish().unwrap(), TrustletOptions::default())
+                .unwrap();
         }
         b.grant_os_peripheral(PeriphGrant {
             base: map::TIMER_MMIO_BASE,
@@ -167,8 +168,16 @@ mod tests {
             &PriorityConfig {
                 timer_period: 300,
                 tasks: vec![
-                    PriorityTask { name: "lo".into(), entry: lo.continue_entry(), priority: 9 },
-                    PriorityTask { name: "hi".into(), entry: hi.continue_entry(), priority: 1 },
+                    PriorityTask {
+                        name: "lo".into(),
+                        entry: lo.continue_entry(),
+                        priority: 9,
+                    },
+                    PriorityTask {
+                        name: "hi".into(),
+                        entry: hi.continue_entry(),
+                        priority: 1,
+                    },
                 ],
             },
         );
@@ -176,7 +185,10 @@ mod tests {
         b.set_os(os_img, SCHED_IDT);
         let mut p = b.build().unwrap();
         let exit = p.run(2_000_000);
-        assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
+        assert!(
+            matches!(exit, RunExit::Halted(HaltReason::Halt { .. })),
+            "{exit:?}"
+        );
         // Both complete eventually...
         assert_eq!(p.machine.sys.hw_read32(lo.data_base).unwrap(), 50);
         assert_eq!(p.machine.sys.hw_read32(hi.data_base).unwrap(), 50);
@@ -186,8 +198,12 @@ mod tests {
         // Verify via the exception log: once "hi" (tt_index 1) first
         // appears interrupted, "lo" (0) never appears again until "hi"
         // exits.
-        let seq: Vec<_> =
-            p.machine.exc_log.iter().filter_map(|r| r.trustlet).collect();
+        let seq: Vec<_> = p
+            .machine
+            .exc_log
+            .iter()
+            .filter_map(|r| r.trustlet)
+            .collect();
         if let Some(first_hi) = seq.iter().position(|&t| t == 1) {
             let hi_exit = seq.iter().rposition(|&t| t == 1).unwrap();
             assert!(
@@ -204,10 +220,12 @@ mod tests {
         let lo = b.plan_trustlet("lo", 0x200, 0x80, 0x100);
         let mut t = bad.begin_program();
         trustlet_lib::emit_fault_injector(&mut t.asm, lo.data_base);
-        b.add_trustlet(&bad, t.finish().unwrap(), TrustletOptions::default()).unwrap();
+        b.add_trustlet(&bad, t.finish().unwrap(), TrustletOptions::default())
+            .unwrap();
         let mut t = lo.begin_program();
         trustlet_lib::emit_cooperative_counter(&mut t.asm, lo.data_base, 3);
-        b.add_trustlet(&lo, t.finish().unwrap(), TrustletOptions::default()).unwrap();
+        b.add_trustlet(&lo, t.finish().unwrap(), TrustletOptions::default())
+            .unwrap();
         b.grant_os_peripheral(PeriphGrant {
             base: map::TIMER_MMIO_BASE,
             size: map::PERIPH_MMIO_SIZE,
@@ -219,8 +237,16 @@ mod tests {
             &PriorityConfig {
                 timer_period: 0,
                 tasks: vec![
-                    PriorityTask { name: "bad".into(), entry: bad.continue_entry(), priority: 0 },
-                    PriorityTask { name: "lo".into(), entry: lo.continue_entry(), priority: 5 },
+                    PriorityTask {
+                        name: "bad".into(),
+                        entry: bad.continue_entry(),
+                        priority: 0,
+                    },
+                    PriorityTask {
+                        name: "lo".into(),
+                        entry: lo.continue_entry(),
+                        priority: 5,
+                    },
                 ],
             },
         );
@@ -228,7 +254,14 @@ mod tests {
         b.set_os(os_img, SCHED_IDT);
         let mut p = b.build().unwrap();
         let exit = p.run(500_000);
-        assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
-        assert_eq!(p.machine.sys.hw_read32(lo.data_base).unwrap(), 3, "low task completed");
+        assert!(
+            matches!(exit, RunExit::Halted(HaltReason::Halt { .. })),
+            "{exit:?}"
+        );
+        assert_eq!(
+            p.machine.sys.hw_read32(lo.data_base).unwrap(),
+            3,
+            "low task completed"
+        );
     }
 }

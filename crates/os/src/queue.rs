@@ -34,7 +34,7 @@ pub fn emit_enqueue(a: &mut Asm, base: u32, capacity: u32) {
     let done = format!("__q_enq_done_{u}");
     a.li(Reg::R2, base);
     a.lw(Reg::R3, Reg::R2, 4); // tail
-    // next = (tail + 1) % capacity
+                               // next = (tail + 1) % capacity
     a.addi(Reg::R4, Reg::R3, 1);
     a.li(Reg::R5, capacity);
     a.blt(Reg::R4, Reg::R5, &nowrap);
@@ -110,7 +110,10 @@ mod tests {
         let mut sys = SystemBus::new(bus, EaMpu::new(2), None);
         sys.enforce = false;
         let mut m = Machine::new(sys, CODE);
-        assert!(matches!(m.run(10_000), RunExit::Halted(HaltReason::Halt { .. })));
+        assert!(matches!(
+            m.run(10_000),
+            RunExit::Halted(HaltReason::Halt { .. })
+        ));
         m
     }
 

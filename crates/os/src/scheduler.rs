@@ -132,7 +132,7 @@ pub fn build_scheduler_os(os: &mut OsProgram, cfg: &SchedulerConfig) {
     a.label("dispatch_found");
     a.sw(Reg::R1, 0, Reg::R0); // current = idx
     a.lw(Reg::R5, Reg::R4, 8); // entry
-    // Unwind to a fresh OS stack before leaving the kernel.
+                               // Unwind to a fresh OS stack before leaving the kernel.
     a.li(Reg::R6, layout::os_sp_cell());
     a.lw(Reg::Sp, Reg::R6, 0);
     // The jump to the continue() entry transfers control; the trustlet's
@@ -156,7 +156,10 @@ mod tests {
             &mut os,
             &SchedulerConfig {
                 timer_period: 100,
-                tasks: vec![ScheduledTask { name: "t".into(), entry: 0x1000_0800 }],
+                tasks: vec![ScheduledTask {
+                    name: "t".into(),
+                    entry: 0x1000_0800,
+                }],
             },
         );
         let img = os.finish().unwrap();

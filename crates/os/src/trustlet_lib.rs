@@ -57,7 +57,16 @@ pub fn emit_preemptible_counter(a: &mut Asm, counter_addr: u32, iterations: u32)
 /// observe `secret` in any register).
 pub fn emit_secret_spinner(a: &mut Asm, secret: u32) {
     a.label("main");
-    for r in [Reg::R0, Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7] {
+    for r in [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+    ] {
         a.li(r, secret);
     }
     a.label("spin");

@@ -4,6 +4,7 @@
 
 use trustlite::platform::{Platform, PlatformBuilder};
 use trustlite::spec::{PeriphGrant, TrustletOptions};
+use trustlite::{Event, ObsLevel};
 use trustlite_cpu::{vectors, HaltReason, RunExit};
 use trustlite_isa::Reg;
 use trustlite_mem::map;
@@ -20,7 +21,12 @@ const TIMER_GRANT: PeriphGrant = PeriphGrant {
 
 /// Builds a platform with `n` counter trustlets and the scheduler OS.
 /// Returns the platform and each trustlet's counter address.
-fn build_counters(timer_period: u32, cooperative: bool, iters: u32, n: usize) -> (Platform, Vec<u32>) {
+fn build_counters(
+    timer_period: u32,
+    cooperative: bool,
+    iters: u32,
+    n: usize,
+) -> (Platform, Vec<u32>) {
     let mut b = PlatformBuilder::new();
     let mut plans = Vec::new();
     let mut counters = Vec::new();
@@ -36,7 +42,8 @@ fn build_counters(timer_period: u32, cooperative: bool, iters: u32, n: usize) ->
         } else {
             trustlet_lib::emit_preemptible_counter(&mut t.asm, plan.data_base, iters);
         }
-        b.add_trustlet(plan, t.finish().unwrap(), TrustletOptions::default()).unwrap();
+        b.add_trustlet(plan, t.finish().unwrap(), TrustletOptions::default())
+            .unwrap();
     }
     b.grant_os_peripheral(TIMER_GRANT);
     let mut os = b.begin_os();
@@ -46,7 +53,10 @@ fn build_counters(timer_period: u32, cooperative: bool, iters: u32, n: usize) ->
             timer_period,
             tasks: plans
                 .iter()
-                .map(|p| ScheduledTask { name: p.name.clone(), entry: p.continue_entry() })
+                .map(|p| ScheduledTask {
+                    name: p.name.clone(),
+                    entry: p.continue_entry(),
+                })
                 .collect(),
         },
     );
@@ -59,7 +69,10 @@ fn build_counters(timer_period: u32, cooperative: bool, iters: u32, n: usize) ->
 fn cooperative_round_robin_completes_both_tasks() {
     let (mut p, counters) = build_counters(0, true, 5, 2);
     let exit = p.run(100_000);
-    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
+    assert!(
+        matches!(exit, RunExit::Halted(HaltReason::Halt { .. })),
+        "{exit:?}"
+    );
     for (i, &c) in counters.iter().enumerate() {
         assert_eq!(p.machine.sys.hw_read32(c).unwrap(), 5, "counter {i}");
     }
@@ -83,7 +96,10 @@ fn cooperative_round_robin_completes_both_tasks() {
 fn preemptive_scheduling_interleaves_busy_trustlets() {
     let (mut p, counters) = build_counters(500, false, 100, 2);
     let exit = p.run(1_000_000);
-    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
+    assert!(
+        matches!(exit, RunExit::Halted(HaltReason::Halt { .. })),
+        "{exit:?}"
+    );
     for (i, &c) in counters.iter().enumerate() {
         assert_eq!(p.machine.sys.hw_read32(c).unwrap(), 100, "counter {i}");
     }
@@ -94,7 +110,11 @@ fn preemptive_scheduling_interleaves_busy_trustlets() {
         .iter()
         .filter(|r| r.vector == vectors::irq_vector(0) && r.trustlet.is_some())
         .collect();
-    assert!(preemptions.len() >= 4, "only {} preemptions", preemptions.len());
+    assert!(
+        preemptions.len() >= 4,
+        "only {} preemptions",
+        preemptions.len()
+    );
     // Both trustlets were preempted at least once.
     assert!(preemptions.iter().any(|r| r.trustlet == Some(0)));
     assert!(preemptions.iter().any(|r| r.trustlet == Some(1)));
@@ -115,7 +135,8 @@ fn three_way_preemption_with_uneven_work() {
             let plan = b.plan_trustlet(&format!("w{i}"), 0x200, 0x80, 0x100);
             let mut t = plan.begin_program();
             trustlet_lib::emit_preemptible_counter(&mut t.asm, plan.data_base, *iters);
-            b.add_trustlet(&plan, t.finish().unwrap(), TrustletOptions::default()).unwrap();
+            b.add_trustlet(&plan, t.finish().unwrap(), TrustletOptions::default())
+                .unwrap();
             addrs.push(plan.data_base);
             sizes.push(*iters);
             plans.push(plan);
@@ -128,7 +149,10 @@ fn three_way_preemption_with_uneven_work() {
                 timer_period: 400,
                 tasks: plans
                     .iter()
-                    .map(|p| ScheduledTask { name: p.name.clone(), entry: p.continue_entry() })
+                    .map(|p| ScheduledTask {
+                        name: p.name.clone(),
+                        entry: p.continue_entry(),
+                    })
                     .collect(),
             },
         );
@@ -137,7 +161,10 @@ fn three_way_preemption_with_uneven_work() {
         (b.build().unwrap(), addrs)
     };
     let exit = p.run(2_000_000);
-    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
+    assert!(
+        matches!(exit, RunExit::Halted(HaltReason::Halt { .. })),
+        "{exit:?}"
+    );
     for (i, &c) in counters.iter().enumerate() {
         assert_eq!(p.machine.sys.hw_read32(c).unwrap(), sizes[i], "counter {i}");
     }
@@ -152,11 +179,13 @@ fn faulting_trustlet_terminated_while_peer_completes() {
     let mut t = plan_bad.begin_program();
     // Tries to read the peer's private data: MPU fault.
     trustlet_lib::emit_fault_injector(&mut t.asm, plan_good.data_base);
-    b.add_trustlet(&plan_bad, t.finish().unwrap(), TrustletOptions::default()).unwrap();
+    b.add_trustlet(&plan_bad, t.finish().unwrap(), TrustletOptions::default())
+        .unwrap();
 
     let mut t = plan_good.begin_program();
     trustlet_lib::emit_cooperative_counter(&mut t.asm, plan_good.data_base, 3);
-    b.add_trustlet(&plan_good, t.finish().unwrap(), TrustletOptions::default()).unwrap();
+    b.add_trustlet(&plan_good, t.finish().unwrap(), TrustletOptions::default())
+        .unwrap();
 
     b.grant_os_peripheral(TIMER_GRANT);
     let mut os = b.begin_os();
@@ -165,8 +194,14 @@ fn faulting_trustlet_terminated_while_peer_completes() {
         &SchedulerConfig {
             timer_period: 0,
             tasks: vec![
-                ScheduledTask { name: "bad".into(), entry: plan_bad.continue_entry() },
-                ScheduledTask { name: "good".into(), entry: plan_good.continue_entry() },
+                ScheduledTask {
+                    name: "bad".into(),
+                    entry: plan_bad.continue_entry(),
+                },
+                ScheduledTask {
+                    name: "good".into(),
+                    entry: plan_good.continue_entry(),
+                },
             ],
         },
     );
@@ -179,7 +214,11 @@ fn faulting_trustlet_terminated_while_peer_completes() {
         matches!(exit, RunExit::Halted(HaltReason::Halt { .. })),
         "fault tolerated, platform ran on: {exit:?}"
     );
-    assert_eq!(p.machine.sys.hw_read32(plan_good.data_base).unwrap(), 3, "peer completed");
+    assert_eq!(
+        p.machine.sys.hw_read32(plan_good.data_base).unwrap(),
+        3,
+        "peer completed"
+    );
     assert_eq!(p.machine.sys.hw_read32(plan_good.data_base).unwrap(), 3);
     let fault = p
         .machine
@@ -199,7 +238,8 @@ fn os_isr_observes_no_trustlet_registers() {
     let plan = b.plan_trustlet("holder", 0x200, 0x80, 0x100);
     let mut t = plan.begin_program();
     trustlet_lib::emit_secret_spinner(&mut t.asm, SECRET);
-    b.add_trustlet(&plan, t.finish().unwrap(), TrustletOptions::default()).unwrap();
+    b.add_trustlet(&plan, t.finish().unwrap(), TrustletOptions::default())
+        .unwrap();
 
     b.grant_os_peripheral(TIMER_GRANT);
     let mut os = b.begin_os();
@@ -220,7 +260,10 @@ fn os_isr_observes_no_trustlet_registers() {
         a.label("isr_probe");
         // Capture the full register file and the reported frame.
         a.li(Reg::R6, data);
-        for (i, r) in [Reg::R0, Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5].iter().enumerate() {
+        for (i, r) in [Reg::R0, Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5]
+            .iter()
+            .enumerate()
+        {
             a.sw(Reg::R6, (4 * i) as i16, *r);
         }
         a.lw(Reg::R7, Reg::Sp, 12); // reported interrupted IP
@@ -234,20 +277,100 @@ fn os_isr_observes_no_trustlet_registers() {
     let mut p = b.build().unwrap();
 
     let exit = p.run(100_000);
-    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
+    assert!(
+        matches!(exit, RunExit::Halted(HaltReason::Halt { .. })),
+        "{exit:?}"
+    );
     // Nothing the ISR captured contains the secret.
     for i in 0..6 {
         let v = p.machine.sys.hw_read32(data + 4 * i).unwrap();
         assert_ne!(v, SECRET, "register leak at capture slot {i}");
     }
     // The reported IP was sanitized to the entry vector, the SP to zero.
-    assert_eq!(p.machine.sys.hw_read32(data + 24).unwrap(), plan.continue_entry());
+    assert_eq!(
+        p.machine.sys.hw_read32(data + 24).unwrap(),
+        plan.continue_entry()
+    );
     assert_eq!(p.machine.sys.hw_read32(data + 28).unwrap(), 0);
     // And the secrets are still on the trustlet stack, where the OS
     // cannot reach them (MPU check).
     let row = trustlite_cpu::ttable::read_row(&mut p.machine.sys, p.machine.hw.tt_base, 0).unwrap();
-    assert_eq!(p.machine.sys.hw_read32(row.saved_sp).unwrap(), SECRET, "r7 saved");
-    assert!(!p.machine.sys.mpu.allows(p.os.entry + 32, row.saved_sp, trustlite_mpu::AccessKind::Read));
+    assert_eq!(
+        p.machine.sys.hw_read32(row.saved_sp).unwrap(),
+        SECRET,
+        "r7 saved"
+    );
+    assert!(!p.machine.sys.mpu.allows(
+        p.os.entry + 32,
+        row.saved_sp,
+        trustlite_mpu::AccessKind::Read
+    ));
+}
+
+#[test]
+fn exception_events_match_exc_log_under_preemption() {
+    // Regression: the telemetry event stream and the legacy exc_log are
+    // two views of the same exception engine; on a busy preemptive
+    // scenario they must agree exactly.
+    let (mut p, _) = build_counters(500, false, 100, 2);
+    p.machine.sys.obs.set_level(ObsLevel::Events);
+    let exit = p.run(1_000_000);
+    assert!(
+        matches!(exit, RunExit::Halted(HaltReason::Halt { .. })),
+        "{exit:?}"
+    );
+    assert!(p.machine.exc_log.len() > 4, "scenario took exceptions");
+
+    let enters: Vec<&Event> = p
+        .machine
+        .sys
+        .obs
+        .ring
+        .iter()
+        .filter(|e| matches!(e, Event::ExceptionEnter { .. }))
+        .collect();
+    assert_eq!(
+        enters.len(),
+        p.machine.exc_log.len(),
+        "one event per logged exception"
+    );
+    for (e, r) in enters.iter().zip(&p.machine.exc_log) {
+        let Event::ExceptionEnter {
+            cycle,
+            vector,
+            trustlet,
+            interrupted_ip,
+            cycles,
+            ..
+        } = e
+        else {
+            unreachable!()
+        };
+        assert_eq!(*cycle, r.at_cycle);
+        assert_eq!(*vector, r.vector);
+        assert_eq!(*trustlet, r.trustlet);
+        assert_eq!(*interrupted_ip, r.interrupted_ip);
+        assert_eq!(*cycles, r.entry_cycles);
+    }
+
+    // The scheduler metrics helper agrees with the raw log.
+    let summary = trustlite_os::sched_summary(
+        &mut p.machine,
+        &SchedulerConfig {
+            timer_period: 500,
+            tasks: vec![],
+        },
+    );
+    let log_preemptions = p
+        .machine
+        .exc_log
+        .iter()
+        .filter(|r| r.vector == vectors::irq_vector(0) && r.trustlet.is_some())
+        .count() as u64;
+    assert_eq!(summary.preemptions, log_preemptions);
+    assert!(summary.context_switches > 0, "domain transitions recorded");
+    // Attributed cycles cover the whole run.
+    assert_eq!(summary.report.attributed_cycles(), p.machine.cycles);
 }
 
 #[test]
@@ -256,9 +379,16 @@ fn preempted_state_resumes_exactly() {
     // times; the final count must still be exact (lossless save/resume).
     let (mut p, counters) = build_counters(250, false, 300, 1);
     let exit = p.run(2_000_000);
-    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
+    assert!(
+        matches!(exit, RunExit::Halted(HaltReason::Halt { .. })),
+        "{exit:?}"
+    );
     assert_eq!(p.machine.sys.hw_read32(counters[0]).unwrap(), 300);
-    let preemptions =
-        p.machine.exc_log.iter().filter(|r| r.vector == vectors::irq_vector(0)).count();
+    let preemptions = p
+        .machine
+        .exc_log
+        .iter()
+        .filter(|r| r.vector == vectors::irq_vector(0))
+        .count();
     assert!(preemptions > 10, "only {preemptions} preemptions");
 }

@@ -246,13 +246,17 @@ mod tests {
         let mut dev = CryptoAccel::new();
         let key = [0x42u8; 32];
         for i in 0..8 {
-            let w = u32::from_le_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+            let w =
+                u32::from_le_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
             dev.write32(regs::KEY0 + 4 * i as u32, w).unwrap();
         }
         dev.write32(regs::CTRL, cmd::INIT_HMAC).unwrap();
         absorb_words(&mut dev, b"challenge-nonce!");
         dev.write32(regs::CTRL, cmd::FINALIZE).unwrap();
-        assert_eq!(read_digest(&mut dev), hmac_sha256(&key, b"challenge-nonce!"));
+        assert_eq!(
+            read_digest(&mut dev),
+            hmac_sha256(&key, b"challenge-nonce!")
+        );
     }
 
     #[test]

@@ -25,7 +25,9 @@ pub struct KeyStore {
 impl KeyStore {
     /// Creates a key store with `slots` zeroed key slots.
     pub fn new(slots: usize) -> Self {
-        KeyStore { slots: vec![[0; 32]; slots] }
+        KeyStore {
+            slots: vec![[0; 32]; slots],
+        }
     }
 
     /// Manufacture-time key programming (host side only).

@@ -23,7 +23,10 @@ pub struct Rng {
 impl Rng {
     /// Creates a generator from `seed`.
     pub fn new(seed: u64) -> Self {
-        Rng { rng: XorShift64::new(seed), draws: 0 }
+        Rng {
+            rng: XorShift64::new(seed),
+            draws: 0,
+        }
     }
 }
 

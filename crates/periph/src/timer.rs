@@ -54,7 +54,14 @@ pub struct Timer {
 impl Timer {
     /// Creates a stopped timer on interrupt line `line`.
     pub fn new(line: u8) -> Self {
-        Timer { ctrl: 0, period: 0, handler: 0, count: 0, line: line as u32, fired: 0 }
+        Timer {
+            ctrl: 0,
+            period: 0,
+            handler: 0,
+            count: 0,
+            line: line as u32,
+            fired: 0,
+        }
     }
 
     fn enabled(&self) -> bool {
@@ -128,7 +135,11 @@ impl Device for Timer {
         }
         Some(IrqRequest {
             line: self.line as u8,
-            handler: if self.handler != 0 { Some(self.handler) } else { None },
+            handler: if self.handler != 0 {
+                Some(self.handler)
+            } else {
+                None
+            },
         })
     }
 

@@ -52,7 +52,10 @@ impl Uart {
     /// received data becomes available (level-style: re-raised after the
     /// receive queue drains and refills).
     pub fn with_irq(line: u8) -> Self {
-        Uart { irq_line: Some(line), ..Uart::default() }
+        Uart {
+            irq_line: Some(line),
+            ..Uart::default()
+        }
     }
 
     /// Host side: drains everything transmitted so far.
@@ -124,7 +127,10 @@ impl Device for Uart {
             return None;
         }
         self.irq_raised = true;
-        Some(IrqRequest { line, handler: None })
+        Some(IrqRequest {
+            line,
+            handler: None,
+        })
     }
 
     fn as_any(&mut self) -> &mut dyn Any {

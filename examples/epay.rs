@@ -40,7 +40,7 @@ fn build() -> (trustlite::Platform, trustlite::TrustletPlan) {
         a.lw(Reg::Sp, Reg::R6, 0);
         a.mov(Reg::R4, Reg::R1); // amount
         a.push(Reg::R2); // reply continuation
-        // Trusted path: prompt the user on the exclusively owned UART.
+                         // Trusted path: prompt the user on the exclusively owned UART.
         emit_uart_print(a, "PAY 0x");
         emit_uart_print_hex_byte(a, Reg::R4);
         emit_uart_print(a, "? [y/n] ");
@@ -101,7 +101,7 @@ fn build() -> (trustlite::Platform, trustlite::TrustletPlan) {
         a.jr(Reg::R5);
         a.label("paid");
         a.mov(Reg::R6, Reg::R1); // keep the result
-        // Now try to set the balance back up (must fault).
+                                 // Now try to set the balance back up (must fault).
         a.li(Reg::R1, balance_addr);
         a.li(Reg::R0, 0xffff);
         a.sw(Reg::R1, 0, Reg::R0);
@@ -131,7 +131,10 @@ fn run_payment(answer: u8) -> (trustlite::Platform, trustlite::TrustletPlan, Str
     p.machine.regs.ip = p.os.entry;
     p.machine.prev_ip = p.os.entry;
     let exit = p.run(200_000);
-    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
+    assert!(
+        matches!(exit, RunExit::Halted(HaltReason::Halt { .. })),
+        "{exit:?}"
+    );
     let transcript = String::from_utf8_lossy(&p.uart_output()).to_string();
     (p, plan, transcript)
 }
@@ -141,7 +144,11 @@ fn main() {
     let (mut p, plan, transcript) = run_payment(b'y');
     println!("user answers 'y':");
     println!("  trusted console: {transcript:?}");
-    let balance = p.machine.sys.hw_read32(plan.data_base).expect("readable by host");
+    let balance = p
+        .machine
+        .sys
+        .hw_read32(plan.data_base)
+        .expect("readable by host");
     println!("  balance: {INITIAL_BALANCE} -> {balance}");
     assert_eq!(balance, INITIAL_BALANCE - 0x25);
     assert!(transcript.contains("APPROVED"));
@@ -158,7 +165,11 @@ fn main() {
     let (mut p, plan, transcript) = run_payment(b'n');
     println!("user answers 'n':");
     println!("  trusted console: {transcript:?}");
-    let balance = p.machine.sys.hw_read32(plan.data_base).expect("readable by host");
+    let balance = p
+        .machine
+        .sys
+        .hw_read32(plan.data_base)
+        .expect("readable by host");
     println!("  balance: {INITIAL_BALANCE} -> {balance}");
     assert_eq!(balance, INITIAL_BALANCE, "no debit without consent");
     assert!(transcript.contains("DECLINED"));

@@ -32,20 +32,30 @@ fn main() {
     b.add_trustlet(
         &target,
         target_img,
-        TrustletOptions { code_writable_by: Some("updater".into()), ..Default::default() },
+        TrustletOptions {
+            code_writable_by: Some("updater".into()),
+            ..Default::default()
+        },
     )
     .expect("registers");
 
     // The updater patches the `li r0, 1` to `li r0, 2`.
-    let patched_word = trustlite_isa::encode(trustlite_isa::Instr::Movi { rd: Reg::R0, imm: 2 });
+    let patched_word = trustlite_isa::encode(trustlite_isa::Instr::Movi {
+        rd: Reg::R0,
+        imm: 2,
+    });
     let mut u = updater.begin_program();
     u.asm.label("main");
     u.asm.li(Reg::R1, patch_addr);
     u.asm.li(Reg::R2, patched_word);
     u.asm.sw(Reg::R1, 0, Reg::R2);
     u.asm.halt();
-    b.add_trustlet(&updater, u.finish().expect("assembles"), TrustletOptions::default())
-        .expect("registers");
+    b.add_trustlet(
+        &updater,
+        u.finish().expect("assembles"),
+        TrustletOptions::default(),
+    )
+    .expect("registers");
 
     let mut os = b.begin_os();
     os.asm.label("main");
@@ -61,14 +71,21 @@ fn main() {
     println!("service reports version {v1}");
 
     // The OS cannot patch the service...
-    assert!(!p.machine.sys.mpu.allows(p.os.entry + 8, patch_addr, AccessKind::Write));
+    assert!(!p
+        .machine
+        .sys
+        .mpu
+        .allows(p.os.entry + 8, patch_addr, AccessKind::Write));
     println!("OS write access to the service's code: denied by the EA-MPU");
 
     // ...but the updater can.
     p.machine.halted = None;
     p.start_trustlet("updater").expect("starts");
     let exit = p.run(10_000);
-    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
+    assert!(
+        matches!(exit, RunExit::Halted(HaltReason::Halt { .. })),
+        "{exit:?}"
+    );
     println!("updater patched {patch_addr:#010x} in the field");
 
     p.machine.halted = None;
@@ -90,7 +107,10 @@ fn main() {
     // Contrast with SMART.
     let smart = SmartDevice::new([0; 32], 1024);
     println!();
-    println!("SMART baseline: {}", smart.try_update_routine().unwrap_err());
+    println!(
+        "SMART baseline: {}",
+        smart.try_update_routine().unwrap_err()
+    );
     println!();
     println!("field_update OK");
 }

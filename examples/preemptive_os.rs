@@ -23,8 +23,12 @@ fn main() {
         let plan = b.plan_trustlet(name, 0x200, 0x80, 0x100);
         let mut t = plan.begin_program();
         trustlet_lib::emit_preemptible_counter(&mut t.asm, plan.data_base, iters);
-        b.add_trustlet(&plan, t.finish().expect("assembles"), TrustletOptions::default())
-            .expect("registers");
+        b.add_trustlet(
+            &plan,
+            t.finish().expect("assembles"),
+            TrustletOptions::default(),
+        )
+        .expect("registers");
         plans.push(plan);
     }
     b.grant_os_peripheral(PeriphGrant {
@@ -39,7 +43,10 @@ fn main() {
             timer_period: 400,
             tasks: plans
                 .iter()
-                .map(|p| ScheduledTask { name: p.name.clone(), entry: p.continue_entry() })
+                .map(|p| ScheduledTask {
+                    name: p.name.clone(),
+                    entry: p.continue_entry(),
+                })
                 .collect(),
         },
     );
@@ -49,26 +56,34 @@ fn main() {
 
     println!("running 3 busy trustlets under a 400-cycle preemption quantum...");
     p.run(3_000_000);
-    println!("platform halted after {} cycles / {} instructions", p.machine.cycles, p.machine.instret);
+    println!(
+        "platform halted after {} cycles / {} instructions",
+        p.machine.cycles, p.machine.instret
+    );
     println!();
 
-    println!("{:<10}{:>8}{:>10}{:>14}", "trustlet", "target", "counted", "preemptions");
+    println!(
+        "{:<10}{:>8}{:>10}{:>14}",
+        "trustlet", "target", "counted", "preemptions"
+    );
     for (plan, (name, iters)) in plans.iter().zip(workloads) {
         let counted = p.machine.sys.hw_read32(plan.data_base).expect("readable");
         let preemptions = p
             .machine
             .exc_log
             .iter()
-            .filter(|r| {
-                r.vector == vectors::irq_vector(0) && r.trustlet == Some(plan.tt_index)
-            })
+            .filter(|r| r.vector == vectors::irq_vector(0) && r.trustlet == Some(plan.tt_index))
             .count();
         println!("{name:<10}{iters:>8}{counted:>10}{preemptions:>14}");
         assert_eq!(counted, iters, "{name} lost work");
     }
 
-    let trustlet_preemptions =
-        p.machine.exc_log.iter().filter(|r| r.trustlet.is_some()).count();
+    let trustlet_preemptions = p
+        .machine
+        .exc_log
+        .iter()
+        .filter(|r| r.trustlet.is_some())
+        .count();
     let avg_cost: f64 = {
         let v: Vec<u64> = p
             .machine

@@ -24,8 +24,12 @@ fn main() {
     t.asm.li(Reg::R0, 0xc0ffee);
     t.asm.sw(Reg::R1, 0, Reg::R0);
     t.asm.halt();
-    b.add_trustlet(&plan, t.finish().expect("assembles"), TrustletOptions::default())
-        .expect("registers");
+    b.add_trustlet(
+        &plan,
+        t.finish().expect("assembles"),
+        TrustletOptions::default(),
+    )
+    .expect("registers");
 
     // 3. Write the untrusted OS: it will try to read the vault.
     let mut os = b.begin_os();
@@ -68,7 +72,11 @@ fn main() {
     p.machine.halted = None;
     p.start_trustlet("vault").expect("starts");
     p.run(10_000);
-    let stored = p.machine.sys.hw_read32(plan.data_base).expect("readable by host");
+    let stored = p
+        .machine
+        .sys
+        .hw_read32(plan.data_base)
+        .expect("readable by host");
     println!("trustlet ran and stored {stored:#x} in its private region");
     assert_eq!(stored, 0xc0ffee);
     println!();

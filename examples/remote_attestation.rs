@@ -39,7 +39,8 @@ fn build(tampered: bool) -> (trustlite::Platform, Vec<[u8; 32]>) {
             let genuine = g.finish().expect("assembles");
             expected.push(attest::measure_region(&genuine.bytes, plan.code_size));
         }
-        b.add_trustlet(&plan, img, TrustletOptions::default()).expect("registers");
+        b.add_trustlet(&plan, img, TrustletOptions::default())
+            .expect("registers");
     }
     let mut os = b.begin_os();
     os.asm.label("main");
@@ -54,7 +55,9 @@ fn main() {
 
     // Honest device.
     let (mut device, expected) = build(false);
-    let challenge = Challenge { nonce: *b"fresh-nonce-0001" };
+    let challenge = Challenge {
+        nonce: *b"fresh-nonce-0001",
+    };
     let response = attest::respond(&mut device, &challenge).expect("device responds");
     println!("honest device:");
     for (i, m) in response.measurements.iter().enumerate() {
@@ -66,7 +69,9 @@ fn main() {
 
     // Tampered device: the epay trustlet was replaced.
     let (mut device, expected) = build(true);
-    let challenge = Challenge { nonce: *b"fresh-nonce-0002" };
+    let challenge = Challenge {
+        nonce: *b"fresh-nonce-0002",
+    };
     let response = attest::respond(&mut device, &challenge).expect("device responds");
     let ok = attest::verify(&key, &challenge, &response, &expected);
     println!();
@@ -75,8 +80,14 @@ fn main() {
     assert!(!ok);
 
     // Replay: an old response for a new nonce.
-    let replay_ok =
-        attest::verify(&key, &Challenge { nonce: *b"fresh-nonce-0003" }, &response, &expected);
+    let replay_ok = attest::verify(
+        &key,
+        &Challenge {
+            nonce: *b"fresh-nonce-0003",
+        },
+        &response,
+        &expected,
+    );
     println!("  replayed response accepted: {replay_ok}");
     assert!(!replay_ok);
 
@@ -85,8 +96,7 @@ fn main() {
     // table) on the crypto accelerator — the SMART-like instantiation of
     // Section 3.6, but field-updatable.
     let key2 = [0x21u8; 32];
-    let mut asp =
-        trustlite_bench::build_attest_service(key2, 2).expect("service platform builds");
+    let mut asp = trustlite_bench::build_attest_service(key2, 2).expect("service platform builds");
     let nonce = 0x0dd5_eed5;
     let report = trustlite_bench::challenge_device(&mut asp, nonce).expect("device responds");
     let expected = trustlite_bench::expected_report(&mut asp, &key2, nonce);

@@ -29,13 +29,19 @@ fn main() {
     let r = run_handshake(&mut hp).expect("handshake runs");
     assert!(r.success, "handshake failed: {r:?}");
     println!("handshake complete in {} cycles:", r.total_cycles);
-    println!("  local attestation (table + MPU scan + code hash): {} cycles", r.attest_cycles);
+    println!(
+        "  local attestation (table + MPU scan + code hash): {} cycles",
+        r.attest_cycles
+    );
     println!(
         "  syn/ack round trip + token derivation:            {} cycles",
         r.total_cycles - r.attest_cycles
     );
     println!();
-    println!("  nonce_a = {:#010x}, nonce_b = {:#010x}", r.nonces.0, r.nonces.1);
+    println!(
+        "  nonce_a = {:#010x}, nonce_b = {:#010x}",
+        r.nonces.0, r.nonces.1
+    );
     println!("  alice's token = {:#010x}", r.token_a);
     println!("  bob's token   = {:#010x}", r.token_b);
     println!("  host protocol-model token = {:#010x}", r.expected_token);

@@ -59,7 +59,11 @@ fn different_seeds_differ_only_in_nonces() {
 fn scheduling_workload_is_deterministic() {
     let run = || {
         let p = trustlite_bench::boot_platform_with(3, true);
-        (p.report.mpu_writes, p.report.words_copied, p.report.estimated_cycles)
+        (
+            p.report.mpu_writes,
+            p.report.words_copied,
+            p.report.estimated_cycles,
+        )
     };
     assert_eq!(run(), run());
 }

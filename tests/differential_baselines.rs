@@ -22,7 +22,8 @@ fn interruption_tolerance_differs() {
     let plan = b.plan_trustlet("worker", 0x200, 0x80, 0x100);
     let mut t = plan.begin_program();
     trustlet_lib::emit_preemptible_counter(&mut t.asm, plan.data_base, 100);
-    b.add_trustlet(&plan, t.finish().unwrap(), TrustletOptions::default()).unwrap();
+    b.add_trustlet(&plan, t.finish().unwrap(), TrustletOptions::default())
+        .unwrap();
     b.grant_os_peripheral(PeriphGrant {
         base: map::TIMER_MMIO_BASE,
         size: map::PERIPH_MMIO_SIZE,
@@ -33,16 +34,27 @@ fn interruption_tolerance_differs() {
         &mut os,
         &SchedulerConfig {
             timer_period: 300,
-            tasks: vec![ScheduledTask { name: "worker".into(), entry: plan.continue_entry() }],
+            tasks: vec![ScheduledTask {
+                name: "worker".into(),
+                entry: plan.continue_entry(),
+            }],
         },
     );
     let os_img = os.finish().unwrap();
     b.set_os(os_img, SCHED_IDT);
     let mut p = b.build().unwrap();
     let exit = p.run(1_000_000);
-    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
+    assert!(
+        matches!(exit, RunExit::Halted(HaltReason::Halt { .. })),
+        "{exit:?}"
+    );
     assert_eq!(p.machine.sys.hw_read32(plan.data_base).unwrap(), 100);
-    let preemptions = p.machine.exc_log.iter().filter(|r| r.trustlet.is_some()).count();
+    let preemptions = p
+        .machine
+        .exc_log
+        .iter()
+        .filter(|r| r.trustlet.is_some())
+        .count();
     assert!(preemptions > 0, "the task was really interrupted");
 
     // Sancus: the same event violates the no-interrupt policy.

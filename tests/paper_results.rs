@@ -5,8 +5,8 @@
 
 use trustlite_bench::{build_handshake_platform, measure_exception_entry, run_handshake};
 use trustlite_hwcost::{
-    fault_tree_depth, modules_at_budget, sancus_cost, smart_like_cost, table1,
-    trustlite_ext_cost, CostPoint, MSP430_BASE,
+    fault_tree_depth, modules_at_budget, sancus_cost, smart_like_cost, table1, trustlite_ext_cost,
+    CostPoint, MSP430_BASE,
 };
 
 /// Table 1: every published resource number is reproduced exactly by the
@@ -18,8 +18,16 @@ fn table1_numbers() {
     assert_eq!(t.base_core.1, CostPoint::new(998, 2322), "openMSP430 core");
     assert_eq!(t.ext_base.0, CostPoint::new(278, 417), "TrustLite ext base");
     assert_eq!(t.ext_base.1, CostPoint::new(586, 1138), "Sancus ext base");
-    assert_eq!(t.per_module.0, CostPoint::new(116, 182), "TrustLite per module");
-    assert_eq!(t.per_module.1, CostPoint::new(213, 307), "Sancus per module");
+    assert_eq!(
+        t.per_module.0,
+        CostPoint::new(116, 182),
+        "TrustLite per module"
+    );
+    assert_eq!(
+        t.per_module.1,
+        CostPoint::new(213, 307),
+        "Sancus per module"
+    );
     assert_eq!(t.exceptions_base, CostPoint::new(34, 22), "exceptions base");
 }
 
@@ -30,10 +38,16 @@ fn figure7_shape_and_crossover() {
     let budget = MSP430_BASE.slices() * 2;
     assert_eq!(modules_at_budget(|n| sancus_cost(n).slices(), budget), 9);
     let at20 = trustlite_ext_cost(20, false).slices();
-    assert!(at20.abs_diff(budget) * 100 < budget, "20 TrustLite modules sit on the 200% line");
+    assert!(
+        at20.abs_diff(budget) * 100 < budget,
+        "20 TrustLite modules sit on the 200% line"
+    );
     // TrustLite stays cheaper than Sancus everywhere in the plotted range.
     for n in 1..=32 {
-        assert!(trustlite_ext_cost(n, true).slices() < sancus_cost(n).slices(), "n={n}");
+        assert!(
+            trustlite_ext_cost(n, true).slices() < sancus_cost(n).slices(),
+            "n={n}"
+        );
     }
 }
 
@@ -85,7 +99,11 @@ fn trusted_ipc_single_round_trip() {
     // protocol exceptions or re-entries were needed. The whole exchange
     // fits comfortably in a few thousand cycles, dominated by the two
     // code-region hashes.
-    assert!(r.total_cycles < 20_000, "one-round handshake: {} cycles", r.total_cycles);
+    assert!(
+        r.total_cycles < 20_000,
+        "one-round handshake: {} cycles",
+        r.total_cycles
+    );
 }
 
 /// Untrusted IPC is an RPC jump: entry within a couple of cycles.

@@ -15,7 +15,11 @@ use trustlite_os::scheduler::{build_scheduler_os, ScheduledTask, SchedulerConfig
 use trustlite_os::trustlet_lib;
 
 fn timer_grant() -> PeriphGrant {
-    PeriphGrant { base: map::TIMER_MMIO_BASE, size: map::PERIPH_MMIO_SIZE, perms: Perms::RW }
+    PeriphGrant {
+        base: map::TIMER_MMIO_BASE,
+        size: map::PERIPH_MMIO_SIZE,
+        perms: Perms::RW,
+    }
 }
 
 /// **Data Isolation** — "no other software on the platform can modify
@@ -28,7 +32,8 @@ fn req_data_isolation() {
     let mut t = plan.begin_program();
     t.asm.label("main");
     t.asm.halt();
-    b.add_trustlet(&plan, t.finish().unwrap(), TrustletOptions::default()).unwrap();
+    b.add_trustlet(&plan, t.finish().unwrap(), TrustletOptions::default())
+        .unwrap();
     let mut os = b.begin_os();
     os.asm.label("main");
     os.asm.halt();
@@ -130,23 +135,37 @@ fn req_protected_state() {
     let plan = b.plan_trustlet("stateful", 0x200, 0x80, 0x100);
     let mut t = plan.begin_program();
     trustlet_lib::emit_preemptible_counter(&mut t.asm, plan.data_base, 200);
-    b.add_trustlet(&plan, t.finish().unwrap(), TrustletOptions::default()).unwrap();
+    b.add_trustlet(&plan, t.finish().unwrap(), TrustletOptions::default())
+        .unwrap();
     b.grant_os_peripheral(timer_grant());
     let mut os = b.begin_os();
     build_scheduler_os(
         &mut os,
         &SchedulerConfig {
             timer_period: 300,
-            tasks: vec![ScheduledTask { name: "stateful".into(), entry: plan.continue_entry() }],
+            tasks: vec![ScheduledTask {
+                name: "stateful".into(),
+                entry: plan.continue_entry(),
+            }],
         },
     );
     let os_img = os.finish().unwrap();
     b.set_os(os_img, SCHED_IDT);
     let mut p = b.build().unwrap();
     let exit = p.run(2_000_000);
-    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
+    assert!(
+        matches!(exit, RunExit::Halted(HaltReason::Halt { .. })),
+        "{exit:?}"
+    );
     assert_eq!(p.machine.sys.hw_read32(plan.data_base).unwrap(), 200);
-    assert!(p.machine.exc_log.iter().filter(|r| r.trustlet.is_some()).count() > 3);
+    assert!(
+        p.machine
+            .exc_log
+            .iter()
+            .filter(|r| r.trustlet.is_some())
+            .count()
+            > 3
+    );
 }
 
 /// **Field Updates** — code, data and policy updatable after deployment.
@@ -161,7 +180,10 @@ fn req_field_updates() {
     b.add_trustlet(
         &target,
         t.finish().unwrap(),
-        TrustletOptions { code_writable_by: Some("upd".into()), ..Default::default() },
+        TrustletOptions {
+            code_writable_by: Some("upd".into()),
+            ..Default::default()
+        },
     )
     .unwrap();
     let patch = target.code_end() - 4;
@@ -171,7 +193,8 @@ fn req_field_updates() {
     u.asm.li(Reg::R2, 0);
     u.asm.sw(Reg::R1, 0, Reg::R2);
     u.asm.halt();
-    b.add_trustlet(&updater, u.finish().unwrap(), TrustletOptions::default()).unwrap();
+    b.add_trustlet(&updater, u.finish().unwrap(), TrustletOptions::default())
+        .unwrap();
     let mut os = b.begin_os();
     os.asm.label("main");
     os.asm.halt();
@@ -180,7 +203,10 @@ fn req_field_updates() {
     let mut p = b.build().unwrap();
     p.start_trustlet("upd").unwrap();
     let exit = p.run(10_000);
-    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "update ran: {exit:?}");
+    assert!(
+        matches!(exit, RunExit::Halted(HaltReason::Halt { .. })),
+        "update ran: {exit:?}"
+    );
     // SMART cannot do this at all.
     assert!(SmartDevice::new([0; 32], 64).try_update_routine().is_err());
 }
@@ -194,10 +220,12 @@ fn req_fault_tolerance() {
     let good = b.plan_trustlet("good", 0x200, 0x80, 0x100);
     let mut t = bad.begin_program();
     trustlet_lib::emit_fault_injector(&mut t.asm, good.data_base);
-    b.add_trustlet(&bad, t.finish().unwrap(), TrustletOptions::default()).unwrap();
+    b.add_trustlet(&bad, t.finish().unwrap(), TrustletOptions::default())
+        .unwrap();
     let mut t = good.begin_program();
     trustlet_lib::emit_cooperative_counter(&mut t.asm, good.data_base, 2);
-    b.add_trustlet(&good, t.finish().unwrap(), TrustletOptions::default()).unwrap();
+    b.add_trustlet(&good, t.finish().unwrap(), TrustletOptions::default())
+        .unwrap();
     b.grant_os_peripheral(timer_grant());
     let mut os = b.begin_os();
     build_scheduler_os(
@@ -205,8 +233,14 @@ fn req_fault_tolerance() {
         &SchedulerConfig {
             timer_period: 0,
             tasks: vec![
-                ScheduledTask { name: "bad".into(), entry: bad.continue_entry() },
-                ScheduledTask { name: "good".into(), entry: good.continue_entry() },
+                ScheduledTask {
+                    name: "bad".into(),
+                    entry: bad.continue_entry(),
+                },
+                ScheduledTask {
+                    name: "good".into(),
+                    entry: good.continue_entry(),
+                },
             ],
         },
     );
@@ -214,8 +248,15 @@ fn req_fault_tolerance() {
     b.set_os(os_img, SCHED_IDT);
     let mut p = b.build().unwrap();
     let exit = p.run(200_000);
-    assert!(matches!(exit, RunExit::Halted(HaltReason::Halt { .. })), "{exit:?}");
-    assert_eq!(p.machine.sys.hw_read32(good.data_base).unwrap(), 2, "peer unaffected");
+    assert!(
+        matches!(exit, RunExit::Halted(HaltReason::Halt { .. })),
+        "{exit:?}"
+    );
+    assert_eq!(
+        p.machine.sys.hw_read32(good.data_base).unwrap(),
+        2,
+        "peer unaffected"
+    );
     assert!(p
         .machine
         .exc_log

@@ -1,0 +1,215 @@
+//! Offline shim for the [criterion](https://crates.io/crates/criterion)
+//! benchmarking crate.
+//!
+//! The build container has no crates.io access, so this workspace vendors
+//! a dependency-free stand-in covering the API surface its benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`Throughput`], [`BenchmarkId`]
+//! and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: each benchmark is warmed up once,
+//! then timed over a fixed wall-clock window, and mean iteration time
+//! (plus derived throughput) is printed. Numbers are indicative, not
+//! statistically rigorous — use them for coarse regression spotting.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How many elements/bytes one iteration processes.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A composite benchmark identifier (`group/function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter value.
+    pub fn new<P: fmt::Display>(function: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id consisting of the parameter value only.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+/// Passed to benchmark closures; runs and times the iteration body.
+pub struct Bencher<'a> {
+    result: &'a mut Option<Duration>,
+    measure_time: Duration,
+}
+
+impl Bencher<'_> {
+    /// Times `body`, storing the mean wall-clock duration per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // One warm-up call, then as many timed calls as fit the window.
+        let _ = body();
+        let start = Instant::now();
+        let mut iters: u32 = 0;
+        loop {
+            let _ = std::hint::black_box(body());
+            iters += 1;
+            if start.elapsed() >= self.measure_time {
+                break;
+            }
+        }
+        *self.result = Some(start.elapsed() / iters);
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    measure_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // Keep `cargo bench` runs short; this shim is not for statistics.
+        Criterion {
+            measure_time: Duration::from_millis(300),
+        }
+    }
+}
+
+fn report(name: &str, mean: Duration, throughput: Option<Throughput>) {
+    let per_iter = mean.as_secs_f64();
+    print!("{name:<48} {:>12.3} us/iter", per_iter * 1e6);
+    match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            print!("  {:>12.0} elem/s", n as f64 / per_iter);
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            print!("  {:>12.0} B/s", n as f64 / per_iter);
+        }
+        _ => {}
+    }
+    println!();
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut result = None;
+        f(&mut Bencher {
+            result: &mut result,
+            measure_time: self.measure_time,
+        });
+        if let Some(mean) = result {
+            report(name, mean, None);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<I: fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut result = None;
+        f(&mut Bencher {
+            result: &mut result,
+            measure_time: self.criterion.measure_time,
+        });
+        if let Some(mean) = result {
+            report(&format!("{}/{id}", self.name), mean, self.throughput);
+        }
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: fmt::Display, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let mut result = None;
+        f(
+            &mut Bencher {
+                result: &mut result,
+                measure_time: self.criterion.measure_time,
+            },
+            input,
+        );
+        if let Some(mean) = result {
+            report(&format!("{}/{id}", self.name), mean, self.throughput);
+        }
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Defines the benchmark entry list for [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Defines `main` running the given [`criterion_group!`]s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
