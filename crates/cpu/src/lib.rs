@@ -24,6 +24,7 @@
 pub mod costs;
 pub mod fault;
 pub mod machine;
+pub mod predecode;
 pub mod regs;
 pub mod sysbus;
 pub mod ttable;

@@ -135,6 +135,12 @@ pub struct Machine {
     /// subject of the next instruction fetch (see [`SystemBus::fetch`]).
     pub prev_ip: u32,
     pending_irqs: VecDeque<trustlite_mem::IrqRequest>,
+    /// Bit `line` set iff an IRQ for that line is queued — O(1) dedup in
+    /// [`Machine::raise_irq`].
+    pending_irq_mask: [u64; 4],
+    /// Cached `mpu.slot{i}.grants` metric names, built once per slot
+    /// count instead of being formatted on every snapshot.
+    slot_metric_names: Vec<String>,
 }
 
 impl Machine {
@@ -155,6 +161,8 @@ impl Machine {
             ext: None,
             prev_ip: reset_vector,
             pending_irqs: VecDeque::new(),
+            pending_irq_mask: [0; 4],
+            slot_metric_names: Vec::new(),
         }
     }
 
@@ -193,6 +201,11 @@ impl Machine {
         let denials = self.sys.mpu.deny_count();
         let writes = self.sys.mpu.write_count();
         let hits: Vec<u64> = self.sys.mpu.slot_hits().to_vec();
+        if self.slot_metric_names.len() != hits.len() {
+            self.slot_metric_names = (0..hits.len())
+                .map(|i| format!("mpu.slot{i}.grants"))
+                .collect();
+        }
         let obs = &mut self.sys.obs;
         obs.metrics.set("cpu.cycles", self.cycles);
         obs.metrics.set("cpu.instret", self.instret);
@@ -201,19 +214,27 @@ impl Machine {
         obs.metrics.set("mpu.reg_writes", writes);
         for (i, h) in hits.iter().enumerate() {
             if *h > 0 {
-                obs.metrics.set(&format!("mpu.slot{i}.grants"), *h);
+                obs.metrics.set(&self.slot_metric_names[i], *h);
             }
         }
         obs.metrics.set("obs.events_dropped", obs.ring.dropped());
+        if obs.attr.switch_count() > 0 {
+            obs.metrics
+                .set("sched.context_switches", obs.attr.switch_count());
+        }
         let mut report = obs.metrics.snapshot();
         report.attribution = obs.attr.report();
         report
     }
 
     /// Queues an external interrupt request (test/diagnostic injection;
-    /// peripherals raise theirs through the bus tick).
+    /// peripherals raise theirs through the bus tick). Requests for a
+    /// line that is already pending are coalesced, tracked by a per-line
+    /// bitmask rather than a queue scan.
     pub fn raise_irq(&mut self, irq: trustlite_mem::IrqRequest) {
-        if !self.pending_irqs.iter().any(|p| p.line == irq.line) {
+        let (w, b) = (usize::from(irq.line >> 6), irq.line & 63);
+        if self.pending_irq_mask[w] & (1 << b) == 0 {
+            self.pending_irq_mask[w] |= 1 << b;
             self.pending_irqs.push_back(irq);
         }
     }
@@ -228,23 +249,26 @@ impl Machine {
         if self.halted.is_some() {
             return StepOutcome::Halted;
         }
-        self.sys.obs.set_now(self.cycles);
+        // Event/metric stamps read `obs.now()` only behind level gates,
+        // and the architectural exc_log stamps from `self.cycles`
+        // directly, so the clock mirror can be skipped while telemetry
+        // is off.
+        if self.sys.obs.active() {
+            self.sys.obs.set_now(self.cycles);
+        }
         // Deliver a pending maskable interrupt first.
         if self.regs.flags.ie {
             if let Some(irq) = self.pending_irqs.pop_front() {
+                self.pending_irq_mask[usize::from(irq.line >> 6)] &= !(1 << (irq.line & 63));
                 let vector = vectors::irq_vector(irq.line);
                 let ip = self.regs.ip;
                 return self.take_exception(vector, irq.handler, ip, irq.line as u32, 0);
             }
         }
         let ip = self.regs.ip;
-        let word = match self.sys.fetch(self.prev_ip, ip) {
-            Ok(w) => w,
+        let (word, instr) = match self.sys.fetch_instr(self.prev_ip, ip) {
+            Ok(wi) => wi,
             Err(f) => return self.take_fault(f),
-        };
-        let instr = match decode(word) {
-            Ok(i) => i,
-            Err(err) => return self.take_fault(Fault::Illegal { ip, word, err }),
         };
         match self.exec(ip, instr) {
             Ok(Exec::Done(cost)) => {
@@ -276,50 +300,63 @@ impl Machine {
 
     /// Telemetry hook for one retired instruction: the firehose event plus
     /// cycle attribution to the region owning `ip`.
-    #[inline]
+    #[inline(always)]
     fn observe_retired(&mut self, ip: u32, word: u32, cost: u64) {
         if self.sys.obs.active() {
-            let cycle = self.cycles;
-            self.sys.obs.emit_fine(Event::InstrRetired {
-                cycle,
-                ip,
-                word,
-                cost,
-            });
+            if self.sys.obs.firehose_on() {
+                let cycle = self.cycles;
+                self.sys.obs.emit_fine(Event::InstrRetired {
+                    cycle,
+                    ip,
+                    word,
+                    cost,
+                });
+            }
             self.sys.obs.charge(ip, cost);
         }
     }
 
+    #[inline(always)]
     fn retire(&mut self, cost: u64) {
         self.cycles += cost;
         self.instret += 1;
-        let irqs = self.sys.tick(cost);
-        for irq in irqs {
+        if self.sys.tick_quick(cost) {
+            return;
+        }
+        for irq in self.sys.tick_slow() {
             self.raise_irq(irq);
         }
+    }
+
+    /// The single loop body shared by [`Machine::run`] and
+    /// [`Machine::run_until`]: steps until `pred` holds, the machine
+    /// halts, or the budget runs out, evaluating `pred` exactly once per
+    /// machine state.
+    fn run_inner(&mut self, max_steps: u64, pred: impl Fn(&Machine) -> bool) -> bool {
+        if pred(self) {
+            return true;
+        }
+        for _ in 0..max_steps {
+            let halted = matches!(self.step(), StepOutcome::Halted);
+            if pred(self) {
+                return true;
+            }
+            if halted {
+                return false;
+            }
+        }
+        false
     }
 
     /// Runs until `pred` holds, the machine halts, or `max_steps` step
     /// events elapse. Returns true if `pred` became true.
     pub fn run_until(&mut self, max_steps: u64, pred: impl Fn(&Machine) -> bool) -> bool {
-        for _ in 0..max_steps {
-            if pred(self) {
-                return true;
-            }
-            if let StepOutcome::Halted = self.step() {
-                return pred(self);
-            }
-        }
-        pred(self)
+        self.run_inner(max_steps, pred)
     }
 
     /// Runs until halt or `max_steps` step events.
     pub fn run(&mut self, max_steps: u64) -> RunExit {
-        for _ in 0..max_steps {
-            if let StepOutcome::Halted = self.step() {
-                return RunExit::Halted(self.halted.expect("halted outcome implies reason"));
-            }
-        }
+        self.run_inner(max_steps, |m| m.halted.is_some());
         match self.halted {
             Some(r) => RunExit::Halted(r),
             None => RunExit::StepLimit,

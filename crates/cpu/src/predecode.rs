@@ -1,0 +1,166 @@
+//! The predecode cache: a decoded-instruction side-table.
+//!
+//! `Machine::step` used to re-run the SP32 decoder on every fetched word.
+//! This module caches `(word, Instr)` pairs keyed by fetch address in a
+//! direct-mapped table, the software analogue of an I-cache holding
+//! predecoded micro-ops. Correctness rests on precise invalidation:
+//!
+//! * CPU stores ([`crate::SystemBus::store32`]/`store8`/`store16`) and
+//!   hardware-internal writes (`hw_write32`, which the Secure Loader's
+//!   copy loops use) invalidate the written word's entry — self-modifying
+//!   code and field updates re-decode on next fetch;
+//! * host-side mutation (`host_load`, `device_mut`, remapping) is caught
+//!   by comparing [`trustlite_mem::Bus::host_gen`], which flash-clears
+//!   the table;
+//! * only words fetched from *stable storage*
+//!   ([`trustlite_mem::Bus::is_stable_memory`]) are cached — MMIO windows
+//!   that happen to be executable are always re-read.
+
+use trustlite_isa::Instr;
+
+/// A fetch-grant memo: the `(epoch, slot)` under which the EA-MPU
+/// granted Execute at the cached address (`None` = no memo; the full
+/// check runs). See `EaMpu::exec_check_cached`.
+pub type FetchMemo = Option<(u64, u16)>;
+
+/// Number of direct-mapped entries. At 4 bytes per instruction this
+/// covers 32 KiB of code without conflict misses — larger than any
+/// simulated image in the tree — while keeping the table allocation
+/// trivial (~128 KiB).
+const ENTRIES: usize = 8192;
+
+/// Tag value that can never match a fetch address: instruction fetches
+/// are word-aligned, so an odd tag is unreachable.
+const INVALID_TAG: u32 = 1;
+
+#[derive(Clone, Copy)]
+struct Entry {
+    tag: u32,
+    word: u32,
+    instr: Instr,
+    /// Fetch-grant memo: the `(epoch, slot)` under which the EA-MPU
+    /// granted Execute at `tag`. Validated against the MPU's current
+    /// epoch on every use, so it can never outlive a rule change.
+    memo: FetchMemo,
+}
+
+/// The predecode table.
+pub struct Predecode {
+    entries: Vec<Entry>,
+    enabled: bool,
+    /// Last observed [`trustlite_mem::Bus::host_gen`] value.
+    pub(crate) host_gen: u64,
+}
+
+impl Default for Predecode {
+    fn default() -> Self {
+        Predecode {
+            entries: vec![
+                Entry {
+                    tag: INVALID_TAG,
+                    word: 0,
+                    instr: Instr::Nop,
+                    memo: None,
+                };
+                ENTRIES
+            ],
+            enabled: true,
+            host_gen: 0,
+        }
+    }
+}
+
+impl Predecode {
+    #[inline]
+    fn index(addr: u32) -> usize {
+        (addr as usize >> 2) & (ENTRIES - 1)
+    }
+
+    /// Whether caching is enabled.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Enables or disables the cache; disabling clears it.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+        self.clear();
+    }
+
+    /// Looks up the cached decode of the word at `addr`, along with any
+    /// fetch-grant memo stored beside it.
+    #[inline]
+    pub fn get(&self, addr: u32) -> Option<(u32, Instr, FetchMemo)> {
+        let e = &self.entries[Self::index(addr)];
+        if e.tag == addr {
+            Some((e.word, e.instr, e.memo))
+        } else {
+            None
+        }
+    }
+
+    /// Caches the decode of `word` at `addr`.
+    #[inline]
+    pub fn insert(&mut self, addr: u32, word: u32, instr: Instr, memo: FetchMemo) {
+        self.entries[Self::index(addr)] = Entry {
+            tag: addr,
+            word,
+            instr,
+            memo,
+        };
+    }
+
+    /// Drops the entry covering the word containing `addr`, if cached.
+    #[inline]
+    pub fn invalidate(&mut self, addr: u32) {
+        let word_addr = addr & !3;
+        let e = &mut self.entries[Self::index(word_addr)];
+        if e.tag == word_addr {
+            e.tag = INVALID_TAG;
+        }
+    }
+
+    /// Flash-clears the whole table.
+    pub fn clear(&mut self) {
+        for e in &mut self.entries {
+            e.tag = INVALID_TAG;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_hit_invalidate_cycle() {
+        let mut pd = Predecode::default();
+        assert_eq!(pd.get(0x100), None);
+        pd.insert(0x100, 0xabcd, Instr::Nop, None);
+        assert_eq!(pd.get(0x100), Some((0xabcd, Instr::Nop, None)));
+        // Byte-granular invalidation covers the containing word.
+        pd.invalidate(0x102);
+        assert_eq!(pd.get(0x100), None);
+    }
+
+    #[test]
+    fn direct_mapped_conflict_evicts() {
+        let mut pd = Predecode::default();
+        let a = 0x100;
+        let b = a + (ENTRIES as u32) * 4; // same index, different tag
+        pd.insert(a, 1, Instr::Nop, None);
+        pd.insert(b, 2, Instr::Halt, None);
+        assert_eq!(pd.get(a), None, "evicted by the conflicting insert");
+        assert_eq!(pd.get(b), Some((2, Instr::Halt, None)));
+    }
+
+    #[test]
+    fn clear_drops_everything() {
+        let mut pd = Predecode::default();
+        pd.insert(0x0, 7, Instr::Nop, None);
+        pd.insert(0x4, 8, Instr::Nop, None);
+        pd.clear();
+        assert_eq!(pd.get(0x0), None);
+        assert_eq!(pd.get(0x4), None);
+    }
+}

@@ -1,0 +1,110 @@
+//! Fast-path cache correctness: the predecode table must never serve a
+//! stale decode. Self-modifying code (CPU stores), loader-style
+//! `hw_write32` patches and host-side `host_load` updates all have to be
+//! re-decoded, and running with the caches off must produce bit-identical
+//! architectural state and cycle counts.
+
+use trustlite_cpu::{HaltReason, Machine, RunExit, SystemBus};
+use trustlite_isa::{encode, Asm, Image, Instr, Reg};
+use trustlite_mem::{Bus, Ram};
+use trustlite_mpu::EaMpu;
+
+const SRAM: u32 = 0x1000_0000;
+
+/// A machine whose code lives in RAM (writable), MPU enforcement off.
+fn machine(img: &Image, fast_path: bool) -> Machine {
+    let mut bus = Bus::new();
+    bus.map(SRAM, Box::new(Ram::new("sram", 0x1_0000))).unwrap();
+    assert!(bus.host_load(img.base, &img.bytes));
+    let mut sys = SystemBus::new(bus, EaMpu::new(8), None);
+    sys.enforce = false;
+    sys.set_fast_path(fast_path);
+    Machine::new(sys, img.base)
+}
+
+/// Executes an instruction once (warming the predecode cache), patches it
+/// with an ordinary store, and executes it again: the patched semantics
+/// must win.
+fn self_modifying_image() -> Image {
+    let patch = encode(Instr::Movi {
+        rd: Reg::R2,
+        imm: 99,
+    });
+    let mut a = Asm::new(SRAM);
+    a.li(Reg::R0, patch);
+    a.la(Reg::R1, "target");
+    a.li(Reg::R3, 0);
+    a.label("target");
+    a.movi(Reg::R2, 1); // exactly one word; overwritten on the second pass
+    a.bne(Reg::R3, Reg::R4, "done");
+    a.li(Reg::R3, 1);
+    a.sw(Reg::R1, 0, Reg::R0); // mem[target] <- "movi r2, 99"
+    a.jmp("target");
+    a.label("done");
+    a.halt();
+    a.assemble().unwrap()
+}
+
+#[test]
+fn self_modifying_code_re_decodes() {
+    let img = self_modifying_image();
+    let mut m = machine(&img, true);
+    assert!(matches!(
+        m.run(100),
+        RunExit::Halted(HaltReason::Halt { .. })
+    ));
+    assert_eq!(
+        m.regs.get(Reg::R2),
+        99,
+        "second pass must execute the patched instruction"
+    );
+}
+
+#[test]
+fn self_modifying_code_cycles_match_uncached() {
+    let img = self_modifying_image();
+    let mut fast = machine(&img, true);
+    let mut slow = machine(&img, false);
+    assert!(matches!(fast.run(100), RunExit::Halted(_)));
+    assert!(matches!(slow.run(100), RunExit::Halted(_)));
+    assert_eq!(fast.regs.get(Reg::R2), slow.regs.get(Reg::R2));
+    assert_eq!(fast.cycles, slow.cycles, "caches must not change timing");
+    assert_eq!(fast.instret, slow.instret);
+}
+
+#[test]
+fn hw_write_patch_re_decodes() {
+    // An infinite loop, warmed into the cache, then patched to a halt via
+    // the hardware write path the Secure Loader's copy loops use.
+    let mut a = Asm::new(SRAM);
+    a.label("spin");
+    a.jmp("spin");
+    let img = a.assemble().unwrap();
+    let mut m = machine(&img, true);
+    assert_eq!(m.run(10), RunExit::StepLimit, "spinning");
+    m.sys.hw_write32(SRAM, encode(Instr::Halt)).unwrap();
+    assert!(
+        matches!(m.run(10), RunExit::Halted(HaltReason::Halt { .. })),
+        "patched word must be re-decoded"
+    );
+}
+
+#[test]
+fn host_load_patch_re_decodes() {
+    let mut a = Asm::new(SRAM);
+    a.label("spin");
+    a.jmp("spin");
+    let img = a.assemble().unwrap();
+    let mut m = machine(&img, true);
+    assert_eq!(m.run(10), RunExit::StepLimit, "spinning");
+    // Host-side reprogramming (field update): caught by the bus host
+    // generation counter, which flash-clears the predecode table.
+    assert!(m
+        .sys
+        .bus
+        .host_load(SRAM, &encode(Instr::Halt).to_le_bytes()));
+    assert!(matches!(
+        m.run(10),
+        RunExit::Halted(HaltReason::Halt { .. })
+    ));
+}

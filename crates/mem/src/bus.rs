@@ -42,9 +42,55 @@ struct Mapping {
 /// Mappings are non-overlapping windows; lookup is by binary search over
 /// the sorted window list. Alignment is checked here once so devices can
 /// assume aligned word offsets.
-#[derive(Default)]
+///
+/// # Batched device ticking
+///
+/// With batching on (the default), [`Bus::tick`] accumulates cycles
+/// instead of polling every device each instruction. Devices are caught
+/// up in two situations only: when the accumulated cycles reach the
+/// earliest [`Device::tick_hint`] deadline (so interrupts fire at
+/// exactly the instruction boundary they would have per-step), and
+/// before any access that reaches a tickable device (so MMIO reads see
+/// exact countdown state and writes reprogram devices that are fully up
+/// to date). The observable cycle-by-cycle behaviour is bit-identical
+/// to unbatched ticking; [`Bus::set_batched_ticks`] switches back to
+/// the per-instruction poll for differential testing.
 pub struct Bus {
     mappings: Vec<Mapping>,
+    /// `(base, size, mapping index)` of tickable devices, in base order.
+    tickable: Vec<(u32, u32, usize)>,
+    /// Lowest base and covering span of all tickable windows: a one-compare
+    /// quick reject in front of the per-window scan (RAM traffic never
+    /// pays the scan).
+    tick_lo: u32,
+    tick_span: u32,
+    /// Index of the mapping the previous access resolved to; validated
+    /// before use, so it is only ever a shortcut past the binary search.
+    last_idx: usize,
+    /// Whether [`Bus::lookup`] may use `last_idx`; off reproduces the
+    /// plain binary search for differential runs.
+    lookup_cache: bool,
+    /// Cycles accumulated since devices were last ticked.
+    pending: u64,
+    /// Batch ticks (true) or poll devices every call (false).
+    batched: bool,
+    /// Accumulated-cycle threshold at which devices must be ticked;
+    /// `None` = no device needs proactive ticking. Only meaningful when
+    /// `deadline_valid`.
+    deadline: Option<u64>,
+    deadline_valid: bool,
+    /// Pending-cycle threshold below which [`Bus::tick`] can return
+    /// without touching any device state: `u64::MAX` = nothing will ever
+    /// come due, `0` = the slow path must run (deadline stale, or
+    /// unbatched). Derived from `deadline`/`deadline_valid`/`batched`.
+    armed: u64,
+    /// Interrupts surfaced by an access-triggered catch-up, delivered at
+    /// the next [`Bus::tick`] (the same instruction boundary).
+    stray_irqs: Vec<IrqRequest>,
+    /// Bumped whenever memory contents may change outside the bus write
+    /// path (host loads, host device access, remapping); caches built
+    /// over memory contents must revalidate when this moves.
+    host_gen: u64,
 }
 
 impl fmt::Debug for Bus {
@@ -57,6 +103,26 @@ impl fmt::Debug for Bus {
             );
         }
         d.finish()
+    }
+}
+
+impl Default for Bus {
+    fn default() -> Self {
+        Bus {
+            mappings: Vec::new(),
+            tickable: Vec::new(),
+            tick_lo: 0,
+            tick_span: 0,
+            last_idx: 0,
+            lookup_cache: true,
+            pending: 0,
+            batched: true,
+            deadline: None,
+            deadline_valid: false,
+            armed: 0,
+            stray_irqs: Vec::new(),
+            host_gen: 0,
+        }
     }
 }
 
@@ -77,79 +143,307 @@ impl Bus {
                 return Err(MapError::Overlap { base, size });
             }
         }
+        // Flush first so a newly mapped device never receives cycles that
+        // elapsed before it existed.
+        self.catch_up();
         let pos = self.mappings.partition_point(|m| m.base < base);
         self.mappings.insert(pos, Mapping { base, size, device });
+        self.rebuild_tickable();
+        self.invalidate_deadline();
+        self.host_gen += 1;
         Ok(())
     }
 
+    fn rebuild_tickable(&mut self) {
+        self.tickable = self
+            .mappings
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.device.is_tickable())
+            .map(|(i, m)| (m.base, m.size, i))
+            .collect();
+        self.tick_lo = self.tickable.first().map_or(0, |&(base, _, _)| base);
+        self.tick_span = self
+            .tickable
+            .last()
+            .map_or(0, |&(base, size, _)| base + size - self.tick_lo);
+    }
+
+    #[inline]
+    fn touches_tickable(&self, addr: u32) -> bool {
+        addr.wrapping_sub(self.tick_lo) < self.tick_span
+            && self
+                .tickable
+                .iter()
+                .any(|&(base, size, _)| addr.wrapping_sub(base) < size)
+    }
+
+    /// Delivers all accumulated cycles to the tickable devices now, so
+    /// that an access observes exactly the state it would have seen under
+    /// per-instruction ticking. Interrupts raised during catch-up are
+    /// stashed and returned by the next [`Bus::tick`], i.e. at the same
+    /// instruction boundary where per-step ticking would have raised them.
+    fn catch_up(&mut self) {
+        if self.pending == 0 {
+            return;
+        }
+        let delivered = std::mem::take(&mut self.pending);
+        for &(_, _, idx) in &self.tickable {
+            if let Some(irq) = self.mappings[idx].device.tick(delivered) {
+                self.stray_irqs.push(irq);
+            }
+        }
+        self.invalidate_deadline();
+    }
+
+    fn refresh_deadline(&mut self) {
+        let mut d: Option<u64> = None;
+        for &(_, _, idx) in &self.tickable {
+            if let Some(h) = self.mappings[idx].device.tick_hint() {
+                d = Some(d.map_or(h, |cur| cur.min(h)));
+            }
+        }
+        self.deadline = d;
+        self.deadline_valid = true;
+        self.armed = if self.batched {
+            d.unwrap_or(u64::MAX)
+        } else {
+            0
+        };
+    }
+
+    /// Marks the cached deadline (and the fast-exit threshold) stale.
+    fn invalidate_deadline(&mut self) {
+        self.deadline_valid = false;
+        self.armed = 0;
+    }
+
+    /// Enables or disables batched ticking (enabled by default). Disabling
+    /// flushes accumulated cycles so subsequent per-call ticks resume from
+    /// an exact device state.
+    /// Enables or disables the last-mapping lookup cache (a pure
+    /// shortcut; results are identical either way).
+    pub fn set_lookup_cache(&mut self, on: bool) {
+        self.lookup_cache = on;
+    }
+
+    pub fn set_batched_ticks(&mut self, on: bool) {
+        if !on {
+            self.catch_up();
+        }
+        self.batched = on;
+        self.invalidate_deadline();
+    }
+
+    /// Generation counter for host-side (out-of-band) memory mutation.
+    ///
+    /// Any path that can change memory contents without going through
+    /// [`Bus::write32`]/[`Bus::write8`] — [`Bus::host_load`],
+    /// [`Bus::device_mut`], [`Bus::map`] — bumps this counter. Callers
+    /// that cache derived views of memory (e.g. predecoded instructions)
+    /// compare it to detect staleness.
+    pub fn host_gen(&self) -> u64 {
+        self.host_gen
+    }
+
+    /// True if `addr` is backed by plain storage (see
+    /// [`Device::stable_storage`]): safe to cache derived views of, with
+    /// invalidation driven by bus writes and [`Bus::host_gen`].
+    pub fn is_stable_memory(&self, addr: u32) -> bool {
+        let idx = self.mappings.partition_point(|m| m.base <= addr);
+        if idx == 0 {
+            return false;
+        }
+        let m = &self.mappings[idx - 1];
+        addr - m.base < m.size && m.device.stable_storage()
+    }
+
+    #[inline(always)]
     fn lookup(&mut self, addr: u32) -> Result<(&mut Mapping, u32), BusError> {
+        // Accesses cluster heavily (straight-line code, stack traffic), so
+        // retry the previous mapping before the binary search. The index
+        // is range-validated, so a stale value after remapping only costs
+        // the fallback.
+        if self.lookup_cache {
+            if let Some(m) = self.mappings.get(self.last_idx) {
+                let off = addr.wrapping_sub(m.base);
+                if off < m.size {
+                    return Ok((&mut self.mappings[self.last_idx], off));
+                }
+            }
+        }
         let idx = self.mappings.partition_point(|m| m.base <= addr);
         if idx == 0 {
             return Err(BusError::Unmapped { addr });
         }
-        let m = &mut self.mappings[idx - 1];
+        let m = &self.mappings[idx - 1];
         if addr - m.base >= m.size {
             return Err(BusError::Unmapped { addr });
         }
         let off = addr - m.base;
-        Ok((m, off))
+        self.last_idx = idx - 1;
+        Ok((&mut self.mappings[idx - 1], off))
     }
 
     /// Reads an aligned 32-bit word at `addr`.
+    #[inline(always)]
     pub fn read32(&mut self, addr: u32) -> Result<u32, BusError> {
         if !addr.is_multiple_of(4) {
             return Err(BusError::Misaligned { addr });
         }
-        let (m, off) = self.lookup(addr)?;
-        if off + 4 > m.size {
-            return Err(BusError::Unmapped { addr });
+        let t = self.touches_tickable(addr);
+        if t {
+            self.catch_up();
         }
-        m.device.read32(off).map_err(|e| rebase(e, m.base))
+        let res = {
+            let (m, off) = self.lookup(addr)?;
+            if off + 4 > m.size {
+                return Err(BusError::Unmapped { addr });
+            }
+            m.device.read32(off).map_err(|e| rebase(e, m.base))
+        };
+        if t {
+            self.invalidate_deadline();
+        }
+        res
     }
 
     /// Writes an aligned 32-bit word at `addr`.
+    #[inline(always)]
     pub fn write32(&mut self, addr: u32, value: u32) -> Result<(), BusError> {
         if !addr.is_multiple_of(4) {
             return Err(BusError::Misaligned { addr });
         }
-        let (m, off) = self.lookup(addr)?;
-        if off + 4 > m.size {
-            return Err(BusError::Unmapped { addr });
+        let t = self.touches_tickable(addr);
+        if t {
+            self.catch_up();
         }
-        m.device.write32(off, value).map_err(|e| rebase(e, m.base))
+        let res = {
+            let (m, off) = self.lookup(addr)?;
+            if off + 4 > m.size {
+                return Err(BusError::Unmapped { addr });
+            }
+            m.device.write32(off, value).map_err(|e| rebase(e, m.base))
+        };
+        if t {
+            self.invalidate_deadline();
+        }
+        res
     }
 
     /// Reads one byte at `addr`.
+    #[inline]
     pub fn read8(&mut self, addr: u32) -> Result<u8, BusError> {
-        let (m, off) = self.lookup(addr)?;
-        m.device.read8(off).map_err(|e| rebase(e, m.base))
+        let t = self.touches_tickable(addr);
+        if t {
+            self.catch_up();
+        }
+        let res = {
+            let (m, off) = self.lookup(addr)?;
+            m.device.read8(off).map_err(|e| rebase(e, m.base))
+        };
+        if t {
+            self.invalidate_deadline();
+        }
+        res
     }
 
     /// Writes one byte at `addr`.
+    #[inline]
     pub fn write8(&mut self, addr: u32, value: u8) -> Result<(), BusError> {
-        let (m, off) = self.lookup(addr)?;
-        m.device.write8(off, value).map_err(|e| rebase(e, m.base))
+        let t = self.touches_tickable(addr);
+        if t {
+            self.catch_up();
+        }
+        let res = {
+            let (m, off) = self.lookup(addr)?;
+            m.device.write8(off, value).map_err(|e| rebase(e, m.base))
+        };
+        if t {
+            self.invalidate_deadline();
+        }
+        res
     }
 
-    /// Advances all devices by `cycles` and collects raised interrupts.
+    /// Advances device time by `cycles` and collects raised interrupts.
+    ///
+    /// With batching enabled, cycles accumulate until the earliest
+    /// [`Device::tick_hint`] deadline is reached; devices then receive the
+    /// whole accumulated span in one call, at exactly the instruction
+    /// boundary where per-step ticking would first have made them fire.
+    #[inline]
     pub fn tick(&mut self, cycles: u64) -> Vec<IrqRequest> {
-        self.mappings
-            .iter_mut()
-            .filter_map(|m| m.device.tick(cycles))
-            .collect()
+        if self.tick_quick(cycles) {
+            return Vec::new();
+        }
+        self.tick_slow()
+    }
+
+    /// Accounts `cycles` and returns true when nothing can be due and
+    /// nothing is stashed — the common case, one compare against the
+    /// precomputed threshold. On `false` the caller must run
+    /// [`Bus::tick_slow`] to collect interrupts.
+    ///
+    /// A nonzero `armed` implies no stashed stray interrupts: strays are
+    /// pushed only by [`Bus::catch_up`], which zeroes `armed`, and
+    /// [`Bus::tick_slow`] drains them before re-arming.
+    #[inline]
+    pub fn tick_quick(&mut self, cycles: u64) -> bool {
+        self.pending += cycles;
+        self.pending < self.armed
+    }
+
+    /// The full tick: refreshes the deadline, delivers accumulated
+    /// cycles when due and drains stashed interrupts.
+    pub fn tick_slow(&mut self) -> Vec<IrqRequest> {
+        if !self.deadline_valid {
+            self.refresh_deadline();
+        }
+        let due = !self.batched || self.deadline.is_some_and(|d| self.pending >= d);
+        if due {
+            let delivered = std::mem::take(&mut self.pending);
+            let mut irqs = std::mem::take(&mut self.stray_irqs);
+            for &(_, _, idx) in &self.tickable {
+                if let Some(irq) = self.mappings[idx].device.tick(delivered) {
+                    irqs.push(irq);
+                }
+            }
+            self.refresh_deadline();
+            irqs
+        } else if self.stray_irqs.is_empty() {
+            Vec::new()
+        } else {
+            std::mem::take(&mut self.stray_irqs)
+        }
     }
 
     /// Host-side image load (bypasses read-only protections; models factory
     /// programming and loader copies observed externally).
     pub fn host_load(&mut self, addr: u32, bytes: &[u8]) -> bool {
-        match self.lookup(addr) {
+        self.host_gen += 1;
+        let t = self.touches_tickable(addr);
+        if t {
+            self.catch_up();
+        }
+        let ok = match self.lookup(addr) {
             Ok((m, off)) => m.device.host_load(off, bytes),
             Err(_) => false,
+        };
+        if t {
+            self.invalidate_deadline();
         }
+        ok
     }
 
     /// Looks up a device by name and concrete type for host inspection.
+    ///
+    /// The device is caught up with any accumulated cycles first, and the
+    /// bus conservatively assumes the host mutates it (ticking deadlines
+    /// and memory-content caches are invalidated).
     pub fn device_mut<T: 'static>(&mut self, name: &str) -> Option<&mut T> {
+        self.catch_up();
+        self.invalidate_deadline();
+        self.host_gen += 1;
         self.mappings
             .iter_mut()
             .find(|m| m.device.name() == name)
@@ -270,6 +564,146 @@ mod tests {
         let maps = bus.mappings();
         assert_eq!(maps[0].0, 0x0);
         assert_eq!(maps[1].0, 0x1000);
+    }
+
+    /// A minimal periodic device for batching tests: fires IRQ `line` 7
+    /// every `period` cycles, exposes its countdown at offset 0, and
+    /// counts how many times `tick` was actually invoked.
+    struct TestTimer {
+        period: u64,
+        count: u64,
+        tick_calls: u64,
+    }
+
+    impl TestTimer {
+        fn new(period: u64) -> Self {
+            TestTimer {
+                period,
+                count: period,
+                tick_calls: 0,
+            }
+        }
+    }
+
+    impl Device for TestTimer {
+        fn name(&self) -> &'static str {
+            "ttimer"
+        }
+        fn size(&self) -> u32 {
+            4
+        }
+        fn read32(&mut self, _off: u32) -> Result<u32, BusError> {
+            Ok(self.count as u32)
+        }
+        fn write32(&mut self, _off: u32, value: u32) -> Result<(), BusError> {
+            self.count = value as u64;
+            Ok(())
+        }
+        fn tick(&mut self, cycles: u64) -> Option<IrqRequest> {
+            self.tick_calls += 1;
+            if self.count > cycles {
+                self.count -= cycles;
+                return None;
+            }
+            let overshoot = cycles - self.count;
+            self.count = self.period - (overshoot % self.period);
+            Some(IrqRequest {
+                line: 7,
+                handler: None,
+            })
+        }
+        fn is_tickable(&self) -> bool {
+            true
+        }
+        fn tick_hint(&self) -> Option<u64> {
+            Some(self.count)
+        }
+        fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    use std::any::Any;
+
+    fn timer_bus(batched: bool) -> Bus {
+        let mut bus = Bus::new();
+        bus.map(0x2000, Box::new(TestTimer::new(10))).unwrap();
+        bus.set_batched_ticks(batched);
+        bus
+    }
+
+    #[test]
+    fn batched_irqs_fire_at_identical_boundaries() {
+        let mut batched = timer_bus(true);
+        let mut unbatched = timer_bus(false);
+        for step in 0..100u32 {
+            let a = batched.tick(3);
+            let b = unbatched.tick(3);
+            assert_eq!(a, b, "IRQ divergence at step {step}");
+        }
+        let calls_batched = batched
+            .device_mut::<TestTimer>("ttimer")
+            .unwrap()
+            .tick_calls;
+        let calls_unbatched = unbatched
+            .device_mut::<TestTimer>("ttimer")
+            .unwrap()
+            .tick_calls;
+        assert!(
+            calls_batched < calls_unbatched,
+            "batching must reduce tick calls ({calls_batched} vs {calls_unbatched})"
+        );
+    }
+
+    #[test]
+    fn access_catches_device_up_mid_interval() {
+        let mut bus = timer_bus(true);
+        assert!(bus.tick(3).is_empty());
+        assert!(bus.tick(4).is_empty());
+        // 7 cycles elapsed but below the period-10 deadline: the device
+        // has not been polled yet, so the read must trigger catch-up.
+        assert_eq!(bus.read32(0x2000), Ok(3));
+    }
+
+    #[test]
+    fn reprogramming_after_catch_up_moves_deadline() {
+        let mut bus = timer_bus(true);
+        assert!(bus.tick(4).is_empty());
+        // Reprogram the countdown mid-interval; the 4 already-elapsed
+        // cycles were delivered before the write, so the new deadline is
+        // 100 cycles from now, not from the last flush.
+        bus.write32(0x2000, 100).unwrap();
+        for _ in 0..99 {
+            assert!(bus.tick(1).is_empty());
+        }
+        assert_eq!(bus.tick(1).len(), 1, "fires exactly 100 cycles later");
+    }
+
+    #[test]
+    fn host_gen_tracks_out_of_band_mutation() {
+        let mut bus = bus_with_ram();
+        let g0 = bus.host_gen();
+        bus.read32(0x1000).unwrap();
+        bus.write32(0x1000, 1).unwrap();
+        assert_eq!(bus.host_gen(), g0, "bus accesses are in-band");
+        bus.host_load(0x4, &[1, 2, 3, 4]);
+        assert!(bus.host_gen() > g0, "host_load is out-of-band");
+        let g1 = bus.host_gen();
+        let _: Option<&mut Ram> = bus.device_mut("sram");
+        assert!(bus.host_gen() > g1, "device_mut is out-of-band");
+        let g2 = bus.host_gen();
+        bus.map(0x9000, Box::new(Ram::new("x", 0x100))).unwrap();
+        assert!(bus.host_gen() > g2, "mapping is out-of-band");
+    }
+
+    #[test]
+    fn stable_memory_classification() {
+        let mut bus = bus_with_ram();
+        bus.map(0x2000, Box::new(TestTimer::new(10))).unwrap();
+        assert!(bus.is_stable_memory(0x1000), "RAM is stable storage");
+        assert!(bus.is_stable_memory(0x0), "ROM is stable storage");
+        assert!(!bus.is_stable_memory(0x2000), "devices are not");
+        assert!(!bus.is_stable_memory(0x5000), "unmapped is not");
     }
 
     #[test]

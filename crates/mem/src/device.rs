@@ -100,6 +100,38 @@ pub trait Device: Any {
         None
     }
 
+    /// True if [`Device::tick`] does anything at all for this device.
+    ///
+    /// The bus batches per-instruction ticking: tickable devices are
+    /// caught up with the accumulated cycles before any bus access
+    /// reaches them, and [`Device::tick_hint`] bounds how long ticking
+    /// may be deferred between accesses. A device that overrides `tick`
+    /// MUST override this to return true, or its ticks will be skipped.
+    fn is_tickable(&self) -> bool {
+        false
+    }
+
+    /// An exactness bound for batched ticking: `Some(n)` means `tick`
+    /// is a pure countdown (no interrupt, no observable state change at
+    /// an instruction boundary) until `n` more cycles have elapsed, so
+    /// the bus must deliver accumulated cycles once they reach `n`.
+    /// `Some(0)` demands a tick at the very next instruction boundary.
+    /// `None` means time alone never changes the device's observable
+    /// behaviour — it only needs catching up when it is next accessed.
+    ///
+    /// Only consulted when [`Device::is_tickable`] is true.
+    fn tick_hint(&self) -> Option<u64> {
+        None
+    }
+
+    /// True if the device is plain storage: its contents change only
+    /// through bus writes and [`Device::host_load`], never spontaneously,
+    /// and reads are side-effect free. The CPU's predecode cache only
+    /// caches instruction words fetched from stable storage.
+    fn stable_storage(&self) -> bool {
+        false
+    }
+
     /// Host-side (out-of-band) image load used by reset logic to program
     /// PROM and preload RAM. Returns false if the device is not loadable.
     fn host_load(&mut self, _off: u32, _bytes: &[u8]) -> bool {

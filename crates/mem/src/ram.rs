@@ -73,6 +73,10 @@ impl Device for Ram {
         true
     }
 
+    fn stable_storage(&self) -> bool {
+        true
+    }
+
     fn as_any(&mut self) -> &mut dyn Any {
         self
     }
@@ -133,6 +137,10 @@ impl Device for Rom {
             return false;
         }
         self.data[start..end].copy_from_slice(bytes);
+        true
+    }
+
+    fn stable_storage(&self) -> bool {
         true
     }
 

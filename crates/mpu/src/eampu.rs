@@ -95,6 +95,135 @@ impl core::fmt::Display for ProgramError {
 
 impl std::error::Error for ProgramError {}
 
+/// Bitmask over the first 256 rule slots: bit `i` set means slot `i` is
+/// enabled and its object range contains the current instruction pointer.
+///
+/// Two instruction pointers with equal masks are indistinguishable to
+/// every rule's subject test ([`Subject::Region`] indices are `u8`, so
+/// slots past 255 can never be subjects), which is what lets grant-cache
+/// entries be shared across an IP range.
+type SubjectMask = [u64; 4];
+
+fn mask_bit(mask: &SubjectMask, idx: u8) -> bool {
+    mask[(idx >> 6) as usize] & (1 << (idx & 63)) != 0
+}
+
+/// One micro-TLB entry: for any access with the subject mask identified
+/// by `epoch`, kind `kind` and address in `[lo, lo + len)`, the
+/// first-match scan resolves to `slot` (`None` = denial). Windows are
+/// derived so that every slot's eligibility and containment verdict is
+/// constant across the window, making the cached outcome exact, not
+/// approximate.
+///
+/// Entries reference the subject mask by *epoch* rather than storing the
+/// 256-bit mask itself: the cache assigns each distinct mask an epoch
+/// (see `GrantCache::masks`) and keeps the current one in
+/// `GrantCache::epoch`, so a probe compares one word instead of four. An
+/// entry whose epoch is not current simply misses — but becomes live
+/// again when execution returns to its mask. Epochs are 64-bit and never
+/// reassigned, so an evicted mask's entries can never be resurrected by
+/// a different mask.
+#[derive(Debug, Clone, Copy)]
+struct GrantEntry {
+    lo: u32,
+    /// Window length. `addr` hits iff `addr - lo < len` (wrapping), which
+    /// also keeps `u32::MAX` out of every well-formed window.
+    len: u32,
+    epoch: u64,
+    kind: AccessKind,
+    slot: Option<u16>,
+}
+
+/// Cached subject mask, valid while the IP stays inside `[lo, hi)`.
+#[derive(Debug, Clone, Copy)]
+struct SubjectWindow {
+    lo: u32,
+    hi: u32,
+    mask: SubjectMask,
+    valid: bool,
+}
+
+const GRANT_CACHE_WAYS: usize = 16;
+
+/// Number of subject masks the cache can keep live at once.
+const SUBJECT_EPOCHS: usize = 8;
+
+/// Number of subject windows remembered to skip recomputation when
+/// execution crosses back into a previously visited code region.
+const SUBJECT_WINDOWS: usize = 8;
+
+/// The grant micro-TLB. Flash-cleared on any slot mutation so cached
+/// verdicts can never outlive the rules they were derived from.
+#[derive(Debug, Clone)]
+struct GrantCache {
+    enabled: bool,
+    entries: [Option<GrantEntry>; GRANT_CACHE_WAYS],
+    /// Round-robin victim pointer.
+    next: usize,
+    /// Per-access-kind way of the most recent hit or fill: fetches, loads
+    /// and stores each tend to revisit one window, so probing this way
+    /// first usually skips the scan.
+    last_hit: [usize; 3],
+    subject: SubjectWindow,
+    /// Identifier of the current subject mask; entries from other epochs
+    /// never hit.
+    epoch: u64,
+    /// Recently seen masks and their epochs. Returning to a known mask
+    /// (the OS/trustlet call-return ping-pong) restores its epoch, so
+    /// that mask's entries become live again instead of the whole cache
+    /// flushing on every domain crossing. Epoch 0 marks an empty row and
+    /// is never assigned to a mask.
+    masks: [(SubjectMask, u64); SUBJECT_EPOCHS],
+    /// Round-robin victim pointer for `masks`.
+    mask_next: usize,
+    /// Recently computed subject windows and their epochs: crossing back
+    /// into a known window (call/return, scheduler round-robin) restores
+    /// it without re-scanning the slots.
+    windows: [Option<(SubjectWindow, u64)>; SUBJECT_WINDOWS],
+    /// Round-robin victim pointer for `windows`.
+    window_next: usize,
+    /// Last epoch handed out; monotonic, so an evicted mask's entries can
+    /// never be revalidated by a different mask.
+    epoch_next: u64,
+}
+
+impl GrantCache {
+    fn new() -> Self {
+        GrantCache {
+            enabled: true,
+            entries: [None; GRANT_CACHE_WAYS],
+            next: 0,
+            last_hit: [0; 3],
+            subject: SubjectWindow {
+                lo: 0,
+                hi: 0,
+                mask: [0; 4],
+                valid: false,
+            },
+            epoch: 0,
+            masks: [([0; 4], 0); SUBJECT_EPOCHS],
+            mask_next: 0,
+            windows: [None; SUBJECT_WINDOWS],
+            window_next: 0,
+            epoch_next: 0,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.entries = [None; GRANT_CACHE_WAYS];
+        self.next = 0;
+        self.subject.valid = false;
+        // Retire every outstanding epoch: memos held outside the MPU
+        // (the predecode fetch-grant memo) validate by epoch compare
+        // alone, so a rule change must make every old epoch unmatchable.
+        self.masks = [([0; 4], 0); SUBJECT_EPOCHS];
+        self.mask_next = 0;
+        self.windows = [None; SUBJECT_WINDOWS];
+        self.window_next = 0;
+        self.epoch = 0;
+    }
+}
+
 /// The Execution-Aware MPU.
 ///
 /// The number of rule slots is fixed at construction, mirroring hardware
@@ -103,6 +232,18 @@ impl std::error::Error for ProgramError {}
 /// slot registers; the paper notes the range comparators evaluate in
 /// parallel, so a check adds **zero** cycles to the memory access path
 /// (Section 5.3) — the simulator charges no time for it.
+///
+/// # Grant cache
+///
+/// [`EaMpu::check`] consults a small micro-TLB before the linear slot
+/// scan. Entries record the first-match outcome (granting slot index or
+/// denial) together with the exact `(subject-IP, address)` window over
+/// which that outcome provably holds, so hits reproduce the scan
+/// bit-identically: the same slot counter is bumped, the same fault is
+/// latched. The cache is flash-invalidated by [`EaMpu::set_rule`],
+/// [`EaMpu::lock_slot`], [`EaMpu::reset`] and the MMIO write path, and
+/// can be switched off with [`EaMpu::set_grant_cache`] for differential
+/// testing.
 #[derive(Debug, Clone)]
 pub struct EaMpu {
     slots: Vec<RuleSlot>,
@@ -118,6 +259,7 @@ pub struct EaMpu {
     slot_hits: Vec<u64>,
     /// Latched record of the most recent fault, for handler inspection.
     last_fault: Option<MpuFault>,
+    cache: GrantCache,
 }
 
 impl EaMpu {
@@ -130,7 +272,20 @@ impl EaMpu {
             deny_count: 0,
             slot_hits: vec![0; slots],
             last_fault: None,
+            cache: GrantCache::new(),
         }
+    }
+
+    /// Enables or disables the grant micro-TLB (enabled by default).
+    /// Disabling clears it, so re-enabling starts cold.
+    pub fn set_grant_cache(&mut self, on: bool) {
+        self.cache.enabled = on;
+        self.cache.clear();
+    }
+
+    /// Whether the grant micro-TLB is enabled.
+    pub fn grant_cache_enabled(&self) -> bool {
+        self.cache.enabled
     }
 
     /// Number of rule slots in this instantiation.
@@ -160,6 +315,7 @@ impl EaMpu {
         }
         *slot = rule;
         self.write_count += 3;
+        self.cache.clear();
         Ok(())
     }
 
@@ -168,6 +324,7 @@ impl EaMpu {
     pub(crate) fn mmio_set_slot_raw(&mut self, index: usize, rule: RuleSlot) {
         self.slots[index] = rule;
         self.write_count += 1;
+        self.cache.clear();
     }
 
     /// Locks a slot until reset.
@@ -177,6 +334,7 @@ impl EaMpu {
             .get_mut(index)
             .ok_or(ProgramError::BadSlot(index))?;
         slot.locked = true;
+        self.cache.clear();
         Ok(())
     }
 
@@ -194,6 +352,7 @@ impl EaMpu {
             *h = 0;
         }
         self.last_fault = None;
+        self.cache.clear();
     }
 
     /// The register-write performance counter.
@@ -227,6 +386,43 @@ impl EaMpu {
         self.last_fault = None;
     }
 
+    /// Replays an Execute check whose grant was memoised under `epoch`
+    /// for the exact fetch address: if the subject mask of `subject_ip`
+    /// still carries that epoch, the counters are bumped exactly as the
+    /// full check would and `true` is returned; otherwise nothing happens
+    /// and the caller must run [`EaMpu::check`].
+    #[inline]
+    pub fn exec_check_cached(&mut self, subject_ip: u32, epoch: u64, slot: u16) -> bool {
+        if !self.cache.enabled {
+            return false;
+        }
+        self.refresh_subject(subject_ip);
+        if epoch == 0 || epoch != self.cache.epoch {
+            return false;
+        }
+        self.check_count += 1;
+        self.slot_hits[slot as usize] += 1;
+        true
+    }
+
+    /// The `(epoch, slot)` memo for an Execute access at `addr` that the
+    /// grant cache can currently vouch for (i.e. the check just ran and
+    /// granted). `None` when the cache is off or holds no such entry.
+    pub fn exec_memo(&self, addr: u32) -> Option<(u64, u16)> {
+        if !self.cache.enabled {
+            return None;
+        }
+        let epoch = self.cache.epoch;
+        self.cache
+            .entries
+            .iter()
+            .flatten()
+            .find(|e| {
+                e.epoch == epoch && e.kind == AccessKind::Execute && addr.wrapping_sub(e.lo) < e.len
+            })
+            .and_then(|e| e.slot.map(|s| (epoch, s)))
+    }
+
     fn subject_matches(&self, subject: Subject, ip: u32) -> bool {
         match subject {
             Subject::Any => true,
@@ -256,11 +452,172 @@ impl EaMpu {
         self.matching_slot(ip, addr, kind).is_some()
     }
 
+    /// Computes the subject mask for `ip` together with the half-open IP
+    /// window over which it stays constant: crossing any enabled slot's
+    /// start or end boundary can flip a bit, so the window is clamped to
+    /// the nearest boundary on each side.
+    fn compute_subject_window(&self, ip: u32) -> SubjectWindow {
+        let mut mask: SubjectMask = [0; 4];
+        let (mut lo, mut hi) = (0u32, u32::MAX);
+        for (i, s) in self.slots.iter().take(256).enumerate() {
+            if !s.enabled {
+                continue;
+            }
+            if s.contains(ip) {
+                mask[i >> 6] |= 1 << (i & 63);
+                lo = lo.max(s.start);
+                hi = hi.min(s.end);
+            } else if s.end <= ip {
+                lo = lo.max(s.end);
+            } else {
+                // !contains and end > ip implies start > ip.
+                hi = hi.min(s.start);
+            }
+        }
+        SubjectWindow {
+            lo,
+            hi,
+            mask,
+            valid: true,
+        }
+    }
+
+    /// Ensures the cached subject window covers `ip`, recomputing it (and
+    /// bumping the mask epoch if the mask actually changed) when the IP
+    /// has crossed a window boundary. The in-window test runs 1–2 times
+    /// per instruction, so it is forced inline; the crossing path stays
+    /// outlined.
+    #[inline(always)]
+    fn refresh_subject(&mut self, ip: u32) {
+        let w = &self.cache.subject;
+        if w.valid && ip >= w.lo && ip < w.hi {
+            return;
+        }
+        self.refresh_subject_crossed(ip);
+    }
+
+    /// The window-crossing half of [`EaMpu::refresh_subject`].
+    fn refresh_subject_crossed(&mut self, ip: u32) {
+        if let Some(&(win, e)) = self
+            .cache
+            .windows
+            .iter()
+            .flatten()
+            .find(|(w, _)| ip >= w.lo && ip < w.hi)
+        {
+            self.cache.subject = win;
+            self.cache.epoch = e;
+            return;
+        }
+        let nw = self.compute_subject_window(ip);
+        if !(self.cache.subject.valid && nw.mask == self.cache.subject.mask) {
+            if let Some(&(_, e)) = self
+                .cache
+                .masks
+                .iter()
+                .find(|&&(m, e)| e != 0 && m == nw.mask)
+            {
+                self.cache.epoch = e;
+            } else {
+                self.cache.epoch_next += 1;
+                self.cache.epoch = self.cache.epoch_next;
+                self.cache.masks[self.cache.mask_next] = (nw.mask, self.cache.epoch);
+                self.cache.mask_next = (self.cache.mask_next + 1) % SUBJECT_EPOCHS;
+            }
+        }
+        self.cache.windows[self.cache.window_next] = Some((nw, self.cache.epoch));
+        self.cache.window_next = (self.cache.window_next + 1) % SUBJECT_WINDOWS;
+        self.cache.subject = nw;
+    }
+
+    /// Runs the first-match scan for `(mask, addr, kind)` and derives the
+    /// exact address window over which its outcome holds: every eligible
+    /// slot (enabled, kind granted, subject matched — all independent of
+    /// `addr`) that does *not* contain `addr` pushes the window off its
+    /// range, and the winning slot clamps the window onto its own.
+    fn compute_grant_entry(&self, addr: u32, kind: AccessKind) -> GrantEntry {
+        let mask = self.cache.subject.mask;
+        let epoch = self.cache.epoch;
+        let (mut lo, mut hi) = (0u32, u32::MAX);
+        for (i, s) in self.slots.iter().enumerate() {
+            if !s.enabled || !s.perms.allows(kind) {
+                continue;
+            }
+            let subject_ok = match s.subject {
+                Subject::Any => true,
+                Subject::Region(r) => mask_bit(&mask, r),
+            };
+            if !subject_ok {
+                continue;
+            }
+            if s.contains(addr) {
+                let lo = lo.max(s.start);
+                return GrantEntry {
+                    lo,
+                    len: hi.min(s.end) - lo,
+                    epoch,
+                    kind,
+                    slot: Some(i as u16),
+                };
+            } else if s.end <= addr {
+                lo = lo.max(s.end);
+            } else {
+                hi = hi.min(s.start);
+            }
+        }
+        GrantEntry {
+            lo,
+            len: hi - lo,
+            epoch,
+            kind,
+            slot: None,
+        }
+    }
+
     /// Validates an access, latching and returning a fault on denial.
     /// Updates the check/denial/per-slot performance counters.
+    #[inline(always)]
     pub fn check(&mut self, ip: u32, addr: u32, kind: AccessKind) -> Result<(), MpuFault> {
         self.check_count += 1;
-        match self.matching_slot(ip, addr, kind) {
+        let matched = if self.cache.enabled {
+            self.refresh_subject(ip);
+            let epoch = self.cache.epoch;
+            let matches = |e: &GrantEntry| {
+                e.epoch == epoch && e.kind == kind && addr.wrapping_sub(e.lo) < e.len
+            };
+            // Probe the way this kind last hit before scanning: each kind
+            // (fetch/load/store) usually streams within one window.
+            let way = self.cache.last_hit[kind as usize];
+            let hit = match self.cache.entries[way] {
+                Some(ref e) if matches(e) => Some((way, *e)),
+                _ => self
+                    .cache
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .find_map(|(i, e)| e.filter(|e| matches(e)).map(|e| (i, e))),
+            };
+            match hit {
+                Some((i, e)) => {
+                    self.cache.last_hit[kind as usize] = i;
+                    e.slot.map(usize::from)
+                }
+                None => {
+                    let e = self.compute_grant_entry(addr, kind);
+                    // Windows are exclusive at the top, so addr == u32::MAX
+                    // can never be covered; fall through uncached.
+                    if addr != u32::MAX {
+                        self.cache.entries[self.cache.next] = Some(e);
+                        self.cache.last_hit[kind as usize] = self.cache.next;
+                        self.cache.next = (self.cache.next + 1) % GRANT_CACHE_WAYS;
+                    }
+                    e.slot.map(usize::from)
+                }
+            }
+        } else {
+            self.matching_slot(ip, addr, kind)
+        };
+        match matched {
             Some(slot) => {
                 self.slot_hits[slot] += 1;
                 Ok(())
@@ -588,6 +945,73 @@ mod tests {
             m.find_exec_region(0x8500),
             None,
             "data region is not executable"
+        );
+    }
+
+    #[test]
+    fn grant_cache_matches_uncached_counters() {
+        let mut cached = figure3_like();
+        let mut plain = figure3_like();
+        plain.set_grant_cache(false);
+        let probes = [
+            (0x0100, 0x8004, AccessKind::Write),
+            (0x0100, 0x8004, AccessKind::Write), // repeat: cache hit path
+            (0x0100, 0x9004, AccessKind::Read),  // denied
+            (0x0100, 0x9004, AccessKind::Read),  // denied again, from cache
+            (0x1100, 0x9ffc, AccessKind::Write),
+            (0x1100, 0xf000, AccessKind::Read),
+            (0x0ffc, 0x8000, AccessKind::Read), // ip at code-region edge
+            (0x1000, 0x8000, AccessKind::Read), // ip one past: now B, denied
+        ];
+        for &(ip, addr, kind) in &probes {
+            assert_eq!(
+                cached.check(ip, addr, kind),
+                plain.check(ip, addr, kind),
+                "verdict diverged at {ip:#x}/{addr:#x}/{kind:?}"
+            );
+        }
+        assert_eq!(cached.check_count(), plain.check_count());
+        assert_eq!(cached.deny_count(), plain.deny_count());
+        assert_eq!(cached.slot_hits(), plain.slot_hits());
+        assert_eq!(cached.last_fault(), plain.last_fault());
+    }
+
+    #[test]
+    fn grant_cache_invalidated_by_rule_write() {
+        let mut m = figure3_like();
+        assert!(m.check(0x0100, 0x8004, AccessKind::Write).is_ok());
+        // Revoke A's data rule; the cached grant must not survive.
+        m.set_rule(2, RuleSlot::EMPTY).unwrap();
+        assert!(m.check(0x0100, 0x8004, AccessKind::Write).is_err());
+        // And re-granting must undo the cached denial.
+        m.set_rule(
+            2,
+            RuleSlot {
+                start: 0x8000,
+                end: 0x9000,
+                perms: Perms::RW,
+                subject: Subject::Region(0),
+                enabled: true,
+                locked: false,
+            },
+        )
+        .unwrap();
+        assert!(m.check(0x0100, 0x8004, AccessKind::Write).is_ok());
+    }
+
+    #[test]
+    fn grant_cache_respects_subject_boundaries() {
+        let mut m = figure3_like();
+        // Warm the cache with A's grant, then probe from B's code at the
+        // same object address: the subject mask differs, so the entry
+        // must not apply.
+        assert!(m.check(0x0100, 0x8004, AccessKind::Write).is_ok());
+        assert!(m.check(0x1100, 0x8004, AccessKind::Write).is_err());
+        // IPs outside any code region share the empty mask.
+        assert!(m.check(0x4000, 0x8004, AccessKind::Write).is_err());
+        assert!(
+            m.check(0x5000, 0xf004, AccessKind::Read).is_ok(),
+            "Any-subject rule"
         );
     }
 

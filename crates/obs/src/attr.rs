@@ -32,8 +32,17 @@ pub struct Attribution {
     specials: BTreeMap<String, u64>,
     /// Cache: domain of the previous charge (`None` = `other`).
     last: Option<usize>,
+    /// The range of `last` that matched, when `last` is `Some`:
+    /// straight-line execution pays one wrapping compare per charge.
+    last_lo: u32,
+    last_len: u32,
     /// Whether any charge has happened yet (first never "switches").
     primed: bool,
+    /// Number of context switches observed (owning domain changed
+    /// between consecutive charges). Kept here so the hot switch path
+    /// does not pay a by-name registry update; the machine mirrors it
+    /// into the metrics registry at snapshot time.
+    switches: u64,
 }
 
 /// Name of the catch-all domain for IPs outside every registered range.
@@ -67,6 +76,7 @@ impl Attribution {
         self.specials.clear();
         self.last = None;
         self.primed = false;
+        self.switches = 0;
     }
 
     /// Zeroes the counts but keeps the registered domains.
@@ -78,6 +88,12 @@ impl Attribution {
         self.specials.clear();
         self.last = None;
         self.primed = false;
+        self.switches = 0;
+    }
+
+    /// Context switches observed since the counts were last cleared.
+    pub fn switch_count(&self) -> u64 {
+        self.switches
     }
 
     /// True if any domain is registered.
@@ -95,13 +111,20 @@ impl Attribution {
         self.name_of(self.last)
     }
 
-    fn lookup(&self, ip: u32) -> Option<usize> {
-        self.domains
-            .iter()
-            .position(|d| d.ranges.iter().any(|&(s, e)| ip >= s && ip < e))
+    /// Finds the owning domain and the specific range that matched.
+    fn lookup(&self, ip: u32) -> Option<(usize, u32, u32)> {
+        self.domains.iter().enumerate().find_map(|(i, d)| {
+            d.ranges
+                .iter()
+                .find(|&&(s, e)| ip >= s && ip < e)
+                .map(|&(s, e)| (i, s, e))
+        })
     }
 
-    fn name_of(&self, idx: Option<usize>) -> &str {
+    /// Name of the domain at `idx`, with `None` meaning the catch-all
+    /// [`OTHER_DOMAIN`] (the index form returned by
+    /// [`Attribution::charge`]).
+    pub fn name_of(&self, idx: Option<usize>) -> &str {
         match idx {
             Some(i) => &self.domains[i].name,
             None => OTHER_DOMAIN,
@@ -109,18 +132,18 @@ impl Attribution {
     }
 
     /// Charges `cost` cycles to the domain owning `ip`. Returns
-    /// `Some((from, to))` when the owning domain differs from the
-    /// previous charge's domain (a context switch).
+    /// `Some((from, to))` domain indices (resolvable through
+    /// [`Attribution::name_of`]) when the owning domain differs from the
+    /// previous charge's domain (a context switch). Indices instead of
+    /// names keep the switch path allocation-free — sinks that want
+    /// strings resolve them only when they actually record the event.
     #[inline]
-    pub fn charge(&mut self, ip: u32, cost: u64) -> Option<(String, String)> {
-        // Fast path: same domain as the previous charge.
+    #[allow(clippy::type_complexity)]
+    pub fn charge(&mut self, ip: u32, cost: u64) -> Option<(Option<usize>, Option<usize>)> {
+        // Fast path: still inside the range the previous charge matched.
         if self.primed {
             if let Some(i) = self.last {
-                if self.domains[i]
-                    .ranges
-                    .iter()
-                    .any(|&(s, e)| ip >= s && ip < e)
-                {
+                if ip.wrapping_sub(self.last_lo) < self.last_len {
                     self.counts[i] += cost;
                     return None;
                 }
@@ -129,17 +152,23 @@ impl Attribution {
                 return None;
             }
         }
-        let idx = self.lookup(ip);
-        match idx {
-            Some(i) => self.counts[i] += cost,
-            None => self.other += cost,
-        }
+        let hit = self.lookup(ip);
+        let idx = match hit {
+            Some((i, s, e)) => {
+                self.counts[i] += cost;
+                self.last_lo = s;
+                self.last_len = e - s;
+                Some(i)
+            }
+            None => {
+                self.other += cost;
+                None
+            }
+        };
         let switched = self.primed && idx != self.last;
         let result = if switched {
-            Some((
-                self.name_of(self.last).to_string(),
-                self.name_of(idx).to_string(),
-            ))
+            self.switches += 1;
+            Some((self.last, idx))
         } else {
             None
         };
@@ -213,14 +242,10 @@ mod tests {
         let mut a = setup();
         assert_eq!(a.charge(0x1100, 1), None, "first charge never switches");
         assert_eq!(a.charge(0x1104, 1), None, "same domain");
-        assert_eq!(
-            a.charge(0x4100, 1),
-            Some(("os".to_string(), "t0".to_string()))
-        );
-        assert_eq!(
-            a.charge(0x9000, 1),
-            Some(("t0".to_string(), "other".to_string()))
-        );
+        let sw = a.charge(0x4100, 1).expect("os -> t0 switches");
+        assert_eq!((a.name_of(sw.0), a.name_of(sw.1)), ("os", "t0"));
+        let sw = a.charge(0x9000, 1).expect("t0 -> other switches");
+        assert_eq!((a.name_of(sw.0), a.name_of(sw.1)), ("t0", "other"));
         assert_eq!(a.charge(0x9004, 1), None, "other -> other");
     }
 

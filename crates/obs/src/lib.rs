@@ -162,12 +162,11 @@ impl Recorder {
         let now = self.now;
         let opening = !self.attr.is_primed();
         if let Some((from, to)) = self.attr.charge(ip, cost) {
-            self.metrics.inc("sched.context_switches");
             if self.events_on() {
                 self.ring.push(Event::ContextSwitch {
                     cycle: now,
-                    from,
-                    to,
+                    from: self.attr.name_of(from).to_string(),
+                    to: self.attr.name_of(to).to_string(),
                     ip,
                 });
             }

@@ -196,6 +196,13 @@ impl Device for CryptoAccel {
         None
     }
 
+    fn is_tickable(&self) -> bool {
+        true
+    }
+
+    // tick_hint stays `None`: the busy countdown raises no interrupt and
+    // is only observable through MMIO, so catching up on access suffices.
+
     fn as_any(&mut self) -> &mut dyn Any {
         self
     }

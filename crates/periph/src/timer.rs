@@ -143,6 +143,20 @@ impl Device for Timer {
         })
     }
 
+    fn is_tickable(&self) -> bool {
+        true
+    }
+
+    fn tick_hint(&self) -> Option<u64> {
+        // Pure countdown until the next fire; the bus may defer ticking
+        // until `count` cycles have accumulated.
+        if self.enabled() {
+            Some(self.count)
+        } else {
+            None
+        }
+    }
+
     fn as_any(&mut self) -> &mut dyn Any {
         self
     }

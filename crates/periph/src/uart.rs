@@ -133,6 +133,23 @@ impl Device for Uart {
         })
     }
 
+    fn is_tickable(&self) -> bool {
+        true
+    }
+
+    fn tick_hint(&self) -> Option<u64> {
+        // The RX interrupt is level-triggered by queue state, not time:
+        // demand an immediate tick whenever the line state must change
+        // (raise when data is waiting, clear when drained); otherwise
+        // time alone changes nothing.
+        self.irq_line?;
+        if self.rx.is_empty() == self.irq_raised {
+            Some(0)
+        } else {
+            None
+        }
+    }
+
     fn as_any(&mut self) -> &mut dyn Any {
         self
     }

@@ -67,3 +67,31 @@ fn scheduling_workload_is_deterministic() {
     };
     assert_eq!(run(), run());
 }
+
+#[test]
+fn fast_path_caches_are_architecturally_invisible() {
+    // The predecode table, EA-MPU grant cache, batched device ticks and
+    // bus lookup cache are pure accelerations: running each macro
+    // workload with them off and on must produce bit-identical
+    // architectural state, cycle counts and instruction counts.
+    for workload in ["quickstart", "preemptive_os", "trusted_ipc"] {
+        let run = |fast: bool| {
+            let mut p =
+                trustlite_bench::throughput::build_workload(workload, trustlite::ObsLevel::Off);
+            p.machine.sys.set_fast_path(fast);
+            let _ = p.run(60_000);
+            (p.machine.instret, p.machine.cycles, state_digest(&mut p))
+        };
+        let (slow_instret, slow_cycles, slow_digest) = run(false);
+        let (fast_instret, fast_cycles, fast_digest) = run(true);
+        assert_eq!(
+            (fast_instret, fast_cycles),
+            (slow_instret, slow_cycles),
+            "{workload}: fast path changed the observable counters"
+        );
+        assert_eq!(
+            fast_digest, slow_digest,
+            "{workload}: fast path changed architectural state"
+        );
+    }
+}
