@@ -20,39 +20,9 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-/// Nanoseconds of CPU time consumed by the calling thread.
-///
-/// Throughput is computed from thread CPU time rather than wall time:
-/// the benchmark shares its host with arbitrary other load, and
-/// `CLOCK_THREAD_CPUTIME_ID` does not advance while the thread is
-/// preempted, which removes the dominant noise source. Declared
-/// directly against libc (which every Rust binary already links) to
-/// avoid a dependency.
-#[cfg(target_os = "linux")]
-fn thread_cpu_ns() -> u64 {
-    #[repr(C)]
-    struct Timespec {
-        sec: i64,
-        nsec: i64,
-    }
-    extern "C" {
-        fn clock_gettime(id: i32, tp: *mut Timespec) -> i32;
-    }
-    const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
-    let mut ts = Timespec { sec: 0, nsec: 0 };
-    // SAFETY: clock_gettime writes one Timespec through a valid pointer.
-    let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
-    assert_eq!(rc, 0, "clock_gettime(CLOCK_THREAD_CPUTIME_ID) failed");
-    ts.sec as u64 * 1_000_000_000 + ts.nsec as u64
-}
-
-#[cfg(not(target_os = "linux"))]
-fn thread_cpu_ns() -> u64 {
-    0 // Fall back to wall time below.
-}
-
 use trustlite::ObsLevel;
 use trustlite_bench::throughput::{build_workload, WORKLOADS};
+use trustlite_bench::timing::{is_noisy, thread_cpu_ns, wall_cpu_ratio};
 use trustlite_cpu::RunExit;
 
 const LEVELS: [(ObsLevel, &str); 4] = [
@@ -150,9 +120,24 @@ fn main() {
     let mut rows = String::new();
     let mut min_speedup_off = f64::INFINITY; // the acceptance gate
     let mut min_speedup_hot = f64::INFINITY; // across Off + Metrics
+    let mut noisy_runs = 0usize;
     for workload in WORKLOADS {
         for (level, level_name) in LEVELS {
             let (slow, fast) = measure(workload, level, steps);
+            // Wall/CPU divergence: a best-of-REPS run whose wall time
+            // still exceeds its CPU time means the host was contended
+            // for the *whole* measurement — flag it instead of letting
+            // a quietly distorted number into the record.
+            let noisy = is_noisy(slow.wall_ms, slow.cpu_ms) || is_noisy(fast.wall_ms, fast.cpu_ms);
+            if noisy {
+                noisy_runs += 1;
+                eprintln!(
+                    "warning: {workload}/{level_name} wall/cpu divergence \
+                     (baseline {:.0}/{:.0} ms, fast {:.0}/{:.0} ms) — \
+                     host was contended, treat MIPS with suspicion",
+                    slow.wall_ms, slow.cpu_ms, fast.wall_ms, fast.cpu_ms
+                );
+            }
             // The caches must be invisible to the architecture.
             assert_eq!(
                 (fast.instret, fast.cycles),
@@ -180,7 +165,8 @@ fn main() {
                  \"baseline_mips\": {:.2}, \"baseline_cpu_ms\": {:.2}, \
                  \"baseline_wall_ms\": {:.2}, \
                  \"fast_mips\": {:.2}, \"fast_cpu_ms\": {:.2}, \
-                 \"fast_wall_ms\": {:.2}, \"speedup\": {:.3}}}",
+                 \"fast_wall_ms\": {:.2}, \"wall_cpu_ratio\": {:.3}, \
+                 \"noisy\": {}, \"speedup\": {:.3}}}",
                 fast.instret,
                 fast.cycles,
                 slow.mips,
@@ -189,6 +175,8 @@ fn main() {
                 fast.mips,
                 fast.cpu_ms,
                 fast.wall_ms,
+                wall_cpu_ratio(fast.wall_ms, fast.cpu_ms),
+                noisy,
                 speedup
             )
             .unwrap();
@@ -207,9 +195,14 @@ fn main() {
         );
     }
 
+    if noisy_runs > 0 {
+        eprintln!("warning: {noisy_runs} configuration(s) showed wall/cpu divergence");
+    }
+
     let json = format!(
         "{{\n  \"experiment\": \"sim_throughput\",\n  \"smoke\": {smoke},\n  \
          \"steps_per_run\": {steps},\n  \"min_speedup_off\": {min_speedup_off:.3},\n  \"min_speedup_off_metrics\": {min_speedup_hot:.3},\n  \
+         \"noisy_runs\": {noisy_runs},\n  \
          \"runs\": [\n{rows}\n  ]\n}}\n"
     );
     std::fs::write("BENCH_sim_throughput.json", &json).expect("write BENCH_sim_throughput.json");

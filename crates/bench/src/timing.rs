@@ -1,0 +1,80 @@
+//! Host-side timing helpers shared by the benchmark harnesses and the
+//! fleet engine.
+
+/// Nanoseconds of CPU time consumed by the calling thread.
+///
+/// Throughput is computed from thread CPU time rather than wall time:
+/// benchmarks share their host with arbitrary other load, and
+/// `CLOCK_THREAD_CPUTIME_ID` does not advance while the thread is
+/// preempted, which removes the dominant noise source. Declared
+/// directly against libc (which every Rust binary already links) to
+/// avoid a dependency.
+#[cfg(target_os = "linux")]
+pub fn thread_cpu_ns() -> u64 {
+    #[repr(C)]
+    struct Timespec {
+        sec: i64,
+        nsec: i64,
+    }
+    extern "C" {
+        fn clock_gettime(id: i32, tp: *mut Timespec) -> i32;
+    }
+    const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+    let mut ts = Timespec { sec: 0, nsec: 0 };
+    // SAFETY: clock_gettime writes one Timespec through a valid pointer.
+    let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+    assert_eq!(rc, 0, "clock_gettime(CLOCK_THREAD_CPUTIME_ID) failed");
+    ts.sec as u64 * 1_000_000_000 + ts.nsec as u64
+}
+
+#[cfg(not(target_os = "linux"))]
+pub fn thread_cpu_ns() -> u64 {
+    0 // Callers fall back to wall time.
+}
+
+/// Wall time divided by CPU time for one measured run. A ratio well
+/// above 1 means the thread spent real time preempted or blocked — the
+/// run was noisy and its wall-clock figures should not be trusted.
+pub fn wall_cpu_ratio(wall_ms: f64, cpu_ms: f64) -> f64 {
+    if cpu_ms > 0.0 {
+        wall_ms / cpu_ms
+    } else {
+        1.0
+    }
+}
+
+/// Divergence threshold above which a run is flagged as noisy. The
+/// historical `trusted_ipc`/`Metrics` row that motivated the check sat
+/// at 228 ms wall vs 152 ms CPU — a ratio of 1.5.
+pub const NOISY_WALL_CPU_RATIO: f64 = 1.25;
+
+/// True when wall/CPU divergence says the run was disturbed by host
+/// load. Sub-millisecond runs are exempt: their ratio is all jitter.
+pub fn is_noisy(wall_ms: f64, cpu_ms: f64) -> bool {
+    wall_ms >= 1.0 && wall_cpu_ratio(wall_ms, cpu_ms) > NOISY_WALL_CPU_RATIO
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_cpu_time_is_monotonic() {
+        let a = thread_cpu_ns();
+        let mut x = 0u64;
+        for i in 0..10_000u64 {
+            x = x.wrapping_add(i * i);
+        }
+        std::hint::black_box(x);
+        let b = thread_cpu_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn noise_flagging() {
+        assert!(!is_noisy(100.0, 99.0));
+        assert!(is_noisy(228.0, 152.0), "the motivating case must flag");
+        assert!(!is_noisy(0.5, 0.1), "sub-ms runs are exempt");
+        assert_eq!(wall_cpu_ratio(3.0, 0.0), 1.0, "no CPU clock: neutral");
+    }
+}

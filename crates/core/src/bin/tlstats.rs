@@ -68,7 +68,7 @@ fn main() -> ExitCode {
     let mut exc_exit_cycles = 0u64;
     let mut mpu_grants = 0u64;
     let mut mpu_denials = 0u64;
-    let mut ipc_by_kind: BTreeMap<String, u64> = BTreeMap::new();
+    let mut ipc_by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
 
     for e in &events {
         *by_kind.entry(e.kind_name()).or_insert(0) += 1;
@@ -80,17 +80,15 @@ fn main() -> ExitCode {
                 trustlite_obs::Verdict::Allow => mpu_grants += 1,
                 trustlite_obs::Verdict::Deny => mpu_denials += 1,
             },
-            Event::ExceptionEnter { cycles, .. } => exc_entry_cycles += cycles,
+            Event::ExceptionEnter { frame, .. } => exc_entry_cycles += frame.cycles,
             Event::ExceptionExit { cycles, .. } => exc_exit_cycles += cycles,
-            Event::ContextSwitch {
-                cycle, from, to, ..
-            } => {
-                let (name, start) = open.take().unwrap_or_else(|| (from.clone(), first));
+            Event::ContextSwitch { cycle, edge, .. } => {
+                let (name, start) = open.take().unwrap_or_else(|| (edge.from.clone(), first));
                 *residency.entry(name).or_insert(0) += cycle.saturating_sub(start);
-                open = Some((to.clone(), *cycle));
+                open = Some((edge.to.clone(), *cycle));
             }
             Event::IpcSend { kind, .. } | Event::IpcRecv { kind, .. } => {
-                *ipc_by_kind.entry(kind.clone()).or_insert(0) += 1;
+                *ipc_by_kind.entry(kind.name()).or_insert(0) += 1;
             }
             _ => {}
         }

@@ -41,6 +41,8 @@ pub enum TrustliteError {
         reserved: u32,
         actual: u32,
     },
+    /// Snapshot/fork failed: the named component cannot be deep-copied.
+    Snapshot(&'static str),
 }
 
 impl fmt::Display for TrustliteError {
@@ -65,6 +67,9 @@ impl fmt::Display for TrustliteError {
                 write!(f, "secure-boot authentication failed for `{n}`")
             }
             TrustliteError::MissingOs => write!(f, "no OS image provided"),
+            TrustliteError::Snapshot(what) => {
+                write!(f, "snapshot unsupported by component `{what}`")
+            }
             TrustliteError::PlanMismatch {
                 name,
                 expected,

@@ -186,7 +186,7 @@ pub fn respond(syn: Syn, rng: &mut XorShift64) -> (Channel, Ack) {
 pub mod traced {
     use super::{Ack, Channel, Initiator, IpcError, Syn};
     use trustlite_crypto::XorShift64;
-    use trustlite_obs::{Event, Recorder};
+    use trustlite_obs::{Event, IpcKind, Recorder};
 
     /// An in-flight traced handshake.
     #[derive(Debug)]
@@ -209,7 +209,7 @@ pub mod traced {
             cycle,
             from: initiator,
             to: responder,
-            kind: "syn".into(),
+            kind: IpcKind::Syn,
         });
         (
             TracedInitiator {
@@ -229,7 +229,7 @@ pub mod traced {
             cycle,
             from: syn.initiator,
             to: syn.responder,
-            kind: "syn".into(),
+            kind: IpcKind::Syn,
         });
         let (chan, ack) = super::respond(syn, rng);
         obs.metrics.inc("ipc.ack_sent");
@@ -237,7 +237,7 @@ pub mod traced {
             cycle,
             from: syn.responder,
             to: syn.initiator,
-            kind: "ack".into(),
+            kind: IpcKind::Ack,
         });
         (chan, ack)
     }
@@ -254,7 +254,7 @@ pub mod traced {
             cycle,
             from: ack.responder,
             to: ack.initiator,
-            kind: "ack".into(),
+            kind: IpcKind::Ack,
         });
         let started_at = init.started_at;
         let chan = init.inner.complete(ack)?;

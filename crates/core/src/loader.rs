@@ -244,26 +244,28 @@ pub fn run(
     let obs = &mut machine.sys.obs;
     if obs.active() {
         let n = entries.len() as u64;
-        let phases: [(&str, u64); 7] = [
-            ("reset", 1),
-            ("authenticate", auth_words),
+        use trustlite_obs::LoaderStage;
+        let phases: [(LoaderStage, u64); 7] = [
+            (LoaderStage::Reset, 1),
+            (LoaderStage::Authenticate, auth_words),
             (
-                "copy_images",
+                LoaderStage::CopyImages,
                 report.words_copied + u64::from(INITIAL_FRAME_WORDS) * n,
             ),
-            ("measure", report.measured_bytes / 4),
-            ("program_mpu", report.mpu_writes),
-            ("config_tables", n + os.idt.len() as u64 + 1),
-            ("launch", 1),
+            (LoaderStage::Measure, report.measured_bytes / 4),
+            (LoaderStage::ProgramMpu, report.mpu_writes),
+            (LoaderStage::ConfigTables, n + os.idt.len() as u64 + 1),
+            (LoaderStage::Launch, 1),
         ];
         let mut t = 0u64;
         for (phase, ops) in phases {
             obs.emit(crate::Event::LoaderPhase {
                 start: t,
-                phase: phase.to_string(),
+                phase,
                 ops,
             });
-            obs.metrics.add(&format!("loader.{phase}.ops"), ops);
+            obs.metrics
+                .add(&format!("loader.{}.ops", phase.name()), ops);
             t += ops.max(1);
         }
         obs.metrics.inc("loader.runs");

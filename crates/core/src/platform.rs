@@ -436,6 +436,58 @@ impl Platform {
         Ok(&self.report)
     }
 
+    /// Deep-copies the booted platform for fleet fan-out. The Secure
+    /// Loader does **not** run again: the child starts from the parent's
+    /// exact post-boot state (registers, SRAM/DRAM contents, MPU rules
+    /// with their lock bits *and* epoch counters, pending interrupts,
+    /// trustlet table). Apply [`Platform::diverge`] afterwards to give
+    /// the clone its own identity.
+    pub fn fork(&self) -> Result<Platform, TrustliteError> {
+        Ok(Platform {
+            machine: self.machine.snapshot().map_err(TrustliteError::Snapshot)?,
+            plans: self.plans.clone(),
+            shared: self.shared.clone(),
+            os: self.os.clone(),
+            report: self.report.clone(),
+            trustlet_images: self.trustlet_images.clone(),
+            specs: self.specs.clone(),
+            loader_cfg: self.loader_cfg,
+        })
+    }
+
+    /// Gives a forked platform its own identity: reseeds the RNG
+    /// peripheral, reprovisions the platform key (key-store slot 0, the
+    /// secure-boot/attestation key) and publishes `device_id` in the
+    /// top word of DRAM ([`Platform::DEVICE_ID_ADDR`]) where device
+    /// software can read it. Telemetry captured before the fork (the
+    /// shared boot trace) is dropped so per-device metrics count only
+    /// post-fork work; capture level and attribution domains survive.
+    pub fn diverge(
+        &mut self,
+        device_id: u32,
+        rng_seed: u64,
+        device_key: [u8; 32],
+    ) -> Result<(), TrustliteError> {
+        let bus = &mut self.machine.sys.bus;
+        bus.device_mut::<Rng>("rng")
+            .ok_or(TrustliteError::Snapshot("rng"))?
+            .reseed(rng_seed);
+        bus.device_mut::<KeyStore>("keystore")
+            .ok_or(TrustliteError::Snapshot("keystore"))?
+            .provision(0, device_key)
+            .map_err(|_| TrustliteError::Snapshot("keystore"))?;
+        self.machine
+            .sys
+            .hw_write32(Self::DEVICE_ID_ADDR, device_id)
+            .map_err(|e| TrustliteError::BadFirmware(e.to_string()))?;
+        self.machine.sys.obs.clear();
+        Ok(())
+    }
+
+    /// Where [`Platform::diverge`] publishes the device id: the last
+    /// word of DRAM, outside every allocator-managed SRAM region.
+    pub const DEVICE_ID_ADDR: u32 = map::DRAM_BASE + map::DRAM_SIZE - 4;
+
     /// The full trustlet specs the platform was built from (used by the
     /// policy auditor).
     pub fn specs(&self) -> &[crate::spec::TrustletSpec] {

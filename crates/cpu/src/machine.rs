@@ -90,8 +90,9 @@ pub struct ExcRecord {
 
 /// A platform extension unit giving meaning to the `0xE0..=0xEF` opcodes
 /// (used by the Sancus baseline model). The `Any` supertrait lets hosts
-/// downcast the installed unit for inspection.
-pub trait ExtUnit: std::any::Any {
+/// downcast the installed unit for inspection. `Send` lets a machine
+/// carrying an extension unit migrate to a fleet worker thread.
+pub trait ExtUnit: std::any::Any + Send {
     /// Executes extension instruction `op` with operands `rd`, `rs1`,
     /// `imm`; returns the cycle cost.
     #[allow(clippy::too_many_arguments)] // mirrors the hardware interface
@@ -164,6 +165,33 @@ impl Machine {
             pending_irq_mask: [0; 4],
             slot_metric_names: Vec::new(),
         }
+    }
+
+    /// Deep-copies the whole machine for snapshot/fork: registers,
+    /// counters, pending interrupts, the full memory system (bus devices,
+    /// EA-MPU with its epoch counters, telemetry recorder, predecode
+    /// table). Fails with a diagnostic name if a mapped device does not
+    /// support snapshotting, or with `"ext"` if an extension unit is
+    /// installed — extension units hold opaque host state and the
+    /// baselines that use them never fork.
+    pub fn snapshot(&self) -> Result<Machine, &'static str> {
+        if self.ext.is_some() {
+            return Err("ext");
+        }
+        Ok(Machine {
+            regs: self.regs,
+            sys: self.sys.snapshot()?,
+            hw: self.hw,
+            cycles: self.cycles,
+            instret: self.instret,
+            halted: self.halted,
+            exc_log: self.exc_log.clone(),
+            ext: None,
+            prev_ip: self.prev_ip,
+            pending_irqs: self.pending_irqs.clone(),
+            pending_irq_mask: self.pending_irq_mask,
+            slot_metric_names: self.slot_metric_names.clone(),
+        })
     }
 
     /// Enables or disables the per-instruction trace: a shorthand for
@@ -548,11 +576,13 @@ impl Machine {
                 .observe("exc.entry_cycles", entry_cycles);
             self.sys.obs.emit(Event::ExceptionEnter {
                 cycle: at_cycle,
-                vector,
-                trustlet,
-                interrupted_ip,
-                saved_sp,
-                cycles: entry_cycles,
+                frame: Box::new(trustlite_obs::ExcFrame {
+                    vector,
+                    trustlet,
+                    interrupted_ip,
+                    saved_sp,
+                    cycles: entry_cycles,
+                }),
             });
         }
         StepOutcome::ExceptionTaken { vector, trustlet }

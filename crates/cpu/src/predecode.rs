@@ -45,6 +45,7 @@ struct Entry {
 }
 
 /// The predecode table.
+#[derive(Clone)]
 pub struct Predecode {
     entries: Vec<Entry>,
     enabled: bool,

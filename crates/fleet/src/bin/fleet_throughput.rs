@@ -1,0 +1,219 @@
+//! Experiment EFLT — fleet throughput: devices x workers sweep.
+//!
+//! For a fixed fleet (devices, rounds, quantum, seed, workload) the same
+//! run is repeated across worker counts. The harness asserts the
+//! aggregate digest — every device's final architectural state plus the
+//! merged telemetry — is bit-identical for every worker count, then
+//! reports aggregate simulated MIPS per configuration. It also measures
+//! what snapshot/fork buys at boot time (fork-boot vs. N full Secure
+//! Loader boots) and verifies that a 1000-device fleet boots with
+//! exactly one Secure Loader execution, visible in the merged metrics.
+//!
+//! Wall-clock scaling asserts are gated on the host actually having the
+//! cores: on a box with fewer than 8 available CPUs the ≥4x figure is
+//! physically impossible and the gate is skipped (with a loud note in
+//! the JSON) rather than faked.
+//!
+//! Run: `cargo run -p trustlite-fleet --release --bin fleet_throughput`
+//! (pass `-- --smoke` for a seconds-long CI-sized run).
+//!
+//! Writes `BENCH_fleet_throughput.json` into the current directory.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use trustlite_fleet::{Fleet, FleetConfig};
+
+/// Worker counts swept (the acceptance gate compares the last to the
+/// first).
+const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+struct SweepRun {
+    workers: usize,
+    wall_ms: f64,
+    mips: f64,
+    digest_hex: String,
+    total_instret: u64,
+}
+
+fn run_once(base: &FleetConfig, workers: usize) -> SweepRun {
+    let cfg = FleetConfig {
+        workers,
+        ..base.clone()
+    };
+    let fleet = Fleet::boot(cfg).expect("fleet boots");
+    let t0 = Instant::now();
+    let report = fleet.run();
+    let wall = t0.elapsed().as_secs_f64();
+    SweepRun {
+        workers,
+        wall_ms: wall * 1e3,
+        mips: report.total_instret as f64 / wall / 1e6,
+        digest_hex: report.digest_hex(),
+        total_instret: report.total_instret,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let base = FleetConfig {
+        devices: if smoke { 8 } else { 64 },
+        rounds: if smoke { 2 } else { 8 },
+        quantum: if smoke { 2_000 } else { 50_000 },
+        attest_every: 4,
+        ..FleetConfig::default()
+    };
+
+    println!(
+        "Fleet throughput: {} devices, {} rounds x {} steps, workload {} \
+         (smoke: {smoke}, host parallelism: {parallelism})",
+        base.devices, base.rounds, base.quantum, base.workload
+    );
+    println!(
+        "{:<9}{:>12}{:>16}{:>10}",
+        "workers", "wall ms", "aggregate MIPS", "speedup"
+    );
+
+    let mut runs: Vec<SweepRun> = Vec::new();
+    for &workers in &WORKER_SWEEP {
+        let run = run_once(&base, workers);
+        let speedup = run.mips / runs.first().map_or(run.mips, |r| r.mips);
+        println!(
+            "{:<9}{:>12.1}{:>16.1}{:>9.2}x",
+            run.workers, run.wall_ms, run.mips, speedup
+        );
+        runs.push(run);
+    }
+
+    // Hard invariant, any host: sharding must not change the simulation.
+    let reference = &runs[0];
+    for run in &runs[1..] {
+        assert_eq!(
+            run.digest_hex, reference.digest_hex,
+            "{} workers diverged from 1 worker — sharding changed the simulation",
+            run.workers
+        );
+        assert_eq!(run.total_instret, reference.total_instret);
+    }
+
+    let speedup_8v1 = runs.last().unwrap().mips / runs[0].mips;
+    // The wall-clock gate needs the silicon: with < 8 usable cores the
+    // target is unreachable no matter how good the engine is, so the
+    // gate is recorded as skipped instead of asserted against physics.
+    let gate_enforced = !smoke && parallelism >= 8;
+    if gate_enforced {
+        assert!(
+            speedup_8v1 >= 4.0,
+            "8 workers must deliver >= 4x aggregate MIPS over 1 (got {speedup_8v1:.2}x)"
+        );
+    } else if !smoke {
+        eprintln!(
+            "note: host exposes only {parallelism} CPU(s); the >=4x @ 8 workers \
+             gate is recorded but not enforced here (CI runs it on multicore)"
+        );
+    }
+
+    // Snapshot/fork boot: one Secure Loader run + N forks vs N full
+    // boots. Both sides retain every booted platform so they pay the
+    // same first-touch memory-population cost (~2 MB per live device,
+    // which dominates either path); the loader-work saving shows up on
+    // top of that floor. Single-threaded, so meaningful on any host.
+    let fork_devices = if smoke { 8 } else { 64 };
+    let t0 = Instant::now();
+    let fleet = Fleet::boot(FleetConfig {
+        devices: fork_devices,
+        ..base.clone()
+    })
+    .expect("fork boot");
+    let fork_ms = t0.elapsed().as_secs_f64() * 1e3;
+    drop(fleet);
+    let t0 = Instant::now();
+    let mut full_boots = Vec::with_capacity(fork_devices);
+    for _ in 0..fork_devices {
+        full_boots.push(trustlite_bench::throughput::build_workload(
+            &base.workload,
+            base.level,
+        ));
+    }
+    let full_ms = t0.elapsed().as_secs_f64() * 1e3;
+    drop(full_boots);
+    let fork_speedup = full_ms / fork_ms;
+    println!(
+        "boot {fork_devices} devices: fork {fork_ms:.1} ms vs full {full_ms:.1} ms \
+         ({fork_speedup:.1}x)"
+    );
+    if !smoke {
+        assert!(
+            fork_speedup >= 1.3,
+            "fork boot must beat full boots (got {fork_speedup:.2}x)"
+        );
+    }
+
+    // 1000-device fleet boots with exactly one Secure Loader execution,
+    // proven by the loader-phase counters in the merged report.
+    let loader_devices = if smoke { 32 } else { 1000 };
+    let fleet = Fleet::boot(FleetConfig {
+        devices: loader_devices,
+        workers: parallelism.min(4),
+        rounds: 1,
+        quantum: 500,
+        ..base.clone()
+    })
+    .expect("1000-device boot");
+    let report = fleet.run();
+    let loader_runs = report
+        .merged
+        .counters
+        .get("loader.runs")
+        .copied()
+        .unwrap_or(0);
+    let reset_ops = report
+        .merged
+        .counters
+        .get("loader.reset.ops")
+        .copied()
+        .unwrap_or(0);
+    println!(
+        "{loader_devices}-device fleet: loader.runs = {loader_runs} in merged metrics \
+         ({} devices reporting)",
+        report.devices
+    );
+    assert_eq!(
+        loader_runs, 1,
+        "fork boot must run the Secure Loader exactly once per image"
+    );
+
+    let mut rows = String::new();
+    for run in &runs {
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        write!(
+            rows,
+            "    {{\"workers\": {}, \"wall_ms\": {:.2}, \"aggregate_mips\": {:.2}, \
+             \"total_instret\": {}, \"digest\": \"{}\"}}",
+            run.workers, run.wall_ms, run.mips, run.total_instret, run.digest_hex
+        )
+        .unwrap();
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"fleet_throughput\",\n  \"smoke\": {smoke},\n  \
+         \"devices\": {},\n  \"rounds\": {},\n  \"quantum\": {},\n  \
+         \"workload\": \"{}\",\n  \"available_parallelism\": {parallelism},\n  \
+         \"speedup_8v1\": {speedup_8v1:.3},\n  \"speedup_gate_enforced\": {gate_enforced},\n  \
+         \"digests_identical\": true,\n  \
+         \"fork_boot\": {{\"devices\": {fork_devices}, \"fork_ms\": {fork_ms:.2}, \
+         \"full_ms\": {full_ms:.2}, \"speedup\": {fork_speedup:.2}}},\n  \
+         \"loader_check\": {{\"devices\": {loader_devices}, \"loader_runs\": {loader_runs}, \
+         \"loader_reset_ops\": {reset_ops}}},\n  \
+         \"runs\": [\n{rows}\n  ]\n}}\n",
+        base.devices, base.rounds, base.quantum, base.workload
+    );
+    std::fs::write("BENCH_fleet_throughput.json", &json)
+        .expect("write BENCH_fleet_throughput.json");
+    println!("wrote BENCH_fleet_throughput.json");
+}

@@ -1,0 +1,98 @@
+//! `tlfleet` — boot and run a TrustLite device fleet from the command
+//! line.
+//!
+//! ```text
+//! tlfleet [--devices N] [--workers N] [--rounds N] [--quantum N]
+//!         [--seed N] [--workload NAME] [--level off|metrics|events|full]
+//!         [--attest-every N] [--digest] [--json]
+//! ```
+//!
+//! `--digest` prints only the aggregate digest (CI compares this across
+//! worker counts); `--json` prints the full merged report as JSON.
+
+use trustlite_fleet::{Fleet, FleetConfig};
+use trustlite_obs::ObsLevel;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tlfleet [--devices N] [--workers N] [--rounds N] [--quantum N]\n\
+         \x20              [--seed N] [--workload NAME] [--level off|metrics|events|full]\n\
+         \x20              [--attest-every N] [--digest] [--json]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_level(s: &str) -> ObsLevel {
+    match s {
+        "off" => ObsLevel::Off,
+        "metrics" => ObsLevel::Metrics,
+        "events" => ObsLevel::Events,
+        "full" => ObsLevel::Full,
+        _ => usage(),
+    }
+}
+
+fn main() {
+    let mut cfg = FleetConfig {
+        devices: 16,
+        workers: 1,
+        quantum: 10_000,
+        rounds: 8,
+        attest_every: 4,
+        ..FleetConfig::default()
+    };
+    let mut digest_only = false;
+    let mut json = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--devices" => cfg.devices = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--workers" => cfg.workers = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--rounds" => cfg.rounds = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--quantum" => cfg.quantum = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => cfg.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--workload" => cfg.workload = value(&mut i),
+            "--level" => cfg.level = parse_level(&value(&mut i)),
+            "--attest-every" => {
+                cfg.attest_every = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--digest" => digest_only = true,
+            "--json" => json = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let fleet = match Fleet::boot(cfg) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("tlfleet: boot failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let report = fleet.run();
+
+    if digest_only {
+        println!("{}", report.digest_hex());
+    } else if json {
+        print!("{}", report.to_json());
+    } else {
+        println!("{}", report.summary());
+        println!(
+            "loader runs (merged): {}",
+            report
+                .merged
+                .counters
+                .get("loader.runs")
+                .copied()
+                .unwrap_or(0)
+        );
+    }
+}

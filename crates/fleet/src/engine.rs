@@ -1,0 +1,398 @@
+//! Fleet boot (snapshot/fork) and sharded execution.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use trustlite::attest::{self, Challenge, Response};
+use trustlite::{Platform, TrustliteError};
+use trustlite_bench::throughput::build_workload;
+use trustlite_crypto::sha256;
+use trustlite_obs::ObsLevel;
+
+use crate::report::{state_digest, FleetReport};
+
+/// Everything a fleet run is reproducible from.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of simulated devices.
+    pub devices: usize,
+    /// Number of worker threads devices are sharded over.
+    pub workers: usize,
+    /// Instructions each device executes per scheduling round.
+    pub quantum: u64,
+    /// Number of rounds.
+    pub rounds: u64,
+    /// Fleet seed: all per-device identity (RNG seeds, platform keys)
+    /// and all verifier nonces derive from it.
+    pub seed: u64,
+    /// Which macro workload every device runs (see
+    /// [`trustlite_bench::throughput::WORKLOADS`]).
+    pub workload: String,
+    /// Telemetry capture level applied to every device.
+    pub level: ObsLevel,
+    /// The verifier challenges each device every `attest_every` rounds
+    /// (staggered by device id); `0` disables the attestation fabric.
+    pub attest_every: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            devices: 8,
+            workers: 1,
+            quantum: 10_000,
+            rounds: 4,
+            seed: 0x7457_117e,
+            workload: "quickstart".to_string(),
+            level: ObsLevel::Metrics,
+            attest_every: 2,
+        }
+    }
+}
+
+/// One simulated device: a forked platform plus its fleet identity.
+pub struct DeviceSim {
+    /// Device index (also published to device software, see
+    /// [`Platform::DEVICE_ID_ADDR`]).
+    pub id: u32,
+    /// The device's machine, forked from the booted master.
+    pub platform: Platform,
+    /// The device's provisioned platform key (the verifier keeps a copy,
+    /// as a real enrolment database would).
+    pub key: [u8; 32],
+    /// Instruction count at fork time (so fleet throughput counts only
+    /// post-fork work).
+    pub instret_at_fork: u64,
+    /// Attestation responses produced this round, delivered to the
+    /// verifier at the round boundary.
+    outbox: Vec<Response>,
+}
+
+/// Derives a device's RNG seed from the fleet seed (splitmix64 step —
+/// adjacent device ids must not yield correlated xorshift streams).
+fn device_rng_seed(fleet_seed: u64, id: u32) -> u64 {
+    let mut z = fleet_seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(u64::from(id) + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derives a device's platform key from the fleet seed.
+fn device_key(fleet_seed: u64, id: u32) -> [u8; 32] {
+    let mut blob = Vec::with_capacity(16);
+    blob.extend_from_slice(b"tl-fleet-key");
+    blob.extend_from_slice(&fleet_seed.to_le_bytes());
+    blob.extend_from_slice(&id.to_le_bytes());
+    sha256(&blob)
+}
+
+/// Derives the verifier's nonce for challenging device `id` in `round`.
+fn challenge_nonce(fleet_seed: u64, id: u32, round: u64) -> [u8; 16] {
+    let mut blob = Vec::with_capacity(32);
+    blob.extend_from_slice(b"tl-fleet-nonce");
+    blob.extend_from_slice(&fleet_seed.to_le_bytes());
+    blob.extend_from_slice(&id.to_le_bytes());
+    blob.extend_from_slice(&round.to_le_bytes());
+    let h = sha256(&blob);
+    let mut nonce = [0u8; 16];
+    nonce.copy_from_slice(&h[..16]);
+    nonce
+}
+
+/// A booted fleet, ready to run.
+pub struct Fleet {
+    /// The run configuration.
+    pub cfg: FleetConfig,
+    /// All devices, forked and diverged.
+    pub devices: Vec<DeviceSim>,
+    /// The master image's boot telemetry (contains the single Secure
+    /// Loader execution: `loader.runs == 1`, one set of `loader.*.ops`
+    /// phase counters). Forked devices start with cleared telemetry, so
+    /// the merged fleet report proves the loader ran once per image.
+    pub boot_report: trustlite_obs::MetricsReport,
+    /// Reference measurements the verifier expects (trustlet-table
+    /// order), read from the master after boot.
+    pub expected: Vec<[u8; 32]>,
+}
+
+impl Fleet {
+    /// Boots the fleet: builds the workload image and runs the Secure
+    /// Loader **once**, then forks the booted platform `cfg.devices`
+    /// times and diverges each clone (device id, RNG seed, platform
+    /// key).
+    pub fn boot(cfg: FleetConfig) -> Result<Fleet, TrustliteError> {
+        let mut master = build_workload(&cfg.workload, cfg.level);
+        let boot_report = master.machine.metrics_report();
+        let expected = expected_measurements(&mut master)?;
+        let mut devices = Vec::with_capacity(cfg.devices);
+        for id in 0..cfg.devices as u32 {
+            let mut p = master.fork()?;
+            let key = device_key(cfg.seed, id);
+            p.diverge(id, device_rng_seed(cfg.seed, id), key)?;
+            devices.push(DeviceSim {
+                id,
+                platform: p,
+                key,
+                instret_at_fork: master.machine.instret,
+                outbox: Vec::new(),
+            });
+        }
+        Ok(Fleet {
+            cfg,
+            devices,
+            boot_report,
+            expected,
+        })
+    }
+
+    /// Runs the fleet for `cfg.rounds` rounds of `cfg.quantum` steps per
+    /// device, sharded over `cfg.workers` threads, and merges all
+    /// telemetry into one [`FleetReport`].
+    ///
+    /// Determinism: within a round every device's trajectory depends
+    /// only on its own state plus the messages delivered to it at the
+    /// round boundary, so devices may step in any order on any worker.
+    /// The verifier (phase B, one thread) processes responses and emits
+    /// next-round challenges in device order. Aggregates are therefore
+    /// bit-identical for any worker count.
+    pub fn run(self) -> FleetReport {
+        let Fleet {
+            cfg,
+            devices,
+            boot_report,
+            expected,
+        } = self;
+        let nw = cfg.workers.max(1).min(devices.len().max(1));
+        let n = devices.len();
+
+        // Contiguous shards; per-shard claim cursors form the
+        // work-stealing run queue (a worker that drains its own shard
+        // claims from the next one).
+        let shards: Vec<(usize, usize)> = (0..nw)
+            .map(|w| {
+                let start = w * n / nw;
+                let end = (w + 1) * n / nw;
+                (start, end - start)
+            })
+            .collect();
+        let cursors: Vec<AtomicUsize> = (0..nw).map(|_| AtomicUsize::new(0)).collect();
+        let cells: Vec<Mutex<DeviceSim>> = devices.into_iter().map(Mutex::new).collect();
+        // Round-boundary message fabric: the verifier's pending
+        // challenge (if any) for each device.
+        let inboxes: Vec<Mutex<Option<Challenge>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let barrier = Barrier::new(nw);
+        let attest_ok = AtomicUsize::new(0);
+        let attest_fail = AtomicUsize::new(0);
+
+        // Seed round 0's challenges (the verifier "speaks first").
+        if cfg.attest_every > 0 {
+            for (id, inbox) in inboxes.iter().enumerate() {
+                if (id as u64).is_multiple_of(cfg.attest_every) {
+                    *inbox.lock().unwrap() = Some(Challenge {
+                        nonce: challenge_nonce(cfg.seed, id as u32, 0),
+                    });
+                }
+            }
+        }
+
+        let claim = |worker: usize| -> Option<usize> {
+            for k in 0..nw {
+                let s = (worker + k) % nw;
+                let (start, len) = shards[s];
+                let i = cursors[s].fetch_add(1, Ordering::Relaxed);
+                if i < len {
+                    return Some(start + i);
+                }
+            }
+            None
+        };
+
+        std::thread::scope(|scope| {
+            for worker in 0..nw {
+                let cfg = &cfg;
+                let cells = &cells;
+                let inboxes = &inboxes;
+                let cursors = &cursors;
+                let barrier = &barrier;
+                let expected = &expected;
+                let attest_ok = &attest_ok;
+                let attest_fail = &attest_fail;
+                let claim = &claim;
+                scope.spawn(move || {
+                    for round in 0..cfg.rounds {
+                        // Phase A: step every device one quantum,
+                        // delivering round-boundary messages first.
+                        while let Some(idx) = claim(worker) {
+                            let mut dev = cells[idx].lock().unwrap();
+                            if let Some(ch) = inboxes[idx].lock().unwrap().take() {
+                                if let Ok(resp) = attest::respond(&mut dev.platform, &ch) {
+                                    dev.outbox.push(resp);
+                                }
+                            }
+                            dev.platform.run(cfg.quantum);
+                        }
+                        barrier.wait();
+                        // Phase B: the verifier drains responses and
+                        // enqueues next-round challenges, in device
+                        // order; worker 0 also re-arms the run queue.
+                        if worker == 0 {
+                            for (id, cell) in cells.iter().enumerate() {
+                                let mut guard = cell.lock().unwrap();
+                                let dev = &mut *guard;
+                                for resp in dev.outbox.drain(..) {
+                                    // The response answers the challenge
+                                    // delivered at this round's start.
+                                    let ch = Challenge {
+                                        nonce: challenge_nonce(cfg.seed, id as u32, round),
+                                    };
+                                    if attest::verify(&dev.key, &ch, &resp, expected) {
+                                        attest_ok.fetch_add(1, Ordering::Relaxed);
+                                    } else {
+                                        attest_fail.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                                let next = round + 1;
+                                if next < cfg.rounds
+                                    && cfg.attest_every > 0
+                                    && (id as u64 + next).is_multiple_of(cfg.attest_every)
+                                {
+                                    *inboxes[id].lock().unwrap() = Some(Challenge {
+                                        nonce: challenge_nonce(cfg.seed, id as u32, next),
+                                    });
+                                }
+                            }
+                            for c in cursors.iter() {
+                                c.store(0, Ordering::Relaxed);
+                            }
+                        }
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+
+        let mut devices: Vec<DeviceSim> =
+            cells.into_iter().map(|c| c.into_inner().unwrap()).collect();
+
+        // Merge: one boot registry per image + every device's registry.
+        let mut merged = boot_report;
+        let mut total_instret = 0u64;
+        let mut total_cycles = 0u64;
+        let mut digest_blob = Vec::new();
+        for dev in devices.iter_mut() {
+            let r = dev.platform.machine.metrics_report();
+            merged.merge(&r);
+            total_instret += dev.platform.machine.instret - dev.instret_at_fork;
+            total_cycles += dev.platform.machine.cycles;
+            digest_blob.extend_from_slice(&state_digest(&mut dev.platform));
+        }
+        let ok = attest_ok.load(Ordering::Relaxed) as u64;
+        let fail = attest_fail.load(Ordering::Relaxed) as u64;
+        digest_blob.extend_from_slice(&ok.to_le_bytes());
+        digest_blob.extend_from_slice(&fail.to_le_bytes());
+        for (k, v) in &merged.counters {
+            digest_blob.extend_from_slice(k.as_bytes());
+            digest_blob.extend_from_slice(&v.to_le_bytes());
+        }
+        for (name, cycles) in &merged.attribution {
+            digest_blob.extend_from_slice(name.as_bytes());
+            digest_blob.extend_from_slice(&cycles.to_le_bytes());
+        }
+
+        FleetReport {
+            devices: n,
+            workers: nw,
+            rounds: cfg.rounds,
+            quantum: cfg.quantum,
+            seed: cfg.seed,
+            workload: cfg.workload.clone(),
+            total_instret,
+            total_cycles,
+            attest_ok: ok,
+            attest_fail: fail,
+            merged,
+            digest: sha256(&digest_blob),
+        }
+    }
+}
+
+/// Reads the reference measurements (trustlet-table order) the verifier
+/// expects every healthy device to report.
+fn expected_measurements(master: &mut Platform) -> Result<Vec<[u8; 32]>, TrustliteError> {
+    let mut ordered: Vec<(u32, String)> = master
+        .plans
+        .iter()
+        .map(|(n, p)| (p.tt_index, n.clone()))
+        .collect();
+    ordered.sort();
+    ordered
+        .into_iter()
+        .map(|(_, name)| master.measurement(&name))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_identities_are_distinct_and_stable() {
+        assert_eq!(device_key(1, 0), device_key(1, 0));
+        assert_ne!(device_key(1, 0), device_key(1, 1));
+        assert_ne!(device_key(1, 0), device_key(2, 0));
+        assert_ne!(device_rng_seed(1, 0), device_rng_seed(1, 1));
+        assert_ne!(challenge_nonce(1, 0, 0), challenge_nonce(1, 0, 1));
+    }
+
+    #[test]
+    fn fork_boot_runs_loader_once() {
+        let fleet = Fleet::boot(FleetConfig {
+            devices: 5,
+            ..FleetConfig::default()
+        })
+        .expect("boot");
+        assert_eq!(fleet.devices.len(), 5);
+        assert_eq!(fleet.boot_report.counters["loader.runs"], 1);
+        let report = fleet.run();
+        // Forked devices contribute no loader runs of their own.
+        assert_eq!(report.merged.counters["loader.runs"], 1);
+        assert!(report.total_instret > 0);
+    }
+
+    #[test]
+    fn attestation_fabric_accepts_honest_devices() {
+        let report = Fleet::boot(FleetConfig {
+            devices: 4,
+            rounds: 4,
+            attest_every: 2,
+            ..FleetConfig::default()
+        })
+        .expect("boot")
+        .run();
+        assert!(report.attest_ok > 0, "some challenges must round-trip");
+        assert_eq!(report.attest_fail, 0, "honest devices never fail");
+    }
+
+    #[test]
+    fn worker_count_does_not_change_aggregates() {
+        let run = |workers| {
+            Fleet::boot(FleetConfig {
+                devices: 6,
+                workers,
+                rounds: 3,
+                quantum: 2_000,
+                ..FleetConfig::default()
+            })
+            .expect("boot")
+            .run()
+        };
+        let a = run(1);
+        let b = run(3);
+        assert_eq!(
+            a.digest, b.digest,
+            "aggregate digest must not depend on sharding"
+        );
+        assert_eq!(a.total_instret, b.total_instret);
+        assert_eq!(a.merged.counters, b.merged.counters);
+    }
+}

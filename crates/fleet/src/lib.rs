@@ -1,0 +1,26 @@
+//! The parallel fleet engine.
+//!
+//! TrustLite targets *fleets* of tiny embedded devices; the protocols
+//! built on it (remote attestation, trustlet provisioning) are only
+//! interesting when a verifier talks to many devices at once. This crate
+//! scales the single-`Platform` simulator out:
+//!
+//! * **snapshot/fork boot** — the Secure Loader and trustlet staging run
+//!   *once per image*; every device is an O(memcpy) fork of the booted
+//!   master with per-device divergence (device id, RNG seed, platform
+//!   key) applied afterwards ([`Fleet::boot`]);
+//! * **sharded execution** — devices are partitioned over `std::thread`
+//!   workers with a work-stealing run queue and quantum-based stepping;
+//!   a cross-device message fabric carries verifier↔device attestation
+//!   traffic with delivery pinned to quantum boundaries, so any run is
+//!   reproducible from `(image, seed, nworkers)` and aggregates are
+//!   bit-identical at 1 or 16 workers ([`Fleet::run`]);
+//! * **merged observability** — per-device `trustlite-obs` registries
+//!   merge into one fleet report in which counters and cycle attribution
+//!   still sum exactly ([`FleetReport`]).
+
+pub mod engine;
+pub mod report;
+
+pub use engine::{DeviceSim, Fleet, FleetConfig};
+pub use report::{state_digest, FleetReport};

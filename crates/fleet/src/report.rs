@@ -1,0 +1,127 @@
+//! The merged fleet report and state digesting.
+
+use trustlite::Platform;
+use trustlite_crypto::sha256;
+use trustlite_obs::MetricsReport;
+
+/// Digest of one device's architectural state: counters, register file
+/// and the first pages of SRAM (the same footprint the workspace
+/// determinism tests use). Fleet-level digests concatenate these in
+/// device order, so two runs agree iff every device's trajectory agrees.
+pub fn state_digest(p: &mut Platform) -> [u8; 32] {
+    let mut blob = Vec::new();
+    blob.extend_from_slice(&p.machine.cycles.to_le_bytes());
+    blob.extend_from_slice(&p.machine.instret.to_le_bytes());
+    for g in p.machine.regs.gprs {
+        blob.extend_from_slice(&g.to_le_bytes());
+    }
+    blob.extend_from_slice(&p.machine.regs.sp.to_le_bytes());
+    blob.extend_from_slice(&p.machine.regs.ip.to_le_bytes());
+    let sram = p
+        .machine
+        .sys
+        .bus
+        .read_bytes(trustlite_mem::map::SRAM_BASE, 0x4000)
+        .expect("sram readable");
+    blob.extend_from_slice(&sram);
+    sha256(&blob)
+}
+
+/// What a fleet run produced, merged across all devices.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Device count.
+    pub devices: usize,
+    /// Worker-thread count actually used.
+    pub workers: usize,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Steps per device per round.
+    pub quantum: u64,
+    /// The fleet seed.
+    pub seed: u64,
+    /// The workload every device ran.
+    pub workload: String,
+    /// Post-fork instructions retired, summed over devices.
+    pub total_instret: u64,
+    /// Simulated cycles, summed over devices.
+    pub total_cycles: u64,
+    /// Attestation responses the verifier accepted.
+    pub attest_ok: u64,
+    /// Attestation responses the verifier rejected.
+    pub attest_fail: u64,
+    /// All telemetry registries merged: one boot registry per image plus
+    /// every device's post-fork registry. Counters and cycle attribution
+    /// sum exactly; `loader.runs` counts Secure Loader executions (one
+    /// per image, however many devices were forked from it).
+    pub merged: MetricsReport,
+    /// Order-independent digest over every device's final architectural
+    /// state plus the merged aggregates; bit-identical across worker
+    /// counts.
+    pub digest: [u8; 32],
+}
+
+impl FleetReport {
+    /// The digest as lowercase hex.
+    pub fn digest_hex(&self) -> String {
+        self.digest.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// Renders the report as JSON (selected merged counters only: the
+    /// full registry has per-slot MPU detail that would swamp the file).
+    pub fn to_json(&self) -> String {
+        let mut counters = String::new();
+        for (k, v) in &self.merged.counters {
+            if !counters.is_empty() {
+                counters.push_str(", ");
+            }
+            counters.push_str(&format!("\"{k}\": {v}"));
+        }
+        let mut attribution = String::new();
+        for (name, cycles) in &self.merged.attribution {
+            if !attribution.is_empty() {
+                attribution.push_str(", ");
+            }
+            attribution.push_str(&format!("\"{name}\": {cycles}"));
+        }
+        format!(
+            "{{\n  \"devices\": {}, \"workers\": {}, \"rounds\": {}, \"quantum\": {},\n  \
+             \"seed\": {}, \"workload\": \"{}\",\n  \
+             \"total_instret\": {}, \"total_cycles\": {},\n  \
+             \"attest_ok\": {}, \"attest_fail\": {},\n  \
+             \"digest\": \"{}\",\n  \
+             \"counters\": {{{}}},\n  \
+             \"attribution\": {{{}}}\n}}\n",
+            self.devices,
+            self.workers,
+            self.rounds,
+            self.quantum,
+            self.seed,
+            self.workload,
+            self.total_instret,
+            self.total_cycles,
+            self.attest_ok,
+            self.attest_fail,
+            self.digest_hex(),
+            counters,
+            attribution,
+        )
+    }
+
+    /// One human-readable summary line.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} devices x {} rounds x {} steps on {} workers: \
+             {} instret, {} cycles, attest {}/{} ok, digest {}",
+            self.devices,
+            self.rounds,
+            self.quantum,
+            self.workers,
+            self.total_instret,
+            self.total_cycles,
+            self.attest_ok,
+            self.attest_ok + self.attest_fail,
+            &self.digest_hex()[..16],
+        )
+    }
+}

@@ -450,6 +450,43 @@ impl Bus {
             .and_then(|m| m.device.as_any().downcast_mut::<T>())
     }
 
+    /// Deep-copies the bus — every mapped device plus the batching and
+    /// cache bookkeeping — for snapshot/fork. Returns the name of the
+    /// first non-snapshottable device on failure.
+    ///
+    /// The copy is observably identical to the original: accumulated
+    /// (undelivered) tick cycles, stashed stray interrupts and the
+    /// host-mutation generation all carry over, so a forked machine
+    /// replays bit-identically to the original from the snapshot point.
+    pub fn snapshot(&self) -> Result<Bus, &'static str> {
+        let mut mappings = Vec::with_capacity(self.mappings.len());
+        for m in &self.mappings {
+            let device = m.device.snapshot().ok_or_else(|| m.device.name())?;
+            mappings.push(Mapping {
+                base: m.base,
+                size: m.size,
+                device,
+            });
+        }
+        let mut bus = Bus {
+            mappings,
+            tickable: Vec::new(),
+            tick_lo: 0,
+            tick_span: 0,
+            last_idx: self.last_idx,
+            lookup_cache: self.lookup_cache,
+            pending: self.pending,
+            batched: self.batched,
+            deadline: self.deadline,
+            deadline_valid: self.deadline_valid,
+            armed: self.armed,
+            stray_irqs: self.stray_irqs.clone(),
+            host_gen: self.host_gen,
+        };
+        bus.rebuild_tickable();
+        Ok(bus)
+    }
+
     /// Returns the `(base, size, name)` of every mapping, sorted by base.
     pub fn mappings(&self) -> Vec<(u32, u32, &'static str)> {
         self.mappings
@@ -569,6 +606,7 @@ mod tests {
     /// A minimal periodic device for batching tests: fires IRQ `line` 7
     /// every `period` cycles, exposes its countdown at offset 0, and
     /// counts how many times `tick` was actually invoked.
+    #[derive(Clone)]
     struct TestTimer {
         period: u64,
         count: u64,
@@ -617,6 +655,9 @@ mod tests {
         }
         fn tick_hint(&self) -> Option<u64> {
             Some(self.count)
+        }
+        fn snapshot(&self) -> Option<Box<dyn Device>> {
+            Some(Box::new(self.clone()))
         }
         fn as_any(&mut self) -> &mut dyn Any {
             self
@@ -704,6 +745,53 @@ mod tests {
         assert!(bus.is_stable_memory(0x0), "ROM is stable storage");
         assert!(!bus.is_stable_memory(0x2000), "devices are not");
         assert!(!bus.is_stable_memory(0x5000), "unmapped is not");
+    }
+
+    #[test]
+    fn snapshot_copies_contents_and_tick_state() {
+        let mut bus = bus_with_ram();
+        bus.write32(0x1010, 0xfeed).unwrap();
+        let mut snap = bus.snapshot().expect("ram/rom snapshot");
+        assert_eq!(snap.read32(0x1010), Ok(0xfeed));
+        assert_eq!(snap.host_gen(), bus.host_gen());
+        // Divergence after the fork is invisible to the original.
+        snap.write32(0x1010, 1).unwrap();
+        assert_eq!(bus.read32(0x1010), Ok(0xfeed));
+    }
+
+    #[test]
+    fn snapshot_carries_pending_cycles_exactly() {
+        let mut bus = timer_bus(true);
+        assert!(bus.tick(7).is_empty()); // 3 cycles short of the period
+        let mut snap = bus.snapshot().expect("test timer snapshots");
+        let irqs_snap: Vec<_> = (0..5).map(|_| snap.tick(1).len()).collect();
+        let irqs_orig: Vec<_> = (0..5).map(|_| bus.tick(1).len()).collect();
+        assert_eq!(irqs_snap, irqs_orig, "pending cycles must carry over");
+    }
+
+    #[test]
+    fn snapshot_refuses_unsupported_devices() {
+        struct NoSnap;
+        impl Device for NoSnap {
+            fn name(&self) -> &'static str {
+                "nosnap"
+            }
+            fn size(&self) -> u32 {
+                4
+            }
+            fn read32(&mut self, _off: u32) -> Result<u32, BusError> {
+                Ok(0)
+            }
+            fn write32(&mut self, _off: u32, _value: u32) -> Result<(), BusError> {
+                Ok(())
+            }
+            fn as_any(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut bus = Bus::new();
+        bus.map(0x0, Box::new(NoSnap)).unwrap();
+        assert_eq!(bus.snapshot().unwrap_err(), "nosnap");
     }
 
     #[test]

@@ -66,7 +66,10 @@ pub struct IrqRequest {
 /// Offsets passed to the access methods are relative to the device's
 /// mapping base and are guaranteed in-range by the bus. Word accesses are
 /// guaranteed aligned.
-pub trait Device: Any {
+///
+/// Devices are `Send` so a whole machine (bus included) can be moved to a
+/// fleet worker thread; device state is owned data, never shared.
+pub trait Device: Any + Send {
     /// Short stable name (used for host-side lookup and diagnostics).
     fn name(&self) -> &'static str;
 
@@ -136,6 +139,14 @@ pub trait Device: Any {
     /// PROM and preload RAM. Returns false if the device is not loadable.
     fn host_load(&mut self, _off: u32, _bytes: &[u8]) -> bool {
         false
+    }
+
+    /// Deep-copies the device for snapshot/fork, or `None` if the device
+    /// cannot be snapshotted. Every in-tree device supports this (their
+    /// state is plain owned data); the default conservatively refuses so
+    /// exotic host-backed devices opt in explicitly.
+    fn snapshot(&self) -> Option<Box<dyn Device>> {
+        None
     }
 
     /// Upcast for host-side inspection.

@@ -77,6 +77,10 @@ impl Device for Ram {
         true
     }
 
+    fn snapshot(&self) -> Option<Box<dyn Device>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn as_any(&mut self) -> &mut dyn Any {
         self
     }
@@ -142,6 +146,10 @@ impl Device for Rom {
 
     fn stable_storage(&self) -> bool {
         true
+    }
+
+    fn snapshot(&self) -> Option<Box<dyn Device>> {
+        Some(Box::new(self.clone()))
     }
 
     fn as_any(&mut self) -> &mut dyn Any {

@@ -24,7 +24,7 @@ pub type DomainReport = Vec<(String, u64)>;
 /// Lookup is cached on the last-hit domain: straight-line execution pays
 /// one range comparison per instruction, a full scan only on domain
 /// crossings.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Attribution {
     domains: Vec<Domain>,
     counts: Vec<u64>,

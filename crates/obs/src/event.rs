@@ -75,8 +75,133 @@ impl fmt::Display for Verdict {
     }
 }
 
+/// Secure Loader boot phase (the closed Figure 5 sequence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoaderStage {
+    /// Platform reset.
+    Reset,
+    /// Image signature verification.
+    Authenticate,
+    /// Image copy into isolated memory.
+    CopyImages,
+    /// Measurement (hashing) of loaded images.
+    Measure,
+    /// EA-MPU region programming.
+    ProgramMpu,
+    /// Trustlet Table / IDT construction.
+    ConfigTables,
+    /// Handoff to the OS entry point.
+    Launch,
+}
+
+impl LoaderStage {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LoaderStage::Reset => "reset",
+            LoaderStage::Authenticate => "authenticate",
+            LoaderStage::CopyImages => "copy_images",
+            LoaderStage::Measure => "measure",
+            LoaderStage::ProgramMpu => "program_mpu",
+            LoaderStage::ConfigTables => "config_tables",
+            LoaderStage::Launch => "launch",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_name(s: &str) -> Option<LoaderStage> {
+        match s {
+            "reset" => Some(LoaderStage::Reset),
+            "authenticate" => Some(LoaderStage::Authenticate),
+            "copy_images" => Some(LoaderStage::CopyImages),
+            "measure" => Some(LoaderStage::Measure),
+            "program_mpu" => Some(LoaderStage::ProgramMpu),
+            "config_tables" => Some(LoaderStage::ConfigTables),
+            "launch" => Some(LoaderStage::Launch),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for LoaderStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// IPC message kind carried by [`Event::IpcSend`] / [`Event::IpcRecv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IpcKind {
+    /// Handshake open.
+    Syn,
+    /// Handshake acknowledge.
+    Ack,
+    /// Payload message on an established channel.
+    Data,
+}
+
+impl IpcKind {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            IpcKind::Syn => "syn",
+            IpcKind::Ack => "ack",
+            IpcKind::Data => "data",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_name(s: &str) -> Option<IpcKind> {
+        match s {
+            "syn" => Some(IpcKind::Syn),
+            "ack" => Some(IpcKind::Ack),
+            "data" => Some(IpcKind::Data),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for IpcKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The attribution edge of a [`Event::ContextSwitch`]. Domain names are
+/// registered at runtime, so they live on the heap; the pair is boxed so
+/// the switch variant does not inflate every slot of the firehose ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwitchEdge {
+    /// Name of the domain execution left.
+    pub from: String,
+    /// Name of the domain execution entered.
+    pub to: String,
+}
+
+/// Payload of [`Event::ExceptionEnter`]. Wide but rare relative to the
+/// firehose variants, so it is boxed to keep [`Event`] itself small.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExcFrame {
+    /// Resolved vector number.
+    pub vector: u8,
+    /// Trustlet Table row index if a trustlet was interrupted.
+    pub trustlet: Option<u32>,
+    /// Instruction pointer that was interrupted.
+    pub interrupted_ip: u32,
+    /// Trustlet stack pointer saved to the Trustlet Table (0 when no
+    /// trustlet was interrupted).
+    pub saved_sp: u32,
+    /// Engine cycles from recognition to the first ISR instruction.
+    pub cycles: u64,
+}
+
 /// One telemetry event. Every variant carries the cycle-counter value at
 /// which it was recorded.
+///
+/// Size discipline: at [`crate::ObsLevel::Full`] the ring streams ~2.3
+/// events per instruction, so the enum is kept at or below 32 bytes
+/// (asserted by a test) — hot variants are inline and pointer-free, and
+/// the wide or heap-carrying cold variants box their payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Event {
     /// An instruction retired (firehose; replaces the legacy
@@ -119,17 +244,8 @@ pub enum Event {
     ExceptionEnter {
         /// Cycle at which the exception was recognized.
         cycle: u64,
-        /// Resolved vector number.
-        vector: u8,
-        /// Trustlet Table row index if a trustlet was interrupted.
-        trustlet: Option<u32>,
-        /// Instruction pointer that was interrupted.
-        interrupted_ip: u32,
-        /// Trustlet stack pointer saved to the Trustlet Table (0 when no
-        /// trustlet was interrupted).
-        saved_sp: u32,
-        /// Engine cycles from recognition to the first ISR instruction.
-        cycles: u64,
+        /// Dispatch details (vector, trustlet, saved state, engine cost).
+        frame: Box<ExcFrame>,
     },
     /// An `iret` retired, returning from an exception.
     ExceptionExit {
@@ -153,8 +269,8 @@ pub enum Event {
     LoaderPhase {
         /// Phase start on the estimated-cycle timeline.
         start: u64,
-        /// Phase name (`reset`, `authenticate`, `copy_images`, …).
-        phase: String,
+        /// Phase identity.
+        phase: LoaderStage,
         /// Observable operations performed (copies, register writes, …).
         ops: u64,
     },
@@ -162,10 +278,8 @@ pub enum Event {
     ContextSwitch {
         /// Cycle stamp.
         cycle: u64,
-        /// Name of the domain execution left.
-        from: String,
-        /// Name of the domain execution entered.
-        to: String,
+        /// Domain names execution left and entered.
+        edge: Box<SwitchEdge>,
         /// First instruction pointer in the new domain.
         ip: u32,
     },
@@ -177,8 +291,8 @@ pub enum Event {
         from: u32,
         /// Receiver identifier.
         to: u32,
-        /// Message kind (`syn`, `ack`, `data`).
-        kind: String,
+        /// Message kind.
+        kind: IpcKind,
     },
     /// An IPC message was accepted by a receiver.
     IpcRecv {
@@ -188,8 +302,8 @@ pub enum Event {
         from: u32,
         /// Receiver identifier.
         to: u32,
-        /// Message kind (`syn`, `ack`, `data`).
-        kind: String,
+        /// Message kind.
+        kind: IpcKind,
     },
 }
 
@@ -224,5 +338,44 @@ impl Event {
             Event::IpcSend { .. } => "ipc_send",
             Event::IpcRecv { .. } => "ipc_recv",
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// At `Full` capture the ring streams ~2.3 events per simulated
+    /// instruction, so the enum's footprint is a first-order term in
+    /// simulator throughput. Growing it past 32 bytes needs a deliberate
+    /// decision (box the new payload instead).
+    #[test]
+    fn event_stays_at_firehose_size() {
+        assert!(
+            core::mem::size_of::<Event>() <= 32,
+            "Event grew to {} bytes; box cold payloads to keep the \
+             firehose ring small",
+            core::mem::size_of::<Event>()
+        );
+    }
+
+    #[test]
+    fn closed_name_sets_round_trip() {
+        for stage in [
+            LoaderStage::Reset,
+            LoaderStage::Authenticate,
+            LoaderStage::CopyImages,
+            LoaderStage::Measure,
+            LoaderStage::ProgramMpu,
+            LoaderStage::ConfigTables,
+            LoaderStage::Launch,
+        ] {
+            assert_eq!(LoaderStage::from_name(stage.name()), Some(stage));
+        }
+        for kind in [IpcKind::Syn, IpcKind::Ack, IpcKind::Data] {
+            assert_eq!(IpcKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(LoaderStage::from_name("warmup"), None);
+        assert_eq!(IpcKind::from_name("nak"), None);
     }
 }

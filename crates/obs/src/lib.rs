@@ -30,7 +30,7 @@ pub mod ring;
 pub mod sink;
 
 pub use attr::{Attribution, DomainReport};
-pub use event::{AccessClass, Event, Verdict};
+pub use event::{AccessClass, Event, ExcFrame, IpcKind, LoaderStage, SwitchEdge, Verdict};
 pub use metrics::{Histogram, HistogramSummary, MetricsRegistry, MetricsReport};
 pub use ring::EventRing;
 
@@ -57,7 +57,7 @@ pub enum ObsLevel {
 /// One `Recorder` lives inside the machine's system bus; every
 /// instrumentation site stamps events with [`Recorder::now`], the cycle
 /// counter mirrored in by `Machine::step`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Recorder {
     level: ObsLevel,
     now: u64,
@@ -165,8 +165,10 @@ impl Recorder {
             if self.events_on() {
                 self.ring.push(Event::ContextSwitch {
                     cycle: now,
-                    from: self.attr.name_of(from).to_string(),
-                    to: self.attr.name_of(to).to_string(),
+                    edge: Box::new(SwitchEdge {
+                        from: self.attr.name_of(from).to_string(),
+                        to: self.attr.name_of(to).to_string(),
+                    }),
                     ip,
                 });
             }
@@ -174,8 +176,10 @@ impl Recorder {
             let d = self.attr.current_domain().to_string();
             self.ring.push(Event::ContextSwitch {
                 cycle: now,
-                from: d.clone(),
-                to: d,
+                edge: Box::new(SwitchEdge {
+                    from: d.clone(),
+                    to: d,
+                }),
                 ip,
             });
         }

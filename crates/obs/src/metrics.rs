@@ -57,6 +57,26 @@ impl Histogram {
         self.sum
     }
 
+    /// Folds `other` into `self`: bucket-wise sum with exact count/sum
+    /// and combined min/max, so merging per-shard histograms loses no
+    /// precision versus observing every sample into one registry.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
     /// Summarizes the histogram.
     pub fn summary(&self) -> HistogramSummary {
         let mut nonzero = Vec::new();
@@ -102,7 +122,7 @@ pub struct HistogramSummary {
 ///
 /// Names are dotted paths (`mpu.checks`, `exc.entry_cycles`); the
 /// registry is a plain map so instrumentation sites never pre-register.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct MetricsRegistry {
     counters: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
@@ -159,6 +179,24 @@ impl MetricsRegistry {
         self.histograms.clear();
     }
 
+    /// Folds another registry into this one: counters add, histograms
+    /// merge bucket-wise. This is the shard-merge primitive for the
+    /// fleet engine — merging N per-device registries produces exactly
+    /// the registry one device would have accumulated N trajectories
+    /// into, so fleet totals still sum precisely.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            self.add(k, *v);
+        }
+        for (k, h) in &other.histograms {
+            if let Some(mine) = self.histograms.get_mut(k) {
+                mine.merge(h);
+            } else {
+                self.histograms.insert(k.clone(), h.clone());
+            }
+        }
+    }
+
     /// Takes a serializable snapshot.
     pub fn snapshot(&self) -> MetricsReport {
         MetricsReport {
@@ -185,10 +223,61 @@ pub struct MetricsReport {
     pub attribution: Vec<(String, u64)>,
 }
 
+impl HistogramSummary {
+    /// Folds `other` into `self` (the snapshot-level counterpart of
+    /// [`Histogram::merge`]; bucket resolution is preserved exactly, the
+    /// mean is recomputed from the exact merged count/sum).
+    pub fn merge(&mut self, other: &HistogramSummary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        for &(lo, c) in &other.buckets {
+            match self.buckets.binary_search_by_key(&lo, |&(l, _)| l) {
+                Ok(i) => self.buckets[i].1 += c,
+                Err(i) => self.buckets.insert(i, (lo, c)),
+            }
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.mean = self.sum as f64 / self.count as f64;
+    }
+}
+
 impl MetricsReport {
     /// Total attributed cycles.
     pub fn attributed_cycles(&self) -> u64 {
         self.attribution.iter().map(|(_, c)| c).sum()
+    }
+
+    /// Folds another report into this one: counters add, histogram
+    /// summaries merge, attribution rows sum by domain name (new domains
+    /// append in `other`'s order). Merging N per-device fleet reports
+    /// therefore keeps the invariant that attributed cycles sum exactly
+    /// to the summed machine cycle counters.
+    pub fn merge(&mut self, other: &MetricsReport) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            if let Some(mine) = self.histograms.get_mut(k) {
+                mine.merge(h);
+            } else {
+                self.histograms.insert(k.clone(), h.clone());
+            }
+        }
+        for (name, cycles) in &other.attribution {
+            if let Some(row) = self.attribution.iter_mut().find(|(n, _)| n == name) {
+                row.1 += cycles;
+            } else {
+                self.attribution.push((name.clone(), *cycles));
+            }
+        }
     }
 
     /// Renders the report as a JSON object.
@@ -294,6 +383,75 @@ mod tests {
         assert_eq!(s.max, 100);
         // Buckets: 0 -> [0], 1 -> [1], 2 -> [2,3], 4 -> [4], 64 -> [100].
         assert_eq!(s.buckets, vec![(0, 1), (1, 1), (2, 2), (4, 1), (64, 1)]);
+    }
+
+    #[test]
+    fn histogram_merge_equals_joint_observation() {
+        let (a_samples, b_samples) = ([0u64, 1, 7, 300], [2u64, 7, 1 << 40]);
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut joint = Histogram::default();
+        for v in a_samples {
+            a.observe(v);
+            joint.observe(v);
+        }
+        for v in b_samples {
+            b.observe(v);
+            joint.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, joint);
+        assert_eq!(a.summary(), joint.summary());
+    }
+
+    #[test]
+    fn registry_merge_sums_counters_and_histograms() {
+        let mut a = MetricsRegistry::default();
+        let mut b = MetricsRegistry::default();
+        a.add("x", 3);
+        b.add("x", 4);
+        b.add("only_b", 1);
+        a.observe("h", 5);
+        b.observe("h", 9);
+        b.observe("h2", 2);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 7);
+        assert_eq!(a.counter("only_b"), 1);
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+        assert_eq!(a.histogram("h").unwrap().sum(), 14);
+        assert_eq!(a.histogram("h2").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn report_merge_sums_attribution_by_name() {
+        let mut a = MetricsRegistry::default().snapshot();
+        a.attribution = vec![("os".to_string(), 10), ("t0".to_string(), 5)];
+        let mut b = MetricsRegistry::default().snapshot();
+        b.attribution = vec![("t0".to_string(), 7), ("t9".to_string(), 1)];
+        a.merge(&b);
+        assert_eq!(
+            a.attribution,
+            vec![
+                ("os".to_string(), 10),
+                ("t0".to_string(), 12),
+                ("t9".to_string(), 1)
+            ]
+        );
+        assert_eq!(a.attributed_cycles(), 23);
+    }
+
+    #[test]
+    fn summary_merge_interleaves_buckets() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        a.observe(1);
+        a.observe(64);
+        b.observe(4);
+        b.observe(64);
+        let mut sa = a.summary();
+        sa.merge(&b.summary());
+        a.merge(&b);
+        assert_eq!(sa, a.summary());
     }
 
     #[test]

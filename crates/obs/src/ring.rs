@@ -1,15 +1,29 @@
 //! The bounded event ring.
-
-use std::collections::VecDeque;
+//!
+//! Implemented as a flat circular buffer rather than a `VecDeque`: at the
+//! `Full` capture level the firehose pushes one `InstrRetired` plus one
+//! `MpuCheck` per simulated instruction, and the steady state (ring at
+//! capacity) previously paid a `pop_front` + `push_back` pair per event.
+//! The slab form makes the steady-state push a single indexed overwrite,
+//! and backing storage is reserved in one batch the first time the ring
+//! fills a chunk instead of growing per instruction.
 
 use crate::event::Event;
+
+/// How many slots are reserved at once while the buffer grows toward
+/// capacity (batched reservation: one allocation per chunk instead of
+/// amortized doubling in the per-instruction path).
+const RESERVE_CHUNK: usize = 4096;
 
 /// A bounded FIFO of events: once full, the oldest event is dropped for
 /// each new one, and the drop is counted so sinks can report truncation
 /// instead of silently pretending the trace is complete.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct EventRing {
-    buf: VecDeque<Event>,
+    buf: Vec<Event>,
+    /// Index of the oldest retained event (only meaningful once the
+    /// buffer has reached capacity and wrapped).
+    start: usize,
     cap: usize,
     dropped: u64,
 }
@@ -18,7 +32,8 @@ impl EventRing {
     /// Creates a ring holding at most `cap` events (`cap = 0` drops all).
     pub fn new(cap: usize) -> EventRing {
         EventRing {
-            buf: VecDeque::new(),
+            buf: Vec::new(),
+            start: 0,
             cap,
             dropped: 0,
         }
@@ -31,25 +46,41 @@ impl EventRing {
 
     /// Re-sizes the ring, evicting oldest events if shrinking.
     pub fn set_capacity(&mut self, cap: usize) {
-        self.cap = cap;
-        while self.buf.len() > cap {
-            self.buf.pop_front();
-            self.dropped += 1;
+        if self.buf.len() > cap {
+            let evict = self.buf.len() - cap;
+            // Linearize (oldest first), drop the front, rebuild.
+            let mut linear: Vec<Event> = self.iter().cloned().collect();
+            linear.drain(..evict);
+            self.buf = linear;
+            self.start = 0;
+            self.dropped += evict as u64;
         }
+        self.cap = cap;
     }
 
     /// Appends an event, evicting the oldest if at capacity.
     #[inline]
     pub fn push(&mut self, event: Event) {
+        if self.buf.len() < self.cap {
+            if self.buf.len() == self.buf.capacity() {
+                // Batched reservation: one chunk, not per-event growth.
+                let want = RESERVE_CHUNK.min(self.cap - self.buf.len());
+                self.buf.reserve(want);
+            }
+            self.buf.push(event);
+            return;
+        }
         if self.cap == 0 {
             self.dropped += 1;
             return;
         }
-        if self.buf.len() == self.cap {
-            self.buf.pop_front();
-            self.dropped += 1;
+        // Steady state: overwrite the oldest slot in place.
+        self.buf[self.start] = event;
+        self.start += 1;
+        if self.start == self.cap {
+            self.start = 0;
         }
-        self.buf.push_back(event);
+        self.dropped += 1;
     }
 
     /// Number of retained events.
@@ -69,21 +100,16 @@ impl EventRing {
 
     /// Iterates retained events, oldest first.
     pub fn iter(&self) -> impl Iterator<Item = &Event> {
-        self.buf.iter()
+        self.buf[self.start..]
+            .iter()
+            .chain(self.buf[..self.start].iter())
     }
 
     /// Discards all retained events and resets the drop counter.
     pub fn clear(&mut self) {
         self.buf.clear();
+        self.start = 0;
         self.dropped = 0;
-    }
-}
-
-impl<'a> IntoIterator for &'a EventRing {
-    type Item = &'a Event;
-    type IntoIter = std::collections::vec_deque::Iter<'a, Event>;
-    fn into_iter(self) -> Self::IntoIter {
-        self.buf.iter()
     }
 }
 
@@ -137,5 +163,28 @@ mod tests {
         assert_eq!(r.dropped(), 6);
         let cycles: Vec<u64> = r.iter().map(|e| e.cycle()).collect();
         assert_eq!(cycles, [6, 7]);
+    }
+
+    #[test]
+    fn shrinking_a_wrapped_ring_keeps_newest() {
+        let mut r = EventRing::new(4);
+        for c in 0..7 {
+            r.push(ev(c)); // wrapped: retains 3,4,5,6 with start != 0
+        }
+        r.set_capacity(2);
+        let cycles: Vec<u64> = r.iter().map(|e| e.cycle()).collect();
+        assert_eq!(cycles, [5, 6]);
+        assert_eq!(r.dropped(), 5);
+    }
+
+    #[test]
+    fn clone_preserves_order_across_wrap() {
+        let mut r = EventRing::new(3);
+        for c in 0..5 {
+            r.push(ev(c));
+        }
+        let c = r.clone();
+        let cycles: Vec<u64> = c.iter().map(|e| e.cycle()).collect();
+        assert_eq!(cycles, [2, 3, 4]);
     }
 }

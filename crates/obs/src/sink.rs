@@ -4,7 +4,7 @@
 
 use std::fmt::Write as _;
 
-use crate::event::{AccessClass, Event, Verdict};
+use crate::event::{AccessClass, Event, ExcFrame, IpcKind, LoaderStage, SwitchEdge, Verdict};
 use crate::json::{self, Json};
 
 // --- text ---------------------------------------------------------------
@@ -15,20 +15,43 @@ pub fn text<'a>(events: impl IntoIterator<Item = &'a Event>) -> String {
     let mut out = String::new();
     for e in events {
         let _ = match e {
-            Event::InstrRetired { cycle, ip, word, cost } => writeln!(
+            Event::InstrRetired {
+                cycle,
+                ip,
+                word,
+                cost,
+            } => writeln!(
                 out,
                 "[{cycle:>10}] instr      {ip:08x}  {:<28} (+{cost})",
                 trustlite_isa::disassemble(*word)
             ),
-            Event::MpuCheck { cycle, subject, addr, kind, verdict } => writeln!(
+            Event::MpuCheck {
+                cycle,
+                subject,
+                addr,
+                kind,
+                verdict,
+            } => writeln!(
                 out,
                 "[{cycle:>10}] mpu-check  subject={subject:08x} addr={addr:08x} {kind} -> {verdict}"
             ),
-            Event::MpuFault { cycle, ip, addr, kind } => writeln!(
+            Event::MpuFault {
+                cycle,
+                ip,
+                addr,
+                kind,
+            } => writeln!(
                 out,
                 "[{cycle:>10}] MPU-FAULT  ip={ip:08x} addr={addr:08x} {kind}"
             ),
-            Event::ExceptionEnter { cycle, vector, trustlet, interrupted_ip, saved_sp, cycles } => {
+            Event::ExceptionEnter { cycle, frame } => {
+                let ExcFrame {
+                    vector,
+                    trustlet,
+                    interrupted_ip,
+                    saved_sp,
+                    cycles,
+                } = &**frame;
                 match trustlet {
                     Some(t) => writeln!(
                         out,
@@ -40,7 +63,11 @@ pub fn text<'a>(events: impl IntoIterator<Item = &'a Event>) -> String {
                     ),
                 }
             }
-            Event::ExceptionExit { cycle, resumed_ip, cycles } => writeln!(
+            Event::ExceptionExit {
+                cycle,
+                resumed_ip,
+                cycles,
+            } => writeln!(
                 out,
                 "[{cycle:>10}] exc-exit   resume={resumed_ip:08x} (+{cycles})"
             ),
@@ -50,13 +77,27 @@ pub fn text<'a>(events: impl IntoIterator<Item = &'a Event>) -> String {
             Event::LoaderPhase { start, phase, ops } => {
                 writeln!(out, "[{start:>10}] loader     {phase} ({ops} ops)")
             }
-            Event::ContextSwitch { cycle, from, to, ip } => {
-                writeln!(out, "[{cycle:>10}] switch     {from} -> {to} at {ip:08x}")
+            Event::ContextSwitch { cycle, edge, ip } => {
+                writeln!(
+                    out,
+                    "[{cycle:>10}] switch     {} -> {} at {ip:08x}",
+                    edge.from, edge.to
+                )
             }
-            Event::IpcSend { cycle, from, to, kind } => {
+            Event::IpcSend {
+                cycle,
+                from,
+                to,
+                kind,
+            } => {
                 writeln!(out, "[{cycle:>10}] ipc-send   {from} -> {to} [{kind}]")
             }
-            Event::IpcRecv { cycle, from, to, kind } => {
+            Event::IpcRecv {
+                cycle,
+                from,
+                to,
+                kind,
+            } => {
                 writeln!(out, "[{cycle:>10}] ipc-recv   {from} -> {to} [{kind}]")
             }
         };
@@ -109,14 +150,14 @@ pub fn event_to_json(e: &Event) -> String {
                 kind.name()
             );
         }
-        Event::ExceptionEnter {
-            cycle,
-            vector,
-            trustlet,
-            interrupted_ip,
-            saved_sp,
-            cycles,
-        } => {
+        Event::ExceptionEnter { cycle, frame } => {
+            let ExcFrame {
+                vector,
+                trustlet,
+                interrupted_ip,
+                saved_sp,
+                cycles,
+            } = &**frame;
             let _ = write!(o, ",\"cycle\":{cycle},\"vector\":{vector},\"trustlet\":");
             match trustlet {
                 Some(t) => {
@@ -143,20 +184,17 @@ pub fn event_to_json(e: &Event) -> String {
             let _ = write!(o, ",\"cycle\":{cycle},\"count\":{count}");
         }
         Event::LoaderPhase { start, phase, ops } => {
-            let _ = write!(o, ",\"start\":{start},\"phase\":");
-            json::write_str(&mut o, phase);
-            let _ = write!(o, ",\"ops\":{ops}");
+            let _ = write!(
+                o,
+                ",\"start\":{start},\"phase\":\"{}\",\"ops\":{ops}",
+                phase.name()
+            );
         }
-        Event::ContextSwitch {
-            cycle,
-            from,
-            to,
-            ip,
-        } => {
+        Event::ContextSwitch { cycle, edge, ip } => {
             let _ = write!(o, ",\"cycle\":{cycle},\"from\":");
-            json::write_str(&mut o, from);
+            json::write_str(&mut o, &edge.from);
             o.push_str(",\"to\":");
-            json::write_str(&mut o, to);
+            json::write_str(&mut o, &edge.to);
             let _ = write!(o, ",\"ip\":{ip}");
         }
         Event::IpcSend {
@@ -171,8 +209,11 @@ pub fn event_to_json(e: &Event) -> String {
             to,
             kind,
         } => {
-            let _ = write!(o, ",\"cycle\":{cycle},\"from\":{from},\"to\":{to},\"msg\":");
-            json::write_str(&mut o, kind);
+            let _ = write!(
+                o,
+                ",\"cycle\":{cycle},\"from\":{from},\"to\":{to},\"msg\":\"{}\"",
+                kind.name()
+            );
         }
     }
     o.push('}');
@@ -210,6 +251,16 @@ fn field_access(v: &Json, key: &str) -> Result<AccessClass, String> {
     AccessClass::from_name(&field_str(v, key)?).ok_or_else(|| "bad access class".to_string())
 }
 
+fn field_loader_stage(v: &Json) -> Result<LoaderStage, String> {
+    let s = field_str(v, "phase")?;
+    LoaderStage::from_name(&s).ok_or_else(|| format!("unknown loader phase `{s}`"))
+}
+
+fn field_ipc_kind(v: &Json) -> Result<IpcKind, String> {
+    let s = field_str(v, "msg")?;
+    IpcKind::from_name(&s).ok_or_else(|| format!("unknown ipc message kind `{s}`"))
+}
+
 /// Parses one JSONL line produced by [`event_to_json`] back into an
 /// [`Event`].
 pub fn parse_jsonl_line(line: &str) -> Result<Event, String> {
@@ -238,19 +289,21 @@ pub fn parse_jsonl_line(line: &str) -> Result<Event, String> {
         }),
         "exception_enter" => Ok(Event::ExceptionEnter {
             cycle: field_u64(&v, "cycle")?,
-            vector: u8::try_from(field_u64(&v, "vector")?)
-                .map_err(|_| "vector out of range".to_string())?,
-            trustlet: match v.get("trustlet") {
-                None | Some(Json::Null) => None,
-                Some(j) => Some(
-                    j.as_u64()
-                        .and_then(|t| u32::try_from(t).ok())
-                        .ok_or_else(|| "bad trustlet field".to_string())?,
-                ),
-            },
-            interrupted_ip: field_u32(&v, "interrupted_ip")?,
-            saved_sp: field_u32(&v, "saved_sp")?,
-            cycles: field_u64(&v, "cycles")?,
+            frame: Box::new(ExcFrame {
+                vector: u8::try_from(field_u64(&v, "vector")?)
+                    .map_err(|_| "vector out of range".to_string())?,
+                trustlet: match v.get("trustlet") {
+                    None | Some(Json::Null) => None,
+                    Some(j) => Some(
+                        j.as_u64()
+                            .and_then(|t| u32::try_from(t).ok())
+                            .ok_or_else(|| "bad trustlet field".to_string())?,
+                    ),
+                },
+                interrupted_ip: field_u32(&v, "interrupted_ip")?,
+                saved_sp: field_u32(&v, "saved_sp")?,
+                cycles: field_u64(&v, "cycles")?,
+            }),
         }),
         "exception_exit" => Ok(Event::ExceptionExit {
             cycle: field_u64(&v, "cycle")?,
@@ -263,26 +316,28 @@ pub fn parse_jsonl_line(line: &str) -> Result<Event, String> {
         }),
         "loader_phase" => Ok(Event::LoaderPhase {
             start: field_u64(&v, "start")?,
-            phase: field_str(&v, "phase")?,
+            phase: field_loader_stage(&v)?,
             ops: field_u64(&v, "ops")?,
         }),
         "context_switch" => Ok(Event::ContextSwitch {
             cycle: field_u64(&v, "cycle")?,
-            from: field_str(&v, "from")?,
-            to: field_str(&v, "to")?,
+            edge: Box::new(SwitchEdge {
+                from: field_str(&v, "from")?,
+                to: field_str(&v, "to")?,
+            }),
             ip: field_u32(&v, "ip")?,
         }),
         "ipc_send" => Ok(Event::IpcSend {
             cycle: field_u64(&v, "cycle")?,
             from: field_u32(&v, "from")?,
             to: field_u32(&v, "to")?,
-            kind: field_str(&v, "msg")?,
+            kind: field_ipc_kind(&v)?,
         }),
         "ipc_recv" => Ok(Event::IpcRecv {
             cycle: field_u64(&v, "cycle")?,
             from: field_u32(&v, "from")?,
             to: field_u32(&v, "to")?,
-            kind: field_str(&v, "msg")?,
+            kind: field_ipc_kind(&v)?,
         }),
         other => Err(format!("unknown event kind `{other}`")),
     }
@@ -354,22 +409,15 @@ pub fn chrome<'a>(events: impl IntoIterator<Item = &'a Event>, end_cycle: u64) -
     for e in events {
         last_cycle = last_cycle.max(e.cycle());
         match e {
-            Event::ContextSwitch {
-                cycle, from, to, ..
-            } => {
-                let (name, start) = open.take().unwrap_or_else(|| (from.clone(), 0));
+            Event::ContextSwitch { cycle, edge, .. } => {
+                let (name, start) = open.take().unwrap_or_else(|| (edge.from.clone(), 0));
                 chrome_slice(&mut out, &name, TID_DOMAINS, start, cycle - start, "");
-                open = Some((to.clone(), *cycle));
+                open = Some((edge.to.clone(), *cycle));
             }
-            Event::ExceptionEnter {
-                cycle,
-                vector,
-                trustlet,
-                cycles,
-                ..
-            } => {
+            Event::ExceptionEnter { cycle, frame } => {
+                let vector = frame.vector;
                 let mut args = format!("\"vector\":{vector}");
-                if let Some(t) = trustlet {
+                if let Some(t) = frame.trustlet {
                     let _ = write!(args, ",\"trustlet\":{t}");
                 }
                 chrome_slice(
@@ -377,7 +425,7 @@ pub fn chrome<'a>(events: impl IntoIterator<Item = &'a Event>, end_cycle: u64) -
                     &format!("exc vec={vector}"),
                     TID_EXC,
                     *cycle,
-                    *cycles,
+                    frame.cycles,
                     &args,
                 );
             }
@@ -398,7 +446,7 @@ pub fn chrome<'a>(events: impl IntoIterator<Item = &'a Event>, end_cycle: u64) -
             Event::LoaderPhase { start, phase, ops } => {
                 chrome_slice(
                     &mut out,
-                    phase,
+                    phase.name(),
                     TID_LOADER,
                     *start,
                     (*ops).max(1),
@@ -495,19 +543,23 @@ mod tests {
             },
             Event::ExceptionEnter {
                 cycle: 3,
-                vector: 16,
-                trustlet: Some(1),
-                interrupted_ip: 0x4000,
-                saved_sp: 0x5000,
-                cycles: 21,
+                frame: Box::new(ExcFrame {
+                    vector: 16,
+                    trustlet: Some(1),
+                    interrupted_ip: 0x4000,
+                    saved_sp: 0x5000,
+                    cycles: 21,
+                }),
             },
             Event::ExceptionEnter {
                 cycle: 30,
-                vector: 8,
-                trustlet: None,
-                interrupted_ip: 0x1008,
-                saved_sp: 0,
-                cycles: 21,
+                frame: Box::new(ExcFrame {
+                    vector: 8,
+                    trustlet: None,
+                    interrupted_ip: 0x1008,
+                    saved_sp: 0,
+                    cycles: 21,
+                }),
             },
             Event::ExceptionExit {
                 cycle: 60,
@@ -520,26 +572,28 @@ mod tests {
             },
             Event::LoaderPhase {
                 start: 0,
-                phase: "copy_images".to_string(),
+                phase: LoaderStage::CopyImages,
                 ops: 12,
             },
             Event::ContextSwitch {
                 cycle: 70,
-                from: "os".to_string(),
-                to: "t0".to_string(),
+                edge: Box::new(SwitchEdge {
+                    from: "os".to_string(),
+                    to: "t0".to_string(),
+                }),
                 ip: 0x4000,
             },
             Event::IpcSend {
                 cycle: 71,
                 from: 1,
                 to: 2,
-                kind: "syn".to_string(),
+                kind: IpcKind::Syn,
             },
             Event::IpcRecv {
                 cycle: 72,
                 from: 1,
                 to: 2,
-                kind: "syn".to_string(),
+                kind: IpcKind::Syn,
             },
         ]
     }

@@ -1,13 +1,13 @@
 //! End-to-end recorder exercises: overflow accounting under a small ring
 //! and lossless JSONL round-trips of a mixed event stream.
 
-use trustlite_obs::{sink, Event, ObsLevel, Recorder};
+use trustlite_obs::{sink, Event, ExcFrame, IpcKind, LoaderStage, ObsLevel, Recorder, SwitchEdge};
 
 fn mixed_stream() -> Vec<Event> {
     vec![
         Event::LoaderPhase {
             start: 0,
-            phase: "reset".into(),
+            phase: LoaderStage::Reset,
             ops: 1,
         },
         Event::RegsCleared {
@@ -16,29 +16,33 @@ fn mixed_stream() -> Vec<Event> {
         },
         Event::ExceptionEnter {
             cycle: 10,
-            vector: 32,
-            trustlet: Some(1),
-            interrupted_ip: 0x1000_0420,
-            saved_sp: 0x1000_0700,
-            cycles: 42,
+            frame: Box::new(ExcFrame {
+                vector: 32,
+                trustlet: Some(1),
+                interrupted_ip: 0x1000_0420,
+                saved_sp: 0x1000_0700,
+                cycles: 42,
+            }),
         },
         Event::ContextSwitch {
             cycle: 52,
-            from: "t1".into(),
-            to: "os".into(),
+            edge: Box::new(SwitchEdge {
+                from: "t1".into(),
+                to: "os".into(),
+            }),
             ip: 0x400,
         },
         Event::IpcSend {
             cycle: 60,
             from: 0xa0,
             to: 0xa1,
-            kind: "syn".into(),
+            kind: IpcKind::Syn,
         },
         Event::IpcRecv {
             cycle: 70,
             from: 0xa0,
             to: 0xa1,
-            kind: "syn".into(),
+            kind: IpcKind::Syn,
         },
         Event::ExceptionExit {
             cycle: 90,

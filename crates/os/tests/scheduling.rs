@@ -335,22 +335,14 @@ fn exception_events_match_exc_log_under_preemption() {
         "one event per logged exception"
     );
     for (e, r) in enters.iter().zip(&p.machine.exc_log) {
-        let Event::ExceptionEnter {
-            cycle,
-            vector,
-            trustlet,
-            interrupted_ip,
-            cycles,
-            ..
-        } = e
-        else {
+        let Event::ExceptionEnter { cycle, frame } = e else {
             unreachable!()
         };
         assert_eq!(*cycle, r.at_cycle);
-        assert_eq!(*vector, r.vector);
-        assert_eq!(*trustlet, r.trustlet);
-        assert_eq!(*interrupted_ip, r.interrupted_ip);
-        assert_eq!(*cycles, r.entry_cycles);
+        assert_eq!(frame.vector, r.vector);
+        assert_eq!(frame.trustlet, r.trustlet);
+        assert_eq!(frame.interrupted_ip, r.interrupted_ip);
+        assert_eq!(frame.cycles, r.entry_cycles);
     }
 
     // The scheduler metrics helper agrees with the raw log.

@@ -71,6 +71,7 @@ enum Engine {
 }
 
 /// The crypto accelerator device.
+#[derive(Clone)]
 pub struct CryptoAccel {
     engine: Engine,
     digest: [u8; 32],
@@ -203,6 +204,9 @@ impl Device for CryptoAccel {
     // tick_hint stays `None`: the busy countdown raises no interrupt and
     // is only observable through MMIO, so catching up on access suffices.
 
+    fn snapshot(&self) -> Option<Box<dyn Device>> {
+        Some(Box::new(self.clone()))
+    }
     fn as_any(&mut self) -> &mut dyn Any {
         self
     }

@@ -85,6 +85,9 @@ impl Device for KeyStore {
         Err(BusError::BadWidth { addr: off })
     }
 
+    fn snapshot(&self) -> Option<Box<dyn Device>> {
+        Some(Box::new(self.clone()))
+    }
     fn as_any(&mut self) -> &mut dyn Any {
         self
     }

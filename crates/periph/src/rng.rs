@@ -28,6 +28,13 @@ impl Rng {
             draws: 0,
         }
     }
+
+    /// Restarts the generator from `seed` (host-side divergence hook:
+    /// forked fleet devices get fresh, per-device randomness streams).
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = XorShift64::new(seed);
+        self.draws = 0;
+    }
 }
 
 impl Device for Rng {
@@ -61,6 +68,9 @@ impl Device for Rng {
         Err(BusError::BadWidth { addr: off })
     }
 
+    fn snapshot(&self) -> Option<Box<dyn Device>> {
+        Some(Box::new(self.clone()))
+    }
     fn as_any(&mut self) -> &mut dyn Any {
         self
     }

@@ -157,6 +157,9 @@ impl Device for Timer {
         }
     }
 
+    fn snapshot(&self) -> Option<Box<dyn Device>> {
+        Some(Box::new(self.clone()))
+    }
     fn as_any(&mut self) -> &mut dyn Any {
         self
     }

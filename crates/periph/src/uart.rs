@@ -150,6 +150,9 @@ impl Device for Uart {
         }
     }
 
+    fn snapshot(&self) -> Option<Box<dyn Device>> {
+        Some(Box::new(self.clone()))
+    }
     fn as_any(&mut self) -> &mut dyn Any {
         self
     }
