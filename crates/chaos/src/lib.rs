@@ -1,0 +1,363 @@
+//! Deterministic fault injection for the TrustLite fleet engine.
+//!
+//! The paper's threat model (Section 2.2) assumes software adversaries
+//! that tamper with memory and protocol messages; MVAM-style memory
+//! attacks and interrupted/disrupted attestation are exactly what a
+//! trust architecture must survive. This crate derives every injected
+//! fault from a *plan* that is a pure function of
+//! `(fleet_seed, device_id, round)` — no RNG state, no wall clock — so
+//! a chaos run is bit-identical for any worker count and across
+//! repeated runs, and a failing fleet run can be replayed from its
+//! seeds alone.
+//!
+//! The crate is deliberately memory-map-agnostic: it emits abstract
+//! fault *selectors* ([`RoundFault::BitFlip`] carries a raw `select`
+//! word, [`RoundFault::CrashReset`] a raw step offset) and the fleet
+//! engine maps them onto concrete trustlet regions and quanta.
+
+/// Per-mille denominator used by all fault-rate knobs.
+pub const PER_MILLE: u64 = 1000;
+
+/// What kind of adversary a device is for the whole run (decided once,
+/// at fork/diverge time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceRole {
+    /// Faithful device: reports only what the Secure Loader measured.
+    Honest,
+    /// The device's measurement table was tampered with after load —
+    /// the verifier must reject on measurement mismatch.
+    TamperedMeasurement,
+    /// The device was provisioned with a corrupted HMAC key — reports
+    /// carry correct measurements but an unverifiable tag.
+    WrongKey,
+}
+
+/// One transient fault scheduled for a `(device, round)` cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundFault {
+    /// Flip one bit of RAM inside a trustlet code/data region. `select`
+    /// is an abstract selector the engine reduces onto its region list;
+    /// `bit` is the bit index within the chosen byte.
+    BitFlip {
+        /// Raw region/offset selector (engine maps it into an address).
+        select: u64,
+        /// Bit position within the byte (0..8).
+        bit: u8,
+    },
+    /// The device's attestation response is lost in transit.
+    DropResponse,
+    /// One bit of the response's HMAC tag is flipped in transit. `bit`
+    /// indexes the 256 tag bits.
+    CorruptResponse {
+        /// Tag bit index (0..256).
+        bit: u8,
+    },
+    /// The response arrives `rounds` round boundaries late.
+    DelayResponse {
+        /// Delivery delay in rounds (>= 1).
+        rounds: u64,
+    },
+    /// The device crashes mid-round and warm-resets: the Secure Loader
+    /// runs again on this device only. `at` is an abstract step
+    /// selector the engine reduces modulo the quantum.
+    CrashReset {
+        /// Raw step-offset selector.
+        at: u64,
+    },
+}
+
+/// Fault-plan knobs. `ChaosConfig::off()` (the default) disables every
+/// injection; the fleet engine's honest path must be byte-identical
+/// with chaos compiled in but off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Plan seed, mixed with the fleet seed. Two chaos seeds give two
+    /// unrelated fault schedules over the same fleet.
+    pub seed: u64,
+    /// Probability (per mille) that any `(device, round)` cell carries
+    /// a transient [`RoundFault`].
+    pub fault_rate_pm: u64,
+    /// Probability (per mille) that a device is malicious for the whole
+    /// run (tampered measurement or wrong key, split evenly).
+    pub malicious_pm: u64,
+}
+
+impl ChaosConfig {
+    /// No injection at all (the default).
+    pub fn off() -> ChaosConfig {
+        ChaosConfig {
+            seed: 0,
+            fault_rate_pm: 0,
+            malicious_pm: 0,
+        }
+    }
+
+    /// Enables injection at the default rates (150‰ transient faults,
+    /// 150‰ malicious devices) under `seed`.
+    pub fn with_seed(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            fault_rate_pm: 150,
+            malicious_pm: 150,
+        }
+    }
+
+    /// True when any fault class can fire.
+    pub fn enabled(&self) -> bool {
+        self.fault_rate_pm > 0 || self.malicious_pm > 0
+    }
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig::off()
+    }
+}
+
+/// A fully deterministic fault plan.
+///
+/// Every query is a pure function of `(fleet_seed, device, round)` and
+/// the config — the plan holds no mutable state, so workers may query
+/// it concurrently and in any order without changing the schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    cfg: ChaosConfig,
+}
+
+/// Domain-separation salts (arbitrary odd constants; distinct per
+/// decision so the role draw never correlates with the fault draws).
+const SALT_ROLE: u64 = 0x524f_4c45_0000_0001;
+const SALT_FAULT: u64 = 0x4641_554c_0000_0003;
+const SALT_KIND: u64 = 0x4b49_4e44_0000_0005;
+const SALT_ARG: u64 = 0x4152_4755_0000_0007;
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Mixes an arbitrary tuple of words into one well-distributed word by
+/// folding each through a splitmix64 step.
+fn mix(parts: &[u64]) -> u64 {
+    let mut acc = 0x243f_6a88_85a3_08d3; // pi fraction; any fixed IV works
+    for &p in parts {
+        acc = splitmix(acc ^ p);
+    }
+    acc
+}
+
+impl FaultPlan {
+    /// Builds the plan for a config (cheap: the plan is just the config).
+    pub fn new(cfg: ChaosConfig) -> FaultPlan {
+        FaultPlan { cfg }
+    }
+
+    /// The config this plan was built from.
+    pub fn config(&self) -> &ChaosConfig {
+        &self.cfg
+    }
+
+    /// True when any fault class can fire.
+    pub fn enabled(&self) -> bool {
+        self.cfg.enabled()
+    }
+
+    /// The device's run-long role. Malicious devices split evenly
+    /// between tampered measurements and wrong keys.
+    pub fn role(&self, fleet_seed: u64, device: u32) -> DeviceRole {
+        if self.cfg.malicious_pm == 0 {
+            return DeviceRole::Honest;
+        }
+        let draw = mix(&[SALT_ROLE, self.cfg.seed, fleet_seed, u64::from(device)]);
+        if draw % PER_MILLE >= self.cfg.malicious_pm {
+            return DeviceRole::Honest;
+        }
+        if (draw >> 32) & 1 == 0 {
+            DeviceRole::TamperedMeasurement
+        } else {
+            DeviceRole::WrongKey
+        }
+    }
+
+    /// The transient fault (if any) scheduled for `(device, round)`.
+    pub fn round_fault(&self, fleet_seed: u64, device: u32, round: u64) -> Option<RoundFault> {
+        if self.cfg.fault_rate_pm == 0 {
+            return None;
+        }
+        let cell = [
+            SALT_FAULT,
+            self.cfg.seed,
+            fleet_seed,
+            u64::from(device),
+            round,
+        ];
+        if mix(&cell) % PER_MILLE >= self.cfg.fault_rate_pm {
+            return None;
+        }
+        let kind = mix(&[
+            SALT_KIND,
+            self.cfg.seed,
+            fleet_seed,
+            u64::from(device),
+            round,
+        ]);
+        let arg = mix(&[
+            SALT_ARG,
+            self.cfg.seed,
+            fleet_seed,
+            u64::from(device),
+            round,
+        ]);
+        Some(match kind % 5 {
+            0 => RoundFault::BitFlip {
+                select: arg,
+                bit: (arg >> 56) as u8 & 7,
+            },
+            1 => RoundFault::DropResponse,
+            2 => RoundFault::CorruptResponse {
+                bit: (arg & 0xff) as u8,
+            },
+            3 => RoundFault::DelayResponse {
+                rounds: 1 + arg % 2,
+            },
+            _ => RoundFault::CrashReset { at: arg },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_plan_is_inert() {
+        let plan = FaultPlan::new(ChaosConfig::off());
+        assert!(!plan.enabled());
+        for device in 0..64 {
+            assert_eq!(plan.role(7, device), DeviceRole::Honest);
+            for round in 0..16 {
+                assert_eq!(plan.round_fault(7, device, round), None);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_is_a_pure_function_of_its_inputs() {
+        let a = FaultPlan::new(ChaosConfig::with_seed(42));
+        let b = FaultPlan::new(ChaosConfig::with_seed(42));
+        for device in 0..32 {
+            assert_eq!(a.role(9, device), b.role(9, device));
+            for round in 0..8 {
+                assert_eq!(
+                    a.round_fault(9, device, round),
+                    b.round_fault(9, device, round)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_schedules() {
+        let a = FaultPlan::new(ChaosConfig {
+            seed: 1,
+            fault_rate_pm: 500,
+            malicious_pm: 500,
+        });
+        let b = FaultPlan::new(ChaosConfig {
+            seed: 2,
+            fault_rate_pm: 500,
+            malicious_pm: 500,
+        });
+        let differs = (0..64).any(|d| {
+            a.role(3, d) != b.role(3, d)
+                || (0..8).any(|r| a.round_fault(3, d, r) != b.round_fault(3, d, r))
+        });
+        assert!(differs, "two chaos seeds must not share a schedule");
+    }
+
+    #[test]
+    fn fleet_seed_is_part_of_the_domain() {
+        let plan = FaultPlan::new(ChaosConfig {
+            seed: 5,
+            fault_rate_pm: 500,
+            malicious_pm: 500,
+        });
+        let differs =
+            (0..64).any(|d| (0..8).any(|r| plan.round_fault(1, d, r) != plan.round_fault(2, d, r)));
+        assert!(differs, "the fleet seed must reshuffle the schedule");
+    }
+
+    #[test]
+    fn rates_are_roughly_respected() {
+        let plan = FaultPlan::new(ChaosConfig {
+            seed: 11,
+            fault_rate_pm: 250,
+            malicious_pm: 250,
+        });
+        let cells = 4000u64;
+        let mut faults = 0u64;
+        for d in 0..200u32 {
+            for r in 0..20u64 {
+                if plan.round_fault(77, d, r).is_some() {
+                    faults += 1;
+                }
+            }
+        }
+        let rate = faults * PER_MILLE / cells;
+        assert!(
+            (150..350).contains(&rate),
+            "observed fault rate {rate}‰, expected ~250‰"
+        );
+        let malicious = (0..1000u32)
+            .filter(|&d| plan.role(77, d) != DeviceRole::Honest)
+            .count();
+        assert!(
+            (150..350).contains(&malicious),
+            "observed {malicious}‰ malicious, expected ~250‰"
+        );
+    }
+
+    #[test]
+    fn every_fault_kind_is_reachable() {
+        let plan = FaultPlan::new(ChaosConfig {
+            seed: 3,
+            fault_rate_pm: 1000,
+            malicious_pm: 0,
+        });
+        let mut kinds = [false; 5];
+        for d in 0..32u32 {
+            for r in 0..32u64 {
+                match plan.round_fault(1, d, r) {
+                    Some(RoundFault::BitFlip { bit, .. }) => {
+                        assert!(bit < 8);
+                        kinds[0] = true;
+                    }
+                    Some(RoundFault::DropResponse) => kinds[1] = true,
+                    Some(RoundFault::CorruptResponse { .. }) => kinds[2] = true,
+                    Some(RoundFault::DelayResponse { rounds }) => {
+                        assert!(rounds >= 1);
+                        kinds[3] = true;
+                    }
+                    Some(RoundFault::CrashReset { .. }) => kinds[4] = true,
+                    None => {}
+                }
+            }
+        }
+        assert_eq!(kinds, [true; 5], "all five fault kinds must occur");
+    }
+
+    #[test]
+    fn both_malicious_roles_are_reachable() {
+        let plan = FaultPlan::new(ChaosConfig {
+            seed: 3,
+            fault_rate_pm: 0,
+            malicious_pm: 1000,
+        });
+        let roles: Vec<DeviceRole> = (0..32).map(|d| plan.role(1, d)).collect();
+        assert!(roles.contains(&DeviceRole::TamperedMeasurement));
+        assert!(roles.contains(&DeviceRole::WrongKey));
+        assert!(!roles.contains(&DeviceRole::Honest), "1000‰ is everyone");
+    }
+}

@@ -209,6 +209,52 @@ pub fn respond(platform: &mut Platform, challenge: &Challenge) -> Result<Respons
     })
 }
 
+/// Why the verifier rejected an attestation response. The variants map
+/// one-to-one onto the fleet's `attest.reject.*` reason counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The reported measurements differ from the enrolment reference —
+    /// loaded code is not what the verifier expects.
+    BadMeasurement,
+    /// Measurements match but the HMAC tag does not verify: wrong or
+    /// corrupted key, tampered report, or a transit-corrupted tag.
+    BadTag,
+}
+
+impl RejectReason {
+    /// The `attest.reject.*` counter this reason increments.
+    pub fn counter_name(&self) -> &'static str {
+        match self {
+            RejectReason::BadMeasurement => "attest.reject.bad_measurement",
+            RejectReason::BadTag => "attest.reject.bad_tag",
+        }
+    }
+}
+
+/// Verifier side: checks a response against the expected measurements,
+/// reporting *why* a rejection happened. Measurement comparison comes
+/// first (it is public data); the tag check is constant-time.
+pub fn verify_detailed(
+    key: &[u8; 32],
+    challenge: &Challenge,
+    response: &Response,
+    expected: &[[u8; 32]],
+) -> Result<(), RejectReason> {
+    if response.measurements != expected {
+        return Err(RejectReason::BadMeasurement);
+    }
+    let mut msg = Vec::new();
+    msg.extend_from_slice(&challenge.nonce);
+    for m in &response.measurements {
+        msg.extend_from_slice(m);
+    }
+    if trustlite_crypto::ct_eq(&hmac_sha256(key, &msg), &response.tag) {
+        Ok(())
+    } else {
+        Err(RejectReason::BadTag)
+    }
+}
+
 /// Verifier side: checks a response against the expected measurements.
 pub fn verify(
     key: &[u8; 32],
@@ -216,15 +262,7 @@ pub fn verify(
     response: &Response,
     expected: &[[u8; 32]],
 ) -> bool {
-    if response.measurements != expected {
-        return false;
-    }
-    let mut msg = Vec::new();
-    msg.extend_from_slice(&challenge.nonce);
-    for m in &response.measurements {
-        msg.extend_from_slice(m);
-    }
-    trustlite_crypto::ct_eq(&hmac_sha256(key, &msg), &response.tag)
+    verify_detailed(key, challenge, response, expected).is_ok()
 }
 
 #[cfg(test)]
@@ -261,6 +299,37 @@ mod tests {
         assert!(!verify(&key, &challenge, &bad, &m));
         // Wrong key.
         assert!(!verify(&[8u8; 32], &challenge, &response, &m));
+    }
+
+    #[test]
+    fn verify_detailed_names_the_reject_reason() {
+        let key = [7u8; 32];
+        let challenge = Challenge { nonce: [1; 16] };
+        let m = [measure_code(b"tl-a")];
+        let mut msg = Vec::new();
+        msg.extend_from_slice(&challenge.nonce);
+        msg.extend_from_slice(&m[0]);
+        let response = Response {
+            measurements: m.to_vec(),
+            tag: hmac_sha256(&key, &msg),
+        };
+        assert_eq!(verify_detailed(&key, &challenge, &response, &m), Ok(()));
+        // A device reporting unexpected code fails on the measurement.
+        let other = [measure_code(b"evil")];
+        assert_eq!(
+            verify_detailed(&key, &challenge, &response, &other),
+            Err(RejectReason::BadMeasurement)
+        );
+        // A wrong key fails on the tag, not the measurement.
+        assert_eq!(
+            verify_detailed(&[8u8; 32], &challenge, &response, &m),
+            Err(RejectReason::BadTag)
+        );
+        assert_eq!(
+            RejectReason::BadMeasurement.counter_name(),
+            "attest.reject.bad_measurement"
+        );
+        assert_eq!(RejectReason::BadTag.counter_name(), "attest.reject.bad_tag");
     }
 
     #[test]

@@ -43,6 +43,9 @@ pub enum TrustliteError {
     },
     /// Snapshot/fork failed: the named component cannot be deep-copied.
     Snapshot(&'static str),
+    /// A fleet configuration is degenerate: the named knob is zero where
+    /// a nonzero value is required (e.g. `devices`, `rounds`).
+    DegenerateFleet { what: &'static str },
 }
 
 impl fmt::Display for TrustliteError {
@@ -69,6 +72,12 @@ impl fmt::Display for TrustliteError {
             TrustliteError::MissingOs => write!(f, "no OS image provided"),
             TrustliteError::Snapshot(what) => {
                 write!(f, "snapshot unsupported by component `{what}`")
+            }
+            TrustliteError::DegenerateFleet { what } => {
+                write!(
+                    f,
+                    "degenerate fleet configuration: `{what}` must be nonzero"
+                )
             }
             TrustliteError::PlanMismatch {
                 name,

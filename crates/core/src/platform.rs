@@ -548,6 +548,27 @@ impl Platform {
         Ok(out)
     }
 
+    /// Fault-injection hook: flips the low bit of the first word of
+    /// `name`'s row in the measurement table, modeling an adversary that
+    /// altered the recorded measurement (or the code it summarizes)
+    /// after load. The verifier must reject this device's reports on
+    /// measurement mismatch. A warm [`Platform::reset`] heals the
+    /// tampering — the Secure Loader re-measures from PROM, which is
+    /// the paper's point about re-establishing trust from ROM.
+    pub fn tamper_measurement(&mut self, name: &str) -> Result<(), TrustliteError> {
+        let slot = self.plan(name)?.measure_slot;
+        let word = self
+            .machine
+            .sys
+            .hw_read32(slot)
+            .map_err(|e| TrustliteError::BadFirmware(e.to_string()))?;
+        self.machine
+            .sys
+            .hw_write32(slot, word ^ 1)
+            .map_err(|e| TrustliteError::BadFirmware(e.to_string()))?;
+        Ok(())
+    }
+
     /// Renders the programmed MPU policy as a Figure 3-style table.
     pub fn access_matrix(&self) -> String {
         let mut out = String::from("slot  object              perms  subject\n");

@@ -1,0 +1,190 @@
+//! Experiment ECHS — chaos sweep: fault rate vs quarantine rate vs
+//! rounds-to-detect.
+//!
+//! For a fixed fleet, the fault-injection rate is swept while everything
+//! else stays pinned. Each run reports how much of the fleet ended up
+//! quarantined, how many rounds the verifier needed to write off a bad
+//! device (mean quarantine round + 1), and the reject-reason counter
+//! split. One nonzero-rate configuration is additionally executed at 1
+//! and 4 workers and the aggregate digests are asserted identical — the
+//! fault plan must not leak scheduling nondeterminism into the run.
+//!
+//! Run: `cargo run -p trustlite-fleet --release --bin chaos_sweep`
+//! (pass `-- --smoke` for a seconds-long CI-sized run).
+//!
+//! Writes `BENCH_chaos_sweep.json` into the current directory.
+
+use std::fmt::Write as _;
+
+use trustlite_chaos::ChaosConfig;
+use trustlite_fleet::{Fleet, FleetConfig};
+
+/// `(fault_rate_pm, malicious_pm)` pairs swept, mildest first.
+const RATES: [(u64, u64); 5] = [(0, 0), (100, 50), (250, 125), (500, 250), (1000, 500)];
+
+/// The pinned chaos seed (any value works; pinned so the table in
+/// EXPERIMENTS.md is reproducible).
+const CHAOS_SEED: u64 = 0xc4a0_5eed;
+
+struct SweepRow {
+    fault_pm: u64,
+    malicious_pm: u64,
+    quarantined: usize,
+    retrying: usize,
+    devices: usize,
+    mean_rounds_to_detect: f64,
+    attest_ok: u64,
+    attest_fail: u64,
+    bad_measurement: u64,
+    bad_tag: u64,
+    timeout: u64,
+    crash_resets: u64,
+    loader_runs: u64,
+    digest_hex: String,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let base = FleetConfig {
+        devices: if smoke { 16 } else { 32 },
+        workers: 1,
+        rounds: if smoke { 8 } else { 12 },
+        quantum: if smoke { 1_000 } else { 2_000 },
+        attest_every: 2,
+        ..FleetConfig::default()
+    };
+
+    println!(
+        "Chaos sweep: {} devices, {} rounds x {} steps, chaos seed {CHAOS_SEED:#x} \
+         (smoke: {smoke})",
+        base.devices, base.rounds, base.quantum
+    );
+    println!(
+        "{:>9}{:>11}{:>13}{:>10}{:>18}{:>10}{:>10}",
+        "fault ‰", "malicious ‰", "quarantined", "retrying", "rounds-to-detect", "ok", "fail"
+    );
+
+    let mut rows: Vec<SweepRow> = Vec::new();
+    for &(fault_pm, malicious_pm) in &RATES {
+        let cfg = FleetConfig {
+            chaos: ChaosConfig {
+                seed: CHAOS_SEED,
+                fault_rate_pm: fault_pm,
+                malicious_pm,
+            },
+            ..base.clone()
+        };
+        let report = Fleet::boot(cfg).expect("boot").run();
+        let detect_rounds = report.quarantine_rounds();
+        let mean_detect = if detect_rounds.is_empty() {
+            f64::NAN
+        } else {
+            detect_rounds.iter().map(|r| (r + 1) as f64).sum::<f64>() / detect_rounds.len() as f64
+        };
+        let c = |name: &str| report.merged.counters.get(name).copied().unwrap_or(0);
+        let row = SweepRow {
+            fault_pm,
+            malicious_pm,
+            quarantined: report.quarantined(),
+            retrying: report.retrying(),
+            devices: report.devices,
+            mean_rounds_to_detect: mean_detect,
+            attest_ok: report.attest_ok,
+            attest_fail: report.attest_fail,
+            bad_measurement: c("attest.reject.bad_measurement"),
+            bad_tag: c("attest.reject.bad_tag"),
+            timeout: c("attest.reject.timeout"),
+            crash_resets: c("chaos.crash_resets"),
+            loader_runs: c("loader.runs"),
+            digest_hex: report.digest_hex(),
+        };
+        println!(
+            "{:>9}{:>11}{:>10}/{:<2}{:>10}{:>18.2}{:>10}{:>10}",
+            row.fault_pm,
+            row.malicious_pm,
+            row.quarantined,
+            row.devices,
+            row.retrying,
+            row.mean_rounds_to_detect,
+            row.attest_ok,
+            row.attest_fail
+        );
+        // Invariant at every rate: reject reasons sum to attest_fail,
+        // and every injected reset re-ran the Secure Loader.
+        assert_eq!(
+            row.bad_measurement + row.bad_tag + row.timeout,
+            row.attest_fail,
+            "reject-reason counters must sum to attest_fail at {fault_pm}‰"
+        );
+        assert_eq!(
+            row.loader_runs,
+            1 + row.crash_resets,
+            "loader.runs must count the injected reset re-runs at {fault_pm}‰"
+        );
+        rows.push(row);
+    }
+
+    // Sharding must not change a chaos run: repeat the hottest rate at
+    // 4 workers and compare digests.
+    let hot = RATES[RATES.len() - 1];
+    let digest_4w = Fleet::boot(FleetConfig {
+        workers: 4,
+        chaos: ChaosConfig {
+            seed: CHAOS_SEED,
+            fault_rate_pm: hot.0,
+            malicious_pm: hot.1,
+        },
+        ..base.clone()
+    })
+    .expect("boot")
+    .run()
+    .digest_hex();
+    assert_eq!(
+        digest_4w,
+        rows.last().unwrap().digest_hex,
+        "a chaos run must be bit-identical at 1 and 4 workers"
+    );
+    println!("digest identity at {}‰: 1 worker == 4 workers", hot.0);
+
+    let mut json_rows = String::new();
+    for row in &rows {
+        if !json_rows.is_empty() {
+            json_rows.push_str(",\n");
+        }
+        let detect = if row.mean_rounds_to_detect.is_nan() {
+            "null".to_string()
+        } else {
+            format!("{:.2}", row.mean_rounds_to_detect)
+        };
+        write!(
+            json_rows,
+            "    {{\"fault_rate_pm\": {}, \"malicious_pm\": {}, \"quarantined\": {}, \
+             \"retrying\": {}, \"mean_rounds_to_detect\": {detect}, \
+             \"attest_ok\": {}, \"attest_fail\": {}, \"bad_measurement\": {}, \
+             \"bad_tag\": {}, \"timeout\": {}, \"crash_resets\": {}, \
+             \"loader_runs\": {}, \"digest\": \"{}\"}}",
+            row.fault_pm,
+            row.malicious_pm,
+            row.quarantined,
+            row.retrying,
+            row.attest_ok,
+            row.attest_fail,
+            row.bad_measurement,
+            row.bad_tag,
+            row.timeout,
+            row.crash_resets,
+            row.loader_runs,
+            row.digest_hex
+        )
+        .unwrap();
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"chaos_sweep\",\n  \"smoke\": {smoke},\n  \
+         \"devices\": {},\n  \"rounds\": {},\n  \"quantum\": {},\n  \
+         \"chaos_seed\": {CHAOS_SEED},\n  \"worker_digest_identity\": true,\n  \
+         \"rows\": [\n{json_rows}\n  ]\n}}\n",
+        base.devices, base.rounds, base.quantum
+    );
+    std::fs::write("BENCH_chaos_sweep.json", &json).expect("write BENCH_chaos_sweep.json");
+    println!("wrote BENCH_chaos_sweep.json");
+}

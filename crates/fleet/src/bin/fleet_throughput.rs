@@ -22,6 +22,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use trustlite_chaos::ChaosConfig;
 use trustlite_fleet::{Fleet, FleetConfig};
 
 /// Worker counts swept (the acceptance gate compares the last to the
@@ -117,6 +118,27 @@ fn main() {
         );
     }
 
+    // Zero-cost-when-off: the chaos layer compiled in but with both
+    // rates at zero must not perturb an honest run — byte-identical
+    // digest, whatever the chaos seed says.
+    let chaos_off_digest = run_once(
+        &FleetConfig {
+            chaos: ChaosConfig {
+                seed: 0xdead_beef,
+                fault_rate_pm: 0,
+                malicious_pm: 0,
+            },
+            ..base.clone()
+        },
+        1,
+    )
+    .digest_hex;
+    assert_eq!(
+        chaos_off_digest, reference.digest_hex,
+        "disabled fault injection must leave honest runs byte-identical"
+    );
+    println!("chaos off: digest identical to the honest baseline");
+
     // Snapshot/fork boot: one Secure Loader run + N forks vs N full
     // boots. Both sides retain every booted platform so they pay the
     // same first-touch memory-population cost (~2 MB per live device,
@@ -205,7 +227,7 @@ fn main() {
          \"devices\": {},\n  \"rounds\": {},\n  \"quantum\": {},\n  \
          \"workload\": \"{}\",\n  \"available_parallelism\": {parallelism},\n  \
          \"speedup_8v1\": {speedup_8v1:.3},\n  \"speedup_gate_enforced\": {gate_enforced},\n  \
-         \"digests_identical\": true,\n  \
+         \"digests_identical\": true,\n  \"chaos_off_identical\": true,\n  \
          \"fork_boot\": {{\"devices\": {fork_devices}, \"fork_ms\": {fork_ms:.2}, \
          \"full_ms\": {full_ms:.2}, \"speedup\": {fork_speedup:.2}}},\n  \
          \"loader_check\": {{\"devices\": {loader_devices}, \"loader_runs\": {loader_runs}, \

@@ -4,12 +4,19 @@
 //! ```text
 //! tlfleet [--devices N] [--workers N] [--rounds N] [--quantum N]
 //!         [--seed N] [--workload NAME] [--level off|metrics|events|full]
-//!         [--attest-every N] [--digest] [--json]
+//!         [--attest-every N] [--chaos SEED] [--fault-rate PM]
+//!         [--malicious PM] [--max-retries N] [--timeout-rounds N]
+//!         [--digest] [--expect HEX] [--json]
 //! ```
 //!
 //! `--digest` prints only the aggregate digest (CI compares this across
-//! worker counts); `--json` prints the full merged report as JSON.
+//! worker counts); `--expect HEX` additionally compares it against a
+//! reference and exits nonzero (printing both) on mismatch. `--json`
+//! prints the full merged report. `--chaos SEED` enables deterministic
+//! fault injection; `--fault-rate`/`--malicious` tune the per-mille
+//! rates (defaults 150‰ each when `--chaos` is given).
 
+use trustlite_chaos::ChaosConfig;
 use trustlite_fleet::{Fleet, FleetConfig};
 use trustlite_obs::ObsLevel;
 
@@ -17,7 +24,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: tlfleet [--devices N] [--workers N] [--rounds N] [--quantum N]\n\
          \x20              [--seed N] [--workload NAME] [--level off|metrics|events|full]\n\
-         \x20              [--attest-every N] [--digest] [--json]"
+         \x20              [--attest-every N] [--chaos SEED] [--fault-rate PM]\n\
+         \x20              [--malicious PM] [--max-retries N] [--timeout-rounds N]\n\
+         \x20              [--digest] [--expect HEX] [--json]"
     );
     std::process::exit(2);
 }
@@ -43,6 +52,9 @@ fn main() {
     };
     let mut digest_only = false;
     let mut json = false;
+    let mut expect: Option<String> = None;
+    let mut fault_rate: Option<u64> = None;
+    let mut malicious: Option<u64> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -62,14 +74,32 @@ fn main() {
             "--attest-every" => {
                 cfg.attest_every = value(&mut i).parse().unwrap_or_else(|_| usage())
             }
+            "--chaos" => {
+                let seed = value(&mut i).parse().unwrap_or_else(|_| usage());
+                cfg.chaos = ChaosConfig::with_seed(seed);
+            }
+            "--fault-rate" => fault_rate = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--malicious" => malicious = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--max-retries" => cfg.max_retries = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--timeout-rounds" => {
+                cfg.timeout_rounds = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
             "--digest" => digest_only = true,
+            "--expect" => expect = Some(value(&mut i)),
             "--json" => json = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
         i += 1;
     }
+    if let Some(pm) = fault_rate {
+        cfg.chaos.fault_rate_pm = pm.min(trustlite_chaos::PER_MILLE);
+    }
+    if let Some(pm) = malicious {
+        cfg.chaos.malicious_pm = pm.min(trustlite_chaos::PER_MILLE);
+    }
 
+    let chaos_on = cfg.chaos.enabled();
     let fleet = match Fleet::boot(cfg) {
         Ok(f) => f,
         Err(e) => {
@@ -79,12 +109,20 @@ fn main() {
     };
     let report = fleet.run();
 
+    if let Some(want) = &expect {
+        let got = report.digest_hex();
+        if &got != want {
+            eprintln!("tlfleet: digest mismatch\n  expected: {want}\n  actual:   {got}");
+            std::process::exit(1);
+        }
+    }
     if digest_only {
         println!("{}", report.digest_hex());
     } else if json {
         print!("{}", report.to_json());
     } else {
         println!("{}", report.summary());
+        println!("{}", report.health_line());
         println!(
             "loader runs (merged): {}",
             report
@@ -94,5 +132,26 @@ fn main() {
                 .copied()
                 .unwrap_or(0)
         );
+        if chaos_on {
+            println!(
+                "chaos resets injected: {}",
+                report
+                    .merged
+                    .counters
+                    .get("chaos.crash_resets")
+                    .copied()
+                    .unwrap_or(0)
+            );
+            for reason in [
+                "attest.reject.bad_measurement",
+                "attest.reject.bad_tag",
+                "attest.reject.timeout",
+            ] {
+                println!(
+                    "{reason}: {}",
+                    report.merged.counters.get(reason).copied().unwrap_or(0)
+                );
+            }
+        }
     }
 }

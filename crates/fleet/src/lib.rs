@@ -2,8 +2,9 @@
 //!
 //! TrustLite targets *fleets* of tiny embedded devices; the protocols
 //! built on it (remote attestation, trustlet provisioning) are only
-//! interesting when a verifier talks to many devices at once. This crate
-//! scales the single-`Platform` simulator out:
+//! interesting when a verifier talks to many devices at once — and only
+//! trustworthy when parts of that fleet misbehave. This crate scales the
+//! single-`Platform` simulator out and stress-tests it:
 //!
 //! * **snapshot/fork boot** — the Secure Loader and trustlet staging run
 //!   *once per image*; every device is an O(memcpy) fork of the booted
@@ -15,12 +16,25 @@
 //!   traffic with delivery pinned to quantum boundaries, so any run is
 //!   reproducible from `(image, seed, nworkers)` and aggregates are
 //!   bit-identical at 1 or 16 workers ([`Fleet::run`]);
+//! * **deterministic fault injection** — a `trustlite-chaos`
+//!   [`FaultPlan`](trustlite_chaos::FaultPlan), pure in
+//!   `(fleet_seed, device, round)`, injects RAM bit-flips, tampered
+//!   measurements, wrong keys, dropped/corrupted/delayed responses and
+//!   mid-round crash/warm-reset (Secure Loader re-entry) without
+//!   breaking run reproducibility;
+//! * **resilient attestation fabric** — the verifier retries failing
+//!   devices with round-counted exponential backoff, quarantines
+//!   devices that exhaust their retry budget (excluding them from
+//!   stepping without stalling the barrier) and reports per-device
+//!   [`DeviceHealth`] plus `attest.reject.*` reason counters;
 //! * **merged observability** — per-device `trustlite-obs` registries
 //!   merge into one fleet report in which counters and cycle attribution
-//!   still sum exactly ([`FleetReport`]).
+//!   still sum exactly, warm resets included ([`FleetReport`]).
 
 pub mod engine;
 pub mod report;
+pub mod resilience;
 
 pub use engine::{DeviceSim, Fleet, FleetConfig};
 pub use report::{state_digest, FleetReport};
+pub use resilience::{DeviceHealth, FailReason};

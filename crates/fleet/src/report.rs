@@ -4,6 +4,8 @@ use trustlite::Platform;
 use trustlite_crypto::sha256;
 use trustlite_obs::MetricsReport;
 
+use crate::resilience::DeviceHealth;
+
 /// Digest of one device's architectural state: counters, register file
 /// and the first pages of SRAM (the same footprint the workspace
 /// determinism tests use). Fleet-level digests concatenate these in
@@ -48,8 +50,14 @@ pub struct FleetReport {
     pub total_cycles: u64,
     /// Attestation responses the verifier accepted.
     pub attest_ok: u64,
-    /// Attestation responses the verifier rejected.
+    /// Attestation responses the verifier rejected (timeouts included);
+    /// always equals the sum of the `attest.reject.*` counters in
+    /// `merged`.
     pub attest_fail: u64,
+    /// Per-device health at the end of the run (the verifier's view:
+    /// healthy, retrying with a backoff, or quarantined with a reason
+    /// and the round the decision was made in).
+    pub health: Vec<DeviceHealth>,
     /// All telemetry registries merged: one boot registry per image plus
     /// every device's post-fork registry. Counters and cycle attribution
     /// sum exactly; `loader.runs` counts Secure Loader executions (one
@@ -65,6 +73,39 @@ impl FleetReport {
     /// The digest as lowercase hex.
     pub fn digest_hex(&self) -> String {
         self.digest.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// Devices still healthy at the end of the run.
+    pub fn healthy(&self) -> usize {
+        self.health
+            .iter()
+            .filter(|h| **h == DeviceHealth::Healthy)
+            .count()
+    }
+
+    /// Devices in a retry/backoff cycle at the end of the run.
+    pub fn retrying(&self) -> usize {
+        self.health
+            .iter()
+            .filter(|h| matches!(h, DeviceHealth::Retrying(_)))
+            .count()
+    }
+
+    /// Devices quarantined during the run.
+    pub fn quarantined(&self) -> usize {
+        self.health.iter().filter(|h| h.is_quarantined()).count()
+    }
+
+    /// The rounds quarantine decisions were made in (one entry per
+    /// quarantined device; "rounds to detect" in the chaos sweep).
+    pub fn quarantine_rounds(&self) -> Vec<u64> {
+        self.health
+            .iter()
+            .filter_map(|h| match h {
+                DeviceHealth::Quarantined { round, .. } => Some(*round),
+                _ => None,
+            })
+            .collect()
     }
 
     /// Renders the report as JSON (selected merged counters only: the
@@ -84,11 +125,20 @@ impl FleetReport {
             }
             attribution.push_str(&format!("\"{name}\": {cycles}"));
         }
+        let mut health = String::new();
+        for h in &self.health {
+            if !health.is_empty() {
+                health.push_str(", ");
+            }
+            health.push_str(&format!("\"{}\"", h.label()));
+        }
         format!(
             "{{\n  \"devices\": {}, \"workers\": {}, \"rounds\": {}, \"quantum\": {},\n  \
              \"seed\": {}, \"workload\": \"{}\",\n  \
              \"total_instret\": {}, \"total_cycles\": {},\n  \
              \"attest_ok\": {}, \"attest_fail\": {},\n  \
+             \"healthy\": {}, \"retrying\": {}, \"quarantined\": {},\n  \
+             \"health\": [{}],\n  \
              \"digest\": \"{}\",\n  \
              \"counters\": {{{}}},\n  \
              \"attribution\": {{{}}}\n}}\n",
@@ -102,6 +152,10 @@ impl FleetReport {
             self.total_cycles,
             self.attest_ok,
             self.attest_fail,
+            self.healthy(),
+            self.retrying(),
+            self.quarantined(),
+            health,
             self.digest_hex(),
             counters,
             attribution,
@@ -122,6 +176,17 @@ impl FleetReport {
             self.attest_ok,
             self.attest_ok + self.attest_fail,
             &self.digest_hex()[..16],
+        )
+    }
+
+    /// One machine-greppable line of fleet health (`health: H healthy,
+    /// R retrying, Q quarantined`), used by the CLI and CI.
+    pub fn health_line(&self) -> String {
+        format!(
+            "health: {} healthy, {} retrying, {} quarantined",
+            self.healthy(),
+            self.retrying(),
+            self.quarantined()
         )
     }
 }

@@ -1,0 +1,257 @@
+//! Verifier-side resilience: bounded retry with exponential backoff,
+//! timeouts, and quarantine.
+//!
+//! The fabric must degrade gracefully when devices misbehave: a failing
+//! device is retried a bounded number of times (backoff counted in
+//! *rounds*, never wall time, so the schedule is deterministic), then
+//! quarantined — excluded from stepping and challenges — without ever
+//! stalling the round barrier for healthy devices. Every rejection
+//! increments exactly one `attest.reject.*` reason counter, so the
+//! reason counters always sum to the fleet's `attest_fail`.
+
+use trustlite::attest::{self, RejectReason};
+use trustlite_obs::MetricsRegistry;
+
+use crate::engine::{challenge_nonce, DeviceSim};
+
+/// Why a response was rejected (or a device was given up on). Extends
+/// [`RejectReason`] with the verifier-local timeout outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FailReason {
+    /// Reported measurements differ from the enrolment reference.
+    BadMeasurement,
+    /// Measurements match but the HMAC tag does not verify.
+    BadTag,
+    /// No response arrived within the timeout window.
+    Timeout,
+}
+
+impl FailReason {
+    /// The `attest.reject.*` counter this reason increments.
+    pub fn counter_name(&self) -> &'static str {
+        match self {
+            FailReason::BadMeasurement => RejectReason::BadMeasurement.counter_name(),
+            FailReason::BadTag => RejectReason::BadTag.counter_name(),
+            FailReason::Timeout => "attest.reject.timeout",
+        }
+    }
+
+    /// Short human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FailReason::BadMeasurement => "bad_measurement",
+            FailReason::BadTag => "bad_tag",
+            FailReason::Timeout => "timeout",
+        }
+    }
+
+    fn digest_code(&self) -> u8 {
+        match self {
+            FailReason::BadMeasurement => 1,
+            FailReason::BadTag => 2,
+            FailReason::Timeout => 3,
+        }
+    }
+}
+
+impl From<RejectReason> for FailReason {
+    fn from(r: RejectReason) -> FailReason {
+        match r {
+            RejectReason::BadMeasurement => FailReason::BadMeasurement,
+            RejectReason::BadTag => FailReason::BadTag,
+        }
+    }
+}
+
+/// Per-device attestation health, as the verifier sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceHealth {
+    /// Last attestation (if any) succeeded.
+    Healthy,
+    /// `n` consecutive failures; the verifier is backing off and will
+    /// retry.
+    Retrying(u32),
+    /// Retries exhausted in `round`; the device no longer steps and is
+    /// never challenged again.
+    Quarantined {
+        /// The failure that exhausted the retry budget.
+        reason: FailReason,
+        /// The round the quarantine decision was made in.
+        round: u64,
+    },
+}
+
+impl DeviceHealth {
+    /// True once the device has been written off.
+    pub fn is_quarantined(&self) -> bool {
+        matches!(self, DeviceHealth::Quarantined { .. })
+    }
+
+    /// Short human-readable label.
+    pub fn label(&self) -> String {
+        match self {
+            DeviceHealth::Healthy => "healthy".to_string(),
+            DeviceHealth::Retrying(n) => format!("retrying({n})"),
+            DeviceHealth::Quarantined { reason, round } => {
+                format!("quarantined({}, round {round})", reason.label())
+            }
+        }
+    }
+
+    /// Fixed-width digest encoding (only hashed when a fault plan is
+    /// enabled, preserving byte-identical honest-run digests).
+    pub(crate) fn digest_bytes(&self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        match self {
+            DeviceHealth::Healthy => {}
+            DeviceHealth::Retrying(n) => {
+                out[0] = 1;
+                out[2..6].copy_from_slice(&n.to_le_bytes());
+            }
+            DeviceHealth::Quarantined { reason, round } => {
+                out[0] = 2;
+                out[1] = reason.digest_code();
+                out[8..16].copy_from_slice(&round.to_le_bytes());
+            }
+        }
+        out
+    }
+}
+
+/// Exponential-backoff cap: retries wait 1, 2, 4, then 8 rounds.
+const MAX_BACKOFF_SHIFT: u32 = 3;
+
+/// The verifier's per-run mutable state. Only worker 0 touches it, in
+/// device order at round boundaries, so its evolution is independent of
+/// the worker count.
+pub(crate) struct VerifierState {
+    max_retries: u32,
+    timeout_rounds: u64,
+    /// The round of the one in-flight challenge per device, if any.
+    pending: Vec<Option<u64>>,
+    /// Consecutive failures per device.
+    retries: Vec<u32>,
+    /// Earliest round a retry challenge may be issued per device.
+    next_eligible: Vec<u64>,
+    /// Accepted responses.
+    pub ok: u64,
+    /// Rejected responses and timeouts (always equals the sum of the
+    /// `attest.reject.*` counters in `metrics`).
+    pub fail: u64,
+    /// Verifier-side counters (`attest.reject.*`, `attest.retry`, ...).
+    pub metrics: MetricsRegistry,
+}
+
+impl VerifierState {
+    pub fn new(devices: usize, max_retries: u32, timeout_rounds: u64) -> VerifierState {
+        VerifierState {
+            max_retries,
+            timeout_rounds,
+            pending: vec![None; devices],
+            retries: vec![0; devices],
+            next_eligible: vec![0; devices],
+            ok: 0,
+            fail: 0,
+            metrics: MetricsRegistry::default(),
+        }
+    }
+
+    /// Records that a challenge for `round` was put in `id`'s inbox.
+    pub fn note_challenge(&mut self, id: usize, round: u64) {
+        self.pending[id] = Some(round);
+    }
+
+    /// Phase-B processing for one device at the `round` boundary: drain
+    /// its responses (verifying each against the nonce of the round it
+    /// answers), then check the in-flight challenge for timeout.
+    pub fn round_boundary(
+        &mut self,
+        id: usize,
+        dev: &mut DeviceSim,
+        round: u64,
+        fleet_seed: u64,
+        expected: &[[u8; 32]],
+    ) {
+        let responses: Vec<_> = dev.outbox.drain(..).collect();
+        for (ch_round, resp) in responses {
+            let ch = attest::Challenge {
+                nonce: challenge_nonce(fleet_seed, dev.id, ch_round),
+            };
+            let answers_pending = self.pending[id] == Some(ch_round);
+            match attest::verify_detailed(&dev.key, &ch, &resp, expected) {
+                Ok(()) => {
+                    self.ok += 1;
+                    if answers_pending {
+                        self.pending[id] = None;
+                        if self.retries[id] > 0 {
+                            self.metrics.inc("attest.recovered");
+                        }
+                        self.retries[id] = 0;
+                        dev.health = DeviceHealth::Healthy;
+                    } else {
+                        // Valid but answering an abandoned (timed-out)
+                        // challenge; it proves nothing fresh.
+                        self.metrics.inc("attest.late_ok");
+                    }
+                }
+                Err(reason) => {
+                    self.record_failure(id, dev, FailReason::from(reason), round);
+                    if answers_pending {
+                        self.pending[id] = None;
+                    }
+                }
+            }
+        }
+        if let Some(ch_round) = self.pending[id] {
+            if round >= ch_round + self.timeout_rounds {
+                self.pending[id] = None;
+                self.record_failure(id, dev, FailReason::Timeout, round);
+            }
+        }
+    }
+
+    /// One failure: count the reason, bump the retry counter and either
+    /// schedule a backed-off retry or quarantine.
+    fn record_failure(&mut self, id: usize, dev: &mut DeviceSim, reason: FailReason, round: u64) {
+        self.fail += 1;
+        self.metrics.inc(reason.counter_name());
+        if dev.health.is_quarantined() {
+            return; // late traffic from an already-written-off device
+        }
+        self.retries[id] += 1;
+        if self.retries[id] > self.max_retries {
+            dev.health = DeviceHealth::Quarantined { reason, round };
+            self.metrics.inc("attest.quarantined");
+        } else {
+            dev.health = DeviceHealth::Retrying(self.retries[id]);
+            let backoff = 1u64 << (self.retries[id] - 1).min(MAX_BACKOFF_SHIFT);
+            self.next_eligible[id] = round + backoff;
+            self.metrics.inc("attest.retry");
+        }
+    }
+
+    /// Whether the verifier should challenge `id` in round `next`.
+    /// Healthy devices follow the id-staggered cadence; failing devices
+    /// follow their backoff schedule; quarantined devices and devices
+    /// with a challenge already in flight are never challenged.
+    pub fn should_challenge(
+        &self,
+        id: usize,
+        dev: &DeviceSim,
+        next: u64,
+        attest_every: u64,
+        rounds: u64,
+    ) -> bool {
+        if next >= rounds || attest_every == 0 {
+            return false;
+        }
+        if dev.health.is_quarantined() || self.pending[id].is_some() {
+            return false;
+        }
+        if self.retries[id] > 0 {
+            next >= self.next_eligible[id]
+        } else {
+            (id as u64 + next).is_multiple_of(attest_every)
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Fault-plan determinism properties: a chaos run — bit-flips, dropped
+//! and corrupted responses, mid-round crash/warm-resets, malicious
+//! device roles included — is a pure function of its configuration.
+//! Sharding, repetition and host scheduling must not move a single bit
+//! of the aggregate.
+
+use proptest::prelude::*;
+use trustlite_chaos::ChaosConfig;
+use trustlite_fleet::{Fleet, FleetConfig};
+
+fn run(cfg: &FleetConfig, workers: usize) -> trustlite_fleet::FleetReport {
+    Fleet::boot(FleetConfig {
+        workers,
+        ..cfg.clone()
+    })
+    .expect("boot")
+    .run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn chaos_runs_are_pure_in_their_config(
+        seed in 1u64..1_000_000,
+        chaos_seed in 1u64..1_000_000,
+        devices in 3usize..6,
+        rounds in 2u64..5,
+    ) {
+        // Rates high enough that every fault kind — crash/reset
+        // included, at 1000‰ roughly one fault per device-round, one in
+        // five of them a mid-round reset — shows up in small fleets.
+        let cfg = FleetConfig {
+            devices,
+            rounds,
+            quantum: 1_500,
+            seed,
+            attest_every: 1,
+            chaos: ChaosConfig {
+                seed: chaos_seed,
+                fault_rate_pm: 1_000,
+                malicious_pm: 300,
+            },
+            ..FleetConfig::default()
+        };
+        let a = run(&cfg, 1);
+        let b = run(&cfg, 3);
+        let c = run(&cfg, 1);
+        prop_assert_eq!(&a.digest, &b.digest, "1 vs 3 workers diverged");
+        prop_assert_eq!(&a.digest, &c.digest, "repeat run diverged");
+        prop_assert_eq!(&a.merged.counters, &b.merged.counters);
+        prop_assert_eq!(&a.health, &b.health);
+        prop_assert_eq!(a.total_instret, b.total_instret);
+        prop_assert_eq!(a.total_cycles, b.total_cycles);
+        // Every rejection lands in exactly one reason counter.
+        prop_assert_eq!(
+            a.merged.sum_prefix("attest.reject."),
+            a.attest_fail
+        );
+        // Every injected crash re-ran the Secure Loader on that device.
+        let resets = a.merged.counters.get("chaos.crash_resets").copied().unwrap_or(0);
+        let loader_runs = a.merged.counters.get("loader.runs").copied().unwrap_or(0);
+        prop_assert_eq!(loader_runs, 1 + resets);
+    }
+}

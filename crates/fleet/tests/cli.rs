@@ -1,0 +1,116 @@
+//! CLI-level behavior of `tlfleet`: degenerate configurations must exit
+//! nonzero with a named error, and `--expect` must turn a digest
+//! mismatch into a nonzero exit that prints both digests.
+
+use std::process::Command;
+
+fn tlfleet() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tlfleet"))
+}
+
+/// Small-but-real fleet arguments shared by the digest tests (debug
+/// profile: keep the work tiny).
+const SMALL: [&str; 8] = [
+    "--devices",
+    "4",
+    "--rounds",
+    "2",
+    "--quantum",
+    "1000",
+    "--workers",
+    "2",
+];
+
+#[test]
+fn zero_devices_is_a_named_boot_failure() {
+    let out = tlfleet()
+        .args(["--devices", "0"])
+        .output()
+        .expect("spawn tlfleet");
+    assert!(!out.status.success(), "devices=0 must exit nonzero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("boot failed"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("`devices` must be nonzero"),
+        "the failing knob must be named: {stderr}"
+    );
+}
+
+#[test]
+fn zero_rounds_is_a_named_boot_failure() {
+    let out = tlfleet()
+        .args(["--rounds", "0"])
+        .output()
+        .expect("spawn tlfleet");
+    assert!(!out.status.success(), "rounds=0 must exit nonzero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("`rounds` must be nonzero"),
+        "the failing knob must be named: {stderr}"
+    );
+}
+
+#[test]
+fn expect_matching_digest_succeeds() {
+    let out = tlfleet()
+        .args(SMALL)
+        .arg("--digest")
+        .output()
+        .expect("spawn tlfleet");
+    assert!(out.status.success());
+    let digest = String::from_utf8_lossy(&out.stdout).trim().to_string();
+    assert_eq!(digest.len(), 64, "digest is 32 hex bytes: {digest}");
+
+    let out = tlfleet()
+        .args(SMALL)
+        .args(["--digest", "--expect", &digest])
+        .output()
+        .expect("spawn tlfleet");
+    assert!(
+        out.status.success(),
+        "matching --expect must succeed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn expect_mismatch_prints_both_digests_and_fails() {
+    let bogus = "0".repeat(64);
+    let out = tlfleet()
+        .args(SMALL)
+        .args(["--digest", "--expect", &bogus])
+        .output()
+        .expect("spawn tlfleet");
+    assert!(!out.status.success(), "digest mismatch must exit nonzero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("digest mismatch"), "stderr: {stderr}");
+    assert!(stderr.contains(&bogus), "expected digest printed: {stderr}");
+    assert!(
+        stderr.contains("actual:"),
+        "actual digest printed: {stderr}"
+    );
+}
+
+#[test]
+fn chaos_run_reports_health_and_reject_counters() {
+    let out = tlfleet()
+        .args(SMALL)
+        .args(["--chaos", "9", "--fault-rate", "800", "--malicious", "400"])
+        .output()
+        .expect("spawn tlfleet");
+    assert!(out.status.success(), "chaos run itself must succeed");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("health: "), "health line present: {stdout}");
+    assert!(
+        stdout.contains("loader runs (merged): "),
+        "loader line present: {stdout}"
+    );
+    assert!(
+        stdout.contains("chaos resets injected: "),
+        "reset line present: {stdout}"
+    );
+    assert!(
+        stdout.contains("attest.reject.bad_tag: "),
+        "reject counters present: {stdout}"
+    );
+}

@@ -5,10 +5,12 @@
 //! snapshots taken mid-exception (inside a handler).
 
 use proptest::prelude::*;
+use trustlite::TrustliteError;
 use trustlite_bench::throughput::{build_workload, WORKLOADS};
 use trustlite_fleet::state_digest;
 use trustlite_mem::IrqRequest;
 use trustlite_obs::ObsLevel;
+use trustlite_periph::Uart;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -65,6 +67,62 @@ fn fork_mid_exception_matches_original() {
         );
         assert_eq!(p.machine.exc_log, f.machine.exc_log);
     }
+}
+
+/// A platform whose UART carries a host tap (an opaque `FnMut`) must
+/// refuse to fork — and the refusal must name the component so a fleet
+/// operator can tell *which* device blocked the snapshot.
+#[test]
+fn fork_refusal_names_the_tapped_uart() {
+    let mut p = build_workload("quickstart", ObsLevel::Metrics);
+    p.machine
+        .sys
+        .bus
+        .device_mut::<Uart>("uart")
+        .expect("uart present")
+        .set_tap(Box::new(|_byte| {}));
+    let err = p.fork().err().expect("tapped uart must block fork");
+    assert_eq!(err, TrustliteError::Snapshot("uart"));
+    assert!(err
+        .to_string()
+        .contains("snapshot unsupported by component `uart`"));
+
+    // Clearing the tap restores forkability on the same platform.
+    p.machine
+        .sys
+        .bus
+        .device_mut::<Uart>("uart")
+        .expect("uart present")
+        .clear_tap();
+    p.fork().expect("untapped uart forks fine");
+}
+
+/// An installed extension unit holds opaque host state; fork must refuse
+/// and name it too.
+#[test]
+fn fork_refusal_names_the_extension_unit() {
+    struct NopExt;
+    impl trustlite_cpu::ExtUnit for NopExt {
+        fn exec(
+            &mut self,
+            _regs: &mut trustlite_cpu::RegFile,
+            _sys: &mut trustlite_cpu::SystemBus,
+            _ip: u32,
+            _op: u8,
+            _rd: trustlite_isa::Reg,
+            _rs1: trustlite_isa::Reg,
+            _imm: u16,
+        ) -> Result<u64, trustlite_cpu::Fault> {
+            Ok(1)
+        }
+    }
+    let mut p = build_workload("quickstart", ObsLevel::Metrics);
+    p.machine.ext = Some(Box::new(NopExt));
+    let err = p.fork().err().expect("ext unit must block fork");
+    assert_eq!(err, TrustliteError::Snapshot("ext"));
+    assert!(err
+        .to_string()
+        .contains("snapshot unsupported by component `ext`"));
 }
 
 /// Divergence is contained: forked siblings with different identities

@@ -435,6 +435,21 @@ impl Bus {
         ok
     }
 
+    /// Fault-injection hook: flips bit `bit & 7` of the byte at `addr`
+    /// and returns the new byte value. The write goes through the
+    /// host-load path, so it bypasses read-only protections (modeling a
+    /// physical upset, not a bus transaction) and bumps [`Bus::host_gen`]
+    /// — any predecoded-instruction or grant caches built over the old
+    /// contents invalidate before the next fetch.
+    pub fn inject_bit_flip(&mut self, addr: u32, bit: u8) -> Result<u8, BusError> {
+        let byte = self.read8(addr)?;
+        let flipped = byte ^ (1 << (bit & 7));
+        if !self.host_load(addr, &[flipped]) {
+            return Err(BusError::Unmapped { addr });
+        }
+        Ok(flipped)
+    }
+
     /// Looks up a device by name and concrete type for host inspection.
     ///
     /// The device is caught up with any accumulated cycles first, and the
@@ -735,6 +750,22 @@ mod tests {
         let g2 = bus.host_gen();
         bus.map(0x9000, Box::new(Ram::new("x", 0x100))).unwrap();
         assert!(bus.host_gen() > g2, "mapping is out-of-band");
+    }
+
+    #[test]
+    fn bit_flip_is_out_of_band_and_involutive() {
+        let mut bus = bus_with_ram();
+        bus.write32(0x1000, 0).unwrap();
+        let g0 = bus.host_gen();
+        assert_eq!(bus.inject_bit_flip(0x1000, 3).unwrap(), 0b1000);
+        assert!(bus.host_gen() > g0, "a flip must invalidate host caches");
+        assert_eq!(bus.read8(0x1000).unwrap(), 0b1000);
+        // Bit index wraps modulo 8; flipping the same bit restores.
+        assert_eq!(bus.inject_bit_flip(0x1000, 3 + 8).unwrap(), 0);
+        assert!(matches!(
+            bus.inject_bit_flip(0xdead_0000, 0),
+            Err(BusError::Unmapped { .. })
+        ));
     }
 
     #[test]

@@ -173,6 +173,12 @@ impl MetricsRegistry {
         self.histograms.get(name)
     }
 
+    /// Sums every counter whose name starts with `prefix` (e.g. all
+    /// `attest.reject.*` reason counters). Exact-name matches count too.
+    pub fn sum_prefix(&self, prefix: &str) -> u64 {
+        sum_counter_prefix(&self.counters, prefix)
+    }
+
     /// Drops all metrics.
     pub fn clear(&mut self) {
         self.counters.clear();
@@ -249,7 +255,23 @@ impl HistogramSummary {
     }
 }
 
+/// Sums every counter in a sorted map whose name starts with `prefix`
+/// (range scan — the BTreeMap keeps prefixed families contiguous).
+fn sum_counter_prefix(counters: &BTreeMap<String, u64>, prefix: &str) -> u64 {
+    counters
+        .range(prefix.to_string()..)
+        .take_while(|(k, _)| k.starts_with(prefix))
+        .map(|(_, v)| v)
+        .sum()
+}
+
 impl MetricsReport {
+    /// Sums every counter whose name starts with `prefix` (the
+    /// snapshot-level counterpart of [`MetricsRegistry::sum_prefix`]).
+    pub fn sum_prefix(&self, prefix: &str) -> u64 {
+        sum_counter_prefix(&self.counters, prefix)
+    }
+
     /// Total attributed cycles.
     pub fn attributed_cycles(&self) -> u64 {
         self.attribution.iter().map(|(_, c)| c).sum()
@@ -368,6 +390,20 @@ mod tests {
         assert_eq!(m.counter("a"), 5);
         assert_eq!(m.counter("b"), 7);
         assert_eq!(m.counter("absent"), 0);
+    }
+
+    #[test]
+    fn sum_prefix_covers_a_counter_family() {
+        let mut m = MetricsRegistry::default();
+        m.add("attest.reject.bad_measurement", 3);
+        m.add("attest.reject.bad_tag", 4);
+        m.add("attest.reject.timeout", 5);
+        m.add("attest.ok", 100);
+        m.add("attesz", 1); // lexicographically after the family
+        assert_eq!(m.sum_prefix("attest.reject."), 12);
+        assert_eq!(m.sum_prefix("attest.reject.bad_tag"), 4, "exact match");
+        assert_eq!(m.sum_prefix("nope."), 0);
+        assert_eq!(m.snapshot().sum_prefix("attest.reject."), 12);
     }
 
     #[test]

@@ -46,6 +46,23 @@ impl KeyStore {
         self.slots.get(slot).copied()
     }
 
+    /// Fault-injection hook: XORs `mask` into every byte of `slot`,
+    /// modeling a mis-provisioned or fuse-damaged key. A zero mask is
+    /// rejected (it would silently model nothing). Returns the slot
+    /// index on out-of-range, like [`KeyStore::provision`].
+    pub fn corrupt(&mut self, slot: usize, mask: u8) -> Result<(), usize> {
+        assert!(mask != 0, "a zero mask does not corrupt anything");
+        match self.slots.get_mut(slot) {
+            Some(s) => {
+                for b in s.iter_mut() {
+                    *b ^= mask;
+                }
+                Ok(())
+            }
+            None => Err(slot),
+        }
+    }
+
     /// Number of slots.
     pub fn slot_count(&self) -> usize {
         self.slots.len()
@@ -107,6 +124,18 @@ mod tests {
         assert_eq!(ks.read32(SLOT_BYTES).unwrap(), 0x0403_0201);
         assert_eq!(ks.read32(SLOT_BYTES + 28).unwrap(), 0x0807_0605);
         assert_eq!(ks.read32(0).unwrap(), 0, "slot 0 untouched");
+    }
+
+    #[test]
+    fn corrupt_perturbs_and_round_trips() {
+        let mut ks = KeyStore::new(2);
+        let key = [0xa5u8; 32];
+        ks.provision(0, key).unwrap();
+        ks.corrupt(0, 0xff).unwrap();
+        assert_eq!(ks.key(0), Some([0x5au8; 32]));
+        ks.corrupt(0, 0xff).unwrap();
+        assert_eq!(ks.key(0), Some(key), "XOR corruption is involutive");
+        assert_eq!(ks.corrupt(9, 1), Err(9));
     }
 
     #[test]

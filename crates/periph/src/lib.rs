@@ -28,4 +28,4 @@ pub use crypto_accel::CryptoAccel;
 pub use keystore::KeyStore;
 pub use rng::Rng;
 pub use timer::Timer;
-pub use uart::Uart;
+pub use uart::{Uart, UartTap};

@@ -33,13 +33,47 @@ pub const STATUS_RX_AVAIL: u32 = 1;
 /// Status bit: the transmitter accepts a byte (always true here).
 pub const STATUS_TX_READY: u32 = 2;
 
+/// A host-side observer invoked once per transmitted byte (live console
+/// streaming, protocol scoring). Taps are arbitrary closures over host
+/// state and therefore cannot be deep-copied: a tapped UART refuses
+/// `snapshot()`, naming itself in the resulting error.
+pub type UartTap = Box<dyn FnMut(u8) + Send>;
+
 /// The UART device.
-#[derive(Debug, Clone, Default)]
+#[derive(Default)]
 pub struct Uart {
     tx: Vec<u8>,
     rx: VecDeque<u8>,
     irq_line: Option<u8>,
     irq_raised: bool,
+    tap: Option<UartTap>,
+}
+
+impl std::fmt::Debug for Uart {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Uart")
+            .field("tx", &self.tx)
+            .field("rx", &self.rx)
+            .field("irq_line", &self.irq_line)
+            .field("irq_raised", &self.irq_raised)
+            .field("tap", &self.tap.as_ref().map(|_| "<fn>"))
+            .finish()
+    }
+}
+
+impl Clone for Uart {
+    /// Clones the serializable state; the tap (if any) stays with the
+    /// original. `snapshot()` refuses on tapped UARTs before this could
+    /// matter.
+    fn clone(&self) -> Self {
+        Uart {
+            tx: self.tx.clone(),
+            rx: self.rx.clone(),
+            irq_line: self.irq_line,
+            irq_raised: self.irq_raised,
+            tap: None,
+        }
+    }
 }
 
 impl Uart {
@@ -72,6 +106,19 @@ impl Uart {
     pub fn inject_input(&mut self, bytes: &[u8]) {
         self.rx.extend(bytes);
     }
+
+    /// Attaches a host observer called once per transmitted byte. A
+    /// tapped UART is no longer snapshottable (the closure captures
+    /// arbitrary host state); `snapshot()` refuses with this device's
+    /// name until [`Uart::clear_tap`] is called.
+    pub fn set_tap(&mut self, tap: UartTap) {
+        self.tap = Some(tap);
+    }
+
+    /// Detaches the host observer, restoring snapshottability.
+    pub fn clear_tap(&mut self) {
+        self.tap = None;
+    }
 }
 
 impl Device for Uart {
@@ -101,7 +148,11 @@ impl Device for Uart {
     fn write32(&mut self, off: u32, value: u32) -> Result<(), BusError> {
         match off {
             regs::TX => {
-                self.tx.push(value as u8);
+                let byte = value as u8;
+                self.tx.push(byte);
+                if let Some(tap) = self.tap.as_mut() {
+                    tap(byte);
+                }
                 Ok(())
             }
             regs::RX | regs::STATUS => Ok(()),
@@ -151,6 +202,9 @@ impl Device for Uart {
     }
 
     fn snapshot(&self) -> Option<Box<dyn Device>> {
+        if self.tap.is_some() {
+            return None;
+        }
         Some(Box::new(self.clone()))
     }
     fn as_any(&mut self) -> &mut dyn Any {
@@ -210,6 +264,24 @@ mod tests {
         let mut u = Uart::new();
         u.inject_input(b"x");
         assert_eq!(u.tick(100), None);
+    }
+
+    #[test]
+    fn tap_observes_tx_and_blocks_snapshot() {
+        use std::sync::{Arc, Mutex};
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let mut u = Uart::new();
+        assert!(u.snapshot().is_some(), "untapped UART snapshots");
+        let sink = Arc::clone(&seen);
+        u.set_tap(Box::new(move |b| sink.lock().unwrap().push(b)));
+        for b in b"hi" {
+            u.write32(regs::TX, *b as u32).unwrap();
+        }
+        assert_eq!(*seen.lock().unwrap(), b"hi");
+        assert_eq!(u.output(), b"hi", "tap observes, does not consume");
+        assert!(u.snapshot().is_none(), "tapped UART refuses snapshot");
+        u.clear_tap();
+        assert!(u.snapshot().is_some(), "snapshottable again");
     }
 
     #[test]
