@@ -32,6 +32,36 @@ pub fn thread_cpu_ns() -> u64 {
     0 // Callers fall back to wall time.
 }
 
+/// Nanoseconds of CPU time consumed by the whole process, all threads
+/// summed.
+///
+/// The multi-threaded analogue of [`thread_cpu_ns`]: a fleet run on N
+/// workers legitimately accumulates up to N× its wall time in process
+/// CPU, so noise detection for parallel phases compares wall time
+/// against `process_cpu_ns / workers`, not against one thread's clock.
+#[cfg(target_os = "linux")]
+pub fn process_cpu_ns() -> u64 {
+    #[repr(C)]
+    struct Timespec {
+        sec: i64,
+        nsec: i64,
+    }
+    extern "C" {
+        fn clock_gettime(id: i32, tp: *mut Timespec) -> i32;
+    }
+    const CLOCK_PROCESS_CPUTIME_ID: i32 = 2;
+    let mut ts = Timespec { sec: 0, nsec: 0 };
+    // SAFETY: clock_gettime writes one Timespec through a valid pointer.
+    let rc = unsafe { clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &mut ts) };
+    assert_eq!(rc, 0, "clock_gettime(CLOCK_PROCESS_CPUTIME_ID) failed");
+    ts.sec as u64 * 1_000_000_000 + ts.nsec as u64
+}
+
+#[cfg(not(target_os = "linux"))]
+pub fn process_cpu_ns() -> u64 {
+    0 // Callers fall back to wall time.
+}
+
 /// Wall time divided by CPU time for one measured run. A ratio well
 /// above 1 means the thread spent real time preempted or blocked — the
 /// run was noisy and its wall-clock figures should not be trusted.
@@ -68,6 +98,21 @@ mod tests {
         std::hint::black_box(x);
         let b = thread_cpu_ns();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn process_cpu_time_is_monotonic_and_covers_threads() {
+        let a = process_cpu_ns();
+        let handle = std::thread::spawn(|| {
+            let mut x = 0u64;
+            for i in 0..100_000u64 {
+                x = x.wrapping_add(i * i);
+            }
+            std::hint::black_box(x)
+        });
+        handle.join().unwrap();
+        let b = process_cpu_ns();
+        assert!(b >= a, "process CPU clock must be monotonic");
     }
 
     #[test]

@@ -1,22 +1,32 @@
 //! `tlstats` — summarize a recorded telemetry stream.
 //!
-//! Reads a JSON Lines event trace (as written by `tlrun --trace-jsonl`
-//! or any program using `trustlite_obs::sink::jsonl`) and prints a
-//! summary: event counts by kind, the cycle span, per-domain residency
-//! derived from context switches, exception and fault activity, and IPC
-//! traffic.
+//! Reads a JSON Lines trace and prints a summary. Two stream shapes are
+//! understood, and may be mixed in one file:
+//!
+//! * **device event traces** (as written by `tlrun --trace-jsonl` or
+//!   `trustlite_obs::sink::jsonl`): event counts by kind, the cycle
+//!   span, per-domain residency derived from context switches,
+//!   exception and fault activity, and IPC traffic;
+//! * **fleet traces** (as written by `tlfleet --trace-jsonl`): run
+//!   metadata, span counts by kind, deterministic latency histograms
+//!   with p50/p90/p99/max (`fleet.rounds_to_detect`,
+//!   `fleet.retries_per_device`, `fleet.response_latency_rounds`, ...)
+//!   and the quarantine/crash flight-recorder dumps.
+//!
+//! Any malformed or unknown line is a hard error (nonzero exit) — CI
+//! uses `tlstats` as the trace schema gate.
 //!
 //! ```text
 //! tlstats trace.jsonl
-//! tlrun prog.s --trace-jsonl /dev/stdout 2>/dev/null | tlstats -
+//! tlfleet --trace-jsonl /dev/stdout | tlstats -
 //! ```
 
 use std::collections::BTreeMap;
 use std::io::Read as _;
 use std::process::ExitCode;
 
-use trustlite_obs::sink;
-use trustlite_obs::Event;
+use trustlite_obs::trace::{self, HistLine, TraceMeta, TraceRecord};
+use trustlite_obs::{Event, FlightDump, SpanRecord};
 
 const USAGE: &str = "usage: tlstats TRACE.jsonl   (use `-` for stdin)";
 
@@ -45,18 +55,112 @@ fn main() -> ExitCode {
             }
         }
     };
-    let events = match sink::parse_jsonl(&doc) {
-        Ok(ev) => ev,
+    let records = match trace::parse_trace(&doc) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("{path}: {e}");
             return ExitCode::FAILURE;
         }
     };
-    if events.is_empty() {
+
+    let mut meta: Option<TraceMeta> = None;
+    let mut spans: Vec<SpanRecord> = Vec::new();
+    let mut hists: Vec<HistLine> = Vec::new();
+    let mut flights: Vec<FlightDump> = Vec::new();
+    let mut events: Vec<Event> = Vec::new();
+    for r in records {
+        match r {
+            TraceRecord::Meta(m) => meta = Some(m),
+            TraceRecord::Span(s) => spans.push(s),
+            TraceRecord::Hist(h) => hists.push(h),
+            TraceRecord::Flight(f) => flights.push(f),
+            TraceRecord::Event(e) => events.push(e),
+        }
+    }
+
+    let fleet = meta.is_some() || !spans.is_empty() || !hists.is_empty() || !flights.is_empty();
+    if !fleet && events.is_empty() {
         println!("no events");
         return ExitCode::SUCCESS;
     }
+    if fleet {
+        summarize_fleet(meta.as_ref(), &spans, &hists, &flights);
+        if !events.is_empty() {
+            println!();
+        }
+    }
+    if !events.is_empty() {
+        summarize_events(&events);
+    }
+    ExitCode::SUCCESS
+}
 
+fn summarize_fleet(
+    meta: Option<&TraceMeta>,
+    spans: &[SpanRecord],
+    hists: &[HistLine],
+    flights: &[FlightDump],
+) {
+    if let Some(m) = meta {
+        println!(
+            "fleet trace: {} devices x {} rounds x {} steps on {} workers, \
+             workload {}, seed {}, trace level {}, chaos {}",
+            m.devices,
+            m.rounds,
+            m.quantum,
+            m.workers,
+            m.workload,
+            m.seed,
+            m.trace_level,
+            if m.chaos { "on" } else { "off" },
+        );
+    }
+    if !spans.is_empty() {
+        let mut by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for s in spans {
+            *by_kind.entry(s.kind.name()).or_insert(0) += 1;
+        }
+        println!();
+        println!("{} spans by kind:", spans.len());
+        for (kind, n) in &by_kind {
+            println!("  {kind:<24} {n:>10}");
+        }
+    }
+    if !hists.is_empty() {
+        println!();
+        println!("histograms (quantiles from deterministic log2 buckets):");
+        for h in hists {
+            let s = &h.summary;
+            println!(
+                "  {:<32} n={:<6} p50={:<8} p90={:<8} p99={:<8} max={}",
+                h.name,
+                s.count,
+                s.p50(),
+                s.p90(),
+                s.p99(),
+                s.max
+            );
+        }
+    }
+    if !flights.is_empty() {
+        println!();
+        println!("flight dumps:");
+        for f in flights {
+            println!(
+                "  device {:<4} round {:<4} {:<28} {} spans, {} events, {} counters, {} dropped",
+                f.device,
+                f.round,
+                f.trigger,
+                f.spans.len(),
+                f.events.len(),
+                f.counters.len(),
+                f.dropped
+            );
+        }
+    }
+}
+
+fn summarize_events(events: &[Event]) {
     let mut by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
     let mut first = u64::MAX;
     let mut last = 0u64;
@@ -70,7 +174,7 @@ fn main() -> ExitCode {
     let mut mpu_denials = 0u64;
     let mut ipc_by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
 
-    for e in &events {
+    for e in events {
         *by_kind.entry(e.kind_name()).or_insert(0) += 1;
         first = first.min(e.cycle());
         last = last.max(e.cycle());
@@ -138,5 +242,4 @@ fn main() -> ExitCode {
             println!("  {kind:<18} {n:>10}");
         }
     }
-    ExitCode::SUCCESS
 }

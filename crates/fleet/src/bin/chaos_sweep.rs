@@ -15,7 +15,9 @@
 //! Writes `BENCH_chaos_sweep.json` into the current directory.
 
 use std::fmt::Write as _;
+use std::time::Instant;
 
+use trustlite_bench::timing::{is_noisy, process_cpu_ns, wall_cpu_ratio};
 use trustlite_chaos::ChaosConfig;
 use trustlite_fleet::{Fleet, FleetConfig};
 
@@ -41,6 +43,15 @@ struct SweepRow {
     crash_resets: u64,
     loader_runs: u64,
     digest_hex: String,
+    wall_ms: f64,
+    /// Process CPU over the run (the sweep runs 1 worker, so wall and
+    /// CPU should track closely on a quiet host).
+    cpu_ms: f64,
+    /// Wall/CPU divergence; well above 1 means the row's wall-clock
+    /// figures were disturbed by host load.
+    wall_cpu_ratio: f64,
+    /// True when the divergence crosses the shared noise threshold.
+    noisy: bool,
 }
 
 fn main() {
@@ -74,7 +85,12 @@ fn main() {
             },
             ..base.clone()
         };
-        let report = Fleet::boot(cfg).expect("boot").run();
+        let fleet = Fleet::boot(cfg).expect("boot");
+        let t0 = Instant::now();
+        let c0 = process_cpu_ns();
+        let report = fleet.run();
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let cpu_ms = (process_cpu_ns() - c0) as f64 / 1e6;
         let detect_rounds = report.quarantine_rounds();
         let mean_detect = if detect_rounds.is_empty() {
             f64::NAN
@@ -97,6 +113,10 @@ fn main() {
             crash_resets: c("chaos.crash_resets"),
             loader_runs: c("loader.runs"),
             digest_hex: report.digest_hex(),
+            wall_ms,
+            cpu_ms,
+            wall_cpu_ratio: wall_cpu_ratio(wall_ms, cpu_ms),
+            noisy: is_noisy(wall_ms, cpu_ms),
         };
         println!(
             "{:>9}{:>11}{:>10}/{:<2}{:>10}{:>18.2}{:>10}{:>10}",
@@ -162,7 +182,8 @@ fn main() {
              \"retrying\": {}, \"mean_rounds_to_detect\": {detect}, \
              \"attest_ok\": {}, \"attest_fail\": {}, \"bad_measurement\": {}, \
              \"bad_tag\": {}, \"timeout\": {}, \"crash_resets\": {}, \
-             \"loader_runs\": {}, \"digest\": \"{}\"}}",
+             \"loader_runs\": {}, \"wall_ms\": {:.2}, \"cpu_ms\": {:.2}, \
+             \"wall_cpu_ratio\": {:.3}, \"noisy\": {}, \"digest\": \"{}\"}}",
             row.fault_pm,
             row.malicious_pm,
             row.quarantined,
@@ -174,6 +195,10 @@ fn main() {
             row.timeout,
             row.crash_resets,
             row.loader_runs,
+            row.wall_ms,
+            row.cpu_ms,
+            row.wall_cpu_ratio,
+            row.noisy,
             row.digest_hex
         )
         .unwrap();

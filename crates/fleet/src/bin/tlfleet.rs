@@ -6,18 +6,25 @@
 //!         [--seed N] [--workload NAME] [--level off|metrics|events|full]
 //!         [--attest-every N] [--chaos SEED] [--fault-rate PM]
 //!         [--malicious PM] [--max-retries N] [--timeout-rounds N]
-//!         [--digest] [--expect HEX] [--json]
+//!         [--trace-level off|spans|full] [--trace-jsonl PATH]
+//!         [--chrome-trace PATH] [--digest] [--expect HEX] [--json]
 //! ```
 //!
 //! `--digest` prints only the aggregate digest (CI compares this across
 //! worker counts); `--expect HEX` additionally compares it against a
-//! reference and exits nonzero (printing both) on mismatch. `--json`
-//! prints the full merged report. `--chaos SEED` enables deterministic
-//! fault injection; `--fault-rate`/`--malicious` tune the per-mille
-//! rates (defaults 150‰ each when `--chaos` is given).
+//! reference and exits nonzero (printing both and the trace level, since
+//! a level-dependent digest would be an observation-perturbs bug) on
+//! mismatch. `--json` prints the full merged report. `--chaos SEED`
+//! enables deterministic fault injection; `--fault-rate`/`--malicious`
+//! tune the per-mille rates (defaults 150‰ each when `--chaos` is
+//! given). `--trace-jsonl` writes the mixed span/histogram/flight-dump
+//! trace (pipe into `tlstats`); `--chrome-trace` writes a Chrome
+//! `trace_event` timeline with one lane per engine shard and per device.
+//! Either trace sink implies `--trace-level spans` unless a level was
+//! given explicitly.
 
 use trustlite_chaos::ChaosConfig;
-use trustlite_fleet::{Fleet, FleetConfig};
+use trustlite_fleet::{chrome_trace, trace_jsonl, Fleet, FleetConfig, TraceLevel};
 use trustlite_obs::ObsLevel;
 
 fn usage() -> ! {
@@ -26,7 +33,8 @@ fn usage() -> ! {
          \x20              [--seed N] [--workload NAME] [--level off|metrics|events|full]\n\
          \x20              [--attest-every N] [--chaos SEED] [--fault-rate PM]\n\
          \x20              [--malicious PM] [--max-retries N] [--timeout-rounds N]\n\
-         \x20              [--digest] [--expect HEX] [--json]"
+         \x20              [--trace-level off|spans|full] [--trace-jsonl PATH]\n\
+         \x20              [--chrome-trace PATH] [--digest] [--expect HEX] [--json]"
     );
     std::process::exit(2);
 }
@@ -55,6 +63,9 @@ fn main() {
     let mut expect: Option<String> = None;
     let mut fault_rate: Option<u64> = None;
     let mut malicious: Option<u64> = None;
+    let mut trace_level: Option<TraceLevel> = None;
+    let mut trace_path: Option<String> = None;
+    let mut chrome_path: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -84,6 +95,11 @@ fn main() {
             "--timeout-rounds" => {
                 cfg.timeout_rounds = value(&mut i).parse().unwrap_or_else(|_| usage())
             }
+            "--trace-level" => {
+                trace_level = Some(TraceLevel::parse(&value(&mut i)).unwrap_or_else(|| usage()))
+            }
+            "--trace-jsonl" => trace_path = Some(value(&mut i)),
+            "--chrome-trace" => chrome_path = Some(value(&mut i)),
             "--digest" => digest_only = true,
             "--expect" => expect = Some(value(&mut i)),
             "--json" => json = true,
@@ -98,6 +114,12 @@ fn main() {
     if let Some(pm) = malicious {
         cfg.chaos.malicious_pm = pm.min(trustlite_chaos::PER_MILLE);
     }
+    cfg.trace = match trace_level {
+        Some(level) => level,
+        // Asking for a trace sink implies collecting spans.
+        None if trace_path.is_some() || chrome_path.is_some() => TraceLevel::Spans,
+        None => TraceLevel::Off,
+    };
 
     let chaos_on = cfg.chaos.enabled();
     let fleet = match Fleet::boot(cfg) {
@@ -109,10 +131,27 @@ fn main() {
     };
     let report = fleet.run();
 
+    if let Some(path) = &trace_path {
+        if let Err(e) = std::fs::write(path, trace_jsonl(&report)) {
+            eprintln!("tlfleet: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(path) = &chrome_path {
+        if let Err(e) = std::fs::write(path, chrome_trace(&report)) {
+            eprintln!("tlfleet: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
     if let Some(want) = &expect {
         let got = report.digest_hex();
         if &got != want {
-            eprintln!("tlfleet: digest mismatch\n  expected: {want}\n  actual:   {got}");
+            eprintln!(
+                "tlfleet: digest mismatch (trace level {})\n  \
+                 expected: {want}\n  actual:   {got}",
+                report.trace_level.name()
+            );
             std::process::exit(1);
         }
     }
@@ -123,6 +162,9 @@ fn main() {
     } else {
         println!("{}", report.summary());
         println!("{}", report.health_line());
+        if !report.flight_dumps.is_empty() {
+            println!("flight dumps captured: {}", report.flight_dumps.len());
+        }
         println!(
             "loader runs (merged): {}",
             report

@@ -3,17 +3,26 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex};
+use std::time::Instant;
 
 use trustlite::attest::{self, Challenge, Response};
 use trustlite::{Platform, TrustliteError};
 use trustlite_bench::throughput::build_workload;
 use trustlite_chaos::{ChaosConfig, DeviceRole, FaultPlan, RoundFault};
 use trustlite_crypto::sha256;
-use trustlite_obs::{MetricsRegistry, MetricsReport, ObsLevel};
+use trustlite_obs::{
+    Event, FlightDump, FlightRecorder, MetricsRegistry, MetricsReport, ObsLevel, SpanKind,
+    SpanRecord, DEFAULT_FLIGHT_CAP,
+};
 use trustlite_periph::KeyStore;
 
+use crate::observatory::TraceLevel;
 use crate::report::{state_digest, FleetReport};
 use crate::resilience::{DeviceHealth, VerifierState};
+
+/// How many trailing device events a flight dump carries (the tail of
+/// the device's telemetry ring; empty below `ObsLevel::Events`).
+const FLIGHT_EVENT_TAIL: usize = 32;
 
 /// Everything a fleet run is reproducible from.
 #[derive(Debug, Clone)]
@@ -45,6 +54,13 @@ pub struct FleetConfig {
     /// Rounds the verifier waits for a response before declaring a
     /// timeout.
     pub timeout_rounds: u64,
+    /// Fleet span collection level. Gates only what lands in
+    /// [`FleetReport::spans`]; digests and merged metrics are
+    /// byte-identical at every level.
+    pub trace: TraceLevel,
+    /// Per-device flight-recorder depth (always on; `0` disables
+    /// retention but still counts drops).
+    pub flight_cap: usize,
 }
 
 impl Default for FleetConfig {
@@ -61,6 +77,8 @@ impl Default for FleetConfig {
             chaos: ChaosConfig::off(),
             max_retries: 3,
             timeout_rounds: 2,
+            trace: TraceLevel::Off,
+            flight_cap: DEFAULT_FLIGHT_CAP,
         }
     }
 }
@@ -84,6 +102,17 @@ pub struct DeviceSim {
     pub role: DeviceRole,
     /// The verifier's view of this device.
     pub health: DeviceHealth,
+    /// Home shard (assigned from the device index when the run is
+    /// sharded). Work stealing may *execute* the device elsewhere; spans
+    /// always carry the home shard so traces are deterministic.
+    pub shard: u32,
+    /// Always-on bounded black box of this device's recent fleet
+    /// activity, dumped on quarantine or crash-reset.
+    pub(crate) flight: FlightRecorder,
+    /// Trace spans collected at [`TraceLevel::Spans`] and above.
+    pub(crate) spans: Vec<SpanRecord>,
+    /// Flight dumps captured during the run (quarantine, crash-reset).
+    pub(crate) dumps: Vec<FlightDump>,
     /// Attestation responses produced this round (tagged with the round
     /// of the challenge they answer), delivered to the verifier at the
     /// round boundary.
@@ -101,6 +130,39 @@ pub struct DeviceSim {
     instret_done: u64,
     /// Cycles elapsed before the last warm reset.
     cycles_done: u64,
+}
+
+impl DeviceSim {
+    /// Records one span into the always-on flight ring, and into the
+    /// trace buffer when `collect` (the caller's trace-level gate) says
+    /// the level wants it.
+    pub(crate) fn note(&mut self, collect: bool, kind: SpanKind, round: u64, start: u64, end: u64) {
+        let span = SpanRecord {
+            shard: self.shard,
+            device: Some(self.id),
+            round,
+            kind,
+            start_cycle: start,
+            end_cycle: end,
+        };
+        self.flight.record(span.clone());
+        if collect {
+            self.spans.push(span);
+        }
+    }
+
+    /// Snapshots this device's black box: flight-ring spans, the tail of
+    /// its telemetry event ring and its merged counters (device registry
+    /// plus host-side `chaos.*` fault counters). Reading the metrics is
+    /// idempotent, so capturing mid-run perturbs nothing.
+    pub(crate) fn capture_dump(&mut self, round: u64, trigger: &str) -> FlightDump {
+        let mut counters = self.platform.machine.metrics_report().counters;
+        counters.extend(self.local.snapshot().counters);
+        let ring = &self.platform.machine.sys.obs.ring;
+        let skip = ring.len().saturating_sub(FLIGHT_EVENT_TAIL);
+        let events: Vec<Event> = ring.iter().skip(skip).cloned().collect();
+        self.flight.dump(self.id, round, trigger, events, counters)
+    }
 }
 
 /// Derives a device's RNG seed from the fleet seed (splitmix64 step —
@@ -155,6 +217,10 @@ pub struct Fleet {
     /// Trustlet code/data regions bit-flip faults are aimed at
     /// (`(base, size)` in trustlet-table order).
     fault_regions: Vec<(u32, u32)>,
+    /// Host wall time the boot-and-fork phase took, in nanoseconds
+    /// (trace-only: surfaces as the `fork` shard-phase span, never
+    /// digested).
+    fork_ns: u64,
 }
 
 impl Fleet {
@@ -166,6 +232,7 @@ impl Fleet {
     /// measurement table or corrupting its key-store copy of the
     /// platform key.
     pub fn boot(cfg: FleetConfig) -> Result<Fleet, TrustliteError> {
+        let t_boot = Instant::now();
         if cfg.devices == 0 {
             return Err(TrustliteError::DegenerateFleet { what: "devices" });
         }
@@ -223,6 +290,10 @@ impl Fleet {
                 instret_at_fork: master.machine.instret,
                 role,
                 health: DeviceHealth::Healthy,
+                shard: 0,
+                flight: FlightRecorder::new(cfg.flight_cap),
+                spans: Vec::new(),
+                dumps: Vec::new(),
                 outbox: Vec::new(),
                 delayed: Vec::new(),
                 accum: MetricsReport::default(),
@@ -237,6 +308,7 @@ impl Fleet {
             boot_report,
             expected,
             fault_regions,
+            fork_ns: t_boot.elapsed().as_nanos() as u64,
         })
     }
 
@@ -255,15 +327,17 @@ impl Fleet {
     pub fn run(self) -> FleetReport {
         let Fleet {
             cfg,
-            devices,
+            mut devices,
             boot_report,
             expected,
             fault_regions,
+            fork_ns,
         } = self;
         let nw = cfg.workers.max(1).min(devices.len().max(1));
         let n = devices.len();
         let plan = FaultPlan::new(cfg.chaos);
         let chaos_on = plan.enabled();
+        let trace = cfg.trace;
 
         // Contiguous shards; per-shard claim cursors form the
         // work-stealing run queue (a worker that drains its own shard
@@ -275,6 +349,11 @@ impl Fleet {
                 (start, end - start)
             })
             .collect();
+        for (s, &(start, len)) in shards.iter().enumerate() {
+            for dev in &mut devices[start..start + len] {
+                dev.shard = s as u32;
+            }
+        }
         let cursors: Vec<AtomicUsize> = (0..nw).map(|_| AtomicUsize::new(0)).collect();
         let cells: Vec<Mutex<DeviceSim>> = devices.into_iter().map(Mutex::new).collect();
         // Round-boundary message fabric: the verifier's pending
@@ -282,7 +361,16 @@ impl Fleet {
         let inboxes: Vec<Mutex<Option<(u64, Challenge)>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
         let barrier = Barrier::new(nw);
-        let verifier = Mutex::new(VerifierState::new(n, cfg.max_retries, cfg.timeout_rounds));
+        let verifier = Mutex::new(VerifierState::new(
+            n,
+            cfg.max_retries,
+            cfg.timeout_rounds,
+            trace,
+        ));
+        // Host-clock shard-phase spans (trace-only, never digested): each
+        // worker buffers its own and appends once at thread exit.
+        let t0 = Instant::now();
+        let host_spans: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
 
         // Seed round 0's challenges (the verifier "speaks first").
         if cfg.attest_every > 0 {
@@ -324,8 +412,26 @@ impl Fleet {
                 let claim = &claim;
                 let plan = &plan;
                 let fault_regions = &fault_regions;
+                let t0 = &t0;
+                let host_spans = &host_spans;
                 scope.spawn(move || {
+                    let mut phase_spans: Vec<SpanRecord> = Vec::new();
+                    let phase = |spans: &mut Vec<SpanRecord>, kind, round, start: u64| {
+                        spans.push(SpanRecord {
+                            shard: worker as u32,
+                            device: None,
+                            round,
+                            kind,
+                            start_cycle: start,
+                            end_cycle: t0.elapsed().as_nanos() as u64,
+                        });
+                    };
                     for round in 0..cfg.rounds {
+                        let a0 = if trace.spans_on() {
+                            t0.elapsed().as_nanos() as u64
+                        } else {
+                            0
+                        };
                         // Phase A: step every device one quantum,
                         // delivering round-boundary messages and
                         // applying this round's scheduled faults.
@@ -349,7 +455,11 @@ impl Fleet {
                                 cfg.quantum,
                                 fault_regions,
                                 &inboxes[idx],
+                                trace,
                             );
+                        }
+                        if trace.spans_on() {
+                            phase(&mut phase_spans, SpanKind::Execute, round, a0);
                         }
                         barrier.wait();
                         // Phase B: the verifier drains responses,
@@ -357,6 +467,11 @@ impl Fleet {
                         // enqueues next-round challenges, in device
                         // order; worker 0 also re-arms the run queue.
                         if worker == 0 {
+                            let v0 = if trace.spans_on() {
+                                t0.elapsed().as_nanos() as u64
+                            } else {
+                                0
+                            };
                             let mut ver = verifier.lock().unwrap();
                             for (id, cell) in cells.iter().enumerate() {
                                 let mut guard = cell.lock().unwrap();
@@ -377,8 +492,14 @@ impl Fleet {
                             for c in cursors.iter() {
                                 c.store(0, Ordering::Relaxed);
                             }
+                            if trace.spans_on() {
+                                phase(&mut phase_spans, SpanKind::Verify, round, v0);
+                            }
                         }
                         barrier.wait();
+                    }
+                    if !phase_spans.is_empty() {
+                        host_spans.lock().unwrap().extend(phase_spans);
                     }
                 });
             }
@@ -386,17 +507,43 @@ impl Fleet {
 
         let mut devices: Vec<DeviceSim> =
             cells.into_iter().map(|c| c.into_inner().unwrap()).collect();
+        let m0 = t0.elapsed().as_nanos() as u64;
+
+        // Assemble the trace: fork span, host-clock phase spans (sorted
+        // by (round, kind, shard) — worker arrival order is racy, the
+        // sorted order is not), then per-device and verifier spans in
+        // deterministic phase-B order.
+        let mut spans: Vec<SpanRecord> = Vec::new();
+        if trace.spans_on() {
+            spans.push(SpanRecord {
+                shard: 0,
+                device: None,
+                round: 0,
+                kind: SpanKind::Fork,
+                start_cycle: 0,
+                end_cycle: fork_ns,
+            });
+            let mut host = host_spans.into_inner().unwrap();
+            host.sort_by_key(|s| (s.round, s.kind, s.shard));
+            spans.extend(host);
+        }
 
         // Merge: one boot registry per image + every device's registry
         // (including telemetry retired by mid-run resets and host-side
-        // fault counters) + the verifier's reason counters.
-        let ver = verifier.into_inner().unwrap();
+        // fault counters) + the verifier's reason counters and latency
+        // histograms. Histograms never enter the digest blob below.
+        let mut ver = verifier.into_inner().unwrap();
+        for id in 0..n {
+            ver.metrics
+                .observe("fleet.retries_per_device", u64::from(ver.retries_total[id]));
+        }
         let mut merged = boot_report;
         merged.merge(&ver.metrics.snapshot());
         let mut total_instret = 0u64;
         let mut total_cycles = 0u64;
         let mut digest_blob = Vec::new();
         let mut health = Vec::with_capacity(n);
+        let mut flight_dumps: Vec<FlightDump> = Vec::new();
         for dev in devices.iter_mut() {
             let r = dev.platform.machine.metrics_report();
             merged.merge(&r);
@@ -406,7 +553,10 @@ impl Fleet {
             total_cycles += dev.cycles_done + dev.platform.machine.cycles;
             digest_blob.extend_from_slice(&state_digest(&mut dev.platform));
             health.push(dev.health);
+            spans.append(&mut dev.spans);
+            flight_dumps.append(&mut dev.dumps);
         }
+        spans.append(&mut ver.spans);
         let ok = ver.ok;
         let fail = ver.fail;
         digest_blob.extend_from_slice(&ok.to_le_bytes());
@@ -427,6 +577,17 @@ impl Fleet {
             }
         }
 
+        if trace.spans_on() {
+            spans.push(SpanRecord {
+                shard: 0,
+                device: None,
+                round: cfg.rounds,
+                kind: SpanKind::Merge,
+                start_cycle: m0,
+                end_cycle: t0.elapsed().as_nanos() as u64,
+            });
+        }
+
         FleetReport {
             devices: n,
             workers: nw,
@@ -434,11 +595,15 @@ impl Fleet {
             quantum: cfg.quantum,
             seed: cfg.seed,
             workload: cfg.workload.clone(),
+            trace_level: trace,
+            chaos: chaos_on,
             total_instret,
             total_cycles,
             attest_ok: ok,
             attest_fail: fail,
             health,
+            spans,
+            flight_dumps,
             merged,
             digest: sha256(&digest_blob),
         }
@@ -455,7 +620,9 @@ fn step_device(
     quantum: u64,
     fault_regions: &[(u32, u32)],
     inbox: &Mutex<Option<(u64, Challenge)>>,
+    trace: TraceLevel,
 ) {
+    let collect = trace.spans_on();
     // Delayed traffic matures at this round's boundary; it precedes any
     // response produced this round (it is older).
     if !dev.delayed.is_empty() {
@@ -471,26 +638,31 @@ fn step_device(
     }
 
     if let Some((ch_round, ch)) = inbox.lock().unwrap().take() {
+        dev.note(collect, SpanKind::Challenge, round, ch_round, ch_round);
         match fault {
             Some(RoundFault::DropResponse) => {
                 dev.local.inc("chaos.response_dropped");
+                dev.note(collect, SpanKind::RespDrop, round, round, round);
             }
             Some(RoundFault::CorruptResponse { bit }) => {
                 if let Ok(mut resp) = attest::respond(&mut dev.platform, &ch) {
                     resp.tag[usize::from(bit >> 3)] ^= 1 << (bit & 7);
                     dev.outbox.push((ch_round, resp));
                     dev.local.inc("chaos.response_corrupted");
+                    dev.note(collect, SpanKind::RespCorrupt, round, round, round);
                 }
             }
             Some(RoundFault::DelayResponse { rounds }) => {
                 if let Ok(resp) = attest::respond(&mut dev.platform, &ch) {
                     dev.delayed.push((round + rounds, ch_round, resp));
                     dev.local.inc("chaos.response_delayed");
+                    dev.note(collect, SpanKind::RespDelay, round, round, round + rounds);
                 }
             }
             _ => {
                 if let Ok(resp) = attest::respond(&mut dev.platform, &ch) {
                     dev.outbox.push((ch_round, resp));
+                    dev.note(collect, SpanKind::Respond, round, round, round);
                 }
             }
         }
@@ -507,11 +679,33 @@ fn step_device(
                 .inject_bit_flip(addr, bit)
                 .expect("fault regions are mapped RAM");
             dev.local.inc("chaos.bit_flips");
+            dev.note(collect, SpanKind::BitFlip, round, round, round);
+            let c0 = dev.platform.machine.cycles;
             dev.platform.run(quantum);
+            dev.note(
+                trace.full_on(),
+                SpanKind::Quantum,
+                round,
+                c0,
+                dev.platform.machine.cycles,
+            );
         }
         Some(RoundFault::CrashReset { at }) => {
             let crash_step = if quantum == 0 { 0 } else { at % quantum };
+            let c0 = dev.platform.machine.cycles;
             dev.platform.run(crash_step);
+            // The crash-reset span covers the pre-crash partial quantum;
+            // the black box is captured *before* the warm reset clears
+            // the telemetry it snapshots.
+            dev.note(
+                collect,
+                SpanKind::CrashReset,
+                round,
+                c0,
+                dev.platform.machine.cycles,
+            );
+            let dump = dev.capture_dump(round, "crash_reset");
+            dev.dumps.push(dump);
             // A warm reset drops captured telemetry and restarts the
             // cycle/instret counters; retire both first so fleet
             // aggregates still cover the pre-crash work.
@@ -524,10 +718,26 @@ fn step_device(
                 .expect("Secure Loader re-entry from PROM is deterministic");
             dev.instret_at_fork = 0;
             dev.local.inc("chaos.crash_resets");
+            let c1 = dev.platform.machine.cycles;
             dev.platform.run(quantum - crash_step);
+            dev.note(
+                trace.full_on(),
+                SpanKind::Quantum,
+                round,
+                c1,
+                dev.platform.machine.cycles,
+            );
         }
         _ => {
+            let c0 = dev.platform.machine.cycles;
             dev.platform.run(quantum);
+            dev.note(
+                trace.full_on(),
+                SpanKind::Quantum,
+                round,
+                c0,
+                dev.platform.machine.cycles,
+            );
         }
     }
 }

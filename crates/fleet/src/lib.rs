@@ -29,12 +29,20 @@
 //!   [`DeviceHealth`] plus `attest.reject.*` reason counters;
 //! * **merged observability** — per-device `trustlite-obs` registries
 //!   merge into one fleet report in which counters and cycle attribution
-//!   still sum exactly, warm resets included ([`FleetReport`]).
+//!   still sum exactly, warm resets included ([`FleetReport`]);
+//! * **observation without perturbation** — a [`TraceLevel`]-gated span
+//!   trace (attestation round trips, shard phases on the host clock),
+//!   always-on deterministic latency histograms (`fleet.*`) and a
+//!   per-device flight recorder dumped on quarantine or crash-reset;
+//!   state digests and merged metrics are byte-identical at every trace
+//!   level and worker count ([`observatory`]).
 
 pub mod engine;
+pub mod observatory;
 pub mod report;
 pub mod resilience;
 
 pub use engine::{DeviceSim, Fleet, FleetConfig};
+pub use observatory::{chrome_trace, trace_jsonl, TraceLevel};
 pub use report::{state_digest, FleetReport};
 pub use resilience::{DeviceHealth, FailReason};

@@ -1,0 +1,244 @@
+//! The fleet observatory: trace levels and trace writers.
+//!
+//! Observation must not perturb: state digests and merged metrics are
+//! byte-identical at every [`TraceLevel`] and worker count. The engine
+//! achieves that by construction —
+//!
+//! * everything that feeds the digest (counters, attribution, health) is
+//!   recorded unconditionally, exactly as before;
+//! * everything the trace level gates (span buffers, host-clock phase
+//!   timings) lives in side buffers the digest never reads;
+//! * everything deterministic but new (latency histograms, the flight
+//!   recorder) is always on, fed only by `(seed, device, round)`-pure
+//!   inputs, and excluded from the digest blob.
+//!
+//! The writers here render a finished [`FleetReport`] into the mixed
+//! JSONL trace format of [`trustlite_obs::trace`] (`tlfleet
+//! --trace-jsonl`, consumed by `tlstats`) and into the Chrome
+//! `trace_event` JSON array (`tlfleet --chrome-trace`, one lane per
+//! engine shard plus one lane per device grouped by home shard).
+
+use std::fmt::Write as _;
+
+use trustlite_obs::trace::{HistLine, TraceMeta};
+use trustlite_obs::SpanRecord;
+
+use crate::report::FleetReport;
+
+/// How much of the fleet's activity is collected into the trace buffers.
+/// Orthogonal to the per-device [`trustlite_obs::ObsLevel`]: this gates
+/// *fleet* spans, that gates *device* events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceLevel {
+    /// No span collection (the flight recorder and latency histograms
+    /// stay on — they are deterministic and cheap by design).
+    Off,
+    /// Attestation-fabric and fault spans plus host-clock shard phases.
+    Spans,
+    /// Everything, including one `quantum` span per device per round.
+    Full,
+}
+
+impl TraceLevel {
+    /// Stable CLI/wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceLevel::Off => "off",
+            TraceLevel::Spans => "spans",
+            TraceLevel::Full => "full",
+        }
+    }
+
+    /// Parses a CLI/wire name.
+    pub fn parse(s: &str) -> Option<TraceLevel> {
+        Some(match s {
+            "off" => TraceLevel::Off,
+            "spans" => TraceLevel::Spans,
+            "full" => TraceLevel::Full,
+            _ => return None,
+        })
+    }
+
+    /// True if fleet spans are collected.
+    #[inline]
+    pub fn spans_on(self) -> bool {
+        self >= TraceLevel::Spans
+    }
+
+    /// True if per-round quantum spans are collected too.
+    #[inline]
+    pub fn full_on(self) -> bool {
+        self >= TraceLevel::Full
+    }
+}
+
+/// Renders a fleet report as a mixed JSONL trace: one `meta` line, every
+/// collected span, one `hist` line per merged histogram, one `flight`
+/// line per captured dump. Parseable line-by-line with
+/// [`trustlite_obs::trace::parse_trace_line`].
+pub fn trace_jsonl(report: &FleetReport) -> String {
+    let mut out = String::new();
+    let meta = TraceMeta {
+        devices: report.devices as u64,
+        workers: report.workers as u64,
+        rounds: report.rounds,
+        quantum: report.quantum,
+        seed: report.seed,
+        workload: report.workload.clone(),
+        trace_level: report.trace_level.name().to_string(),
+        chaos: report.chaos,
+    };
+    out.push_str(&meta.to_json());
+    out.push('\n');
+    for span in &report.spans {
+        out.push_str(&span.to_json());
+        out.push('\n');
+    }
+    for (name, summary) in &report.merged.histograms {
+        let line = HistLine {
+            name: name.clone(),
+            summary: summary.clone(),
+        };
+        out.push_str(&line.to_json());
+        out.push('\n');
+    }
+    for dump in &report.flight_dumps {
+        out.push_str(&dump.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Timeline placement of one span in the Chrome trace, in microseconds.
+/// Host-clock spans map 1 ns → 0.001 µs on the engine lanes; device
+/// spans map their own deterministic clocks (rounds scaled by the
+/// quantum, or simulated cycles) onto the device lanes, so lanes are
+/// internally consistent even though clocks differ across lanes.
+fn chrome_ts(span: &SpanRecord, quantum: u64) -> (f64, f64) {
+    if span.kind.is_host_clock() {
+        (
+            span.start_cycle as f64 / 1_000.0,
+            span.duration() as f64 / 1_000.0,
+        )
+    } else if matches!(
+        span.kind,
+        trustlite_obs::SpanKind::Quantum | trustlite_obs::SpanKind::CrashReset
+    ) {
+        (span.start_cycle as f64, span.duration() as f64)
+    } else {
+        // Round-unit spans and marks: one round spans one quantum.
+        (
+            (span.start_cycle * quantum) as f64,
+            (span.duration() * quantum) as f64,
+        )
+    }
+}
+
+fn push_json_escaped(out: &mut String, s: &str) {
+    trustlite_obs::json::write_str(out, s);
+}
+
+/// Renders the collected spans as a Chrome `trace_event` JSON array:
+/// `pid 0` holds one lane per engine shard (fork/execute/verify/merge,
+/// host wall time); `pid shard+1` holds one lane per device, grouped by
+/// home shard. Load the file at `chrome://tracing` or in Perfetto.
+pub fn chrome_trace(report: &FleetReport) -> String {
+    let mut out = String::from("[");
+    let mut first = true;
+    let mut emit = |line: String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&line);
+    };
+    emit(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"fleet engine\"}}"
+            .to_string(),
+    );
+    let mut shards_seen: Vec<u32> = report
+        .spans
+        .iter()
+        .filter(|s| !s.kind.is_host_clock())
+        .map(|s| s.shard)
+        .collect();
+    shards_seen.sort_unstable();
+    shards_seen.dedup();
+    for shard in shards_seen {
+        let mut line = String::from("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":");
+        let _ = write!(line, "{},\"args\":{{\"name\":", shard + 1);
+        push_json_escaped(&mut line, &format!("shard {shard} devices"));
+        line.push_str("}}");
+        emit(line);
+    }
+    for span in &report.spans {
+        let (ts, dur) = chrome_ts(span, report.quantum.max(1));
+        let (pid, tid) = if span.kind.is_host_clock() {
+            (0, span.shard)
+        } else {
+            (span.shard + 1, span.device.unwrap_or(span.shard))
+        };
+        let mut line = String::from("{\"name\":");
+        push_json_escaped(&mut line, span.kind.name());
+        line.push_str(",\"cat\":\"fleet\"");
+        if dur == 0.0 && !span.kind.is_host_clock() {
+            let _ = write!(line, ",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts:.3}");
+        } else {
+            let _ = write!(line, ",\"ph\":\"X\",\"ts\":{ts:.3},\"dur\":{dur:.3}");
+        }
+        let _ = write!(line, ",\"pid\":{pid},\"tid\":{tid}");
+        let _ = write!(line, ",\"args\":{{\"round\":{}", span.round);
+        if let Some(d) = span.device {
+            let _ = write!(line, ",\"device\":{d}");
+        }
+        line.push_str("}}");
+        emit(line);
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_levels_parse_and_order() {
+        for level in [TraceLevel::Off, TraceLevel::Spans, TraceLevel::Full] {
+            assert_eq!(TraceLevel::parse(level.name()), Some(level));
+        }
+        assert_eq!(TraceLevel::parse("verbose"), None);
+        assert!(!TraceLevel::Off.spans_on());
+        assert!(TraceLevel::Spans.spans_on() && !TraceLevel::Spans.full_on());
+        assert!(TraceLevel::Full.full_on());
+    }
+
+    #[test]
+    fn chrome_ts_maps_each_clock() {
+        let host = SpanRecord {
+            shard: 0,
+            device: None,
+            round: 0,
+            kind: trustlite_obs::SpanKind::Execute,
+            start_cycle: 2_000,
+            end_cycle: 5_000,
+        };
+        assert_eq!(chrome_ts(&host, 100), (2.0, 3.0));
+        let rtt = SpanRecord {
+            shard: 0,
+            device: Some(1),
+            round: 1,
+            kind: trustlite_obs::SpanKind::AttestRtt,
+            start_cycle: 1,
+            end_cycle: 3,
+        };
+        assert_eq!(chrome_ts(&rtt, 100), (100.0, 200.0));
+        let q = SpanRecord {
+            kind: trustlite_obs::SpanKind::Quantum,
+            start_cycle: 40,
+            end_cycle: 90,
+            ..rtt
+        };
+        assert_eq!(chrome_ts(&q, 100), (40.0, 50.0));
+    }
+}

@@ -2,8 +2,9 @@
 
 use trustlite::Platform;
 use trustlite_crypto::sha256;
-use trustlite_obs::MetricsReport;
+use trustlite_obs::{FlightDump, MetricsReport, SpanRecord};
 
+use crate::observatory::TraceLevel;
 use crate::resilience::DeviceHealth;
 
 /// Digest of one device's architectural state: counters, register file
@@ -44,6 +45,12 @@ pub struct FleetReport {
     pub seed: u64,
     /// The workload every device ran.
     pub workload: String,
+    /// The span-collection level the run used. Observation never
+    /// perturbs: `digest` and `merged` are byte-identical at every
+    /// level.
+    pub trace_level: TraceLevel,
+    /// Whether a fault plan was active.
+    pub chaos: bool,
     /// Post-fork instructions retired, summed over devices.
     pub total_instret: u64,
     /// Simulated cycles, summed over devices.
@@ -58,6 +65,14 @@ pub struct FleetReport {
     /// healthy, retrying with a backoff, or quarantined with a reason
     /// and the round the decision was made in).
     pub health: Vec<DeviceHealth>,
+    /// Collected trace spans (empty at [`TraceLevel::Off`]): fork/
+    /// execute/verify/merge shard phases on the host clock, then device
+    /// and verifier spans in deterministic phase-B order.
+    pub spans: Vec<SpanRecord>,
+    /// Flight-recorder dumps captured during the run — one per
+    /// crash-reset and one per quarantine, at *every* trace level (the
+    /// black box is always on).
+    pub flight_dumps: Vec<FlightDump>,
     /// All telemetry registries merged: one boot registry per image plus
     /// every device's post-fork registry. Counters and cycle attribution
     /// sum exactly; `loader.runs` counts Secure Loader executions (one
@@ -135,6 +150,7 @@ impl FleetReport {
         format!(
             "{{\n  \"devices\": {}, \"workers\": {}, \"rounds\": {}, \"quantum\": {},\n  \
              \"seed\": {}, \"workload\": \"{}\",\n  \
+             \"trace_level\": \"{}\", \"chaos\": {}, \"spans\": {}, \"flight_dumps\": {},\n  \
              \"total_instret\": {}, \"total_cycles\": {},\n  \
              \"attest_ok\": {}, \"attest_fail\": {},\n  \
              \"healthy\": {}, \"retrying\": {}, \"quarantined\": {},\n  \
@@ -148,6 +164,10 @@ impl FleetReport {
             self.quantum,
             self.seed,
             self.workload,
+            self.trace_level.name(),
+            self.chaos,
+            self.spans.len(),
+            self.flight_dumps.len(),
             self.total_instret,
             self.total_cycles,
             self.attest_ok,

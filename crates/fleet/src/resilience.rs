@@ -10,9 +10,10 @@
 //! reason counters always sum to the fleet's `attest_fail`.
 
 use trustlite::attest::{self, RejectReason};
-use trustlite_obs::MetricsRegistry;
+use trustlite_obs::{MetricsRegistry, SpanKind, SpanRecord};
 
 use crate::engine::{challenge_nonce, DeviceSim};
+use crate::observatory::TraceLevel;
 
 /// Why a response was rejected (or a device was given up on). Extends
 /// [`RejectReason`] with the verifier-local timeout outcome.
@@ -50,6 +51,15 @@ impl FailReason {
             FailReason::BadMeasurement => 1,
             FailReason::BadTag => 2,
             FailReason::Timeout => 3,
+        }
+    }
+
+    /// The span mark a rejection for this reason emits.
+    pub fn reject_kind(&self) -> SpanKind {
+        match self {
+            FailReason::BadMeasurement => SpanKind::RejectBadMeasurement,
+            FailReason::BadTag => SpanKind::RejectBadTag,
+            FailReason::Timeout => SpanKind::RejectTimeout,
         }
     }
 }
@@ -127,32 +137,69 @@ const MAX_BACKOFF_SHIFT: u32 = 3;
 pub(crate) struct VerifierState {
     max_retries: u32,
     timeout_rounds: u64,
+    /// Fleet trace level: gates span *collection* only — histograms and
+    /// the flight recorder are always on (deterministic by design).
+    trace: TraceLevel,
     /// The round of the one in-flight challenge per device, if any.
     pending: Vec<Option<u64>>,
     /// Consecutive failures per device.
     retries: Vec<u32>,
     /// Earliest round a retry challenge may be issued per device.
     next_eligible: Vec<u64>,
+    /// Cumulative failures per device over the whole run (the
+    /// `fleet.retries_per_device` histogram source; unlike `retries`,
+    /// never reset by a recovery).
+    pub retries_total: Vec<u32>,
     /// Accepted responses.
     pub ok: u64,
     /// Rejected responses and timeouts (always equals the sum of the
     /// `attest.reject.*` counters in `metrics`).
     pub fail: u64,
-    /// Verifier-side counters (`attest.reject.*`, `attest.retry`, ...).
+    /// Verifier-side counters (`attest.reject.*`, `attest.retry`, ...)
+    /// and the fleet latency histograms (`fleet.*`). Phase-B-only, so
+    /// worker-count-invariant; histograms are excluded from the digest.
     pub metrics: MetricsRegistry,
+    /// Verifier-scope trace spans (attestation round trips, rejections,
+    /// backoff windows, quarantines). Empty at [`TraceLevel::Off`].
+    pub spans: Vec<SpanRecord>,
 }
 
 impl VerifierState {
-    pub fn new(devices: usize, max_retries: u32, timeout_rounds: u64) -> VerifierState {
+    pub fn new(
+        devices: usize,
+        max_retries: u32,
+        timeout_rounds: u64,
+        trace: TraceLevel,
+    ) -> VerifierState {
         VerifierState {
             max_retries,
             timeout_rounds,
+            trace,
             pending: vec![None; devices],
             retries: vec![0; devices],
             next_eligible: vec![0; devices],
+            retries_total: vec![0; devices],
             ok: 0,
             fail: 0,
             metrics: MetricsRegistry::default(),
+            spans: Vec::new(),
+        }
+    }
+
+    /// Records one verifier-scope span into the device's always-on
+    /// flight ring, and into the trace buffer when spans are collected.
+    fn note_span(&mut self, dev: &mut DeviceSim, kind: SpanKind, round: u64, start: u64, end: u64) {
+        let span = SpanRecord {
+            shard: dev.shard,
+            device: Some(dev.id),
+            round,
+            kind,
+            start_cycle: start,
+            end_cycle: end,
+        };
+        dev.flight.record(span.clone());
+        if self.trace.spans_on() {
+            self.spans.push(span);
         }
     }
 
@@ -188,6 +235,11 @@ impl VerifierState {
                         }
                         self.retries[id] = 0;
                         dev.health = DeviceHealth::Healthy;
+                        // Challenge-to-acceptance round trip: issued for
+                        // `ch_round`, accepted at the `round` boundary.
+                        self.metrics
+                            .observe("fleet.response_latency_rounds", round - ch_round + 1);
+                        self.note_span(dev, SpanKind::AttestRtt, ch_round, ch_round, round + 1);
                     } else {
                         // Valid but answering an abandoned (timed-out)
                         // challenge; it proves nothing fresh.
@@ -215,18 +267,28 @@ impl VerifierState {
     fn record_failure(&mut self, id: usize, dev: &mut DeviceSim, reason: FailReason, round: u64) {
         self.fail += 1;
         self.metrics.inc(reason.counter_name());
+        self.note_span(dev, reason.reject_kind(), round, round, round);
         if dev.health.is_quarantined() {
             return; // late traffic from an already-written-off device
         }
         self.retries[id] += 1;
+        self.retries_total[id] += 1;
         if self.retries[id] > self.max_retries {
             dev.health = DeviceHealth::Quarantined { reason, round };
             self.metrics.inc("attest.quarantined");
+            // Rounds-to-detect: the write-off landed at the end of
+            // `round`, i.e. after `round + 1` rounds of fleet time.
+            self.metrics.observe("fleet.rounds_to_detect", round + 1);
+            self.note_span(dev, SpanKind::Quarantine, round, round, round);
+            let trigger = format!("quarantine({})", reason.label());
+            let dump = dev.capture_dump(round, &trigger);
+            dev.dumps.push(dump);
         } else {
             dev.health = DeviceHealth::Retrying(self.retries[id]);
             let backoff = 1u64 << (self.retries[id] - 1).min(MAX_BACKOFF_SHIFT);
             self.next_eligible[id] = round + backoff;
             self.metrics.inc("attest.retry");
+            self.note_span(dev, SpanKind::Backoff, round, round, round + backoff);
         }
     }
 

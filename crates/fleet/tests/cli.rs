@@ -1,6 +1,8 @@
 //! CLI-level behavior of `tlfleet`: degenerate configurations must exit
-//! nonzero with a named error, and `--expect` must turn a digest
-//! mismatch into a nonzero exit that prints both digests.
+//! nonzero with a named error, `--expect` must turn a digest mismatch
+//! into a nonzero exit that prints both digests and the trace level,
+//! and the trace sinks must write schema-valid streams without moving
+//! the digest.
 
 use std::process::Command;
 
@@ -89,6 +91,103 @@ fn expect_mismatch_prints_both_digests_and_fails() {
         stderr.contains("actual:"),
         "actual digest printed: {stderr}"
     );
+    // An observation-perturbs bug is diagnosed from this line alone, so
+    // the mismatch names the trace level the run was captured at.
+    assert!(
+        stderr.contains("(trace level off)"),
+        "trace level printed on mismatch: {stderr}"
+    );
+}
+
+#[test]
+fn expect_mismatch_names_the_active_trace_level() {
+    let bogus = "0".repeat(64);
+    let out = tlfleet()
+        .args(SMALL)
+        .args(["--trace-level", "full", "--digest", "--expect", &bogus])
+        .output()
+        .expect("spawn tlfleet");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("(trace level full)"),
+        "mismatch at full must say so: {stderr}"
+    );
+}
+
+#[test]
+fn trace_level_never_moves_the_digest() {
+    let digest_at = |extra: &[&str]| {
+        let out = tlfleet()
+            .args(SMALL)
+            .args(["--chaos", "9", "--fault-rate", "700", "--malicious", "300"])
+            .args(extra)
+            .arg("--digest")
+            .output()
+            .expect("spawn tlfleet");
+        assert!(out.status.success(), "{:?}", extra);
+        String::from_utf8_lossy(&out.stdout).trim().to_string()
+    };
+    let off = digest_at(&[]);
+    assert_eq!(off, digest_at(&["--trace-level", "spans"]));
+    assert_eq!(off, digest_at(&["--trace-level", "full"]));
+}
+
+#[test]
+fn trace_jsonl_is_schema_valid_and_chrome_trace_is_json() {
+    let dir = std::env::temp_dir();
+    let jsonl = dir.join(format!("tlfleet-cli-{}.jsonl", std::process::id()));
+    let chrome = dir.join(format!("tlfleet-cli-{}.chrome.json", std::process::id()));
+    let out = tlfleet()
+        .args(SMALL)
+        .args(["--chaos", "9", "--fault-rate", "700", "--malicious", "300"])
+        .args(["--trace-level", "full"])
+        .args(["--trace-jsonl", jsonl.to_str().unwrap()])
+        .args(["--chrome-trace", chrome.to_str().unwrap()])
+        .output()
+        .expect("spawn tlfleet");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let doc = std::fs::read_to_string(&jsonl).expect("trace written");
+    let records = trustlite_obs::parse_trace(&doc).expect("stream satisfies the schema");
+    assert!(
+        records
+            .iter()
+            .any(|r| matches!(r, trustlite_obs::TraceRecord::Meta(_))),
+        "meta line present"
+    );
+    assert!(
+        records
+            .iter()
+            .any(|r| matches!(r, trustlite_obs::TraceRecord::Span(_))),
+        "span lines present"
+    );
+    assert!(
+        records
+            .iter()
+            .any(|r| matches!(r, trustlite_obs::TraceRecord::Hist(_))),
+        "histogram lines present"
+    );
+
+    // The Chrome timeline is one JSON array of objects with the
+    // trace_event phase field.
+    let chrome_doc = std::fs::read_to_string(&chrome).expect("chrome trace written");
+    match trustlite_obs::json::parse(&chrome_doc).expect("chrome trace is valid JSON") {
+        trustlite_obs::json::Json::Arr(events) => {
+            assert!(!events.is_empty());
+            for e in &events {
+                assert!(e.get("ph").is_some(), "every event carries a phase");
+            }
+        }
+        other => panic!("chrome trace must be an array, got {other:?}"),
+    }
+
+    let _ = std::fs::remove_file(&jsonl);
+    let _ = std::fs::remove_file(&chrome);
 }
 
 #[test]

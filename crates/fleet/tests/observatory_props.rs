@@ -1,0 +1,175 @@
+//! Observation-without-perturbation properties: the trace level must
+//! never move a bit of the simulation, the always-on telemetry (latency
+//! histograms, flight recorders) must itself be deterministic across
+//! worker counts, and every quarantined device must leave a non-empty
+//! black box behind.
+
+use proptest::prelude::*;
+use trustlite_chaos::ChaosConfig;
+use trustlite_fleet::{Fleet, FleetConfig, FleetReport, TraceLevel};
+
+fn run(cfg: &FleetConfig, workers: usize, trace: TraceLevel) -> FleetReport {
+    Fleet::boot(FleetConfig {
+        workers,
+        trace,
+        ..cfg.clone()
+    })
+    .expect("boot")
+    .run()
+}
+
+/// A chaos-heavy config small enough for the debug profile.
+fn chaos_cfg(seed: u64, chaos_seed: u64, devices: usize, rounds: u64) -> FleetConfig {
+    FleetConfig {
+        devices,
+        rounds,
+        quantum: 1_500,
+        seed,
+        attest_every: 1,
+        chaos: ChaosConfig {
+            seed: chaos_seed,
+            fault_rate_pm: 1_000,
+            malicious_pm: 300,
+        },
+        ..FleetConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn trace_level_and_workers_never_perturb_the_run(
+        seed in 1u64..1_000_000,
+        chaos_seed in 1u64..1_000_000,
+        devices in 3usize..6,
+        rounds in 2u64..5,
+    ) {
+        let cfg = chaos_cfg(seed, chaos_seed, devices, rounds);
+        let baseline = run(&cfg, 1, TraceLevel::Off);
+        for workers in [1usize, 4] {
+            // Per-worker-count reference: flight dumps embed the home
+            // shard (a layout fact), so only the trace level is required
+            // to leave them byte-identical.
+            let shard_ref = run(&cfg, workers, TraceLevel::Off);
+            for trace in [TraceLevel::Off, TraceLevel::Spans, TraceLevel::Full] {
+                let r = run(&cfg, workers, trace);
+                prop_assert_eq!(
+                    &r.digest, &baseline.digest,
+                    "digest moved at {} workers, trace {}", workers, trace.name()
+                );
+                prop_assert_eq!(&r.merged.counters, &baseline.merged.counters);
+                // The latency histograms are always-on telemetry: they
+                // must come out identical whatever the level or shard
+                // layout, buckets included.
+                prop_assert_eq!(&r.merged.histograms, &baseline.merged.histograms);
+                prop_assert_eq!(&r.health, &baseline.health);
+                // The flight dumps are deterministic evidence, not
+                // wall-clock samples: byte-identical across trace levels,
+                // and identical up to the shard label across layouts.
+                prop_assert_eq!(&r.flight_dumps, &shard_ref.flight_dumps);
+                prop_assert_eq!(r.flight_dumps.len(), baseline.flight_dumps.len());
+                for (a, b) in r.flight_dumps.iter().zip(&baseline.flight_dumps) {
+                    let mut a = a.clone();
+                    let mut b = b.clone();
+                    for s in a.spans.iter_mut().chain(b.spans.iter_mut()) {
+                        s.shard = 0;
+                    }
+                    prop_assert_eq!(a, b, "flight dump diverged beyond the shard label");
+                }
+            }
+        }
+        // Span collection is what the level gates: off collects nothing,
+        // spans/full collect at least the per-round engine phases.
+        prop_assert!(baseline.spans.is_empty(), "trace off must collect no spans");
+        let spans = run(&cfg, 1, TraceLevel::Spans);
+        prop_assert!(!spans.spans.is_empty(), "trace spans must collect spans");
+        let full = run(&cfg, 1, TraceLevel::Full);
+        prop_assert!(
+            full.spans.len() > spans.spans.len(),
+            "trace full must add per-quantum spans ({} vs {})",
+            full.spans.len(),
+            spans.spans.len()
+        );
+    }
+}
+
+#[test]
+fn every_quarantined_device_leaves_a_nonempty_black_box() {
+    // max_retries 1 + heavy malice: several devices must be written off.
+    let cfg = FleetConfig {
+        devices: 8,
+        rounds: 6,
+        quantum: 1_500,
+        attest_every: 1,
+        max_retries: 1,
+        chaos: ChaosConfig {
+            seed: 9,
+            fault_rate_pm: 700,
+            malicious_pm: 600,
+        },
+        ..FleetConfig::default()
+    };
+    let report = Fleet::boot(cfg).expect("boot").run();
+    let quarantined: Vec<u32> = report
+        .health
+        .iter()
+        .enumerate()
+        .filter(|(_, h)| h.is_quarantined())
+        .map(|(id, _)| id as u32)
+        .collect();
+    assert!(
+        !quarantined.is_empty(),
+        "this config must quarantine devices (got none): {:?}",
+        report.health
+    );
+    for id in &quarantined {
+        let dump = report
+            .flight_dumps
+            .iter()
+            .find(|d| d.device == *id && d.trigger.starts_with("quarantine("))
+            .unwrap_or_else(|| panic!("device {id} quarantined without a flight dump"));
+        assert!(
+            !dump.spans.is_empty(),
+            "device {id}: quarantine dump must carry flight spans"
+        );
+        assert!(
+            !dump.counters.is_empty(),
+            "device {id}: quarantine dump must carry counters"
+        );
+    }
+    // Detection latency is recorded for every write-off.
+    let detect = &report.merged.histograms["fleet.rounds_to_detect"];
+    assert_eq!(detect.count, quarantined.len() as u64);
+}
+
+#[test]
+fn trace_stream_round_trips_and_quantiles_match_merged_histograms() {
+    let cfg = FleetConfig {
+        devices: 6,
+        rounds: 4,
+        quantum: 1_500,
+        attest_every: 1,
+        trace: TraceLevel::Full,
+        chaos: ChaosConfig {
+            seed: 5,
+            fault_rate_pm: 800,
+            malicious_pm: 300,
+        },
+        ..FleetConfig::default()
+    };
+    let report = Fleet::boot(cfg).expect("boot").run();
+    let doc = trustlite_fleet::trace_jsonl(&report);
+    let records = trustlite_obs::parse_trace(&doc).expect("emitted stream must satisfy the schema");
+    let mut hists = 0;
+    for r in &records {
+        if let trustlite_obs::TraceRecord::Hist(h) = r {
+            hists += 1;
+            let merged = &report.merged.histograms[&h.name];
+            assert_eq!(&h.summary, merged, "{} drifted through the stream", h.name);
+        }
+    }
+    assert_eq!(hists, report.merged.histograms.len());
+    assert!(records
+        .iter()
+        .any(|r| matches!(r, trustlite_obs::TraceRecord::Meta(_))));
+}

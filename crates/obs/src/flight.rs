@@ -1,0 +1,280 @@
+//! The flight recorder: a bounded per-device black box.
+//!
+//! Every fleet device carries a [`FlightRecorder`] — a ring of the last
+//! K [`SpanRecord`]s of fleet activity (challenges, responses, faults,
+//! verifier verdicts, executed quanta). It is always on, bounded, and
+//! fed only by deterministic inputs, so recording never perturbs the
+//! simulation and two runs of the same fleet produce byte-identical
+//! rings regardless of worker count or trace level.
+//!
+//! When a device is quarantined or crash-reset, the ring is snapshotted
+//! together with the tail of the device's telemetry event ring and its
+//! metrics counters into a [`FlightDump`] — the post-mortem evidence
+//! that ships inside the `FleetReport`, so a verifier can explain *why*
+//! a device was written off, not just that it was.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+
+use crate::event::Event;
+use crate::json::{self, Json};
+use crate::sink;
+use crate::span::SpanRecord;
+
+/// Default flight-recorder depth: enough for the last ~15–30 rounds of a
+/// device's life at the fleet's typical 2–4 records per round.
+pub const DEFAULT_FLIGHT_CAP: usize = 64;
+
+/// A bounded ring of the most recent spans of one device's life.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    cap: usize,
+    spans: VecDeque<SpanRecord>,
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder retaining at most `cap` spans (`cap == 0`
+    /// records nothing, every push counts as dropped).
+    pub fn new(cap: usize) -> FlightRecorder {
+        FlightRecorder {
+            cap,
+            spans: VecDeque::with_capacity(cap.min(DEFAULT_FLIGHT_CAP)),
+            dropped: 0,
+        }
+    }
+
+    /// The retention bound.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Appends one span, evicting the oldest at capacity.
+    pub fn record(&mut self, span: SpanRecord) {
+        if self.cap == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.spans.len() == self.cap {
+            self.spans.pop_front();
+            self.dropped += 1;
+        }
+        self.spans.push_back(span);
+    }
+
+    /// Number of retained spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True if nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Spans evicted (oldest-first) since construction.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates retained spans, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &SpanRecord> {
+        self.spans.iter()
+    }
+
+    /// Snapshots the ring into a post-mortem dump. `events` is the tail
+    /// of the device's telemetry event ring (may be empty below
+    /// `ObsLevel::Events`); `counters` its metrics counters at dump
+    /// time.
+    pub fn dump(
+        &self,
+        device: u32,
+        round: u64,
+        trigger: &str,
+        events: Vec<Event>,
+        counters: BTreeMap<String, u64>,
+    ) -> FlightDump {
+        FlightDump {
+            device,
+            round,
+            trigger: trigger.to_string(),
+            dropped: self.dropped,
+            spans: self.spans.iter().cloned().collect(),
+            events,
+            counters,
+        }
+    }
+}
+
+/// One device's black box, captured at a quarantine or crash-reset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightDump {
+    /// The device the dump belongs to.
+    pub device: u32,
+    /// The round the capture was triggered in.
+    pub round: u64,
+    /// What triggered the capture, e.g. `quarantine(bad_tag)` or
+    /// `crash_reset`.
+    pub trigger: String,
+    /// Flight-recorder spans evicted before the capture (how much
+    /// history the bounded ring lost).
+    pub dropped: u64,
+    /// The retained flight spans, oldest first. Non-empty for any device
+    /// that executed at least one round: the recorder is always on.
+    pub spans: Vec<SpanRecord>,
+    /// Tail of the device's telemetry event ring (empty below
+    /// `ObsLevel::Events`).
+    pub events: Vec<Event>,
+    /// The device's metrics counters at capture time.
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl FlightDump {
+    /// Renders the dump as one JSONL trace line (no trailing newline).
+    /// Field names are schema-stable.
+    pub fn to_json(&self) -> String {
+        let mut o = String::from("{\"kind\":\"flight\",\"device\":");
+        let _ = write!(o, "{},\"round\":{},\"trigger\":", self.device, self.round);
+        json::write_str(&mut o, &self.trigger);
+        let _ = write!(o, ",\"dropped\":{},\"spans\":[", self.dropped);
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            o.push_str(&s.to_json());
+        }
+        o.push_str("],\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            o.push_str(&sink::event_to_json(e));
+        }
+        o.push_str("],\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            json::write_str(&mut o, k);
+            let _ = write!(o, ":{v}");
+        }
+        o.push_str("}}");
+        o
+    }
+
+    /// Parses a dump from an already-parsed JSON object.
+    pub fn from_json(v: &Json) -> Result<FlightDump, String> {
+        if v.get("kind").and_then(Json::as_str) != Some("flight") {
+            return Err("not a flight record (kind != \"flight\")".to_string());
+        }
+        let u = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing or non-integer field `{key}`"))
+        };
+        let arr = |key: &str| -> Result<&Vec<Json>, String> {
+            match v.get(key) {
+                Some(Json::Arr(a)) => Ok(a),
+                _ => Err(format!("missing or non-array field `{key}`")),
+            }
+        };
+        let spans = arr("spans")?
+            .iter()
+            .map(SpanRecord::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let events = arr("events")?
+            .iter()
+            .map(sink::event_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let counters = match v.get("counters") {
+            Some(Json::Obj(m)) => m
+                .iter()
+                .map(|(k, j)| {
+                    j.as_u64()
+                        .map(|n| (k.clone(), n))
+                        .ok_or_else(|| format!("non-integer counter `{k}`"))
+                })
+                .collect::<Result<BTreeMap<_, _>, _>>()?,
+            _ => return Err("missing or non-object field `counters`".to_string()),
+        };
+        Ok(FlightDump {
+            device: u32::try_from(u("device")?).map_err(|_| "`device` out of range".to_string())?,
+            round: u("round")?,
+            trigger: v
+                .get("trigger")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "missing or non-string field `trigger`".to_string())?
+                .to_string(),
+            dropped: u("dropped")?,
+            spans,
+            events,
+            counters,
+        })
+    }
+
+    /// Parses one JSONL flight line.
+    pub fn parse(line: &str) -> Result<FlightDump, String> {
+        let v = json::parse(line.trim()).map_err(|e| e.to_string())?;
+        FlightDump::from_json(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanKind;
+
+    fn span(round: u64, kind: SpanKind) -> SpanRecord {
+        SpanRecord {
+            shard: 0,
+            device: Some(2),
+            round,
+            kind,
+            start_cycle: round,
+            end_cycle: round + 1,
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_keeps_newest() {
+        let mut fr = FlightRecorder::new(3);
+        for r in 0..8 {
+            fr.record(span(r, SpanKind::Quantum));
+        }
+        assert_eq!(fr.len(), 3);
+        assert_eq!(fr.dropped(), 5);
+        let rounds: Vec<u64> = fr.iter().map(|s| s.round).collect();
+        assert_eq!(rounds, [5, 6, 7]);
+    }
+
+    #[test]
+    fn zero_capacity_records_nothing() {
+        let mut fr = FlightRecorder::new(0);
+        fr.record(span(0, SpanKind::Quantum));
+        assert!(fr.is_empty());
+        assert_eq!(fr.dropped(), 1);
+    }
+
+    #[test]
+    fn dump_round_trips_through_json() {
+        let mut fr = FlightRecorder::new(4);
+        fr.record(span(0, SpanKind::Challenge));
+        fr.record(span(0, SpanKind::Respond));
+        fr.record(span(1, SpanKind::RejectBadTag));
+        let mut counters = BTreeMap::new();
+        counters.insert("cpu.instret".to_string(), 12_345u64);
+        counters.insert("chaos.bit_flips".to_string(), 2u64);
+        let events = vec![Event::RegsCleared { cycle: 9, count: 8 }];
+        let dump = fr.dump(2, 1, "quarantine(bad_tag)", events, counters);
+        assert_eq!(dump.spans.len(), 3);
+        let parsed = FlightDump::parse(&dump.to_json()).expect("round-trip parses");
+        assert_eq!(parsed, dump);
+    }
+
+    #[test]
+    fn empty_dump_still_round_trips() {
+        let fr = FlightRecorder::new(4);
+        let dump = fr.dump(0, 0, "crash_reset", Vec::new(), BTreeMap::new());
+        assert_eq!(FlightDump::parse(&dump.to_json()).expect("parses"), dump);
+    }
+}

@@ -18,21 +18,32 @@
 //!   instruction's cost is charged to the code region owning its IP,
 //!   yielding the paper-style per-trustlet/OS breakdown; attributed
 //!   totals always sum to the machine's cycle counter.
+//! * **Fleet observatory** ([`SpanRecord`], [`FlightRecorder`],
+//!   [`trace`]) — deterministic span records of fleet activity, a
+//!   bounded per-device flight-recorder black box dumped on quarantine
+//!   or crash-reset, and a schema-stable mixed JSONL trace format with
+//!   log2-histogram quantile lines.
 //!
 //! All hot-path hooks sit behind a single [`Recorder::active`] check so a
 //! machine with telemetry off pays one branch per instrumentation site.
 
 pub mod attr;
 pub mod event;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod ring;
 pub mod sink;
+pub mod span;
+pub mod trace;
 
 pub use attr::{Attribution, DomainReport};
 pub use event::{AccessClass, Event, ExcFrame, IpcKind, LoaderStage, SwitchEdge, Verdict};
+pub use flight::{FlightDump, FlightRecorder, DEFAULT_FLIGHT_CAP};
 pub use metrics::{Histogram, HistogramSummary, MetricsRegistry, MetricsReport};
 pub use ring::EventRing;
+pub use span::{SpanKind, SpanRecord};
+pub use trace::{parse_trace, parse_trace_line, HistLine, TraceMeta, TraceRecord};
 
 /// Default event-ring capacity (the legacy `Machine` trace depth).
 pub const DEFAULT_RING_CAP: usize = 65_536;

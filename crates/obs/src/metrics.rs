@@ -230,6 +230,45 @@ pub struct MetricsReport {
 }
 
 impl HistogramSummary {
+    /// Deterministic bucket-resolution quantile: the lower bound of the
+    /// first bucket whose cumulative count reaches `ceil(q * count)`
+    /// (clamped to the exact recorded `min` for the lowest bucket).
+    /// Pure integer arithmetic over the fixed log2 buckets, so two
+    /// histograms with equal bucket contents report identical quantiles
+    /// on any host — the property the fleet observatory's latency
+    /// figures rely on.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(lo, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                // `min` refines the lowest bucket; later buckets start
+                // above it.
+                return lo.max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Median ([`HistogramSummary::quantile`] at 0.50).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
     /// Folds `other` into `self` (the snapshot-level counterpart of
     /// [`Histogram::merge`]; bucket resolution is preserved exactly, the
     /// mean is recomputed from the exact merged count/sum).
@@ -474,6 +513,31 @@ mod tests {
             ]
         );
         assert_eq!(a.attributed_cycles(), 23);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_resolution_and_deterministic() {
+        let mut h = Histogram::default();
+        // 10 samples: 1x1, 5x3, 3x6, 1x40.
+        h.observe(1);
+        for _ in 0..5 {
+            h.observe(3);
+        }
+        for _ in 0..3 {
+            h.observe(6);
+        }
+        h.observe(40);
+        let s = h.summary();
+        // Ranks: p50 -> rank 5 (bucket lo 2, clamped by min=1? no: min
+        // is 1, bucket lo 2 > min) -> 2; p90 -> rank 9 -> bucket [4,8)
+        // -> 4; p99 -> rank 10 -> bucket [32,64) -> 32.
+        assert_eq!(s.p50(), 2);
+        assert_eq!(s.p90(), 4);
+        assert_eq!(s.p99(), 32);
+        assert_eq!(s.quantile(0.0), 1, "q=0 clamps to rank 1, min-refined");
+        assert_eq!(s.quantile(1.0), 32);
+        assert_eq!(s.max, 40);
+        assert_eq!(Histogram::default().summary().p50(), 0, "empty: 0");
     }
 
     #[test]

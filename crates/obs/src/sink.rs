@@ -265,32 +265,38 @@ fn field_ipc_kind(v: &Json) -> Result<IpcKind, String> {
 /// [`Event`].
 pub fn parse_jsonl_line(line: &str) -> Result<Event, String> {
     let v = json::parse(line.trim()).map_err(|e| e.to_string())?;
-    let kind = field_str(&v, "kind")?;
+    event_from_json(&v)
+}
+
+/// Parses an [`Event`] from an already-parsed JSON object (used for the
+/// event arrays nested inside flight-recorder dumps).
+pub fn event_from_json(v: &Json) -> Result<Event, String> {
+    let kind = field_str(v, "kind")?;
     match kind.as_str() {
         "instr_retired" => Ok(Event::InstrRetired {
-            cycle: field_u64(&v, "cycle")?,
-            ip: field_u32(&v, "ip")?,
-            word: field_u32(&v, "word")?,
-            cost: field_u64(&v, "cost")?,
+            cycle: field_u64(v, "cycle")?,
+            ip: field_u32(v, "ip")?,
+            word: field_u32(v, "word")?,
+            cost: field_u64(v, "cost")?,
         }),
         "mpu_check" => Ok(Event::MpuCheck {
-            cycle: field_u64(&v, "cycle")?,
-            subject: field_u32(&v, "subject")?,
-            addr: field_u32(&v, "addr")?,
-            kind: field_access(&v, "access")?,
-            verdict: Verdict::from_name(&field_str(&v, "verdict")?)
+            cycle: field_u64(v, "cycle")?,
+            subject: field_u32(v, "subject")?,
+            addr: field_u32(v, "addr")?,
+            kind: field_access(v, "access")?,
+            verdict: Verdict::from_name(&field_str(v, "verdict")?)
                 .ok_or_else(|| "bad verdict".to_string())?,
         }),
         "mpu_fault" => Ok(Event::MpuFault {
-            cycle: field_u64(&v, "cycle")?,
-            ip: field_u32(&v, "ip")?,
-            addr: field_u32(&v, "addr")?,
-            kind: field_access(&v, "access")?,
+            cycle: field_u64(v, "cycle")?,
+            ip: field_u32(v, "ip")?,
+            addr: field_u32(v, "addr")?,
+            kind: field_access(v, "access")?,
         }),
         "exception_enter" => Ok(Event::ExceptionEnter {
-            cycle: field_u64(&v, "cycle")?,
+            cycle: field_u64(v, "cycle")?,
             frame: Box::new(ExcFrame {
-                vector: u8::try_from(field_u64(&v, "vector")?)
+                vector: u8::try_from(field_u64(v, "vector")?)
                     .map_err(|_| "vector out of range".to_string())?,
                 trustlet: match v.get("trustlet") {
                     None | Some(Json::Null) => None,
@@ -300,44 +306,44 @@ pub fn parse_jsonl_line(line: &str) -> Result<Event, String> {
                             .ok_or_else(|| "bad trustlet field".to_string())?,
                     ),
                 },
-                interrupted_ip: field_u32(&v, "interrupted_ip")?,
-                saved_sp: field_u32(&v, "saved_sp")?,
-                cycles: field_u64(&v, "cycles")?,
+                interrupted_ip: field_u32(v, "interrupted_ip")?,
+                saved_sp: field_u32(v, "saved_sp")?,
+                cycles: field_u64(v, "cycles")?,
             }),
         }),
         "exception_exit" => Ok(Event::ExceptionExit {
-            cycle: field_u64(&v, "cycle")?,
-            resumed_ip: field_u32(&v, "resumed_ip")?,
-            cycles: field_u64(&v, "cycles")?,
+            cycle: field_u64(v, "cycle")?,
+            resumed_ip: field_u32(v, "resumed_ip")?,
+            cycles: field_u64(v, "cycles")?,
         }),
         "regs_cleared" => Ok(Event::RegsCleared {
-            cycle: field_u64(&v, "cycle")?,
-            count: field_u32(&v, "count")?,
+            cycle: field_u64(v, "cycle")?,
+            count: field_u32(v, "count")?,
         }),
         "loader_phase" => Ok(Event::LoaderPhase {
-            start: field_u64(&v, "start")?,
-            phase: field_loader_stage(&v)?,
-            ops: field_u64(&v, "ops")?,
+            start: field_u64(v, "start")?,
+            phase: field_loader_stage(v)?,
+            ops: field_u64(v, "ops")?,
         }),
         "context_switch" => Ok(Event::ContextSwitch {
-            cycle: field_u64(&v, "cycle")?,
+            cycle: field_u64(v, "cycle")?,
             edge: Box::new(SwitchEdge {
-                from: field_str(&v, "from")?,
-                to: field_str(&v, "to")?,
+                from: field_str(v, "from")?,
+                to: field_str(v, "to")?,
             }),
-            ip: field_u32(&v, "ip")?,
+            ip: field_u32(v, "ip")?,
         }),
         "ipc_send" => Ok(Event::IpcSend {
-            cycle: field_u64(&v, "cycle")?,
-            from: field_u32(&v, "from")?,
-            to: field_u32(&v, "to")?,
-            kind: field_ipc_kind(&v)?,
+            cycle: field_u64(v, "cycle")?,
+            from: field_u32(v, "from")?,
+            to: field_u32(v, "to")?,
+            kind: field_ipc_kind(v)?,
         }),
         "ipc_recv" => Ok(Event::IpcRecv {
-            cycle: field_u64(&v, "cycle")?,
-            from: field_u32(&v, "from")?,
-            to: field_u32(&v, "to")?,
-            kind: field_ipc_kind(&v)?,
+            cycle: field_u64(v, "cycle")?,
+            from: field_u32(v, "from")?,
+            to: field_u32(v, "to")?,
+            kind: field_ipc_kind(v)?,
         }),
         other => Err(format!("unknown event kind `{other}`")),
     }

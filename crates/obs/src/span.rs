@@ -1,0 +1,318 @@
+//! Fleet span records: the timeline primitive of the fleet observatory.
+//!
+//! A [`SpanRecord`] names one interval (or instantaneous mark, when
+//! `start_cycle == end_cycle`) of fleet activity: a device answering an
+//! attestation challenge, a shard executing its phase-A quantum, a
+//! verifier writing a device off. Spans are the wire type of the
+//! `tlfleet --trace-jsonl` stream and the payload of the flight
+//! recorder, so both the kind set and the JSON field names are
+//! schema-stable (pinned by a regression test).
+//!
+//! Timeline units depend on the kind (the schema keeps one field pair
+//! rather than one pair per clock):
+//!
+//! * **shard phases** (`fork`, `execute`, `verify`, `merge`) are
+//!   host-side wall time in nanoseconds since the run started — they
+//!   measure the engine, not the simulation, and are never digested;
+//! * **device execution spans** (`quantum`, `crash_reset`) are in that
+//!   device's simulated cycles;
+//! * **attestation-fabric spans and marks** (everything else) are in
+//!   fleet rounds — the only clock the verifier has.
+
+use core::fmt;
+use std::fmt::Write as _;
+
+use crate::json::{self, Json};
+
+/// What a [`SpanRecord`] describes. The set is closed: every variant has
+/// a stable wire name and the JSONL parser rejects unknown names, so
+/// growing the taxonomy is an explicit schema change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SpanKind {
+    /// Shard phase (host clock): snapshot/fork boot of the fleet.
+    Fork,
+    /// Shard phase (host clock): one worker's phase-A round execution.
+    Execute,
+    /// Shard phase (host clock): the verifier's phase-B round boundary.
+    Verify,
+    /// Shard phase (host clock): final telemetry merge.
+    Merge,
+    /// One device executing one round's quantum (device cycles).
+    Quantum,
+    /// Mid-round crash and Secure Loader re-entry (device cycles; the
+    /// span covers the pre-crash partial quantum).
+    CrashReset,
+    /// Challenge-to-acceptance attestation round trip (fleet rounds).
+    AttestRtt,
+    /// Retry backoff window scheduled after a failure (fleet rounds).
+    Backoff,
+    /// Mark: a challenge reached the device's inbox.
+    Challenge,
+    /// Mark: the device produced an attestation response.
+    Respond,
+    /// Mark: a fault dropped the response on the wire.
+    RespDrop,
+    /// Mark: a fault delayed the response (`end_cycle` is the round the
+    /// response matures in).
+    RespDelay,
+    /// Mark: a fault flipped a bit in the response tag.
+    RespCorrupt,
+    /// Mark: a fault flipped a RAM bit in a trustlet region.
+    BitFlip,
+    /// Mark: the verifier rejected a response over its measurements.
+    RejectBadMeasurement,
+    /// Mark: the verifier rejected a response over its HMAC tag.
+    RejectBadTag,
+    /// Mark: an in-flight challenge timed out unanswered.
+    RejectTimeout,
+    /// Mark: retries exhausted — the device was quarantined.
+    Quarantine,
+}
+
+impl SpanKind {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Fork => "fork",
+            SpanKind::Execute => "execute",
+            SpanKind::Verify => "verify",
+            SpanKind::Merge => "merge",
+            SpanKind::Quantum => "quantum",
+            SpanKind::CrashReset => "crash_reset",
+            SpanKind::AttestRtt => "attest_rtt",
+            SpanKind::Backoff => "backoff",
+            SpanKind::Challenge => "challenge",
+            SpanKind::Respond => "respond",
+            SpanKind::RespDrop => "resp_drop",
+            SpanKind::RespDelay => "resp_delay",
+            SpanKind::RespCorrupt => "resp_corrupt",
+            SpanKind::BitFlip => "bit_flip",
+            SpanKind::RejectBadMeasurement => "reject_bad_measurement",
+            SpanKind::RejectBadTag => "reject_bad_tag",
+            SpanKind::RejectTimeout => "reject_timeout",
+            SpanKind::Quarantine => "quarantine",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_name(s: &str) -> Option<SpanKind> {
+        Some(match s {
+            "fork" => SpanKind::Fork,
+            "execute" => SpanKind::Execute,
+            "verify" => SpanKind::Verify,
+            "merge" => SpanKind::Merge,
+            "quantum" => SpanKind::Quantum,
+            "crash_reset" => SpanKind::CrashReset,
+            "attest_rtt" => SpanKind::AttestRtt,
+            "backoff" => SpanKind::Backoff,
+            "challenge" => SpanKind::Challenge,
+            "respond" => SpanKind::Respond,
+            "resp_drop" => SpanKind::RespDrop,
+            "resp_delay" => SpanKind::RespDelay,
+            "resp_corrupt" => SpanKind::RespCorrupt,
+            "bit_flip" => SpanKind::BitFlip,
+            "reject_bad_measurement" => SpanKind::RejectBadMeasurement,
+            "reject_bad_tag" => SpanKind::RejectBadTag,
+            "reject_timeout" => SpanKind::RejectTimeout,
+            "quarantine" => SpanKind::Quarantine,
+            _ => return None,
+        })
+    }
+
+    /// True for the shard-phase kinds, whose timeline is host wall time
+    /// (nanoseconds) rather than simulated cycles or rounds.
+    pub fn is_host_clock(self) -> bool {
+        matches!(
+            self,
+            SpanKind::Fork | SpanKind::Execute | SpanKind::Verify | SpanKind::Merge
+        )
+    }
+
+    /// Every kind, in wire order (for closed-set tests and summaries).
+    pub const ALL: [SpanKind; 18] = [
+        SpanKind::Fork,
+        SpanKind::Execute,
+        SpanKind::Verify,
+        SpanKind::Merge,
+        SpanKind::Quantum,
+        SpanKind::CrashReset,
+        SpanKind::AttestRtt,
+        SpanKind::Backoff,
+        SpanKind::Challenge,
+        SpanKind::Respond,
+        SpanKind::RespDrop,
+        SpanKind::RespDelay,
+        SpanKind::RespCorrupt,
+        SpanKind::BitFlip,
+        SpanKind::RejectBadMeasurement,
+        SpanKind::RejectBadTag,
+        SpanKind::RejectTimeout,
+        SpanKind::Quarantine,
+    ];
+}
+
+impl fmt::Display for SpanKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One interval of fleet activity. `device` is `None` for shard-scope
+/// spans (the shard phases); marks carry `start_cycle == end_cycle`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Home shard of the device (or the shard/worker itself for phase
+    /// spans). Work stealing may execute a device elsewhere; the home
+    /// shard is recorded so traces are deterministic.
+    pub shard: u32,
+    /// Device id, or `None` for shard-scope spans.
+    pub device: Option<u32>,
+    /// Fleet round the span belongs to (the round it started in).
+    pub round: u64,
+    /// What happened.
+    pub kind: SpanKind,
+    /// Interval start (see the module docs for per-kind units).
+    pub start_cycle: u64,
+    /// Interval end; equal to `start_cycle` for marks.
+    pub end_cycle: u64,
+}
+
+impl SpanRecord {
+    /// Interval length in the span's own units (0 for marks).
+    pub fn duration(&self) -> u64 {
+        self.end_cycle.saturating_sub(self.start_cycle)
+    }
+
+    /// Renders the span as one JSONL trace line (no trailing newline).
+    /// Field names are schema-stable.
+    pub fn to_json(&self) -> String {
+        let mut o = String::from("{\"kind\":\"span\",\"span\":\"");
+        o.push_str(self.kind.name());
+        o.push_str("\",\"shard\":");
+        let _ = write!(o, "{}", self.shard);
+        o.push_str(",\"device\":");
+        match self.device {
+            Some(d) => {
+                let _ = write!(o, "{d}");
+            }
+            None => o.push_str("null"),
+        }
+        let _ = write!(
+            o,
+            ",\"round\":{},\"start_cycle\":{},\"end_cycle\":{}}}",
+            self.round, self.start_cycle, self.end_cycle
+        );
+        o
+    }
+
+    /// Parses a span from an already-parsed JSON object (the inverse of
+    /// [`SpanRecord::to_json`]; also used for spans nested inside flight
+    /// dumps).
+    pub fn from_json(v: &Json) -> Result<SpanRecord, String> {
+        if v.get("kind").and_then(Json::as_str) != Some("span") {
+            return Err("not a span record (kind != \"span\")".to_string());
+        }
+        let name = v
+            .get("span")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing or non-string field `span`".to_string())?;
+        let kind =
+            SpanKind::from_name(name).ok_or_else(|| format!("unknown span kind `{name}`"))?;
+        let u = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing or non-integer field `{key}`"))
+        };
+        let device = match v.get("device") {
+            None => return Err("missing field `device`".to_string()),
+            Some(Json::Null) => None,
+            Some(j) => Some(
+                j.as_u64()
+                    .and_then(|d| u32::try_from(d).ok())
+                    .ok_or_else(|| "bad `device` field".to_string())?,
+            ),
+        };
+        Ok(SpanRecord {
+            shard: u32::try_from(u("shard")?).map_err(|_| "`shard` out of range".to_string())?,
+            device,
+            round: u("round")?,
+            kind,
+            start_cycle: u("start_cycle")?,
+            end_cycle: u("end_cycle")?,
+        })
+    }
+
+    /// Parses one JSONL span line.
+    pub fn parse(line: &str) -> Result<SpanRecord, String> {
+        let v = json::parse(line.trim()).map_err(|e| e.to_string())?;
+        SpanRecord::from_json(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_round_trip_and_are_closed() {
+        for kind in SpanKind::ALL {
+            assert_eq!(SpanKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(SpanKind::from_name("teleport"), None);
+    }
+
+    #[test]
+    fn span_json_round_trips() {
+        for (device, kind) in [
+            (Some(3), SpanKind::AttestRtt),
+            (None, SpanKind::Execute),
+            (Some(0), SpanKind::Quarantine),
+        ] {
+            let s = SpanRecord {
+                shard: 1,
+                device,
+                round: 7,
+                kind,
+                start_cycle: 7,
+                end_cycle: 9,
+            };
+            assert_eq!(SpanRecord::parse(&s.to_json()).expect("parses"), s);
+        }
+    }
+
+    #[test]
+    fn span_stays_flight_ring_sized() {
+        assert!(
+            core::mem::size_of::<SpanRecord>() <= 40,
+            "SpanRecord grew to {} bytes; the flight recorder keeps \
+             hundreds per device",
+            core::mem::size_of::<SpanRecord>()
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_spans() {
+        assert!(SpanRecord::parse("{\"kind\":\"span\"}").is_err());
+        assert!(SpanRecord::parse(
+            "{\"kind\":\"span\",\"span\":\"warp\",\"shard\":0,\"device\":null,\
+             \"round\":0,\"start_cycle\":0,\"end_cycle\":0}"
+        )
+        .is_err());
+        assert!(SpanRecord::parse("{\"kind\":\"hist\"}").is_err());
+    }
+
+    #[test]
+    fn marks_have_zero_duration() {
+        let m = SpanRecord {
+            shard: 0,
+            device: Some(1),
+            round: 2,
+            kind: SpanKind::Challenge,
+            start_cycle: 2,
+            end_cycle: 2,
+        };
+        assert_eq!(m.duration(), 0);
+        assert!(!m.kind.is_host_clock());
+        assert!(SpanKind::Execute.is_host_clock());
+    }
+}

@@ -1,0 +1,327 @@
+//! The fleet trace stream: a JSON Lines format mixing span records,
+//! deterministic histogram summaries, flight-recorder dumps, run
+//! metadata and (optionally) plain device events in one file.
+//!
+//! Every line is one self-describing JSON object whose `kind` field
+//! selects the record type:
+//!
+//! | `kind`      | record                                      |
+//! |-------------|---------------------------------------------|
+//! | `meta`      | run metadata (one line, first)              |
+//! | `span`      | one [`SpanRecord`]                          |
+//! | `hist`      | one named histogram with p50/p90/p99 figures |
+//! | `flight`    | one [`FlightDump`] black box                |
+//! | *(other)*   | a device [`Event`] (`instr_retired`, ...)   |
+//!
+//! The schema is stable: field names are pinned by regression tests and
+//! parsers reject unknown `kind`/`span` names, so a digest regression
+//! caused by a trace-format drift is loud, not silent.
+
+use std::fmt::Write as _;
+
+use crate::event::Event;
+use crate::flight::FlightDump;
+use crate::json::{self, Json};
+use crate::metrics::HistogramSummary;
+use crate::sink;
+use crate::span::SpanRecord;
+
+/// One named histogram rendered into (or parsed from) a trace stream.
+/// Quantiles are precomputed from the deterministic log2 buckets so a
+/// consumer does not need to re-derive them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistLine {
+    /// Histogram name (e.g. `fleet.rounds_to_detect`).
+    pub name: String,
+    /// The bucket summary.
+    pub summary: HistogramSummary,
+}
+
+impl HistLine {
+    /// Renders the histogram as one JSONL trace line (no newline).
+    pub fn to_json(&self) -> String {
+        let s = &self.summary;
+        let mut o = String::from("{\"kind\":\"hist\",\"name\":");
+        json::write_str(&mut o, &self.name);
+        let _ = write!(
+            o,
+            ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
+            s.count,
+            s.sum,
+            s.min,
+            s.max,
+            s.p50(),
+            s.p90(),
+            s.p99()
+        );
+        for (i, (lo, c)) in s.buckets.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            let _ = write!(o, "[{lo},{c}]");
+        }
+        o.push_str("]}");
+        o
+    }
+
+    /// Parses a histogram line from an already-parsed JSON object. The
+    /// mean is recomputed from the exact count/sum; the p50/p90/p99
+    /// fields are validated against the buckets so a hand-edited stream
+    /// cannot smuggle in quantiles its buckets do not support.
+    pub fn from_json(v: &Json) -> Result<HistLine, String> {
+        if v.get("kind").and_then(Json::as_str) != Some("hist") {
+            return Err("not a hist record (kind != \"hist\")".to_string());
+        }
+        let u = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing or non-integer field `{key}`"))
+        };
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing or non-string field `name`".to_string())?
+            .to_string();
+        let buckets = match v.get("buckets") {
+            Some(Json::Arr(a)) => a
+                .iter()
+                .map(|pair| match pair {
+                    Json::Arr(lc) if lc.len() == 2 => match (lc[0].as_u64(), lc[1].as_u64()) {
+                        (Some(lo), Some(c)) => Ok((lo, c)),
+                        _ => Err("non-integer bucket entry".to_string()),
+                    },
+                    _ => Err("bucket entries must be [lo, count] pairs".to_string()),
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("missing or non-array field `buckets`".to_string()),
+        };
+        let (count, sum) = (u("count")?, u("sum")?);
+        let summary = HistogramSummary {
+            count,
+            sum,
+            min: u("min")?,
+            max: u("max")?,
+            mean: if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            },
+            buckets,
+        };
+        for (key, want) in [
+            ("p50", summary.p50()),
+            ("p90", summary.p90()),
+            ("p99", summary.p99()),
+        ] {
+            if u(key)? != want {
+                return Err(format!("field `{key}` disagrees with the buckets"));
+            }
+        }
+        Ok(HistLine { name, summary })
+    }
+
+    /// Parses one JSONL hist line.
+    pub fn parse(line: &str) -> Result<HistLine, String> {
+        let v = json::parse(line.trim()).map_err(|e| e.to_string())?;
+        HistLine::from_json(&v)
+    }
+}
+
+/// Run metadata heading a fleet trace stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceMeta {
+    /// Device count.
+    pub devices: u64,
+    /// Worker-thread count.
+    pub workers: u64,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Steps per device per round.
+    pub quantum: u64,
+    /// The fleet seed.
+    pub seed: u64,
+    /// The workload name.
+    pub workload: String,
+    /// The trace level the stream was captured at (`spans` or `full`).
+    pub trace_level: String,
+    /// Whether a fault plan was active.
+    pub chaos: bool,
+}
+
+impl TraceMeta {
+    /// Renders the metadata as one JSONL trace line (no newline).
+    pub fn to_json(&self) -> String {
+        let mut o = String::from("{\"kind\":\"meta\",\"devices\":");
+        let _ = write!(
+            o,
+            "{},\"workers\":{},\"rounds\":{},\"quantum\":{},\"seed\":{},\"workload\":",
+            self.devices, self.workers, self.rounds, self.quantum, self.seed
+        );
+        json::write_str(&mut o, &self.workload);
+        o.push_str(",\"trace_level\":");
+        json::write_str(&mut o, &self.trace_level);
+        let _ = write!(o, ",\"chaos\":{}}}", self.chaos);
+        o
+    }
+
+    /// Parses a meta line from an already-parsed JSON object.
+    pub fn from_json(v: &Json) -> Result<TraceMeta, String> {
+        if v.get("kind").and_then(Json::as_str) != Some("meta") {
+            return Err("not a meta record (kind != \"meta\")".to_string());
+        }
+        let u = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing or non-integer field `{key}`"))
+        };
+        let s = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing or non-string field `{key}`"))
+        };
+        Ok(TraceMeta {
+            devices: u("devices")?,
+            workers: u("workers")?,
+            rounds: u("rounds")?,
+            quantum: u("quantum")?,
+            seed: u("seed")?,
+            workload: s("workload")?,
+            trace_level: s("trace_level")?,
+            chaos: match v.get("chaos") {
+                Some(Json::Bool(b)) => *b,
+                _ => return Err("missing or non-boolean field `chaos`".to_string()),
+            },
+        })
+    }
+}
+
+/// One parsed line of a fleet trace stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceRecord {
+    /// Run metadata.
+    Meta(TraceMeta),
+    /// A span record.
+    Span(SpanRecord),
+    /// A histogram summary.
+    Hist(HistLine),
+    /// A flight-recorder dump.
+    Flight(FlightDump),
+    /// A plain device event.
+    Event(Event),
+}
+
+/// Parses one trace line, dispatching on its `kind` field. Unknown
+/// kinds, missing required keys and malformed JSON are all errors — this
+/// is the schema gate CI runs over emitted streams.
+pub fn parse_trace_line(line: &str) -> Result<TraceRecord, String> {
+    let v = json::parse(line.trim()).map_err(|e| e.to_string())?;
+    match v.get("kind").and_then(Json::as_str) {
+        Some("meta") => TraceMeta::from_json(&v).map(TraceRecord::Meta),
+        Some("span") => SpanRecord::from_json(&v).map(TraceRecord::Span),
+        Some("hist") => HistLine::from_json(&v).map(TraceRecord::Hist),
+        Some("flight") => FlightDump::from_json(&v).map(TraceRecord::Flight),
+        Some(_) => sink::event_from_json(&v).map(TraceRecord::Event),
+        None => Err("missing or non-string field `kind`".to_string()),
+    }
+}
+
+/// Parses a whole trace document, failing on the first malformed line.
+pub fn parse_trace(doc: &str) -> Result<Vec<TraceRecord>, String> {
+    doc.lines()
+        .filter(|l| !l.trim().is_empty())
+        .enumerate()
+        .map(|(i, l)| parse_trace_line(l).map_err(|e| format!("line {}: {e}", i + 1)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+    use crate::span::SpanKind;
+
+    #[test]
+    fn hist_line_round_trips_with_quantiles() {
+        let mut m = MetricsRegistry::default();
+        for v in [1u64, 2, 2, 3, 9] {
+            m.observe("fleet.rounds_to_detect", v);
+        }
+        let snap = m.snapshot();
+        let line = HistLine {
+            name: "fleet.rounds_to_detect".to_string(),
+            summary: snap.histograms["fleet.rounds_to_detect"].clone(),
+        };
+        let parsed = HistLine::parse(&line.to_json()).expect("parses");
+        assert_eq!(parsed, line);
+        assert_eq!(parsed.summary.p50(), line.summary.p50());
+    }
+
+    #[test]
+    fn hist_line_rejects_forged_quantiles() {
+        let mut m = MetricsRegistry::default();
+        m.observe("h", 4);
+        let line = HistLine {
+            name: "h".to_string(),
+            summary: m.snapshot().histograms["h"].clone(),
+        };
+        let forged = line.to_json().replace("\"p99\":4", "\"p99\":400");
+        assert!(HistLine::parse(&forged).is_err());
+    }
+
+    #[test]
+    fn meta_line_round_trips() {
+        let meta = TraceMeta {
+            devices: 16,
+            workers: 4,
+            rounds: 8,
+            quantum: 10_000,
+            seed: 7,
+            workload: "quickstart".to_string(),
+            trace_level: "spans".to_string(),
+            chaos: true,
+        };
+        match parse_trace_line(&meta.to_json()).expect("parses") {
+            TraceRecord::Meta(m) => assert_eq!(m, meta),
+            other => panic!("wrong record: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_stream_parses_every_record_kind() {
+        let span = SpanRecord {
+            shard: 0,
+            device: Some(1),
+            round: 2,
+            kind: SpanKind::AttestRtt,
+            start_cycle: 1,
+            end_cycle: 3,
+        };
+        let event = Event::RegsCleared { cycle: 5, count: 8 };
+        let doc = format!(
+            "{}\n{}\n{}\n",
+            span.to_json(),
+            crate::sink::event_to_json(&event),
+            HistLine {
+                name: "h".to_string(),
+                summary: {
+                    let mut m = MetricsRegistry::default();
+                    m.observe("h", 2);
+                    m.snapshot().histograms["h"].clone()
+                },
+            }
+            .to_json()
+        );
+        let records = parse_trace(&doc).expect("mixed stream parses");
+        assert!(matches!(records[0], TraceRecord::Span(_)));
+        assert!(matches!(records[1], TraceRecord::Event(_)));
+        assert!(matches!(records[2], TraceRecord::Hist(_)));
+    }
+
+    #[test]
+    fn garbage_lines_are_named_errors() {
+        assert!(parse_trace_line("{\"nokind\":1}").is_err());
+        assert!(parse_trace_line("{\"kind\":\"span\",\"span\":\"nope\"}").is_err());
+        assert!(parse_trace("{\"kind\":\"meta\"}\n").is_err());
+    }
+}

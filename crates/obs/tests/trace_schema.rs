@@ -1,0 +1,143 @@
+//! Trace schema pin: the exact field names of every fleet-trace record
+//! kind are frozen here. Consumers (`tlstats`, the CI schema gate,
+//! external tooling) parse by name, so adding, renaming or dropping a
+//! field must show up as a deliberate edit to this test, never as a
+//! silent drift.
+
+use std::collections::BTreeMap;
+
+use trustlite_obs::json::{self, Json};
+use trustlite_obs::trace::{HistLine, TraceMeta};
+use trustlite_obs::{Event, FlightRecorder, MetricsRegistry, SpanKind, SpanRecord};
+
+/// Sorted key list of one rendered JSONL line.
+fn keys(line: &str) -> Vec<String> {
+    match json::parse(line).expect("schema sample must be valid JSON") {
+        Json::Obj(m) => m.keys().cloned().collect(),
+        other => panic!("trace lines are objects, got {other:?}"),
+    }
+}
+
+fn sample_span() -> SpanRecord {
+    SpanRecord {
+        shard: 1,
+        device: Some(3),
+        round: 2,
+        kind: SpanKind::AttestRtt,
+        start_cycle: 2,
+        end_cycle: 4,
+    }
+}
+
+#[test]
+fn span_line_fields_are_pinned() {
+    assert_eq!(
+        keys(&sample_span().to_json()),
+        [
+            "device",
+            "end_cycle",
+            "kind",
+            "round",
+            "shard",
+            "span",
+            "start_cycle"
+        ]
+    );
+    // The fleet-phase shape (no device) uses the same keys: `device` is
+    // an explicit null, not an absent field.
+    let phase = SpanRecord {
+        device: None,
+        ..sample_span()
+    };
+    assert_eq!(keys(&phase.to_json()).len(), 7);
+    assert!(phase.to_json().contains("\"device\":null"));
+}
+
+#[test]
+fn hist_line_fields_are_pinned() {
+    let mut m = MetricsRegistry::default();
+    for v in [1u64, 3, 9] {
+        m.observe("fleet.rounds_to_detect", v);
+    }
+    let line = HistLine {
+        name: "fleet.rounds_to_detect".to_string(),
+        summary: m.snapshot().histograms["fleet.rounds_to_detect"].clone(),
+    };
+    assert_eq!(
+        keys(&line.to_json()),
+        ["buckets", "count", "kind", "max", "min", "name", "p50", "p90", "p99", "sum"]
+    );
+}
+
+#[test]
+fn flight_line_fields_are_pinned() {
+    let mut fr = FlightRecorder::new(4);
+    fr.record(sample_span());
+    let mut counters = BTreeMap::new();
+    counters.insert("cpu.instret".to_string(), 7u64);
+    let events = vec![Event::RegsCleared { cycle: 1, count: 8 }];
+    let dump = fr.dump(3, 2, "quarantine(bad_tag)", events, counters);
+    assert_eq!(
+        keys(&dump.to_json()),
+        ["counters", "device", "dropped", "events", "kind", "round", "spans", "trigger"]
+    );
+}
+
+#[test]
+fn meta_line_fields_are_pinned() {
+    let meta = TraceMeta {
+        devices: 16,
+        workers: 4,
+        rounds: 8,
+        quantum: 10_000,
+        seed: 7,
+        workload: "quickstart".to_string(),
+        trace_level: "spans".to_string(),
+        chaos: false,
+    };
+    assert_eq!(
+        keys(&meta.to_json()),
+        [
+            "chaos",
+            "devices",
+            "kind",
+            "quantum",
+            "rounds",
+            "seed",
+            "trace_level",
+            "workers",
+            "workload"
+        ]
+    );
+}
+
+#[test]
+fn span_wire_names_are_pinned() {
+    let names: Vec<&str> = SpanKind::ALL.iter().map(|k| k.name()).collect();
+    assert_eq!(
+        names,
+        [
+            "fork",
+            "execute",
+            "verify",
+            "merge",
+            "quantum",
+            "crash_reset",
+            "attest_rtt",
+            "backoff",
+            "challenge",
+            "respond",
+            "resp_drop",
+            "resp_delay",
+            "resp_corrupt",
+            "bit_flip",
+            "reject_bad_measurement",
+            "reject_bad_tag",
+            "reject_timeout",
+            "quarantine",
+        ]
+    );
+    for kind in SpanKind::ALL {
+        assert_eq!(SpanKind::from_name(kind.name()), Some(kind));
+    }
+}
