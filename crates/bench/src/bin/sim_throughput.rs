@@ -1,19 +1,28 @@
 //! Experiment ETPT — interpreter throughput (simulated MIPS) across the
-//! telemetry capture levels, with the fast-path caches (predecode table,
-//! EA-MPU grant cache, batched device ticks) off and on.
+//! telemetry capture levels, on three execution paths:
+//!
+//! * **baseline** — every cache off (`set_fast_path(false)`): fetch,
+//!   decode and a full EA-MPU scan per instruction;
+//! * **fast** — the PR 3 fast path (predecode table, EA-MPU grant
+//!   cache, batched device ticks) with the superblock cache disabled;
+//! * **block** — the full fast path plus the superblock trace engine:
+//!   straight-line runs execute as cached micro-op vectors through the
+//!   const-generic block loop.
 //!
 //! For each (workload, capture level) the same platform is run for an
-//! identical step budget — with `set_fast_path(false)` and with the
-//! caches enabled — and the harness asserts the two configurations
-//! retire the same instruction count and cycle count before reporting
-//! speedup: the fast path must be an observably-pure optimisation.
-//! Each configuration is timed several times and the best run is kept
-//! (the usual defence against scheduler noise on a shared machine; the
-//! simulation itself is deterministic, so repetition only de-noises the
-//! wall clock).
+//! identical step budget on all three paths, and the harness asserts
+//! they retire the same instruction count, cycle count and
+//! architectural-state digest before reporting speedups: each layer
+//! must be an observably-pure optimisation. Each configuration is timed
+//! several times interleaved and the best run is kept (the usual
+//! defence against scheduler noise on a shared machine; the simulation
+//! itself is deterministic, so repetition only de-noises the wall
+//! clock).
 //!
 //! Run: `cargo run -p trustlite-bench --release --bin sim_throughput`
-//! (pass `-- --smoke` for a seconds-long CI-sized run).
+//! (pass `-- --smoke` for a seconds-long CI-sized run, plus
+//! `--gate-block` to assert the block path beats the predecode path at
+//! capture Off even on smoke budgets).
 //!
 //! Writes `BENCH_sim_throughput.json` into the current directory.
 
@@ -21,6 +30,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use trustlite::ObsLevel;
+use trustlite_bench::state_digest;
 use trustlite_bench::throughput::{build_workload, WORKLOADS};
 use trustlite_bench::timing::{is_noisy, thread_cpu_ns, wall_cpu_ratio};
 use trustlite_cpu::RunExit;
@@ -32,22 +42,34 @@ const LEVELS: [(ObsLevel, &str); 4] = [
     (ObsLevel::Full, "Full"),
 ];
 
-/// Timed repetitions per configuration; the fastest is reported.
-/// Baseline and fast runs are interleaved so a noisy stretch of host
-/// time cannot bias one side of the comparison.
+/// The three execution paths, in reporting order.
+#[derive(Clone, Copy, PartialEq)]
+enum Path {
+    Baseline,
+    Fast,
+    Block,
+}
+
+const PATHS: [Path; 3] = [Path::Baseline, Path::Fast, Path::Block];
+
+/// Timed repetitions per configuration; the fastest is reported. The
+/// three paths are interleaved so a noisy stretch of host time cannot
+/// bias one side of the comparison.
 const REPS: usize = 4;
 
 struct RunStats {
     instret: u64,
     cycles: u64,
+    digest: [u8; 32],
     mips: f64,
     wall_ms: f64,
     cpu_ms: f64,
 }
 
-fn run_single(workload: &str, level: ObsLevel, fast_path: bool, steps: u64) -> RunStats {
+fn run_single(workload: &str, level: ObsLevel, path: Path, steps: u64) -> RunStats {
     let mut p = build_workload(workload, level);
-    p.machine.sys.set_fast_path(fast_path);
+    p.machine.sys.set_fast_path(path != Path::Baseline);
+    p.machine.sys.set_superblocks(path == Path::Block);
     let t0 = Instant::now();
     let c0 = thread_cpu_ns();
     let exit = p.run(steps);
@@ -67,6 +89,7 @@ fn run_single(workload: &str, level: ObsLevel, fast_path: bool, steps: u64) -> R
     RunStats {
         instret: p.machine.instret,
         cycles: p.machine.cycles,
+        digest: state_digest(&mut p),
         mips: p.machine.instret as f64 / secs / 1e6,
         wall_ms: wall_secs * 1e3,
         cpu_ms: secs * 1e3,
@@ -78,8 +101,8 @@ fn run_single(workload: &str, level: ObsLevel, fast_path: bool, steps: u64) -> R
 fn fold_best(best: &mut Option<RunStats>, stats: RunStats, workload: &str) {
     if let Some(ref b) = best {
         assert_eq!(
-            (stats.instret, stats.cycles),
-            (b.instret, b.cycles),
+            (stats.instret, stats.cycles, stats.digest),
+            (b.instret, b.cycles, b.digest),
             "{workload}: repetition diverged — the simulation must be deterministic"
         );
     }
@@ -88,72 +111,84 @@ fn fold_best(best: &mut Option<RunStats>, stats: RunStats, workload: &str) {
     }
 }
 
-/// Best-of-[`REPS`] baseline and fast-path measurements, interleaved.
-fn measure(workload: &str, level: ObsLevel, steps: u64) -> (RunStats, RunStats) {
-    let mut slow: Option<RunStats> = None;
-    let mut fast: Option<RunStats> = None;
+/// Best-of-[`REPS`] measurements for all three paths, interleaved.
+fn measure(workload: &str, level: ObsLevel, steps: u64) -> [RunStats; 3] {
+    let mut best: [Option<RunStats>; 3] = [None, None, None];
     for _ in 0..REPS {
-        fold_best(
-            &mut slow,
-            run_single(workload, level, false, steps),
-            workload,
-        );
-        fold_best(
-            &mut fast,
-            run_single(workload, level, true, steps),
-            workload,
-        );
+        for (slot, path) in best.iter_mut().zip(PATHS) {
+            fold_best(slot, run_single(workload, level, path, steps), workload);
+        }
     }
-    (slow.unwrap(), fast.unwrap())
+    best.map(Option::unwrap)
 }
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let gate_block = std::env::args().any(|a| a == "--gate-block");
     let steps: u64 = if smoke { 20_000 } else { 4_000_000 };
 
     println!("Interpreter throughput, {steps} steps per run (smoke: {smoke})");
     println!(
-        "{:<14}{:<9}{:>14}{:>12}{:>9}",
-        "workload", "level", "baseline MIPS", "fast MIPS", "speedup"
+        "{:<14}{:<9}{:>14}{:>11}{:>12}{:>9}{:>10}",
+        "workload", "level", "baseline MIPS", "fast MIPS", "block MIPS", "speedup", "blk/fast"
     );
 
     let mut rows = String::new();
-    let mut min_speedup_off = f64::INFINITY; // the acceptance gate
+    let mut min_speedup_off = f64::INFINITY; // fast-path acceptance gate
     let mut min_speedup_hot = f64::INFINITY; // across Off + Metrics
+    let mut max_block_vs_fast_off = 0.0f64; // superblock acceptance gate
     let mut noisy_runs = 0usize;
     for workload in WORKLOADS {
         for (level, level_name) in LEVELS {
-            let (slow, fast) = measure(workload, level, steps);
+            let [slow, fast, block] = measure(workload, level, steps);
             // Wall/CPU divergence: a best-of-REPS run whose wall time
             // still exceeds its CPU time means the host was contended
             // for the *whole* measurement — flag it instead of letting
             // a quietly distorted number into the record.
-            let noisy = is_noisy(slow.wall_ms, slow.cpu_ms) || is_noisy(fast.wall_ms, fast.cpu_ms);
+            let noisy = [&slow, &fast, &block]
+                .iter()
+                .any(|s| is_noisy(s.wall_ms, s.cpu_ms));
             if noisy {
                 noisy_runs += 1;
                 eprintln!(
                     "warning: {workload}/{level_name} wall/cpu divergence \
-                     (baseline {:.0}/{:.0} ms, fast {:.0}/{:.0} ms) — \
-                     host was contended, treat MIPS with suspicion",
-                    slow.wall_ms, slow.cpu_ms, fast.wall_ms, fast.cpu_ms
+                     (baseline {:.0}/{:.0} ms, fast {:.0}/{:.0} ms, \
+                     block {:.0}/{:.0} ms) — host was contended, treat \
+                     MIPS with suspicion",
+                    slow.wall_ms,
+                    slow.cpu_ms,
+                    fast.wall_ms,
+                    fast.cpu_ms,
+                    block.wall_ms,
+                    block.cpu_ms
                 );
             }
-            // The caches must be invisible to the architecture.
-            assert_eq!(
-                (fast.instret, fast.cycles),
-                (slow.instret, slow.cycles),
-                "{workload}/{level_name}: fast path changed observable counts"
-            );
-            let speedup = fast.mips / slow.mips;
+            // Every acceleration layer must be invisible to the
+            // architecture: counters and the state digest agree across
+            // all three paths.
+            for (s, name) in [(&fast, "fast"), (&block, "block")] {
+                assert_eq!(
+                    (s.instret, s.cycles),
+                    (slow.instret, slow.cycles),
+                    "{workload}/{level_name}: {name} path changed observable counts"
+                );
+                assert_eq!(
+                    s.digest, slow.digest,
+                    "{workload}/{level_name}: {name} path changed architectural state"
+                );
+            }
+            let speedup = block.mips / slow.mips;
+            let block_vs_fast = block.mips / fast.mips;
             if matches!(level, ObsLevel::Off) {
-                min_speedup_off = min_speedup_off.min(speedup);
+                min_speedup_off = min_speedup_off.min(fast.mips / slow.mips);
+                max_block_vs_fast_off = max_block_vs_fast_off.max(block_vs_fast);
             }
             if matches!(level, ObsLevel::Off | ObsLevel::Metrics) {
-                min_speedup_hot = min_speedup_hot.min(speedup);
+                min_speedup_hot = min_speedup_hot.min(fast.mips / slow.mips);
             }
             println!(
-                "{workload:<14}{level_name:<9}{:>14.1}{:>12.1}{:>8.2}x",
-                slow.mips, fast.mips, speedup
+                "{workload:<14}{level_name:<9}{:>14.1}{:>11.1}{:>12.1}{:>8.2}x{:>9.2}x",
+                slow.mips, fast.mips, block.mips, speedup, block_vs_fast
             );
             if !rows.is_empty() {
                 rows.push_str(",\n");
@@ -165,26 +200,36 @@ fn main() {
                  \"baseline_mips\": {:.2}, \"baseline_cpu_ms\": {:.2}, \
                  \"baseline_wall_ms\": {:.2}, \
                  \"fast_mips\": {:.2}, \"fast_cpu_ms\": {:.2}, \
-                 \"fast_wall_ms\": {:.2}, \"wall_cpu_ratio\": {:.3}, \
-                 \"noisy\": {}, \"speedup\": {:.3}}}",
-                fast.instret,
-                fast.cycles,
+                 \"fast_wall_ms\": {:.2}, \
+                 \"block_mips\": {:.2}, \"block_cpu_ms\": {:.2}, \
+                 \"block_wall_ms\": {:.2}, \"wall_cpu_ratio\": {:.3}, \
+                 \"noisy\": {}, \"speedup\": {:.3}, \
+                 \"block_vs_fast\": {:.3}}}",
+                block.instret,
+                block.cycles,
                 slow.mips,
                 slow.cpu_ms,
                 slow.wall_ms,
                 fast.mips,
                 fast.cpu_ms,
                 fast.wall_ms,
-                wall_cpu_ratio(fast.wall_ms, fast.cpu_ms),
+                block.mips,
+                block.cpu_ms,
+                block.wall_ms,
+                wall_cpu_ratio(block.wall_ms, block.cpu_ms),
                 noisy,
-                speedup
+                speedup,
+                block_vs_fast
             )
             .unwrap();
         }
     }
 
     println!();
-    println!("min speedup at Off: {min_speedup_off:.2}x (Off/Metrics: {min_speedup_hot:.2}x)");
+    println!(
+        "min fast speedup at Off: {min_speedup_off:.2}x (Off/Metrics: {min_speedup_hot:.2}x); \
+         max block-vs-fast at Off: {max_block_vs_fast_off:.2}x"
+    );
     // Wall-clock assertions are for the real run only; a smoke run's
     // per-run time is dominated by noise and exists to prove the
     // harness and the equality invariants, not the numbers.
@@ -192,6 +237,17 @@ fn main() {
         assert!(
             min_speedup_off >= 3.0,
             "fast path must be >= 3x at capture level Off (got {min_speedup_off:.2}x)"
+        );
+        assert!(
+            max_block_vs_fast_off >= 2.5,
+            "superblock path must be >= 2.5x over the predecode path at \
+             capture Off on at least one workload (got {max_block_vs_fast_off:.2}x)"
+        );
+    } else if gate_block {
+        assert!(
+            max_block_vs_fast_off >= 1.0,
+            "superblock path must not lose to the predecode path at \
+             capture Off (got {max_block_vs_fast_off:.2}x)"
         );
     }
 
@@ -201,7 +257,9 @@ fn main() {
 
     let json = format!(
         "{{\n  \"experiment\": \"sim_throughput\",\n  \"smoke\": {smoke},\n  \
-         \"steps_per_run\": {steps},\n  \"min_speedup_off\": {min_speedup_off:.3},\n  \"min_speedup_off_metrics\": {min_speedup_hot:.3},\n  \
+         \"steps_per_run\": {steps},\n  \"min_speedup_off\": {min_speedup_off:.3},\n  \
+         \"min_speedup_off_metrics\": {min_speedup_hot:.3},\n  \
+         \"max_block_vs_fast_off\": {max_block_vs_fast_off:.3},\n  \
          \"noisy_runs\": {noisy_runs},\n  \
          \"runs\": [\n{rows}\n  ]\n}}\n"
     );

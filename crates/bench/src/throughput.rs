@@ -30,7 +30,7 @@ use trustlite_os::scheduler::{build_scheduler_os, ScheduledTask, SchedulerConfig
 use trustlite_os::trustlet_lib;
 
 /// The workload names understood by [`build_workload`].
-pub const WORKLOADS: [&str; 3] = ["quickstart", "preemptive_os", "trusted_ipc"];
+pub const WORKLOADS: [&str; 4] = ["quickstart", "checksum", "preemptive_os", "trusted_ipc"];
 
 /// Builds the named throughput workload at the given capture level.
 ///
@@ -38,6 +38,7 @@ pub const WORKLOADS: [&str; 3] = ["quickstart", "preemptive_os", "trusted_ipc"];
 pub fn build_workload(name: &str, level: ObsLevel) -> Platform {
     match name {
         "quickstart" => quickstart(level),
+        "checksum" => checksum(level),
         "preemptive_os" => preemptive_os(level),
         "trusted_ipc" => trusted_ipc(level),
         other => panic!("unknown throughput workload {other:?}"),
@@ -73,6 +74,76 @@ fn quickstart(level: ObsLevel) -> Platform {
     let os_img = os.finish().unwrap();
     b.set_os(os_img, &[]);
     b.build().expect("quickstart workload builds")
+}
+
+/// A packet-checksum kernel: a Fletcher-style sum with an unrolled
+/// mixing round over a 64-word buffer, restarted forever. The loop body
+/// is 27 straight-line instructions (one load, twenty-four ALU ops, the
+/// pointer bump and the backward branch) — the ALU-dominated profile of
+/// real embedded MAC/checksum inner loops, and the shape the superblock
+/// cache is built for: one resident block retires 26 register-only ops
+/// per memory access.
+fn checksum(level: ObsLevel) -> Platform {
+    let mut b = PlatformBuilder::new();
+    b.telemetry(level);
+    let plan = b.plan_trustlet("vault", 0x100, 0x80, 0x80);
+    let mut t = plan.begin_program();
+    t.asm.label("main");
+    t.asm.halt();
+    b.add_trustlet(&plan, t.finish().unwrap(), TrustletOptions::default())
+        .unwrap();
+    let mut os = b.begin_os();
+    let stack_top = os.stack_top;
+    {
+        let a = &mut os.asm;
+        let buf = stack_top - 0x300;
+        let buf_end = buf + 0x100; // 64 words
+        a.label("main");
+        a.li(Reg::Sp, stack_top);
+        a.li(Reg::R1, buf); // cursor
+        a.li(Reg::R6, buf_end); // limit
+        a.li(Reg::R2, 0); // sum1
+        a.li(Reg::R3, 0); // sum2
+        a.label("loop");
+        a.lw(Reg::R4, Reg::R1, 0);
+        a.add(Reg::R2, Reg::R2, Reg::R4);
+        a.add(Reg::R3, Reg::R3, Reg::R2);
+        for (dst, sh, left) in [
+            (Reg::R2, 5, true),
+            (Reg::R2, 7, false),
+            (Reg::R3, 3, true),
+            (Reg::R3, 11, false),
+            (Reg::R2, 9, true),
+            (Reg::R3, 6, false),
+            (Reg::R3, 2, true),
+            (Reg::R2, 13, false),
+        ] {
+            if left {
+                a.shli(Reg::R5, dst, sh);
+            } else {
+                a.shri(Reg::R5, dst, sh);
+            }
+            a.xor(dst, dst, Reg::R5);
+        }
+        a.add(Reg::R2, Reg::R2, Reg::R3);
+        a.xor(Reg::R3, Reg::R3, Reg::R2);
+        a.add(Reg::R3, Reg::R3, Reg::R2);
+        a.xor(Reg::R2, Reg::R2, Reg::R3);
+        a.add(Reg::R2, Reg::R2, Reg::R3);
+        a.add(Reg::R3, Reg::R3, Reg::R2);
+        a.addi(Reg::R1, Reg::R1, 4);
+        a.bltu(Reg::R1, Reg::R6, "loop");
+        // Buffer exhausted: fold the running sums into the buffer head
+        // (so the kernel has an architecturally visible result) and
+        // restart.
+        a.li(Reg::R1, buf);
+        a.xor(Reg::R4, Reg::R2, Reg::R3);
+        a.sw(Reg::R1, 0, Reg::R4);
+        a.jmp("loop");
+    }
+    let os_img = os.finish().unwrap();
+    b.set_os(os_img, &[]);
+    b.build().expect("checksum workload builds")
 }
 
 /// `examples/preemptive_os.rs` with effectively-unbounded counters: three

@@ -8,6 +8,7 @@ use trustlite_obs::{Event, MetricsReport, ObsLevel};
 
 use crate::costs;
 use crate::fault::Fault;
+use crate::predecode::{DataMemo, MicroOp};
 use crate::regs::{Flags, RegFile};
 use crate::sysbus::SystemBus;
 use crate::ttable::{self, TrustletRow};
@@ -113,6 +114,16 @@ enum Exec {
     Halt,
     Swi(u8),
 }
+
+/// Capture levels as const-generic parameters for the monomorphized
+/// block loops ([`Machine::exec_block`]): each value of `CAP` compiles a
+/// loop whose instrumentation below that level is statically absent —
+/// the Off loop contains zero emit-site code, not skipped emit-site
+/// code.
+pub(crate) const CAP_OFF: u8 = 0;
+pub(crate) const CAP_METRICS: u8 = 1;
+pub(crate) const CAP_EVENTS: u8 = 2;
+pub(crate) const CAP_FULL: u8 = 3;
 
 /// The simulated machine.
 pub struct Machine {
@@ -246,6 +257,17 @@ impl Machine {
             }
         }
         obs.metrics.set("obs.events_dropped", obs.ring.dropped());
+        let blocks = self.sys.block_stats();
+        if blocks.hits + blocks.misses > 0 {
+            let hist = self.sys.block_len_histogram().clone();
+            let obs = &mut self.sys.obs;
+            obs.metrics.set("cpu.block.hit", blocks.hits);
+            obs.metrics.set("cpu.block.miss", blocks.misses);
+            obs.metrics.set("cpu.block.flush", blocks.flushes);
+            obs.metrics.set("cpu.block.instret", blocks.instret);
+            obs.metrics.set_histogram("cpu.block.len", hist);
+        }
+        let obs = &mut self.sys.obs;
         if obs.attr.switch_count() > 0 {
             obs.metrics
                 .set("sched.context_switches", obs.attr.switch_count());
@@ -383,11 +405,566 @@ impl Machine {
     }
 
     /// Runs until halt or `max_steps` step events.
+    ///
+    /// When the superblock cache is enabled this dispatches whole cached
+    /// blocks per iteration ([`Machine::step_block`]); the step budget is
+    /// still accounted per step event, so `run(n)` stops the machine in
+    /// exactly the state `n` calls to [`Machine::step`] would.
+    /// [`Machine::run_until`] deliberately stays on the per-instruction
+    /// path: its predicate is specified to be evaluated after every step
+    /// event.
     pub fn run(&mut self, max_steps: u64) -> RunExit {
-        self.run_inner(max_steps, |m| m.halted.is_some());
+        if self.sys.superblocks_on() {
+            self.run_blocks(max_steps);
+        } else {
+            self.run_inner(max_steps, |m| m.halted.is_some());
+        }
         match self.halted {
             Some(r) => RunExit::Halted(r),
             None => RunExit::StepLimit,
+        }
+    }
+
+    /// The block-dispatch run loop: consume cached superblocks while
+    /// possible, fall back to one [`Machine::step`] whenever the block
+    /// path cannot make progress (pending interrupt, unbuildable pc,
+    /// system instruction, halt).
+    fn run_blocks(&mut self, max_steps: u64) {
+        let mut remaining = max_steps;
+        while remaining > 0 && self.halted.is_none() {
+            let consumed = self.step_block(remaining);
+            if consumed == 0 {
+                self.step();
+                remaining -= 1;
+            } else {
+                remaining -= consumed;
+            }
+        }
+    }
+
+    /// Executes at most `budget` step events through the superblock
+    /// cache, returning how many were consumed (0 = the caller must
+    /// single-step). Dispatches to one of eight loops monomorphized over
+    /// the capture level and whether MPU enforcement is off
+    /// (`TRUSTED`) — the airbender-style const-generic machine
+    /// configuration, so the Off/Metrics loops carry no emit-site code.
+    fn step_block(&mut self, budget: u64) -> u64 {
+        if self.halted.is_some() || (self.regs.flags.ie && !self.pending_irqs.is_empty()) {
+            return 0;
+        }
+        let Some(idx) = self.sys.block_lookup_or_build(self.regs.ip) else {
+            return 0;
+        };
+        match (self.sys.obs.level(), self.sys.enforce) {
+            (ObsLevel::Off, true) => self.exec_block::<CAP_OFF, false>(idx, budget),
+            (ObsLevel::Off, false) => self.exec_block::<CAP_OFF, true>(idx, budget),
+            (ObsLevel::Metrics, true) => self.exec_block::<CAP_METRICS, false>(idx, budget),
+            (ObsLevel::Metrics, false) => self.exec_block::<CAP_METRICS, true>(idx, budget),
+            (ObsLevel::Events, true) => self.exec_block::<CAP_EVENTS, false>(idx, budget),
+            (ObsLevel::Events, false) => self.exec_block::<CAP_EVENTS, true>(idx, budget),
+            (ObsLevel::Full, true) => self.exec_block::<CAP_FULL, false>(idx, budget),
+            (ObsLevel::Full, false) => self.exec_block::<CAP_FULL, true>(idx, budget),
+        }
+    }
+
+    /// The monomorphized superblock loop. Per micro-op it reproduces the
+    /// exact [`Machine::step`] sequence — clock mirror, fetch check (memo
+    /// replay or full check), execute, retire events, cycle/instret
+    /// bump, peripheral tick — so cycles, counters, faults and the Full
+    /// event stream are bit-identical to single-stepping. Exits exactly
+    /// on: budget exhaustion, a deliverable interrupt becoming pending
+    /// (tick-raised IRQs included — the tick runs per op), any block
+    /// flush (self-modifying code), a fault, or the end of the block. A
+    /// block whose final control transfer targets its own start restarts
+    /// in place, which keeps tight loops resident.
+    fn exec_block<const CAP: u8, const TRUSTED: bool>(&mut self, idx: usize, budget: u64) -> u64 {
+        let gen = self.sys.blocks_gen();
+        let (start, len, last_cf) = self.sys.block_head(idx);
+        // The micro-op vector is checked *out* of the table for the
+        // pass: the loop indexes a plain local `Vec` (no per-op table
+        // probe, and lazily learned grant memos are written straight
+        // into the ops), and the epilogue returns it — unless the entry
+        // was flushed meanwhile, in which case it is dropped.
+        let mut ops = self.sys.block_take_ops(idx);
+        let ie = self.regs.flags.ie;
+        // The architectural counters and the fetch subject live in
+        // locals for the whole quantum so the loop body keeps them in
+        // registers; every exit flushes them back, and the fault paths
+        // (whose exception entry reads and charges `self.cycles`) flush
+        // before and reload after.
+        let mut cycles = self.cycles;
+        let mut instret = self.instret;
+        let mut prev_ip = self.prev_ip;
+        // Nonzero when the current subject window covers the whole
+        // block: memos carrying exactly this epoch replay with a single
+        // compare plus a batched counter bump (`EaMpu::replay_hit`) —
+        // the per-op subject refresh is provably a no-op. Any op that
+        // touches memory may reprogram the MPU, so the epoch is
+        // re-checked after every non-pure op, and recomputed on
+        // self-loop restart once the subject is in-block.
+        let mut hot_epoch = if TRUSTED {
+            0
+        } else {
+            self.sys.mpu.block_epoch(prev_ip, start, len)
+        };
+        // Clean-pass fetch batching: one slow pass validates that every
+        // fetch memo replays under `hot_epoch` via a single slot; from
+        // the next self-loop restart on, the per-op fetch check is one
+        // register increment (`fetch_hits`), folded into the MPU
+        // counters at exit. Any cold fetch, mixed slot, or epoch
+        // retirement drops back to the per-op path.
+        let mut fast_fetch = false;
+        let mut fetch_hits = 0u64;
+        let mut fetch_slot = 0u16;
+        let mut seen_slot = false;
+        let mut slots_mixed = false;
+        let mut pass_cold = false;
+        // Pure ops never touch the bus, so their cycles accumulate in a
+        // local register against the precomputed tick headroom:
+        // `tick_acc >= tick_slack` holds at exactly the op boundary
+        // where per-op ticking would find `pending >= armed`. The
+        // balance is flushed into the bus before anything that can read
+        // `pending` — a memory op (catch-up delivers cycles to
+        // devices), a fault (exception entry stores to the stack), or
+        // the epilogue — and the slack is re-read after any op that can
+        // move `armed`.
+        let mut tick_acc = 0u64;
+        let mut tick_slack = self.sys.tick_slack();
+        let mut consumed = 0u64;
+        let mut retired = 0u64;
+        let mut i = 0usize;
+        let mut pc = start;
+        loop {
+            // Only the budget needs a per-op test here: a deliverable
+            // interrupt can appear solely in the tick path below (and
+            // the entry precondition rules one out at the top), and the
+            // flush generation can move solely under a store — both are
+            // re-checked exactly where they can change.
+            if consumed >= budget {
+                break;
+            }
+            if i >= ops.len() {
+                break;
+            }
+            // Straight-pure run batching (Off loop only): the run is
+            // register-only, fixed-cost, cannot fault, branch, store,
+            // or reprogram the MPU, and its fetch checks are already
+            // reduced to a counter (`fast_fetch`, or enforcement off).
+            // If the whole run fits the remaining budget and stays
+            // strictly inside the tick headroom, no per-op check could
+            // fire anywhere in it — execute it back-to-back and settle
+            // every counter once. Boundary cases (budget edge, tick
+            // edge, validation pass) fall through to the per-op path.
+            if CAP < CAP_METRICS && (TRUSTED || fast_fetch) && ops[i].run > 1 {
+                let n = ops[i].run as usize;
+                let rc = ops[i].run_cost as u64;
+                if consumed + n as u64 <= budget && tick_acc + rc < tick_slack {
+                    for o in &ops[i..i + n] {
+                        Self::exec_pure_straight(&mut self.regs, o.instr);
+                    }
+                    i += n;
+                    pc = start.wrapping_add(4 * i as u32);
+                    self.regs.ip = pc;
+                    prev_ip = pc.wrapping_sub(4);
+                    cycles += rc;
+                    instret += n as u64;
+                    consumed += n as u64;
+                    retired += n as u64;
+                    tick_acc += rc;
+                    if !TRUSTED {
+                        fetch_hits += n as u64;
+                    }
+                    if i as u32 == len {
+                        // A run can only end the block when it fell
+                        // through the op cap (`last_cf` blocks end on a
+                        // control transfer, which is never in a run).
+                        break;
+                    }
+                    continue;
+                }
+            }
+            let op = &mut ops[i];
+            if CAP >= CAP_METRICS {
+                self.sys.obs.set_now(cycles);
+            }
+            let subject = prev_ip;
+            let mut deferred_fetch_event = false;
+            if !TRUSTED {
+                let replayed = if fast_fetch {
+                    fetch_hits += 1;
+                    true
+                } else {
+                    match op.fetch {
+                        Some((epoch, slot)) if hot_epoch != 0 && epoch == hot_epoch => {
+                            self.sys.mpu.replay_hit(slot);
+                            if !seen_slot {
+                                seen_slot = true;
+                                fetch_slot = slot;
+                            } else if slot != fetch_slot {
+                                slots_mixed = true;
+                            }
+                            true
+                        }
+                        Some((epoch, slot)) => {
+                            pass_cold = true;
+                            self.sys.mpu.exec_check_cached(subject, epoch, slot)
+                        }
+                        None => {
+                            pass_cold = true;
+                            false
+                        }
+                    }
+                };
+                if replayed {
+                    if CAP >= CAP_FULL {
+                        if op.pure {
+                            deferred_fetch_event = true;
+                        } else {
+                            self.sys.obs.emit_fine(Event::MpuCheck {
+                                cycle: cycles,
+                                subject,
+                                addr: pc,
+                                kind: trustlite_obs::AccessClass::Execute,
+                                verdict: trustlite_obs::Verdict::Allow,
+                            });
+                        }
+                    }
+                } else {
+                    match self.sys.block_fetch_cold(subject, pc) {
+                        Ok(memo) => op.fetch = memo,
+                        Err(f) => {
+                            let _ = self.sys.tick_quick(std::mem::take(&mut tick_acc));
+                            self.cycles = cycles;
+                            self.instret = instret;
+                            self.prev_ip = prev_ip;
+                            self.take_fault(f);
+                            cycles = self.cycles;
+                            instret = self.instret;
+                            consumed += 1;
+                            break;
+                        }
+                    }
+                }
+            }
+            if !op.pure && tick_acc != 0 {
+                // The op is about to reach the bus: settle the locally
+                // accounted cycles first so catch-up sees exact timing.
+                // `tick_acc < tick_slack` here (the pure path flushes on
+                // crossing), so no interrupt can be due yet.
+                let _ = self.sys.tick_quick(std::mem::take(&mut tick_acc));
+            }
+            match self.exec_op::<CAP, TRUSTED>(op, pc, hot_epoch) {
+                Ok(cost) => {
+                    prev_ip = pc;
+                    if CAP >= CAP_METRICS {
+                        if CAP >= CAP_FULL {
+                            let event = Event::InstrRetired {
+                                cycle: cycles,
+                                ip: pc,
+                                word: op.word,
+                                cost,
+                            };
+                            if deferred_fetch_event {
+                                // Pure op whose fetch check was a memo
+                                // replay: nothing was emitted in between,
+                                // so the pair lands as one ring batch in
+                                // the slow path's order.
+                                self.sys.obs.emit_fine_pair(
+                                    Event::MpuCheck {
+                                        cycle: cycles,
+                                        subject,
+                                        addr: pc,
+                                        kind: trustlite_obs::AccessClass::Execute,
+                                        verdict: trustlite_obs::Verdict::Allow,
+                                    },
+                                    event,
+                                );
+                            } else {
+                                self.sys.obs.emit_fine(event);
+                            }
+                        }
+                        self.sys.obs.charge(pc, cost);
+                    }
+                    cycles += cost;
+                    instret += 1;
+                    consumed += 1;
+                    retired += 1;
+                    if op.pure {
+                        tick_acc += cost;
+                        if tick_acc >= tick_slack {
+                            if !self.sys.tick_quick(std::mem::take(&mut tick_acc)) {
+                                for irq in self.sys.tick_slow() {
+                                    self.raise_irq(irq);
+                                }
+                                tick_slack = self.sys.tick_slack();
+                                if ie && !self.pending_irqs.is_empty() {
+                                    // The tick raised a deliverable
+                                    // interrupt: stop on this op
+                                    // boundary, exactly where
+                                    // single-stepping would recognise
+                                    // it.
+                                    break;
+                                }
+                            } else {
+                                tick_slack = self.sys.tick_slack();
+                            }
+                        }
+                    } else {
+                        if !self.sys.tick_quick(cost) {
+                            for irq in self.sys.tick_slow() {
+                                self.raise_irq(irq);
+                            }
+                            if ie && !self.pending_irqs.is_empty() {
+                                break;
+                            }
+                        }
+                        // The op (or its tick) may have moved the timer
+                        // arming through a device access.
+                        tick_slack = self.sys.tick_slack();
+                    }
+                    if !op.pure {
+                        if self.sys.blocks_gen() != gen {
+                            // The store invalidated cached blocks —
+                            // possibly this one (self-modifying code):
+                            // stop before the next op fetch.
+                            break;
+                        }
+                        if !TRUSTED && hot_epoch != 0 && self.sys.mpu.cache_epoch() != hot_epoch {
+                            // The store/load may have reprogrammed the
+                            // MPU (the grant cache retired the epoch):
+                            // fall back to per-op replay validation.
+                            hot_epoch = 0;
+                            fast_fetch = false;
+                        }
+                    }
+                    i += 1;
+                    pc = pc.wrapping_add(4);
+                    if i as u32 == len {
+                        if last_cf && self.regs.ip == start {
+                            // Self-loop: restart the resident block.
+                            if !TRUSTED {
+                                if hot_epoch == 0 {
+                                    // The subject is now in-block, so
+                                    // the window test that failed
+                                    // against the outside predecessor
+                                    // may succeed; the memos still need
+                                    // one slow validation pass.
+                                    hot_epoch = self.sys.mpu.block_epoch(prev_ip, start, len);
+                                    seen_slot = false;
+                                    slots_mixed = false;
+                                } else if !fast_fetch {
+                                    // The pass just completed replayed
+                                    // every fetch memo under the hot
+                                    // epoch through one slot: from here
+                                    // on a fetch check is one register
+                                    // increment.
+                                    fast_fetch = seen_slot && !slots_mixed && !pass_cold;
+                                }
+                                pass_cold = false;
+                            }
+                            i = 0;
+                            pc = start;
+                            continue;
+                        }
+                        break;
+                    }
+                }
+                Err(f) => {
+                    if CAP >= CAP_FULL && deferred_fetch_event {
+                        // Flush the deferred fetch event before the
+                        // exception events so the stream order matches
+                        // the slow path.
+                        self.sys.obs.emit_fine(Event::MpuCheck {
+                            cycle: cycles,
+                            subject,
+                            addr: pc,
+                            kind: trustlite_obs::AccessClass::Execute,
+                            verdict: trustlite_obs::Verdict::Allow,
+                        });
+                    }
+                    let _ = self.sys.tick_quick(std::mem::take(&mut tick_acc));
+                    self.cycles = cycles;
+                    self.instret = instret;
+                    self.prev_ip = prev_ip;
+                    self.take_fault(f);
+                    cycles = self.cycles;
+                    instret = self.instret;
+                    consumed += 1;
+                    break;
+                }
+            }
+        }
+        if tick_acc != 0 {
+            let _ = self.sys.tick_quick(tick_acc);
+        }
+        self.cycles = cycles;
+        self.instret = instret;
+        self.prev_ip = prev_ip;
+        if !TRUSTED {
+            self.sys.mpu.add_replay_hits(fetch_slot, fetch_hits);
+            self.sys.mpu.flush_replays();
+        }
+        self.sys.block_put_ops(idx, start, ops);
+        self.sys.note_block_exec(retired);
+        consumed
+    }
+
+    /// Data-memo replay for a memoised block load: same counter effects
+    /// as the full check (see `EaMpu::check_cached_window`), falling
+    /// back to the cold path when the memo is absent, stale, or the
+    /// address left the memoised window.
+    #[inline(always)]
+    fn block_read32(
+        &mut self,
+        data: &mut DataMemo,
+        pc: u32,
+        addr: u32,
+        hot_epoch: u64,
+    ) -> Result<u32, Fault> {
+        if let Some((epoch, slot, lo, len)) = *data {
+            if hot_epoch != 0 && epoch == hot_epoch && addr.wrapping_sub(lo) < len {
+                self.sys.mpu.replay_hit(slot);
+                return self.sys.read32_routed(pc, addr);
+            }
+            if self
+                .sys
+                .mpu
+                .check_cached_window(pc, epoch, slot, lo, len, addr)
+            {
+                return self.sys.read32_routed(pc, addr);
+            }
+        }
+        let (v, memo) = self.sys.block_load32_cold(pc, addr)?;
+        if memo.is_some() {
+            *data = memo;
+        }
+        Ok(v)
+    }
+
+    /// Data-memo replay for a memoised block store; see
+    /// [`Machine::block_read32`].
+    #[inline(always)]
+    fn block_write32(
+        &mut self,
+        data: &mut DataMemo,
+        pc: u32,
+        addr: u32,
+        value: u32,
+        hot_epoch: u64,
+    ) -> Result<(), Fault> {
+        if let Some((epoch, slot, lo, len)) = *data {
+            if hot_epoch != 0 && epoch == hot_epoch && addr.wrapping_sub(lo) < len {
+                self.sys.mpu.replay_hit(slot);
+                return self.sys.write32_routed(pc, addr, value);
+            }
+            if self
+                .sys
+                .mpu
+                .check_cached_window(pc, epoch, slot, lo, len, addr)
+            {
+                return self.sys.write32_routed(pc, addr, value);
+            }
+        }
+        let memo = self.sys.block_store32_cold(pc, addr, value)?;
+        if memo.is_some() {
+            *data = memo;
+        }
+        Ok(())
+    }
+
+    /// Executes one superblock micro-op. Register-only instructions run
+    /// through [`Machine::exec_pure`] (shared with the per-step
+    /// interpreter); word-sized memory ops — `Lw`, `Sw`, `Push`, `Pop`,
+    /// `Pushf`, `Call`, `Callr`, `Ret` — replay the op's data-grant
+    /// memo when enforcement is on and the firehose is off (the
+    /// memoized path produces no `MpuCheck` events, so it is statically
+    /// absent from the `CAP_FULL` loop); everything else runs the
+    /// ordinary [`Machine::exec`] arm. The block builder excludes
+    /// `Halt`/`Swi`, so `Done` is the only reachable outcome.
+    #[inline(always)]
+    fn exec_op<const CAP: u8, const TRUSTED: bool>(
+        &mut self,
+        op: &mut MicroOp,
+        pc: u32,
+        hot_epoch: u64,
+    ) -> Result<u64, Fault> {
+        // `pure` (build-time) is exactly "exec_pure handles it": the
+        // builder rejects system terminators and flags every
+        // memory-touching op impure, so this single predictable branch
+        // picks the right decoder without a second discriminant match.
+        if op.pure {
+            return Ok(Self::exec_pure(&mut self.regs, pc, op.instr)
+                .expect("pure micro-ops are register-only"));
+        }
+        if !TRUSTED && CAP < CAP_FULL {
+            let next = pc.wrapping_add(4);
+            match op.instr {
+                Instr::Lw { rd, rs1, disp } => {
+                    let addr = self.regs.get(rs1).wrapping_add(disp as i32 as u32);
+                    let v = self.block_read32(&mut op.data, pc, addr, hot_epoch)?;
+                    self.regs.set(rd, v);
+                    self.regs.ip = next;
+                    return Ok(costs::BASE + costs::MEM_EXTRA);
+                }
+                Instr::Sw { rs1, rs2, disp } => {
+                    let addr = self.regs.get(rs1).wrapping_add(disp as i32 as u32);
+                    let v = self.regs.get(rs2);
+                    self.block_write32(&mut op.data, pc, addr, v, hot_epoch)?;
+                    self.regs.ip = next;
+                    return Ok(costs::BASE + costs::MEM_EXTRA);
+                }
+                Instr::Push { rs } => {
+                    let v = self.regs.get(rs);
+                    let new_sp = self.regs.sp.wrapping_sub(4);
+                    self.block_write32(&mut op.data, pc, new_sp, v, hot_epoch)?;
+                    self.regs.sp = new_sp;
+                    self.regs.ip = next;
+                    return Ok(costs::BASE + costs::MEM_EXTRA);
+                }
+                Instr::Pop { rd } => {
+                    let v = self.block_read32(&mut op.data, pc, self.regs.sp, hot_epoch)?;
+                    self.regs.sp = self.regs.sp.wrapping_add(4);
+                    self.regs.set(rd, v);
+                    self.regs.ip = next;
+                    return Ok(costs::BASE + costs::MEM_EXTRA);
+                }
+                Instr::Pushf => {
+                    let v = self.regs.flags.to_word();
+                    let new_sp = self.regs.sp.wrapping_sub(4);
+                    self.block_write32(&mut op.data, pc, new_sp, v, hot_epoch)?;
+                    self.regs.sp = new_sp;
+                    self.regs.ip = next;
+                    return Ok(costs::BASE + costs::MEM_EXTRA);
+                }
+                Instr::Call { off } => {
+                    let new_sp = self.regs.sp.wrapping_sub(4);
+                    self.block_write32(&mut op.data, pc, new_sp, next, hot_epoch)?;
+                    self.regs.sp = new_sp;
+                    self.regs.ip = next.wrapping_add(off as i32 as u32);
+                    return Ok(costs::BASE + costs::MEM_EXTRA + costs::TAKEN_CF);
+                }
+                Instr::Callr { rs1 } => {
+                    let target = self.regs.get(rs1);
+                    let new_sp = self.regs.sp.wrapping_sub(4);
+                    self.block_write32(&mut op.data, pc, new_sp, next, hot_epoch)?;
+                    self.regs.sp = new_sp;
+                    self.regs.ip = target;
+                    return Ok(costs::BASE + costs::MEM_EXTRA + costs::TAKEN_CF);
+                }
+                Instr::Ret => {
+                    let target = self.block_read32(&mut op.data, pc, self.regs.sp, hot_epoch)?;
+                    self.regs.sp = self.regs.sp.wrapping_add(4);
+                    self.regs.ip = target;
+                    return Ok(costs::BASE + costs::MEM_EXTRA + costs::TAKEN_CF);
+                }
+                _ => {}
+            }
+        }
+        match self.exec(pc, op.instr)? {
+            Exec::Done(cost) => Ok(cost),
+            Exec::Halt | Exec::Swi(_) => {
+                unreachable!("system instructions are never block micro-ops")
+            }
         }
     }
 
@@ -593,14 +1170,192 @@ impl Machine {
         StepOutcome::Halted
     }
 
+    /// Executes a register-only instruction — no bus, MPU, flag or
+    /// telemetry traffic, no way to fault — returning its cost, or
+    /// `None` when the instruction needs a full [`Machine::exec`] arm.
+    /// Shared by the per-step interpreter and the superblock loop
+    /// Executes one op of a straight-pure run (see `MicroOp::run`):
+    /// register file only — the caller advances `ip` once for the whole
+    /// run and charges the precomputed `run_cost`, so nothing here can
+    /// fault, branch, or touch a counter.
+    #[inline(always)]
+    fn exec_pure_straight(r: &mut RegFile, i: Instr) {
+        match i {
+            Instr::Nop => {}
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                let v = op.apply(r.get(rs1), r.get(rs2));
+                r.set(rd, v);
+            }
+            Instr::Mov { rd, rs1 } => {
+                let v = r.get(rs1);
+                r.set(rd, v);
+            }
+            Instr::Not { rd, rs1 } => {
+                let v = !r.get(rs1);
+                r.set(rd, v);
+            }
+            Instr::Addi { rd, rs1, imm } => {
+                let v = r.get(rs1).wrapping_add(imm as i32 as u32);
+                r.set(rd, v);
+            }
+            Instr::Andi { rd, rs1, imm } => {
+                let v = r.get(rs1) & imm as u32;
+                r.set(rd, v);
+            }
+            Instr::Ori { rd, rs1, imm } => {
+                let v = r.get(rs1) | imm as u32;
+                r.set(rd, v);
+            }
+            Instr::Xori { rd, rs1, imm } => {
+                let v = r.get(rs1) ^ imm as u32;
+                r.set(rd, v);
+            }
+            Instr::Shli { rd, rs1, imm } => {
+                let v = r.get(rs1).wrapping_shl(imm as u32);
+                r.set(rd, v);
+            }
+            Instr::Shri { rd, rs1, imm } => {
+                let v = r.get(rs1).wrapping_shr(imm as u32);
+                r.set(rd, v);
+            }
+            Instr::Srai { rd, rs1, imm } => {
+                let v = ((r.get(rs1) as i32) >> imm) as u32;
+                r.set(rd, v);
+            }
+            Instr::Movi { rd, imm } => {
+                r.set(rd, imm as i32 as u32);
+            }
+            Instr::Lui { rd, imm } => {
+                r.set(rd, (imm as u32) << 16);
+            }
+            _ => unreachable!("straight-pure runs hold register-only ops"),
+        }
+    }
+
+    /// Executes a register-only instruction — no bus, MPU, flag or
+    /// telemetry traffic, no way to fault — returning its cost, or
+    /// `None` when the instruction needs a full [`Machine::exec`] arm.
+    /// Shared by the per-step interpreter and the superblock loop
+    /// (where it inlines, keeping the monomorphized hot path call-free
+    /// for the ALU/branch ops that dominate real instruction mixes).
+    #[inline(always)]
+    fn exec_pure(r: &mut RegFile, ip: u32, i: Instr) -> Option<u64> {
+        let next = ip.wrapping_add(4);
+        let cost = match i {
+            Instr::Nop => {
+                r.ip = next;
+                costs::BASE
+            }
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                use trustlite_isa::instr::AluOp;
+                let v = op.apply(r.get(rs1), r.get(rs2));
+                r.set(rd, v);
+                r.ip = next;
+                let extra = match op {
+                    AluOp::Mul => costs::MUL_EXTRA,
+                    AluOp::Divu | AluOp::Remu => costs::DIV_EXTRA,
+                    _ => 0,
+                };
+                costs::BASE + extra
+            }
+            Instr::Mov { rd, rs1 } => {
+                let v = r.get(rs1);
+                r.set(rd, v);
+                r.ip = next;
+                costs::BASE
+            }
+            Instr::Not { rd, rs1 } => {
+                let v = !r.get(rs1);
+                r.set(rd, v);
+                r.ip = next;
+                costs::BASE
+            }
+            Instr::Addi { rd, rs1, imm } => {
+                let v = r.get(rs1).wrapping_add(imm as i32 as u32);
+                r.set(rd, v);
+                r.ip = next;
+                costs::BASE
+            }
+            Instr::Andi { rd, rs1, imm } => {
+                let v = r.get(rs1) & imm as u32;
+                r.set(rd, v);
+                r.ip = next;
+                costs::BASE
+            }
+            Instr::Ori { rd, rs1, imm } => {
+                let v = r.get(rs1) | imm as u32;
+                r.set(rd, v);
+                r.ip = next;
+                costs::BASE
+            }
+            Instr::Xori { rd, rs1, imm } => {
+                let v = r.get(rs1) ^ imm as u32;
+                r.set(rd, v);
+                r.ip = next;
+                costs::BASE
+            }
+            Instr::Shli { rd, rs1, imm } => {
+                let v = r.get(rs1).wrapping_shl(imm as u32);
+                r.set(rd, v);
+                r.ip = next;
+                costs::BASE
+            }
+            Instr::Shri { rd, rs1, imm } => {
+                let v = r.get(rs1).wrapping_shr(imm as u32);
+                r.set(rd, v);
+                r.ip = next;
+                costs::BASE
+            }
+            Instr::Srai { rd, rs1, imm } => {
+                let v = ((r.get(rs1) as i32) >> imm) as u32;
+                r.set(rd, v);
+                r.ip = next;
+                costs::BASE
+            }
+            Instr::Movi { rd, imm } => {
+                r.set(rd, imm as i32 as u32);
+                r.ip = next;
+                costs::BASE
+            }
+            Instr::Lui { rd, imm } => {
+                r.set(rd, (imm as u32) << 16);
+                r.ip = next;
+                costs::BASE
+            }
+            Instr::Jmp { off } => {
+                r.ip = next.wrapping_add(off as i32 as u32);
+                costs::BASE + costs::TAKEN_CF
+            }
+            Instr::Jr { rs1 } => {
+                r.ip = r.get(rs1);
+                costs::BASE + costs::TAKEN_CF
+            }
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                off,
+            } => {
+                if cond.eval(r.get(rs1), r.get(rs2)) {
+                    r.ip = next.wrapping_add(off as i32 as u32);
+                    costs::BASE + costs::TAKEN_CF
+                } else {
+                    r.ip = next;
+                    costs::BASE
+                }
+            }
+            _ => return None,
+        };
+        Some(cost)
+    }
+
     fn exec(&mut self, ip: u32, i: Instr) -> Result<Exec, Fault> {
+        if let Some(cost) = Self::exec_pure(&mut self.regs, ip, i) {
+            return Ok(Exec::Done(cost));
+        }
         let next = ip.wrapping_add(4);
         let r = &mut self.regs;
         match i {
-            Instr::Nop => {
-                r.ip = next;
-                Ok(Exec::Done(costs::BASE))
-            }
             Instr::Halt => Ok(Exec::Halt),
             Instr::Swi(v) => Ok(Exec::Swi(v)),
             Instr::Di => {
@@ -639,82 +1394,6 @@ impl Machine {
                     });
                 }
                 Ok(Exec::Done(costs::IRET_TOTAL))
-            }
-            Instr::Alu { op, rd, rs1, rs2 } => {
-                use trustlite_isa::instr::AluOp;
-                let v = op.apply(r.get(rs1), r.get(rs2));
-                r.set(rd, v);
-                r.ip = next;
-                let extra = match op {
-                    AluOp::Mul => costs::MUL_EXTRA,
-                    AluOp::Divu | AluOp::Remu => costs::DIV_EXTRA,
-                    _ => 0,
-                };
-                Ok(Exec::Done(costs::BASE + extra))
-            }
-            Instr::Mov { rd, rs1 } => {
-                let v = r.get(rs1);
-                r.set(rd, v);
-                r.ip = next;
-                Ok(Exec::Done(costs::BASE))
-            }
-            Instr::Not { rd, rs1 } => {
-                let v = !r.get(rs1);
-                r.set(rd, v);
-                r.ip = next;
-                Ok(Exec::Done(costs::BASE))
-            }
-            Instr::Addi { rd, rs1, imm } => {
-                let v = r.get(rs1).wrapping_add(imm as i32 as u32);
-                r.set(rd, v);
-                r.ip = next;
-                Ok(Exec::Done(costs::BASE))
-            }
-            Instr::Andi { rd, rs1, imm } => {
-                let v = r.get(rs1) & imm as u32;
-                r.set(rd, v);
-                r.ip = next;
-                Ok(Exec::Done(costs::BASE))
-            }
-            Instr::Ori { rd, rs1, imm } => {
-                let v = r.get(rs1) | imm as u32;
-                r.set(rd, v);
-                r.ip = next;
-                Ok(Exec::Done(costs::BASE))
-            }
-            Instr::Xori { rd, rs1, imm } => {
-                let v = r.get(rs1) ^ imm as u32;
-                r.set(rd, v);
-                r.ip = next;
-                Ok(Exec::Done(costs::BASE))
-            }
-            Instr::Shli { rd, rs1, imm } => {
-                let v = r.get(rs1).wrapping_shl(imm as u32);
-                r.set(rd, v);
-                r.ip = next;
-                Ok(Exec::Done(costs::BASE))
-            }
-            Instr::Shri { rd, rs1, imm } => {
-                let v = r.get(rs1).wrapping_shr(imm as u32);
-                r.set(rd, v);
-                r.ip = next;
-                Ok(Exec::Done(costs::BASE))
-            }
-            Instr::Srai { rd, rs1, imm } => {
-                let v = ((r.get(rs1) as i32) >> imm) as u32;
-                r.set(rd, v);
-                r.ip = next;
-                Ok(Exec::Done(costs::BASE))
-            }
-            Instr::Movi { rd, imm } => {
-                r.set(rd, imm as i32 as u32);
-                r.ip = next;
-                Ok(Exec::Done(costs::BASE))
-            }
-            Instr::Lui { rd, imm } => {
-                r.set(rd, (imm as u32) << 16);
-                r.ip = next;
-                Ok(Exec::Done(costs::BASE))
             }
             Instr::Lw { rd, rs1, disp } => {
                 let addr = r.get(rs1).wrapping_add(disp as i32 as u32);
@@ -802,14 +1481,6 @@ impl Machine {
                 self.regs.ip = next;
                 Ok(Exec::Done(costs::BASE + costs::MEM_EXTRA))
             }
-            Instr::Jmp { off } => {
-                r.ip = next.wrapping_add(off as i32 as u32);
-                Ok(Exec::Done(costs::BASE + costs::TAKEN_CF))
-            }
-            Instr::Jr { rs1 } => {
-                r.ip = r.get(rs1);
-                Ok(Exec::Done(costs::BASE + costs::TAKEN_CF))
-            }
             Instr::Call { off } => {
                 let new_sp = r.sp.wrapping_sub(4);
                 self.sys.store32(ip, new_sp, next)?;
@@ -831,20 +1502,6 @@ impl Machine {
                 self.regs.ip = target;
                 Ok(Exec::Done(costs::BASE + costs::MEM_EXTRA + costs::TAKEN_CF))
             }
-            Instr::Branch {
-                cond,
-                rs1,
-                rs2,
-                off,
-            } => {
-                if cond.eval(r.get(rs1), r.get(rs2)) {
-                    r.ip = next.wrapping_add(off as i32 as u32);
-                    Ok(Exec::Done(costs::BASE + costs::TAKEN_CF))
-                } else {
-                    r.ip = next;
-                    Ok(Exec::Done(costs::BASE))
-                }
-            }
             Instr::Ext { op, rd, rs1, imm } => {
                 let mut ext = match self.ext.take() {
                     Some(e) => e,
@@ -862,6 +1519,22 @@ impl Machine {
                 self.regs.ip = next;
                 Ok(Exec::Done(costs::BASE + cost))
             }
+            Instr::Nop
+            | Instr::Alu { .. }
+            | Instr::Mov { .. }
+            | Instr::Not { .. }
+            | Instr::Addi { .. }
+            | Instr::Andi { .. }
+            | Instr::Ori { .. }
+            | Instr::Xori { .. }
+            | Instr::Shli { .. }
+            | Instr::Shri { .. }
+            | Instr::Srai { .. }
+            | Instr::Movi { .. }
+            | Instr::Lui { .. }
+            | Instr::Jmp { .. }
+            | Instr::Jr { .. }
+            | Instr::Branch { .. } => unreachable!("register-only ops are handled by exec_pure"),
         }
     }
 }

@@ -15,8 +15,19 @@
 //! * only words fetched from *stable storage*
 //!   ([`trustlite_mem::Bus::is_stable_memory`]) are cached — MMIO windows
 //!   that happen to be executable are always re-read.
+//!
+//! The same file hosts the superblock layer on top: [`BlockTable`] caches
+//! *straight-line runs* of predecoded micro-ops ([`MicroOp`]) so the hot
+//! loop in `Machine::run` can retire a whole block per dispatch instead
+//! of paying fetch/decode/dispatch per instruction. Blocks obey the same
+//! invalidation discipline as single entries (store-granular flushes,
+//! `host_gen` flash-clear) plus a generation counter that lets an
+//! in-flight block execution notice a flush it caused itself — the
+//! self-modifying-code case. See `DESIGN.md` § superblock invariants.
 
+use crate::costs;
 use trustlite_isa::Instr;
+use trustlite_obs::Histogram;
 
 /// A fetch-grant memo: the `(epoch, slot)` under which the EA-MPU
 /// granted Execute at the cached address (`None` = no memo; the full
@@ -126,6 +137,330 @@ impl Predecode {
         for e in &mut self.entries {
             e.tag = INVALID_TAG;
         }
+    }
+}
+
+/// A data-grant memo: `(epoch, slot, window lo, window len)` under which
+/// the EA-MPU granted a load/store issued by a specific micro-op. See
+/// `EaMpu::check_cached_window`.
+pub type DataMemo = Option<(u64, u16, u32, u32)>;
+
+/// Maximum micro-ops per superblock. Bounds the invalidation probe walk
+/// (a store can only land inside a block starting at most
+/// `4 * (MAX_BLOCK_OPS - 1)` bytes below it) and keeps per-entry storage
+/// small; straight-line runs in the simulated images are far shorter.
+pub const MAX_BLOCK_OPS: usize = 32;
+
+/// Number of direct-mapped block entries. Blocks start at control-flow
+/// join points, which are much sparser than instructions, so this covers
+/// every image in the tree without conflict misses.
+const BLOCK_ENTRIES: usize = 2048;
+
+/// One predecoded instruction inside a superblock, carrying its lazily
+/// filled fetch-grant and data-grant memos.
+#[derive(Clone, Copy)]
+pub struct MicroOp {
+    pub word: u32,
+    pub instr: Instr,
+    /// True when the op generates no data-memory traffic (ALU, moves,
+    /// register jumps/branches) — decided once at build time so the Full
+    /// loop knows it may defer the fetch-replay event and emit it paired
+    /// with `InstrRetired` (nothing can be emitted in between).
+    pub pure: bool,
+    /// Number of consecutive *straight-pure* ops starting here (zero
+    /// when this op is not itself straight-pure): register-only,
+    /// non-control-flow, fixed-cost ops that cannot fault, touch the
+    /// bus, reprogram the MPU, or leave the fall-through path. The Off
+    /// loop executes such a run back-to-back with every per-op check
+    /// hoisted, once the run provably fits the quantum budget and the
+    /// tick headroom.
+    pub run: u8,
+    /// Total static cycle cost of that run.
+    pub run_cost: u16,
+    pub fetch: FetchMemo,
+    pub data: DataMemo,
+}
+
+/// Static cycle cost of a register-only, non-control-flow op — the ops
+/// eligible for straight-pure runs — or `None` for anything that can
+/// branch, fault, or reach memory.
+pub(crate) fn straight_cost(i: &Instr) -> Option<u64> {
+    use trustlite_isa::instr::AluOp;
+    match i {
+        Instr::Alu { op, .. } => Some(match op {
+            AluOp::Mul => costs::BASE + costs::MUL_EXTRA,
+            AluOp::Divu | AluOp::Remu => costs::BASE + costs::DIV_EXTRA,
+            _ => costs::BASE,
+        }),
+        Instr::Nop
+        | Instr::Mov { .. }
+        | Instr::Not { .. }
+        | Instr::Addi { .. }
+        | Instr::Andi { .. }
+        | Instr::Ori { .. }
+        | Instr::Xori { .. }
+        | Instr::Shli { .. }
+        | Instr::Shri { .. }
+        | Instr::Srai { .. }
+        | Instr::Movi { .. }
+        | Instr::Lui { .. } => Some(costs::BASE),
+        _ => None,
+    }
+}
+
+#[derive(Clone, Default)]
+struct BlockEntry {
+    /// Start address; [`INVALID_TAG`] when empty. A valid tag with an
+    /// empty `ops` vector is a *negative* entry: "no block can start
+    /// here" (unstable storage, undecodable word, or a leading system
+    /// instruction), so lookups stop re-probing the builder.
+    tag: u32,
+    /// True when the final op is a control transfer (the only way a
+    /// block ends anywhere but by falling through / hitting the cap).
+    last_cf: bool,
+    /// Number of micro-ops in the block (0 = negative entry). Kept
+    /// beside `ops` because the execution loop checks the vector out
+    /// with [`BlockTable::take_ops`] while it runs; the header — and
+    /// with it invalidation coverage — must survive that window.
+    len: u32,
+    ops: Vec<MicroOp>,
+}
+
+/// Execution/maintenance counters for the block table, mirrored into the
+/// metrics registry by `Machine::metrics_report` as `cpu.block.*`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockStats {
+    /// Positive lookups that dispatched a cached block.
+    pub hits: u64,
+    /// Lookups that fell through to the builder.
+    pub misses: u64,
+    /// Entries dropped by precise (store-granular) invalidation.
+    pub flushes: u64,
+    /// Instructions retired through the block path.
+    pub instret: u64,
+}
+
+/// Direct-mapped cache of superblock micro-op traces keyed by start pc.
+#[derive(Clone)]
+pub struct BlockTable {
+    entries: Vec<BlockEntry>,
+    enabled: bool,
+    /// Bumped whenever any entry is flushed or the table is cleared. An
+    /// executing block snapshots this at entry and re-checks it per op,
+    /// so a store *inside the current block* (self-modifying code) stops
+    /// trace execution on exactly the next op boundary.
+    gen: u64,
+    /// Low/high watermark over all addresses ever covered by a cached
+    /// block, so stores to pure data regions skip invalidation entirely.
+    cover_lo: u32,
+    cover_hi: u32,
+    /// Coarse 64-bit presence filter over 128-byte lines within the
+    /// watermark (hash-folded), a second rejection layer for data that
+    /// sits *between* code regions.
+    filter: u64,
+    /// Last observed [`trustlite_mem::Bus::host_gen`] value.
+    pub(crate) host_gen: u64,
+    stats: BlockStats,
+    /// Distribution of built block lengths (`cpu.block.len`).
+    len_hist: Histogram,
+}
+
+impl Default for BlockTable {
+    fn default() -> Self {
+        BlockTable {
+            entries: vec![BlockEntry::default(); BLOCK_ENTRIES],
+            enabled: true,
+            gen: 0,
+            cover_lo: u32::MAX,
+            cover_hi: 0,
+            filter: 0,
+            host_gen: 0,
+            stats: BlockStats::default(),
+            len_hist: Histogram::default(),
+        }
+    }
+}
+
+impl BlockTable {
+    #[inline]
+    fn index(addr: u32) -> usize {
+        (addr as usize >> 2) & (BLOCK_ENTRIES - 1)
+    }
+
+    /// Filter bit for the 128-byte line containing `addr`, folded with a
+    /// higher stride so adjacent code regions don't alias onto the same
+    /// few bits.
+    #[inline]
+    fn filter_bit(addr: u32) -> u64 {
+        1u64 << (((addr >> 7) ^ (addr >> 13)) & 63)
+    }
+
+    /// Whether block caching is enabled.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Enables or disables the table; disabling clears it.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+        self.clear();
+    }
+
+    /// Current flush generation (see the field docs).
+    #[inline(always)]
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    /// Looks up the block starting at `start`. `Some(idx)` dispatches a
+    /// cached positive block; `Err(true)` is a cached negative ("don't
+    /// ask the builder again"); `Err(false)` is a genuine miss.
+    #[inline]
+    pub fn probe(&mut self, start: u32) -> Result<usize, bool> {
+        let idx = Self::index(start);
+        let e = &self.entries[idx];
+        if e.tag == start {
+            if e.len == 0 {
+                Err(true)
+            } else {
+                self.stats.hits += 1;
+                Ok(idx)
+            }
+        } else {
+            Err(false)
+        }
+    }
+
+    /// Caches `ops` as the block starting at `start` (empty = negative
+    /// entry) and returns its index.
+    pub fn insert(&mut self, start: u32, ops: Vec<MicroOp>, last_cf: bool) -> usize {
+        self.stats.misses += 1;
+        let idx = Self::index(start);
+        if !ops.is_empty() {
+            self.len_hist.observe(ops.len() as u64);
+        }
+        // Track covered bytes (including the negative entry's own word,
+        // so a later store there revives the builder).
+        let end = start.wrapping_add(4 * ops.len().max(1) as u32);
+        self.cover_lo = self.cover_lo.min(start);
+        self.cover_hi = self.cover_hi.max(end);
+        let mut line = start >> 7;
+        let last_line = end.wrapping_sub(4) >> 7;
+        loop {
+            self.filter |= Self::filter_bit(line << 7);
+            if line >= last_line {
+                break;
+            }
+            line += 1;
+        }
+        self.entries[idx] = BlockEntry {
+            tag: start,
+            last_cf,
+            len: ops.len() as u32,
+            ops,
+        };
+        idx
+    }
+
+    /// The `(start, len, last_cf)` header of the block at `idx`.
+    #[inline(always)]
+    pub fn head(&self, idx: usize) -> (u32, u32, bool) {
+        let e = &self.entries[idx];
+        (e.tag, e.len, e.last_cf)
+    }
+
+    /// Checks the micro-op vector of block `idx` out of the table: the
+    /// execution loop owns it for the whole pass (no per-op table
+    /// indexing, and lazily-learned grant memos are written straight
+    /// into the ops), then returns it with [`BlockTable::put_ops`]. The
+    /// entry's header stays live, so precise invalidation keeps working
+    /// while the vector is out.
+    pub fn take_ops(&mut self, idx: usize) -> Vec<MicroOp> {
+        std::mem::take(&mut self.entries[idx].ops)
+    }
+
+    /// Returns a checked-out micro-op vector. Dropped instead if the
+    /// entry was flushed (or rebuilt) while it was out — resurrecting
+    /// stale ops after an invalidation would defeat precise SMC
+    /// flushing.
+    pub fn put_ops(&mut self, idx: usize, start: u32, ops: Vec<MicroOp>) {
+        let e = &mut self.entries[idx];
+        if e.tag == start && e.len as usize == ops.len() && e.ops.is_empty() {
+            e.ops = ops;
+        }
+    }
+
+    /// Drops every cached block containing the word at `addr` — the
+    /// store-path hook. Cheap for data stores: a watermark test plus a
+    /// 64-bit filter probe reject addresses no block has ever covered;
+    /// only on a filter hit does the bounded walk over the
+    /// [`MAX_BLOCK_OPS`] candidate start addresses run.
+    #[inline]
+    pub fn invalidate(&mut self, addr: u32) {
+        if !self.enabled {
+            return;
+        }
+        let a = addr & !3;
+        if a.wrapping_sub(self.cover_lo) >= self.cover_hi.wrapping_sub(self.cover_lo)
+            || self.filter & Self::filter_bit(a) == 0
+        {
+            return;
+        }
+        self.invalidate_slow(a);
+    }
+
+    fn invalidate_slow(&mut self, a: u32) {
+        let mut flushed = false;
+        let mut start = a.wrapping_sub(4 * (MAX_BLOCK_OPS as u32 - 1));
+        loop {
+            let e = &mut self.entries[Self::index(start)];
+            if e.tag == start {
+                let end = start.wrapping_add(4 * e.len.max(1));
+                if a.wrapping_sub(start) < end.wrapping_sub(start) {
+                    e.tag = INVALID_TAG;
+                    e.len = 0;
+                    e.ops.clear();
+                    flushed = true;
+                    self.stats.flushes += 1;
+                }
+            }
+            if start == a {
+                break;
+            }
+            start = start.wrapping_add(4);
+        }
+        if flushed {
+            self.gen += 1;
+        }
+    }
+
+    /// Flash-clears the whole table (host-side mutation, toggling).
+    pub fn clear(&mut self) {
+        for e in &mut self.entries {
+            e.tag = INVALID_TAG;
+            e.len = 0;
+            e.ops.clear();
+        }
+        self.cover_lo = u32::MAX;
+        self.cover_hi = 0;
+        self.filter = 0;
+        self.gen += 1;
+    }
+
+    /// Adds `retired` instructions to the block-path retirement counter.
+    #[inline(always)]
+    pub fn note_exec(&mut self, retired: u64) {
+        self.stats.instret += retired;
+    }
+
+    /// Execution/maintenance counters.
+    pub fn stats(&self) -> BlockStats {
+        self.stats
+    }
+
+    /// Distribution of built block lengths.
+    pub fn len_histogram(&self) -> &Histogram {
+        &self.len_hist
     }
 }
 

@@ -108,3 +108,176 @@ fn host_load_patch_re_decodes() {
         RunExit::Halted(HaltReason::Halt { .. })
     ));
 }
+
+// ---------------------------------------------------------------------
+// Superblock invalidation: a store into a cached block must flush it
+// precisely (that block and nothing else) and the next dispatch must
+// re-execute the patched code.
+// ---------------------------------------------------------------------
+
+/// A resident self-loop: four register ops and a backward jump, cached
+/// as one superblock at `SRAM`.
+fn loop_block_image() -> Image {
+    let mut a = Asm::new(SRAM);
+    a.label("top");
+    a.movi(Reg::R2, 1);
+    a.movi(Reg::R3, 2);
+    a.movi(Reg::R4, 3);
+    a.movi(Reg::R5, 4);
+    a.jmp("top");
+    a.assemble().unwrap()
+}
+
+/// Warms the block cache on the loop image and returns the machine with
+/// exactly one built block.
+fn warmed_loop_machine() -> Machine {
+    let img = loop_block_image();
+    let mut m = machine(&img, true);
+    assert_eq!(m.run(50), RunExit::StepLimit);
+    let s = m.sys.block_stats();
+    assert!(s.misses >= 1, "loop must have built a block");
+    assert_eq!(s.flushes, 0, "nothing should be flushed yet");
+    m
+}
+
+/// Patches the micro-op at word offset `word` of the warmed loop block
+/// and asserts a precise flush plus re-execution of the new semantics.
+fn patch_and_check(word: u32, patch: Instr, check: impl Fn(&mut Machine)) {
+    let mut m = warmed_loop_machine();
+    let flushes0 = m.sys.block_stats().flushes;
+    m.sys.hw_write32(SRAM + 4 * word, encode(patch)).unwrap();
+    assert_eq!(
+        m.sys.block_stats().flushes,
+        flushes0 + 1,
+        "a store into a cached block must flush exactly that block"
+    );
+    assert_eq!(m.run(50), RunExit::StepLimit);
+    check(&mut m);
+    assert!(
+        m.sys.block_stats().misses >= 2,
+        "the patched block must have been rebuilt"
+    );
+}
+
+#[test]
+fn patching_first_micro_op_flushes_and_re_executes() {
+    patch_and_check(
+        0,
+        Instr::Movi {
+            rd: Reg::R2,
+            imm: 99,
+        },
+        |m| assert_eq!(m.regs.get(Reg::R2), 99),
+    );
+}
+
+#[test]
+fn patching_middle_micro_op_flushes_and_re_executes() {
+    patch_and_check(
+        2,
+        Instr::Movi {
+            rd: Reg::R4,
+            imm: 77,
+        },
+        |m| assert_eq!(m.regs.get(Reg::R4), 77),
+    );
+}
+
+#[test]
+fn patching_last_micro_op_flushes_and_re_executes() {
+    // The final micro-op is the control transfer; patch it into a halt
+    // so the loop must fall out on the very next pass.
+    let mut m = warmed_loop_machine();
+    let flushes0 = m.sys.block_stats().flushes;
+    m.sys.hw_write32(SRAM + 4 * 4, encode(Instr::Halt)).unwrap();
+    assert_eq!(m.sys.block_stats().flushes, flushes0 + 1);
+    assert!(
+        matches!(m.run(50), RunExit::Halted(HaltReason::Halt { .. })),
+        "patched terminator must be re-decoded and re-built"
+    );
+}
+
+#[test]
+fn patch_flushes_only_the_covering_block() {
+    // Two ping-ponging blocks; a patch into the second must flush it
+    // alone — the first block keeps serving from the cache (exactly one
+    // rebuild miss afterwards).
+    let mut a = Asm::new(SRAM);
+    a.label("a");
+    a.movi(Reg::R2, 1);
+    a.movi(Reg::R3, 2);
+    a.jmp("b");
+    a.label("b");
+    a.movi(Reg::R4, 3);
+    a.movi(Reg::R5, 4);
+    a.jmp("a");
+    let img = a.assemble().unwrap();
+    let mut m = machine(&img, true);
+    assert_eq!(m.run(60), RunExit::StepLimit);
+    let s0 = m.sys.block_stats();
+    assert!(s0.misses >= 2, "both blocks must be cached");
+    assert_eq!(s0.flushes, 0);
+    // Patch the first micro-op of block `b` (word 3 of the image).
+    m.sys
+        .hw_write32(
+            SRAM + 4 * 3,
+            encode(Instr::Movi {
+                rd: Reg::R4,
+                imm: 55,
+            }),
+        )
+        .unwrap();
+    let s1 = m.sys.block_stats();
+    assert_eq!(
+        s1.flushes,
+        s0.flushes + 1,
+        "only the covering block is flushed"
+    );
+    assert_eq!(m.run(60), RunExit::StepLimit);
+    assert_eq!(m.regs.get(Reg::R4), 55, "patched op must re-execute");
+    let s2 = m.sys.block_stats();
+    assert_eq!(
+        s2.misses,
+        s0.misses + 1,
+        "block `a` must still be served from the cache"
+    );
+}
+
+#[test]
+fn store_across_block_boundary_flushes_both_neighbours() {
+    // Adjacent blocks: `a` falls into a patchable tail word that sits in
+    // block `b`. A 32-bit store exactly on the boundary word must flush
+    // `b` (whose first op it is) without touching `a`'s cached ops —
+    // then patching `a`'s last word must flush `a` too.
+    let mut a = Asm::new(SRAM);
+    a.label("a");
+    a.movi(Reg::R2, 1);
+    a.jmp("b");
+    a.label("b");
+    a.movi(Reg::R3, 2);
+    a.jmp("a");
+    let img = a.assemble().unwrap();
+    let mut m = machine(&img, true);
+    assert_eq!(m.run(40), RunExit::StepLimit);
+    let s0 = m.sys.block_stats();
+    assert!(s0.misses >= 2);
+    // Boundary word = first word of `b` (word 2).
+    m.sys
+        .hw_write32(
+            SRAM + 4 * 2,
+            encode(Instr::Movi {
+                rd: Reg::R3,
+                imm: 66,
+            }),
+        )
+        .unwrap();
+    assert_eq!(m.sys.block_stats().flushes, s0.flushes + 1);
+    // Last word of `a` (word 1, its jump; the rewritten word still
+    // targets `b`) — a separate covering block must flush.
+    m.sys
+        .hw_write32(SRAM + 4, encode(Instr::Jmp { off: 0 }))
+        .unwrap();
+    assert_eq!(m.sys.block_stats().flushes, s0.flushes + 2);
+    assert_eq!(m.run(40), RunExit::StepLimit);
+    assert_eq!(m.regs.get(Reg::R3), 66);
+}

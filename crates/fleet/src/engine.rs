@@ -680,15 +680,7 @@ fn step_device(
                 .expect("fault regions are mapped RAM");
             dev.local.inc("chaos.bit_flips");
             dev.note(collect, SpanKind::BitFlip, round, round, round);
-            let c0 = dev.platform.machine.cycles;
-            dev.platform.run(quantum);
-            dev.note(
-                trace.full_on(),
-                SpanKind::Quantum,
-                round,
-                c0,
-                dev.platform.machine.cycles,
-            );
+            run_quantum_with_spans(dev, trace, round, quantum);
         }
         Some(RoundFault::CrashReset { at }) => {
             let crash_step = if quantum == 0 { 0 } else { at % quantum };
@@ -718,27 +710,27 @@ fn step_device(
                 .expect("Secure Loader re-entry from PROM is deterministic");
             dev.instret_at_fork = 0;
             dev.local.inc("chaos.crash_resets");
-            let c1 = dev.platform.machine.cycles;
-            dev.platform.run(quantum - crash_step);
-            dev.note(
-                trace.full_on(),
-                SpanKind::Quantum,
-                round,
-                c1,
-                dev.platform.machine.cycles,
-            );
+            run_quantum_with_spans(dev, trace, round, quantum - crash_step);
         }
         _ => {
-            let c0 = dev.platform.machine.cycles;
-            dev.platform.run(quantum);
-            dev.note(
-                trace.full_on(),
-                SpanKind::Quantum,
-                round,
-                c0,
-                dev.platform.machine.cycles,
-            );
+            run_quantum_with_spans(dev, trace, round, quantum);
         }
+    }
+}
+
+/// Runs one execution quantum on a device and records its `Quantum`
+/// span — plus a `BlockExec` span over the same cycle window when any
+/// instructions retired through the superblock engine, so traces show
+/// which quanta ran block-compiled.
+fn run_quantum_with_spans(dev: &mut DeviceSim, trace: TraceLevel, round: u64, steps: u64) {
+    let c0 = dev.platform.machine.cycles;
+    let b0 = dev.platform.machine.sys.block_stats().instret;
+    dev.platform.run(steps);
+    let c1 = dev.platform.machine.cycles;
+    dev.note(trace.full_on(), SpanKind::Quantum, round, c0, c1);
+    let b1 = dev.platform.machine.sys.block_stats().instret;
+    if b1 > b0 {
+        dev.note(trace.full_on(), SpanKind::BlockExec, round, c0, c1);
     }
 }
 

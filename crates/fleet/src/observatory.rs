@@ -122,7 +122,9 @@ fn chrome_ts(span: &SpanRecord, quantum: u64) -> (f64, f64) {
         )
     } else if matches!(
         span.kind,
-        trustlite_obs::SpanKind::Quantum | trustlite_obs::SpanKind::CrashReset
+        trustlite_obs::SpanKind::Quantum
+            | trustlite_obs::SpanKind::CrashReset
+            | trustlite_obs::SpanKind::BlockExec
     ) {
         (span.start_cycle as f64, span.duration() as f64)
     } else {

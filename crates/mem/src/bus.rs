@@ -393,6 +393,18 @@ impl Bus {
         self.pending < self.armed
     }
 
+    /// Headroom before the next [`Bus::tick_quick`] could return false:
+    /// cycles the core may account in a local register without crossing
+    /// into the bus. Stale the moment anything on the bus is touched —
+    /// device access, [`Bus::tick_slow`], catch-up — so callers must
+    /// re-read it after any such operation and must flush their local
+    /// balance into [`Bus::tick_quick`] *before* any access that can
+    /// reach a tickable device.
+    #[inline]
+    pub fn tick_slack(&self) -> u64 {
+        self.armed.saturating_sub(self.pending)
+    }
+
     /// The full tick: refreshes the deadline, delivers accumulated
     /// cycles when due and drains stashed interrupts.
     pub fn tick_slow(&mut self) -> Vec<IrqRequest> {

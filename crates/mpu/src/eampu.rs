@@ -260,6 +260,14 @@ pub struct EaMpu {
     /// Latched record of the most recent fault, for handler inspection.
     last_fault: Option<MpuFault>,
     cache: GrantCache,
+    /// Deferred grant-counter updates from the superblock replay fast
+    /// path ([`EaMpu::replay_hit`]): `pending_hits` checks granted via
+    /// `pending_slot` that have not yet been folded into `check_count` /
+    /// `slot_hits`. The block loop flushes on every exit, so the
+    /// counters are exact whenever the host can observe them (the MMIO
+    /// window exposes neither counter).
+    pending_slot: u16,
+    pending_hits: u64,
 }
 
 impl EaMpu {
@@ -273,6 +281,8 @@ impl EaMpu {
             slot_hits: vec![0; slots],
             last_fault: None,
             cache: GrantCache::new(),
+            pending_slot: 0,
+            pending_hits: 0,
         }
     }
 
@@ -353,6 +363,7 @@ impl EaMpu {
         }
         self.last_fault = None;
         self.cache.clear();
+        self.pending_hits = 0;
     }
 
     /// The register-write performance counter.
@@ -405,10 +416,97 @@ impl EaMpu {
         true
     }
 
+    /// Block-level prevalidation for the superblock replay fast path:
+    /// refreshes the subject window for `subject_ip` (the subject of the
+    /// block's first fetch) and, if that window also covers every
+    /// in-block subject — the fetch addresses `[start, start + 4*len)` —
+    /// returns the current (nonzero) mask epoch. A memo carrying this
+    /// epoch may then be replayed with [`EaMpu::replay_hit`] alone: the
+    /// per-op subject refresh is provably a no-op for the rest of the
+    /// pass, and any rule mutation retires the epoch (the caller
+    /// re-checks [`EaMpu::cache_epoch`] after ops that touch memory).
+    /// Returns 0 when the cache is off or the window does not cover the
+    /// block.
+    pub fn block_epoch(&mut self, subject_ip: u32, start: u32, len: u32) -> u64 {
+        if !self.cache.enabled {
+            return 0;
+        }
+        self.refresh_subject(subject_ip);
+        let w = &self.cache.subject;
+        let end = start.wrapping_add(4 * len);
+        if w.valid && w.lo <= start && start < end && end <= w.hi {
+            self.cache.epoch
+        } else {
+            0
+        }
+    }
+
+    /// The current subject-mask epoch (0 when the cache is disabled or
+    /// freshly invalidated — i.e. "no memo can replay").
+    #[inline(always)]
+    pub fn cache_epoch(&self) -> u64 {
+        if self.cache.enabled {
+            self.cache.epoch
+        } else {
+            0
+        }
+    }
+
+    /// Records one replayed grant via `slot` without touching the
+    /// counters: consecutive hits on the same slot coalesce into one
+    /// deferred update, folded in by [`EaMpu::flush_replays`]. Only
+    /// valid after [`EaMpu::block_epoch`] vouched for the memo's epoch.
+    #[inline(always)]
+    pub fn replay_hit(&mut self, slot: u16) {
+        if slot == self.pending_slot {
+            self.pending_hits += 1;
+        } else {
+            self.flush_replays();
+            self.pending_slot = slot;
+            self.pending_hits = 1;
+        }
+    }
+
+    /// Folds `n` replayed grants via `slot` into the counters at once —
+    /// the bulk form of [`EaMpu::replay_hit`], used by the block loop's
+    /// clean-pass fetch path (a whole resident pass whose fetch memos
+    /// were validated as sharing one hot slot counts its replays in a
+    /// register).
+    pub fn add_replay_hits(&mut self, slot: u16, n: u64) {
+        if n != 0 {
+            self.check_count += n;
+            self.slot_hits[slot as usize] += n;
+        }
+    }
+
+    /// Folds deferred [`EaMpu::replay_hit`] updates into `check_count`
+    /// and `slot_hits`. The superblock loop calls this on every exit, so
+    /// host-visible counters never lag.
+    pub fn flush_replays(&mut self) {
+        if self.pending_hits != 0 {
+            self.check_count += self.pending_hits;
+            self.slot_hits[self.pending_slot as usize] += self.pending_hits;
+            self.pending_hits = 0;
+        }
+    }
+
     /// The `(epoch, slot)` memo for an Execute access at `addr` that the
     /// grant cache can currently vouch for (i.e. the check just ran and
     /// granted). `None` when the cache is off or holds no such entry.
     pub fn exec_memo(&self, addr: u32) -> Option<(u64, u16)> {
+        self.grant_window(addr, AccessKind::Execute)
+            .map(|(epoch, slot, _, _)| (epoch, slot))
+    }
+
+    /// The `(epoch, slot, window lo, window len)` of the grant-cache entry
+    /// currently vouching for `(addr, kind)` — i.e. a check just ran and
+    /// granted via `slot`, and the same outcome provably holds for every
+    /// address in `[lo, lo + len)` under the subject mask named by
+    /// `epoch`. The superblock engine stores these beside micro-ops so a
+    /// whole straight-line run replays one micro-TLB probe per *block*
+    /// instead of one scan per access. `None` when the cache is off or
+    /// holds no granting entry (denials are never memoised).
+    pub fn grant_window(&self, addr: u32, kind: AccessKind) -> Option<(u64, u16, u32, u32)> {
         if !self.cache.enabled {
             return None;
         }
@@ -417,10 +515,37 @@ impl EaMpu {
             .entries
             .iter()
             .flatten()
-            .find(|e| {
-                e.epoch == epoch && e.kind == AccessKind::Execute && addr.wrapping_sub(e.lo) < e.len
-            })
-            .and_then(|e| e.slot.map(|s| (epoch, s)))
+            .find(|e| e.epoch == epoch && e.kind == kind && addr.wrapping_sub(e.lo) < e.len)
+            .and_then(|e| e.slot.map(|s| (epoch, s, e.lo, e.len)))
+    }
+
+    /// Replays a check whose grant was memoised under `epoch` for the
+    /// window `[lo, lo + len)`: if the subject mask of `subject_ip` still
+    /// carries that epoch and `addr` lies in the window, the counters are
+    /// bumped exactly as the full check would and `true` is returned;
+    /// otherwise nothing happens and the caller must run [`EaMpu::check`].
+    /// This is the data-access analogue of [`EaMpu::exec_check_cached`]:
+    /// the window qualifier makes it exact for varying addresses.
+    #[inline(always)]
+    pub fn check_cached_window(
+        &mut self,
+        subject_ip: u32,
+        epoch: u64,
+        slot: u16,
+        lo: u32,
+        len: u32,
+        addr: u32,
+    ) -> bool {
+        if !self.cache.enabled {
+            return false;
+        }
+        self.refresh_subject(subject_ip);
+        if epoch == 0 || epoch != self.cache.epoch || addr.wrapping_sub(lo) >= len {
+            return false;
+        }
+        self.check_count += 1;
+        self.slot_hits[slot as usize] += 1;
+        true
     }
 
     fn subject_matches(&self, subject: Subject, ip: u32) -> bool {

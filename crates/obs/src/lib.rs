@@ -161,6 +161,17 @@ impl Recorder {
         }
     }
 
+    /// Records a firehose event pair as one ring batch (no-op below
+    /// [`ObsLevel::Full`]) — the superblock loop's per-retirement
+    /// `MpuCheck` + `InstrRetired` emission. Ordering is identical to
+    /// two [`Recorder::emit_fine`] calls.
+    #[inline]
+    pub fn emit_fine_pair(&mut self, a: Event, b: Event) {
+        if self.firehose_on() {
+            self.ring.push2(a, b);
+        }
+    }
+
     /// Charges `cost` cycles to the attribution domain owning `ip` and
     /// emits a [`Event::ContextSwitch`] when the owning domain changes.
     /// The very first charge emits a degenerate `from == to` switch so

@@ -163,6 +163,14 @@ impl MetricsRegistry {
         }
     }
 
+    /// Replaces histogram `name` with an externally maintained one — the
+    /// histogram analogue of [`MetricsRegistry::set`], for components
+    /// that accumulate their own distribution and mirror it in on
+    /// report. Idempotent, unlike repeated [`MetricsRegistry::observe`].
+    pub fn set_histogram(&mut self, name: &str, hist: Histogram) {
+        self.histograms.insert(name.to_string(), hist);
+    }
+
     /// Reads a counter (0 if absent).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)

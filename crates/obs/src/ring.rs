@@ -83,6 +83,40 @@ impl EventRing {
         self.dropped += 1;
     }
 
+    /// Appends two events as one batch — the firehose's per-retirement
+    /// pair (`MpuCheck` + `InstrRetired` from the superblock loop). Both
+    /// hot regimes pay one capacity decision for the pair instead of
+    /// two: the growth phase bulk-pushes, the steady state does two
+    /// in-place overwrites. Ordering is identical to `push(a); push(b)`.
+    #[inline]
+    pub fn push2(&mut self, a: Event, b: Event) {
+        if self.buf.len() + 2 <= self.cap {
+            if self.buf.len() + 2 > self.buf.capacity() {
+                let want = RESERVE_CHUNK.min(self.cap - self.buf.len());
+                self.buf.reserve(want);
+            }
+            self.buf.push(a);
+            self.buf.push(b);
+            return;
+        }
+        if self.buf.len() == self.cap && self.cap >= 2 {
+            self.buf[self.start] = a;
+            self.start += 1;
+            if self.start == self.cap {
+                self.start = 0;
+            }
+            self.buf[self.start] = b;
+            self.start += 1;
+            if self.start == self.cap {
+                self.start = 0;
+            }
+            self.dropped += 2;
+            return;
+        }
+        self.push(a);
+        self.push(b);
+    }
+
     /// Number of retained events.
     pub fn len(&self) -> usize {
         self.buf.len()
@@ -175,6 +209,23 @@ mod tests {
         let cycles: Vec<u64> = r.iter().map(|e| e.cycle()).collect();
         assert_eq!(cycles, [5, 6]);
         assert_eq!(r.dropped(), 5);
+    }
+
+    #[test]
+    fn push2_matches_sequential_pushes() {
+        for cap in [0usize, 1, 2, 3, 4, 7] {
+            let mut paired = EventRing::new(cap);
+            let mut sequential = EventRing::new(cap);
+            for c in 0..6 {
+                paired.push2(ev(2 * c), ev(2 * c + 1));
+                sequential.push(ev(2 * c));
+                sequential.push(ev(2 * c + 1));
+            }
+            let p: Vec<u64> = paired.iter().map(|e| e.cycle()).collect();
+            let s: Vec<u64> = sequential.iter().map(|e| e.cycle()).collect();
+            assert_eq!(p, s, "cap {cap}");
+            assert_eq!(paired.dropped(), sequential.dropped(), "cap {cap}");
+        }
     }
 
     #[test]

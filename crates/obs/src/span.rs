@@ -42,6 +42,11 @@ pub enum SpanKind {
     /// Mid-round crash and Secure Loader re-entry (device cycles; the
     /// span covers the pre-crash partial quantum).
     CrashReset,
+    /// One device's superblock-path retirement progress over one round's
+    /// quantum: `start_cycle`/`end_cycle` are the block-retired
+    /// instruction counts before and after (deterministic, so digests
+    /// stay worker- and trace-level-invariant).
+    BlockExec,
     /// Challenge-to-acceptance attestation round trip (fleet rounds).
     AttestRtt,
     /// Retry backoff window scheduled after a failure (fleet rounds).
@@ -79,6 +84,7 @@ impl SpanKind {
             SpanKind::Merge => "merge",
             SpanKind::Quantum => "quantum",
             SpanKind::CrashReset => "crash_reset",
+            SpanKind::BlockExec => "block_exec",
             SpanKind::AttestRtt => "attest_rtt",
             SpanKind::Backoff => "backoff",
             SpanKind::Challenge => "challenge",
@@ -103,6 +109,7 @@ impl SpanKind {
             "merge" => SpanKind::Merge,
             "quantum" => SpanKind::Quantum,
             "crash_reset" => SpanKind::CrashReset,
+            "block_exec" => SpanKind::BlockExec,
             "attest_rtt" => SpanKind::AttestRtt,
             "backoff" => SpanKind::Backoff,
             "challenge" => SpanKind::Challenge,
@@ -129,13 +136,14 @@ impl SpanKind {
     }
 
     /// Every kind, in wire order (for closed-set tests and summaries).
-    pub const ALL: [SpanKind; 18] = [
+    pub const ALL: [SpanKind; 19] = [
         SpanKind::Fork,
         SpanKind::Execute,
         SpanKind::Verify,
         SpanKind::Merge,
         SpanKind::Quantum,
         SpanKind::CrashReset,
+        SpanKind::BlockExec,
         SpanKind::AttestRtt,
         SpanKind::Backoff,
         SpanKind::Challenge,

@@ -123,6 +123,7 @@ fn span_wire_names_are_pinned() {
             "merge",
             "quantum",
             "crash_reset",
+            "block_exec",
             "attest_rtt",
             "backoff",
             "challenge",

@@ -3,28 +3,7 @@
 //! what makes the cycle measurements in EXPERIMENTS.md stable and the
 //! test suite meaningful.
 
-use trustlite_bench::{build_handshake_platform, run_handshake};
-use trustlite_crypto::sha256;
-
-fn state_digest(p: &mut trustlite::Platform) -> [u8; 32] {
-    // Digest of the architectural state plus the first pages of SRAM.
-    let mut blob = Vec::new();
-    blob.extend_from_slice(&p.machine.cycles.to_le_bytes());
-    blob.extend_from_slice(&p.machine.instret.to_le_bytes());
-    for g in p.machine.regs.gprs {
-        blob.extend_from_slice(&g.to_le_bytes());
-    }
-    blob.extend_from_slice(&p.machine.regs.sp.to_le_bytes());
-    blob.extend_from_slice(&p.machine.regs.ip.to_le_bytes());
-    let sram = p
-        .machine
-        .sys
-        .bus
-        .read_bytes(trustlite_mem::map::SRAM_BASE, 0x4000)
-        .expect("sram readable");
-    blob.extend_from_slice(&sram);
-    sha256(&blob)
-}
+use trustlite_bench::{build_handshake_platform, run_handshake, state_digest};
 
 #[test]
 fn identical_seeds_replay_identically() {
@@ -70,28 +49,41 @@ fn scheduling_workload_is_deterministic() {
 
 #[test]
 fn fast_path_caches_are_architecturally_invisible() {
-    // The predecode table, EA-MPU grant cache, batched device ticks and
-    // bus lookup cache are pure accelerations: running each macro
-    // workload with them off and on must produce bit-identical
-    // architectural state, cycle counts and instruction counts.
-    for workload in ["quickstart", "preemptive_os", "trusted_ipc"] {
-        let run = |fast: bool| {
+    // The predecode table, superblock trace cache, EA-MPU grant cache,
+    // batched device ticks and bus lookup cache are pure accelerations:
+    // running each macro workload on the interpreted path, the
+    // predecode-only fast path and the superblock path must produce
+    // bit-identical architectural state, cycle counts and instruction
+    // counts. `set_fast_path(false)` must bypass the block table too.
+    for workload in trustlite_bench::throughput::WORKLOADS {
+        let run = |fast: bool, blocks: bool| {
             let mut p =
                 trustlite_bench::throughput::build_workload(workload, trustlite::ObsLevel::Off);
             p.machine.sys.set_fast_path(fast);
+            p.machine.sys.set_superblocks(blocks);
             let _ = p.run(60_000);
             (p.machine.instret, p.machine.cycles, state_digest(&mut p))
         };
-        let (slow_instret, slow_cycles, slow_digest) = run(false);
-        let (fast_instret, fast_cycles, fast_digest) = run(true);
+        let slow = run(false, false);
+        let fast = run(true, false);
+        let block = run(true, true);
         assert_eq!(
-            (fast_instret, fast_cycles),
-            (slow_instret, slow_cycles),
-            "{workload}: fast path changed the observable counters"
+            (fast.0, fast.1),
+            (slow.0, slow.1),
+            "{workload}: predecode path changed the observable counters"
         );
         assert_eq!(
-            fast_digest, slow_digest,
-            "{workload}: fast path changed architectural state"
+            fast.2, slow.2,
+            "{workload}: predecode path changed architectural state"
+        );
+        assert_eq!(
+            (block.0, block.1),
+            (slow.0, slow.1),
+            "{workload}: superblock path changed the observable counters"
+        );
+        assert_eq!(
+            block.2, slow.2,
+            "{workload}: superblock path changed architectural state"
         );
     }
 }
