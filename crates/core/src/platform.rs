@@ -488,6 +488,39 @@ impl Platform {
     /// word of DRAM, outside every allocator-managed SRAM region.
     pub const DEVICE_ID_ADDR: u32 = map::DRAM_BASE + map::DRAM_SIZE - 4;
 
+    /// Switches the memory devices (PROM, SRAM, DRAM) between sparse
+    /// copy-on-write backing (the default) and dense reference backing
+    /// (every page materialized, deep-copy snapshots — the pre-sparse
+    /// behaviour). Contents are unchanged; the switch is architecturally
+    /// invisible (it goes through `device_mut`, so `host_gen` bumps and
+    /// derived caches re-validate, exactly like any host-side touch).
+    /// Dense/sparse fleets must produce byte-identical digests — CI's
+    /// `fork-identity` job holds this line.
+    pub fn set_dense_memory(&mut self, dense: bool) -> Result<(), TrustliteError> {
+        let bus = &mut self.machine.sys.bus;
+        bus.device_mut::<Rom>("prom")
+            .ok_or(TrustliteError::Snapshot("prom"))?
+            .set_dense(dense);
+        bus.device_mut::<Ram>("sram")
+            .ok_or(TrustliteError::Snapshot("sram"))?
+            .set_dense(dense);
+        bus.device_mut::<Ram>("dram")
+            .ok_or(TrustliteError::Snapshot("dram"))?
+            .set_dense(dense);
+        Ok(())
+    }
+
+    /// Host-side materialized bytes across the platform's devices (see
+    /// `trustlite_mem::Device::resident_bytes`). Diagnostic only.
+    pub fn resident_bytes(&self) -> u64 {
+        self.machine.sys.resident_bytes()
+    }
+
+    /// Total addressable bytes across the platform's devices.
+    pub fn addressable_bytes(&self) -> u64 {
+        self.machine.sys.addressable_bytes()
+    }
+
     /// The full trustlet specs the platform was built from (used by the
     /// policy auditor).
     pub fn specs(&self) -> &[crate::spec::TrustletSpec] {

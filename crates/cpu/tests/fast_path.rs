@@ -281,3 +281,56 @@ fn store_across_block_boundary_flushes_both_neighbours() {
     assert_eq!(m.run(40), RunExit::StepLimit);
     assert_eq!(m.regs.get(Reg::R3), 66);
 }
+
+// ---------------------------------------------------------------------
+// COW-backed forks: sparse RAM shares pages between a machine and its
+// snapshot, so the invalidation contract must hold across the fork —
+// child patches unshare pages privately (invisible to the parent) and
+// both sides re-decode correctly.
+// ---------------------------------------------------------------------
+
+#[test]
+fn smc_after_fork_is_private_and_re_decoded() {
+    let mut a = Asm::new(SRAM);
+    a.label("spin");
+    a.jmp("spin");
+    let img = a.assemble().unwrap();
+    let mut parent = Machine::new(
+        {
+            let mut bus = Bus::new();
+            bus.map(SRAM, Box::new(Ram::new("sram", 0x1_0000))).unwrap();
+            assert!(bus.host_load(img.base, &img.bytes));
+            let mut sys = SystemBus::new(bus, EaMpu::new(8), None);
+            sys.enforce = false;
+            sys.set_fast_path(true);
+            sys
+        },
+        img.base,
+    );
+    // Warm the parent's caches on the shared page.
+    assert_eq!(parent.run(10), RunExit::StepLimit, "spinning");
+
+    let mut child = parent.snapshot().expect("machine snapshots");
+    // Patch the child's code two ways: a host_load (host_gen flash-clear
+    // path) writing into a COW page shared with the parent...
+    assert!(child
+        .sys
+        .bus
+        .host_load(SRAM, &encode(Instr::Halt).to_le_bytes()));
+    assert!(
+        matches!(child.run(10), RunExit::Halted(HaltReason::Halt { .. })),
+        "child re-decodes its private patched page"
+    );
+    // ...while the parent still spins on the original shared word.
+    assert_eq!(parent.run(10), RunExit::StepLimit, "parent unaffected");
+
+    // And the reverse: a parent-side CPU store (store-granular probe
+    // invalidation) must not leak into a fresh child taken before it.
+    let mut child2 = parent.snapshot().expect("machine snapshots");
+    parent.sys.hw_write32(SRAM, encode(Instr::Halt)).unwrap();
+    assert!(matches!(
+        parent.run(10),
+        RunExit::Halted(HaltReason::Halt { .. })
+    ));
+    assert_eq!(child2.run(10), RunExit::StepLimit, "fork isolated");
+}

@@ -64,6 +64,9 @@ fn run_once(base: &FleetConfig, workers: usize) -> SweepRun {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    // CI smoke runs pass --gate-fork to enforce the fork-vs-full >=10x
+    // gate (always measured at 64 devices) even in smoke mode.
+    let gate_fork = std::env::args().any(|a| a == "--gate-fork");
     let parallelism = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -121,6 +124,16 @@ fn main() {
              parallelize (marked noisy, not an engine regression)"
         );
     }
+    // On a single-CPU host any speedup_8v1 figure is thread-scheduling
+    // noise either way: mark the row informational-only so downstream
+    // readers don't treat it as a scaling measurement.
+    let speedup_informational = parallelism == 1;
+    if speedup_informational {
+        eprintln!(
+            "note: available_parallelism == 1 — speedup_8v1 is informational \
+             only (in-process threading cannot demonstrate scaling here)"
+        );
+    }
     // The wall-clock gate needs the silicon: with < 8 usable cores the
     // target is unreachable no matter how good the engine is, so the
     // gate is recorded as skipped instead of asserted against physics.
@@ -158,12 +171,61 @@ fn main() {
     );
     println!("chaos off: digest identical to the honest baseline");
 
-    // Snapshot/fork boot: one Secure Loader run + N forks vs N full
-    // boots. Both sides retain every booted platform so they pay the
-    // same first-touch memory-population cost (~2 MB per live device,
-    // which dominates either path); the loader-work saving shows up on
-    // top of that floor. Single-threaded, so meaningful on any host.
-    let fork_devices = if smoke { 8 } else { 64 };
+    // Fork-boot scaling sweep: with sparse COW memory a fork is
+    // O(resident pages) Arc bumps, so ms-per-device should stay flat as
+    // the fleet grows. Each row retains the whole fleet while measured
+    // (real footprint), and records the host-side residency the sparse
+    // store achieves. Single-threaded, so meaningful on any host.
+    let sweep_sizes: &[usize] = if smoke {
+        &[8, 16, 32]
+    } else {
+        &[64, 256, 1024]
+    };
+    println!(
+        "{:<9}{:>14}{:>15}{:>15}{:>18}",
+        "devices", "fork-boot ms", "ms/device", "fork us/dev", "resident KiB/dev"
+    );
+    let mut sweep_rows = String::new();
+    for &devices in sweep_sizes {
+        let t0 = Instant::now();
+        let fleet = Fleet::boot(FleetConfig {
+            devices,
+            ..base.clone()
+        })
+        .expect("fork boot");
+        let boot_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let fork_us = fleet.fork_us_per_device();
+        let resident: u64 = fleet
+            .devices
+            .iter()
+            .map(|d| d.platform.resident_bytes())
+            .sum();
+        let resident_kib_per_dev = resident as f64 / 1024.0 / devices as f64;
+        drop(fleet);
+        println!(
+            "{devices:<9}{boot_ms:>14.1}{:>15.3}{fork_us:>15.1}{resident_kib_per_dev:>18.1}",
+            boot_ms / devices as f64
+        );
+        if !sweep_rows.is_empty() {
+            sweep_rows.push_str(",\n");
+        }
+        write!(
+            sweep_rows,
+            "    {{\"devices\": {devices}, \"fork_boot_ms\": {boot_ms:.2}, \
+             \"ms_per_device\": {:.4}, \"fork_us_per_device\": {fork_us:.1}, \
+             \"resident_bytes_per_device\": {:.0}}}",
+            boot_ms / devices as f64,
+            resident as f64 / devices as f64
+        )
+        .unwrap();
+    }
+
+    // Snapshot/fork boot vs N full Secure Loader boots, always at 64
+    // devices (the gated configuration). Both sides retain every booted
+    // platform; sparse COW memory means the fork side no longer pays a
+    // per-device megabyte memcpy, so the gap is the full loader run plus
+    // dense cache clones vs an Arc-bump fork.
+    let fork_devices = 64;
     let t0 = Instant::now();
     let fleet = Fleet::boot(FleetConfig {
         devices: fork_devices,
@@ -171,6 +233,7 @@ fn main() {
     })
     .expect("fork boot");
     let fork_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let fork_us_per_device = fleet.fork_us_per_device();
     drop(fleet);
     let t0 = Instant::now();
     let mut full_boots = Vec::with_capacity(fork_devices);
@@ -185,12 +248,13 @@ fn main() {
     let fork_speedup = full_ms / fork_ms;
     println!(
         "boot {fork_devices} devices: fork {fork_ms:.1} ms vs full {full_ms:.1} ms \
-         ({fork_speedup:.1}x)"
+         ({fork_speedup:.1}x, {fork_us_per_device:.1} us/fork)"
     );
-    if !smoke {
+    if !smoke || gate_fork {
         assert!(
-            fork_speedup >= 1.3,
-            "fork boot must beat full boots (got {fork_speedup:.2}x)"
+            fork_speedup >= 10.0,
+            "COW fork boot must be >= 10x over full boots at 64 devices \
+             (got {fork_speedup:.2}x)"
         );
     }
 
@@ -247,10 +311,13 @@ fn main() {
          \"devices\": {},\n  \"rounds\": {},\n  \"quantum\": {},\n  \
          \"workload\": \"{}\",\n  \"available_parallelism\": {parallelism},\n  \
          \"speedup_8v1\": {speedup_8v1:.3},\n  \"speedup_gate_enforced\": {gate_enforced},\n  \
+         \"speedup_8v1_informational_only\": {speedup_informational},\n  \
          \"noisy\": {noisy},\n  \
          \"digests_identical\": true,\n  \"chaos_off_identical\": true,\n  \
          \"fork_boot\": {{\"devices\": {fork_devices}, \"fork_ms\": {fork_ms:.2}, \
-         \"full_ms\": {full_ms:.2}, \"speedup\": {fork_speedup:.2}}},\n  \
+         \"full_ms\": {full_ms:.2}, \"speedup\": {fork_speedup:.2}, \
+         \"fork_us_per_device\": {fork_us_per_device:.1}}},\n  \
+         \"fork_sweep\": [\n{sweep_rows}\n  ],\n  \
          \"loader_check\": {{\"devices\": {loader_devices}, \"loader_runs\": {loader_runs}, \
          \"loader_reset_ops\": {reset_ops}}},\n  \
          \"runs\": [\n{rows}\n  ]\n}}\n",

@@ -7,7 +7,8 @@
 //!         [--attest-every N] [--chaos SEED] [--fault-rate PM]
 //!         [--malicious PM] [--max-retries N] [--timeout-rounds N]
 //!         [--trace-level off|spans|full] [--trace-jsonl PATH]
-//!         [--chrome-trace PATH] [--digest] [--expect HEX] [--json]
+//!         [--chrome-trace PATH] [--dense-mem] [--digest] [--expect HEX]
+//!         [--json]
 //! ```
 //!
 //! `--digest` prints only the aggregate digest (CI compares this across
@@ -21,7 +22,9 @@
 //! trace (pipe into `tlstats`); `--chrome-trace` writes a Chrome
 //! `trace_event` timeline with one lane per engine shard and per device.
 //! Either trace sink implies `--trace-level spans` unless a level was
-//! given explicitly.
+//! given explicitly. `--dense-mem` runs on dense (fully materialized,
+//! deep-copy) memory instead of the default sparse COW backing — the
+//! digest must not change (CI's `fork-identity` job compares the two).
 
 use trustlite_chaos::ChaosConfig;
 use trustlite_fleet::{chrome_trace, trace_jsonl, Fleet, FleetConfig, TraceLevel};
@@ -34,7 +37,8 @@ fn usage() -> ! {
          \x20              [--attest-every N] [--chaos SEED] [--fault-rate PM]\n\
          \x20              [--malicious PM] [--max-retries N] [--timeout-rounds N]\n\
          \x20              [--trace-level off|spans|full] [--trace-jsonl PATH]\n\
-         \x20              [--chrome-trace PATH] [--digest] [--expect HEX] [--json]"
+         \x20              [--chrome-trace PATH] [--dense-mem] [--digest] [--expect HEX]\n\
+         \x20              [--json]"
     );
     std::process::exit(2);
 }
@@ -100,6 +104,7 @@ fn main() {
             }
             "--trace-jsonl" => trace_path = Some(value(&mut i)),
             "--chrome-trace" => chrome_path = Some(value(&mut i)),
+            "--dense-mem" => cfg.dense_mem = true,
             "--digest" => digest_only = true,
             "--expect" => expect = Some(value(&mut i)),
             "--json" => json = true,
@@ -162,6 +167,7 @@ fn main() {
     } else {
         println!("{}", report.summary());
         println!("{}", report.health_line());
+        println!("{}", report.memory_line());
         if !report.flight_dumps.is_empty() {
             println!("flight dumps captured: {}", report.flight_dumps.len());
         }

@@ -61,6 +61,11 @@ pub struct FleetConfig {
     /// Per-device flight-recorder depth (always on; `0` disables
     /// retention but still counts drops).
     pub flight_cap: usize,
+    /// Run every device on dense (fully materialized, deep-copy
+    /// snapshot) memory instead of the default sparse COW backing.
+    /// Reference mode for differential runs: digests must be
+    /// byte-identical either way (CI's `fork-identity` job).
+    pub dense_mem: bool,
 }
 
 impl Default for FleetConfig {
@@ -79,6 +84,7 @@ impl Default for FleetConfig {
             timeout_rounds: 2,
             trace: TraceLevel::Off,
             flight_cap: DEFAULT_FLIGHT_CAP,
+            dense_mem: false,
         }
     }
 }
@@ -221,6 +227,9 @@ pub struct Fleet {
     /// (trace-only: surfaces as the `fork` shard-phase span, never
     /// digested).
     fork_ns: u64,
+    /// Host wall time of the fork+diverge loop alone (excludes the
+    /// master boot), in nanoseconds. Never digested.
+    fork_loop_ns: u64,
 }
 
 impl Fleet {
@@ -240,6 +249,9 @@ impl Fleet {
             return Err(TrustliteError::DegenerateFleet { what: "rounds" });
         }
         let mut master = build_workload(&cfg.workload, cfg.level);
+        if cfg.dense_mem {
+            master.set_dense_memory(true)?;
+        }
         let boot_report = master.machine.metrics_report();
         let expected = expected_measurements(&mut master)?;
         let mut ordered: Vec<(u32, String)> = master
@@ -258,6 +270,7 @@ impl Fleet {
             .collect();
         let plan = FaultPlan::new(cfg.chaos);
         let mut devices = Vec::with_capacity(cfg.devices);
+        let t_fork = Instant::now();
         for id in 0..cfg.devices as u32 {
             let mut p = master.fork()?;
             let key = device_key(cfg.seed, id);
@@ -302,6 +315,7 @@ impl Fleet {
                 cycles_done: 0,
             });
         }
+        let fork_loop_ns = t_fork.elapsed().as_nanos() as u64;
         Ok(Fleet {
             cfg,
             devices,
@@ -309,7 +323,19 @@ impl Fleet {
             expected,
             fault_regions,
             fork_ns: t_boot.elapsed().as_nanos() as u64,
+            fork_loop_ns,
         })
+    }
+
+    /// Host wall time of the fork+diverge loop alone (excludes the
+    /// master boot), in nanoseconds. Diagnostic; never digested.
+    pub fn fork_loop_ns(&self) -> u64 {
+        self.fork_loop_ns
+    }
+
+    /// Mean host microseconds spent forking+diverging one device.
+    pub fn fork_us_per_device(&self) -> f64 {
+        self.fork_loop_ns as f64 / 1_000.0 / self.devices.len().max(1) as f64
     }
 
     /// Runs the fleet for `cfg.rounds` rounds of `cfg.quantum` steps per
@@ -325,6 +351,7 @@ impl Fleet {
     /// emits next-round challenges in device order. Aggregates are
     /// therefore bit-identical for any worker count, fault plan or not.
     pub fn run(self) -> FleetReport {
+        let fork_us_per_device = self.fork_us_per_device();
         let Fleet {
             cfg,
             mut devices,
@@ -332,6 +359,7 @@ impl Fleet {
             expected,
             fault_regions,
             fork_ns,
+            fork_loop_ns: _,
         } = self;
         let nw = cfg.workers.max(1).min(devices.len().max(1));
         let n = devices.len();
@@ -544,7 +572,13 @@ impl Fleet {
         let mut digest_blob = Vec::new();
         let mut health = Vec::with_capacity(n);
         let mut flight_dumps: Vec<FlightDump> = Vec::new();
+        // Host-side memory footprint: summed here at merge, kept OUT of
+        // the digest blob (dense and sparse backing must digest alike).
+        let mut resident_bytes = 0u64;
+        let mut addressable_bytes = 0u64;
         for dev in devices.iter_mut() {
+            resident_bytes += dev.platform.resident_bytes();
+            addressable_bytes += dev.platform.addressable_bytes();
             let r = dev.platform.machine.metrics_report();
             merged.merge(&r);
             merged.merge(&dev.accum);
@@ -605,6 +639,10 @@ impl Fleet {
             spans,
             flight_dumps,
             merged,
+            fork_us_per_device,
+            resident_bytes,
+            addressable_bytes,
+            dense_mem: cfg.dense_mem,
             digest: sha256(&digest_blob),
         }
     }

@@ -78,6 +78,18 @@ pub struct FleetReport {
     /// sum exactly; `loader.runs` counts Secure Loader executions (one
     /// per image, however many devices were forked from it).
     pub merged: MetricsReport,
+    /// Mean host microseconds spent forking+diverging one device
+    /// (host-side timing; never part of `digest`).
+    pub fork_us_per_device: f64,
+    /// Host-side materialized bytes summed over all devices at the end
+    /// of the run (sparse COW backing makes this a small fraction of
+    /// `addressable_bytes`; dense backing makes them equal). Host-side
+    /// diagnostics; never part of `digest`.
+    pub resident_bytes: u64,
+    /// Addressable bytes summed over all devices.
+    pub addressable_bytes: u64,
+    /// Whether the run used dense (reference) memory backing.
+    pub dense_mem: bool,
     /// Order-independent digest over every device's final architectural
     /// state plus the merged aggregates; bit-identical across worker
     /// counts.
@@ -151,6 +163,8 @@ impl FleetReport {
             "{{\n  \"devices\": {}, \"workers\": {}, \"rounds\": {}, \"quantum\": {},\n  \
              \"seed\": {}, \"workload\": \"{}\",\n  \
              \"trace_level\": \"{}\", \"chaos\": {}, \"spans\": {}, \"flight_dumps\": {},\n  \
+             \"dense_mem\": {}, \"fork_us_per_device\": {:.3},\n  \
+             \"resident_bytes\": {}, \"addressable_bytes\": {},\n  \
              \"total_instret\": {}, \"total_cycles\": {},\n  \
              \"attest_ok\": {}, \"attest_fail\": {},\n  \
              \"healthy\": {}, \"retrying\": {}, \"quarantined\": {},\n  \
@@ -168,6 +182,10 @@ impl FleetReport {
             self.chaos,
             self.spans.len(),
             self.flight_dumps.len(),
+            self.dense_mem,
+            self.fork_us_per_device,
+            self.resident_bytes,
+            self.addressable_bytes,
             self.total_instret,
             self.total_cycles,
             self.attest_ok,
@@ -196,6 +214,25 @@ impl FleetReport {
             self.attest_ok,
             self.attest_ok + self.attest_fail,
             &self.digest_hex()[..16],
+        )
+    }
+
+    /// One machine-greppable memory-footprint line (`memory: R resident
+    /// / A addressable bytes (P%, sparse|dense), fork F us/device`),
+    /// used by the CLI and CI. Host-side only; never digested.
+    pub fn memory_line(&self) -> String {
+        let pct = if self.addressable_bytes > 0 {
+            100.0 * self.resident_bytes as f64 / self.addressable_bytes as f64
+        } else {
+            0.0
+        };
+        format!(
+            "memory: {} resident / {} addressable bytes ({:.1}%, {}), fork {:.1} us/device",
+            self.resident_bytes,
+            self.addressable_bytes,
+            pct,
+            if self.dense_mem { "dense" } else { "sparse" },
+            self.fork_us_per_device,
         )
     }
 

@@ -1,0 +1,93 @@
+//! Dense-vs-sparse backing identity: the page-granular COW store behind
+//! `Ram`/`Rom` is a host-side artifact, so fleets running on sparse and
+//! dense memory must produce byte-identical digests, counters and health
+//! at every capture level, worker count, and chaos on/off — while the
+//! host-side footprint fields (the only place backing is allowed to
+//! show) differ exactly as designed.
+
+use proptest::prelude::*;
+use trustlite_chaos::ChaosConfig;
+use trustlite_fleet::{Fleet, FleetConfig, FleetReport};
+use trustlite_obs::ObsLevel;
+
+fn run(cfg: &FleetConfig, dense_mem: bool, workers: usize) -> FleetReport {
+    Fleet::boot(FleetConfig {
+        dense_mem,
+        workers,
+        ..cfg.clone()
+    })
+    .expect("boot")
+    .run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+    #[test]
+    fn dense_and_sparse_backing_digest_identically(
+        seed in 1u64..1_000_000,
+        devices in 3usize..6,
+        rounds in 2u64..5,
+        level_ix in 0usize..4,
+        chaos_on in any::<bool>(),
+    ) {
+        let level = [ObsLevel::Off, ObsLevel::Metrics, ObsLevel::Events, ObsLevel::Full]
+            [level_ix];
+        let cfg = FleetConfig {
+            devices,
+            rounds,
+            quantum: 1_500,
+            seed,
+            level,
+            attest_every: 1,
+            chaos: if chaos_on {
+                ChaosConfig { seed: seed ^ 0xc0c0, fault_rate_pm: 700, malicious_pm: 300 }
+            } else {
+                ChaosConfig::off()
+            },
+            ..FleetConfig::default()
+        };
+        let sparse = run(&cfg, false, 1);
+        for workers in [1usize, 4] {
+            let dense = run(&cfg, true, workers);
+            prop_assert_eq!(
+                &dense.digest, &sparse.digest,
+                "backing leaked into the digest at level {:?}, {} workers, chaos {}",
+                level, workers, chaos_on
+            );
+            prop_assert_eq!(&dense.merged.counters, &sparse.merged.counters);
+            prop_assert_eq!(&dense.merged.attribution, &sparse.merged.attribution);
+            prop_assert_eq!(&dense.health, &sparse.health);
+            prop_assert_eq!(dense.total_instret, sparse.total_instret);
+            // The footprint is where the backing IS allowed to differ:
+            // dense materializes the whole address space, sparse only
+            // what the devices actually touched.
+            prop_assert_eq!(dense.resident_bytes, dense.addressable_bytes);
+            prop_assert!(
+                sparse.resident_bytes < sparse.addressable_bytes / 2,
+                "sparse fleets must not materialize most of the address space: {} of {}",
+                sparse.resident_bytes, sparse.addressable_bytes
+            );
+        }
+    }
+}
+
+/// The footprint fields themselves must never enter the digest: two runs
+/// differing only in backing agree on the digest even though
+/// resident_bytes differ by an order of magnitude.
+#[test]
+fn footprint_fields_stay_out_of_the_digest() {
+    let cfg = FleetConfig {
+        devices: 4,
+        rounds: 3,
+        quantum: 2_000,
+        ..FleetConfig::default()
+    };
+    let sparse = run(&cfg, false, 1);
+    let dense = run(&cfg, true, 1);
+    assert_eq!(sparse.digest, dense.digest);
+    assert!(sparse.resident_bytes * 2 < dense.resident_bytes);
+    assert_eq!(sparse.addressable_bytes, dense.addressable_bytes);
+    assert!(!sparse.dense_mem);
+    assert!(dense.dense_mem);
+    assert!(sparse.fork_us_per_device > 0.0);
+}

@@ -526,6 +526,21 @@ impl Bus {
     pub fn read_bytes(&mut self, addr: u32, len: u32) -> Result<Vec<u8>, BusError> {
         (0..len).map(|i| self.read8(addr + i)).collect()
     }
+
+    /// Host-side bytes actually materialized across all mapped devices
+    /// (see [`Device::resident_bytes`]). Diagnostic only — never part of
+    /// any digest.
+    pub fn resident_bytes(&self) -> u64 {
+        self.mappings
+            .iter()
+            .map(|m| m.device.resident_bytes())
+            .sum()
+    }
+
+    /// Total addressable bytes across all mapped devices.
+    pub fn addressable_bytes(&self) -> u64 {
+        self.mappings.iter().map(|m| u64::from(m.size)).sum()
+    }
 }
 
 fn rebase(e: BusError, base: u32) -> BusError {

@@ -141,6 +141,15 @@ pub trait Device: Any + Send {
         false
     }
 
+    /// Host-side bytes actually materialized for this device, for
+    /// footprint reporting. Sparse devices ([`crate::Ram`]/[`crate::Rom`])
+    /// override this with their resident-page total; the default assumes
+    /// dense backing (resident == addressable). Purely diagnostic: never
+    /// guest-visible and never part of any digest.
+    fn resident_bytes(&self) -> u64 {
+        u64::from(self.size())
+    }
+
     /// Deep-copies the device for snapshot/fork, or `None` if the device
     /// cannot be snapshotted. Every in-tree device supports this (their
     /// state is plain owned data); the default conservatively refuses so

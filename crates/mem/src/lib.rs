@@ -18,8 +18,10 @@
 pub mod bus;
 pub mod device;
 pub mod map;
+pub mod pages;
 pub mod ram;
 
 pub use bus::{Bus, MapError};
 pub use device::{BusError, Device, IrqRequest};
+pub use pages::{Page, PageStore, PAGE_SHIFT, PAGE_SIZE};
 pub use ram::{Ram, Rom};

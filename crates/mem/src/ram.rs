@@ -1,35 +1,64 @@
 //! Volatile and read-only memory devices.
+//!
+//! Both [`Ram`] and [`Rom`] are backed by the sparse copy-on-write
+//! [`PageStore`]: untouched memory reads as zero without being resident,
+//! and [`Device::snapshot`] is O(resident pages), which is what makes
+//! fleet forks cheap. The paging is invisible at the bus interface —
+//! accesses, errors and `host_load` semantics are byte-identical to the
+//! old flat `Vec<u8>` backing (see `tests/sparse_props.rs`).
 
 use std::any::Any;
 
 use crate::device::{BusError, Device};
+use crate::pages::PageStore;
 
 /// A plain RAM device (used for both on-chip SRAM and external DRAM).
 #[derive(Debug, Clone)]
 pub struct Ram {
     name: &'static str,
-    data: Vec<u8>,
+    store: PageStore,
 }
 
 impl Ram {
-    /// Creates a zeroed RAM of `size` bytes.
+    /// Creates a zeroed RAM of `size` bytes (sparse: no pages resident).
     pub fn new(name: &'static str, size: u32) -> Self {
         Ram {
             name,
-            data: vec![0; size as usize],
+            store: PageStore::new(size),
         }
     }
 
+    /// Creates a zeroed RAM with dense (fully materialized, deep-copy
+    /// snapshot) backing — the reference mode for differential runs.
+    pub fn new_dense(name: &'static str, size: u32) -> Self {
+        Ram {
+            name,
+            store: PageStore::new_dense(size),
+        }
+    }
+
+    /// Switches between sparse and dense backing without changing
+    /// contents.
+    pub fn set_dense(&mut self, dense: bool) {
+        self.store.set_dense(dense);
+    }
+
     /// Direct host access to the contents (diagnostics, assertions).
-    pub fn bytes(&self) -> &[u8] {
-        &self.data
+    /// Materializes the full image; O(size).
+    pub fn bytes(&self) -> Vec<u8> {
+        self.store.to_vec()
+    }
+
+    /// Number of materialized 4 KiB pages.
+    pub fn resident_pages(&self) -> usize {
+        self.store.resident_pages()
     }
 
     /// Fills the entire memory with a byte pattern (used to model the
     /// "memory not sanitized across reset" behaviour the Secure Loader
     /// defends against).
     pub fn fill(&mut self, pattern: u8) {
-        self.data.fill(pattern);
+        self.store.fill(pattern);
     }
 }
 
@@ -39,46 +68,56 @@ impl Device for Ram {
     }
 
     fn size(&self) -> u32 {
-        self.data.len() as u32
+        self.store.size()
     }
 
     fn read32(&mut self, off: u32) -> Result<u32, BusError> {
-        let i = off as usize;
-        let b = &self.data[i..i + 4];
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        if u64::from(off) + 4 > u64::from(self.store.size()) {
+            return Err(BusError::Unmapped { addr: off });
+        }
+        Ok(self.store.read32(off))
     }
 
     fn write32(&mut self, off: u32, value: u32) -> Result<(), BusError> {
-        let i = off as usize;
-        self.data[i..i + 4].copy_from_slice(&value.to_le_bytes());
+        if u64::from(off) + 4 > u64::from(self.store.size()) {
+            return Err(BusError::Unmapped { addr: off });
+        }
+        self.store.write32(off, value);
         Ok(())
     }
 
     fn read8(&mut self, off: u32) -> Result<u8, BusError> {
-        Ok(self.data[off as usize])
+        if off >= self.store.size() {
+            return Err(BusError::Unmapped { addr: off });
+        }
+        Ok(self.store.read8(off))
     }
 
     fn write8(&mut self, off: u32, value: u8) -> Result<(), BusError> {
-        self.data[off as usize] = value;
+        if off >= self.store.size() {
+            return Err(BusError::Unmapped { addr: off });
+        }
+        self.store.write8(off, value);
         Ok(())
     }
 
     fn host_load(&mut self, off: u32, bytes: &[u8]) -> bool {
-        let start = off as usize;
-        let end = start + bytes.len();
-        if end > self.data.len() {
-            return false;
-        }
-        self.data[start..end].copy_from_slice(bytes);
-        true
+        self.store.host_load(off, bytes)
     }
 
     fn stable_storage(&self) -> bool {
         true
     }
 
+    fn resident_bytes(&self) -> u64 {
+        self.store.resident_bytes()
+    }
+
     fn snapshot(&self) -> Option<Box<dyn Device>> {
-        Some(Box::new(self.clone()))
+        Some(Box::new(Ram {
+            name: self.name,
+            store: self.store.snapshot(),
+        }))
     }
 
     fn as_any(&mut self) -> &mut dyn Any {
@@ -90,20 +129,39 @@ impl Device for Ram {
 /// host-side load path (modelling factory/field programming of PROM).
 #[derive(Debug, Clone)]
 pub struct Rom {
-    data: Vec<u8>,
+    store: PageStore,
 }
 
 impl Rom {
-    /// Creates a zeroed ROM of `size` bytes.
+    /// Creates a zeroed ROM of `size` bytes (sparse backing).
     pub fn new(size: u32) -> Self {
         Rom {
-            data: vec![0; size as usize],
+            store: PageStore::new(size),
         }
     }
 
-    /// Direct host access to the contents.
-    pub fn bytes(&self) -> &[u8] {
-        &self.data
+    /// Creates a zeroed ROM with dense (reference) backing.
+    pub fn new_dense(size: u32) -> Self {
+        Rom {
+            store: PageStore::new_dense(size),
+        }
+    }
+
+    /// Switches between sparse and dense backing without changing
+    /// contents.
+    pub fn set_dense(&mut self, dense: bool) {
+        self.store.set_dense(dense);
+    }
+
+    /// Direct host access to the contents. Materializes the full image;
+    /// O(size).
+    pub fn bytes(&self) -> Vec<u8> {
+        self.store.to_vec()
+    }
+
+    /// Number of materialized 4 KiB pages.
+    pub fn resident_pages(&self) -> usize {
+        self.store.resident_pages()
     }
 }
 
@@ -113,13 +171,14 @@ impl Device for Rom {
     }
 
     fn size(&self) -> u32 {
-        self.data.len() as u32
+        self.store.size()
     }
 
     fn read32(&mut self, off: u32) -> Result<u32, BusError> {
-        let i = off as usize;
-        let b = &self.data[i..i + 4];
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        if u64::from(off) + 4 > u64::from(self.store.size()) {
+            return Err(BusError::Unmapped { addr: off });
+        }
+        Ok(self.store.read32(off))
     }
 
     fn write32(&mut self, off: u32, _value: u32) -> Result<(), BusError> {
@@ -127,7 +186,10 @@ impl Device for Rom {
     }
 
     fn read8(&mut self, off: u32) -> Result<u8, BusError> {
-        Ok(self.data[off as usize])
+        if off >= self.store.size() {
+            return Err(BusError::Unmapped { addr: off });
+        }
+        Ok(self.store.read8(off))
     }
 
     fn write8(&mut self, off: u32, _value: u8) -> Result<(), BusError> {
@@ -135,21 +197,21 @@ impl Device for Rom {
     }
 
     fn host_load(&mut self, off: u32, bytes: &[u8]) -> bool {
-        let start = off as usize;
-        let end = start + bytes.len();
-        if end > self.data.len() {
-            return false;
-        }
-        self.data[start..end].copy_from_slice(bytes);
-        true
+        self.store.host_load(off, bytes)
     }
 
     fn stable_storage(&self) -> bool {
         true
     }
 
+    fn resident_bytes(&self) -> u64 {
+        self.store.resident_bytes()
+    }
+
     fn snapshot(&self) -> Option<Box<dyn Device>> {
-        Some(Box::new(self.clone()))
+        Some(Box::new(Rom {
+            store: self.store.snapshot(),
+        }))
     }
 
     fn as_any(&mut self) -> &mut dyn Any {
@@ -204,5 +266,72 @@ mod tests {
         assert!(!r.host_load(6, &[0; 4]));
         let mut m = Ram::new("sram", 8);
         assert!(!m.host_load(9, &[0]));
+    }
+
+    /// Regression: out-of-range offsets used to slice past the backing
+    /// vector and panic; they must surface as `BusError::Unmapped`.
+    #[test]
+    fn ram_oob_accesses_error_not_panic() {
+        let mut r = Ram::new("sram", 64);
+        // Last valid word is at 60; 61..64 would read past the end.
+        assert_eq!(r.read32(60), Ok(0));
+        assert!(r.write32(60, 1).is_ok());
+        for bad in [61, 62, 63, 64, 100, u32::MAX] {
+            assert_eq!(r.read32(bad), Err(BusError::Unmapped { addr: bad }));
+            assert_eq!(r.write32(bad, 1), Err(BusError::Unmapped { addr: bad }));
+        }
+        assert_eq!(r.read8(63), Ok(0));
+        assert!(r.write8(63, 9).is_ok());
+        assert_eq!(r.read8(64), Err(BusError::Unmapped { addr: 64 }));
+        assert_eq!(r.write8(64, 1), Err(BusError::Unmapped { addr: 64 }));
+    }
+
+    #[test]
+    fn rom_oob_accesses_error_not_panic() {
+        let mut r = Rom::new(32);
+        assert_eq!(r.read32(28), Ok(0));
+        for bad in [29, 31, 32, u32::MAX - 3] {
+            assert_eq!(r.read32(bad), Err(BusError::Unmapped { addr: bad }));
+        }
+        assert_eq!(r.read8(32), Err(BusError::Unmapped { addr: 32 }));
+        // Writes stay ReadOnly even out of range (write is rejected
+        // before the bounds question arises).
+        assert_eq!(r.write32(64, 1), Err(BusError::ReadOnly { addr: 64 }));
+    }
+
+    #[test]
+    fn fresh_ram_is_fully_sparse() {
+        let mut r = Ram::new("dram", 1 << 20);
+        assert_eq!(r.resident_pages(), 0);
+        assert_eq!(Device::resident_bytes(&r), 0);
+        assert_eq!(r.size(), 1 << 20);
+        r.write32(0x8000, 1).unwrap();
+        assert_eq!(r.resident_pages(), 1);
+        assert_eq!(Device::resident_bytes(&r), 4096);
+    }
+
+    #[test]
+    fn dense_ram_reports_full_residency() {
+        let r = Ram::new_dense("sram", 64 * 1024);
+        assert_eq!(Device::resident_bytes(&r), 64 * 1024);
+        let mut s = Ram::new("sram", 64 * 1024);
+        s.set_dense(true);
+        assert_eq!(Device::resident_bytes(&s), 64 * 1024);
+        s.set_dense(false);
+        assert_eq!(Device::resident_bytes(&s), 0);
+    }
+
+    #[test]
+    fn ram_snapshot_is_isolated_both_ways() {
+        let mut parent = Ram::new("sram", 16 * 1024);
+        parent.write32(0, 0x11).unwrap();
+        let mut child = parent.snapshot().expect("ram snapshots");
+        child.write32(0, 0x22).unwrap();
+        child.write32(8192, 0x33).unwrap();
+        assert_eq!(parent.read32(0), Ok(0x11));
+        assert_eq!(parent.read32(8192), Ok(0));
+        parent.write32(4, 0x44).unwrap();
+        assert_eq!(child.read32(4), Ok(0));
+        assert_eq!(child.read32(0), Ok(0x22));
     }
 }
