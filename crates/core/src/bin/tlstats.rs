@@ -157,6 +157,62 @@ fn summarize_fleet(
                 f.dropped
             );
         }
+        summarize_code_caches(flights);
+    }
+}
+
+/// Per-device rollup of the fast-path cache counters (`cpu.predecode.*`
+/// hit/miss/flush and `cpu.block.*` hit/miss/flush/instret) carried in
+/// the flight dumps. Counters are cumulative snapshots, so when a device
+/// dumped more than once only its latest dump (highest round) is
+/// reported.
+fn summarize_code_caches(flights: &[FlightDump]) {
+    let mut latest: BTreeMap<u32, &FlightDump> = BTreeMap::new();
+    for f in flights {
+        match latest.entry(f.device) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(f);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                if f.round >= e.get().round {
+                    e.insert(f);
+                }
+            }
+        }
+    }
+    let get = |f: &FlightDump, k: &str| f.counters.get(k).copied().unwrap_or(0);
+    let mut lines = Vec::new();
+    for (device, f) in &latest {
+        let pd: u64 = ["cpu.predecode.hit", "cpu.predecode.miss"]
+            .iter()
+            .map(|k| get(f, k))
+            .sum();
+        let blk: u64 = ["cpu.block.hit", "cpu.block.miss"]
+            .iter()
+            .map(|k| get(f, k))
+            .sum();
+        if pd + blk == 0 {
+            continue;
+        }
+        lines.push(format!(
+            "  device {:<4} predecode {}/{} hit/miss ({} flushed); \
+             block {}/{} hit/miss ({} flushed, {} instret)",
+            device,
+            get(f, "cpu.predecode.hit"),
+            get(f, "cpu.predecode.miss"),
+            get(f, "cpu.predecode.flush"),
+            get(f, "cpu.block.hit"),
+            get(f, "cpu.block.miss"),
+            get(f, "cpu.block.flush"),
+            get(f, "cpu.block.instret"),
+        ));
+    }
+    if !lines.is_empty() {
+        println!();
+        println!("code-cache counters (latest flight dump per device):");
+        for l in lines {
+            println!("{l}");
+        }
     }
 }
 

@@ -510,10 +510,28 @@ impl Platform {
         Ok(())
     }
 
+    /// Switches the CPU's predecode and superblock tables between
+    /// `Arc`-shared snapshots (the default: fork is an Arc bump over
+    /// resident chunks, mutation clones only the touched chunk) and the
+    /// private reference mode (snapshots deep-copy every resident
+    /// chunk — the pre-sharing behaviour). Architecturally invisible
+    /// either way; shared/private fleets must produce byte-identical
+    /// digests — CI's `fork-identity` job holds this line.
+    pub fn set_private_code_caches(&mut self, private: bool) {
+        self.machine.sys.set_private_code_caches(private);
+    }
+
     /// Host-side materialized bytes across the platform's devices (see
     /// `trustlite_mem::Device::resident_bytes`). Diagnostic only.
     pub fn resident_bytes(&self) -> u64 {
         self.machine.sys.resident_bytes()
+    }
+
+    /// Host-side bytes backing the CPU's predecode and superblock
+    /// tables, amortized over snapshot sharers (see
+    /// `SystemBus::code_cache_bytes`). Diagnostic only.
+    pub fn code_cache_bytes(&self) -> u64 {
+        self.machine.sys.code_cache_bytes()
     }
 
     /// Total addressable bytes across the platform's devices.

@@ -32,7 +32,7 @@ pub mod vectors;
 
 pub use fault::Fault;
 pub use machine::{ExcRecord, ExtUnit, HaltReason, HwConfig, Machine, RunExit, StepOutcome};
-pub use predecode::BlockStats;
+pub use predecode::{BlockStats, PredecodeStats};
 pub use regs::{Flags, RegFile};
 pub use sysbus::SystemBus;
 pub use ttable::{TrustletRow, TT_ROW_BYTES};

@@ -257,6 +257,13 @@ impl Machine {
             }
         }
         obs.metrics.set("obs.events_dropped", obs.ring.dropped());
+        let pd = self.sys.predecode_stats();
+        if pd.hits + pd.misses > 0 {
+            let obs = &mut self.sys.obs;
+            obs.metrics.set("cpu.predecode.hit", pd.hits);
+            obs.metrics.set("cpu.predecode.miss", pd.misses);
+            obs.metrics.set("cpu.predecode.flush", pd.flushes);
+        }
         let blocks = self.sys.block_stats();
         if blocks.hits + blocks.misses > 0 {
             let hist = self.sys.block_len_histogram().clone();

@@ -24,6 +24,30 @@
 //! `host_gen` flash-clear) plus a generation counter that lets an
 //! in-flight block execution notice a flush it caused itself — the
 //! self-modifying-code case. See `DESIGN.md` § superblock invariants.
+//!
+//! # Chunked `Arc` sharing (fork/snapshot)
+//!
+//! Both tables store their entries in fixed-size chunks behind
+//! `Option<Arc<_>>` slots — the same idiom `trustlite_mem::PageStore`
+//! uses for device memory. `None` means "every entry in this chunk is
+//! invalid"; a chunk is materialized lazily on first insert. A snapshot
+//! is then an Arc bump over resident chunks (O(chunks) pointer copies
+//! instead of O(table) entry copies), which is what makes fleet fork
+//! cost independent of how warm the master's caches are. Any mutation —
+//! an insert, a store-granular flush, a block checkout — goes through
+//! `Arc::make_mut`, which deep-copies a chunk only while it is still
+//! shared with a fork. Fleet devices run identical ROM images, so the
+//! boot-warmed chunks stay shared until a device's own self-modifying
+//! code or host patch diverges it; divergence is strictly per-device, so
+//! sharing is architecturally invisible (enforced differentially by the
+//! `shared_cache_props` / `code_cache_props` suites and CI).
+//!
+//! `set_private(true)` switches a table into the *private* reference
+//! mode: snapshots deep-copy every resident chunk instead of Arc-bumping
+//! it, reproducing the pre-sharing fork behaviour for differential runs
+//! (the fleet's `--private-code` flag).
+
+use std::sync::Arc;
 
 use crate::costs;
 use trustlite_isa::Instr;
@@ -36,9 +60,13 @@ pub type FetchMemo = Option<(u64, u16)>;
 
 /// Number of direct-mapped entries. At 4 bytes per instruction this
 /// covers 32 KiB of code without conflict misses — larger than any
-/// simulated image in the tree — while keeping the table allocation
-/// trivial (~128 KiB).
+/// simulated image in the tree — while the chunked backing keeps the
+/// resident allocation proportional to the code actually executed.
 const ENTRIES: usize = 8192;
+
+/// Entries per predecode chunk (the sharing granule): 64 chunks of 128
+/// entries, i.e. one chunk covers 512 bytes of code.
+const PD_CHUNK: usize = 128;
 
 /// Tag value that can never match a fetch address: instruction fetches
 /// are word-aligned, so an odd tag is unreachable.
@@ -55,29 +83,75 @@ struct Entry {
     memo: FetchMemo,
 }
 
+const EMPTY_ENTRY: Entry = Entry {
+    tag: INVALID_TAG,
+    word: 0,
+    instr: Instr::Nop,
+    memo: None,
+};
+
+/// One sharing granule of the predecode table.
+type PdChunk = [Entry; PD_CHUNK];
+
+/// Lookup/maintenance counters for the predecode table, mirrored into
+/// the metrics registry by `Machine::metrics_report` as
+/// `cpu.predecode.*`. Pure functions of the executed instruction stream,
+/// so they are identical across backings, worker counts and capture
+/// levels (they take part in the fleet digest via the merged counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredecodeStats {
+    /// Lookups that served a cached decode.
+    pub hits: u64,
+    /// Lookups that fell through to the bus read + decoder.
+    pub misses: u64,
+    /// Entries dropped by precise (store-granular) invalidation.
+    pub flushes: u64,
+}
+
 /// The predecode table.
-#[derive(Clone)]
 pub struct Predecode {
-    entries: Vec<Entry>,
+    /// Chunked entry storage; `None` = every entry invalid. Shared with
+    /// snapshots via `Arc`, unshared per chunk on first write.
+    chunks: Vec<Option<Arc<PdChunk>>>,
     enabled: bool,
+    /// Reference mode: snapshots deep-copy resident chunks instead of
+    /// sharing them (see the module docs).
+    private: bool,
     /// Last observed [`trustlite_mem::Bus::host_gen`] value.
     pub(crate) host_gen: u64,
+    stats: PredecodeStats,
 }
 
 impl Default for Predecode {
     fn default() -> Self {
         Predecode {
-            entries: vec![
-                Entry {
-                    tag: INVALID_TAG,
-                    word: 0,
-                    instr: Instr::Nop,
-                    memo: None,
-                };
-                ENTRIES
-            ],
+            chunks: vec![None; ENTRIES / PD_CHUNK],
             enabled: true,
+            private: false,
             host_gen: 0,
+            stats: PredecodeStats::default(),
+        }
+    }
+}
+
+impl Clone for Predecode {
+    /// Snapshot semantics: Arc-bumps resident chunks (O(chunks)), or
+    /// deep-copies them in the private reference mode.
+    fn clone(&self) -> Self {
+        let chunks = if self.private {
+            self.chunks
+                .iter()
+                .map(|c| c.as_ref().map(|a| Arc::new(**a)))
+                .collect()
+        } else {
+            self.chunks.clone()
+        };
+        Predecode {
+            chunks,
+            enabled: self.enabled,
+            private: self.private,
+            host_gen: self.host_gen,
+            stats: self.stats,
         }
     }
 }
@@ -99,22 +173,48 @@ impl Predecode {
         self.clear();
     }
 
-    /// Looks up the cached decode of the word at `addr`, along with any
-    /// fetch-grant memo stored beside it.
-    #[inline]
-    pub fn get(&self, addr: u32) -> Option<(u32, Instr, FetchMemo)> {
-        let e = &self.entries[Self::index(addr)];
-        if e.tag == addr {
-            Some((e.word, e.instr, e.memo))
-        } else {
-            None
+    /// Switches between shared snapshots (the default) and the private
+    /// reference mode. Enabling private mode also unshares every chunk
+    /// already resident, so a table forked earlier stops aliasing its
+    /// siblings immediately.
+    pub fn set_private(&mut self, on: bool) {
+        self.private = on;
+        if on {
+            for c in self.chunks.iter_mut().flatten() {
+                Arc::make_mut(c);
+            }
         }
     }
 
-    /// Caches the decode of `word` at `addr`.
+    /// Whether the table is in the private reference mode.
+    pub fn is_private(&self) -> bool {
+        self.private
+    }
+
+    /// Looks up the cached decode of the word at `addr`, along with any
+    /// fetch-grant memo stored beside it.
+    #[inline]
+    pub fn get(&mut self, addr: u32) -> Option<(u32, Instr, FetchMemo)> {
+        let idx = Self::index(addr);
+        if let Some(chunk) = &self.chunks[idx / PD_CHUNK] {
+            let e = &chunk[idx % PD_CHUNK];
+            if e.tag == addr {
+                self.stats.hits += 1;
+                return Some((e.word, e.instr, e.memo));
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Caches the decode of `word` at `addr`, materializing (and, if
+    /// shared, unsharing) the covering chunk.
     #[inline]
     pub fn insert(&mut self, addr: u32, word: u32, instr: Instr, memo: FetchMemo) {
-        self.entries[Self::index(addr)] = Entry {
+        let idx = Self::index(addr);
+        let chunk =
+            self.chunks[idx / PD_CHUNK].get_or_insert_with(|| Arc::new([EMPTY_ENTRY; PD_CHUNK]));
+        Arc::make_mut(chunk)[idx % PD_CHUNK] = Entry {
             tag: addr,
             word,
             instr,
@@ -123,20 +223,46 @@ impl Predecode {
     }
 
     /// Drops the entry covering the word containing `addr`, if cached.
+    /// The tag test runs on the shared read path; only an actual hit
+    /// pays the clone-on-first-write.
     #[inline]
     pub fn invalidate(&mut self, addr: u32) {
         let word_addr = addr & !3;
-        let e = &mut self.entries[Self::index(word_addr)];
-        if e.tag == word_addr {
-            e.tag = INVALID_TAG;
+        let idx = Self::index(word_addr);
+        match &self.chunks[idx / PD_CHUNK] {
+            Some(chunk) if chunk[idx % PD_CHUNK].tag == word_addr => {}
+            _ => return,
+        }
+        let chunk = self.chunks[idx / PD_CHUNK]
+            .as_mut()
+            .expect("resident chunk");
+        Arc::make_mut(chunk)[idx % PD_CHUNK].tag = INVALID_TAG;
+        self.stats.flushes += 1;
+    }
+
+    /// Flash-clears the whole table by dropping every chunk (shared
+    /// chunks are released, not written).
+    pub fn clear(&mut self) {
+        for c in &mut self.chunks {
+            *c = None;
         }
     }
 
-    /// Flash-clears the whole table.
-    pub fn clear(&mut self) {
-        for e in &mut self.entries {
-            e.tag = INVALID_TAG;
-        }
+    /// Lookup/maintenance counters (`cpu.predecode.*`).
+    pub fn stats(&self) -> PredecodeStats {
+        self.stats
+    }
+
+    /// Host-side bytes backing resident chunks, amortized over sharers:
+    /// a chunk alive in N snapshots contributes `size / N` to each, so
+    /// fleet-wide sums reflect physical allocation. Diagnostic only,
+    /// never digested.
+    pub fn resident_bytes(&self) -> u64 {
+        self.chunks
+            .iter()
+            .flatten()
+            .map(|c| std::mem::size_of::<PdChunk>() as u64 / Arc::strong_count(c).max(1) as u64)
+            .sum()
     }
 }
 
@@ -155,6 +281,10 @@ pub const MAX_BLOCK_OPS: usize = 32;
 /// join points, which are much sparser than instructions, so this covers
 /// every image in the tree without conflict misses.
 const BLOCK_ENTRIES: usize = 2048;
+
+/// Entries per block-table chunk (the sharing granule): 64 chunks of 32
+/// entries.
+const BLK_CHUNK: usize = 32;
 
 /// One predecoded instruction inside a superblock, carrying its lazily
 /// filled fetch-grant and data-grant memos.
@@ -208,12 +338,13 @@ pub(crate) fn straight_cost(i: &Instr) -> Option<u64> {
     }
 }
 
-#[derive(Clone, Default)]
+#[derive(Clone)]
 struct BlockEntry {
     /// Start address; [`INVALID_TAG`] when empty. A valid tag with an
-    /// empty `ops` vector is a *negative* entry: "no block can start
-    /// here" (unstable storage, undecodable word, or a leading system
-    /// instruction), so lookups stop re-probing the builder.
+    /// empty `ops` vector *and* `len == 0` is a *negative* entry: "no
+    /// block can start here" (unstable storage, undecodable word, or a
+    /// leading system instruction), so lookups stop re-probing the
+    /// builder.
     tag: u32,
     /// True when the final op is a control transfer (the only way a
     /// block ends anywhere but by falling through / hitting the cap).
@@ -225,6 +356,16 @@ struct BlockEntry {
     len: u32,
     ops: Vec<MicroOp>,
 }
+
+const EMPTY_BLOCK: BlockEntry = BlockEntry {
+    tag: INVALID_TAG,
+    last_cf: false,
+    len: 0,
+    ops: Vec::new(),
+};
+
+/// One sharing granule of the block table.
+type BlkChunk = [BlockEntry; BLK_CHUNK];
 
 /// Execution/maintenance counters for the block table, mirrored into the
 /// metrics registry by `Machine::metrics_report` as `cpu.block.*`.
@@ -241,10 +382,15 @@ pub struct BlockStats {
 }
 
 /// Direct-mapped cache of superblock micro-op traces keyed by start pc.
-#[derive(Clone)]
 pub struct BlockTable {
-    entries: Vec<BlockEntry>,
+    /// Chunked entry storage; `None` = every entry invalid. Shared with
+    /// snapshots via `Arc`, unshared per chunk on first write — where
+    /// "write" includes the execution loop's ops checkout, so a fork
+    /// that actually runs unshares exactly the chunks it executes from.
+    chunks: Vec<Option<Arc<BlkChunk>>>,
     enabled: bool,
+    /// Reference mode: snapshots deep-copy resident chunks.
+    private: bool,
     /// Bumped whenever any entry is flushed or the table is cleared. An
     /// executing block snapshots this at entry and re-checks it per op,
     /// so a store *inside the current block* (self-modifying code) stops
@@ -268,8 +414,9 @@ pub struct BlockTable {
 impl Default for BlockTable {
     fn default() -> Self {
         BlockTable {
-            entries: vec![BlockEntry::default(); BLOCK_ENTRIES],
+            chunks: vec![None; BLOCK_ENTRIES / BLK_CHUNK],
             enabled: true,
+            private: false,
             gen: 0,
             cover_lo: u32::MAX,
             cover_hi: 0,
@@ -277,6 +424,33 @@ impl Default for BlockTable {
             host_gen: 0,
             stats: BlockStats::default(),
             len_hist: Histogram::default(),
+        }
+    }
+}
+
+impl Clone for BlockTable {
+    /// Snapshot semantics: Arc-bumps resident chunks (O(chunks)), or
+    /// deep-copies them in the private reference mode.
+    fn clone(&self) -> Self {
+        let chunks = if self.private {
+            self.chunks
+                .iter()
+                .map(|c| c.as_ref().map(|a| Arc::new((**a).clone())))
+                .collect()
+        } else {
+            self.chunks.clone()
+        };
+        BlockTable {
+            chunks,
+            enabled: self.enabled,
+            private: self.private,
+            gen: self.gen,
+            cover_lo: self.cover_lo,
+            cover_hi: self.cover_hi,
+            filter: self.filter,
+            host_gen: self.host_gen,
+            stats: self.stats,
+            len_hist: self.len_hist.clone(),
         }
     }
 }
@@ -295,6 +469,24 @@ impl BlockTable {
         1u64 << (((addr >> 7) ^ (addr >> 13)) & 63)
     }
 
+    /// Shared-path read access to the entry at `idx`, if its chunk is
+    /// resident.
+    #[inline(always)]
+    fn entry(&self, idx: usize) -> Option<&BlockEntry> {
+        self.chunks[idx / BLK_CHUNK]
+            .as_ref()
+            .map(|c| &c[idx % BLK_CHUNK])
+    }
+
+    /// Mutable access to the entry at `idx`, materializing the chunk and
+    /// unsharing it (clone-on-first-write) as needed.
+    #[inline]
+    fn entry_mut(&mut self, idx: usize) -> &mut BlockEntry {
+        let chunk =
+            self.chunks[idx / BLK_CHUNK].get_or_insert_with(|| Arc::new([EMPTY_BLOCK; BLK_CHUNK]));
+        &mut Arc::make_mut(chunk)[idx % BLK_CHUNK]
+    }
+
     /// Whether block caching is enabled.
     pub fn enabled(&self) -> bool {
         self.enabled
@@ -304,6 +496,22 @@ impl BlockTable {
     pub fn set_enabled(&mut self, on: bool) {
         self.enabled = on;
         self.clear();
+    }
+
+    /// Switches between shared snapshots (the default) and the private
+    /// reference mode; see [`Predecode::set_private`].
+    pub fn set_private(&mut self, on: bool) {
+        self.private = on;
+        if on {
+            for c in self.chunks.iter_mut().flatten() {
+                Arc::make_mut(c);
+            }
+        }
+    }
+
+    /// Whether the table is in the private reference mode.
+    pub fn is_private(&self) -> bool {
+        self.private
     }
 
     /// Current flush generation (see the field docs).
@@ -318,16 +526,16 @@ impl BlockTable {
     #[inline]
     pub fn probe(&mut self, start: u32) -> Result<usize, bool> {
         let idx = Self::index(start);
-        let e = &self.entries[idx];
-        if e.tag == start {
-            if e.len == 0 {
-                Err(true)
-            } else {
-                self.stats.hits += 1;
-                Ok(idx)
+        match self.entry(idx) {
+            Some(e) if e.tag == start => {
+                if e.len == 0 {
+                    Err(true)
+                } else {
+                    self.stats.hits += 1;
+                    Ok(idx)
+                }
             }
-        } else {
-            Err(false)
+            _ => Err(false),
         }
     }
 
@@ -353,7 +561,7 @@ impl BlockTable {
             }
             line += 1;
         }
-        self.entries[idx] = BlockEntry {
+        *self.entry_mut(idx) = BlockEntry {
             tag: start,
             last_cf,
             len: ops.len() as u32,
@@ -365,7 +573,7 @@ impl BlockTable {
     /// The `(start, len, last_cf)` header of the block at `idx`.
     #[inline(always)]
     pub fn head(&self, idx: usize) -> (u32, u32, bool) {
-        let e = &self.entries[idx];
+        let e = self.entry(idx).expect("block chunk resident");
         (e.tag, e.len, e.last_cf)
     }
 
@@ -374,9 +582,11 @@ impl BlockTable {
     /// indexing, and lazily-learned grant memos are written straight
     /// into the ops), then returns it with [`BlockTable::put_ops`]. The
     /// entry's header stays live, so precise invalidation keeps working
-    /// while the vector is out.
+    /// while the vector is out. The checkout is a table write, so on a
+    /// freshly forked device the first dispatch from a shared chunk
+    /// unshares it — after which the checkout is a plain `mem::take`.
     pub fn take_ops(&mut self, idx: usize) -> Vec<MicroOp> {
-        std::mem::take(&mut self.entries[idx].ops)
+        std::mem::take(&mut self.entry_mut(idx).ops)
     }
 
     /// Returns a checked-out micro-op vector. Dropped instead if the
@@ -384,10 +594,11 @@ impl BlockTable {
     /// stale ops after an invalidation would defeat precise SMC
     /// flushing.
     pub fn put_ops(&mut self, idx: usize, start: u32, ops: Vec<MicroOp>) {
-        let e = &mut self.entries[idx];
-        if e.tag == start && e.len as usize == ops.len() && e.ops.is_empty() {
-            e.ops = ops;
+        match self.entry(idx) {
+            Some(e) if e.tag == start && e.len as usize == ops.len() && e.ops.is_empty() => {}
+            _ => return,
         }
+        self.entry_mut(idx).ops = ops;
     }
 
     /// Drops every cached block containing the word at `addr` — the
@@ -413,16 +624,23 @@ impl BlockTable {
         let mut flushed = false;
         let mut start = a.wrapping_sub(4 * (MAX_BLOCK_OPS as u32 - 1));
         loop {
-            let e = &mut self.entries[Self::index(start)];
-            if e.tag == start {
-                let end = start.wrapping_add(4 * e.len.max(1));
-                if a.wrapping_sub(start) < end.wrapping_sub(start) {
-                    e.tag = INVALID_TAG;
-                    e.len = 0;
-                    e.ops.clear();
-                    flushed = true;
-                    self.stats.flushes += 1;
+            let idx = Self::index(start);
+            // Read on the shared path; only a covering hit clones the
+            // chunk before flushing in it.
+            let covers = match self.entry(idx) {
+                Some(e) if e.tag == start => {
+                    let end = start.wrapping_add(4 * e.len.max(1));
+                    a.wrapping_sub(start) < end.wrapping_sub(start)
                 }
+                _ => false,
+            };
+            if covers {
+                let e = self.entry_mut(idx);
+                e.tag = INVALID_TAG;
+                e.len = 0;
+                e.ops.clear();
+                flushed = true;
+                self.stats.flushes += 1;
             }
             if start == a {
                 break;
@@ -434,12 +652,11 @@ impl BlockTable {
         }
     }
 
-    /// Flash-clears the whole table (host-side mutation, toggling).
+    /// Flash-clears the whole table (host-side mutation, toggling) by
+    /// dropping every chunk.
     pub fn clear(&mut self) {
-        for e in &mut self.entries {
-            e.tag = INVALID_TAG;
-            e.len = 0;
-            e.ops.clear();
+        for c in &mut self.chunks {
+            *c = None;
         }
         self.cover_lo = u32::MAX;
         self.cover_hi = 0;
@@ -462,6 +679,23 @@ impl BlockTable {
     pub fn len_histogram(&self) -> &Histogram {
         &self.len_hist
     }
+
+    /// Host-side bytes backing resident chunks (headers plus the ops
+    /// heap), amortized over sharers exactly like
+    /// [`Predecode::resident_bytes`]. Diagnostic only, never digested.
+    pub fn resident_bytes(&self) -> u64 {
+        self.chunks
+            .iter()
+            .flatten()
+            .map(|c| {
+                let heap: usize = c
+                    .iter()
+                    .map(|e| e.ops.capacity() * std::mem::size_of::<MicroOp>())
+                    .sum();
+                (std::mem::size_of::<BlkChunk>() + heap) as u64 / Arc::strong_count(c).max(1) as u64
+            })
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -477,6 +711,8 @@ mod tests {
         // Byte-granular invalidation covers the containing word.
         pd.invalidate(0x102);
         assert_eq!(pd.get(0x100), None);
+        let s = pd.stats();
+        assert_eq!((s.hits, s.misses, s.flushes), (1, 2, 1));
     }
 
     #[test]
@@ -498,5 +734,76 @@ mod tests {
         pd.clear();
         assert_eq!(pd.get(0x0), None);
         assert_eq!(pd.get(0x4), None);
+        assert_eq!(pd.resident_bytes(), 0, "clear releases every chunk");
+    }
+
+    #[test]
+    fn snapshot_shares_then_cow_unshares() {
+        let mut pd = Predecode::default();
+        pd.insert(0x100, 0xabcd, Instr::Nop, None);
+        let solo = pd.resident_bytes();
+        assert!(solo > 0);
+        let mut child = pd.clone();
+        // The one resident chunk is shared: each side reports half.
+        assert_eq!(pd.resident_bytes(), solo / 2);
+        assert_eq!(child.resident_bytes(), solo / 2);
+        // A child-side flush clones only the child's chunk; the parent
+        // keeps serving its entry from the original.
+        child.invalidate(0x100);
+        assert_eq!(child.get(0x100), None);
+        assert_eq!(pd.get(0x100), Some((0xabcd, Instr::Nop, None)));
+        assert_eq!(pd.resident_bytes(), solo, "parent chunk unshared again");
+    }
+
+    #[test]
+    fn private_mode_snapshots_deep_copy() {
+        let mut pd = Predecode::default();
+        pd.set_private(true);
+        pd.insert(0x100, 0xabcd, Instr::Nop, None);
+        let solo = pd.resident_bytes();
+        let child = pd.clone();
+        // No sharing in reference mode: both report the full chunk.
+        assert_eq!(pd.resident_bytes(), solo);
+        assert_eq!(child.resident_bytes(), solo);
+    }
+
+    fn one_block() -> Vec<MicroOp> {
+        vec![MicroOp {
+            word: 0,
+            instr: Instr::Nop,
+            pure: true,
+            run: 1,
+            run_cost: 1,
+            fetch: None,
+            data: None,
+        }]
+    }
+
+    #[test]
+    fn block_fork_flush_is_per_device() {
+        let mut bt = BlockTable::default();
+        let idx = bt.insert(0x100, one_block(), false);
+        let mut child = bt.clone();
+        assert!(bt.resident_bytes() > 0);
+        // Parent-side store flushes the parent's (freshly unshared)
+        // chunk only.
+        bt.invalidate(0x100);
+        assert!(matches!(bt.probe(0x100), Err(false)), "parent flushed");
+        assert_eq!(child.probe(0x100), Ok(idx), "child keeps the block");
+        assert_eq!(child.stats().flushes, 0);
+    }
+
+    #[test]
+    fn checkout_survives_sharing() {
+        let mut bt = BlockTable::default();
+        let idx = bt.insert(0x100, one_block(), false);
+        let mut child = bt.clone();
+        // Checking ops out of the child unshares its chunk; the parent's
+        // entry still holds its own vector afterwards.
+        let ops = child.take_ops(idx);
+        assert_eq!(ops.len(), 1);
+        child.put_ops(idx, 0x100, ops);
+        assert_eq!(bt.probe(0x100), Ok(idx));
+        assert_eq!(bt.take_ops(idx).len(), 1, "parent ops intact");
     }
 }

@@ -334,3 +334,140 @@ fn smc_after_fork_is_private_and_re_decoded() {
     ));
     assert_eq!(child2.run(10), RunExit::StepLimit, "fork isolated");
 }
+
+// ---------------------------------------------------------------------
+// Arc-shared code caches across forks: `snapshot()` Arc-bumps the
+// chunked predecode/superblock tables, so a patch on either side must
+// clone only the touched chunk. Flush counters stay per-device and the
+// other side keeps dispatching its original cached block.
+// ---------------------------------------------------------------------
+
+#[test]
+fn shared_block_parent_patch_keeps_child_on_original_bytes() {
+    let mut parent = warmed_loop_machine();
+    let mut child = parent.snapshot().expect("machine snapshots");
+    let child0 = child.sys.block_stats();
+    // Parent patches its cached loop body: its covering block flushes,
+    // rebuilds, and the new semantics win on the parent only.
+    let f0 = parent.sys.block_stats().flushes;
+    parent
+        .sys
+        .hw_write32(
+            SRAM,
+            encode(Instr::Movi {
+                rd: Reg::R2,
+                imm: 99,
+            }),
+        )
+        .unwrap();
+    assert_eq!(parent.sys.block_stats().flushes, f0 + 1);
+    assert_eq!(parent.run(50), RunExit::StepLimit);
+    assert_eq!(parent.regs.get(Reg::R2), 99);
+    // The child's table still holds the original block: no flush leaked
+    // across the Arc, and the original semantics keep executing.
+    assert_eq!(
+        child.sys.block_stats(),
+        child0,
+        "parent-side flush must stay per-device"
+    );
+    assert_eq!(child.run(50), RunExit::StepLimit);
+    assert_eq!(child.regs.get(Reg::R2), 1, "child executes original bytes");
+}
+
+#[test]
+fn shared_block_child_patch_keeps_parent_on_original_bytes() {
+    let mut parent = warmed_loop_machine();
+    let mut child = parent.snapshot().expect("machine snapshots");
+    let parent0 = parent.sys.block_stats();
+    // Child patches the second loop word; its chunk is cloned on write.
+    child
+        .sys
+        .hw_write32(
+            SRAM + 4,
+            encode(Instr::Movi {
+                rd: Reg::R3,
+                imm: 88,
+            }),
+        )
+        .unwrap();
+    assert_eq!(child.run(50), RunExit::StepLimit);
+    assert_eq!(child.regs.get(Reg::R3), 88);
+    assert_eq!(
+        parent.sys.block_stats(),
+        parent0,
+        "child-side flush must stay per-device"
+    );
+    assert_eq!(parent.run(50), RunExit::StepLimit);
+    assert_eq!(
+        parent.regs.get(Reg::R3),
+        2,
+        "parent executes original bytes"
+    );
+}
+
+#[test]
+fn fork_shares_code_cache_footprint() {
+    let parent = warmed_loop_machine();
+    let before = parent.sys.code_cache_bytes();
+    assert!(before > 0, "warm tables must be resident");
+    let mut child = parent.snapshot().expect("machine snapshots");
+    // Resident accounting amortizes each chunk over its sharers, so the
+    // fork adds (almost) nothing to the combined physical footprint.
+    let shared = parent.sys.code_cache_bytes() + child.sys.code_cache_bytes();
+    assert!(
+        shared <= before,
+        "fork must not duplicate resident chunks: {shared} > {before}"
+    );
+    // A child-side patch unshares exactly the touched chunks: the sum
+    // grows, but stays well under a full deep copy.
+    child
+        .sys
+        .hw_write32(
+            SRAM,
+            encode(Instr::Movi {
+                rd: Reg::R2,
+                imm: 7,
+            }),
+        )
+        .unwrap();
+    assert_eq!(child.run(50), RunExit::StepLimit);
+    let after = parent.sys.code_cache_bytes() + child.sys.code_cache_bytes();
+    assert!(after > shared, "clone-on-write must materialize the chunk");
+}
+
+#[test]
+fn private_mode_fork_behaves_identically_to_shared() {
+    // The `--private-code` reference mode deep-copies on snapshot but
+    // must be architecturally indistinguishable: same registers, same
+    // timing, same cache counters after an identical SMC sequence.
+    let mut parent = warmed_loop_machine();
+    let mut shared_child = parent.snapshot().expect("machine snapshots");
+    parent.sys.set_private_code_caches(true);
+    let mut private_child = parent.snapshot().expect("machine snapshots");
+    for c in [&mut shared_child, &mut private_child] {
+        c.sys
+            .hw_write32(
+                SRAM,
+                encode(Instr::Movi {
+                    rd: Reg::R2,
+                    imm: 42,
+                }),
+            )
+            .unwrap();
+        assert_eq!(c.run(50), RunExit::StepLimit);
+        assert_eq!(c.regs.get(Reg::R2), 42);
+    }
+    assert_eq!(shared_child.regs.gprs, private_child.regs.gprs);
+    assert_eq!(
+        (shared_child.cycles, shared_child.instret),
+        (private_child.cycles, private_child.instret)
+    );
+    assert_eq!(
+        shared_child.sys.block_stats(),
+        private_child.sys.block_stats()
+    );
+    assert_eq!(
+        shared_child.sys.predecode_stats(),
+        private_child.sys.predecode_stats()
+    );
+}

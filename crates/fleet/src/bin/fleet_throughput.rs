@@ -182,10 +182,11 @@ fn main() {
         &[64, 256, 1024]
     };
     println!(
-        "{:<9}{:>14}{:>15}{:>15}{:>18}",
-        "devices", "fork-boot ms", "ms/device", "fork us/dev", "resident KiB/dev"
+        "{:<9}{:>14}{:>15}{:>15}{:>18}{:>15}",
+        "devices", "fork-boot ms", "ms/device", "fork us/dev", "resident KiB/dev", "code B/dev"
     );
     let mut sweep_rows = String::new();
+    let mut sweep_fork_us: Vec<f64> = Vec::new();
     for &devices in sweep_sizes {
         let t0 = Instant::now();
         let fleet = Fleet::boot(FleetConfig {
@@ -201,9 +202,19 @@ fn main() {
             .map(|d| d.platform.resident_bytes())
             .sum();
         let resident_kib_per_dev = resident as f64 / 1024.0 / devices as f64;
+        // Arc-shared chunked code caches: retained-but-idle forks amortize
+        // to near zero physical bytes per device.
+        let code: u64 = fleet
+            .devices
+            .iter()
+            .map(|d| d.platform.code_cache_bytes())
+            .sum();
+        let code_per_dev = code as f64 / devices as f64;
         drop(fleet);
+        sweep_fork_us.push(fork_us);
         println!(
-            "{devices:<9}{boot_ms:>14.1}{:>15.3}{fork_us:>15.1}{resident_kib_per_dev:>18.1}",
+            "{devices:<9}{boot_ms:>14.1}{:>15.3}{fork_us:>15.1}{resident_kib_per_dev:>18.1}\
+             {code_per_dev:>15.0}",
             boot_ms / devices as f64
         );
         if !sweep_rows.is_empty() {
@@ -213,11 +224,38 @@ fn main() {
             sweep_rows,
             "    {{\"devices\": {devices}, \"fork_boot_ms\": {boot_ms:.2}, \
              \"ms_per_device\": {:.4}, \"fork_us_per_device\": {fork_us:.1}, \
-             \"resident_bytes_per_device\": {:.0}}}",
+             \"resident_bytes_per_device\": {:.0}, \
+             \"code_cache_bytes_per_device\": {code_per_dev:.0}}}",
             boot_ms / devices as f64,
             resident as f64 / devices as f64
         )
         .unwrap();
+    }
+
+    // Flat-fork gate: a fork is O(resident chunks) Arc bumps, so the
+    // per-device cost must not grow with the fleet — the largest sweep
+    // size may cost at most 2x the smallest. Timing at smoke sizes
+    // (tens of devices, microsecond totals) is dominated by scheduler
+    // noise, so in smoke mode the ratio is recorded but not asserted.
+    let fork_flat_ratio = sweep_fork_us.last().unwrap() / sweep_fork_us.first().unwrap().max(0.1);
+    let flat_gate_enforced = !smoke;
+    println!(
+        "flat-fork: {:.1} us/dev at {} devices vs {:.1} at {} ({fork_flat_ratio:.2}x)",
+        sweep_fork_us.last().unwrap(),
+        sweep_sizes.last().unwrap(),
+        sweep_fork_us.first().unwrap(),
+        sweep_sizes.first().unwrap(),
+    );
+    if flat_gate_enforced {
+        assert!(
+            fork_flat_ratio <= 2.0,
+            "fork cost must stay flat as the fleet grows: {:.1} us/dev at {} devices \
+             vs {:.1} at {} ({fork_flat_ratio:.2}x > 2x)",
+            sweep_fork_us.last().unwrap(),
+            sweep_sizes.last().unwrap(),
+            sweep_fork_us.first().unwrap(),
+            sweep_sizes.first().unwrap(),
+        );
     }
 
     // Snapshot/fork boot vs N full Secure Loader boots, always at 64
@@ -317,6 +355,8 @@ fn main() {
          \"fork_boot\": {{\"devices\": {fork_devices}, \"fork_ms\": {fork_ms:.2}, \
          \"full_ms\": {full_ms:.2}, \"speedup\": {fork_speedup:.2}, \
          \"fork_us_per_device\": {fork_us_per_device:.1}}},\n  \
+         \"fork_flat_ratio\": {fork_flat_ratio:.3},\n  \
+         \"fork_flat_gate_enforced\": {flat_gate_enforced},\n  \
          \"fork_sweep\": [\n{sweep_rows}\n  ],\n  \
          \"loader_check\": {{\"devices\": {loader_devices}, \"loader_runs\": {loader_runs}, \
          \"loader_reset_ops\": {reset_ops}}},\n  \

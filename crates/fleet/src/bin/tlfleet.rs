@@ -7,8 +7,8 @@
 //!         [--attest-every N] [--chaos SEED] [--fault-rate PM]
 //!         [--malicious PM] [--max-retries N] [--timeout-rounds N]
 //!         [--trace-level off|spans|full] [--trace-jsonl PATH]
-//!         [--chrome-trace PATH] [--dense-mem] [--digest] [--expect HEX]
-//!         [--json]
+//!         [--chrome-trace PATH] [--dense-mem] [--private-code]
+//!         [--digest] [--expect HEX] [--json]
 //! ```
 //!
 //! `--digest` prints only the aggregate digest (CI compares this across
@@ -23,8 +23,11 @@
 //! `trace_event` timeline with one lane per engine shard and per device.
 //! Either trace sink implies `--trace-level spans` unless a level was
 //! given explicitly. `--dense-mem` runs on dense (fully materialized,
-//! deep-copy) memory instead of the default sparse COW backing — the
-//! digest must not change (CI's `fork-identity` job compares the two).
+//! deep-copy) memory instead of the default sparse COW backing;
+//! `--private-code` forks private (deep-copied) predecode/superblock
+//! tables instead of the default `Arc`-shared code caches — in either
+//! case the digest must not change (CI's `fork-identity` job compares
+//! the reference modes against the default).
 
 use trustlite_chaos::ChaosConfig;
 use trustlite_fleet::{chrome_trace, trace_jsonl, Fleet, FleetConfig, TraceLevel};
@@ -37,8 +40,8 @@ fn usage() -> ! {
          \x20              [--attest-every N] [--chaos SEED] [--fault-rate PM]\n\
          \x20              [--malicious PM] [--max-retries N] [--timeout-rounds N]\n\
          \x20              [--trace-level off|spans|full] [--trace-jsonl PATH]\n\
-         \x20              [--chrome-trace PATH] [--dense-mem] [--digest] [--expect HEX]\n\
-         \x20              [--json]"
+         \x20              [--chrome-trace PATH] [--dense-mem] [--private-code]\n\
+         \x20              [--digest] [--expect HEX] [--json]"
     );
     std::process::exit(2);
 }
@@ -105,6 +108,7 @@ fn main() {
             "--trace-jsonl" => trace_path = Some(value(&mut i)),
             "--chrome-trace" => chrome_path = Some(value(&mut i)),
             "--dense-mem" => cfg.dense_mem = true,
+            "--private-code" => cfg.private_code = true,
             "--digest" => digest_only = true,
             "--expect" => expect = Some(value(&mut i)),
             "--json" => json = true,

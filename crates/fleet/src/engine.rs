@@ -66,6 +66,11 @@ pub struct FleetConfig {
     /// Reference mode for differential runs: digests must be
     /// byte-identical either way (CI's `fork-identity` job).
     pub dense_mem: bool,
+    /// Fork every device with private (deep-copied) predecode/superblock
+    /// tables instead of the default chunked `Arc`-shared code caches.
+    /// Reference mode for differential runs: digests must be
+    /// byte-identical either way (CI's `fork-identity` job).
+    pub private_code: bool,
 }
 
 impl Default for FleetConfig {
@@ -85,6 +90,7 @@ impl Default for FleetConfig {
             trace: TraceLevel::Off,
             flight_cap: DEFAULT_FLIGHT_CAP,
             dense_mem: false,
+            private_code: false,
         }
     }
 }
@@ -251,6 +257,9 @@ impl Fleet {
         let mut master = build_workload(&cfg.workload, cfg.level);
         if cfg.dense_mem {
             master.set_dense_memory(true)?;
+        }
+        if cfg.private_code {
+            master.set_private_code_caches(true);
         }
         let boot_report = master.machine.metrics_report();
         let expected = expected_measurements(&mut master)?;
@@ -576,9 +585,11 @@ impl Fleet {
         // the digest blob (dense and sparse backing must digest alike).
         let mut resident_bytes = 0u64;
         let mut addressable_bytes = 0u64;
+        let mut code_cache_bytes = 0u64;
         for dev in devices.iter_mut() {
             resident_bytes += dev.platform.resident_bytes();
             addressable_bytes += dev.platform.addressable_bytes();
+            code_cache_bytes += dev.platform.code_cache_bytes();
             let r = dev.platform.machine.metrics_report();
             merged.merge(&r);
             merged.merge(&dev.accum);
@@ -642,7 +653,9 @@ impl Fleet {
             fork_us_per_device,
             resident_bytes,
             addressable_bytes,
+            code_cache_bytes,
             dense_mem: cfg.dense_mem,
+            private_code: cfg.private_code,
             digest: sha256(&digest_blob),
         }
     }

@@ -88,8 +88,17 @@ pub struct FleetReport {
     pub resident_bytes: u64,
     /// Addressable bytes summed over all devices.
     pub addressable_bytes: u64,
+    /// Host-side bytes backing the predecode/superblock code caches,
+    /// summed over all devices with each `Arc`-shared chunk amortized
+    /// over its sharers (so the sum reflects physical allocation, not
+    /// per-device table size). Host-side diagnostics; never part of
+    /// `digest`.
+    pub code_cache_bytes: u64,
     /// Whether the run used dense (reference) memory backing.
     pub dense_mem: bool,
+    /// Whether the run used private (reference, deep-copied) code
+    /// caches instead of the default `Arc`-shared chunked tables.
+    pub private_code: bool,
     /// Order-independent digest over every device's final architectural
     /// state plus the merged aggregates; bit-identical across worker
     /// counts.
@@ -163,8 +172,8 @@ impl FleetReport {
             "{{\n  \"devices\": {}, \"workers\": {}, \"rounds\": {}, \"quantum\": {},\n  \
              \"seed\": {}, \"workload\": \"{}\",\n  \
              \"trace_level\": \"{}\", \"chaos\": {}, \"spans\": {}, \"flight_dumps\": {},\n  \
-             \"dense_mem\": {}, \"fork_us_per_device\": {:.3},\n  \
-             \"resident_bytes\": {}, \"addressable_bytes\": {},\n  \
+             \"dense_mem\": {}, \"private_code\": {}, \"fork_us_per_device\": {:.3},\n  \
+             \"resident_bytes\": {}, \"addressable_bytes\": {}, \"code_cache_bytes\": {},\n  \
              \"total_instret\": {}, \"total_cycles\": {},\n  \
              \"attest_ok\": {}, \"attest_fail\": {},\n  \
              \"healthy\": {}, \"retrying\": {}, \"quarantined\": {},\n  \
@@ -183,9 +192,11 @@ impl FleetReport {
             self.spans.len(),
             self.flight_dumps.len(),
             self.dense_mem,
+            self.private_code,
             self.fork_us_per_device,
             self.resident_bytes,
             self.addressable_bytes,
+            self.code_cache_bytes,
             self.total_instret,
             self.total_cycles,
             self.attest_ok,
@@ -218,8 +229,9 @@ impl FleetReport {
     }
 
     /// One machine-greppable memory-footprint line (`memory: R resident
-    /// / A addressable bytes (P%, sparse|dense), fork F us/device`),
-    /// used by the CLI and CI. Host-side only; never digested.
+    /// / A addressable bytes (P%, sparse|dense), code cache C bytes
+    /// (shared|private), fork F us/device`), used by the CLI and CI.
+    /// Host-side only; never digested.
     pub fn memory_line(&self) -> String {
         let pct = if self.addressable_bytes > 0 {
             100.0 * self.resident_bytes as f64 / self.addressable_bytes as f64
@@ -227,11 +239,18 @@ impl FleetReport {
             0.0
         };
         format!(
-            "memory: {} resident / {} addressable bytes ({:.1}%, {}), fork {:.1} us/device",
+            "memory: {} resident / {} addressable bytes ({:.1}%, {}), \
+             code cache {} bytes ({}), fork {:.1} us/device",
             self.resident_bytes,
             self.addressable_bytes,
             pct,
             if self.dense_mem { "dense" } else { "sparse" },
+            self.code_cache_bytes,
+            if self.private_code {
+                "private"
+            } else {
+                "shared"
+            },
             self.fork_us_per_device,
         )
     }

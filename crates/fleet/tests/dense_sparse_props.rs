@@ -3,7 +3,9 @@
 //! dense memory must produce byte-identical digests, counters and health
 //! at every capture level, worker count, and chaos on/off — while the
 //! host-side footprint fields (the only place backing is allowed to
-//! show) differ exactly as designed.
+//! show) differ exactly as designed. The same contract holds for the
+//! `Arc`-shared code caches against their private (deep-copied)
+//! reference mode.
 
 use proptest::prelude::*;
 use trustlite_chaos::ChaosConfig;
@@ -13,6 +15,16 @@ use trustlite_obs::ObsLevel;
 fn run(cfg: &FleetConfig, dense_mem: bool, workers: usize) -> FleetReport {
     Fleet::boot(FleetConfig {
         dense_mem,
+        workers,
+        ..cfg.clone()
+    })
+    .expect("boot")
+    .run()
+}
+
+fn run_code(cfg: &FleetConfig, private_code: bool, workers: usize) -> FleetReport {
+    Fleet::boot(FleetConfig {
+        private_code,
         workers,
         ..cfg.clone()
     })
@@ -71,6 +83,48 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+    #[test]
+    fn shared_and_private_code_caches_digest_identically(
+        seed in 1u64..1_000_000,
+        devices in 3usize..6,
+        rounds in 2u64..5,
+        level_ix in 0usize..4,
+        chaos_on in any::<bool>(),
+    ) {
+        let level = [ObsLevel::Off, ObsLevel::Metrics, ObsLevel::Events, ObsLevel::Full]
+            [level_ix];
+        let cfg = FleetConfig {
+            devices,
+            rounds,
+            quantum: 1_500,
+            seed,
+            level,
+            attest_every: 1,
+            chaos: if chaos_on {
+                ChaosConfig { seed: seed ^ 0xc0c0, fault_rate_pm: 700, malicious_pm: 300 }
+            } else {
+                ChaosConfig::off()
+            },
+            ..FleetConfig::default()
+        };
+        let shared = run_code(&cfg, false, 1);
+        for workers in [1usize, 4] {
+            let private = run_code(&cfg, true, workers);
+            prop_assert_eq!(
+                &private.digest, &shared.digest,
+                "code-cache sharing leaked into the digest at level {:?}, {} workers, chaos {}",
+                level, workers, chaos_on
+            );
+            prop_assert_eq!(&private.merged.counters, &shared.merged.counters);
+            prop_assert_eq!(&private.merged.attribution, &shared.merged.attribution);
+            prop_assert_eq!(&private.health, &shared.health);
+            prop_assert_eq!(private.total_instret, shared.total_instret);
+        }
+    }
+}
+
 /// The footprint fields themselves must never enter the digest: two runs
 /// differing only in backing agree on the digest even though
 /// resident_bytes differ by an order of magnitude.
@@ -90,4 +144,13 @@ fn footprint_fields_stay_out_of_the_digest() {
     assert!(!sparse.dense_mem);
     assert!(dense.dense_mem);
     assert!(sparse.fork_us_per_device > 0.0);
+    // Code-cache footprint follows the same rules: reported, positive,
+    // never digested, and the shared mode must be cheaper than running
+    // every device on its own private tables.
+    let private = run_code(&cfg, true, 1);
+    assert_eq!(private.digest, sparse.digest);
+    assert!(!sparse.private_code);
+    assert!(private.private_code);
+    assert!(sparse.code_cache_bytes > 0);
+    assert!(private.code_cache_bytes > 0);
 }
