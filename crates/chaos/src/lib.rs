@@ -66,6 +66,35 @@ pub enum RoundFault {
     },
 }
 
+/// One fault scheduled inside a device's firmware-update window. The
+/// plan emits these for every `(device, round)` cell, but the fleet
+/// engine consults them only in rounds where the update campaign
+/// actually performs the matching action on that device — faults land in
+/// the adversarial window between staging and commit (the MVAM-style
+/// "tamper during a trust operation" scenario).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateFault {
+    /// Flip one bit of the *staged* image after it is written (staging
+    /// lives in untrusted bulk memory). `select` is an abstract byte
+    /// selector the engine reduces modulo the staged length.
+    StagedBitFlip {
+        /// Raw byte selector (engine maps it into the staged image).
+        select: u64,
+        /// Bit position within the byte (0..8).
+        bit: u8,
+    },
+    /// The device crashes (warm reset) after the staged image is written
+    /// but before the commit gate runs — the retained boot log is all
+    /// the next boot has to go on.
+    CrashBeforeCommit,
+    /// The device crashes while the Secure Loader is re-measuring the
+    /// staged image, burning one boot attempt.
+    CrashDuringRemeasure,
+    /// The staged version word is replayed to the last committed version
+    /// (a stale-update replay) — anti-rollback must reject it.
+    StaleVersionReplay,
+}
+
 /// Fault-plan knobs. `ChaosConfig::off()` (the default) disables every
 /// injection; the fleet engine's honest path must be byte-identical
 /// with chaos compiled in but off.
@@ -130,6 +159,9 @@ const SALT_ROLE: u64 = 0x524f_4c45_0000_0001;
 const SALT_FAULT: u64 = 0x4641_554c_0000_0003;
 const SALT_KIND: u64 = 0x4b49_4e44_0000_0005;
 const SALT_ARG: u64 = 0x4152_4755_0000_0007;
+const SALT_UPD_FAULT: u64 = 0x5550_4446_0000_0009;
+const SALT_UPD_KIND: u64 = 0x5550_444b_0000_000b;
+const SALT_UPD_ARG: u64 = 0x5550_4441_0000_000d;
 
 fn splitmix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -225,6 +257,51 @@ impl FaultPlan {
             _ => RoundFault::CrashReset { at: arg },
         })
     }
+
+    /// The update-window fault (if any) scheduled for `(device, round)`.
+    /// Gated by the same `fault_rate_pm` knob as [`FaultPlan::round_fault`]
+    /// but drawn under independent salts, so the update schedule never
+    /// correlates with the transient-fault schedule. Only meaningful in
+    /// rounds where the campaign acts on the device; the engine ignores
+    /// the rest.
+    pub fn update_fault(&self, fleet_seed: u64, device: u32, round: u64) -> Option<UpdateFault> {
+        if self.cfg.fault_rate_pm == 0 {
+            return None;
+        }
+        let cell = [
+            SALT_UPD_FAULT,
+            self.cfg.seed,
+            fleet_seed,
+            u64::from(device),
+            round,
+        ];
+        if mix(&cell) % PER_MILLE >= self.cfg.fault_rate_pm {
+            return None;
+        }
+        let kind = mix(&[
+            SALT_UPD_KIND,
+            self.cfg.seed,
+            fleet_seed,
+            u64::from(device),
+            round,
+        ]);
+        let arg = mix(&[
+            SALT_UPD_ARG,
+            self.cfg.seed,
+            fleet_seed,
+            u64::from(device),
+            round,
+        ]);
+        Some(match kind % 4 {
+            0 => UpdateFault::StagedBitFlip {
+                select: arg,
+                bit: (arg >> 56) as u8 & 7,
+            },
+            1 => UpdateFault::CrashBeforeCommit,
+            2 => UpdateFault::CrashDuringRemeasure,
+            _ => UpdateFault::StaleVersionReplay,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -239,6 +316,7 @@ mod tests {
             assert_eq!(plan.role(7, device), DeviceRole::Honest);
             for round in 0..16 {
                 assert_eq!(plan.round_fault(7, device, round), None);
+                assert_eq!(plan.update_fault(7, device, round), None);
             }
         }
     }
@@ -253,6 +331,10 @@ mod tests {
                 assert_eq!(
                     a.round_fault(9, device, round),
                     b.round_fault(9, device, round)
+                );
+                assert_eq!(
+                    a.update_fault(9, device, round),
+                    b.update_fault(9, device, round)
                 );
             }
         }
@@ -346,6 +428,48 @@ mod tests {
             }
         }
         assert_eq!(kinds, [true; 5], "all five fault kinds must occur");
+    }
+
+    #[test]
+    fn every_update_fault_kind_is_reachable() {
+        let plan = FaultPlan::new(ChaosConfig {
+            seed: 3,
+            fault_rate_pm: 1000,
+            malicious_pm: 0,
+        });
+        let mut kinds = [false; 4];
+        for d in 0..32u32 {
+            for r in 0..32u64 {
+                match plan.update_fault(1, d, r) {
+                    Some(UpdateFault::StagedBitFlip { bit, .. }) => {
+                        assert!(bit < 8);
+                        kinds[0] = true;
+                    }
+                    Some(UpdateFault::CrashBeforeCommit) => kinds[1] = true,
+                    Some(UpdateFault::CrashDuringRemeasure) => kinds[2] = true,
+                    Some(UpdateFault::StaleVersionReplay) => kinds[3] = true,
+                    None => {}
+                }
+            }
+        }
+        assert_eq!(kinds, [true; 4], "all four update-fault kinds must occur");
+    }
+
+    #[test]
+    fn update_schedule_is_independent_of_the_transient_schedule() {
+        let plan = FaultPlan::new(ChaosConfig {
+            seed: 5,
+            fault_rate_pm: 500,
+            malicious_pm: 0,
+        });
+        // At 500‰ each, a correlated pair of draws would agree on
+        // presence everywhere; independent ones must disagree somewhere.
+        let differs = (0..64).any(|d| {
+            (0..8).any(|r| {
+                plan.round_fault(1, d, r).is_some() != plan.update_fault(1, d, r).is_some()
+            })
+        });
+        assert!(differs, "update faults must be drawn under their own salt");
     }
 
     #[test]

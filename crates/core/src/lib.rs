@@ -62,6 +62,7 @@ pub mod platform;
 pub mod prom;
 pub mod runtime;
 pub mod spec;
+pub mod update;
 
 pub use audit::{audit, PolicyAudit};
 pub use error::TrustliteError;

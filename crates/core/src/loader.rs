@@ -70,6 +70,12 @@ pub struct LoaderReport {
     /// Rough cycle estimate of the boot flow (copies + register writes +
     /// measurement absorption at one word per cycle).
     pub estimated_cycles: u64,
+    /// Trustlets booted from the staged (B) slot this run.
+    pub staged_boots: Vec<String>,
+    /// Rollback verdicts recorded this run (trustlet name, verdict):
+    /// the retained update block rejected the staged image and the
+    /// loader fell back to the PROM (A) slot.
+    pub rollbacks: Vec<(String, crate::update::BootVerdict)>,
 }
 
 /// The number of words in the fabricated initial resume frame (mirrors
@@ -129,13 +135,42 @@ pub fn run(
             }
         }
 
-        // Step 2b: copy the program image from PROM into its SRAM region.
-        for (i, chunk) in entry.code.chunks(4).enumerate() {
+        // Step 2a': A/B slot decision — consult the retained update
+        // block (if any) and validate the staged image; any doubt falls
+        // back to the PROM image authenticated above, so a device can
+        // never end up without a bootable slot.
+        let choice = crate::update::boot_decision(
+            &mut machine.sys,
+            plan.tt_index,
+            &entry.code,
+            plan.code_size,
+        );
+        if choice.staged {
+            report.staged_boots.push(plan.name.clone());
+        }
+        if let Some(v) = choice.rollback {
+            report.rollbacks.push((plan.name.clone(), v));
+        }
+
+        // Step 2b: copy the chosen image into its SRAM region. With an
+        // update block in play the rest of the region is zero-filled so
+        // a slot switch never leaves bytes of the other image behind
+        // (the measurement covers the zero-padded region).
+        let copy_words = if choice.update_active {
+            plan.code_size.div_ceil(4) as usize
+        } else {
+            choice.code.len().div_ceil(4)
+        };
+        for i in 0..copy_words {
             let mut w = [0u8; 4];
-            w[..chunk.len()].copy_from_slice(chunk);
+            let at = 4 * i;
+            if at < choice.code.len() {
+                let chunk = &choice.code[at..choice.code.len().min(at + 4)];
+                w[..chunk.len()].copy_from_slice(chunk);
+            }
             machine
                 .sys
-                .hw_write32(entry.dst_base + 4 * i as u32, u32::from_le_bytes(w))
+                .hw_write32(entry.dst_base + at as u32, u32::from_le_bytes(w))
                 .map_err(|e| TrustliteError::BadFirmware(e.to_string()))?;
             report.words_copied += 1;
         }
@@ -160,7 +195,7 @@ pub fn run(
         // whole protection region is measured (image zero-padded), so any
         // party that can read the region can recompute the digest.
         if entry.measured {
-            let digest = crate::attest::measure_region(&entry.code, plan.code_size);
+            let digest = crate::attest::measure_region(&choice.code, plan.code_size);
             for (i, chunk) in digest.chunks(4).enumerate() {
                 let w = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
                 machine
@@ -168,7 +203,7 @@ pub fn run(
                     .hw_write32(plan.measure_slot + 4 * i as u32, w)
                     .map_err(|e| TrustliteError::BadFirmware(e.to_string()))?;
             }
-            report.measured_bytes += entry.code.len() as u64;
+            report.measured_bytes += choice.code.len() as u64;
         }
 
         // Populate the Trustlet Table row.
@@ -269,6 +304,19 @@ pub fn run(
             t += ops.max(1);
         }
         obs.metrics.inc("loader.runs");
+        // Update-slot accounting (emitted only when an update was in
+        // play, so plain boots keep their exact counter set).
+        if !report.staged_boots.is_empty() {
+            obs.metrics
+                .add("loader.staged_boots", report.staged_boots.len() as u64);
+        }
+        if !report.rollbacks.is_empty() {
+            obs.metrics
+                .add("loader.rollbacks", report.rollbacks.len() as u64);
+            for (_, v) in &report.rollbacks {
+                obs.metrics.inc(&format!("loader.rollback.{}", v.label()));
+            }
+        }
         obs.metrics
             .observe("loader.estimated_cycles", report.estimated_cycles);
     }

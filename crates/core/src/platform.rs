@@ -301,6 +301,14 @@ impl PlatformBuilder {
         let mut bus = Bus::new();
         bus.map(map::PROM_BASE, Box::new(Rom::new(map::PROM_SIZE)))?;
         bus.map(map::SRAM_BASE, Box::new(Ram::new("sram", self.sram_size)))?;
+        // Retained RAM: survives warm resets (Platform::reset never
+        // touches memory), zeroed only here at cold boot. No MPU rule is
+        // ever programmed for it, so software cannot reach it — only the
+        // Secure Loader and the host, via the hardware access paths.
+        bus.map(
+            map::RETRAM_BASE,
+            Box::new(Ram::new("retram", map::RETRAM_SIZE)),
+        )?;
         bus.map(map::DRAM_BASE, Box::new(Ram::new("dram", map::DRAM_SIZE)))?;
         bus.map(map::TIMER_MMIO_BASE, Box::new(Timer::new(TIMER_IRQ_LINE)))?;
         let uart = match self.uart_irq_line {
@@ -504,6 +512,9 @@ impl Platform {
         bus.device_mut::<Ram>("sram")
             .ok_or(TrustliteError::Snapshot("sram"))?
             .set_dense(dense);
+        bus.device_mut::<Ram>("retram")
+            .ok_or(TrustliteError::Snapshot("retram"))?
+            .set_dense(dense);
         bus.device_mut::<Ram>("dram")
             .ok_or(TrustliteError::Snapshot("dram"))?
             .set_dense(dense);
@@ -617,6 +628,124 @@ impl Platform {
             .sys
             .hw_write32(slot, word ^ 1)
             .map_err(|e| TrustliteError::BadFirmware(e.to_string()))?;
+        Ok(())
+    }
+
+    /// Stages a new image (slot B) for trustlet `name`: writes the
+    /// bytes into the trustlet's DRAM staging area and arms the
+    /// retained update block (state `Written`, CRC-32 guard, monotonic
+    /// version word, attempt counter cleared). Takes effect at the next
+    /// warm reset, when the Secure Loader consults the block; the
+    /// anti-rollback floor and retained boot log survive restaging.
+    pub fn stage_update(
+        &mut self,
+        name: &str,
+        code: &[u8],
+        version: u32,
+    ) -> Result<(), TrustliteError> {
+        let plan = self.plan(name)?;
+        let (tt, code_size) = (plan.tt_index, plan.code_size);
+        if code.is_empty() {
+            return Err(TrustliteError::BadFirmware(format!(
+                "empty staged image for `{name}`"
+            )));
+        }
+        if code.len() as u32 > code_size || code.len() as u32 > crate::update::STAGING_STRIDE {
+            return Err(TrustliteError::ImageTooLarge {
+                name: name.to_string(),
+                reserved: code_size,
+                actual: code.len() as u32,
+            });
+        }
+        crate::update::write_staged(&mut self.machine.sys, tt, code);
+        let mut block = crate::update::read_block(&mut self.machine.sys, tt).unwrap_or_default();
+        block.state = crate::update::SlotState::Written;
+        block.version = version;
+        block.staged_len = code.len() as u32;
+        block.staged_crc = trustlite_crypto::crc32(code);
+        block.attempts = 0;
+        crate::update::write_block(&mut self.machine.sys, tt, &block);
+        Ok(())
+    }
+
+    /// Commits the staged image: state `Confirmed`, the anti-rollback
+    /// floor raised to its version (monotonic — never lowered), the
+    /// attempt counter cleared, and a `committed` entry retained in the
+    /// boot log. The orchestrator calls this only after the commit gate
+    /// (an *attested* re-measurement of the rebooted device) passed.
+    pub fn confirm_update(&mut self, name: &str) -> Result<(), TrustliteError> {
+        let tt = self.plan(name)?.tt_index;
+        let mut block = crate::update::read_block(&mut self.machine.sys, tt)
+            .ok_or_else(|| TrustliteError::BadFirmware(format!("no update block for `{name}`")))?;
+        block.state = crate::update::SlotState::Confirmed;
+        block.rollback_min = block.rollback_min.max(block.version);
+        let attempts = block.attempts;
+        block.attempts = 0;
+        block.push_log(1, crate::update::BootVerdict::Committed, attempts);
+        crate::update::write_block(&mut self.machine.sys, tt, &block);
+        Ok(())
+    }
+
+    /// Abandons an in-flight update: state `RolledBack` with a
+    /// `forced_rollback` log entry, so the next reset boots slot A. The
+    /// orchestrator uses this when the commit gate keeps failing.
+    pub fn abandon_update(&mut self, name: &str) -> Result<(), TrustliteError> {
+        let tt = self.plan(name)?.tt_index;
+        let mut block = crate::update::read_block(&mut self.machine.sys, tt)
+            .ok_or_else(|| TrustliteError::BadFirmware(format!("no update block for `{name}`")))?;
+        block.state = crate::update::SlotState::RolledBack;
+        let attempts = block.attempts;
+        block.push_log(0, crate::update::BootVerdict::ForcedRollback, attempts);
+        crate::update::write_block(&mut self.machine.sys, tt, &block);
+        Ok(())
+    }
+
+    /// Reads trustlet `name`'s retained update block (`None` when no
+    /// valid block exists — cold state or guard-CRC failure).
+    pub fn update_block(
+        &mut self,
+        name: &str,
+    ) -> Result<Option<crate::update::UpdateBlock>, TrustliteError> {
+        let tt = self.plan(name)?.tt_index;
+        Ok(crate::update::read_block(&mut self.machine.sys, tt))
+    }
+
+    /// Fault-injection hook: flips bit `bit` of byte `offset` of the
+    /// *staged* image in DRAM without touching the recorded CRC —
+    /// modeling decay or an attack on untrusted bulk memory during the
+    /// update window. The next boot's CRC check must reject the slot.
+    pub fn corrupt_staged(
+        &mut self,
+        name: &str,
+        offset: u32,
+        bit: u8,
+    ) -> Result<(), TrustliteError> {
+        let tt = self.plan(name)?.tt_index;
+        let addr = crate::update::staging_base(tt) + (offset & !3);
+        let word = self
+            .machine
+            .sys
+            .hw_read32(addr)
+            .map_err(|e| TrustliteError::BadFirmware(e.to_string()))?;
+        let flipped = word ^ (1u32 << (8 * (offset & 3) + u32::from(bit & 7)));
+        self.machine
+            .sys
+            .hw_write32(addr, flipped)
+            .map_err(|e| TrustliteError::BadFirmware(e.to_string()))?;
+        Ok(())
+    }
+
+    /// Fault-injection hook: replays the staged version word back to
+    /// the anti-rollback floor (a well-formed but stale update blob, as
+    /// a replay adversary would ship). The block's guard CRC is
+    /// recomputed — the *content* is valid; only anti-rollback can
+    /// reject it at the next boot.
+    pub fn replay_stale_version(&mut self, name: &str) -> Result<(), TrustliteError> {
+        let tt = self.plan(name)?.tt_index;
+        let mut block = crate::update::read_block(&mut self.machine.sys, tt)
+            .ok_or_else(|| TrustliteError::BadFirmware(format!("no update block for `{name}`")))?;
+        block.version = block.rollback_min;
+        crate::update::write_block(&mut self.machine.sys, tt, &block);
         Ok(())
     }
 

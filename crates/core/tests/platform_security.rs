@@ -493,6 +493,103 @@ fn field_update_allows_designated_updater_only() {
 }
 
 #[test]
+fn code_writable_grant_stops_exactly_at_the_region_end() {
+    let mut b = PlatformBuilder::new();
+    let plan_target = b.plan_trustlet("target", 0x200, 0x80, 0x80);
+    let plan_updater = b.plan_trustlet("updater", 0x200, 0x80, 0x80);
+
+    let mut t = plan_target.begin_program();
+    t.asm.label("main");
+    t.asm.halt();
+    b.add_trustlet(
+        &plan_target,
+        t.finish().unwrap(),
+        TrustletOptions {
+            code_writable_by: Some("updater".into()),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    // The updater writes the LAST word of the grant, then the word one
+    // past the end. The first store must land; the second must fault.
+    let last_word = plan_target.code_end() - 4;
+    let one_past = plan_target.code_end();
+    let mut u = plan_updater.begin_program();
+    u.asm.label("main");
+    u.asm.li(Reg::R1, last_word);
+    u.asm.li(Reg::R0, 0xfeed_beef);
+    u.asm.sw(Reg::R1, 0, Reg::R0);
+    u.asm.li(Reg::R1, one_past);
+    u.asm.sw(Reg::R1, 0, Reg::R0); // MPU fault
+    u.asm.halt();
+    b.add_trustlet(
+        &plan_updater,
+        u.finish().unwrap(),
+        TrustletOptions::default(),
+    )
+    .unwrap();
+
+    let mut os = b.begin_os();
+    os.asm.label("main");
+    os.asm.halt();
+    os.asm.label("fault_handler");
+    os.asm.halt();
+    let os_img = os.finish().unwrap();
+    b.set_os(os_img, &[(vectors::VEC_MPU_FAULT, "fault_handler")]);
+    let mut p = b.build().unwrap();
+
+    let updater_ip = p.plan("updater").unwrap().code_base + 32;
+    let updater_slot = p
+        .machine
+        .sys
+        .mpu
+        .find_exec_region(updater_ip)
+        .expect("updater code region programmed");
+    let denials_before = p.machine.sys.mpu.slot_denials().to_vec();
+    let deny_before = p.machine.sys.mpu.deny_count();
+
+    p.start_trustlet("updater").unwrap();
+    let exit = p.run(1000);
+    assert!(
+        matches!(exit, RunExit::Halted(HaltReason::Halt { .. })),
+        "{exit:?}"
+    );
+
+    // The in-bounds patch landed; the out-of-bounds one faulted.
+    assert_eq!(p.machine.sys.hw_read32(last_word).unwrap(), 0xfeed_beef);
+    assert_eq!(
+        p.machine.exc_log.last().unwrap().vector,
+        vectors::VEC_MPU_FAULT
+    );
+    let fault = p.machine.sys.mpu.last_fault().expect("fault latched");
+    assert_eq!(fault.addr, one_past);
+
+    // Policy view agrees with what executed.
+    assert!(p
+        .machine
+        .sys
+        .mpu
+        .allows(updater_ip, last_word, AccessKind::Write));
+    assert!(!p
+        .machine
+        .sys
+        .mpu
+        .allows(updater_ip, one_past, AccessKind::Write));
+
+    // Exactly one denial, attributed to the updater's code slot.
+    assert_eq!(p.machine.sys.mpu.deny_count(), deny_before + 1);
+    let denials_after = p.machine.sys.mpu.slot_denials();
+    for (i, after) in denials_after.iter().enumerate() {
+        let expect = denials_before[i] + u64::from(i == updater_slot);
+        assert_eq!(
+            *after, expect,
+            "slot {i} denial counter (updater slot is {updater_slot})"
+        );
+    }
+}
+
+#[test]
 fn remote_attestation_round_trip() {
     let key = [0x42u8; 32];
     let mut b = PlatformBuilder::new();

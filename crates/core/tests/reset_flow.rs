@@ -5,8 +5,10 @@
 
 use trustlite::platform::PlatformBuilder;
 use trustlite::spec::TrustletOptions;
+use trustlite::update::{BootVerdict, SlotState, MAX_BOOT_ATTEMPTS};
 use trustlite_cpu::{vectors, HaltReason, RunExit};
 use trustlite_isa::Reg;
+use trustlite_mem::map;
 use trustlite_mpu::AccessKind;
 
 const SECRET: u32 = 0x0dd5_ecee;
@@ -111,6 +113,95 @@ fn exception_state_cleared_by_reset() {
     assert_eq!(p.machine.regs.ip, p.os.entry);
     // MPU write counter restarted (performance counters are per boot).
     assert_eq!(p.machine.sys.mpu.write_count(), p.report.mpu_writes);
+}
+
+/// The trustlet's factory image as the Secure Loader sees it in PROM.
+fn prom_image(p: &mut trustlite::Platform, id: u32) -> Vec<u8> {
+    let raw = p
+        .machine
+        .sys
+        .bus
+        .read_bytes(
+            map::PROM_BASE + trustlite::loader::FW_TABLE_OFF,
+            map::PROM_SIZE - trustlite::loader::FW_TABLE_OFF,
+        )
+        .unwrap();
+    trustlite::prom::parse(&raw)
+        .unwrap()
+        .into_iter()
+        .find(|e| e.id == id)
+        .expect("trustlet present in PROM")
+        .code
+}
+
+#[test]
+fn retained_boot_log_survives_warm_resets() {
+    let (mut p, plan) = build();
+    let baseline = p.measurement("keeper").unwrap();
+
+    // Stage a behaviour-identical patch: the factory image plus one
+    // appended, never-executed word — measurement-distinct, so slot
+    // switches are visible in the measurement table.
+    let mut patched = prom_image(&mut p, plan.id);
+    patched.extend_from_slice(&0x5542_00ed_u32.to_le_bytes());
+    p.stage_update("keeper", &patched, 7).unwrap();
+    let armed = p.update_block("keeper").unwrap().expect("block armed");
+    assert_eq!(armed.state, SlotState::Written);
+    assert_eq!(armed.attempts, 0, "no boot consumed the slot yet");
+
+    // First warm reset: the loader boots slot B, burns an attempt and
+    // records it in the retained log.
+    p.reset().unwrap();
+    let b1 = p
+        .update_block("keeper")
+        .unwrap()
+        .expect("retained block survives the warm reset");
+    assert_eq!(b1.state, SlotState::Written);
+    assert_eq!(b1.attempts, 1);
+    let last = *b1.log.last().unwrap();
+    assert_eq!(last.verdict, BootVerdict::StagedBoot);
+    assert_eq!(last.slot, 1, "slot B was tried");
+    assert_eq!(last.attempt, 1);
+    assert_eq!(
+        p.measurement("keeper").unwrap(),
+        trustlite::attest::measure_region(&patched, plan.code_size),
+        "the staged image is what got measured"
+    );
+    assert_ne!(p.measurement("keeper").unwrap(), baseline);
+
+    // The staged image is fully operational.
+    p.start_trustlet("keeper").unwrap();
+    p.run(10_000);
+    assert_eq!(p.machine.sys.hw_read32(plan.data_base).unwrap(), SECRET);
+
+    // Nobody confirms; the counter and the log keep counting across
+    // resets (continuity is the whole point of retained memory).
+    p.reset().unwrap();
+    let b2 = p.update_block("keeper").unwrap().unwrap();
+    assert_eq!(b2.attempts, 2);
+    assert_eq!(b2.log_total, b1.log_total + 1);
+
+    p.reset().unwrap();
+    assert_eq!(
+        p.update_block("keeper").unwrap().unwrap().attempts,
+        MAX_BOOT_ATTEMPTS
+    );
+
+    // The next boot finds the budget spent: rollback to slot A, with
+    // the verdict retained for the operator.
+    p.reset().unwrap();
+    let rolled = p.update_block("keeper").unwrap().unwrap();
+    assert_eq!(rolled.state, SlotState::RolledBack);
+    let verdict = *rolled.log.last().unwrap();
+    assert_eq!(verdict.verdict, BootVerdict::AttemptsExhausted);
+    assert_eq!(verdict.slot, 0, "slot A is what boots now");
+    assert_eq!(
+        p.measurement("keeper").unwrap(),
+        baseline,
+        "factory image measured again after rollback"
+    );
+    // The full trail survived every reset: 3 staged boots + rollback.
+    assert_eq!(rolled.log_total, 4);
 }
 
 #[test]

@@ -153,6 +153,8 @@ pub struct Machine {
     /// Cached `mpu.slot{i}.grants` metric names, built once per slot
     /// count instead of being formatted on every snapshot.
     slot_metric_names: Vec<String>,
+    /// Cached `mpu.slot{i}.denials` metric names, same lifecycle.
+    slot_denial_names: Vec<String>,
 }
 
 impl Machine {
@@ -175,6 +177,7 @@ impl Machine {
             pending_irqs: VecDeque::new(),
             pending_irq_mask: [0; 4],
             slot_metric_names: Vec::new(),
+            slot_denial_names: Vec::new(),
         }
     }
 
@@ -202,6 +205,7 @@ impl Machine {
             pending_irqs: self.pending_irqs.clone(),
             pending_irq_mask: self.pending_irq_mask,
             slot_metric_names: self.slot_metric_names.clone(),
+            slot_denial_names: self.slot_denial_names.clone(),
         })
     }
 
@@ -240,9 +244,13 @@ impl Machine {
         let denials = self.sys.mpu.deny_count();
         let writes = self.sys.mpu.write_count();
         let hits: Vec<u64> = self.sys.mpu.slot_hits().to_vec();
+        let slot_denials: Vec<u64> = self.sys.mpu.slot_denials().to_vec();
         if self.slot_metric_names.len() != hits.len() {
             self.slot_metric_names = (0..hits.len())
                 .map(|i| format!("mpu.slot{i}.grants"))
+                .collect();
+            self.slot_denial_names = (0..hits.len())
+                .map(|i| format!("mpu.slot{i}.denials"))
                 .collect();
         }
         let obs = &mut self.sys.obs;
@@ -254,6 +262,11 @@ impl Machine {
         for (i, h) in hits.iter().enumerate() {
             if *h > 0 {
                 obs.metrics.set(&self.slot_metric_names[i], *h);
+            }
+        }
+        for (i, d) in slot_denials.iter().enumerate() {
+            if *d > 0 {
+                obs.metrics.set(&self.slot_denial_names[i], *d);
             }
         }
         obs.metrics.set("obs.events_dropped", obs.ring.dropped());

@@ -1,0 +1,89 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//!
+//! Used as the integrity guard on the retained-memory update blocks and
+//! the staged firmware images: a CRC is the right tool there — it
+//! detects accidental corruption (bit flips in the staged image, torn
+//! writes across a crash) cheaply; authenticity is established
+//! separately by the Secure Loader's measurement and the attestation
+//! commit gate. Bitwise implementation, no tables, no external crates.
+
+/// One-shot CRC-32 over `data` (init `0xFFFF_FFFF`, final XOR-out).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(data);
+    crc.finish()
+}
+
+/// Incremental CRC-32.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Starts a fresh computation.
+    pub fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    /// Folds `data` into the running CRC.
+    pub fn update(&mut self, data: &[u8]) {
+        for &byte in data {
+            self.state ^= byte as u32;
+            for _ in 0..8 {
+                let mask = (self.state & 1).wrapping_neg();
+                self.state = (self.state >> 1) ^ (0xEDB8_8320 & mask);
+            }
+        }
+    }
+
+    /// Finishes and returns the CRC value.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data = b"retained boot log guard";
+        let mut inc = Crc32::new();
+        inc.update(&data[..7]);
+        inc.update(&data[7..]);
+        assert_eq!(inc.finish(), crc32(data));
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let base = b"staged image words".to_vec();
+        let good = crc32(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), good, "missed flip at {byte}:{bit}");
+            }
+        }
+    }
+}

@@ -14,15 +14,19 @@
 //! * [`hmac`] — HMAC-SHA-256 (RFC 2104),
 //! * [`rng`] — a deterministic, seedable xorshift generator for nonces in a
 //!   reproducible simulation,
+//! * [`crc`] — CRC-32 (IEEE) integrity guard for retained-memory blocks
+//!   and staged firmware images (corruption detection, not authenticity),
 //! * [`ct_eq`] — constant-time comparison for MAC verification.
 //!
 //! Everything is implemented from scratch; no external crates.
 
+pub mod crc;
 pub mod hmac;
 pub mod rng;
 pub mod sha256;
 pub mod sponge;
 
+pub use crc::{crc32, Crc32};
 pub use hmac::{hmac_sha256, Hmac};
 pub use rng::XorShift64;
 pub use sha256::{sha256, Sha256};

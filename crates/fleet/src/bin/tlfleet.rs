@@ -8,7 +8,8 @@
 //!         [--malicious PM] [--max-retries N] [--timeout-rounds N]
 //!         [--trace-level off|spans|full] [--trace-jsonl PATH]
 //!         [--chrome-trace PATH] [--dense-mem] [--private-code]
-//!         [--digest] [--expect HEX] [--json]
+//!         [--campaign] [--canary-pct N] [--failure-budget N]
+//!         [--rollback-report] [--digest] [--expect HEX] [--json]
 //! ```
 //!
 //! `--digest` prints only the aggregate digest (CI compares this across
@@ -28,9 +29,15 @@
 //! tables instead of the default `Arc`-shared code caches — in either
 //! case the digest must not change (CI's `fork-identity` job compares
 //! the reference modes against the default).
+//!
+//! `--campaign` runs a firmware-update campaign over the fleet: A/B
+//! slots, canary/ramp waves (`--canary-pct`, default 25), an attested
+//! re-measurement commit gate and a rollback circuit breaker
+//! (`--failure-budget`, default 8). `--rollback-report` additionally
+//! prints each device's campaign outcome and the update counters.
 
 use trustlite_chaos::ChaosConfig;
-use trustlite_fleet::{chrome_trace, trace_jsonl, Fleet, FleetConfig, TraceLevel};
+use trustlite_fleet::{chrome_trace, trace_jsonl, CampaignConfig, Fleet, FleetConfig, TraceLevel};
 use trustlite_obs::ObsLevel;
 
 fn usage() -> ! {
@@ -41,7 +48,8 @@ fn usage() -> ! {
          \x20              [--malicious PM] [--max-retries N] [--timeout-rounds N]\n\
          \x20              [--trace-level off|spans|full] [--trace-jsonl PATH]\n\
          \x20              [--chrome-trace PATH] [--dense-mem] [--private-code]\n\
-         \x20              [--digest] [--expect HEX] [--json]"
+         \x20              [--campaign] [--canary-pct N] [--failure-budget N]\n\
+         \x20              [--rollback-report] [--digest] [--expect HEX] [--json]"
     );
     std::process::exit(2);
 }
@@ -73,6 +81,10 @@ fn main() {
     let mut trace_level: Option<TraceLevel> = None;
     let mut trace_path: Option<String> = None;
     let mut chrome_path: Option<String> = None;
+    let mut campaign = false;
+    let mut canary_pct: Option<u32> = None;
+    let mut failure_budget: Option<u32> = None;
+    let mut rollback_report = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -109,6 +121,12 @@ fn main() {
             "--chrome-trace" => chrome_path = Some(value(&mut i)),
             "--dense-mem" => cfg.dense_mem = true,
             "--private-code" => cfg.private_code = true,
+            "--campaign" => campaign = true,
+            "--canary-pct" => canary_pct = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--failure-budget" => {
+                failure_budget = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--rollback-report" => rollback_report = true,
             "--digest" => digest_only = true,
             "--expect" => expect = Some(value(&mut i)),
             "--json" => json = true,
@@ -123,6 +141,16 @@ fn main() {
     if let Some(pm) = malicious {
         cfg.chaos.malicious_pm = pm.min(trustlite_chaos::PER_MILLE);
     }
+    if campaign || canary_pct.is_some() || failure_budget.is_some() {
+        let mut c = CampaignConfig::default();
+        if let Some(pct) = canary_pct {
+            c.canary_pct = pct.min(100);
+        }
+        if let Some(budget) = failure_budget {
+            c.failure_budget = budget;
+        }
+        cfg.campaign = Some(c);
+    }
     cfg.trace = match trace_level {
         Some(level) => level,
         // Asking for a trace sink implies collecting spans.
@@ -131,6 +159,12 @@ fn main() {
     };
 
     let chaos_on = cfg.chaos.enabled();
+    let campaign_desc = cfg.campaign.as_ref().map(|c| {
+        format!(
+            "campaign(canary {}%, failure budget {}, {} confirm attempts, version {})",
+            c.canary_pct, c.failure_budget, c.max_confirm_attempts, c.version
+        )
+    });
     let fleet = match Fleet::boot(cfg) {
         Ok(f) => f,
         Err(e) => {
@@ -156,10 +190,15 @@ fn main() {
     if let Some(want) = &expect {
         let got = report.digest_hex();
         if &got != want {
+            // Name the campaign config in the mismatch: campaign state
+            // bytes enter the digest, so comparing a campaign digest
+            // against a non-campaign reference (or different knobs) is
+            // the first thing to rule out.
             eprintln!(
-                "tlfleet: digest mismatch (trace level {})\n  \
+                "tlfleet: digest mismatch (trace level {}, {})\n  \
                  expected: {want}\n  actual:   {got}",
-                report.trace_level.name()
+                report.trace_level.name(),
+                campaign_desc.as_deref().unwrap_or("no campaign"),
             );
             std::process::exit(1);
         }
@@ -171,6 +210,9 @@ fn main() {
     } else {
         println!("{}", report.summary());
         println!("{}", report.health_line());
+        if report.campaign {
+            println!("{}", report.campaign_line());
+        }
         println!("{}", report.memory_line());
         if !report.flight_dumps.is_empty() {
             println!("flight dumps captured: {}", report.flight_dumps.len());
@@ -184,6 +226,27 @@ fn main() {
                 .copied()
                 .unwrap_or(0)
         );
+        if rollback_report && report.campaign {
+            for (id, s) in report.campaign_states.iter().enumerate() {
+                println!("device {id}: {}", s.label());
+            }
+            for counter in [
+                "campaign.staged",
+                "campaign.reboots",
+                "campaign.confirmed",
+                "campaign.rollbacks",
+                "campaign.forced_rollbacks",
+                "campaign.gate_retries",
+                "chaos.update_bit_flips",
+                "chaos.update_stale_replays",
+                "chaos.update_crash_resets",
+            ] {
+                println!(
+                    "{counter}: {}",
+                    report.merged.counters.get(counter).copied().unwrap_or(0)
+                );
+            }
+        }
         if chaos_on {
             println!(
                 "chaos resets injected: {}",

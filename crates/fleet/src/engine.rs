@@ -16,6 +16,7 @@ use trustlite_obs::{
 };
 use trustlite_periph::KeyStore;
 
+use crate::campaign::{CampaignConfig, CampaignState};
 use crate::observatory::TraceLevel;
 use crate::report::{state_digest, FleetReport};
 use crate::resilience::{DeviceHealth, VerifierState};
@@ -71,6 +72,10 @@ pub struct FleetConfig {
     /// Reference mode for differential runs: digests must be
     /// byte-identical either way (CI's `fork-identity` job).
     pub private_code: bool,
+    /// Firmware-update campaign (off by default; a configured campaign
+    /// stages the patched image over the fleet in canary/ramp waves and
+    /// commits each device behind an attested re-measurement gate).
+    pub campaign: Option<CampaignConfig>,
 }
 
 impl Default for FleetConfig {
@@ -91,6 +96,7 @@ impl Default for FleetConfig {
             flight_cap: DEFAULT_FLIGHT_CAP,
             dense_mem: false,
             private_code: false,
+            campaign: None,
         }
     }
 }
@@ -161,6 +167,22 @@ impl DeviceSim {
         if collect {
             self.spans.push(span);
         }
+    }
+
+    /// Warm-resets this device mid-run, retiring its telemetry and
+    /// cycle/instret counters first so fleet aggregates still cover the
+    /// pre-reset work. [`Platform::reset`] clears registers and live
+    /// telemetry and re-runs the Secure Loader from PROM; retained RAM
+    /// (the update blocks and boot log) survives by construction.
+    pub(crate) fn warm_reset(&mut self) {
+        let pre = self.platform.machine.metrics_report();
+        self.accum.merge(&pre);
+        self.instret_done += self.platform.machine.instret - self.instret_at_fork;
+        self.cycles_done += self.platform.machine.cycles;
+        self.platform
+            .reset()
+            .expect("Secure Loader re-entry from PROM is deterministic");
+        self.instret_at_fork = 0;
     }
 
     /// Snapshots this device's black box: flight-ring spans, the tail of
@@ -236,6 +258,9 @@ pub struct Fleet {
     /// Host wall time of the fork+diverge loop alone (excludes the
     /// master boot), in nanoseconds. Never digested.
     fork_loop_ns: u64,
+    /// The update-campaign orchestrator, when one is configured (built
+    /// against the master's PROM image and reference measurements).
+    campaign: Option<CampaignState>,
 }
 
 impl Fleet {
@@ -277,6 +302,15 @@ impl Fleet {
             })
             .filter(|&(_, size)| size > 0)
             .collect();
+        let campaign = match &cfg.campaign {
+            Some(c) => Some(CampaignState::new(
+                c.clone(),
+                &mut master,
+                &expected,
+                cfg.devices,
+            )?),
+            None => None,
+        };
         let plan = FaultPlan::new(cfg.chaos);
         let mut devices = Vec::with_capacity(cfg.devices);
         let t_fork = Instant::now();
@@ -333,6 +367,7 @@ impl Fleet {
             fault_regions,
             fork_ns: t_boot.elapsed().as_nanos() as u64,
             fork_loop_ns,
+            campaign,
         })
     }
 
@@ -369,11 +404,14 @@ impl Fleet {
             fault_regions,
             fork_ns,
             fork_loop_ns: _,
+            campaign,
         } = self;
         let nw = cfg.workers.max(1).min(devices.len().max(1));
         let n = devices.len();
         let plan = FaultPlan::new(cfg.chaos);
         let chaos_on = plan.enabled();
+        let campaign_on = campaign.is_some();
+        let campaign = Mutex::new(campaign);
         let trace = cfg.trace;
 
         // Contiguous shards; per-shard claim cursors form the
@@ -449,6 +487,7 @@ impl Fleet {
                 let claim = &claim;
                 let plan = &plan;
                 let fault_regions = &fault_regions;
+                let campaign = &campaign;
                 let t0 = &t0;
                 let host_spans = &host_spans;
                 scope.spawn(move || {
@@ -510,10 +549,27 @@ impl Fleet {
                                 0
                             };
                             let mut ver = verifier.lock().unwrap();
+                            let mut camp = campaign.lock().unwrap();
                             for (id, cell) in cells.iter().enumerate() {
                                 let mut guard = cell.lock().unwrap();
                                 let dev = &mut *guard;
-                                ver.round_boundary(id, dev, round, cfg.seed, expected);
+                                // A campaign run verifies each device
+                                // against the slot its responses were
+                                // produced under (patched once the
+                                // staged slot is live).
+                                let exp: &[[u8; 32]] = match camp.as_ref() {
+                                    Some(c) => c.expected_for(id),
+                                    None => expected.as_slice(),
+                                };
+                                ver.round_boundary(id, dev, round, cfg.seed, exp);
+                                if let Some(c) = camp.as_mut() {
+                                    let uf = if chaos_on {
+                                        plan.update_fault(cfg.seed, dev.id, round)
+                                    } else {
+                                        None
+                                    };
+                                    c.step(id, dev, round, cfg.seed, uf);
+                                }
                                 let next = round + 1;
                                 if ver.should_challenge(id, dev, next, cfg.attest_every, cfg.rounds)
                                 {
@@ -574,8 +630,12 @@ impl Fleet {
             ver.metrics
                 .observe("fleet.retries_per_device", u64::from(ver.retries_total[id]));
         }
+        let campaign = campaign.into_inner().unwrap();
         let mut merged = boot_report;
         merged.merge(&ver.metrics.snapshot());
+        if let Some(c) = &campaign {
+            merged.merge(&c.metrics.snapshot());
+        }
         let mut total_instret = 0u64;
         let mut total_cycles = 0u64;
         let mut digest_blob = Vec::new();
@@ -621,6 +681,14 @@ impl Fleet {
                 digest_blob.extend_from_slice(&h.digest_bytes());
             }
         }
+        // Campaign state likewise only enters the digest when a
+        // campaign is configured, so non-campaign runs keep their
+        // pre-campaign digests.
+        if let Some(c) = &campaign {
+            for id in 0..n {
+                digest_blob.extend_from_slice(&c.digest_bytes(id));
+            }
+        }
 
         if trace.spans_on() {
             spans.push(SpanRecord {
@@ -642,6 +710,8 @@ impl Fleet {
             workload: cfg.workload.clone(),
             trace_level: trace,
             chaos: chaos_on,
+            campaign: campaign_on,
+            campaign_states: campaign.map(|c| c.states).unwrap_or_default(),
             total_instret,
             total_cycles,
             attest_ok: ok,
@@ -750,16 +820,9 @@ fn step_device(
             let dump = dev.capture_dump(round, "crash_reset");
             dev.dumps.push(dump);
             // A warm reset drops captured telemetry and restarts the
-            // cycle/instret counters; retire both first so fleet
-            // aggregates still cover the pre-crash work.
-            let pre = dev.platform.machine.metrics_report();
-            dev.accum.merge(&pre);
-            dev.instret_done += dev.platform.machine.instret - dev.instret_at_fork;
-            dev.cycles_done += dev.platform.machine.cycles;
-            dev.platform
-                .reset()
-                .expect("Secure Loader re-entry from PROM is deterministic");
-            dev.instret_at_fork = 0;
+            // cycle/instret counters; `warm_reset` retires both first so
+            // fleet aggregates still cover the pre-crash work.
+            dev.warm_reset();
             dev.local.inc("chaos.crash_resets");
             run_quantum_with_spans(dev, trace, round, quantum - crash_step);
         }
@@ -1012,6 +1075,118 @@ mod tests {
             a.merged.sum_prefix("attest.reject."),
             a.attest_fail,
             "reason counters must sum to attest_fail"
+        );
+    }
+
+    /// ISSUE PR 10: an honest fleet converges — every device completes
+    /// the campaign behind the attested re-measurement gate, and every
+    /// campaign reboot is attributed in `loader.runs`.
+    #[test]
+    fn campaign_converges_on_an_honest_fleet() {
+        let report = Fleet::boot(FleetConfig {
+            devices: 8,
+            rounds: 12,
+            quantum: 1_000,
+            attest_every: 2,
+            campaign: Some(CampaignConfig::default()),
+            ..FleetConfig::default()
+        })
+        .expect("boot")
+        .run();
+        assert_eq!(
+            report.campaign_completed(),
+            8,
+            "{:?}",
+            report.campaign_states
+        );
+        assert_eq!(report.campaign_rolled_back(), 0);
+        assert_eq!(report.campaign_skipped(), 0);
+        let c = |n: &str| report.merged.counters.get(n).copied().unwrap_or(0);
+        assert_eq!(c("campaign.staged"), 8);
+        assert_eq!(c("campaign.confirmed"), 8);
+        assert_eq!(
+            c("loader.runs"),
+            1 + c("campaign.reboots") + c("chaos.crash_resets"),
+            "every campaign reboot re-runs the Secure Loader exactly once"
+        );
+        // The attestation fabric keeps accepting across the slot
+        // switch: devices end the run healthy.
+        assert!(report.health.iter().all(|h| *h == DeviceHealth::Healthy));
+        assert!(report.attest_ok > 0);
+    }
+
+    /// A campaign under chaos still yields worker-invariant,
+    /// reproducible aggregates, and every device is accounted for.
+    #[test]
+    fn campaign_under_chaos_is_worker_invariant_and_total() {
+        let cfg = |workers| FleetConfig {
+            devices: 8,
+            workers,
+            rounds: 14,
+            quantum: 1_000,
+            attest_every: 2,
+            max_retries: u32::MAX,
+            chaos: ChaosConfig {
+                seed: 11,
+                fault_rate_pm: 500,
+                malicious_pm: 0,
+            },
+            campaign: Some(CampaignConfig {
+                failure_budget: 8,
+                ..CampaignConfig::default()
+            }),
+            ..FleetConfig::default()
+        };
+        let a = Fleet::boot(cfg(1)).expect("boot").run();
+        let b = Fleet::boot(cfg(4)).expect("boot").run();
+        assert_eq!(a.digest, b.digest, "campaign must be worker-invariant");
+        assert_eq!(a.campaign_states, b.campaign_states);
+        assert_eq!(a.merged.counters, b.merged.counters);
+        assert_eq!(
+            a.campaign_completed()
+                + a.campaign_rolled_back()
+                + a.campaign_quarantined()
+                + a.campaign_skipped(),
+            a.devices,
+            "every device lands in exactly one campaign bucket"
+        );
+        let c = |n: &str| a.merged.counters.get(n).copied().unwrap_or(0);
+        assert_eq!(
+            c("loader.runs"),
+            1 + c("campaign.reboots") + c("chaos.crash_resets"),
+            "loader runs must attribute exactly under campaign + chaos"
+        );
+    }
+
+    /// A campaign config must not perturb a run's totals relative to
+    /// its own reruns, and a run *without* a campaign keeps the digest
+    /// it had before campaigns existed (conditional digest inclusion).
+    #[test]
+    fn campaign_off_digests_match_and_on_is_repeatable() {
+        let base = FleetConfig {
+            devices: 4,
+            rounds: 10,
+            quantum: 800,
+            ..FleetConfig::default()
+        };
+        let off1 = Fleet::boot(base.clone()).expect("boot").run();
+        let off2 = Fleet::boot(base.clone()).expect("boot").run();
+        assert_eq!(off1.digest, off2.digest);
+        assert!(off1.campaign_states.is_empty());
+        let on = |_| {
+            Fleet::boot(FleetConfig {
+                campaign: Some(CampaignConfig::default()),
+                ..base.clone()
+            })
+            .expect("boot")
+            .run()
+        };
+        let a = on(());
+        let b = on(());
+        assert_eq!(a.digest, b.digest, "campaign runs are reproducible");
+        assert_ne!(
+            a.digest, off1.digest,
+            "the campaign visibly changes device trajectories"
         );
     }
 

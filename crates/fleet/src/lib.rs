@@ -35,13 +35,24 @@
 //!   always-on deterministic latency histograms (`fleet.*`) and a
 //!   per-device flight recorder dumped on quarantine or crash-reset;
 //!   state digests and merged metrics are byte-identical at every trace
-//!   level and worker count ([`observatory`]).
+//!   level and worker count ([`observatory`]);
+//! * **firmware-update campaigns** — staged rollout of an A/B-slot
+//!   update across the fleet: canary wave then ramp
+//!   ([`CampaignConfig::canary_pct`]), per-device reboot into the
+//!   staged slot, an *attested re-measurement* commit gate, forced
+//!   rollback to the always-bootable PROM slot when the gate keeps
+//!   failing, and a rollback circuit breaker
+//!   ([`CampaignConfig::failure_budget`]); orchestration runs in the
+//!   deterministic phase-B path, so campaign outcomes are bit-identical
+//!   at any worker count ([`campaign`]).
 
+pub mod campaign;
 pub mod engine;
 pub mod observatory;
 pub mod report;
 pub mod resilience;
 
+pub use campaign::{CampaignConfig, UpdateState};
 pub use engine::{DeviceSim, Fleet, FleetConfig};
 pub use observatory::{chrome_trace, trace_jsonl, TraceLevel};
 pub use report::{state_digest, FleetReport};

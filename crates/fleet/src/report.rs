@@ -4,6 +4,7 @@ use trustlite::Platform;
 use trustlite_crypto::sha256;
 use trustlite_obs::{FlightDump, MetricsReport, SpanRecord};
 
+use crate::campaign::UpdateState;
 use crate::observatory::TraceLevel;
 use crate::resilience::DeviceHealth;
 
@@ -51,6 +52,10 @@ pub struct FleetReport {
     pub trace_level: TraceLevel,
     /// Whether a fault plan was active.
     pub chaos: bool,
+    /// Whether an update campaign was configured.
+    pub campaign: bool,
+    /// Per-device campaign outcome (empty when no campaign ran).
+    pub campaign_states: Vec<UpdateState>,
     /// Post-fork instructions retired, summed over devices.
     pub total_instret: u64,
     /// Simulated cycles, summed over devices.
@@ -132,6 +137,46 @@ impl FleetReport {
         self.health.iter().filter(|h| h.is_quarantined()).count()
     }
 
+    /// Devices whose update was confirmed behind the attested
+    /// re-measurement gate.
+    pub fn campaign_completed(&self) -> usize {
+        self.campaign_states
+            .iter()
+            .filter(|s| **s == UpdateState::Confirmed)
+            .count()
+    }
+
+    /// Devices that fell back to slot A (loader rejection or forced
+    /// rollback).
+    pub fn campaign_rolled_back(&self) -> usize {
+        self.campaign_states
+            .iter()
+            .filter(|s| **s == UpdateState::RolledBack)
+            .count()
+    }
+
+    /// Devices quarantined before reaching a terminal campaign state
+    /// (disjoint from completed/rolled-back: a device that confirmed
+    /// and *then* quarantined counts as completed).
+    pub fn campaign_quarantined(&self) -> usize {
+        self.campaign_states
+            .iter()
+            .zip(&self.health)
+            .filter(|(s, h)| !s.is_terminal() && h.is_quarantined())
+            .count()
+    }
+
+    /// Devices the campaign never resolved: not terminal, not
+    /// quarantined — the rollout ran out of rounds or the circuit
+    /// breaker stopped staging them.
+    pub fn campaign_skipped(&self) -> usize {
+        self.campaign_states
+            .iter()
+            .zip(&self.health)
+            .filter(|(s, h)| !s.is_terminal() && !h.is_quarantined())
+            .count()
+    }
+
     /// The rounds quarantine decisions were made in (one entry per
     /// quarantined device; "rounds to detect" in the chaos sweep).
     pub fn quarantine_rounds(&self) -> Vec<u64> {
@@ -168,10 +213,20 @@ impl FleetReport {
             }
             health.push_str(&format!("\"{}\"", h.label()));
         }
+        let mut campaign_states = String::new();
+        for s in &self.campaign_states {
+            if !campaign_states.is_empty() {
+                campaign_states.push_str(", ");
+            }
+            campaign_states.push_str(&format!("\"{}\"", s.label()));
+        }
         format!(
             "{{\n  \"devices\": {}, \"workers\": {}, \"rounds\": {}, \"quantum\": {},\n  \
              \"seed\": {}, \"workload\": \"{}\",\n  \
              \"trace_level\": \"{}\", \"chaos\": {}, \"spans\": {}, \"flight_dumps\": {},\n  \
+             \"campaign\": {}, \"campaign_completed\": {}, \"campaign_rolled_back\": {},\n  \
+             \"campaign_quarantined\": {}, \"campaign_skipped\": {},\n  \
+             \"campaign_states\": [{}],\n  \
              \"dense_mem\": {}, \"private_code\": {}, \"fork_us_per_device\": {:.3},\n  \
              \"resident_bytes\": {}, \"addressable_bytes\": {}, \"code_cache_bytes\": {},\n  \
              \"total_instret\": {}, \"total_cycles\": {},\n  \
@@ -191,6 +246,12 @@ impl FleetReport {
             self.chaos,
             self.spans.len(),
             self.flight_dumps.len(),
+            self.campaign,
+            self.campaign_completed(),
+            self.campaign_rolled_back(),
+            self.campaign_quarantined(),
+            self.campaign_skipped(),
+            campaign_states,
             self.dense_mem,
             self.private_code,
             self.fork_us_per_device,
@@ -252,6 +313,21 @@ impl FleetReport {
                 "shared"
             },
             self.fork_us_per_device,
+        )
+    }
+
+    /// One machine-greppable campaign outcome line (`campaign: C
+    /// completed, R rolled back, Q quarantined, S skipped of N`), used
+    /// by the CLI, the campaign sweep and CI. Every device lands in
+    /// exactly one of the four buckets.
+    pub fn campaign_line(&self) -> String {
+        format!(
+            "campaign: {} completed, {} rolled back, {} quarantined, {} skipped of {}",
+            self.campaign_completed(),
+            self.campaign_rolled_back(),
+            self.campaign_quarantined(),
+            self.campaign_skipped(),
+            self.campaign_states.len(),
         )
     }
 

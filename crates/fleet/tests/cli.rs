@@ -92,9 +92,10 @@ fn expect_mismatch_prints_both_digests_and_fails() {
         "actual digest printed: {stderr}"
     );
     // An observation-perturbs bug is diagnosed from this line alone, so
-    // the mismatch names the trace level the run was captured at.
+    // the mismatch names the trace level the run was captured at, and
+    // whether campaign bytes entered the digest.
     assert!(
-        stderr.contains("(trace level off)"),
+        stderr.contains("(trace level off, no campaign)"),
         "trace level printed on mismatch: {stderr}"
     );
 }
@@ -110,8 +111,26 @@ fn expect_mismatch_names_the_active_trace_level() {
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(
-        stderr.contains("(trace level full)"),
+        stderr.contains("(trace level full,"),
         "mismatch at full must say so: {stderr}"
+    );
+}
+
+#[test]
+fn expect_mismatch_names_the_campaign_config() {
+    let bogus = "0".repeat(64);
+    let out = tlfleet()
+        .args(SMALL)
+        .args(["--campaign", "--digest", "--expect", &bogus])
+        .output()
+        .expect("spawn tlfleet");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // Campaign state bytes enter the digest, so a mismatch against a
+    // non-campaign reference must be diagnosable from this line alone.
+    assert!(
+        stderr.contains("campaign(canary 25%, failure budget 8"),
+        "campaign config printed on mismatch: {stderr}"
     );
 }
 

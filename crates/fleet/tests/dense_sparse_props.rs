@@ -9,7 +9,7 @@
 
 use proptest::prelude::*;
 use trustlite_chaos::ChaosConfig;
-use trustlite_fleet::{Fleet, FleetConfig, FleetReport};
+use trustlite_fleet::{CampaignConfig, Fleet, FleetConfig, FleetReport};
 use trustlite_obs::ObsLevel;
 
 fn run(cfg: &FleetConfig, dense_mem: bool, workers: usize) -> FleetReport {
@@ -122,6 +122,64 @@ proptest! {
             prop_assert_eq!(&private.health, &shared.health);
             prop_assert_eq!(private.total_instret, shared.total_instret);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+    /// Campaign outcomes (per-device states, counters, digest) are a
+    /// pure function of the config: the memory backing, the code-cache
+    /// sharing mode and the worker count must not change which devices
+    /// complete, roll back, or how many reboots it took.
+    #[test]
+    fn campaign_outcome_is_backing_and_worker_invariant(
+        seed in 1u64..1_000_000,
+        devices in 3usize..6,
+        canary_pct in 1u32..100,
+        chaos_on in any::<bool>(),
+    ) {
+        let cfg = FleetConfig {
+            devices,
+            rounds: 10,
+            quantum: 1_000,
+            seed,
+            attest_every: 2,
+            max_retries: u32::MAX,
+            campaign: Some(CampaignConfig {
+                canary_pct,
+                failure_budget: devices as u32,
+                ..CampaignConfig::default()
+            }),
+            chaos: if chaos_on {
+                ChaosConfig { seed: seed ^ 0xc0c0, fault_rate_pm: 500, malicious_pm: 0 }
+            } else {
+                ChaosConfig::off()
+            },
+            ..FleetConfig::default()
+        };
+        let reference = run(&cfg, false, 1);
+        prop_assert_eq!(
+            reference.campaign_completed()
+                + reference.campaign_rolled_back()
+                + reference.campaign_quarantined()
+                + reference.campaign_skipped(),
+            devices,
+            "every device lands in exactly one campaign bucket"
+        );
+        for (dense_mem, workers) in [(false, 4), (true, 1), (true, 4)] {
+            let other = run(&cfg, dense_mem, workers);
+            prop_assert_eq!(
+                &other.digest, &reference.digest,
+                "campaign digest diverged: dense_mem {}, {} workers, chaos {}",
+                dense_mem, workers, chaos_on
+            );
+            prop_assert_eq!(&other.campaign_states, &reference.campaign_states);
+            prop_assert_eq!(&other.merged.counters, &reference.merged.counters);
+            prop_assert_eq!(&other.health, &reference.health);
+        }
+        let private = run_code(&cfg, true, 4);
+        prop_assert_eq!(&private.digest, &reference.digest);
+        prop_assert_eq!(&private.campaign_states, &reference.campaign_states);
     }
 }
 

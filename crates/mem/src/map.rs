@@ -15,6 +15,16 @@ pub const SRAM_BASE: u32 = 0x1000_0000;
 /// Default SRAM size (256 KiB).
 pub const SRAM_SIZE: u32 = 0x0004_0000;
 
+/// Base address of the retained RAM (`ret_ram`): a tiny always-on
+/// region that survives warm resets and is cleared only on cold boot.
+/// It sits outside the MMIO window and carries no MPU rule, so software
+/// never reaches it — only the Secure Loader and the host touch it via
+/// the hardware access paths. Holds the per-trustlet update/boot-log
+/// blocks.
+pub const RETRAM_BASE: u32 = 0x3000_0000;
+/// Retained-RAM size (4 KiB).
+pub const RETRAM_SIZE: u32 = 0x0000_1000;
+
 /// Base address of the (untrusted) external DRAM.
 pub const DRAM_BASE: u32 = 0x4000_0000;
 /// Default DRAM size (1 MiB).
@@ -56,6 +66,7 @@ mod tests {
         let regions = [
             (PROM_BASE, PROM_SIZE),
             (SRAM_BASE, SRAM_SIZE),
+            (RETRAM_BASE, RETRAM_SIZE),
             (DRAM_BASE, DRAM_SIZE),
             (MPU_MMIO_BASE, MPU_MMIO_SIZE),
             (TIMER_MMIO_BASE, PERIPH_MMIO_SIZE),
@@ -79,5 +90,7 @@ mod tests {
         assert!(!is_mmio(PROM_BASE));
         assert!(!is_mmio(SRAM_BASE));
         assert!(!is_mmio(DRAM_BASE));
+        assert!(!is_mmio(RETRAM_BASE));
+        assert!(!is_mmio(RETRAM_BASE + RETRAM_SIZE - 4));
     }
 }

@@ -257,6 +257,12 @@ pub struct EaMpu {
     /// Per-slot grant counters: `slot_hits[i]` counts checks granted via
     /// slot `i` (first-match attribution).
     slot_hits: Vec<u64>,
+    /// Per-slot denial counters: `slot_denials[i]` counts denied checks
+    /// whose *subject* was executing from slot `i` (attributed via the
+    /// faulting IP's code region, since a denial by definition has no
+    /// granting object slot). Denials from IPs outside any executable
+    /// region count only in `deny_count`.
+    slot_denials: Vec<u64>,
     /// Latched record of the most recent fault, for handler inspection.
     last_fault: Option<MpuFault>,
     cache: GrantCache,
@@ -279,6 +285,7 @@ impl EaMpu {
             check_count: 0,
             deny_count: 0,
             slot_hits: vec![0; slots],
+            slot_denials: vec![0; slots],
             last_fault: None,
             cache: GrantCache::new(),
             pending_slot: 0,
@@ -361,6 +368,9 @@ impl EaMpu {
         for h in &mut self.slot_hits {
             *h = 0;
         }
+        for d in &mut self.slot_denials {
+            *d = 0;
+        }
         self.last_fault = None;
         self.cache.clear();
         self.pending_hits = 0;
@@ -385,6 +395,13 @@ impl EaMpu {
     /// slot `i`, first enabled match winning).
     pub fn slot_hits(&self) -> &[u64] {
         &self.slot_hits
+    }
+
+    /// Per-slot denial counters (`slot_denials()[i]` = denied checks
+    /// issued by code executing from slot `i`; see the field docs for the
+    /// attribution rule).
+    pub fn slot_denials(&self) -> &[u64] {
+        &self.slot_denials
     }
 
     /// The most recent latched fault, if any.
@@ -749,6 +766,12 @@ impl EaMpu {
             }
             None => {
                 self.deny_count += 1;
+                // Attribute the denial to the *subject's* code slot: a
+                // pure function of the slot registers and `ip`, so the
+                // cached and uncached check paths agree by construction.
+                if let Some(slot) = self.find_exec_region(ip) {
+                    self.slot_denials[slot] += 1;
+                }
                 let fault = MpuFault { ip, addr, kind };
                 self.last_fault = Some(fault);
                 Err(fault)
@@ -930,6 +953,18 @@ mod tests {
         assert_eq!(m.slot_hits()[2], 2);
         assert_eq!(m.slot_hits()[3], 1);
         assert_eq!(m.slot_hits()[0], 0);
+        // Denials are attributed to the offending *subject's* code slot.
+        assert_eq!(m.slot_denials()[0], 1, "A's stray read");
+        assert_eq!(m.slot_denials()[1], 1, "B's stray write");
+        assert_eq!(m.slot_denials()[2], 0);
+    }
+
+    #[test]
+    fn denials_from_unmapped_ips_stay_unattributed() {
+        let mut m = figure3_like();
+        assert!(m.check(0x4000, 0x8004, AccessKind::Write).is_err());
+        assert_eq!(m.deny_count(), 1);
+        assert!(m.slot_denials().iter().all(|&d| d == 0));
     }
 
     #[test]
@@ -961,6 +996,7 @@ mod tests {
         assert_eq!(m.check_count(), 0);
         assert_eq!(m.deny_count(), 0);
         assert!(m.slot_hits().iter().all(|&h| h == 0));
+        assert!(m.slot_denials().iter().all(|&d| d == 0));
         assert!(m.last_fault().is_none());
         assert!(
             m.set_rule(0, RuleSlot::EMPTY).is_ok(),
@@ -1098,6 +1134,7 @@ mod tests {
         assert_eq!(cached.check_count(), plain.check_count());
         assert_eq!(cached.deny_count(), plain.deny_count());
         assert_eq!(cached.slot_hits(), plain.slot_hits());
+        assert_eq!(cached.slot_denials(), plain.slot_denials());
         assert_eq!(cached.last_fault(), plain.last_fault());
     }
 

@@ -1,61 +1,66 @@
-//! Field updates (paper Sections 2.3, 5.3, 6): TrustLite's protection is
-//! programmable, so a designated software-update trustlet may be given
-//! write access to another trustlet's code region — something SMART's
-//! mask-ROM routine fundamentally cannot offer. The OS still cannot touch
-//! the code, and the measurement table exposes the change to attestation.
+//! Field updates (paper Sections 2.3, 5.3, 6) with A/B slots: the
+//! factory image in PROM is slot A — always bootable, so the device can
+//! never brick — and a staged image in untrusted bulk DRAM is slot B,
+//! guarded by a CRC-32 and a monotonic version word in retained RAM.
+//! Staging needs no MPU privilege at all (slot B lives in untrusted
+//! memory); trust is established *after* the reboot, when the Secure
+//! Loader has re-measured whatever image it chose and the operator
+//! confirms only against an attested re-measurement. Anything that goes
+//! wrong — bit rot in the staged image, a replayed stale version — rolls
+//! the device back to slot A, with the verdict retained in a boot log
+//! that survives warm resets. SMART's mask-ROM routine cannot be
+//! updated at all; TrustLite's programmable protection is what makes
+//! this whole flow possible.
 //!
 //! Run: `cargo run -p trustlite-bench --example field_update`
 
-use trustlite::attest;
+use trustlite::attest::{self, Challenge};
 use trustlite::platform::PlatformBuilder;
 use trustlite::spec::TrustletOptions;
+use trustlite::update::{BootVerdict, SlotState};
 use trustlite_baselines::SmartDevice;
-use trustlite_cpu::{HaltReason, RunExit};
 use trustlite_isa::Reg;
-use trustlite_mpu::AccessKind;
+
+const KEY: [u8; 32] = [0x42; 32];
+
+/// Returns the image with the `li r0, <version>` word swapped — the
+/// same firmware, one release later.
+fn patch_version(original: &[u8], offset: usize, version: i16) -> Vec<u8> {
+    let word = trustlite_isa::encode(trustlite_isa::Instr::Movi {
+        rd: Reg::R0,
+        imm: version,
+    });
+    let mut out = original.to_vec();
+    out[offset..offset + 4].copy_from_slice(&word.to_le_bytes());
+    out
+}
+
+fn report_version(p: &mut trustlite::Platform, data_base: u32) -> u32 {
+    p.machine.halted = None;
+    p.start_trustlet("service").expect("starts");
+    p.run(10_000);
+    p.machine.sys.hw_read32(data_base).expect("readable")
+}
 
 fn main() {
     let mut b = PlatformBuilder::new();
-    let target = b.plan_trustlet("service-v1", 0x200, 0x80, 0x80);
-    let updater = b.plan_trustlet("updater", 0x300, 0x80, 0x80);
+    b.platform_key(KEY);
+    let plan = b.plan_trustlet("service", 0x200, 0x80, 0x80);
 
-    // The service returns version 1 in its data region.
-    let mut t = target.begin_program();
+    // The service reports its version in its data region.
+    let mut t = plan.begin_program();
     t.asm.label("main");
-    t.asm.li(Reg::R1, target.data_base);
+    t.asm.li(Reg::R1, plan.data_base);
     t.asm.label("version_word");
-    t.asm.li(Reg::R0, 1); // <- the word the update will patch
+    t.asm.li(Reg::R0, 1); // <- the word each release bumps
     t.asm.sw(Reg::R1, 0, Reg::R0);
     t.asm.halt();
-    let target_img = t.finish().expect("assembles");
-    let patch_addr = target_img.expect_symbol("version_word");
-    b.add_trustlet(
-        &target,
-        target_img,
-        TrustletOptions {
-            code_writable_by: Some("updater".into()),
-            ..Default::default()
-        },
-    )
-    .expect("registers");
-
-    // The updater patches the `li r0, 1` to `li r0, 2`.
-    let patched_word = trustlite_isa::encode(trustlite_isa::Instr::Movi {
-        rd: Reg::R0,
-        imm: 2,
-    });
-    let mut u = updater.begin_program();
-    u.asm.label("main");
-    u.asm.li(Reg::R1, patch_addr);
-    u.asm.li(Reg::R2, patched_word);
-    u.asm.sw(Reg::R1, 0, Reg::R2);
-    u.asm.halt();
-    b.add_trustlet(
-        &updater,
-        u.finish().expect("assembles"),
-        TrustletOptions::default(),
-    )
-    .expect("registers");
+    let img = t.finish().expect("assembles");
+    let patch_off = (img.expect_symbol("version_word") - plan.code_base) as usize;
+    let factory = img.bytes.clone();
+    let expected_v1 = attest::measure_region(&factory, plan.code_size);
+    b.add_trustlet(&plan, img, TrustletOptions::default())
+        .expect("registers");
 
     let mut os = b.begin_os();
     os.asm.label("main");
@@ -64,47 +69,107 @@ fn main() {
     b.set_os(os_img, &[]);
     let mut p = b.build().expect("boots");
 
-    // Version before the update.
-    p.start_trustlet("service-v1").expect("starts");
-    p.run(10_000);
-    let v1 = p.machine.sys.hw_read32(target.data_base).expect("readable");
-    println!("service reports version {v1}");
-
-    // The OS cannot patch the service...
-    assert!(!p
-        .machine
-        .sys
-        .mpu
-        .allows(p.os.entry + 8, patch_addr, AccessKind::Write));
-    println!("OS write access to the service's code: denied by the EA-MPU");
-
-    // ...but the updater can.
-    p.machine.halted = None;
-    p.start_trustlet("updater").expect("starts");
-    let exit = p.run(10_000);
-    assert!(
-        matches!(exit, RunExit::Halted(HaltReason::Halt { .. })),
-        "{exit:?}"
-    );
-    println!("updater patched {patch_addr:#010x} in the field");
-
-    p.machine.halted = None;
-    p.start_trustlet("service-v1").expect("starts");
-    p.run(10_000);
-    let v2 = p.machine.sys.hw_read32(target.data_base).expect("readable");
-    println!("service now reports version {v2}");
-    assert_eq!((v1, v2), (1, 2));
-
-    // The change is visible to attestation: the live hash no longer
-    // matches the load-time measurement, until the next reboot re-measures.
-    let a = attest::local_attest(&mut p, "service-v1").expect("attests");
+    println!("== slot A: the factory image ==");
     println!(
-        "local attestation after update: measurement matches load-time digest = {}",
-        a.measurement_ok
+        "service reports version {}",
+        report_version(&mut p, plan.data_base)
     );
-    assert!(!a.measurement_ok, "update is attestable");
 
-    // Contrast with SMART.
+    // ---- A good update: stage, reboot, attest, confirm. ----
+    let v2 = patch_version(&factory, patch_off, 2);
+    let expected_v2 = attest::measure_region(&v2, plan.code_size);
+    p.stage_update("service", &v2, 2).expect("stages");
+    let block = p.update_block("service").expect("plan").expect("armed");
+    println!("\n== staged v2 into slot B (untrusted DRAM, no MPU privilege needed) ==");
+    println!(
+        "update block: {:?}, attempts {}",
+        block.state, block.attempts
+    );
+    assert_eq!(block.state, SlotState::Written);
+
+    // The running device is untouched until the reboot.
+    assert_eq!(p.measurement("service").expect("measured"), expected_v1);
+
+    p.reset().expect("warm reset");
+    let block = p.update_block("service").expect("plan").expect("retained");
+    println!("\n== warm reset: the Secure Loader chose slot B ==");
+    println!(
+        "update block: {:?}, attempt {}, last log entry: {}",
+        block.state,
+        block.attempts,
+        block.log.last().expect("logged").verdict.label()
+    );
+    assert_eq!(block.log.last().unwrap().verdict, BootVerdict::StagedBoot);
+    println!(
+        "service reports version {}",
+        report_version(&mut p, plan.data_base)
+    );
+
+    // The commit gate: an *attested* re-measurement, not a local claim.
+    let ch = Challenge { nonce: [9; 16] };
+    let resp = attest::respond(&mut p, &ch).expect("responds");
+    assert!(
+        !attest::verify(&KEY, &ch, &resp, &[expected_v1]),
+        "the old measurement must no longer verify"
+    );
+    assert!(attest::verify(&KEY, &ch, &resp, &[expected_v2]));
+    println!("attested re-measurement matches the v2 image: commit");
+    p.confirm_update("service").expect("confirms");
+    let block = p.update_block("service").expect("plan").expect("retained");
+    assert_eq!(block.state, SlotState::Confirmed);
+    println!(
+        "update block: {:?}, anti-rollback floor now {}",
+        block.state, block.rollback_min
+    );
+
+    // ---- A stale replay: correct bytes, version at the floor. ----
+    let v3 = patch_version(&factory, patch_off, 3);
+    p.stage_update("service", &v3, 2).expect("stages"); // replayed version!
+    p.reset().expect("warm reset");
+    let block = p.update_block("service").expect("plan").expect("retained");
+    println!("\n== replayed update (version 2 again): rejected by anti-rollback ==");
+    println!(
+        "update block: {:?}, last log entry: {}",
+        block.state,
+        block.log.last().expect("logged").verdict.label()
+    );
+    assert_eq!(block.state, SlotState::RolledBack);
+    assert_eq!(block.log.last().unwrap().verdict, BootVerdict::StaleReject);
+    println!(
+        "service reports version {} (slot A)",
+        report_version(&mut p, plan.data_base)
+    );
+
+    // ---- A corrupted patch: bit rot in untrusted DRAM. ----
+    p.stage_update("service", &v3, 3).expect("stages");
+    p.corrupt_staged("service", 8, 3).expect("corrupts");
+    p.reset().expect("warm reset");
+    let block = p.update_block("service").expect("plan").expect("retained");
+    println!("\n== corrupted staged image: rejected by the CRC guard ==");
+    println!(
+        "update block: {:?}, last log entry: {}",
+        block.state,
+        block.log.last().expect("logged").verdict.label()
+    );
+    assert_eq!(block.state, SlotState::RolledBack);
+    assert_eq!(block.log.last().unwrap().verdict, BootVerdict::CrcReject);
+    let version = report_version(&mut p, plan.data_base);
+    println!("service reports version {version} (slot A — never bricked)");
+    assert_eq!(version, 1);
+    assert_eq!(p.measurement("service").expect("measured"), expected_v1);
+
+    // The whole story is in the retained log, oldest first.
+    println!("\nretained boot log ({} entries ever):", block.log_total);
+    for e in &block.log {
+        println!(
+            "  slot {} {} (attempt {})",
+            if e.slot == 1 { "B" } else { "A" },
+            e.verdict.label(),
+            e.attempt
+        );
+    }
+
+    // Contrast with SMART: its update routine is mask ROM.
     let smart = SmartDevice::new([0; 32], 1024);
     println!();
     println!(
